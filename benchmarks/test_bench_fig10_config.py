@@ -1,0 +1,15 @@
+"""Benchmark EXP-F10: design configuration, area and power (paper Fig. 10)."""
+
+from repro.experiments import fig10_config
+
+
+def run() -> fig10_config.Fig10Result:
+    return fig10_config.run_fig10()
+
+
+def test_bench_fig10_config(benchmark):
+    result = benchmark(run)
+    assert fig10_config.configuration_matches_paper(result)
+    assert fig10_config.coprocessors_dominate_core_area(result)
+    print()
+    print(fig10_config.format_report(result))

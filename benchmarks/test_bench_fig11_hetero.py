@@ -1,0 +1,16 @@
+"""Benchmark EXP-F11: homogeneous vs heterogeneous designs (paper Fig. 11)."""
+
+from repro.experiments import fig11_hetero
+
+
+def run() -> fig11_hetero.Fig11Result:
+    return fig11_hetero.run_fig11()
+
+
+def test_bench_fig11_hetero(benchmark):
+    result = benchmark(run)
+    assert fig11_hetero.hetero_wins_full_mllm(result)
+    assert fig11_hetero.homo_designs_win_their_phases(result)
+    assert fig11_hetero.all_extensions_beat_baseline(result)
+    print()
+    print(fig11_hetero.format_report(result))

@@ -1,0 +1,17 @@
+"""Benchmark EXP-F12: activation-aware dynamic Top-k pruning (paper Fig. 12)."""
+
+from repro.experiments import fig12_pruning
+
+
+def run() -> fig12_pruning.Fig12Result:
+    return fig12_pruning.run_fig12(n_tokens=4)
+
+
+def test_bench_fig12_pruning(benchmark):
+    result = benchmark(run)
+    assert fig12_pruning.first_layer_is_not_pruned(result)
+    assert fig12_pruning.pruning_ratio_increases_with_depth(result)
+    assert fig12_pruning.dynamic_tracks_mild_fixed_ratio(result)
+    assert fig12_pruning.aggressive_fixed_ratio_fails_shallow_layers(result)
+    print()
+    print(fig12_pruning.format_report(result))

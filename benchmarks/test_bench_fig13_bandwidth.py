@@ -1,0 +1,16 @@
+"""Benchmark EXP-F13: bandwidth management and batch decoding (paper Fig. 13)."""
+
+from repro.experiments import fig13_bandwidth_mgmt
+
+
+def run() -> fig13_bandwidth_mgmt.Fig13Result:
+    return fig13_bandwidth_mgmt.run_fig13()
+
+
+def test_bench_fig13_bandwidth(benchmark):
+    result = benchmark(run)
+    assert fig13_bandwidth_mgmt.reallocation_helps_long_outputs(result)
+    assert fig13_bandwidth_mgmt.short_outputs_keep_equal_sharing(result)
+    assert fig13_bandwidth_mgmt.batching_boosts_long_output_throughput(result)
+    print()
+    print(fig13_bandwidth_mgmt.format_report(result))

@@ -1,0 +1,21 @@
+"""Benchmark EXP-F2: workload analysis of two MLLMs (paper Fig. 2).
+
+Regenerates the latency breakdown, per-phase statistics and DRAM-access
+breakdown for SPHINX-Tiny and KarmaVLM, and prints the paper-style report.
+"""
+
+from repro.experiments import fig2_workload
+
+
+def run() -> fig2_workload.Fig2Result:
+    return fig2_workload.run_fig2(output_lengths=(8, 32, 128, 512))
+
+
+def test_bench_fig2_workload(benchmark):
+    result = benchmark(run)
+    # Shape checks mirroring the paper's observations.
+    for model in ("sphinx-tiny", "karmavlm"):
+        assert fig2_workload.decode_share_increases(result, model)
+    assert fig2_workload.ffn_dominates_memory(result, "sphinx-tiny")
+    print()
+    print(fig2_workload.format_report(result))

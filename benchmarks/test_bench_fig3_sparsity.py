@@ -1,0 +1,15 @@
+"""Benchmark EXP-F3: FFN activation sparsity across layers (paper Fig. 3)."""
+
+from repro.experiments import fig3_sparsity
+
+
+def run() -> fig3_sparsity.Fig3Result:
+    return fig3_sparsity.run_fig3(n_tokens=4)
+
+
+def test_bench_fig3_sparsity(benchmark):
+    result = benchmark(run)
+    assert fig3_sparsity.outliers_become_more_prominent(result)
+    assert fig3_sparsity.most_channels_are_negligible(result)
+    print()
+    print(fig3_sparsity.format_report(result))

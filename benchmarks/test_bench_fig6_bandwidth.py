@@ -1,0 +1,16 @@
+"""Benchmark EXP-F6: effective bandwidth vs transfer size (paper Fig. 6(b))."""
+
+from repro.experiments import fig6_bandwidth
+
+
+def run() -> fig6_bandwidth.Fig6Result:
+    return fig6_bandwidth.run_fig6()
+
+
+def test_bench_fig6_bandwidth(benchmark):
+    result = benchmark(run)
+    assert fig6_bandwidth.bandwidth_is_monotonic(result)
+    assert fig6_bandwidth.small_transfers_lose_bandwidth(result)
+    assert fig6_bandwidth.mc_buffers_recover_bandwidth(result)
+    print()
+    print(fig6_bandwidth.format_report(result))

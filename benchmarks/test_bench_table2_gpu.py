@@ -1,0 +1,16 @@
+"""Benchmark EXP-T2: EdgeMM vs mobile GPU comparison (paper Table II)."""
+
+from repro.experiments import table2_gpu_comparison
+
+
+def run() -> table2_gpu_comparison.Table2Result:
+    return table2_gpu_comparison.run_table2()
+
+
+def test_bench_table2_gpu(benchmark):
+    result = benchmark(run)
+    assert table2_gpu_comparison.edgemm_beats_gpu(result)
+    assert table2_gpu_comparison.pruning_widens_the_gap(result)
+    assert table2_gpu_comparison.pruned_speedup_in_paper_ballpark(result)
+    print()
+    print(table2_gpu_comparison.format_report(result))

@@ -1,0 +1,77 @@
+"""Activation-aware pruning analysis (the paper's Section IV-A / Fig. 12).
+
+Walks through the pruning pipeline on a synthetic SPHINX-Tiny activation
+trace:
+
+* layer-by-layer kurtosis of the FFN activation magnitudes,
+* the dynamic Top-k decisions of Algorithm 1 (pruning ratio per layer),
+* accuracy (cosine similarity of FFN outputs) against fixed pruning ratios,
+* the resulting DRAM traffic reduction and decode speedup on EdgeMM.
+
+Run with:  python examples/pruning_analysis.py
+"""
+
+import numpy as np
+
+from repro import EdgeMM, InferenceRequest, get_mllm
+from repro.models.activations import sphinx_tiny_trace
+from repro.pruning import (
+    build_layer_stack,
+    decode_traffic_reduction,
+    prune_token,
+    prune_token_fixed,
+)
+
+
+def main() -> None:
+    trace = sphinx_tiny_trace()
+    n_layers, d_model = trace.config.n_layers, trace.config.d_model
+    d_ffn = 512  # reduced FFN width keeps the numeric comparison fast
+    ffn_stack = build_layer_stack(n_layers, d_model, d_ffn)
+
+    activations = trace.token_trace(token_index=0)
+    dynamic = prune_token(activations, ffn_stack)
+    fixed_mild = prune_token_fixed(activations, ffn_stack, ratio=0.1)
+    fixed_aggressive = prune_token_fixed(activations, ffn_stack, ratio=0.7)
+
+    print("layer  kurtosis  dyn-prune%  cos(dyn)  cos(0.1)  cos(0.7)")
+    for layer in range(n_layers):
+        print(
+            f"{layer:5d}  {dynamic.kurtoses[layer]:8.1f}  "
+            f"{100 * dynamic.pruning_ratios()[layer]:9.1f}  "
+            f"{dynamic.cosine_similarities[layer]:.4f}    "
+            f"{fixed_mild.cosine_similarities[layer]:.4f}    "
+            f"{fixed_aggressive.cosine_similarities[layer]:.4f}"
+        )
+    print()
+    print(f"mean dynamic pruning ratio: {100 * dynamic.mean_pruning_ratio:.1f}%")
+    print(
+        "FFN weight-traffic reduction: "
+        f"{100 * decode_traffic_reduction(dynamic, d_ffn=5632):.1f}%"
+    )
+    shallow = slice(1, n_layers // 3)
+    print(
+        "shallow-layer similarity  dynamic "
+        f"{np.mean(dynamic.cosine_similarities[shallow]):.4f} vs fixed-0.7 "
+        f"{np.mean(fixed_aggressive.cosine_similarities[shallow]):.4f} "
+        "(the paper's 'irreversible accuracy loss')"
+    )
+    print()
+
+    # End-to-end effect on the performance model.
+    model = get_mllm("sphinx-tiny")
+    request = InferenceRequest(images=1, prompt_text_tokens=32, output_tokens=64)
+    system = EdgeMM.default()
+    baseline = system.run(model, request)
+    calibration = system.calibrate_pruning(trace, n_tokens=4)
+    pruned = system.enable_pruning(calibration).run(model, request)
+    print(
+        "decode latency: "
+        f"{baseline.decode_latency_s * 1e3:.1f} ms -> {pruned.decode_latency_s * 1e3:.1f} ms "
+        f"({100 * (1 - pruned.decode_latency_s / baseline.decode_latency_s):.1f}% reduction, "
+        "paper reports 42%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Streaming-pipeline scheduling for a real-time assistant (Fig. 9 / Fig. 13).
+
+Models an autonomous-driving / AR-style deployment: camera frames arrive
+continuously, the CC-clusters encode + prefill the next request while the
+MC-clusters decode the current one, and the runtime picks the DMA bandwidth
+split (Bc:Bm) and, for long answers, the stream batch size.
+
+Run with:  python examples/streaming_pipeline.py
+"""
+
+from repro import EdgeMM, get_mllm
+from repro.scheduling import TokenLengthScheduler
+
+
+def main() -> None:
+    system = EdgeMM.default()
+    model = get_mllm("karmavlm")
+
+    # Pruning calibration feeds the scheduler so decode-time estimates match
+    # what the hardware pruner will actually deliver.
+    calibration = system.calibrate_pruning(n_tokens=4)
+    pipeline = system.pipeline(model, prompt_text_tokens=32)
+    scheduler = TokenLengthScheduler(
+        pipeline,
+        keep_fraction=calibration.average_keep_fraction,
+        candidate_batch_sizes=(1, 2, 4, 8, 16),
+        max_latency_overhead=0.6,
+    )
+
+    le = scheduler.bandwidth.expected_balanced_length()
+    lb = scheduler.bandwidth.reallocation_limit_length()
+    print(f"model: {model.name}")
+    print(f"expected balanced length le = {le} tokens (equal bandwidth sharing)")
+    print(f"reallocation limit      lb = {lb} tokens (most aggressive Bc:Bm)")
+    print()
+
+    print("output  Bc:Bm   batch  latency/request  tokens/s   policy")
+    print("------  ------  -----  ---------------  ---------  --------------------")
+    for output_tokens in (8, 16, 32, 64, 128, 256, 512, 1024):
+        schedule = scheduler.schedule(output_tokens)
+        cc = schedule.cc_bandwidth_fraction
+        ratio = f"1:{int(round((1 - cc) / cc))}"
+        policy = "batch decoding" if schedule.used_batching else (
+            "bandwidth reallocation" if cc < 0.5 else "equal sharing"
+        )
+        print(
+            f"{output_tokens:6d}  {ratio:>6s}  {schedule.batch_size:5d}  "
+            f"{schedule.request_latency_s:13.2f} s  {schedule.tokens_per_second:9.1f}  {policy}"
+        )
+
+    print()
+    print(
+        "Short answers keep equal sharing; medium answers shift DRAM bandwidth "
+        "to the MC-clusters; very long answers switch to stream-batched decoding, "
+        "trading some per-request latency for a large throughput gain."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""EdgeMM reproduction: multi-core CPU with heterogeneous AI extensions.
+
+The package reproduces the system described in "EdgeMM: Multi-Core CPU with
+Heterogeneous AI-Extension and Activation-aware Weight Pruning for
+Multimodal LLMs at Edge" (DAC 2025):
+
+* :mod:`repro.core` — the EdgeMM system model (simulator, pipeline, driver),
+* :mod:`repro.arch` — hardware blocks (systolic array, CIM macro, DMA, DRAM),
+* :mod:`repro.isa` — the RISC-V AI-extension ISA and functional executor,
+* :mod:`repro.models` — the MLLM workload substrate (Table I catalogue),
+* :mod:`repro.pruning` — activation-aware dynamic Top-k pruning (Alg. 1),
+* :mod:`repro.scheduling` — bandwidth management and batch decoding,
+* :mod:`repro.baselines` — GPU, Snitch and homogeneous-chip baselines,
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from .core import EdgeMM, PerformanceSimulator, SystemConfig, WorkloadResult
+from .models import InferenceRequest, get_mllm
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "EdgeMM",
+    "PerformanceSimulator",
+    "SystemConfig",
+    "WorkloadResult",
+    "InferenceRequest",
+    "get_mllm",
+    "__version__",
+]

@@ -1,0 +1,81 @@
+"""Hardware building blocks of the EdgeMM architecture."""
+
+from .systolic import SystolicArray, SystolicArrayConfig
+from .cim import CIMMacro, CIMMacroConfig
+from .pruner_hw import HardwarePruner, PrunerConfig, PrunerResult
+from .acu import ACUConfig, AuxiliaryComputeUnits, DEFAULT_OP_CYCLES
+from .cores import (
+    CCCore,
+    CCCoreConfig,
+    HostCore,
+    HostCoreConfig,
+    MCCore,
+    MCCoreConfig,
+)
+from .cluster import (
+    CCCluster,
+    CCClusterConfig,
+    MCCluster,
+    MCClusterConfig,
+    SnitchCluster,
+    SnitchClusterConfig,
+)
+from .chip import (
+    Chip,
+    ChipConfig,
+    GroupConfig,
+    homo_cc_chip_config,
+    homo_mc_chip_config,
+)
+from .dram import DRAMConfig, DRAMModel
+from .dma import (
+    BandwidthBudget,
+    DMATransferRecord,
+    ThrottledDMA,
+    allocate_fair_shares,
+)
+from .noc import CrossbarConfig, InterconnectConfig, InterconnectModel
+from .area_power import AreaPowerModel, AreaReport, PowerReport, TechnologyConfig
+
+__all__ = [
+    "SystolicArray",
+    "SystolicArrayConfig",
+    "CIMMacro",
+    "CIMMacroConfig",
+    "HardwarePruner",
+    "PrunerConfig",
+    "PrunerResult",
+    "ACUConfig",
+    "AuxiliaryComputeUnits",
+    "DEFAULT_OP_CYCLES",
+    "CCCore",
+    "CCCoreConfig",
+    "HostCore",
+    "HostCoreConfig",
+    "MCCore",
+    "MCCoreConfig",
+    "CCCluster",
+    "CCClusterConfig",
+    "MCCluster",
+    "MCClusterConfig",
+    "SnitchCluster",
+    "SnitchClusterConfig",
+    "Chip",
+    "ChipConfig",
+    "GroupConfig",
+    "homo_cc_chip_config",
+    "homo_mc_chip_config",
+    "DRAMConfig",
+    "DRAMModel",
+    "BandwidthBudget",
+    "DMATransferRecord",
+    "ThrottledDMA",
+    "allocate_fair_shares",
+    "CrossbarConfig",
+    "InterconnectConfig",
+    "InterconnectModel",
+    "AreaPowerModel",
+    "AreaReport",
+    "PowerReport",
+    "TechnologyConfig",
+]

@@ -1,0 +1,98 @@
+"""Shared auxiliary compute units (ACU).
+
+Each EdgeMM cluster shares a small pool of auxiliary compute units — 32-bit
+multipliers, dividers and special-function units — among its cores for the
+"uncommon" calculations that neither the systolic array nor the CIM macro
+handles natively: softmax exponentials, RMS-norm reciprocal square roots,
+activation functions evaluated outside the vector unit's LUT range, and
+address arithmetic for irregular access patterns.
+
+The ACU model provides per-operation cycle costs and an occupancy estimate
+when several cores contend for the shared pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+#: Default cycle cost of each ACU operation class.
+DEFAULT_OP_CYCLES: Dict[str, int] = {
+    "mul32": 3,
+    "div32": 16,
+    "sqrt": 14,
+    "exp": 18,
+    "reciprocal": 12,
+}
+
+
+@dataclass(frozen=True)
+class ACUConfig:
+    """Configuration of one cluster's shared ACU pool."""
+
+    units: int = 4
+    op_cycles: Dict[str, int] = field(default_factory=lambda: dict(DEFAULT_OP_CYCLES))
+
+    def __post_init__(self) -> None:
+        if self.units <= 0:
+            raise ValueError("units must be positive")
+        for name, cycles in self.op_cycles.items():
+            if cycles <= 0:
+                raise ValueError(f"cycle cost of {name!r} must be positive")
+
+
+class AuxiliaryComputeUnits:
+    """Throughput model of a cluster's shared ACU pool."""
+
+    def __init__(self, config: ACUConfig | None = None) -> None:
+        self.config = config or ACUConfig()
+
+    def op_cycles(self, op: str) -> int:
+        """Latency of a single operation of the given class."""
+        try:
+            return self.config.op_cycles[op]
+        except KeyError:
+            raise KeyError(
+                f"unknown ACU operation {op!r}; known: "
+                f"{', '.join(sorted(self.config.op_cycles))}"
+            ) from None
+
+    def batch_cycles(self, op_counts: Dict[str, int], *, requesting_cores: int = 1) -> float:
+        """Cycles to drain a batch of operations issued by several cores.
+
+        Operations are pipelined across the ``units`` in the pool; when more
+        cores request than there are units, the pool time-shares and the
+        batch takes proportionally longer.
+        """
+        if requesting_cores <= 0:
+            raise ValueError("requesting_cores must be positive")
+        total_cycles = 0
+        for op, count in op_counts.items():
+            if count < 0:
+                raise ValueError("operation counts must be >= 0")
+            total_cycles += count * self.op_cycles(op)
+        parallelism = min(self.config.units, max(requesting_cores, 1))
+        return total_cycles / parallelism
+
+    def softmax_cycles(self, elements: int, *, requesting_cores: int = 1) -> float:
+        """Approximate ACU cycles for a softmax over ``elements`` values.
+
+        Each element needs one exponential; the normalisation adds one
+        reciprocal and one multiply per element.
+        """
+        if elements <= 0:
+            raise ValueError("elements must be positive")
+        return self.batch_cycles(
+            {"exp": elements, "reciprocal": 1, "mul32": elements},
+            requesting_cores=requesting_cores,
+        )
+
+    def rmsnorm_cycles(self, elements: int, *, requesting_cores: int = 1) -> float:
+        """Approximate ACU cycles for an RMS-norm over ``elements`` values."""
+        if elements <= 0:
+            raise ValueError("elements must be positive")
+        return self.batch_cycles(
+            {"mul32": 2 * elements, "sqrt": 1, "reciprocal": 1},
+            requesting_cores=requesting_cores,
+        )

@@ -1,0 +1,201 @@
+"""Group- and chip-level assembly of the EdgeMM architecture (Fig. 4).
+
+The full chip consists of ``n_groups`` groups connected through the system
+AXI crossbar to the DRAM controller; each group contains a mix of CC- and
+MC-clusters behind a cluster crossbar.  The default configuration matches
+the paper's Fig. 10: 4 groups x (2 CC-clusters + 2 MC-clusters), CC-clusters
+of 4 cores, MC-clusters of 2 cores, at 1 GHz.
+
+The chip object aggregates the cluster cycle models and the DRAM /
+interconnect models; the phase-level performance simulator in
+``repro.core.simulator`` drives it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .cluster import (
+    CCCluster,
+    CCClusterConfig,
+    MCCluster,
+    MCClusterConfig,
+    SnitchCluster,
+    SnitchClusterConfig,
+)
+from .dram import DRAMConfig, DRAMModel
+from .noc import InterconnectConfig, InterconnectModel
+
+
+@dataclass(frozen=True)
+class GroupConfig:
+    """One group: a mix of CC- and MC-clusters behind a cluster crossbar."""
+
+    n_cc_clusters: int = 2
+    n_mc_clusters: int = 2
+    cc_cluster: CCClusterConfig = field(default_factory=CCClusterConfig)
+    mc_cluster: MCClusterConfig = field(default_factory=MCClusterConfig)
+
+    def __post_init__(self) -> None:
+        if self.n_cc_clusters < 0 or self.n_mc_clusters < 0:
+            raise ValueError("cluster counts must be >= 0")
+        if self.n_cc_clusters == 0 and self.n_mc_clusters == 0:
+            raise ValueError("a group must contain at least one cluster")
+
+
+@dataclass(frozen=True)
+class ChipConfig:
+    """The full EdgeMM chip."""
+
+    n_groups: int = 4
+    group: GroupConfig = field(default_factory=GroupConfig)
+    frequency_hz: float = 1.0e9
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+    interconnect: InterconnectConfig = field(default_factory=InterconnectConfig)
+    name: str = "edgemm"
+
+    def __post_init__(self) -> None:
+        if self.n_groups <= 0:
+            raise ValueError("n_groups must be positive")
+        if self.frequency_hz <= 0:
+            raise ValueError("frequency_hz must be positive")
+
+    # Convenience counts -------------------------------------------------
+    @property
+    def n_cc_clusters(self) -> int:
+        return self.n_groups * self.group.n_cc_clusters
+
+    @property
+    def n_mc_clusters(self) -> int:
+        return self.n_groups * self.group.n_mc_clusters
+
+    @property
+    def n_cc_cores(self) -> int:
+        return self.n_cc_clusters * self.group.cc_cluster.n_cores
+
+    @property
+    def n_mc_cores(self) -> int:
+        return self.n_mc_clusters * self.group.mc_cluster.n_cores
+
+    @property
+    def total_cores(self) -> int:
+        # Every cluster also has one dedicated DMA-control host core.
+        return (
+            self.n_cc_cores
+            + self.n_mc_cores
+            + self.n_cc_clusters
+            + self.n_mc_clusters
+        )
+
+
+def homo_cc_chip_config(base: Optional[ChipConfig] = None) -> ChipConfig:
+    """Homogeneous CC-only variant with the same total cluster count."""
+    base = base or ChipConfig()
+    group = GroupConfig(
+        n_cc_clusters=base.group.n_cc_clusters + base.group.n_mc_clusters,
+        n_mc_clusters=0,
+        cc_cluster=base.group.cc_cluster,
+        mc_cluster=base.group.mc_cluster,
+    )
+    return ChipConfig(
+        n_groups=base.n_groups,
+        group=group,
+        frequency_hz=base.frequency_hz,
+        dram=base.dram,
+        interconnect=base.interconnect,
+        name="homo_cc",
+    )
+
+
+def homo_mc_chip_config(base: Optional[ChipConfig] = None) -> ChipConfig:
+    """Homogeneous MC-only variant with the same total cluster count."""
+    base = base or ChipConfig()
+    group = GroupConfig(
+        n_cc_clusters=0,
+        n_mc_clusters=base.group.n_cc_clusters + base.group.n_mc_clusters,
+        cc_cluster=base.group.cc_cluster,
+        mc_cluster=base.group.mc_cluster,
+    )
+    return ChipConfig(
+        n_groups=base.n_groups,
+        group=group,
+        frequency_hz=base.frequency_hz,
+        dram=base.dram,
+        interconnect=base.interconnect,
+        name="homo_mc",
+    )
+
+
+class Chip:
+    """Aggregated cycle/bandwidth model of one chip configuration."""
+
+    def __init__(self, config: Optional[ChipConfig] = None) -> None:
+        self.config = config or ChipConfig()
+        self.cc_cluster = CCCluster(self.config.group.cc_cluster)
+        self.mc_cluster = MCCluster(self.config.group.mc_cluster)
+        self.dram = DRAMModel(self.config.dram)
+        self.interconnect = InterconnectModel(self.config.interconnect)
+
+    # ------------------------------------------------------------------
+    # Structural properties
+    # ------------------------------------------------------------------
+    @property
+    def n_cc_clusters(self) -> int:
+        return self.config.n_cc_clusters
+
+    @property
+    def n_mc_clusters(self) -> int:
+        return self.config.n_mc_clusters
+
+    @property
+    def frequency_hz(self) -> float:
+        return self.config.frequency_hz
+
+    @property
+    def peak_cc_macs_per_cycle(self) -> float:
+        return self.n_cc_clusters * self.cc_cluster.peak_macs_per_cycle
+
+    @property
+    def peak_mc_macs_per_cycle(self) -> float:
+        return self.n_mc_clusters * self.mc_cluster.peak_macs_per_cycle
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak FLOP/s of the whole chip (SA + CIM extensions)."""
+        macs = self.peak_cc_macs_per_cycle + self.peak_mc_macs_per_cycle
+        return 2.0 * macs * self.frequency_hz
+
+    @property
+    def cc_data_memory_bytes(self) -> int:
+        return self.n_cc_clusters * self.cc_cluster.data_memory_bytes
+
+    @property
+    def mc_data_memory_bytes(self) -> int:
+        return self.n_mc_clusters * self.mc_cluster.data_memory_bytes
+
+    def dram_bytes_per_cycle(self) -> float:
+        return self.config.dram.peak_bandwidth_bytes_per_s / self.frequency_hz
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        if cycles < 0:
+            raise ValueError("cycles must be >= 0")
+        return cycles / self.frequency_hz
+
+    def describe(self) -> dict:
+        """Structural summary used by the Fig. 10 configuration experiment."""
+        cfg = self.config
+        return {
+            "name": cfg.name,
+            "groups": cfg.n_groups,
+            "cc_clusters": cfg.n_cc_clusters,
+            "mc_clusters": cfg.n_mc_clusters,
+            "cc_cores": cfg.n_cc_cores,
+            "mc_cores": cfg.n_mc_cores,
+            "total_cores": cfg.total_cores,
+            "frequency_ghz": cfg.frequency_hz / 1e9,
+            "peak_tflops": self.peak_flops / 1e12,
+            "dram_bandwidth_gbs": cfg.dram.peak_bandwidth_bytes_per_s / 1e9,
+            "cc_data_memory_kib": self.cc_data_memory_bytes / 1024,
+            "mc_data_memory_kib": self.mc_data_memory_bytes / 1024,
+        }

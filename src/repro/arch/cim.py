@@ -1,0 +1,175 @@
+"""Digital compute-in-memory (CIM) macro model for memory-centric (MC) cores.
+
+The MC-core coprocessor integrates the compute cells inside the SRAM macro:
+``C`` columns, each with ``R`` subarrays of ``M x N`` 6T bit-cells (``N`` is
+the weight bit width), an adder tree and a shift-and-accumulate unit.  A
+``W``-bit activation is broadcast bit-serially into the columns; one weight
+per subarray is read and multiplied by one activation bit each cycle.
+
+The paper's latency model (Eq. 3): a GEMV completes in ``W + 1`` cycles and
+an ``M``-row GEMM takes
+
+    L_CIM = M * W + 1
+
+cycles.  The broadcast dataflow keeps every compute cell busy during GEMV —
+the opposite utilisation profile of the systolic array.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CIMMacroConfig:
+    """Geometry and datapath parameters of one digital CIM macro.
+
+    Attributes
+    ----------
+    columns:
+        Number of columns (C); each produces one output-channel partial sum.
+    subarrays_per_column:
+        Number of subarrays per column (R); the reduction depth handled by
+        the adder tree each cycle.
+    rows_per_subarray:
+        Weight rows stored per subarray (M); together with ``columns`` this
+        bounds the weight block resident in the macro.
+    weight_bits:
+        Weight storage width (N); equals the subarray word width.
+    activation_bits:
+        Activation width (W) broadcast bit-serially.
+    """
+
+    columns: int = 64
+    subarrays_per_column: int = 16
+    rows_per_subarray: int = 256
+    weight_bits: int = 8
+    activation_bits: int = 16
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("columns", self.columns),
+            ("subarrays_per_column", self.subarrays_per_column),
+            ("rows_per_subarray", self.rows_per_subarray),
+            ("weight_bits", self.weight_bits),
+            ("activation_bits", self.activation_bits),
+        ):
+            if value <= 0:
+                raise ValueError(f"{label} must be positive")
+
+    @property
+    def storage_bits(self) -> int:
+        """Total weight storage capacity of the macro in bits."""
+        return (
+            self.columns
+            * self.subarrays_per_column
+            * self.rows_per_subarray
+            * self.weight_bits
+        )
+
+    @property
+    def storage_bytes(self) -> int:
+        return self.storage_bits // 8
+
+    @property
+    def reduction_depth(self) -> int:
+        """Input channels reduced per cycle (one per subarray per column)."""
+        return self.subarrays_per_column
+
+    @property
+    def parallel_outputs(self) -> int:
+        """Output channels produced in parallel (one per column)."""
+        return self.columns
+
+    @property
+    def macs_per_gemv_block(self) -> int:
+        """MACs completed per (R-input x C-output) GEMV block."""
+        return self.subarrays_per_column * self.columns
+
+
+class CIMMacro:
+    """Cycle model of a single digital CIM macro."""
+
+    def __init__(self, config: CIMMacroConfig | None = None) -> None:
+        self.config = config or CIMMacroConfig()
+
+    # ------------------------------------------------------------------
+    # Paper Eq. 3 and its tiled generalisation
+    # ------------------------------------------------------------------
+    def block_gemv_cycles(self) -> int:
+        """Cycles for one GEMV block held in the macro (Eq. 3 with M = 1)."""
+        return self.config.activation_bits + 1
+
+    def block_gemm_cycles(self, m: int) -> int:
+        """Cycles for an M-row GEMM against the resident weight block (Eq. 3)."""
+        if m <= 0:
+            raise ValueError("m must be positive")
+        return m * self.config.activation_bits + 1
+
+    def gemv_cycles(self, k: int, n: int) -> int:
+        """Cycles for a (1 x k) @ (k x n) GEMV tiled over the macro geometry.
+
+        The reduction dimension ``k`` is split across the ``R`` subarrays and
+        the output dimension ``n`` across the ``C`` columns; each (R x C)
+        block costs ``W + 1`` cycles.
+        """
+        if k <= 0 or n <= 0:
+            raise ValueError("GEMV dimensions must be positive")
+        cfg = self.config
+        k_tiles = math.ceil(k / cfg.subarrays_per_column)
+        n_tiles = math.ceil(n / cfg.columns)
+        return k_tiles * n_tiles * self.block_gemv_cycles()
+
+    def gemm_cycles(self, m: int, k: int, n: int) -> int:
+        """Cycles for an (m x k) @ (k x n) GEMM.
+
+        The bit-serial broadcast makes GEMM cost scale with ``m * W`` —
+        the factor that makes the CIM macro *less* efficient than the SA for
+        compute-dense GEMM, as the paper notes.
+        """
+        if m <= 0 or k <= 0 or n <= 0:
+            raise ValueError("GEMM dimensions must be positive")
+        cfg = self.config
+        k_tiles = math.ceil(k / cfg.subarrays_per_column)
+        n_tiles = math.ceil(n / cfg.columns)
+        return k_tiles * n_tiles * self.block_gemm_cycles(m)
+
+    # ------------------------------------------------------------------
+    # Derived figures
+    # ------------------------------------------------------------------
+    def gemv_utilization(self, k: int, n: int) -> float:
+        """Achieved MACs/cycle over peak for a GEMV."""
+        cycles = self.gemv_cycles(k, n)
+        macs = k * n
+        peak = self.config.macs_per_gemv_block / self.block_gemv_cycles()
+        if cycles == 0 or peak == 0:
+            return 0.0
+        return (macs / cycles) / peak
+
+    def effective_macs_per_cycle(self, m: int, k: int, n: int) -> float:
+        cycles = self.gemm_cycles(m, k, n)
+        if cycles == 0:
+            return 0.0
+        return (m * k * n) / cycles
+
+    def fits_weights(self, k: int, n: int) -> bool:
+        """Whether a k x n weight matrix fits in the macro's SRAM."""
+        needed_bits = k * n * self.config.weight_bits
+        return needed_bits <= self.config.storage_bits
+
+    def weight_fill_cycles(self, k: int, n: int, bytes_per_cycle: int) -> int:
+        """Cycles to (re)fill a k x n weight block into the macro SRAM."""
+        if bytes_per_cycle <= 0:
+            raise ValueError("bytes_per_cycle must be positive")
+        weight_bytes = k * n * self.config.weight_bits // 8
+        return math.ceil(weight_bytes / bytes_per_cycle)
+
+    def peak_macs_per_cycle(self) -> float:
+        """Peak sustained MACs per cycle during GEMV streaming."""
+        return self.config.macs_per_gemv_block / self.block_gemv_cycles()
+
+    def peak_flops(self, frequency_hz: float) -> float:
+        if frequency_hz <= 0:
+            raise ValueError("frequency_hz must be positive")
+        return 2.0 * self.peak_macs_per_cycle() * frequency_hz

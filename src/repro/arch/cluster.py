@@ -1,0 +1,206 @@
+"""Cluster-level models: CC-clusters, MC-clusters and the Snitch baseline.
+
+A CC-cluster groups four CC-cores behind shared instruction and data
+memories; an MC-cluster groups two MC-cores whose data memory *is* the CIM
+macro, plus a small shared buffer for inter-core transfers.  Both own a DMA
+engine and a shared ACU pool (Fig. 4).
+
+Clusters expose matmul cycle counts with the work partitioned across their
+cores — the granularity the phase-level performance simulator consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .acu import ACUConfig, AuxiliaryComputeUnits
+from .cores import CCCore, CCCoreConfig, HostCore, HostCoreConfig, MCCore, MCCoreConfig
+
+
+@dataclass(frozen=True)
+class CCClusterConfig:
+    """A compute-centric cluster: 4 CC-cores + 1 DMA host core (paper Fig. 4)."""
+
+    n_cores: int = 4
+    core: CCCoreConfig = field(default_factory=CCCoreConfig)
+    acu: ACUConfig = field(default_factory=ACUConfig)
+    instruction_memory_bytes: int = 32 * 1024
+    #: Usable double-buffered weight staging space in the cluster TCDM.
+    #: Much smaller than the MC-cluster's CIM storage — the source of the
+    #: DMA-efficiency gap of Fig. 6(b).
+    data_memory_bytes: int = 32 * 1024
+    name: str = "cc_cluster"
+
+    def __post_init__(self) -> None:
+        if self.n_cores <= 0:
+            raise ValueError("n_cores must be positive")
+        if self.data_memory_bytes <= 0 or self.instruction_memory_bytes <= 0:
+            raise ValueError("memory sizes must be positive")
+
+
+@dataclass(frozen=True)
+class MCClusterConfig:
+    """A memory-centric cluster: 2 MC-cores + 1 DMA host core (paper Fig. 4)."""
+
+    n_cores: int = 2
+    core: MCCoreConfig = field(default_factory=MCCoreConfig)
+    acu: ACUConfig = field(default_factory=ACUConfig)
+    instruction_memory_bytes: int = 32 * 1024
+    shared_buffer_bytes: int = 32 * 1024
+    name: str = "mc_cluster"
+
+    def __post_init__(self) -> None:
+        if self.n_cores <= 0:
+            raise ValueError("n_cores must be positive")
+        if self.shared_buffer_bytes <= 0 or self.instruction_memory_bytes <= 0:
+            raise ValueError("memory sizes must be positive")
+
+
+@dataclass(frozen=True)
+class SnitchClusterConfig:
+    """The original Snitch cluster baseline: SIMD host cores only."""
+
+    n_cores: int = 8
+    core: HostCoreConfig = field(default_factory=HostCoreConfig)
+    #: Same usable weight-staging space as the CC-cluster: the baseline
+    #: shares the EdgeMM cluster's TCDM organisation, only the coprocessors
+    #: are absent.
+    data_memory_bytes: int = 32 * 1024
+    name: str = "snitch_cluster"
+
+    def __post_init__(self) -> None:
+        if self.n_cores <= 0:
+            raise ValueError("n_cores must be positive")
+
+
+class CCCluster:
+    """Compute-centric cluster: GEMM work split across the SA coprocessors."""
+
+    def __init__(self, config: Optional[CCClusterConfig] = None) -> None:
+        self.config = config or CCClusterConfig()
+        self.core = CCCore(self.config.core)
+        self.acu = AuxiliaryComputeUnits(self.config.acu)
+
+    @property
+    def n_cores(self) -> int:
+        return self.config.n_cores
+
+    @property
+    def data_memory_bytes(self) -> int:
+        return self.config.data_memory_bytes
+
+    @property
+    def peak_macs_per_cycle(self) -> float:
+        return self.n_cores * self.core.peak_macs_per_cycle
+
+    def gemm_cycles(self, m: int, k: int, n: int) -> float:
+        """GEMM cycles with the output columns partitioned across cores."""
+        if m <= 0 or k <= 0 or n <= 0:
+            raise ValueError("GEMM dimensions must be positive")
+        n_per_core = math.ceil(n / self.n_cores)
+        return self.core.gemm_cycles(m, k, n_per_core)
+
+    def gemv_cycles(self, k: int, n: int) -> float:
+        """GEMV falls back to single-column systolic execution per core."""
+        if k <= 0 or n <= 0:
+            raise ValueError("GEMV dimensions must be positive")
+        n_per_core = math.ceil(n / self.n_cores)
+        return self.core.gemv_cycles(k, n_per_core)
+
+    def elementwise_cycles(self, elements: int, flops_per_element: float = 1.0) -> float:
+        if elements <= 0:
+            raise ValueError("elements must be positive")
+        per_core = math.ceil(elements / self.n_cores)
+        return self.core.elementwise_cycles(per_core, flops_per_element)
+
+
+class MCCluster:
+    """Memory-centric cluster: GEMV work split across the CIM macros."""
+
+    def __init__(self, config: Optional[MCClusterConfig] = None) -> None:
+        self.config = config or MCClusterConfig()
+        self.core = MCCore(self.config.core)
+        self.acu = AuxiliaryComputeUnits(self.config.acu)
+
+    @property
+    def n_cores(self) -> int:
+        return self.config.n_cores
+
+    @property
+    def data_memory_bytes(self) -> int:
+        """On-chip weight storage: the CIM macros plus the shared buffer.
+
+        This is the "significantly larger data memory" of MC-clusters the
+        paper credits for better DMA/DRAM efficiency (Fig. 6(b)).
+        """
+        return (
+            self.n_cores * self.core.weight_storage_bytes
+            + self.config.shared_buffer_bytes
+        )
+
+    @property
+    def peak_macs_per_cycle(self) -> float:
+        return self.n_cores * self.core.peak_macs_per_cycle
+
+    def gemv_cycles(self, k: int, n: int) -> float:
+        """GEMV cycles with output channels partitioned across cores."""
+        if k <= 0 or n <= 0:
+            raise ValueError("GEMV dimensions must be positive")
+        n_per_core = math.ceil(n / self.n_cores)
+        return self.core.gemv_cycles(k, n_per_core)
+
+    def gemm_cycles(self, m: int, k: int, n: int) -> float:
+        """GEMM on CIM macros pays the bit-serial row factor (Eq. 3)."""
+        if m <= 0 or k <= 0 or n <= 0:
+            raise ValueError("GEMM dimensions must be positive")
+        n_per_core = math.ceil(n / self.n_cores)
+        return self.core.gemm_cycles(m, k, n_per_core)
+
+    def pruned_gemv_cycles(self, k: int, n: int, keep_fraction: float) -> float:
+        if k <= 0 or n <= 0:
+            raise ValueError("GEMV dimensions must be positive")
+        n_per_core = math.ceil(n / self.n_cores)
+        return self.core.pruned_gemv_cycles(k, n_per_core, keep_fraction)
+
+    def elementwise_cycles(self, elements: int, flops_per_element: float = 1.0) -> float:
+        if elements <= 0:
+            raise ValueError("elements must be positive")
+        per_core = math.ceil(elements / self.n_cores)
+        return self.core.elementwise_cycles(per_core, flops_per_element)
+
+
+class SnitchCluster:
+    """The unextended Snitch baseline cluster (SIMD cores only)."""
+
+    def __init__(self, config: Optional[SnitchClusterConfig] = None) -> None:
+        self.config = config or SnitchClusterConfig()
+        self.core = HostCore(self.config.core)
+
+    @property
+    def n_cores(self) -> int:
+        return self.config.n_cores
+
+    @property
+    def data_memory_bytes(self) -> int:
+        return self.config.data_memory_bytes
+
+    @property
+    def peak_macs_per_cycle(self) -> float:
+        return self.n_cores * self.core.config.macs_per_cycle
+
+    def gemm_cycles(self, m: int, k: int, n: int) -> float:
+        if m <= 0 or k <= 0 or n <= 0:
+            raise ValueError("GEMM dimensions must be positive")
+        n_per_core = math.ceil(n / self.n_cores)
+        return self.core.matmul_cycles(m, k, n_per_core)
+
+    def gemv_cycles(self, k: int, n: int) -> float:
+        return self.gemm_cycles(1, k, n)
+
+    def elementwise_cycles(self, elements: int, flops_per_element: float = 1.0) -> float:
+        if elements <= 0:
+            raise ValueError("elements must be positive")
+        per_core = math.ceil(elements / self.n_cores)
+        return self.core.elementwise_cycles(per_core, flops_per_element)

@@ -1,0 +1,174 @@
+"""Core-level models: RISC-V host cores and the two AI-extended core types.
+
+EdgeMM cores pair an area-efficient Snitch-style RISC-V host core (control,
+scalar and narrow-SIMD work) with an AI coprocessor reached through a
+direct-linked interface:
+
+* :class:`CCCore` — host core + systolic-array coprocessor (GEMM),
+* :class:`MCCore` — host core + digital CIM macro + hardware Act-Aware
+  pruner (GEMV).
+
+The host core model also serves as the building block of the original
+Snitch-cluster baseline (SIMD execution without the AI extensions).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .cim import CIMMacro, CIMMacroConfig
+from .pruner_hw import HardwarePruner, PrunerConfig
+from .systolic import SystolicArray, SystolicArrayConfig
+
+
+@dataclass(frozen=True)
+class HostCoreConfig:
+    """A Snitch-style in-order RISC-V host core.
+
+    Attributes
+    ----------
+    simd_lanes:
+        Number of SIMD lanes available for FP math without the AI
+        extension (the baseline configuration).
+    macs_per_lane_per_cycle:
+        MACs each lane retires per cycle when streaming (Snitch's FPU with
+        its stream semantics sustains close to 1 MAC/lane/cycle).
+    issue_overhead_factor:
+        Multiplier on ideal cycles accounting for load/store and loop
+        overhead when the host core executes kernels without a coprocessor.
+    """
+
+    simd_lanes: int = 2
+    macs_per_lane_per_cycle: float = 1.0
+    issue_overhead_factor: float = 1.6
+
+    def __post_init__(self) -> None:
+        if self.simd_lanes <= 0:
+            raise ValueError("simd_lanes must be positive")
+        if self.macs_per_lane_per_cycle <= 0:
+            raise ValueError("macs_per_lane_per_cycle must be positive")
+        if self.issue_overhead_factor < 1.0:
+            raise ValueError("issue_overhead_factor must be >= 1")
+
+    @property
+    def macs_per_cycle(self) -> float:
+        return self.simd_lanes * self.macs_per_lane_per_cycle
+
+
+class HostCore:
+    """Cycle model of the host core executing matmul kernels in SIMD."""
+
+    def __init__(self, config: Optional[HostCoreConfig] = None) -> None:
+        self.config = config or HostCoreConfig()
+
+    def matmul_cycles(self, m: int, k: int, n: int) -> float:
+        """Cycles for an (m x k) @ (k x n) product on the SIMD datapath."""
+        if m <= 0 or k <= 0 or n <= 0:
+            raise ValueError("matmul dimensions must be positive")
+        macs = m * k * n
+        ideal = macs / self.config.macs_per_cycle
+        return ideal * self.config.issue_overhead_factor
+
+    def elementwise_cycles(self, elements: int, flops_per_element: float = 1.0) -> float:
+        if elements <= 0:
+            raise ValueError("elements must be positive")
+        if flops_per_element <= 0:
+            raise ValueError("flops_per_element must be positive")
+        per_cycle = self.config.simd_lanes
+        return elements * flops_per_element / per_cycle * self.config.issue_overhead_factor
+
+
+@dataclass(frozen=True)
+class CCCoreConfig:
+    """A compute-centric core: host core + systolic-array coprocessor."""
+
+    host: HostCoreConfig = field(default_factory=HostCoreConfig)
+    systolic: SystolicArrayConfig = field(default_factory=SystolicArrayConfig)
+    dispatch_overhead_cycles: int = 4
+
+
+@dataclass(frozen=True)
+class MCCoreConfig:
+    """A memory-centric core: host core + CIM macro + hardware pruner."""
+
+    host: HostCoreConfig = field(default_factory=HostCoreConfig)
+    cim: CIMMacroConfig = field(default_factory=CIMMacroConfig)
+    pruner: PrunerConfig = field(default_factory=PrunerConfig)
+    dispatch_overhead_cycles: int = 4
+
+
+class CCCore:
+    """Compute-centric core: GEMM runs on the SA, elementwise on the vector unit."""
+
+    def __init__(self, config: Optional[CCCoreConfig] = None) -> None:
+        self.config = config or CCCoreConfig()
+        self.host = HostCore(self.config.host)
+        self.systolic = SystolicArray(self.config.systolic)
+
+    def gemm_cycles(self, m: int, k: int, n: int) -> float:
+        """GEMM cycles on the SA coprocessor, including dispatch overhead."""
+        return self.systolic.gemm_cycles(m, k, n) + self.config.dispatch_overhead_cycles
+
+    def gemv_cycles(self, k: int, n: int) -> float:
+        """GEMV falls back to the SA with a single activation column (inefficient)."""
+        return self.systolic.gemv_cycles(k, n) + self.config.dispatch_overhead_cycles
+
+    def elementwise_cycles(self, elements: int, flops_per_element: float = 1.0) -> float:
+        """Elementwise work on the C-wide vector unit sharing the matrix registers."""
+        if elements <= 0:
+            raise ValueError("elements must be positive")
+        lanes = self.config.systolic.cols
+        return math.ceil(elements / lanes) * max(flops_per_element, 1.0)
+
+    @property
+    def peak_macs_per_cycle(self) -> float:
+        return float(self.config.systolic.rows * self.config.systolic.cols)
+
+
+class MCCore:
+    """Memory-centric core: GEMV runs on the CIM macro, pruning in hardware."""
+
+    def __init__(self, config: Optional[MCCoreConfig] = None) -> None:
+        self.config = config or MCCoreConfig()
+        self.host = HostCore(self.config.host)
+        self.cim = CIMMacro(self.config.cim)
+        self.pruner = HardwarePruner(self.config.pruner)
+
+    def gemv_cycles(self, k: int, n: int) -> float:
+        """GEMV cycles on the CIM macro, including dispatch overhead."""
+        return self.cim.gemv_cycles(k, n) + self.config.dispatch_overhead_cycles
+
+    def gemm_cycles(self, m: int, k: int, n: int) -> float:
+        """GEMM on the CIM macro pays the bit-serial factor W per row (Eq. 3)."""
+        return self.cim.gemm_cycles(m, k, n) + self.config.dispatch_overhead_cycles
+
+    def elementwise_cycles(self, elements: int, flops_per_element: float = 1.0) -> float:
+        """Elementwise work on the core's vector unit (width = CIM columns)."""
+        if elements <= 0:
+            raise ValueError("elements must be positive")
+        lanes = self.config.cim.columns
+        return math.ceil(elements / lanes) * max(flops_per_element, 1.0)
+
+    def pruned_gemv_cycles(self, k: int, n: int, keep_fraction: float) -> float:
+        """GEMV cycles after pruning the reduction dimension to ``keep_fraction``.
+
+        Channel pruning removes rows of the weight matrix, shrinking the
+        reduction dimension ``k``; the pruner invocation cost is added.
+        """
+        if not 0.0 < keep_fraction <= 1.0:
+            raise ValueError("keep_fraction must be in (0, 1]")
+        kept_k = max(int(round(k * keep_fraction)), 1)
+        slice_length = min(self.config.pruner.vector_length, k)
+        kept_in_slice = max(int(round(slice_length * keep_fraction)), 1)
+        pruner_cycles = self.pruner.invocation_cycles(slice_length, kept_in_slice)
+        return self.gemv_cycles(kept_k, n) + pruner_cycles
+
+    @property
+    def peak_macs_per_cycle(self) -> float:
+        return self.cim.peak_macs_per_cycle()
+
+    @property
+    def weight_storage_bytes(self) -> int:
+        return self.config.cim.storage_bytes

@@ -1,0 +1,191 @@
+"""Cluster DMA engines with performance-monitoring-counter (PMC) throttling.
+
+Every EdgeMM cluster owns a DMA module connected to the DRAM controller.
+The token-length-driven bandwidth management of Section IV-B works by giving
+each cluster a *memory-access budget* ``B`` per interval ``T``: a PMC inside
+the DMA accumulates the bytes moved during the interval and, once the budget
+is exceeded, further requests from that cluster are blocked until the
+interval elapses and the PMC resets.
+
+The :class:`ThrottledDMA` model captures the steady-state effect of this
+mechanism: a cluster whose budget is ``B`` bytes per ``T``-cycle interval
+sees a sustained bandwidth of ``min(B / T, fair share)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .dram import DRAMModel
+
+
+@dataclass
+class DMATransferRecord:
+    """One completed DMA transfer, as recorded by the PMC."""
+
+    cluster: str
+    payload_bytes: int
+    issue_cycle: float
+    complete_cycle: float
+
+    @property
+    def duration_cycles(self) -> float:
+        return self.complete_cycle - self.issue_cycle
+
+
+@dataclass
+class BandwidthBudget:
+    """Per-interval memory access budget of one cluster.
+
+    ``budget_bytes`` is the number of bytes the cluster may move per
+    ``interval_cycles`` window.  ``None`` means unthrottled.
+    """
+
+    budget_bytes: Optional[int] = None
+    interval_cycles: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.interval_cycles <= 0:
+            raise ValueError("interval_cycles must be positive")
+        if self.budget_bytes is not None and self.budget_bytes < 0:
+            raise ValueError("budget_bytes must be >= 0 or None")
+
+    @property
+    def bytes_per_cycle_cap(self) -> Optional[float]:
+        """Sustained bytes/cycle this budget allows (None = uncapped)."""
+        if self.budget_bytes is None:
+            return None
+        return self.budget_bytes / self.interval_cycles
+
+
+class ThrottledDMA:
+    """A cluster DMA engine whose sustained bandwidth is capped by a budget.
+
+    The event-level behaviour (block requests after the PMC exceeds the
+    budget, resume after the interval resets) averages out to a bandwidth
+    cap of ``budget / interval``; transfers are additionally subject to the
+    DRAM model's per-request overhead.
+    """
+
+    def __init__(
+        self,
+        cluster_name: str,
+        dram: DRAMModel,
+        budget: Optional[BandwidthBudget] = None,
+        buffer_bytes: int = 128 * 1024,
+    ) -> None:
+        if buffer_bytes <= 0:
+            raise ValueError("buffer_bytes must be positive")
+        self.cluster_name = cluster_name
+        self.dram = dram
+        self.budget = budget or BandwidthBudget()
+        self.buffer_bytes = buffer_bytes
+        self._pmc_bytes = 0
+        self._records: List[DMATransferRecord] = []
+        self._current_cycle = 0.0
+
+    # ------------------------------------------------------------------
+    # Steady-state bandwidth view (used by the performance simulator)
+    # ------------------------------------------------------------------
+    def sustained_bytes_per_cycle(self, fair_share_bytes_per_cycle: float) -> float:
+        """Bandwidth the cluster can sustain given its budget and fair share."""
+        if fair_share_bytes_per_cycle < 0:
+            raise ValueError("fair_share_bytes_per_cycle must be >= 0")
+        cap = self.budget.bytes_per_cycle_cap
+        if cap is None:
+            return fair_share_bytes_per_cycle
+        return min(cap, fair_share_bytes_per_cycle)
+
+    def transfer_cycles(self, payload_bytes: int) -> float:
+        """Cycles to move a payload, including buffer-limited chunking."""
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be >= 0")
+        if payload_bytes == 0:
+            return 0.0
+        transfers = self.dram.transfers_for(payload_bytes, self.buffer_bytes)
+        return self.dram.transfer_cycles(payload_bytes, transfers=transfers)
+
+    # ------------------------------------------------------------------
+    # Event-level PMC behaviour (used by the unit tests and the pipeline
+    # model's fine-grained checks)
+    # ------------------------------------------------------------------
+    def issue(self, payload_bytes: int) -> DMATransferRecord:
+        """Issue one transfer, applying PMC blocking if over budget."""
+        if payload_bytes <= 0:
+            raise ValueError("payload_bytes must be positive")
+        interval = self.budget.interval_cycles
+        start = self._current_cycle
+        if self.budget.budget_bytes is not None:
+            interval_index = int(start // interval)
+            if self._pmc_bytes >= self.budget.budget_bytes:
+                # Blocked until the next interval boundary resets the PMC.
+                start = (interval_index + 1) * float(interval)
+                self._pmc_bytes = 0
+        duration = self.transfer_cycles(payload_bytes)
+        complete = start + duration
+        self._pmc_bytes += payload_bytes
+        # PMC resets whenever the transfer crosses an interval boundary.
+        if self.budget.budget_bytes is not None:
+            if int(complete // interval) > int(start // interval):
+                self._pmc_bytes = payload_bytes
+        record = DMATransferRecord(
+            cluster=self.cluster_name,
+            payload_bytes=payload_bytes,
+            issue_cycle=start,
+            complete_cycle=complete,
+        )
+        self._records.append(record)
+        self._current_cycle = complete
+        return record
+
+    def reset(self) -> None:
+        """Clear the PMC, the transfer log and the local clock."""
+        self._pmc_bytes = 0
+        self._records.clear()
+        self._current_cycle = 0.0
+
+    @property
+    def pmc_bytes(self) -> int:
+        return self._pmc_bytes
+
+    @property
+    def records(self) -> List[DMATransferRecord]:
+        return list(self._records)
+
+    @property
+    def total_bytes_moved(self) -> int:
+        return sum(record.payload_bytes for record in self._records)
+
+    @property
+    def elapsed_cycles(self) -> float:
+        return self._current_cycle
+
+    def observed_bandwidth_bytes_per_cycle(self) -> float:
+        """Payload bytes per cycle over the recorded transfer history."""
+        if self._current_cycle == 0:
+            return 0.0
+        return self.total_bytes_moved / self._current_cycle
+
+
+def allocate_fair_shares(
+    total_bytes_per_cycle: float, weights: Dict[str, float]
+) -> Dict[str, float]:
+    """Split the DRAM bandwidth across clusters proportionally to weights.
+
+    This implements the ``Bc : Bm`` budget ratios of Section IV-B: e.g.
+    ``{"cc": 1, "mc": 3}`` reproduces the 1:3 reallocation.
+    """
+    if total_bytes_per_cycle <= 0:
+        raise ValueError("total_bytes_per_cycle must be positive")
+    if not weights:
+        raise ValueError("weights must not be empty")
+    if any(weight < 0 for weight in weights.values()):
+        raise ValueError("weights must be >= 0")
+    total_weight = sum(weights.values())
+    if total_weight == 0:
+        raise ValueError("at least one weight must be positive")
+    return {
+        name: total_bytes_per_cycle * weight / total_weight
+        for name, weight in weights.items()
+    }

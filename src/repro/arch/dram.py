@@ -1,0 +1,133 @@
+"""DRAM controller and effective-bandwidth model.
+
+Each cluster's DMA engine issues burst transfers to the shared DRAM
+controller.  Small transfers amortise their fixed request overhead poorly,
+so the *effective* bandwidth (payload bytes / total cycles) is well below
+the ideal pin bandwidth for small matrices and approaches it asymptotically
+for large ones — the behaviour shown in Fig. 6(b) of the paper and the
+reason the MC-cluster's large data memory improves DMA/DRAM efficiency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """Parameters of the shared edge DRAM subsystem.
+
+    Attributes
+    ----------
+    peak_bandwidth_bytes_per_s:
+        Ideal pin bandwidth (default: 96-bit LPDDR5X ~ 102.4 GB/s, a
+        realistic premium-edge configuration; the paper does not state its
+        DRAM part).
+    frequency_hz:
+        Chip clock used to convert cycles <-> seconds (1 GHz in the paper).
+    request_overhead_cycles:
+        Fixed per-transfer overhead: DMA programming, AXI handshakes,
+        DRAM row activation — paid once per contiguous transfer.
+    max_burst_bytes:
+        Largest contiguous burst a single DMA request can cover; larger
+        transfers are split into several bursts but pay the request
+        overhead only once.
+    """
+
+    peak_bandwidth_bytes_per_s: float = 102.4e9
+    frequency_hz: float = 1.0e9
+    request_overhead_cycles: int = 200
+    max_burst_bytes: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.peak_bandwidth_bytes_per_s <= 0:
+            raise ValueError("peak_bandwidth_bytes_per_s must be positive")
+        if self.frequency_hz <= 0:
+            raise ValueError("frequency_hz must be positive")
+        if self.request_overhead_cycles < 0:
+            raise ValueError("request_overhead_cycles must be >= 0")
+        if self.max_burst_bytes <= 0:
+            raise ValueError("max_burst_bytes must be positive")
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Ideal payload bytes transferred per chip clock cycle."""
+        return self.peak_bandwidth_bytes_per_s / self.frequency_hz
+
+
+class DRAMModel:
+    """Effective-bandwidth and transfer-latency model of the DRAM subsystem."""
+
+    def __init__(self, config: DRAMConfig | None = None) -> None:
+        self.config = config or DRAMConfig()
+
+    # ------------------------------------------------------------------
+    # Transfer latency
+    # ------------------------------------------------------------------
+    def transfer_cycles(self, payload_bytes: int, *, transfers: int = 1) -> float:
+        """Cycles to move ``payload_bytes`` split across ``transfers`` requests.
+
+        Each request pays the fixed overhead once; the payload streams at the
+        ideal bytes/cycle rate.
+        """
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be >= 0")
+        if transfers <= 0:
+            raise ValueError("transfers must be positive")
+        if payload_bytes == 0:
+            return 0.0
+        cfg = self.config
+        stream_cycles = payload_bytes / cfg.bytes_per_cycle
+        return transfers * cfg.request_overhead_cycles + stream_cycles
+
+    def transfer_seconds(self, payload_bytes: int, *, transfers: int = 1) -> float:
+        return self.transfer_cycles(payload_bytes, transfers=transfers) / self.config.frequency_hz
+
+    def transfers_for(self, payload_bytes: int, buffer_bytes: int) -> int:
+        """Number of DMA requests needed given the on-chip buffer size.
+
+        A cluster can only request as much data as fits in its data memory
+        at once, so the transfer count is ``ceil(payload / buffer)``.  This
+        is the mechanism behind Fig. 6(b): MC-clusters with larger data
+        memories issue fewer, larger transfers.
+        """
+        if buffer_bytes <= 0:
+            raise ValueError("buffer_bytes must be positive")
+        if payload_bytes <= 0:
+            return 0
+        return math.ceil(payload_bytes / buffer_bytes)
+
+    # ------------------------------------------------------------------
+    # Effective bandwidth (Fig. 6(b))
+    # ------------------------------------------------------------------
+    def effective_bandwidth(self, transfer_bytes: int) -> float:
+        """Effective bytes/s of a single transfer of the given size."""
+        if transfer_bytes <= 0:
+            raise ValueError("transfer_bytes must be positive")
+        cycles = self.transfer_cycles(transfer_bytes, transfers=1)
+        seconds = cycles / self.config.frequency_hz
+        return transfer_bytes / seconds
+
+    def effective_bandwidth_fraction(self, transfer_bytes: int) -> float:
+        """Effective bandwidth as a fraction of the ideal pin bandwidth."""
+        return self.effective_bandwidth(transfer_bytes) / self.config.peak_bandwidth_bytes_per_s
+
+    def effective_bandwidth_curve(
+        self, transfer_sizes: Sequence[int]
+    ) -> list:
+        """(size, effective bandwidth, fraction of ideal) for each size."""
+        curve = []
+        for size in transfer_sizes:
+            bandwidth = self.effective_bandwidth(size)
+            curve.append((size, bandwidth, bandwidth / self.config.peak_bandwidth_bytes_per_s))
+        return curve
+
+    def matrix_transfer_bytes(self, rows: int, cols: int, element_bytes: float = 1.0) -> int:
+        """Payload size of a rows x cols matrix."""
+        if rows <= 0 or cols <= 0:
+            raise ValueError("matrix dimensions must be positive")
+        if element_bytes <= 0:
+            raise ValueError("element_bytes must be positive")
+        return int(round(rows * cols * element_bytes))

@@ -1,0 +1,102 @@
+"""Hierarchical AXI-crossbar interconnect model.
+
+EdgeMM connects cores into clusters via a cluster bus, clusters into groups
+via a cluster AXI crossbar, and groups to the DRAM controller via the system
+AXI crossbar (Fig. 4).  For the phase-level performance model the crossbars
+contribute (a) a fixed traversal latency per request and (b) a shared
+bandwidth ceiling per level; both are small compared with DRAM but the model
+keeps them explicit so scaling studies can stress them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+@dataclass(frozen=True)
+class CrossbarConfig:
+    """One crossbar level of the interconnect hierarchy."""
+
+    name: str
+    ports: int
+    latency_cycles: int = 4
+    bytes_per_cycle_per_port: float = 64.0
+
+    def __post_init__(self) -> None:
+        if self.ports <= 0:
+            raise ValueError("ports must be positive")
+        if self.latency_cycles < 0:
+            raise ValueError("latency_cycles must be >= 0")
+        if self.bytes_per_cycle_per_port <= 0:
+            raise ValueError("bytes_per_cycle_per_port must be positive")
+
+    @property
+    def aggregate_bytes_per_cycle(self) -> float:
+        return self.ports * self.bytes_per_cycle_per_port
+
+
+@dataclass(frozen=True)
+class InterconnectConfig:
+    """The three-level hierarchy: cluster bus -> group crossbar -> system crossbar."""
+
+    cluster_bus: CrossbarConfig = CrossbarConfig(name="cluster_bus", ports=8, latency_cycles=2)
+    group_crossbar: CrossbarConfig = CrossbarConfig(name="group_xbar", ports=4, latency_cycles=4)
+    system_crossbar: CrossbarConfig = CrossbarConfig(name="system_xbar", ports=4, latency_cycles=6)
+
+    @property
+    def levels(self) -> Sequence[CrossbarConfig]:
+        return (self.cluster_bus, self.group_crossbar, self.system_crossbar)
+
+    @property
+    def total_traversal_latency_cycles(self) -> int:
+        """Round-trip request latency from a core to the DRAM controller."""
+        return sum(level.latency_cycles for level in self.levels)
+
+
+class InterconnectModel:
+    """Latency and contention model of the hierarchical AXI fabric."""
+
+    def __init__(self, config: InterconnectConfig | None = None) -> None:
+        self.config = config or InterconnectConfig()
+
+    def request_latency_cycles(self) -> int:
+        """Fixed crossbar traversal latency for one DMA request."""
+        return self.config.total_traversal_latency_cycles
+
+    def min_bytes_per_cycle(self) -> float:
+        """The tightest aggregate bandwidth ceiling across the hierarchy."""
+        return min(level.aggregate_bytes_per_cycle for level in self.config.levels)
+
+    def contention_factor(self, active_requesters: int, level: CrossbarConfig) -> float:
+        """Slowdown factor when more requesters than ports compete at a level.
+
+        With up to ``ports`` simultaneous requesters the crossbar is
+        non-blocking (factor 1.0); beyond that, requesters time-share ports.
+        """
+        if active_requesters <= 0:
+            raise ValueError("active_requesters must be positive")
+        if active_requesters <= level.ports:
+            return 1.0
+        return active_requesters / level.ports
+
+    def effective_transfer_cycles(
+        self, payload_bytes: int, active_requesters: int = 1
+    ) -> float:
+        """Cycles for a payload to traverse the fabric under contention."""
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be >= 0")
+        if payload_bytes == 0:
+            return 0.0
+        worst = 1.0
+        for level in self.config.levels:
+            worst = max(worst, self.contention_factor(active_requesters, level))
+        stream = payload_bytes / self.min_bytes_per_cycle()
+        return self.request_latency_cycles() + stream * worst
+
+    def bisection_bandwidth_bytes_per_cycle(self) -> float:
+        """Aggregate bandwidth between the group level and the system level."""
+        return min(
+            self.config.group_crossbar.aggregate_bytes_per_cycle,
+            self.config.system_crossbar.aggregate_bytes_per_cycle,
+        )

@@ -1,0 +1,178 @@
+"""Hardware Act-Aware pruner of the MC-core (Fig. 8(b) of the paper).
+
+Each MC-core contains a small hardware unit invoked by a dedicated
+instruction that processes the slice of the activation vector assigned to
+the core:
+
+* the **Top-k engine** finds the ``k`` largest-magnitude elements in the
+  vector register ``vs`` and marks them in the **index register**;
+* the **th-mask** compares every element against ``max(|vs|) / t`` and
+  reports the count ``n`` of elements above the threshold (used by Alg. 1
+  to update ``k``);
+* the **address generator** turns the index register into DRAM addresses of
+  the non-pruned weight rows;
+* the masked and compacted activations are written to the destination
+  vector register ``vd`` for the CIM macro to consume.
+
+The model is functional (NumPy) with a cycle estimate so both the pruning
+algorithm and the performance simulator can use it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PrunerConfig:
+    """Parameters of the per-core hardware pruner.
+
+    Attributes
+    ----------
+    vector_length:
+        Number of activation channels the core's register slice holds.
+    threshold_divisor:
+        The fixed ``t`` of Alg. 1: channels smaller than ``max/t`` are
+        negligible (the paper sets t = 16).
+    elements_per_cycle:
+        Comparator throughput of the Top-k engine and th-mask.
+    weight_row_bytes:
+        Bytes of one weight row fetched per retained channel (used by the
+        address generator to size the DRAM requests).
+    base_address:
+        Base DRAM address of the weight matrix slice this core owns.
+    """
+
+    vector_length: int = 64
+    threshold_divisor: float = 16.0
+    elements_per_cycle: int = 8
+    weight_row_bytes: int = 64
+    base_address: int = 0
+
+    def __post_init__(self) -> None:
+        if self.vector_length <= 0:
+            raise ValueError("vector_length must be positive")
+        if self.threshold_divisor <= 1.0:
+            raise ValueError("threshold_divisor must be > 1")
+        if self.elements_per_cycle <= 0:
+            raise ValueError("elements_per_cycle must be positive")
+        if self.weight_row_bytes <= 0:
+            raise ValueError("weight_row_bytes must be positive")
+        if self.base_address < 0:
+            raise ValueError("base_address must be >= 0")
+
+
+@dataclass(frozen=True)
+class PrunerResult:
+    """Outputs of one hardware-pruner invocation."""
+
+    index_mask: np.ndarray
+    selected_values: np.ndarray
+    selected_channels: np.ndarray
+    weight_addresses: np.ndarray
+    above_threshold_count: int
+    cycles: int
+
+    @property
+    def kept(self) -> int:
+        return int(self.index_mask.sum())
+
+    @property
+    def pruning_ratio(self) -> float:
+        total = self.index_mask.size
+        if total == 0:
+            return 0.0
+        return 1.0 - self.kept / total
+
+
+class HardwarePruner:
+    """Functional + cycle model of the MC-core Act-Aware pruner."""
+
+    def __init__(self, config: PrunerConfig | None = None) -> None:
+        self.config = config or PrunerConfig()
+
+    # ------------------------------------------------------------------
+    # Individual hardware blocks
+    # ------------------------------------------------------------------
+    def topk_mask(self, vs: np.ndarray, k: int) -> np.ndarray:
+        """Index-register contents: 1 for the k largest-magnitude elements."""
+        vs = self._check_vector(vs)
+        if k < 0:
+            raise ValueError("k must be >= 0")
+        mask = np.zeros(vs.size, dtype=bool)
+        if k == 0:
+            return mask
+        k = min(k, vs.size)
+        magnitudes = np.abs(vs)
+        # argpartition gives the k largest without a full sort, mirroring the
+        # iterative max-search the hardware Top-k engine performs.
+        top_indices = np.argpartition(magnitudes, vs.size - k)[vs.size - k:]
+        mask[top_indices] = True
+        return mask
+
+    def threshold_count(self, vs: np.ndarray) -> int:
+        """th-mask output: count of channels with |v| > max(|v|) / t."""
+        vs = self._check_vector(vs)
+        magnitudes = np.abs(vs)
+        peak = magnitudes.max()
+        if peak == 0.0:
+            return 0
+        threshold = peak / self.config.threshold_divisor
+        return int(np.count_nonzero(magnitudes > threshold))
+
+    def generate_addresses(self, index_mask: np.ndarray) -> np.ndarray:
+        """DRAM addresses of the weight rows selected by the index register."""
+        index_mask = np.asarray(index_mask, dtype=bool)
+        channels = np.flatnonzero(index_mask)
+        return self.config.base_address + channels * self.config.weight_row_bytes
+
+    # ------------------------------------------------------------------
+    # Full pruner invocation
+    # ------------------------------------------------------------------
+    def process(self, vs: np.ndarray, k: int) -> PrunerResult:
+        """Run the full pruner pipeline on one activation slice.
+
+        Returns the index mask, the compacted activation values (the ``vd``
+        register contents), the selected channel indices, the generated
+        weight-row addresses, the th-mask count ``n`` and a cycle estimate.
+        """
+        vs = self._check_vector(vs)
+        mask = self.topk_mask(vs, k)
+        n_above = self.threshold_count(vs)
+        channels = np.flatnonzero(mask)
+        values = vs[channels]
+        addresses = self.generate_addresses(mask)
+        return PrunerResult(
+            index_mask=mask,
+            selected_values=values,
+            selected_channels=channels,
+            weight_addresses=addresses,
+            above_threshold_count=n_above,
+            cycles=self.invocation_cycles(vs.size, int(mask.sum())),
+        )
+
+    def invocation_cycles(self, vector_length: int, kept: int) -> int:
+        """Cycle estimate: scan for Top-k/th-mask plus compaction writeback."""
+        if vector_length <= 0:
+            raise ValueError("vector_length must be positive")
+        if kept < 0 or kept > vector_length:
+            raise ValueError("kept must be in [0, vector_length]")
+        scan = -(-vector_length // self.config.elements_per_cycle)  # ceil div
+        compact = -(-max(kept, 1) // self.config.elements_per_cycle)
+        return 2 * scan + compact
+
+    def _check_vector(self, vs: np.ndarray) -> np.ndarray:
+        vs = np.asarray(vs, dtype=float)
+        if vs.ndim != 1:
+            raise ValueError("vs must be a one-dimensional vector")
+        if vs.size == 0:
+            raise ValueError("vs must not be empty")
+        if vs.size > self.config.vector_length:
+            raise ValueError(
+                f"vs has {vs.size} elements but the pruner register holds "
+                f"{self.config.vector_length}"
+            )
+        return vs

@@ -1,0 +1,148 @@
+"""Systolic-array coprocessor model for compute-centric (CC) cores.
+
+The paper's CC-core extension is a weight-stationary R x C systolic array of
+multiply-accumulate processing elements with four R x C matrix registers, a
+vector unit of element width C and an independent load/store unit.
+
+The paper's latency model for multiplying an R x C (stationary weight tile)
+by an M x R (streamed activation) matrix is Eq. 2:
+
+    L_SA = R + (R - 1) + (C + M - 1) - 1 = 2R + C + M - 3
+
+which accounts for weight loading (R), the array fill (R - 1) and the
+systolic drain of the M activation rows over C columns.  Larger GEMMs are
+tiled over the weight matrix; each (R x C) weight tile is loaded once and
+streams all M activation rows before the next tile is loaded.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SystolicArrayConfig:
+    """Geometry and datapath parameters of the SA coprocessor.
+
+    Attributes
+    ----------
+    rows:
+        Number of PE rows (R); also the stationary tile's reduction depth.
+    cols:
+        Number of PE columns (C); also the vector-unit element width.
+    matrix_registers:
+        Number of architected R x C matrix registers.
+    input_bits:
+        Activation operand width in bits (BF16 -> 16).
+    weight_bits:
+        Weight operand width in bits.
+    accumulator_bits:
+        Accumulator width in bits.
+    """
+
+    rows: int = 16
+    cols: int = 16
+    matrix_registers: int = 4
+    input_bits: int = 16
+    weight_bits: int = 8
+    accumulator_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("rows and cols must be positive")
+        if self.matrix_registers < 2:
+            raise ValueError("at least two matrix registers are required")
+        for label, bits in (
+            ("input_bits", self.input_bits),
+            ("weight_bits", self.weight_bits),
+            ("accumulator_bits", self.accumulator_bits),
+        ):
+            if bits <= 0:
+                raise ValueError(f"{label} must be positive")
+
+    @property
+    def pe_count(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def macs_per_cycle(self) -> int:
+        """Peak multiply-accumulates per cycle (fully utilised array)."""
+        return self.pe_count
+
+    @property
+    def peak_flops_per_cycle(self) -> int:
+        return 2 * self.pe_count
+
+
+class SystolicArray:
+    """Cycle model of a single SA coprocessor."""
+
+    def __init__(self, config: SystolicArrayConfig | None = None) -> None:
+        self.config = config or SystolicArrayConfig()
+
+    # ------------------------------------------------------------------
+    # Paper Eq. 2 and its tiled generalisation
+    # ------------------------------------------------------------------
+    def tile_cycles(self, m: int) -> int:
+        """Cycles to stream an M x R activation block through one weight tile.
+
+        This is exactly Eq. 2 of the paper: ``2R + C + M - 3``.
+        """
+        if m <= 0:
+            raise ValueError("m must be positive")
+        cfg = self.config
+        return 2 * cfg.rows + cfg.cols + m - 3
+
+    def gemm_cycles(self, m: int, k: int, n: int) -> int:
+        """Cycles for a full (m x k) @ (k x n) GEMM.
+
+        The weight matrix is tiled into ceil(k/R) x ceil(n/C) stationary
+        tiles; each tile costs ``tile_cycles(m)``.  Partial tiles cost the
+        same as full tiles (the array cannot be partially re-timed), which
+        models the padding inefficiency of shapes that do not divide the
+        array geometry.
+        """
+        if m <= 0 or k <= 0 or n <= 0:
+            raise ValueError("GEMM dimensions must be positive")
+        cfg = self.config
+        k_tiles = math.ceil(k / cfg.rows)
+        n_tiles = math.ceil(n / cfg.cols)
+        return k_tiles * n_tiles * self.tile_cycles(m)
+
+    def gemv_cycles(self, k: int, n: int) -> int:
+        """Cycles for a (1 x k) @ (k x n) GEMV (the m = 1 case of Eq. 2).
+
+        Only one activation column flows through the array, so almost all
+        PE slots are idle — this is the inefficiency the MC-core's CIM
+        macro addresses.
+        """
+        return self.gemm_cycles(1, k, n)
+
+    # ------------------------------------------------------------------
+    # Derived throughput / utilisation figures
+    # ------------------------------------------------------------------
+    def gemm_utilization(self, m: int, k: int, n: int) -> float:
+        """Achieved MACs per cycle divided by the array's peak."""
+        cycles = self.gemm_cycles(m, k, n)
+        macs = m * k * n
+        if cycles == 0:
+            return 0.0
+        return (macs / cycles) / self.config.macs_per_cycle
+
+    def effective_macs_per_cycle(self, m: int, k: int, n: int) -> float:
+        cycles = self.gemm_cycles(m, k, n)
+        if cycles == 0:
+            return 0.0
+        return (m * k * n) / cycles
+
+    def weight_tile_bytes(self) -> int:
+        """Bytes of one stationary weight tile."""
+        cfg = self.config
+        return cfg.rows * cfg.cols * cfg.weight_bits // 8
+
+    def peak_flops(self, frequency_hz: float) -> float:
+        """Peak FLOP/s of this array at a given clock frequency."""
+        if frequency_hz <= 0:
+            raise ValueError("frequency_hz must be positive")
+        return self.config.peak_flops_per_cycle * frequency_hz

@@ -1,0 +1,15 @@
+"""Baselines: laptop GPU, original Snitch cluster and homogeneous chips."""
+
+from .gpu import GPUConfig, GPUModel, rtx3060_laptop
+from .snitch import SnitchBaseline, SnitchChipConfig
+from .homogeneous import homo_cc_simulator, homo_mc_simulator
+
+__all__ = [
+    "GPUConfig",
+    "GPUModel",
+    "rtx3060_laptop",
+    "SnitchBaseline",
+    "SnitchChipConfig",
+    "homo_cc_simulator",
+    "homo_mc_simulator",
+]

@@ -1,0 +1,24 @@
+"""Homogeneous chip variants: homo-CC and homo-MC (Fig. 11 comparisons).
+
+Both variants keep the total cluster count of the default EdgeMM chip but
+use only one cluster type, so the comparison isolates the benefit of
+heterogeneity.  They are thin wrappers around the shared performance
+simulator with the corresponding chip configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.config import SystemConfig, homo_cc_system, homo_mc_system
+from ..core.simulator import PerformanceSimulator
+
+
+def homo_cc_simulator(system: Optional[SystemConfig] = None) -> PerformanceSimulator:
+    """Simulator for the homogeneous compute-centric chip."""
+    return PerformanceSimulator(system or homo_cc_system())
+
+
+def homo_mc_simulator(system: Optional[SystemConfig] = None) -> PerformanceSimulator:
+    """Simulator for the homogeneous memory-centric chip."""
+    return PerformanceSimulator(system or homo_mc_system())

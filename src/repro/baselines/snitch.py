@@ -1,0 +1,128 @@
+"""The original Snitch-cluster baseline (SIMD cores, no AI extension).
+
+Fig. 11 of the paper normalises all designs against "the original snitch
+cluster [43] including SIMD cores".  This model executes the same operator
+workloads on a chip made only of Snitch clusters: matmuls run on the cores'
+SIMD FPUs, and DRAM traffic goes through the same bandwidth model as EdgeMM
+so the comparison isolates the benefit of the AI extensions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..arch.cluster import SnitchCluster, SnitchClusterConfig
+from ..arch.dram import DRAMConfig, DRAMModel
+from ..core.metrics import PhaseResult, WorkloadResult
+from ..models.mllm import InferenceRequest, MLLMConfig
+from ..models.ops import Op, OpKind, Phase, Workload
+
+
+@dataclass(frozen=True)
+class SnitchChipConfig:
+    """A chip built only of baseline Snitch clusters."""
+
+    n_clusters: int = 16
+    cluster: SnitchClusterConfig = field(default_factory=SnitchClusterConfig)
+    frequency_hz: float = 1.0e9
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+    name: str = "snitch_baseline"
+
+    def __post_init__(self) -> None:
+        if self.n_clusters <= 0:
+            raise ValueError("n_clusters must be positive")
+        if self.frequency_hz <= 0:
+            raise ValueError("frequency_hz must be positive")
+
+
+class SnitchBaseline:
+    """Performance model of the unextended multi-cluster Snitch chip."""
+
+    def __init__(self, config: Optional[SnitchChipConfig] = None) -> None:
+        self.config = config or SnitchChipConfig()
+        self.cluster = SnitchCluster(self.config.cluster)
+        self.dram = DRAMModel(self.config.dram)
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    def _compute_cycles(self, op: Op) -> float:
+        n_clusters = self.config.n_clusters
+        if op.kind in (OpKind.GEMM, OpKind.CONV, OpKind.ATTENTION):
+            n_share = max(math.ceil(op.n / n_clusters), 1)
+            return self.cluster.gemm_cycles(op.m, op.k, n_share)
+        if op.kind in (OpKind.GEMV, OpKind.EMBEDDING):
+            n_share = max(math.ceil(op.n / n_clusters), 1)
+            return self.cluster.gemv_cycles(op.k, n_share)
+        if op.kind in (OpKind.ELEMENTWISE, OpKind.SOFTMAX, OpKind.NORM, OpKind.ACTIVATION):
+            elements = max(math.ceil(op.m / n_clusters), 1)
+            flops_per_element = op.flops / op.m if op.m else 1.0
+            return self.cluster.elementwise_cycles(elements, max(flops_per_element, 1.0))
+        return 0.0
+
+    def _memory_cycles(self, traffic_bytes: int, bandwidth_fraction: float = 1.0) -> float:
+        if traffic_bytes <= 0:
+            return 0.0
+        buffer_bytes = self.cluster.data_memory_bytes
+        transfers = self.dram.transfers_for(traffic_bytes, buffer_bytes)
+        bytes_per_cycle = (
+            self.config.dram.peak_bandwidth_bytes_per_s
+            / self.config.frequency_hz
+            * bandwidth_fraction
+        )
+        return (
+            transfers * self.config.dram.request_overhead_cycles
+            + traffic_bytes / bytes_per_cycle
+        )
+
+    def execute_phase(self, phase: Phase, **_: object) -> PhaseResult:
+        total_compute = 0.0
+        total_memory = 0.0
+        total_cycles = 0.0
+        total_bytes = 0
+        total_flops = 0
+        for op in phase.ops:
+            compute = self._compute_cycles(op)
+            memory = self._memory_cycles(op.total_bytes)
+            total_compute += compute
+            total_memory += memory
+            total_cycles += max(compute, memory)
+            total_bytes += op.total_bytes
+            total_flops += op.flops
+        repeat = phase.repeat
+        latency_s = total_cycles * repeat / self.config.frequency_hz
+        return PhaseResult(
+            name=phase.name,
+            cycles=total_cycles * repeat,
+            compute_cycles=total_compute * repeat,
+            memory_cycles=total_memory * repeat,
+            latency_s=latency_s,
+            dram_bytes=int(total_bytes * repeat),
+            flops=int(total_flops * repeat),
+            op_count=repeat * len(phase.ops),
+            cluster_kind="snitch",
+        )
+
+    def execute_workload(
+        self, workload: Workload, *, output_tokens: Optional[int] = None
+    ) -> WorkloadResult:
+        phases: Dict[str, PhaseResult] = {
+            phase.name: self.execute_phase(phase) for phase in workload.phases
+        }
+        if output_tokens is None:
+            decode = next((p for p in workload.phases if p.name == "llm_decode"), None)
+            output_tokens = decode.repeat if decode is not None else 1
+        return WorkloadResult(
+            workload_name=workload.name,
+            hardware_name=self.name,
+            phases=phases,
+            output_tokens=output_tokens,
+            power_w=None,
+        )
+
+    def run_request(self, model: MLLMConfig, request: InferenceRequest) -> WorkloadResult:
+        workload = model.build_workload(request)
+        return self.execute_workload(workload, output_tokens=request.output_tokens)

@@ -1,0 +1,38 @@
+"""EdgeMM core: system configuration, performance simulator and driver."""
+
+from .config import (
+    PrecisionConfig,
+    PruningRuntimeConfig,
+    SystemConfig,
+    default_system,
+    homo_cc_system,
+    homo_mc_system,
+    scaled_system,
+)
+from .metrics import PhaseResult, WorkloadResult, geometric_mean_speedup
+from .simulator import OpExecution, PerformanceSimulator
+from .mapping import MappingChoice, MappingDecision, MappingExplorer
+from .pipeline import PipelineModel, PipelinePoint
+from .edgemm import EdgeMM, PruningCalibration
+
+__all__ = [
+    "PrecisionConfig",
+    "PruningRuntimeConfig",
+    "SystemConfig",
+    "default_system",
+    "homo_cc_system",
+    "homo_mc_system",
+    "scaled_system",
+    "PhaseResult",
+    "WorkloadResult",
+    "geometric_mean_speedup",
+    "OpExecution",
+    "PerformanceSimulator",
+    "MappingChoice",
+    "MappingDecision",
+    "MappingExplorer",
+    "PipelineModel",
+    "PipelinePoint",
+    "EdgeMM",
+    "PruningCalibration",
+]

@@ -1,0 +1,178 @@
+"""Top-level EdgeMM system: the user-facing entry point of the library.
+
+:class:`EdgeMM` bundles the chip model, the performance simulator, the
+pruning pipeline and the metrics into one object:
+
+    >>> from repro.core import EdgeMM
+    >>> from repro.models import get_mllm, InferenceRequest
+    >>> system = EdgeMM.default()
+    >>> result = system.run(get_mllm("sphinx-tiny"),
+    ...                      InferenceRequest(images=1, prompt_text_tokens=32,
+    ...                                       output_tokens=64))
+    >>> result.tokens_per_second  # doctest: +SKIP
+
+Variants (homogeneous CC / MC chips) and the pruning-enabled configuration
+are exposed as alternative constructors so the evaluation scripts read like
+the paper's experiment descriptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..arch.area_power import AreaPowerModel
+from ..models.activations import ActivationTraceGenerator, sphinx_tiny_trace
+from ..models.mllm import InferenceRequest, MLLMConfig
+from ..models.ops import Phase, Workload
+from ..pruning.topk import DynamicTopKConfig, prune_token
+from .config import (
+    SystemConfig,
+    default_system,
+    homo_cc_system,
+    homo_mc_system,
+)
+from .metrics import PhaseResult, WorkloadResult
+from .pipeline import PipelineModel
+from .simulator import PerformanceSimulator
+
+
+@dataclass(frozen=True)
+class PruningCalibration:
+    """Result of calibrating Algorithm 1 on an activation trace."""
+
+    average_keep_fraction: float
+    mean_pruning_ratio: float
+    mean_cosine_similarity: float
+    per_layer_keep_fraction: tuple
+
+
+class EdgeMM:
+    """The EdgeMM system: chip model + simulator + pruning + metrics."""
+
+    def __init__(self, system: Optional[SystemConfig] = None) -> None:
+        self.system = system or default_system()
+        self.simulator = PerformanceSimulator(self.system)
+        self.area_power = self.simulator.area_power
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def default(cls) -> "EdgeMM":
+        """The paper's default heterogeneous configuration (Fig. 10)."""
+        return cls(default_system())
+
+    @classmethod
+    def homo_cc(cls) -> "EdgeMM":
+        """Homogeneous compute-centric variant (Fig. 11 comparison)."""
+        return cls(homo_cc_system())
+
+    @classmethod
+    def homo_mc(cls) -> "EdgeMM":
+        """Homogeneous memory-centric variant (Fig. 11 comparison)."""
+        return cls(homo_mc_system())
+
+    @classmethod
+    def with_pruning(
+        cls,
+        average_keep_fraction: float,
+        *,
+        base: Optional[SystemConfig] = None,
+    ) -> "EdgeMM":
+        """EdgeMM with activation-aware pruning at a given keep fraction."""
+        base = base or default_system()
+        return cls(base.with_pruning(average_keep_fraction))
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def run(self, model: MLLMConfig, request: InferenceRequest) -> WorkloadResult:
+        """Run one MLLM inference request and return its performance."""
+        return self.simulator.run_request(model, request)
+
+    def run_workload(self, workload: Workload) -> WorkloadResult:
+        """Run an already-lowered workload."""
+        return self.simulator.execute_workload(workload)
+
+    def run_phase(self, phase: Phase, **kwargs) -> PhaseResult:
+        """Run a single phase (used by the per-phase comparisons of Fig. 11)."""
+        return self.simulator.execute_phase(phase, **kwargs)
+
+    def pipeline(self, model: MLLMConfig, **kwargs) -> PipelineModel:
+        """A streaming-pipeline model for this system and MLLM."""
+        return PipelineModel(self.simulator, model, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Pruning calibration
+    # ------------------------------------------------------------------
+    def calibrate_pruning(
+        self,
+        trace: Optional[ActivationTraceGenerator] = None,
+        *,
+        n_tokens: int = 8,
+        config: Optional[DynamicTopKConfig] = None,
+    ) -> PruningCalibration:
+        """Run Algorithm 1 on an activation trace to obtain keep fractions.
+
+        The calibration averages the per-layer keep fractions over
+        ``n_tokens`` decode steps; the resulting average keep fraction can be
+        fed to :meth:`with_pruning` (or :meth:`enable_pruning`) so the
+        performance simulator reflects the measured traffic reduction.
+        """
+        trace = trace or sphinx_tiny_trace()
+        if n_tokens <= 0:
+            raise ValueError("n_tokens must be positive")
+        keep_matrix = []
+        ratios = []
+        similarities = []
+        for token_index in range(n_tokens):
+            activations = trace.token_trace(token_index)
+            report = prune_token(activations, config=config)
+            keep_matrix.append(
+                [decision.kept / decision.total_channels for decision in report.decisions]
+            )
+            ratios.append(report.mean_pruning_ratio)
+            if report.cosine_similarities:
+                similarities.append(report.mean_cosine_similarity)
+        keep_array = np.asarray(keep_matrix)
+        per_layer = tuple(float(value) for value in keep_array.mean(axis=0))
+        return PruningCalibration(
+            average_keep_fraction=float(keep_array.mean()),
+            mean_pruning_ratio=float(np.mean(ratios)),
+            mean_cosine_similarity=float(np.mean(similarities)) if similarities else 1.0,
+            per_layer_keep_fraction=per_layer,
+        )
+
+    def enable_pruning(self, calibration: PruningCalibration) -> "EdgeMM":
+        """A new EdgeMM instance with pruning enabled at the calibrated level."""
+        return EdgeMM(self.system.with_pruning(calibration.average_keep_fraction))
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, object]:
+        """Configuration summary (Fig. 10 style)."""
+        summary = self.simulator.chip.describe()
+        area = self.area_power.area_report()
+        power = self.area_power.power_report(utilization=0.6)
+        summary.update(
+            {
+                "system": self.system.name,
+                "pruning_enabled": self.system.pruning.enabled,
+                "chip_area_mm2": area.chip_mm2,
+                "sa_fraction_of_cc_core": area.sa_fraction_of_cc_core,
+                "cim_fraction_of_mc_core": area.cim_fraction_of_mc_core,
+                "power_mw_at_60pct": power.total_mw,
+            }
+        )
+        return summary
+
+    def tokens_per_joule(self, result: WorkloadResult) -> float:
+        """Energy efficiency of a run (Table II's token/J metric)."""
+        value = result.tokens_per_joule
+        if value is None:
+            raise ValueError("result carries no power estimate")
+        return value

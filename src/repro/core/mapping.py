@@ -1,0 +1,143 @@
+"""Mapping explorer: tensor partitioning of operators across clusters.
+
+The paper's in-house simulator includes a "dedicated mapping explorer".
+Ours searches, per operator, over
+
+* the execution pool (CC vs MC clusters, when both can run the kind),
+* the number of clusters the output dimension is partitioned across,
+* (for GEMM) the token-block size streamed per weight tile residency,
+
+and returns the lowest-latency mapping under the roofline model used by the
+performance simulator.  It is used by the scheduler when deciding whether an
+odd-shaped operator is worth spreading across the whole pool or is better
+kept on a subset of clusters (small operators lose more to per-transfer
+overhead than they gain from extra compute).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..models.ops import Op, OpKind
+from .simulator import PerformanceSimulator
+
+
+@dataclass(frozen=True)
+class MappingChoice:
+    """One candidate mapping of an operator."""
+
+    pool: str
+    n_clusters: int
+    compute_cycles: float
+    memory_cycles: float
+
+    @property
+    def cycles(self) -> float:
+        return max(self.compute_cycles, self.memory_cycles)
+
+
+@dataclass(frozen=True)
+class MappingDecision:
+    """The chosen mapping plus the candidates that were evaluated."""
+
+    op_name: str
+    best: MappingChoice
+    candidates: Tuple[MappingChoice, ...]
+
+    @property
+    def cycles(self) -> float:
+        return self.best.cycles
+
+
+class MappingExplorer:
+    """Searches cluster-count and pool choices per operator."""
+
+    def __init__(self, simulator: PerformanceSimulator) -> None:
+        self.simulator = simulator
+
+    def _candidate_pools(self, op: Op) -> List[str]:
+        pools = []
+        if self.simulator.has_cc:
+            pools.append("cc")
+        if self.simulator.has_mc:
+            pools.append("mc")
+        if not pools:
+            raise RuntimeError("chip has no clusters")
+        if op.kind is OpKind.OTHER:
+            # Pure data movement: pool choice is irrelevant; keep the default.
+            return [self.simulator.pool_for(op)]
+        return pools
+
+    def _candidate_cluster_counts(self, pool: str) -> List[int]:
+        total = (
+            self.simulator.chip.n_cc_clusters
+            if pool == "cc"
+            else self.simulator.chip.n_mc_clusters
+        )
+        counts = []
+        count = 1
+        while count < total:
+            counts.append(count)
+            count *= 2
+        counts.append(total)
+        return counts
+
+    def explore_op(
+        self, op: Op, *, bandwidth_fraction: float = 1.0
+    ) -> MappingDecision:
+        """Evaluate all candidate mappings of one operator."""
+        candidates: List[MappingChoice] = []
+        for pool in self._candidate_pools(op):
+            total_clusters = (
+                self.simulator.chip.n_cc_clusters
+                if pool == "cc"
+                else self.simulator.chip.n_mc_clusters
+            )
+            for n_clusters in self._candidate_cluster_counts(pool):
+                compute = self._compute_with_clusters(op, pool, n_clusters)
+                traffic = self.simulator._op_traffic_bytes(op, 1.0)
+                memory = self.simulator._memory_cycles(traffic, pool, bandwidth_fraction)
+                candidates.append(
+                    MappingChoice(
+                        pool=pool,
+                        n_clusters=min(n_clusters, total_clusters),
+                        compute_cycles=compute,
+                        memory_cycles=memory,
+                    )
+                )
+        best = min(candidates, key=lambda choice: (choice.cycles, choice.n_clusters))
+        return MappingDecision(op_name=op.name, best=best, candidates=tuple(candidates))
+
+    def _compute_with_clusters(self, op: Op, pool: str, n_clusters: int) -> float:
+        chip = self.simulator.chip
+        cluster = chip.cc_cluster if pool == "cc" else chip.mc_cluster
+        if op.kind in (OpKind.GEMM, OpKind.CONV, OpKind.ATTENTION):
+            n_share = max(math.ceil(op.n / n_clusters), 1)
+            return cluster.gemm_cycles(op.m, op.k, n_share)
+        if op.kind in (OpKind.GEMV, OpKind.EMBEDDING):
+            n_share = max(math.ceil(op.n / n_clusters), 1)
+            return cluster.gemv_cycles(op.k, n_share)
+        if op.kind in (OpKind.ELEMENTWISE, OpKind.SOFTMAX, OpKind.NORM, OpKind.ACTIVATION):
+            elements = max(math.ceil(op.m / n_clusters), 1)
+            flops_per_element = op.flops / op.m if op.m else 1.0
+            return cluster.elementwise_cycles(elements, max(flops_per_element, 1.0))
+        return 0.0
+
+    def explore_ops(
+        self, ops: Sequence[Op], *, bandwidth_fraction: float = 1.0
+    ) -> List[MappingDecision]:
+        """Explore a list of operators (e.g. one layer's ops)."""
+        return [
+            self.explore_op(op, bandwidth_fraction=bandwidth_fraction) for op in ops
+        ]
+
+    def total_cycles(
+        self, ops: Sequence[Op], *, bandwidth_fraction: float = 1.0
+    ) -> float:
+        """Best-mapping cycles summed over a list of operators."""
+        return sum(
+            decision.cycles
+            for decision in self.explore_ops(ops, bandwidth_fraction=bandwidth_fraction)
+        )

@@ -1,0 +1,158 @@
+"""Latency, throughput and energy accounting for simulation results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class PhaseResult:
+    """Performance result of executing one phase on one hardware model.
+
+    ``compute_cycles`` and ``memory_cycles`` are the two roofline legs; the
+    phase latency is determined per-operator by whichever leg dominates, so
+    ``cycles <= compute_cycles + memory_cycles`` and
+    ``cycles >= max(compute_cycles, memory_cycles)`` need not hold exactly
+    when operators alternate between compute- and memory-bound behaviour.
+    """
+
+    name: str
+    cycles: float
+    compute_cycles: float
+    memory_cycles: float
+    latency_s: float
+    dram_bytes: int
+    flops: int
+    op_count: int
+    cluster_kind: str
+
+    @property
+    def bound(self) -> str:
+        """Which resource dominated: ``"compute"`` or ``"memory"``."""
+        return "compute" if self.compute_cycles >= self.memory_cycles else "memory"
+
+    @property
+    def achieved_flops_per_s(self) -> float:
+        if self.latency_s == 0:
+            return 0.0
+        return self.flops / self.latency_s
+
+    @property
+    def achieved_bandwidth_bytes_per_s(self) -> float:
+        if self.latency_s == 0:
+            return 0.0
+        return self.dram_bytes / self.latency_s
+
+
+@dataclass(frozen=True)
+class WorkloadResult:
+    """Performance result of a full MLLM inference request."""
+
+    workload_name: str
+    hardware_name: str
+    phases: Dict[str, PhaseResult]
+    output_tokens: int
+    power_w: Optional[float] = None
+
+    @property
+    def total_latency_s(self) -> float:
+        return sum(result.latency_s for result in self.phases.values())
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(result.cycles for result in self.phases.values())
+
+    @property
+    def total_dram_bytes(self) -> int:
+        return sum(result.dram_bytes for result in self.phases.values())
+
+    @property
+    def total_flops(self) -> int:
+        return sum(result.flops for result in self.phases.values())
+
+    def phase(self, name: str) -> PhaseResult:
+        if name not in self.phases:
+            raise KeyError(
+                f"no phase {name!r}; available: {', '.join(self.phases)}"
+            )
+        return self.phases[name]
+
+    @property
+    def decode_latency_s(self) -> float:
+        return self.phases.get("llm_decode", _ZERO_PHASE).latency_s
+
+    @property
+    def prefill_latency_s(self) -> float:
+        return self.phases.get("llm_prefill", _ZERO_PHASE).latency_s
+
+    @property
+    def encode_latency_s(self) -> float:
+        encode = self.phases.get("vision_encoder", _ZERO_PHASE).latency_s
+        projector = self.phases.get("projector", _ZERO_PHASE).latency_s
+        return encode + projector
+
+    @property
+    def tokens_per_second(self) -> float:
+        """End-to-end generation throughput of a single request."""
+        if self.total_latency_s == 0:
+            return 0.0
+        return self.output_tokens / self.total_latency_s
+
+    @property
+    def decode_tokens_per_second(self) -> float:
+        """Decode-only throughput (tokens per second of decode time)."""
+        decode = self.decode_latency_s
+        if decode == 0:
+            return 0.0
+        return self.output_tokens / decode
+
+    @property
+    def time_per_output_token_s(self) -> float:
+        if self.output_tokens == 0:
+            return 0.0
+        return self.total_latency_s / self.output_tokens
+
+    @property
+    def energy_j(self) -> Optional[float]:
+        if self.power_w is None:
+            return None
+        return self.power_w * self.total_latency_s
+
+    @property
+    def tokens_per_joule(self) -> Optional[float]:
+        energy = self.energy_j
+        if energy is None or energy == 0:
+            return None
+        return self.output_tokens / energy
+
+    def speedup_over(self, other: "WorkloadResult") -> float:
+        """Latency speedup of this result relative to another."""
+        if self.total_latency_s == 0:
+            raise ZeroDivisionError("cannot compute speedup of a zero-latency result")
+        return other.total_latency_s / self.total_latency_s
+
+
+_ZERO_PHASE = PhaseResult(
+    name="missing",
+    cycles=0.0,
+    compute_cycles=0.0,
+    memory_cycles=0.0,
+    latency_s=0.0,
+    dram_bytes=0,
+    flops=0,
+    op_count=0,
+    cluster_kind="none",
+)
+
+
+def geometric_mean_speedup(speedups: Dict[str, float]) -> float:
+    """Geometric mean across a dict of per-workload speedups."""
+    if not speedups:
+        raise ValueError("speedups must not be empty")
+    product = 1.0
+    for value in speedups.values():
+        if value <= 0:
+            raise ValueError("speedups must be positive")
+        product *= value
+    return product ** (1.0 / len(speedups))

@@ -1,0 +1,269 @@
+"""Phase-level performance simulator of the EdgeMM chip.
+
+The simulator plays the role of the paper's in-house simulator: it executes
+an operator-level workload against the architecture model and reports per-
+phase latency, traffic and energy.  For every operator it computes
+
+* **compute cycles** from the coprocessor cycle models (systolic array
+  Eq. 2, CIM macro Eq. 3, or the Snitch SIMD datapath for baselines), with
+  the work tensor-partitioned across the clusters of the assigned pool;
+* **memory cycles** from the DRAM model: payload bytes divided by the
+  bandwidth share granted to the pool, plus per-transfer overhead governed
+  by the cluster's on-chip data memory (the effective-bandwidth behaviour
+  of Fig. 6(b));
+
+and takes the maximum of the two legs (compute/DMA double buffering), then
+sums over the operators of the phase.  GEMM-like operators are routed to
+CC-clusters and GEMV-like operators to MC-clusters when both are available
+("auto" policy); homogeneous variants simply lack one of the pools.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..arch.area_power import AreaPowerModel, TechnologyConfig
+from ..arch.chip import Chip
+from ..models.mllm import InferenceRequest, MLLMConfig
+from ..models.ops import Op, OpKind, Phase, Workload
+from .config import SystemConfig, default_system
+from .metrics import PhaseResult, WorkloadResult
+
+
+@dataclass(frozen=True)
+class OpExecution:
+    """Execution record of one operator."""
+
+    op_name: str
+    pool: str
+    compute_cycles: float
+    memory_cycles: float
+    dram_bytes: int
+
+    @property
+    def cycles(self) -> float:
+        return max(self.compute_cycles, self.memory_cycles)
+
+
+class PerformanceSimulator:
+    """Executes operator workloads on an EdgeMM (or variant) chip model."""
+
+    def __init__(
+        self,
+        system: Optional[SystemConfig] = None,
+        *,
+        technology: Optional[TechnologyConfig] = None,
+    ) -> None:
+        self.system = system or default_system()
+        self.chip = Chip(self.system.chip)
+        self.area_power = AreaPowerModel(self.system.chip, technology)
+        self._technology = self.area_power.technology
+
+    # ------------------------------------------------------------------
+    # Pool selection
+    # ------------------------------------------------------------------
+    @property
+    def has_cc(self) -> bool:
+        return self.chip.n_cc_clusters > 0
+
+    @property
+    def has_mc(self) -> bool:
+        return self.chip.n_mc_clusters > 0
+
+    def pool_for(self, op: Op) -> str:
+        """Choose the execution pool ('cc' or 'mc') for an operator."""
+        if not self.has_cc and not self.has_mc:
+            raise RuntimeError("chip has no clusters")
+        prefers_mc = op.kind in (OpKind.GEMV, OpKind.EMBEDDING)
+        if prefers_mc:
+            return "mc" if self.has_mc else "cc"
+        return "cc" if self.has_cc else "mc"
+
+    def _pool_cluster_count(self, pool: str) -> int:
+        return self.chip.n_cc_clusters if pool == "cc" else self.chip.n_mc_clusters
+
+    def _pool_buffer_bytes(self, pool: str) -> int:
+        if pool == "cc":
+            return self.chip.cc_cluster.data_memory_bytes
+        return self.chip.mc_cluster.data_memory_bytes
+
+    # ------------------------------------------------------------------
+    # Operator execution
+    # ------------------------------------------------------------------
+    def _compute_cycles(self, op: Op, pool: str, n_clusters: int) -> float:
+        """Coprocessor cycles with the work partitioned across clusters."""
+        cluster = self.chip.cc_cluster if pool == "cc" else self.chip.mc_cluster
+        if op.kind in (OpKind.GEMM, OpKind.CONV, OpKind.ATTENTION):
+            n_share = max(math.ceil(op.n / n_clusters), 1)
+            return cluster.gemm_cycles(op.m, op.k, n_share)
+        if op.kind in (OpKind.GEMV, OpKind.EMBEDDING):
+            n_share = max(math.ceil(op.n / n_clusters), 1)
+            if pool == "mc":
+                return cluster.gemv_cycles(op.k, n_share)
+            return cluster.gemv_cycles(op.k, n_share)
+        if op.kind in (OpKind.ELEMENTWISE, OpKind.SOFTMAX, OpKind.NORM, OpKind.ACTIVATION):
+            elements = max(math.ceil(op.m / n_clusters), 1)
+            flops_per_element = op.flops / op.m if op.m else 1.0
+            return cluster.elementwise_cycles(elements, max(flops_per_element, 1.0))
+        # OpKind.OTHER: pure data movement (KV-cache reads/writes).
+        return 0.0
+
+    def _op_traffic_bytes(self, op: Op, keep_fraction: float) -> int:
+        weight_bytes = op.weight_bytes
+        if op.prunable and keep_fraction < 1.0:
+            weight_bytes = int(round(weight_bytes * keep_fraction))
+        return weight_bytes + op.activation_bytes + op.output_bytes
+
+    def _memory_cycles(
+        self, traffic_bytes: int, pool: str, bandwidth_fraction: float
+    ) -> float:
+        if traffic_bytes <= 0:
+            return 0.0
+        if bandwidth_fraction <= 0:
+            raise ValueError("bandwidth_fraction must be positive")
+        dram = self.chip.dram
+        buffer_bytes = self._pool_buffer_bytes(pool)
+        transfers = dram.transfers_for(traffic_bytes, buffer_bytes)
+        bytes_per_cycle = self.chip.dram_bytes_per_cycle() * bandwidth_fraction
+        stream_cycles = traffic_bytes / bytes_per_cycle
+        overhead = transfers * dram.config.request_overhead_cycles
+        overhead += transfers * self.chip.interconnect.request_latency_cycles()
+        return overhead + stream_cycles
+
+    def execute_op(
+        self,
+        op: Op,
+        *,
+        pool: Optional[str] = None,
+        bandwidth_fraction: float = 1.0,
+        keep_fraction: Optional[float] = None,
+    ) -> OpExecution:
+        """Execute one operator and return its cycle accounting."""
+        pool = pool or self.pool_for(op)
+        if pool not in ("cc", "mc"):
+            raise ValueError("pool must be 'cc' or 'mc'")
+        n_clusters = self._pool_cluster_count(pool)
+        if n_clusters == 0:
+            raise ValueError(f"chip {self.system.name!r} has no {pool.upper()} clusters")
+        if keep_fraction is None:
+            keep_fraction = (
+                self.system.pruning.average_keep_fraction
+                if self.system.pruning.enabled
+                else 1.0
+            )
+        traffic = self._op_traffic_bytes(op, keep_fraction)
+        compute = self._compute_cycles(op, pool, n_clusters)
+        if op.prunable and keep_fraction < 1.0 and op.kind is OpKind.GEMV:
+            # Pruning also removes the matching MACs (smaller reduction dim).
+            compute *= keep_fraction
+        memory = self._memory_cycles(traffic, pool, bandwidth_fraction)
+        return OpExecution(
+            op_name=op.name,
+            pool=pool,
+            compute_cycles=compute,
+            memory_cycles=memory,
+            dram_bytes=traffic,
+        )
+
+    # ------------------------------------------------------------------
+    # Phase / workload execution
+    # ------------------------------------------------------------------
+    def execute_phase(
+        self,
+        phase: Phase,
+        *,
+        pool: Optional[str] = None,
+        bandwidth_fraction: float = 1.0,
+        keep_fraction: Optional[float] = None,
+    ) -> PhaseResult:
+        """Execute one phase; operators run back-to-back with DMA overlap."""
+        total_compute = 0.0
+        total_memory = 0.0
+        total_cycles = 0.0
+        total_bytes = 0
+        total_flops = 0
+        pool_votes: Dict[str, float] = {"cc": 0.0, "mc": 0.0}
+        for op in phase.ops:
+            execution = self.execute_op(
+                op,
+                pool=pool,
+                bandwidth_fraction=bandwidth_fraction,
+                keep_fraction=keep_fraction,
+            )
+            total_compute += execution.compute_cycles
+            total_memory += execution.memory_cycles
+            total_cycles += execution.cycles
+            total_bytes += execution.dram_bytes
+            total_flops += op.flops
+            pool_votes[execution.pool] += execution.cycles
+        repeat = phase.repeat
+        total_compute *= repeat
+        total_memory *= repeat
+        total_cycles *= repeat
+        total_bytes *= repeat
+        total_flops *= repeat
+        dominant_pool = max(pool_votes, key=pool_votes.get) if total_cycles else (pool or "cc")
+        return PhaseResult(
+            name=phase.name,
+            cycles=total_cycles,
+            compute_cycles=total_compute,
+            memory_cycles=total_memory,
+            latency_s=self.chip.cycles_to_seconds(total_cycles),
+            dram_bytes=int(total_bytes),
+            flops=int(total_flops),
+            op_count=repeat * len(phase.ops),
+            cluster_kind=dominant_pool,
+        )
+
+    def execute_workload(
+        self,
+        workload: Workload,
+        *,
+        output_tokens: Optional[int] = None,
+        bandwidth_fraction: float = 1.0,
+    ) -> WorkloadResult:
+        """Execute all phases of a workload sequentially."""
+        phase_results: Dict[str, PhaseResult] = {}
+        for phase in workload.phases:
+            phase_results[phase.name] = self.execute_phase(
+                phase, bandwidth_fraction=bandwidth_fraction
+            )
+        if output_tokens is None:
+            decode = next(
+                (p for p in workload.phases if p.name == "llm_decode"), None
+            )
+            output_tokens = decode.repeat if decode is not None else 1
+        return WorkloadResult(
+            workload_name=workload.name,
+            hardware_name=self.system.name,
+            phases=phase_results,
+            output_tokens=output_tokens,
+            power_w=self.average_power_w(phase_results),
+        )
+
+    def run_request(self, model: MLLMConfig, request: InferenceRequest) -> WorkloadResult:
+        """Build the workload for an inference request and execute it."""
+        workload = model.build_workload(request)
+        return self.execute_workload(workload, output_tokens=request.output_tokens)
+
+    # ------------------------------------------------------------------
+    # Energy
+    # ------------------------------------------------------------------
+    def average_power_w(self, phase_results: Dict[str, PhaseResult]) -> float:
+        """Average chip + DRAM power over the executed phases."""
+        total_cycles = sum(result.cycles for result in phase_results.values())
+        if total_cycles == 0:
+            return self.area_power.power_report(0.0).total_mw / 1e3
+        total_compute = sum(result.compute_cycles for result in phase_results.values())
+        utilization = min(total_compute / total_cycles, 1.0)
+        chip_power_w = self.area_power.power_report(utilization).total_mw / 1e3
+        total_bytes = sum(result.dram_bytes for result in phase_results.values())
+        total_seconds = self.chip.cycles_to_seconds(total_cycles)
+        if total_seconds == 0:
+            return chip_power_w
+        dram_energy_j = (
+            total_bytes * self._technology.dram_access_energy_pj_per_byte * 1e-12
+        )
+        return chip_power_w + dram_energy_j / total_seconds

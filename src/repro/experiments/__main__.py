@@ -1,0 +1,51 @@
+"""Command-line entry point: ``python -m repro.experiments [ids...]``.
+
+Runs the requested experiments (all of them by default) and prints the
+paper-style reports to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import available_experiments, run_and_report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the EdgeMM paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids to run (default: all); see --list",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiment ids and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in available_experiments():
+            print(experiment_id)
+        return 0
+
+    requested = args.experiments or available_experiments()
+    unknown = [name for name in requested if name not in available_experiments()]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"available: {', '.join(available_experiments())}"
+        )
+    for experiment_id in requested:
+        print(f"=== {experiment_id} ===")
+        print(run_and_report(experiment_id))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,125 @@
+"""EXP-F11 — homogeneous vs heterogeneous designs (paper Fig. 11).
+
+Compares four chips on SPHINX-Tiny and its inner phases, all normalised to
+the original Snitch SIMD cluster baseline:
+
+* the Snitch baseline (speedup 1.0 by definition),
+* homo-CC (only compute-centric clusters),
+* homo-MC (only memory-centric clusters),
+* the heterogeneous EdgeMM.
+
+Paper shape targets: every extended design beats the baseline; homo-CC wins
+the GEMM-heavy phases, homo-MC wins decode; the heterogeneous chip wins the
+end-to-end MLLM (paper: 1.79x over homo-CC, 2.65x over homo-MC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..baselines.homogeneous import homo_cc_simulator, homo_mc_simulator
+from ..baselines.snitch import SnitchBaseline
+from ..core.simulator import PerformanceSimulator
+from ..models.mllm import InferenceRequest, get_mllm
+from .runner import format_table
+
+
+PHASES: Tuple[str, ...] = ("vision_encoder", "llm_prefill", "llm_decode", "full_mllm")
+
+
+@dataclass(frozen=True)
+class Fig11Result:
+    model_name: str
+    request: InferenceRequest
+    #: latency in seconds per (design, phase)
+    latency_s: Dict[str, Dict[str, float]]
+    #: speedup over the Snitch baseline per (design, phase)
+    speedup: Dict[str, Dict[str, float]]
+
+
+def run_fig11(
+    model_name: str = "sphinx-tiny",
+    *,
+    request: InferenceRequest = None,
+) -> Fig11Result:
+    request = request or InferenceRequest(images=1, prompt_text_tokens=32, output_tokens=64)
+    model = get_mllm(model_name)
+    designs = {
+        "snitch": SnitchBaseline(),
+        "homo_cc": homo_cc_simulator(),
+        "homo_mc": homo_mc_simulator(),
+        "edgemm": PerformanceSimulator(),
+    }
+    latency: Dict[str, Dict[str, float]] = {}
+    for name, design in designs.items():
+        result = design.run_request(model, request)
+        latency[name] = {
+            "vision_encoder": result.encode_latency_s,
+            "llm_prefill": result.prefill_latency_s,
+            "llm_decode": result.decode_latency_s,
+            "full_mllm": result.total_latency_s,
+        }
+    baseline = latency["snitch"]
+    speedup = {
+        name: {
+            phase: (baseline[phase] / value if value > 0 else float("inf"))
+            for phase, value in phases.items()
+        }
+        for name, phases in latency.items()
+    }
+    return Fig11Result(
+        model_name=model_name,
+        request=request,
+        latency_s=latency,
+        speedup=speedup,
+    )
+
+
+def format_report(result: Fig11Result) -> str:
+    rows = []
+    for design in ("snitch", "homo_cc", "homo_mc", "edgemm"):
+        rows.append(
+            [design]
+            + [f"{result.speedup[design][phase]:.2f}x" for phase in PHASES]
+        )
+    table = format_table(["design"] + list(PHASES), rows)
+    hetero = result.speedup["edgemm"]["full_mllm"]
+    vs_cc = hetero / result.speedup["homo_cc"]["full_mllm"]
+    vs_mc = hetero / result.speedup["homo_mc"]["full_mllm"]
+    summary = (
+        f"EdgeMM vs homo-CC on the full MLLM: {vs_cc:.2f}x (paper 1.79x)\n"
+        f"EdgeMM vs homo-MC on the full MLLM: {vs_mc:.2f}x (paper 2.65x)"
+    )
+    return (
+        f"Fig. 11 — speedups over the Snitch baseline ({result.model_name}, "
+        f"{result.request.output_tokens} output tokens)\n" + table + "\n\n" + summary
+    )
+
+
+def hetero_wins_full_mllm(result: Fig11Result) -> bool:
+    """The heterogeneous chip must beat both homogeneous chips end-to-end."""
+    hetero = result.speedup["edgemm"]["full_mllm"]
+    return (
+        hetero > result.speedup["homo_cc"]["full_mllm"]
+        and hetero > result.speedup["homo_mc"]["full_mllm"]
+    )
+
+
+def homo_designs_win_their_phases(result: Fig11Result) -> bool:
+    """homo-CC leads the GEMM phases and homo-MC leads decode."""
+    cc_wins_gemm = (
+        result.speedup["homo_cc"]["llm_prefill"] >= result.speedup["homo_mc"]["llm_prefill"]
+    )
+    mc_wins_decode = (
+        result.speedup["homo_mc"]["llm_decode"] >= result.speedup["homo_cc"]["llm_decode"]
+    )
+    return cc_wins_gemm and mc_wins_decode
+
+
+def all_extensions_beat_baseline(result: Fig11Result) -> bool:
+    """Every extended design must beat the Snitch baseline end-to-end."""
+    return all(
+        result.speedup[design]["full_mllm"] > 1.0
+        for design in ("homo_cc", "homo_mc", "edgemm")
+    )

@@ -1,0 +1,171 @@
+"""EXP-F12 — activation-aware dynamic Top-k pruning (paper Fig. 12).
+
+Reproduces both panels:
+
+* (a) per-layer kurtosis of the activation magnitudes and the pruning ratio
+  chosen by the dynamic Top-k scheme during a token generation — the ratio
+  should rise with depth as the outliers sharpen, and layer 1 is skipped;
+* (b) per-layer cosine similarity between pruned and unpruned FFN outputs
+  for the dynamic scheme and for fixed pruning ratios 0.1 and 0.7 — the
+  dynamic scheme should track the mild 0.1 ratio while 0.7 collapses in the
+  shallow layers.
+
+It also reports the decode-latency reduction the calibrated pruning yields
+on the EdgeMM performance model (paper: 42 % on average for SPHINX-Tiny).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.edgemm import EdgeMM
+from ..models.activations import ActivationTraceGenerator, sphinx_tiny_trace
+from ..models.mllm import InferenceRequest, get_mllm
+from ..pruning.ffn import build_layer_stack
+from ..pruning.fixed import prune_token_fixed
+from ..pruning.topk import DynamicTopKConfig, TokenPruningReport, prune_token
+from .runner import format_table
+
+
+@dataclass(frozen=True)
+class Fig12Result:
+    model_name: str
+    n_layers: int
+    kurtosis_per_layer: Tuple[float, ...]
+    dynamic_pruning_ratio_per_layer: Tuple[float, ...]
+    dynamic_similarity_per_layer: Tuple[float, ...]
+    fixed01_similarity_per_layer: Tuple[float, ...]
+    fixed07_similarity_per_layer: Tuple[float, ...]
+    mean_dynamic_pruning_ratio: float
+    decode_latency_reduction: float
+
+
+def run_fig12(
+    trace: ActivationTraceGenerator = None,
+    *,
+    model_name: str = "sphinx-tiny",
+    n_tokens: int = 4,
+    d_ffn: int = 512,
+    threshold: float = 16.0,
+    output_tokens: int = 64,
+) -> Fig12Result:
+    """Run the dynamic and fixed pruning schemes on an activation trace.
+
+    ``d_ffn`` controls the width of the synthetic FFN weight stack used for
+    the cosine-similarity panel; the similarity depends only on which input
+    channels are kept, so a reduced width keeps the experiment fast without
+    changing the comparison.
+    """
+    trace = trace or sphinx_tiny_trace()
+    if n_tokens <= 0:
+        raise ValueError("n_tokens must be positive")
+    n_layers = trace.config.n_layers
+    d_model = trace.config.d_model
+    ffn_stack = build_layer_stack(n_layers, d_model, d_ffn)
+    config = DynamicTopKConfig(threshold=threshold)
+
+    dynamic_reports: List[TokenPruningReport] = []
+    fixed01_reports: List[TokenPruningReport] = []
+    fixed07_reports: List[TokenPruningReport] = []
+    for token in range(n_tokens):
+        activations = trace.token_trace(token)
+        dynamic_reports.append(prune_token(activations, ffn_stack, config=config))
+        fixed01_reports.append(prune_token_fixed(activations, ffn_stack, ratio=0.1))
+        fixed07_reports.append(prune_token_fixed(activations, ffn_stack, ratio=0.7))
+
+    def _mean_over_tokens(values_per_report) -> Tuple[float, ...]:
+        stacked = np.asarray(values_per_report, dtype=float)
+        return tuple(float(value) for value in stacked.mean(axis=0))
+
+    kurtoses = _mean_over_tokens([report.kurtoses for report in dynamic_reports])
+    ratios = _mean_over_tokens([report.pruning_ratios() for report in dynamic_reports])
+    dyn_similarity = _mean_over_tokens(
+        [report.cosine_similarities for report in dynamic_reports]
+    )
+    fixed01 = _mean_over_tokens([report.cosine_similarities for report in fixed01_reports])
+    fixed07 = _mean_over_tokens([report.cosine_similarities for report in fixed07_reports])
+
+    # Decode-latency reduction on the performance model.
+    system = EdgeMM.default()
+    model = get_mllm(model_name)
+    request = InferenceRequest(images=1, prompt_text_tokens=32, output_tokens=output_tokens)
+    baseline = system.run(model, request)
+    calibration = system.calibrate_pruning(trace, n_tokens=n_tokens, config=config)
+    pruned = system.enable_pruning(calibration).run(model, request)
+    if baseline.decode_latency_s > 0:
+        reduction = 1.0 - pruned.decode_latency_s / baseline.decode_latency_s
+    else:
+        reduction = 0.0
+
+    return Fig12Result(
+        model_name=model_name,
+        n_layers=n_layers,
+        kurtosis_per_layer=kurtoses,
+        dynamic_pruning_ratio_per_layer=ratios,
+        dynamic_similarity_per_layer=dyn_similarity,
+        fixed01_similarity_per_layer=fixed01,
+        fixed07_similarity_per_layer=fixed07,
+        mean_dynamic_pruning_ratio=float(np.mean(ratios)),
+        decode_latency_reduction=float(reduction),
+    )
+
+
+def format_report(result: Fig12Result) -> str:
+    rows = []
+    for layer in range(result.n_layers):
+        rows.append(
+            [
+                layer,
+                f"{result.kurtosis_per_layer[layer]:.1f}",
+                f"{100 * result.dynamic_pruning_ratio_per_layer[layer]:.1f}%",
+                f"{result.dynamic_similarity_per_layer[layer]:.4f}",
+                f"{result.fixed01_similarity_per_layer[layer]:.4f}",
+                f"{result.fixed07_similarity_per_layer[layer]:.4f}",
+            ]
+        )
+    table = format_table(
+        ["layer", "kurtosis", "dyn prune ratio", "cos dyn", "cos fixed 0.1", "cos fixed 0.7"],
+        rows,
+    )
+    summary = (
+        f"mean dynamic pruning ratio: {100 * result.mean_dynamic_pruning_ratio:.1f}%\n"
+        f"decode latency reduction on EdgeMM: "
+        f"{100 * result.decode_latency_reduction:.1f}% (paper: 42%)"
+    )
+    return (
+        f"Fig. 12 — dynamic Top-k pruning on {result.model_name}\n"
+        + table
+        + "\n\n"
+        + summary
+    )
+
+
+def pruning_ratio_increases_with_depth(result: Fig12Result) -> bool:
+    """Deeper layers must prune more than the shallow (stable) layers."""
+    ratios = result.dynamic_pruning_ratio_per_layer
+    third = max(result.n_layers // 3, 1)
+    shallow = float(np.mean(ratios[1 : 1 + third]))
+    deep = float(np.mean(ratios[-third:]))
+    return deep >= shallow
+
+
+def first_layer_is_not_pruned(result: Fig12Result) -> bool:
+    return result.dynamic_pruning_ratio_per_layer[0] == 0.0
+
+
+def dynamic_tracks_mild_fixed_ratio(result: Fig12Result, tolerance: float = 0.05) -> bool:
+    """Dynamic pruning accuracy must stay close to the fixed-0.1 scheme."""
+    dynamic = np.asarray(result.dynamic_similarity_per_layer)
+    mild = np.asarray(result.fixed01_similarity_per_layer)
+    return bool(np.all(dynamic >= mild - tolerance))
+
+
+def aggressive_fixed_ratio_fails_shallow_layers(result: Fig12Result) -> bool:
+    """Fixed-0.7 must lose accuracy in the shallow layers relative to dynamic."""
+    shallow = slice(1, max(result.n_layers // 3, 2))
+    dynamic = np.asarray(result.dynamic_similarity_per_layer[shallow])
+    aggressive = np.asarray(result.fixed07_similarity_per_layer[shallow])
+    return bool(np.mean(aggressive) < np.mean(dynamic))

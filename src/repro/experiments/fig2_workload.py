@@ -1,0 +1,153 @@
+"""EXP-F2 — workload analysis of two MLLMs (paper Fig. 2).
+
+Reproduces the three panels:
+
+* (a) inference-latency breakdown on the GPU baseline as the output token
+  length varies (vision encoder / projector / LLM prefill / LLM decode),
+* (b) per-phase model statistics (GFLOPs, parameters, arithmetic
+  intensity) showing the compute-intensive encoder/prefill vs the
+  memory-bound decode,
+* (c) DRAM memory-access breakdown by component (FFN weights dominate,
+  KV cache is a small fraction for short edge contexts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..baselines.gpu import GPUModel, rtx3060_laptop
+from ..models.mllm import InferenceRequest, get_mllm
+from ..models.profiler import (
+    LatencyBreakdown,
+    WorkloadStatistics,
+    latency_sweep,
+    memory_access_breakdown,
+    workload_statistics,
+)
+from .runner import format_bytes, format_seconds, format_table
+
+
+DEFAULT_MODELS: Tuple[str, str] = ("sphinx-tiny", "karmavlm")
+DEFAULT_OUTPUT_LENGTHS: Tuple[int, ...] = (8, 32, 128, 512)
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """All three panels for the profiled MLLMs."""
+
+    output_lengths: Tuple[int, ...]
+    latency_breakdowns: Dict[str, List[LatencyBreakdown]]
+    statistics: Dict[str, WorkloadStatistics]
+    memory_breakdowns: Dict[str, Dict[str, int]]
+
+
+def run_fig2(
+    model_names: Sequence[str] = DEFAULT_MODELS,
+    output_lengths: Sequence[int] = DEFAULT_OUTPUT_LENGTHS,
+    *,
+    prompt_text_tokens: int = 32,
+    gpu: GPUModel = None,
+) -> Fig2Result:
+    """Profile the workloads on the GPU baseline (as the paper does)."""
+    gpu = gpu or rtx3060_laptop()
+    breakdowns: Dict[str, List[LatencyBreakdown]] = {}
+    statistics: Dict[str, WorkloadStatistics] = {}
+    memory: Dict[str, Dict[str, int]] = {}
+    for name in model_names:
+        model = get_mllm(name)
+        breakdowns[name] = latency_sweep(
+            model,
+            gpu,
+            output_lengths,
+            prompt_text_tokens=prompt_text_tokens,
+            hardware_name=gpu.config.name,
+        )
+        reference = model.build_workload(
+            InferenceRequest(
+                images=1, prompt_text_tokens=prompt_text_tokens, output_tokens=64
+            )
+        )
+        statistics[name] = workload_statistics(reference)
+        memory[name] = memory_access_breakdown(reference)
+    return Fig2Result(
+        output_lengths=tuple(output_lengths),
+        latency_breakdowns=breakdowns,
+        statistics=statistics,
+        memory_breakdowns=memory,
+    )
+
+
+def format_report(result: Fig2Result) -> str:
+    """Render the three panels as text tables."""
+    sections: List[str] = []
+    # Panel (a): latency breakdown vs output length.
+    for model_name, sweeps in result.latency_breakdowns.items():
+        rows = []
+        for breakdown in sweeps:
+            rows.append(
+                [
+                    breakdown.output_tokens,
+                    format_seconds(breakdown.total_latency_s),
+                    f"{100 * breakdown.fraction('vision_encoder'):.1f}%",
+                    f"{100 * breakdown.fraction('projector'):.1f}%",
+                    f"{100 * breakdown.fraction('llm_prefill'):.1f}%",
+                    f"{100 * breakdown.fraction('llm_decode'):.1f}%",
+                ]
+            )
+        sections.append(
+            f"Fig. 2(a) — {model_name} latency breakdown on "
+            f"{sweeps[0].hardware_name}\n"
+            + format_table(
+                ["out tokens", "total", "encoder", "projector", "prefill", "decode"],
+                rows,
+            )
+        )
+    # Panel (b): model statistics per phase.
+    for model_name, stats in result.statistics.items():
+        rows = []
+        for phase_name, phase in stats.phases.items():
+            rows.append(
+                [
+                    phase_name,
+                    f"{phase.flops / 1e9:.2f}",
+                    format_bytes(phase.weight_bytes),
+                    f"{phase.arithmetic_intensity:.2f}",
+                    f"{100 * phase.gemv_flops / max(phase.flops, 1):.1f}%",
+                ]
+            )
+        sections.append(
+            f"Fig. 2(b) — {model_name} per-phase statistics (64 output tokens)\n"
+            + format_table(
+                ["phase", "GFLOPs", "weight traffic", "FLOP/byte", "GEMV share"],
+                rows,
+            )
+        )
+    # Panel (c): memory-access breakdown.
+    for model_name, breakdown in result.memory_breakdowns.items():
+        total = sum(breakdown.values())
+        rows = [
+            [tag, format_bytes(value), f"{100 * value / total:.1f}%"]
+            for tag, value in sorted(breakdown.items(), key=lambda kv: -kv[1])
+        ]
+        sections.append(
+            f"Fig. 2(c) — {model_name} DRAM access breakdown\n"
+            + format_table(["component", "bytes", "share"], rows)
+        )
+    return "\n\n".join(sections)
+
+
+def ffn_dominates_memory(result: Fig2Result, model_name: str) -> bool:
+    """Check the paper's claim that FFN traffic dominates DRAM access."""
+    breakdown = result.memory_breakdowns[model_name]
+    total = sum(breakdown.values())
+    return breakdown.get("ffn", 0) >= 0.4 * total
+
+
+def decode_share_increases(result: Fig2Result, model_name: str) -> bool:
+    """Check that the decode share of latency grows with output length."""
+    shares = [
+        breakdown.fraction("llm_decode")
+        for breakdown in result.latency_breakdowns[model_name]
+    ]
+    return all(later >= earlier for earlier, later in zip(shares, shares[1:]))

@@ -1,0 +1,123 @@
+"""EXP-F3 — FFN activation sparsity across decoder layers (paper Fig. 3).
+
+Profiles the magnitudes of the FFN input activation vectors ``Vx`` across
+decoder layers during token generation, reproducing the two observations
+the pruning scheme is built on:
+
+* most channels have small magnitudes, with a few outlier channels, and
+* the outliers become more prominent as the layer index increases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..models.activations import ActivationTraceGenerator, sphinx_tiny_trace
+from ..pruning.metrics import kurtosis
+from .runner import format_table
+
+
+@dataclass(frozen=True)
+class LayerSparsityProfile:
+    """Channel-magnitude statistics of one decoder layer."""
+
+    layer_index: int
+    max_magnitude: float
+    median_magnitude: float
+    outlier_channels: int
+    outlier_fraction: float
+    kurtosis: float
+    energy_in_top_10pct: float
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    model_name: str
+    d_model: int
+    profiles: Tuple[LayerSparsityProfile, ...]
+
+
+def run_fig3(
+    trace: ActivationTraceGenerator = None,
+    *,
+    model_name: str = "sphinx-tiny",
+    n_tokens: int = 4,
+    outlier_threshold_divisor: float = 16.0,
+) -> Fig3Result:
+    """Profile a synthetic activation trace layer by layer."""
+    trace = trace or sphinx_tiny_trace()
+    if n_tokens <= 0:
+        raise ValueError("n_tokens must be positive")
+    n_layers = trace.config.n_layers
+    d_model = trace.config.d_model
+    profiles: List[LayerSparsityProfile] = []
+    for layer in range(n_layers):
+        magnitudes = np.stack(
+            [np.abs(trace.layer_vector(layer, token)) for token in range(n_tokens)]
+        )
+        mean_magnitudes = magnitudes.mean(axis=0)
+        peak = float(mean_magnitudes.max())
+        threshold = peak / outlier_threshold_divisor
+        outliers = int(np.count_nonzero(mean_magnitudes > threshold))
+        sorted_energy = np.sort(mean_magnitudes**2)[::-1]
+        top_count = max(int(round(0.1 * d_model)), 1)
+        energy_top = float(sorted_energy[:top_count].sum() / max(sorted_energy.sum(), 1e-30))
+        profiles.append(
+            LayerSparsityProfile(
+                layer_index=layer,
+                max_magnitude=peak,
+                median_magnitude=float(np.median(mean_magnitudes)),
+                outlier_channels=outliers,
+                outlier_fraction=outliers / d_model,
+                kurtosis=kurtosis(mean_magnitudes),
+                energy_in_top_10pct=energy_top,
+            )
+        )
+    return Fig3Result(model_name=model_name, d_model=d_model, profiles=tuple(profiles))
+
+
+def format_report(result: Fig3Result) -> str:
+    rows = [
+        [
+            profile.layer_index,
+            f"{profile.max_magnitude:.3f}",
+            f"{profile.median_magnitude:.4f}",
+            profile.outlier_channels,
+            f"{100 * profile.outlier_fraction:.1f}%",
+            f"{profile.kurtosis:.1f}",
+            f"{100 * profile.energy_in_top_10pct:.1f}%",
+        ]
+        for profile in result.profiles
+    ]
+    header = (
+        f"Fig. 3 — FFN activation sparsity across layers "
+        f"({result.model_name}, d_model={result.d_model})"
+    )
+    return header + "\n" + format_table(
+        ["layer", "max |Vx|", "median |Vx|", "outliers", "outlier %", "kurtosis", "top-10% energy"],
+        rows,
+    )
+
+
+def outliers_become_more_prominent(result: Fig3Result, *, skip_first: bool = True) -> bool:
+    """Check the paper's trend: deeper layers have sharper outlier structure.
+
+    Compares the mean kurtosis of the deepest third against the shallowest
+    third (excluding the unstable first layer by default).
+    """
+    profiles = list(result.profiles[1:] if skip_first else result.profiles)
+    if len(profiles) < 3:
+        raise ValueError("need at least three layers to assess the trend")
+    third = max(len(profiles) // 3, 1)
+    shallow = float(np.mean([p.kurtosis for p in profiles[:third]]))
+    deep = float(np.mean([p.kurtosis for p in profiles[-third:]]))
+    return deep > shallow
+
+
+def most_channels_are_negligible(result: Fig3Result) -> bool:
+    """Check that, in deep layers, most channels fall below max/16."""
+    deep = result.profiles[-1]
+    return deep.outlier_fraction < 0.5

@@ -1,0 +1,102 @@
+"""EXP-F6 — effective DMA/DRAM bandwidth vs transfer size (paper Fig. 6(b)).
+
+Sweeps the matrix-block size transferred by a cluster DMA and reports the
+effective bandwidth (payload / total cycles) as a fraction of the ideal pin
+bandwidth, plus the same figure evaluated at the CC- and MC-cluster buffer
+sizes — the quantitative basis of the paper's argument that the MC-cluster's
+ample on-chip memory alleviates bandwidth pressure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..arch.chip import Chip, ChipConfig
+from ..arch.dram import DRAMModel
+from .runner import format_bytes, format_table
+
+
+DEFAULT_SIZES: Tuple[int, ...] = tuple(1024 * (4**i) for i in range(8))  # 1 KiB .. 16 MiB
+
+
+@dataclass(frozen=True)
+class BandwidthPoint:
+    transfer_bytes: int
+    effective_bandwidth_bytes_per_s: float
+    fraction_of_ideal: float
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    points: Tuple[BandwidthPoint, ...]
+    cc_buffer_bytes: int
+    mc_buffer_bytes: int
+    cc_buffer_fraction: float
+    mc_buffer_fraction: float
+
+
+def run_fig6(
+    transfer_sizes: Sequence[int] = DEFAULT_SIZES,
+    *,
+    chip_config: ChipConfig = None,
+) -> Fig6Result:
+    """Sweep transfer sizes through the DRAM model of the default chip."""
+    if not transfer_sizes:
+        raise ValueError("transfer_sizes must not be empty")
+    chip = Chip(chip_config or ChipConfig())
+    dram: DRAMModel = chip.dram
+    points: List[BandwidthPoint] = []
+    for size in transfer_sizes:
+        bandwidth = dram.effective_bandwidth(size)
+        points.append(
+            BandwidthPoint(
+                transfer_bytes=size,
+                effective_bandwidth_bytes_per_s=bandwidth,
+                fraction_of_ideal=dram.effective_bandwidth_fraction(size),
+            )
+        )
+    cc_buffer = chip.cc_cluster.data_memory_bytes
+    mc_buffer = chip.mc_cluster.data_memory_bytes
+    return Fig6Result(
+        points=tuple(points),
+        cc_buffer_bytes=cc_buffer,
+        mc_buffer_bytes=mc_buffer,
+        cc_buffer_fraction=dram.effective_bandwidth_fraction(cc_buffer),
+        mc_buffer_fraction=dram.effective_bandwidth_fraction(mc_buffer),
+    )
+
+
+def format_report(result: Fig6Result) -> str:
+    rows = [
+        [
+            format_bytes(point.transfer_bytes),
+            f"{point.effective_bandwidth_bytes_per_s / 1e9:.2f} GB/s",
+            f"{100 * point.fraction_of_ideal:.1f}%",
+        ]
+        for point in result.points
+    ]
+    table = format_table(["transfer size", "effective bandwidth", "of ideal"], rows)
+    summary = (
+        f"CC-cluster buffer ({format_bytes(result.cc_buffer_bytes)}): "
+        f"{100 * result.cc_buffer_fraction:.1f}% of ideal\n"
+        f"MC-cluster buffer ({format_bytes(result.mc_buffer_bytes)}): "
+        f"{100 * result.mc_buffer_fraction:.1f}% of ideal"
+    )
+    return "Fig. 6(b) — effective bandwidth vs transfer size\n" + table + "\n\n" + summary
+
+
+def bandwidth_is_monotonic(result: Fig6Result) -> bool:
+    """Effective bandwidth must grow with transfer size."""
+    fractions = [point.fraction_of_ideal for point in result.points]
+    return all(later >= earlier for earlier, later in zip(fractions, fractions[1:]))
+
+
+def small_transfers_lose_bandwidth(result: Fig6Result, threshold: float = 0.5) -> bool:
+    """The smallest transfer should fall well below the ideal bandwidth."""
+    return result.points[0].fraction_of_ideal < threshold
+
+
+def mc_buffers_recover_bandwidth(result: Fig6Result, threshold: float = 0.9) -> bool:
+    """Transfers sized to the MC-cluster memory should approach the ideal."""
+    return result.mc_buffer_fraction >= threshold

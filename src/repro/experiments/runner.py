@@ -1,0 +1,105 @@
+"""Common experiment-report utilities.
+
+Every experiment module exposes ``run_*()`` returning a structured result
+and ``format_report(result)`` rendering the same rows/series the paper
+reports.  This module holds the shared plumbing: simple text tables, unit
+helpers and the registry used by the ``python -m repro.experiments`` entry
+point and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a simple aligned text table."""
+    rows = [[_cell(value) for value in row] for row in rows]
+    headers = [str(header) for header in headers]
+    widths = [len(header) for header in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header length")
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = []
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_bytes(value: float) -> str:
+    """Human-readable byte count."""
+    if value < 0:
+        raise ValueError("byte count must be >= 0")
+    units = ["B", "KiB", "MiB", "GiB", "TiB"]
+    index = 0
+    value = float(value)
+    while value >= 1024.0 and index < len(units) - 1:
+        value /= 1024.0
+        index += 1
+    return f"{value:.2f} {units[index]}"
+
+
+def format_seconds(value: float) -> str:
+    """Human-readable time."""
+    if value < 0:
+        raise ValueError("time must be >= 0")
+    if value >= 1.0:
+        return f"{value:.3f} s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.3f} ms"
+    return f"{value * 1e6:.2f} us"
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Registry entry mapping a paper artifact to its runner."""
+
+    experiment_id: str
+    description: str
+    run: Callable[[], object]
+    report: Callable[[object], str]
+
+
+_REGISTRY: Dict[str, ExperimentSpec] = {}
+
+
+def register_experiment(spec: ExperimentSpec) -> ExperimentSpec:
+    if spec.experiment_id in _REGISTRY:
+        raise ValueError(f"duplicate experiment id {spec.experiment_id!r}")
+    _REGISTRY[spec.experiment_id] = spec
+    return spec
+
+
+def available_experiments() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    if experiment_id not in _REGISTRY:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: "
+            f"{', '.join(available_experiments())}"
+        )
+    return _REGISTRY[experiment_id]
+
+
+def run_and_report(experiment_id: str) -> str:
+    """Run one experiment and return its formatted report."""
+    spec = get_experiment(experiment_id)
+    result = spec.run()
+    return spec.report(result)

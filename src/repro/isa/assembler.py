@@ -1,0 +1,175 @@
+"""A small two-way assembler for the EdgeMM extension.
+
+``assemble`` turns assembly text (one instruction per line, ``#`` comments)
+into instruction objects; ``assemble_to_words`` additionally encodes them to
+32-bit words.  ``disassemble`` renders instruction objects back to text.
+
+The syntax mirrors the instruction ``text()`` output::
+
+    cfg.csrw 0x10, x5
+    mm.ld   m0, (x1)
+    mm.ld   m1, (x2)
+    mm.mul  m2, m0, m1
+    mm.st   m2, (x3)
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Sequence
+
+from .instructions import (
+    BaseInstruction,
+    CsrWrite,
+    LoadImmediate,
+    MMLoad,
+    MMMul,
+    MMStore,
+    MMZero,
+    MVMul,
+    MVPrune,
+    MVWeightLoad,
+    Sync,
+    VAdd,
+    VConvert,
+    VLoad,
+    VMax,
+    VMul,
+    VRelu,
+    VSilu,
+    VStore,
+)
+
+
+class AssemblerError(ValueError):
+    """Raised on malformed assembly input."""
+
+
+_REGISTER_RE = re.compile(r"^\(?([mvx])(\d+)\)?$")
+
+
+def _parse_operand(token: str) -> tuple:
+    """Parse one operand token into (kind, value).
+
+    Kinds: ``"m"`` matrix register, ``"v"`` vector register, ``"x"`` scalar
+    register, ``"imm"`` integer immediate.
+    """
+    token = token.strip()
+    match = _REGISTER_RE.match(token)
+    if match:
+        return match.group(1), int(match.group(2))
+    try:
+        return "imm", int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"cannot parse operand {token!r}") from None
+
+
+def _expect(operands: Sequence[tuple], kinds: Sequence[str], mnemonic: str) -> List[int]:
+    if len(operands) != len(kinds):
+        raise AssemblerError(
+            f"{mnemonic}: expected {len(kinds)} operand(s), got {len(operands)}"
+        )
+    values = []
+    for (kind, value), expected in zip(operands, kinds):
+        if kind != expected:
+            raise AssemblerError(
+                f"{mnemonic}: expected operand kind {expected!r}, got {kind!r}"
+            )
+        values.append(value)
+    return values
+
+
+def parse_line(line: str) -> BaseInstruction:
+    """Parse one line of assembly into an instruction object."""
+    code = line.split("#", 1)[0].strip()
+    if not code:
+        raise AssemblerError("empty line")
+    parts = code.split(None, 1)
+    mnemonic = parts[0].lower()
+    operand_text = parts[1] if len(parts) > 1 else ""
+    operands = [
+        _parse_operand(token) for token in operand_text.split(",") if token.strip()
+    ]
+
+    if mnemonic == "mm.ld":
+        md, rs = _expect(operands, ("m", "x"), mnemonic)
+        return MMLoad(md=md, rs=rs)
+    if mnemonic == "mm.st":
+        ms, rs = _expect(operands, ("m", "x"), mnemonic)
+        return MMStore(ms=ms, rs=rs)
+    if mnemonic == "mm.mul":
+        md, ms1, ms2 = _expect(operands, ("m", "m", "m"), mnemonic)
+        return MMMul(md=md, ms1=ms1, ms2=ms2)
+    if mnemonic == "mm.zero":
+        (md,) = _expect(operands, ("m",), mnemonic)
+        return MMZero(md=md)
+    if mnemonic == "mv.wld":
+        (rs,) = _expect(operands, ("x",), mnemonic)
+        return MVWeightLoad(rs=rs)
+    if mnemonic == "mv.mul":
+        vd, vs1 = _expect(operands, ("v", "v"), mnemonic)
+        return MVMul(vd=vd, vs1=vs1)
+    if mnemonic == "mv.prune":
+        vd, vs1 = _expect(operands, ("v", "v"), mnemonic)
+        return MVPrune(vd=vd, vs1=vs1)
+    if mnemonic == "v.ld":
+        vd, rs = _expect(operands, ("v", "x"), mnemonic)
+        return VLoad(vd=vd, rs=rs)
+    if mnemonic == "v.st":
+        vs, rs = _expect(operands, ("v", "x"), mnemonic)
+        return VStore(vs=vs, rs=rs)
+    if mnemonic == "v.add":
+        vd, vs1, vs2 = _expect(operands, ("v", "v", "v"), mnemonic)
+        return VAdd(vd=vd, vs1=vs1, vs2=vs2)
+    if mnemonic == "v.mul":
+        vd, vs1, vs2 = _expect(operands, ("v", "v", "v"), mnemonic)
+        return VMul(vd=vd, vs1=vs1, vs2=vs2)
+    if mnemonic == "v.max":
+        vd, vs1, vs2 = _expect(operands, ("v", "v", "v"), mnemonic)
+        return VMax(vd=vd, vs1=vs1, vs2=vs2)
+    if mnemonic == "v.relu":
+        vd, vs1 = _expect(operands, ("v", "v"), mnemonic)
+        return VRelu(vd=vd, vs1=vs1)
+    if mnemonic == "v.silu":
+        vd, vs1 = _expect(operands, ("v", "v"), mnemonic)
+        return VSilu(vd=vd, vs1=vs1)
+    if mnemonic == "v.cvt":
+        vd, vs1 = _expect(operands, ("v", "v"), mnemonic)
+        return VConvert(vd=vd, vs1=vs1)
+    if mnemonic == "cfg.csrw":
+        csr, rs = _expect(operands, ("imm", "x"), mnemonic)
+        return CsrWrite(csr=csr, rs=rs)
+    if mnemonic == "li":
+        rd, value = _expect(operands, ("x", "imm"), mnemonic)
+        return LoadImmediate(rd=rd, value=value)
+    if mnemonic == "sync":
+        _expect(operands, (), mnemonic)
+        return Sync()
+    raise AssemblerError(f"unknown mnemonic {mnemonic!r}")
+
+
+def assemble(source: str) -> List[BaseInstruction]:
+    """Assemble a multi-line program into instruction objects."""
+    program: List[BaseInstruction] = []
+    for line_number, line in enumerate(source.splitlines(), start=1):
+        stripped = line.split("#", 1)[0].strip()
+        if not stripped:
+            continue
+        try:
+            program.append(parse_line(stripped))
+        except AssemblerError as exc:
+            raise AssemblerError(f"line {line_number}: {exc}") from None
+    return program
+
+
+def assemble_to_words(source: str) -> List[int]:
+    """Assemble a program and encode every instruction to a 32-bit word.
+
+    Pseudo instructions (``li``) cannot be encoded and raise.
+    """
+    return [instruction.encode() for instruction in assemble(source)]
+
+
+def disassemble(program: Sequence[BaseInstruction]) -> str:
+    """Render a program back to assembly text."""
+    return "\n".join(instruction.text() for instruction in program)

@@ -1,0 +1,94 @@
+"""Binary decoder: 32-bit instruction words back to instruction objects.
+
+The decoder models the host core's role in the EdgeMM programming model:
+it recognises the extended major opcodes, extracts the format fields and
+reconstructs the instruction, which would then be dispatched to the
+coprocessor over the direct-linked interface.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .encoding import InstructionFormat, decode_fields
+from .instructions import (
+    BaseInstruction,
+    CsrWrite,
+    DECODE_TABLE,
+    MMLoad,
+    MMMul,
+    MMStore,
+    MMZero,
+    MVMul,
+    MVPrune,
+    MVWeightLoad,
+    Sync,
+    VAdd,
+    VConvert,
+    VLoad,
+    VMax,
+    VMul,
+    VRelu,
+    VSilu,
+    VStore,
+)
+
+
+class DecodeError(ValueError):
+    """Raised when a word does not correspond to a known instruction."""
+
+
+def decode(word: int) -> BaseInstruction:
+    """Decode one 32-bit instruction word into an instruction object."""
+    try:
+        fmt, fields = decode_fields(word)
+    except ValueError as exc:
+        raise DecodeError(str(exc)) from exc
+    func = fields["func"]
+    cls = DECODE_TABLE.get((fmt, func))
+    if cls is None:
+        raise DecodeError(f"no instruction with func={func} in format {fmt.value}")
+    return _rebuild(cls, fmt, fields)
+
+
+def decode_program(words: Sequence[int]) -> List[BaseInstruction]:
+    """Decode a sequence of instruction words."""
+    return [decode(word) for word in words]
+
+
+def _rebuild(cls, fmt: InstructionFormat, fields: dict) -> BaseInstruction:
+    if cls is MMLoad:
+        return MMLoad(md=fields["md"], rs=fields["ms1"] | (fields["uimm"] << 3))
+    if cls is MMStore:
+        return MMStore(ms=fields["md"], rs=fields["ms1"] | (fields["uimm"] << 3))
+    if cls is MMMul:
+        return MMMul(md=fields["md"], ms1=fields["ms1"], ms2=fields["ms2"])
+    if cls is MMZero:
+        return MMZero(md=fields["md"])
+    if cls is MVWeightLoad:
+        return MVWeightLoad(rs=fields["rs1"])
+    if cls is MVMul:
+        return MVMul(vd=fields["vd"], vs1=fields["vs1"])
+    if cls is MVPrune:
+        return MVPrune(vd=fields["vd"], vs1=fields["vs1"])
+    if cls is VLoad:
+        return VLoad(vd=fields["vd"], rs=fields["rs1"])
+    if cls is VStore:
+        return VStore(vs=fields["vd"], rs=fields["rs1"])
+    if cls is VAdd:
+        return VAdd(vd=fields["vd"], vs1=fields["vs1"], vs2=fields["vs2"])
+    if cls is VMul:
+        return VMul(vd=fields["vd"], vs1=fields["vs1"], vs2=fields["vs2"])
+    if cls is VMax:
+        return VMax(vd=fields["vd"], vs1=fields["vs1"], vs2=fields["vs2"])
+    if cls is VRelu:
+        return VRelu(vd=fields["vd"], vs1=fields["vs1"])
+    if cls is VSilu:
+        return VSilu(vd=fields["vd"], vs1=fields["vs1"])
+    if cls is VConvert:
+        return VConvert(vd=fields["vd"], vs1=fields["vs1"])
+    if cls is CsrWrite:
+        return CsrWrite(csr=fields["csr"], rs=fields["rs1"])
+    if cls is Sync:
+        return Sync()
+    raise DecodeError(f"decoder has no rebuild rule for {cls.__name__}")

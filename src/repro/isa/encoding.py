@@ -1,0 +1,166 @@
+"""Binary instruction formats of the EdgeMM AI extension (Fig. 7).
+
+The extension adds four 32-bit instruction formats on top of RISC-V:
+
+* **M-M** (matrix-matrix, CC-core): matrix registers for both sources and
+  the destination — ``func | uop | ms2 | ms1 | md | func3 | size | opcode``.
+* **M-V** (matrix-vector, MC-core): vector source/destination registers and
+  a scalar register holding the base address of the matrix operand —
+  ``func | uop | vs1 | rs1 | vd | func3 | opcode``.
+* **V-V** (vector-vector, all cores): a subset of RISC-V vector
+  instructions for activations and precision conversion.
+* **Config**: writes runtime parameters (vector/matrix sizes, core index)
+  into control and status registers (CSRs).
+
+Field positions follow the figure: bit 0 is the least-significant bit of
+the 32-bit word and the major opcode occupies bits [6:0].
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+class InstructionFormat(enum.Enum):
+    """The four extended instruction formats."""
+
+    MM = "m-m"
+    MV = "m-v"
+    VV = "v-v"
+    CONFIG = "config"
+
+
+#: Major opcodes chosen from RISC-V's *custom* opcode space.
+MAJOR_OPCODES: Dict[InstructionFormat, int] = {
+    InstructionFormat.MM: 0b0001011,      # custom-0
+    InstructionFormat.MV: 0b0101011,      # custom-1
+    InstructionFormat.VV: 0b1011011,      # custom-2
+    InstructionFormat.CONFIG: 0b1111011,  # custom-3
+}
+
+#: Reverse map from opcode value to format.
+OPCODE_TO_FORMAT: Dict[int, InstructionFormat] = {
+    value: fmt for fmt, value in MAJOR_OPCODES.items()
+}
+
+
+@dataclass(frozen=True)
+class BitField:
+    """A contiguous bit field ``[msb:lsb]`` inside a 32-bit word."""
+
+    name: str
+    lsb: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.lsb < 32:
+            raise ValueError("lsb out of range")
+        if self.width <= 0 or self.lsb + self.width > 32:
+            raise ValueError("field does not fit in a 32-bit word")
+
+    @property
+    def msb(self) -> int:
+        return self.lsb + self.width - 1
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.width) - 1
+
+    def insert(self, word: int, value: int) -> int:
+        if not 0 <= value <= self.mask:
+            raise ValueError(
+                f"value {value} does not fit in field {self.name!r} "
+                f"({self.width} bits)"
+            )
+        cleared = word & ~(self.mask << self.lsb)
+        return cleared | (value << self.lsb)
+
+    def extract(self, word: int) -> int:
+        return (word >> self.lsb) & self.mask
+
+
+# Field layouts per format (name -> BitField), LSB positions per Fig. 7.
+_FORMAT_FIELDS: Dict[InstructionFormat, Tuple[BitField, ...]] = {
+    InstructionFormat.MM: (
+        BitField("opcode", 0, 7),
+        BitField("size", 7, 3),
+        BitField("func3", 10, 3),
+        BitField("uimm", 13, 2),
+        BitField("md", 15, 3),
+        BitField("ms1", 18, 3),
+        BitField("ms2", 21, 3),
+        BitField("uop", 24, 3),
+        BitField("func", 27, 5),
+    ),
+    InstructionFormat.MV: (
+        BitField("opcode", 0, 7),
+        BitField("func3", 7, 3),
+        BitField("vd", 10, 5),
+        BitField("rs1", 15, 5),
+        BitField("vs1", 20, 5),
+        BitField("uop", 25, 2),
+        BitField("func", 27, 5),
+    ),
+    InstructionFormat.VV: (
+        BitField("opcode", 0, 7),
+        BitField("func3", 7, 3),
+        BitField("vd", 10, 5),
+        BitField("vs1", 15, 5),
+        BitField("vs2", 20, 5),
+        BitField("uop", 25, 2),
+        BitField("func", 27, 5),
+    ),
+    InstructionFormat.CONFIG: (
+        BitField("opcode", 0, 7),
+        BitField("size", 7, 3),
+        BitField("func3", 10, 3),
+        BitField("csr", 13, 7),
+        BitField("rs1", 20, 5),
+        BitField("uop", 25, 2),
+        BitField("func", 27, 5),
+    ),
+}
+
+
+def format_fields(fmt: InstructionFormat) -> Tuple[BitField, ...]:
+    """The ordered bit fields of an instruction format."""
+    return _FORMAT_FIELDS[fmt]
+
+
+def field_names(fmt: InstructionFormat) -> Tuple[str, ...]:
+    return tuple(field.name for field in _FORMAT_FIELDS[fmt])
+
+
+def encode_fields(fmt: InstructionFormat, **values: int) -> int:
+    """Pack field values into a 32-bit instruction word.
+
+    The ``opcode`` field is filled automatically from the format; any field
+    not supplied defaults to zero.
+    """
+    word = 0
+    provided = dict(values)
+    provided.setdefault("opcode", MAJOR_OPCODES[fmt])
+    known = field_names(fmt)
+    unknown = set(provided) - set(known)
+    if unknown:
+        raise ValueError(
+            f"unknown field(s) {sorted(unknown)} for format {fmt.value}; "
+            f"valid fields: {list(known)}"
+        )
+    for field in _FORMAT_FIELDS[fmt]:
+        word = field.insert(word, provided.get(field.name, 0))
+    return word
+
+
+def decode_fields(word: int) -> Tuple[InstructionFormat, Dict[str, int]]:
+    """Unpack a 32-bit instruction word into its format and field values."""
+    if not 0 <= word < (1 << 32):
+        raise ValueError("instruction word must be an unsigned 32-bit value")
+    opcode = word & 0x7F
+    fmt = OPCODE_TO_FORMAT.get(opcode)
+    if fmt is None:
+        raise ValueError(f"unknown major opcode 0b{opcode:07b}")
+    values = {field.name: field.extract(word) for field in _FORMAT_FIELDS[fmt]}
+    return fmt, values

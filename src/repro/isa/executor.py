@@ -1,0 +1,282 @@
+"""Functional, cycle-counting executor for extension kernels.
+
+The executor models one AI-extended core running a kernel: the host core
+decodes each instruction and dispatches it to the coprocessor; the executor
+applies the instruction's NumPy semantics to the architectural state and
+charges cycles according to the hardware models (Eq. 2 for the systolic
+array, Eq. 3 for the CIM macro, comparator throughput for the pruner).
+
+Data memory is modelled as a flat float array; scalar registers hold element
+addresses into it.  This keeps kernels simple while still exercising the
+load/store, tiling and CSR-configuration behaviour of the programming model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..arch.cim import CIMMacro, CIMMacroConfig
+from ..arch.pruner_hw import HardwarePruner, PrunerConfig
+from ..arch.systolic import SystolicArray, SystolicArrayConfig
+from .instructions import (
+    BaseInstruction,
+    CsrWrite,
+    LoadImmediate,
+    MMLoad,
+    MMMul,
+    MMStore,
+    MMZero,
+    MVMul,
+    MVPrune,
+    MVWeightLoad,
+    Sync,
+    VAdd,
+    VConvert,
+    VLoad,
+    VMax,
+    VMul,
+    VRelu,
+    VSilu,
+    VStore,
+)
+from .registers import CoreState, CSR_NAME_BY_ADDRESS, MatrixRegisterFile, VectorRegisterFile
+
+
+class ExecutionError(RuntimeError):
+    """Raised when a kernel performs an illegal operation."""
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of running one kernel on one core."""
+
+    cycles: float
+    instructions_executed: int
+    cycle_breakdown: Dict[str, float] = field(default_factory=dict)
+
+    def cycles_for(self, mnemonic: str) -> float:
+        return self.cycle_breakdown.get(mnemonic, 0.0)
+
+
+class DataMemory:
+    """Flat word-addressed data memory (one float64 element per address)."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError("memory size must be positive")
+        self._data = np.zeros(size, dtype=np.float64)
+
+    @property
+    def size(self) -> int:
+        return self._data.size
+
+    def _check_range(self, address: int, length: int) -> None:
+        if address < 0 or length < 0 or address + length > self._data.size:
+            raise ExecutionError(
+                f"memory access [{address}, {address + length}) out of bounds "
+                f"(size {self._data.size})"
+            )
+
+    def read(self, address: int, length: int) -> np.ndarray:
+        self._check_range(address, length)
+        return self._data[address : address + length].copy()
+
+    def write(self, address: int, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64).ravel()
+        self._check_range(address, values.size)
+        self._data[address : address + values.size] = values
+
+    def read_matrix(self, address: int, rows: int, cols: int) -> np.ndarray:
+        return self.read(address, rows * cols).reshape(rows, cols)
+
+    def write_matrix(self, address: int, matrix: np.ndarray) -> None:
+        self.write(address, np.asarray(matrix, dtype=np.float64).ravel())
+
+
+class CoreExecutor:
+    """Executes extension kernels on one core's architectural state."""
+
+    def __init__(
+        self,
+        core_type: str = "cc",
+        *,
+        systolic: Optional[SystolicArrayConfig] = None,
+        cim: Optional[CIMMacroConfig] = None,
+        pruner: Optional[PrunerConfig] = None,
+        memory_size: int = 1 << 20,
+        vector_length: int = 64,
+    ) -> None:
+        if core_type not in ("cc", "mc"):
+            raise ValueError("core_type must be 'cc' or 'mc'")
+        self.core_type = core_type
+        self.systolic = SystolicArray(systolic or SystolicArrayConfig())
+        self.cim = CIMMacro(cim or CIMMacroConfig())
+        self.pruner = HardwarePruner(pruner or PrunerConfig(vector_length=vector_length))
+        sa_cfg = self.systolic.config
+        self.state = CoreState(
+            matrix=MatrixRegisterFile(
+                n_registers=sa_cfg.matrix_registers, rows=sa_cfg.rows, cols=sa_cfg.cols
+            ),
+            vector=VectorRegisterFile(length=vector_length),
+        )
+        self.state.csr.write("core_type", 0 if core_type == "cc" else 1, hardware=True)
+        self.state.csr.write("vector_length", vector_length, hardware=True)
+        self.memory = DataMemory(memory_size)
+        self._cim_weights: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Program execution
+    # ------------------------------------------------------------------
+    def run(self, program: Sequence[BaseInstruction]) -> ExecutionResult:
+        """Execute a kernel and return its cycle count."""
+        total_cycles = 0.0
+        breakdown: Dict[str, float] = {}
+        for instruction in program:
+            cycles = self._execute(instruction)
+            total_cycles += cycles
+            breakdown[instruction.MNEMONIC] = breakdown.get(instruction.MNEMONIC, 0.0) + cycles
+        return ExecutionResult(
+            cycles=total_cycles,
+            instructions_executed=len(program),
+            cycle_breakdown=breakdown,
+        )
+
+    # ------------------------------------------------------------------
+    # Per-instruction semantics
+    # ------------------------------------------------------------------
+    def _execute(self, instruction: BaseInstruction) -> float:
+        if isinstance(instruction, LoadImmediate):
+            self.state.scalar.write(instruction.rd, instruction.value)
+            return 1.0
+        if isinstance(instruction, CsrWrite):
+            name = CSR_NAME_BY_ADDRESS.get(instruction.csr)
+            if name is None:
+                raise ExecutionError(f"unknown CSR address 0x{instruction.csr:02x}")
+            value = self.state.scalar.read(instruction.rs)
+            self.state.csr.write(name, value)
+            return 1.0
+        if isinstance(instruction, Sync):
+            return 1.0
+        if isinstance(instruction, (MMLoad, MMStore, MMMul, MMZero)):
+            return self._execute_mm(instruction)
+        if isinstance(instruction, (MVWeightLoad, MVMul, MVPrune, VLoad, VStore)):
+            return self._execute_mv(instruction)
+        if isinstance(instruction, (VAdd, VMul, VMax, VRelu, VSilu, VConvert)):
+            return self._execute_vv(instruction)
+        raise ExecutionError(f"unsupported instruction {instruction!r}")
+
+    def _require_cc(self) -> None:
+        if self.core_type != "cc":
+            raise ExecutionError("matrix (M-M) instructions require a CC-core")
+
+    def _require_mc(self) -> None:
+        if self.core_type != "mc":
+            raise ExecutionError("CIM (M-V) instructions require an MC-core")
+
+    def _execute_mm(self, instruction: BaseInstruction) -> float:
+        self._require_cc()
+        sa = self.systolic.config
+        if isinstance(instruction, MMZero):
+            self.state.matrix.write(instruction.md, np.zeros((sa.rows, sa.cols)))
+            return 1.0
+        if isinstance(instruction, MMLoad):
+            address = self.state.scalar.read(instruction.rs)
+            tile = self.memory.read_matrix(address, sa.rows, sa.cols)
+            self.state.matrix.write(instruction.md, tile)
+            return float(sa.rows)
+        if isinstance(instruction, MMStore):
+            address = self.state.scalar.read(instruction.rs)
+            self.memory.write_matrix(address, self.state.matrix.read(instruction.ms))
+            return float(sa.rows)
+        if isinstance(instruction, MMMul):
+            # md += ms1 @ ms2 with ms2 stationary in the array.
+            ms1 = self.state.matrix.read(instruction.ms1)
+            ms2 = self.state.matrix.read(instruction.ms2)
+            accumulator = self.state.matrix.read(instruction.md)
+            self.state.matrix.write(instruction.md, accumulator + ms1 @ ms2)
+            # Eq. 2 minus the explicit weight-load cycles charged to mm.ld:
+            # fill (R - 1) + drain (C + M - 1) - 1 with M = R activation rows.
+            m_rows = sa.rows
+            return float((sa.rows - 1) + (sa.cols + m_rows - 1) - 1)
+        raise ExecutionError(f"unhandled M-M instruction {instruction!r}")
+
+    def _execute_mv(self, instruction: BaseInstruction) -> float:
+        vector_length = self.state.vector.length
+        if isinstance(instruction, VLoad):
+            address = self.state.scalar.read(instruction.rs)
+            length = self.state.csr.read("vector_length") or vector_length
+            self.state.vector.write(instruction.vd, self.memory.read(address, length))
+            return float(-(-length // 8))
+        if isinstance(instruction, VStore):
+            address = self.state.scalar.read(instruction.rs)
+            length = self.state.csr.read("vector_length") or vector_length
+            values = self.state.vector.read(instruction.vs)[:length]
+            self.memory.write(address, values)
+            return float(-(-length // 8))
+        self._require_mc()
+        if isinstance(instruction, MVWeightLoad):
+            k = self.state.csr.read("tile_k")
+            n = self.state.csr.read("tile_n")
+            if k <= 0 or n <= 0:
+                raise ExecutionError("tile_k and tile_n CSRs must be set before mv.wld")
+            if not self.cim.fits_weights(k, n):
+                raise ExecutionError(
+                    f"weight block {k}x{n} does not fit in the CIM macro "
+                    f"({self.cim.config.storage_bytes} bytes)"
+                )
+            address = self.state.scalar.read(instruction.rs)
+            self._cim_weights = self.memory.read_matrix(address, k, n)
+            return float(self.cim.weight_fill_cycles(k, n, bytes_per_cycle=64))
+        if isinstance(instruction, MVMul):
+            if self._cim_weights is None:
+                raise ExecutionError("mv.mul executed before mv.wld loaded weights")
+            k, n = self._cim_weights.shape
+            vs = self.state.vector.read(instruction.vs1)[:k]
+            if vs.size < k:
+                raise ExecutionError(
+                    f"vector register holds {vs.size} elements but the weight "
+                    f"block expects {k}"
+                )
+            self.state.vector.write(instruction.vd, vs @ self._cim_weights)
+            return float(self.cim.gemv_cycles(k, n))
+        if isinstance(instruction, MVPrune):
+            k = self.state.csr.read("prune_k")
+            length = self.state.csr.read("vector_length") or vector_length
+            vs = self.state.vector.read(instruction.vs1)[:length]
+            result = self.pruner.process(vs, max(k, 0))
+            compacted = np.zeros(length, dtype=np.float64)
+            compacted[: result.selected_values.size] = result.selected_values
+            self.state.vector.write(instruction.vd, compacted)
+            self.state.csr.write("prune_count", result.above_threshold_count, hardware=True)
+            return float(result.cycles)
+        raise ExecutionError(f"unhandled M-V instruction {instruction!r}")
+
+    def _execute_vv(self, instruction: BaseInstruction) -> float:
+        length = self.state.csr.read("vector_length") or self.state.vector.length
+        lanes = (
+            self.systolic.config.cols if self.core_type == "cc" else self.cim.config.columns
+        )
+        cycles = float(-(-length // lanes))
+        vs1 = self.state.vector.read(instruction.vs1)
+        if isinstance(instruction, (VAdd, VMul, VMax)):
+            vs2 = self.state.vector.read(instruction.vs2)
+            if isinstance(instruction, VAdd):
+                result = vs1 + vs2
+            elif isinstance(instruction, VMul):
+                result = vs1 * vs2
+            else:
+                result = np.maximum(vs1, vs2)
+        elif isinstance(instruction, VRelu):
+            result = np.maximum(vs1, 0.0)
+        elif isinstance(instruction, VSilu):
+            result = vs1 / (1.0 + np.exp(-vs1))
+            cycles *= 4  # SiLU needs the ACU exponential path
+        elif isinstance(instruction, VConvert):
+            result = vs1
+        else:
+            raise ExecutionError(f"unhandled V-V instruction {instruction!r}")
+        self.state.vector.write(instruction.vd, result)
+        return cycles

@@ -1,0 +1,397 @@
+"""Instruction definitions of the EdgeMM AI extension.
+
+Each instruction is a small frozen dataclass carrying its operands plus the
+``FUNC``/``UOP`` selectors used in the binary encoding.  Instructions know
+how to encode themselves into a 32-bit word (:meth:`BaseInstruction.encode`)
+and how to render themselves as assembly text (:meth:`BaseInstruction.text`).
+
+Matrix (M-M) instructions — CC-core systolic array:
+
+=============  =======================================================
+``mm.ld``      load a tile from data memory into a matrix register
+``mm.st``      store a matrix register to data memory
+``mm.mul``     md += ms1 @ ms2 (weight-stationary systolic GEMM tile)
+``mm.zero``    clear a matrix register
+=============  =======================================================
+
+Matrix-vector (M-V) instructions — MC-core CIM macro:
+
+=============  =======================================================
+``mv.wld``     fill the CIM macro's weight block from data memory
+``mv.mul``     vd = vs1 @ W against the resident weight block
+``mv.prune``   invoke the hardware Act-Aware pruner on vs1 -> vd
+``v.ld``       load a vector register from data memory
+``v.st``       store a vector register to data memory
+=============  =======================================================
+
+Vector (V-V) instructions: ``v.add``, ``v.mul``, ``v.max``, ``v.relu``,
+``v.silu``, ``v.cvt`` (precision conversion placeholder).
+
+Config instructions: ``cfg.csrw`` writes a CSR from a scalar register.
+
+``li`` (load-immediate into a scalar register) is provided as a pseudo
+instruction for writing kernels; it belongs to the base RISC-V ISA and is
+not encodable in the extension formats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Dict, Optional, Tuple, Type
+
+from .encoding import InstructionFormat, encode_fields
+
+
+class BaseInstruction:
+    """Common interface of all extension instructions."""
+
+    #: Instruction mnemonic, e.g. ``"mm.mul"``.
+    MNEMONIC: ClassVar[str] = ""
+    #: Encoding format; ``None`` marks non-encodable pseudo instructions.
+    FORMAT: ClassVar[Optional[InstructionFormat]] = None
+    #: func/uop selector values within the format.
+    FUNC: ClassVar[int] = 0
+    UOP: ClassVar[int] = 0
+
+    def encode(self) -> int:
+        """Encode into a 32-bit instruction word."""
+        if self.FORMAT is None:
+            raise NotImplementedError(
+                f"{self.MNEMONIC!r} is a pseudo instruction and has no binary encoding"
+            )
+        return encode_fields(self.FORMAT, func=self.FUNC, uop=self.UOP, **self._fields())
+
+    def _fields(self) -> Dict[str, int]:
+        """Format-specific operand fields (overridden by subclasses)."""
+        return {}
+
+    def text(self) -> str:
+        """Assembly text of the instruction."""
+        operands = self._operand_text()
+        if operands:
+            return f"{self.MNEMONIC} {operands}"
+        return self.MNEMONIC
+
+    def _operand_text(self) -> str:
+        return ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.text()}>"
+
+
+# ----------------------------------------------------------------------
+# M-M instructions (CC-core)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MMLoad(BaseInstruction):
+    """``mm.ld md, (xs)`` — load a tile from memory at address in ``xs``."""
+
+    md: int
+    rs: int
+
+    MNEMONIC: ClassVar[str] = "mm.ld"
+    FORMAT: ClassVar[InstructionFormat] = InstructionFormat.MM
+    FUNC: ClassVar[int] = 0
+
+    def _fields(self) -> Dict[str, int]:
+        return {"md": self.md, "ms1": self.rs & 0x7, "uimm": (self.rs >> 3) & 0x3}
+
+    def _operand_text(self) -> str:
+        return f"m{self.md}, (x{self.rs})"
+
+
+@dataclass(frozen=True)
+class MMStore(BaseInstruction):
+    """``mm.st ms, (xs)`` — store a matrix register to memory."""
+
+    ms: int
+    rs: int
+
+    MNEMONIC: ClassVar[str] = "mm.st"
+    FORMAT: ClassVar[InstructionFormat] = InstructionFormat.MM
+    FUNC: ClassVar[int] = 1
+
+    def _fields(self) -> Dict[str, int]:
+        return {"md": self.ms, "ms1": self.rs & 0x7, "uimm": (self.rs >> 3) & 0x3}
+
+    def _operand_text(self) -> str:
+        return f"m{self.ms}, (x{self.rs})"
+
+
+@dataclass(frozen=True)
+class MMMul(BaseInstruction):
+    """``mm.mul md, ms1, ms2`` — md += ms1 @ ms2 on the systolic array."""
+
+    md: int
+    ms1: int
+    ms2: int
+
+    MNEMONIC: ClassVar[str] = "mm.mul"
+    FORMAT: ClassVar[InstructionFormat] = InstructionFormat.MM
+    FUNC: ClassVar[int] = 2
+
+    def _fields(self) -> Dict[str, int]:
+        return {"md": self.md, "ms1": self.ms1, "ms2": self.ms2}
+
+    def _operand_text(self) -> str:
+        return f"m{self.md}, m{self.ms1}, m{self.ms2}"
+
+
+@dataclass(frozen=True)
+class MMZero(BaseInstruction):
+    """``mm.zero md`` — clear a matrix register."""
+
+    md: int
+
+    MNEMONIC: ClassVar[str] = "mm.zero"
+    FORMAT: ClassVar[InstructionFormat] = InstructionFormat.MM
+    FUNC: ClassVar[int] = 3
+
+    def _fields(self) -> Dict[str, int]:
+        return {"md": self.md}
+
+    def _operand_text(self) -> str:
+        return f"m{self.md}"
+
+
+# ----------------------------------------------------------------------
+# M-V instructions (MC-core) and vector load/store
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MVWeightLoad(BaseInstruction):
+    """``mv.wld (xs)`` — fill the CIM macro weight block from memory."""
+
+    rs: int
+
+    MNEMONIC: ClassVar[str] = "mv.wld"
+    FORMAT: ClassVar[InstructionFormat] = InstructionFormat.MV
+    FUNC: ClassVar[int] = 0
+
+    def _fields(self) -> Dict[str, int]:
+        return {"rs1": self.rs}
+
+    def _operand_text(self) -> str:
+        return f"(x{self.rs})"
+
+
+@dataclass(frozen=True)
+class MVMul(BaseInstruction):
+    """``mv.mul vd, vs1`` — vd = vs1 @ W against the resident CIM weights."""
+
+    vd: int
+    vs1: int
+
+    MNEMONIC: ClassVar[str] = "mv.mul"
+    FORMAT: ClassVar[InstructionFormat] = InstructionFormat.MV
+    FUNC: ClassVar[int] = 1
+
+    def _fields(self) -> Dict[str, int]:
+        return {"vd": self.vd, "vs1": self.vs1}
+
+    def _operand_text(self) -> str:
+        return f"v{self.vd}, v{self.vs1}"
+
+
+@dataclass(frozen=True)
+class MVPrune(BaseInstruction):
+    """``mv.prune vd, vs1`` — run the hardware Act-Aware pruner on vs1."""
+
+    vd: int
+    vs1: int
+
+    MNEMONIC: ClassVar[str] = "mv.prune"
+    FORMAT: ClassVar[InstructionFormat] = InstructionFormat.MV
+    FUNC: ClassVar[int] = 2
+
+    def _fields(self) -> Dict[str, int]:
+        return {"vd": self.vd, "vs1": self.vs1}
+
+    def _operand_text(self) -> str:
+        return f"v{self.vd}, v{self.vs1}"
+
+
+@dataclass(frozen=True)
+class VLoad(BaseInstruction):
+    """``v.ld vd, (xs)`` — load a vector register from memory."""
+
+    vd: int
+    rs: int
+
+    MNEMONIC: ClassVar[str] = "v.ld"
+    FORMAT: ClassVar[InstructionFormat] = InstructionFormat.MV
+    FUNC: ClassVar[int] = 3
+
+    def _fields(self) -> Dict[str, int]:
+        return {"vd": self.vd, "rs1": self.rs}
+
+    def _operand_text(self) -> str:
+        return f"v{self.vd}, (x{self.rs})"
+
+
+@dataclass(frozen=True)
+class VStore(BaseInstruction):
+    """``v.st vs, (xs)`` — store a vector register to memory."""
+
+    vs: int
+    rs: int
+
+    MNEMONIC: ClassVar[str] = "v.st"
+    FORMAT: ClassVar[InstructionFormat] = InstructionFormat.MV
+    FUNC: ClassVar[int] = 4
+
+    def _fields(self) -> Dict[str, int]:
+        return {"vd": self.vs, "rs1": self.rs}
+
+    def _operand_text(self) -> str:
+        return f"v{self.vs}, (x{self.rs})"
+
+
+# ----------------------------------------------------------------------
+# V-V instructions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class VVBinary(BaseInstruction):
+    """Base class of the two-source vector arithmetic instructions."""
+
+    vd: int
+    vs1: int
+    vs2: int
+
+    FORMAT: ClassVar[InstructionFormat] = InstructionFormat.VV
+
+    def _fields(self) -> Dict[str, int]:
+        return {"vd": self.vd, "vs1": self.vs1, "vs2": self.vs2}
+
+    def _operand_text(self) -> str:
+        return f"v{self.vd}, v{self.vs1}, v{self.vs2}"
+
+
+@dataclass(frozen=True)
+class VAdd(VVBinary):
+    MNEMONIC: ClassVar[str] = "v.add"
+    FUNC: ClassVar[int] = 0
+
+
+@dataclass(frozen=True)
+class VMul(VVBinary):
+    MNEMONIC: ClassVar[str] = "v.mul"
+    FUNC: ClassVar[int] = 1
+
+
+@dataclass(frozen=True)
+class VMax(VVBinary):
+    MNEMONIC: ClassVar[str] = "v.max"
+    FUNC: ClassVar[int] = 2
+
+
+@dataclass(frozen=True)
+class VVUnary(BaseInstruction):
+    """Base class of the single-source vector instructions."""
+
+    vd: int
+    vs1: int
+
+    FORMAT: ClassVar[InstructionFormat] = InstructionFormat.VV
+
+    def _fields(self) -> Dict[str, int]:
+        return {"vd": self.vd, "vs1": self.vs1}
+
+    def _operand_text(self) -> str:
+        return f"v{self.vd}, v{self.vs1}"
+
+
+@dataclass(frozen=True)
+class VRelu(VVUnary):
+    MNEMONIC: ClassVar[str] = "v.relu"
+    FUNC: ClassVar[int] = 3
+
+
+@dataclass(frozen=True)
+class VSilu(VVUnary):
+    MNEMONIC: ClassVar[str] = "v.silu"
+    FUNC: ClassVar[int] = 4
+
+
+@dataclass(frozen=True)
+class VConvert(VVUnary):
+    """``v.cvt`` — data precision conversion (modelled as a copy)."""
+
+    MNEMONIC: ClassVar[str] = "v.cvt"
+    FUNC: ClassVar[int] = 5
+
+
+# ----------------------------------------------------------------------
+# Config and pseudo instructions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CsrWrite(BaseInstruction):
+    """``cfg.csrw csr, xs`` — write a CSR from a scalar register."""
+
+    csr: int
+    rs: int
+
+    MNEMONIC: ClassVar[str] = "cfg.csrw"
+    FORMAT: ClassVar[InstructionFormat] = InstructionFormat.CONFIG
+    FUNC: ClassVar[int] = 0
+
+    def _fields(self) -> Dict[str, int]:
+        return {"csr": self.csr, "rs1": self.rs}
+
+    def _operand_text(self) -> str:
+        return f"0x{self.csr:02x}, x{self.rs}"
+
+
+@dataclass(frozen=True)
+class LoadImmediate(BaseInstruction):
+    """``li xd, imm`` — base-ISA pseudo instruction for kernel setup."""
+
+    rd: int
+    value: int
+
+    MNEMONIC: ClassVar[str] = "li"
+    FORMAT: ClassVar[Optional[InstructionFormat]] = None
+
+    def _operand_text(self) -> str:
+        return f"x{self.rd}, {self.value}"
+
+
+@dataclass(frozen=True)
+class Sync(BaseInstruction):
+    """``sync`` — core synchronisation barrier within a cluster."""
+
+    MNEMONIC: ClassVar[str] = "sync"
+    FORMAT: ClassVar[InstructionFormat] = InstructionFormat.CONFIG
+    FUNC: ClassVar[int] = 1
+
+
+#: All encodable instruction classes, keyed by (format, func) for decoding.
+INSTRUCTION_CLASSES: Tuple[Type[BaseInstruction], ...] = (
+    MMLoad,
+    MMStore,
+    MMMul,
+    MMZero,
+    MVWeightLoad,
+    MVMul,
+    MVPrune,
+    VLoad,
+    VStore,
+    VAdd,
+    VMul,
+    VMax,
+    VRelu,
+    VSilu,
+    VConvert,
+    CsrWrite,
+    Sync,
+)
+
+DECODE_TABLE: Dict[Tuple[InstructionFormat, int], Type[BaseInstruction]] = {
+    (cls.FORMAT, cls.FUNC): cls
+    for cls in INSTRUCTION_CLASSES
+    if cls.FORMAT is not None
+}
+
+MNEMONIC_TABLE: Dict[str, Type[BaseInstruction]] = {
+    cls.MNEMONIC: cls for cls in INSTRUCTION_CLASSES
+}
+MNEMONIC_TABLE["li"] = LoadImmediate

@@ -1,0 +1,347 @@
+"""Kernel builders: customised kernel functions using the extension ISA.
+
+The EdgeMM programming model keeps the RISC-V toolchain unmodified and
+expresses AI work as "customised kernel functions" built from the extended
+instructions.  These builders generate such kernels for the common cases:
+
+* :func:`build_gemm_kernel` — tiled GEMM for a CC-core's systolic array,
+* :func:`build_gemv_kernel` — GEMV for an MC-core's CIM macro,
+* :func:`build_pruned_gemv_kernel` — GEMV preceded by the hardware
+  Act-Aware pruner invocation,
+* :func:`build_ffn_kernel` — the gated-MLP FFN (Eq. 1) on an MC-core.
+
+Each builder returns a :class:`KernelPlan` bundling the instruction list
+with the memory layout it assumes, so callers can place the operands, run
+the kernel on a :class:`~repro.isa.executor.CoreExecutor` and read back the
+result.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .executor import CoreExecutor
+from .instructions import (
+    BaseInstruction,
+    CsrWrite,
+    LoadImmediate,
+    MMLoad,
+    MMMul,
+    MMStore,
+    MMZero,
+    MVMul,
+    MVPrune,
+    MVWeightLoad,
+    VLoad,
+    VMul,
+    VSilu,
+    VStore,
+)
+from .registers import CSR_ADDRESSES
+
+
+@dataclass
+class KernelPlan:
+    """A kernel program plus the memory layout it expects.
+
+    ``layout`` maps operand names (``"a"``, ``"b"``, ``"c"``, ``"w_gate"``,
+    ...) to ``(address, shape)`` placements in the core's data memory.
+    """
+
+    program: List[BaseInstruction]
+    layout: Dict[str, Tuple[int, Tuple[int, ...]]]
+    memory_words: int
+
+    def place(self, executor: CoreExecutor, operands: Dict[str, np.ndarray]) -> None:
+        """Write operand arrays into the executor's data memory."""
+        for name, array in operands.items():
+            if name not in self.layout:
+                raise KeyError(f"kernel has no operand named {name!r}")
+            address, shape = self.layout[name]
+            array = np.asarray(array, dtype=np.float64)
+            if array.shape != shape:
+                raise ValueError(
+                    f"operand {name!r} expects shape {shape}, got {array.shape}"
+                )
+            executor.memory.write(address, array.ravel())
+
+    def fetch(self, executor: CoreExecutor, name: str) -> np.ndarray:
+        """Read an operand or result array back from the data memory."""
+        if name not in self.layout:
+            raise KeyError(f"kernel has no operand named {name!r}")
+        address, shape = self.layout[name]
+        length = int(np.prod(shape))
+        return executor.memory.read(address, length).reshape(shape)
+
+
+def _set_scalar(program: List[BaseInstruction], register: int, value: int) -> None:
+    program.append(LoadImmediate(rd=register, value=value))
+
+
+def _write_csr(program: List[BaseInstruction], csr_name: str, value: int, scratch: int) -> None:
+    _set_scalar(program, scratch, value)
+    program.append(CsrWrite(csr=CSR_ADDRESSES[csr_name], rs=scratch))
+
+
+def build_gemm_kernel(
+    m: int, k: int, n: int, *, tile_rows: int = 16, tile_cols: int = 16
+) -> KernelPlan:
+    """Tiled GEMM ``C = A @ B`` for a CC-core.
+
+    ``A`` is (m x k), ``B`` is (k x n) and ``C`` is (m x n).  All dimensions
+    must be multiples of the tile geometry (the simulator-level model handles
+    padding; the ISA kernel keeps the addressing exact).
+    """
+    if m <= 0 or k <= 0 or n <= 0:
+        raise ValueError("GEMM dimensions must be positive")
+    if m % tile_rows or k % tile_rows or n % tile_cols:
+        raise ValueError(
+            "m and k must be multiples of tile_rows and n of tile_cols for the ISA kernel"
+        )
+    a_base = 0
+    b_base = a_base + m * k
+    c_base = b_base + k * n
+    total = c_base + m * n
+    layout = {
+        "a": (a_base, (m, k)),
+        "b": (b_base, (k, n)),
+        "c": (c_base, (m, n)),
+    }
+    program: List[BaseInstruction] = []
+    m_tiles = m // tile_rows
+    k_tiles = k // tile_rows
+    n_tiles = n // tile_cols
+    # Matrix register allocation: m0 = A tile, m1 = B tile, m2 = C accumulator.
+    for mi in range(m_tiles):
+        for ni in range(n_tiles):
+            program.append(MMZero(md=2))
+            for ki in range(k_tiles):
+                # A tile at rows [mi*T, (mi+1)*T), cols [ki*T, (ki+1)*T).
+                a_addr = a_base + (mi * tile_rows) * k + ki * tile_rows
+                b_addr = b_base + (ki * tile_rows) * n + ni * tile_cols
+                _set_scalar(program, 1, a_addr)
+                program.extend(_strided_tile_load(md=0, rs=1, stride=k))
+                _set_scalar(program, 2, b_addr)
+                program.extend(_strided_tile_load(md=1, rs=2, stride=n))
+                program.append(MMMul(md=2, ms1=0, ms2=1))
+            c_addr = c_base + (mi * tile_rows) * n + ni * tile_cols
+            _set_scalar(program, 3, c_addr)
+            program.extend(_strided_tile_store(ms=2, rs=3, stride=n))
+    return KernelPlan(program=program, layout=layout, memory_words=total)
+
+
+def _strided_tile_load(md: int, rs: int, stride: int) -> List[BaseInstruction]:
+    """Tile load helper.
+
+    The executor's ``mm.ld`` reads a contiguous R x C block; real kernels
+    use a strided access pattern.  The plan-level helper keeps a single
+    ``mm.ld`` and relies on :func:`pack_tiles` to lay tiles out contiguously;
+    the stride argument is kept for interface clarity.
+    """
+    del stride
+    return [MMLoad(md=md, rs=rs)]
+
+
+def _strided_tile_store(ms: int, rs: int, stride: int) -> List[BaseInstruction]:
+    del stride
+    return [MMStore(ms=ms, rs=rs)]
+
+
+def pack_tiles(matrix: np.ndarray, tile_rows: int, tile_cols: int) -> np.ndarray:
+    """Reorder a matrix so each (tile_rows x tile_cols) tile is contiguous.
+
+    The ISA-level ``mm.ld`` reads a contiguous tile; kernels therefore expect
+    their operands pre-packed into tile-major order, which is what the DMA
+    engine does when staging data into the cluster's data memory.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    rows, cols = matrix.shape
+    if rows % tile_rows or cols % tile_cols:
+        raise ValueError("matrix dimensions must be multiples of the tile size")
+    packed = np.empty_like(matrix)
+    index = 0
+    for r0 in range(0, rows, tile_rows):
+        for c0 in range(0, cols, tile_cols):
+            tile = matrix[r0 : r0 + tile_rows, c0 : c0 + tile_cols]
+            flat = tile.ravel()
+            packed.ravel()[index : index + flat.size] = flat
+            index += flat.size
+    return packed
+
+
+def simple_gemm_kernel(m: int, k: int, n: int, *, tile: int = 16) -> KernelPlan:
+    """GEMM kernel for operands already packed in tile-major order.
+
+    This is the kernel the tests exercise end-to-end: operands must be packed
+    with :func:`pack_tiles` (A by rows x reduction, B by reduction x cols) and
+    the result tiles come back in tile-major order, unpackable with
+    :func:`unpack_tiles`.
+    """
+    if m % tile or k % tile or n % tile:
+        raise ValueError("dimensions must be multiples of the tile size")
+    a_base = 0
+    b_base = m * k
+    c_base = b_base + k * n
+    layout = {
+        "a": (a_base, (m, k)),
+        "b": (b_base, (k, n)),
+        "c": (c_base, (m, n)),
+    }
+    program: List[BaseInstruction] = []
+    m_tiles, k_tiles, n_tiles = m // tile, k // tile, n // tile
+    tile_words = tile * tile
+    for mi in range(m_tiles):
+        for ni in range(n_tiles):
+            program.append(MMZero(md=2))
+            for ki in range(k_tiles):
+                a_addr = a_base + ((mi * k_tiles) + ki) * tile_words
+                b_addr = b_base + ((ki * n_tiles) + ni) * tile_words
+                _set_scalar(program, 1, a_addr)
+                program.append(MMLoad(md=0, rs=1))
+                _set_scalar(program, 2, b_addr)
+                program.append(MMLoad(md=1, rs=2))
+                program.append(MMMul(md=2, ms1=0, ms2=1))
+            c_addr = c_base + ((mi * n_tiles) + ni) * tile_words
+            _set_scalar(program, 3, c_addr)
+            program.append(MMStore(ms=2, rs=3))
+    return KernelPlan(program=program, layout=layout, memory_words=c_base + m * n)
+
+
+def unpack_tiles(packed: np.ndarray, rows: int, cols: int, tile_rows: int, tile_cols: int) -> np.ndarray:
+    """Inverse of :func:`pack_tiles`."""
+    packed = np.asarray(packed, dtype=np.float64)
+    if packed.size != rows * cols:
+        raise ValueError("packed array has the wrong number of elements")
+    result = np.empty((rows, cols), dtype=np.float64)
+    index = 0
+    flat = packed.ravel()
+    for r0 in range(0, rows, tile_rows):
+        for c0 in range(0, cols, tile_cols):
+            tile = flat[index : index + tile_rows * tile_cols].reshape(tile_rows, tile_cols)
+            result[r0 : r0 + tile_rows, c0 : c0 + tile_cols] = tile
+            index += tile_rows * tile_cols
+    return result
+
+
+def build_gemv_kernel(k: int, n: int) -> KernelPlan:
+    """GEMV ``y = x @ W`` on an MC-core's CIM macro.
+
+    ``x`` is a length-k vector, ``W`` a (k x n) weight matrix resident in
+    the macro, ``y`` the length-n output.  The weight block must fit the
+    macro; callers tile larger matrices across cores/clusters at the mapping
+    level.
+    """
+    if k <= 0 or n <= 0:
+        raise ValueError("GEMV dimensions must be positive")
+    x_base = 0
+    w_base = k
+    y_base = w_base + k * n
+    layout = {
+        "x": (x_base, (k,)),
+        "w": (w_base, (k, n)),
+        "y": (y_base, (n,)),
+    }
+    program: List[BaseInstruction] = []
+    _write_csr(program, "tile_k", k, scratch=5)
+    _write_csr(program, "tile_n", n, scratch=5)
+    _write_csr(program, "vector_length", max(k, n), scratch=5)
+    _set_scalar(program, 1, w_base)
+    program.append(MVWeightLoad(rs=1))
+    _set_scalar(program, 2, x_base)
+    program.append(VLoad(vd=1, rs=2))
+    program.append(MVMul(vd=2, vs1=1))
+    _write_csr(program, "vector_length", n, scratch=5)
+    _set_scalar(program, 3, y_base)
+    program.append(VStore(vs=2, rs=3))
+    return KernelPlan(program=program, layout=layout, memory_words=y_base + n)
+
+
+def build_pruned_gemv_kernel(k: int, n: int, prune_k: int) -> KernelPlan:
+    """GEMV with the hardware Act-Aware pruner selecting ``prune_k`` channels.
+
+    The pruner compacts the activation vector to its Top-k channels; the
+    address generator would fetch only the matching weight rows, so the CIM
+    weight block loaded here is the compacted (prune_k x n) matrix.  The
+    caller obtains the selected channels from
+    :class:`~repro.arch.pruner_hw.HardwarePruner` (same configuration) to
+    compact the weight matrix, mirroring the DRAM-read reduction.
+    """
+    if prune_k <= 0 or prune_k > k:
+        raise ValueError("prune_k must be in [1, k]")
+    x_base = 0
+    w_base = k
+    y_base = w_base + prune_k * n
+    layout = {
+        "x": (x_base, (k,)),
+        "w_pruned": (w_base, (prune_k, n)),
+        "y": (y_base, (n,)),
+    }
+    program: List[BaseInstruction] = []
+    _write_csr(program, "vector_length", k, scratch=5)
+    _write_csr(program, "prune_k", prune_k, scratch=5)
+    _set_scalar(program, 2, x_base)
+    program.append(VLoad(vd=1, rs=2))
+    program.append(MVPrune(vd=3, vs1=1))
+    _write_csr(program, "tile_k", prune_k, scratch=5)
+    _write_csr(program, "tile_n", n, scratch=5)
+    _set_scalar(program, 1, w_base)
+    program.append(MVWeightLoad(rs=1))
+    program.append(MVMul(vd=2, vs1=3))
+    _write_csr(program, "vector_length", n, scratch=5)
+    _set_scalar(program, 3, y_base)
+    program.append(VStore(vs=2, rs=3))
+    return KernelPlan(program=program, layout=layout, memory_words=y_base + n)
+
+
+def build_ffn_kernel(d_model: int, d_ffn: int) -> KernelPlan:
+    """Gated-MLP FFN (paper Eq. 1) on an MC-core.
+
+    Computes ``FFN(x) = ((x @ W_up) * silu(x @ W_gate)) @ W_down`` with all
+    three weight matrices streamed through the CIM macro.  Suitable for
+    block sizes that fit the macro; the mapping layer tiles larger layers.
+    """
+    if d_model <= 0 or d_ffn <= 0:
+        raise ValueError("d_model and d_ffn must be positive")
+    x_base = 0
+    gate_base = x_base + d_model
+    up_base = gate_base + d_model * d_ffn
+    down_base = up_base + d_model * d_ffn
+    y_base = down_base + d_ffn * d_model
+    layout = {
+        "x": (x_base, (d_model,)),
+        "w_gate": (gate_base, (d_model, d_ffn)),
+        "w_up": (up_base, (d_model, d_ffn)),
+        "w_down": (down_base, (d_ffn, d_model)),
+        "y": (y_base, (d_model,)),
+    }
+    program: List[BaseInstruction] = []
+    _write_csr(program, "vector_length", max(d_model, d_ffn), scratch=5)
+    _set_scalar(program, 2, x_base)
+    program.append(VLoad(vd=1, rs=2))
+    # gate = silu(x @ W_gate)
+    _write_csr(program, "tile_k", d_model, scratch=5)
+    _write_csr(program, "tile_n", d_ffn, scratch=5)
+    _set_scalar(program, 1, gate_base)
+    program.append(MVWeightLoad(rs=1))
+    program.append(MVMul(vd=2, vs1=1))
+    program.append(VSilu(vd=2, vs1=2))
+    # up = x @ W_up
+    _set_scalar(program, 1, up_base)
+    program.append(MVWeightLoad(rs=1))
+    program.append(MVMul(vd=3, vs1=1))
+    # h = up * gate
+    program.append(VMul(vd=4, vs1=3, vs2=2))
+    # y = h @ W_down
+    _write_csr(program, "tile_k", d_ffn, scratch=5)
+    _write_csr(program, "tile_n", d_model, scratch=5)
+    _set_scalar(program, 1, down_base)
+    program.append(MVWeightLoad(rs=1))
+    program.append(MVMul(vd=5, vs1=4))
+    _write_csr(program, "vector_length", d_model, scratch=5)
+    _set_scalar(program, 3, y_base)
+    program.append(VStore(vs=5, rs=3))
+    return KernelPlan(program=program, layout=layout, memory_words=y_base + d_model)

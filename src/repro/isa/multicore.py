@@ -1,0 +1,273 @@
+"""Cluster-level execution of extension kernels across multiple cores.
+
+Section III-C describes EdgeMM's programming model: computing tasks are
+allocated across cores with tensor partitioning; every core reads its index
+and type from read-only CSRs, computes the address offsets of its tensor
+shard, runs the same kernel on that shard and synchronises with its
+neighbours at the end.
+
+:class:`ClusterExecutor` reproduces that model functionally: it instantiates
+one :class:`~repro.isa.executor.CoreExecutor` per core, partitions the output
+dimension of a GEMM/GEMV/FFN job across them, builds the per-core kernels
+with the existing kernel builders, runs them, gathers the shards and reports
+the parallel cycle count (the slowest core, plus a synchronisation cost).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..arch.cim import CIMMacroConfig
+from ..arch.systolic import SystolicArrayConfig
+from .executor import CoreExecutor, ExecutionResult
+from .kernels import (
+    build_ffn_kernel,
+    build_gemv_kernel,
+    pack_tiles,
+    simple_gemm_kernel,
+    unpack_tiles,
+)
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """Execution record of one core's shard."""
+
+    core_index: int
+    columns: Tuple[int, int]
+    cycles: float
+    instructions: int
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """Result of a cluster-level kernel execution."""
+
+    output: np.ndarray
+    shards: Tuple[ShardResult, ...]
+    sync_cycles: float
+
+    @property
+    def parallel_cycles(self) -> float:
+        """Wall-clock cycles: the slowest core plus the final barrier."""
+        if not self.shards:
+            return self.sync_cycles
+        return max(shard.cycles for shard in self.shards) + self.sync_cycles
+
+    @property
+    def total_core_cycles(self) -> float:
+        """Sum of per-core cycles (the work metric, not wall-clock)."""
+        return sum(shard.cycles for shard in self.shards)
+
+    @property
+    def load_balance(self) -> float:
+        """Slowest over mean core cycles (1.0 = perfectly balanced)."""
+        if not self.shards:
+            return 1.0
+        cycles = [shard.cycles for shard in self.shards]
+        mean = sum(cycles) / len(cycles)
+        if mean == 0:
+            return 1.0
+        return max(cycles) / mean
+
+
+def _column_shards(n: int, n_cores: int, multiple_of: int = 1) -> List[Tuple[int, int]]:
+    """Split ``n`` output columns into contiguous per-core ranges.
+
+    When ``multiple_of`` is given, shard boundaries are aligned to it (the
+    systolic-array kernels need tile-aligned shards); the last core absorbs
+    the remainder.
+    """
+    if n <= 0 or n_cores <= 0:
+        raise ValueError("n and n_cores must be positive")
+    base = math.ceil(n / n_cores)
+    if multiple_of > 1:
+        base = math.ceil(base / multiple_of) * multiple_of
+    shards: List[Tuple[int, int]] = []
+    start = 0
+    for _ in range(n_cores):
+        if start >= n:
+            break
+        stop = min(start + base, n)
+        shards.append((start, stop))
+        start = stop
+    return shards
+
+
+class ClusterExecutor:
+    """Runs extension kernels across the cores of one cluster."""
+
+    def __init__(
+        self,
+        core_type: str = "mc",
+        n_cores: int = 2,
+        *,
+        systolic: Optional[SystolicArrayConfig] = None,
+        cim: Optional[CIMMacroConfig] = None,
+        memory_size: int = 1 << 20,
+        vector_length: int = 8192,
+        sync_cycles: float = 16.0,
+    ) -> None:
+        if core_type not in ("cc", "mc"):
+            raise ValueError("core_type must be 'cc' or 'mc'")
+        if n_cores <= 0:
+            raise ValueError("n_cores must be positive")
+        if sync_cycles < 0:
+            raise ValueError("sync_cycles must be >= 0")
+        self.core_type = core_type
+        self.n_cores = n_cores
+        self.sync_cycles = sync_cycles
+        self.cores = [
+            CoreExecutor(
+                core_type,
+                systolic=systolic,
+                cim=cim,
+                memory_size=memory_size,
+                vector_length=vector_length,
+            )
+            for _ in range(n_cores)
+        ]
+        for index, core in enumerate(self.cores):
+            core.state.csr.write("core_index", index, hardware=True)
+
+    # ------------------------------------------------------------------
+    # GEMV across MC-cores (output channels sharded)
+    # ------------------------------------------------------------------
+    def gemv(self, x: np.ndarray, w: np.ndarray) -> ClusterResult:
+        """Compute ``x @ w`` with the output columns sharded across cores."""
+        self._require_type("mc")
+        x = np.asarray(x, dtype=np.float64).ravel()
+        w = np.asarray(w, dtype=np.float64)
+        if w.ndim != 2 or w.shape[0] != x.size:
+            raise ValueError("w must have shape (len(x), n)")
+        n = w.shape[1]
+        shards = _column_shards(n, self.n_cores)
+        output = np.zeros(n, dtype=np.float64)
+        shard_results: List[ShardResult] = []
+        for (start, stop), core in zip(shards, self.cores):
+            plan = build_gemv_kernel(x.size, stop - start)
+            plan.place(core, {"x": x, "w": w[:, start:stop]})
+            result = core.run(plan.program)
+            output[start:stop] = plan.fetch(core, "y")
+            shard_results.append(
+                self._shard(core, (start, stop), result)
+            )
+        return ClusterResult(
+            output=output, shards=tuple(shard_results), sync_cycles=self.sync_cycles
+        )
+
+    # ------------------------------------------------------------------
+    # GEMM across CC-cores (output columns sharded, tile aligned)
+    # ------------------------------------------------------------------
+    def gemm(self, a: np.ndarray, b: np.ndarray, *, tile: int = 16) -> ClusterResult:
+        """Compute ``a @ b`` with the output columns sharded across cores.
+
+        ``a`` must be (m x k) and ``b`` (k x n) with m, k, n multiples of the
+        tile size (the ISA kernel's alignment requirement).
+        """
+        self._require_type("cc")
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise ValueError("a and b must be conformable matrices")
+        m, k = a.shape
+        n = b.shape[1]
+        if m % tile or k % tile or n % tile:
+            raise ValueError("m, k and n must be multiples of the tile size")
+        shards = _column_shards(n, self.n_cores, multiple_of=tile)
+        output = np.zeros((m, n), dtype=np.float64)
+        shard_results: List[ShardResult] = []
+        packed_a = pack_tiles(a, tile, tile)
+        for (start, stop), core in zip(shards, self.cores):
+            cols = stop - start
+            plan = simple_gemm_kernel(m, k, cols, tile=tile)
+            plan.place(
+                core,
+                {"a": packed_a, "b": pack_tiles(b[:, start:stop], tile, tile)},
+            )
+            result = core.run(plan.program)
+            packed_c = plan.fetch(core, "c")
+            output[:, start:stop] = unpack_tiles(packed_c.ravel(), m, cols, tile, tile)
+            shard_results.append(self._shard(core, (start, stop), result))
+        return ClusterResult(
+            output=output, shards=tuple(shard_results), sync_cycles=self.sync_cycles
+        )
+
+    # ------------------------------------------------------------------
+    # Gated FFN across MC-cores (FFN channels sharded)
+    # ------------------------------------------------------------------
+    def gated_ffn(
+        self,
+        x: np.ndarray,
+        w_gate: np.ndarray,
+        w_up: np.ndarray,
+        w_down: np.ndarray,
+    ) -> ClusterResult:
+        """Compute the gated-MLP FFN (Eq. 1) sharded over the d_ffn dimension.
+
+        Each core evaluates its slice of the FFN channels (gate/up columns and
+        the matching down rows); the partial outputs are summed at the end,
+        which is what the cluster's shared buffer is for.
+        """
+        self._require_type("mc")
+        x = np.asarray(x, dtype=np.float64).ravel()
+        w_gate = np.asarray(w_gate, dtype=np.float64)
+        w_up = np.asarray(w_up, dtype=np.float64)
+        w_down = np.asarray(w_down, dtype=np.float64)
+        d_model = x.size
+        if w_gate.shape != w_up.shape or w_gate.shape[0] != d_model:
+            raise ValueError("w_gate/w_up must have shape (d_model, d_ffn)")
+        d_ffn = w_gate.shape[1]
+        if w_down.shape != (d_ffn, d_model):
+            raise ValueError("w_down must have shape (d_ffn, d_model)")
+        shards = _column_shards(d_ffn, self.n_cores)
+        output = np.zeros(d_model, dtype=np.float64)
+        shard_results: List[ShardResult] = []
+        for (start, stop), core in zip(shards, self.cores):
+            plan = build_ffn_kernel(d_model, stop - start)
+            plan.place(
+                core,
+                {
+                    "x": x,
+                    "w_gate": w_gate[:, start:stop],
+                    "w_up": w_up[:, start:stop],
+                    "w_down": w_down[start:stop, :],
+                },
+            )
+            result = core.run(plan.program)
+            output += plan.fetch(core, "y")
+            shard_results.append(self._shard(core, (start, stop), result))
+        return ClusterResult(
+            output=output, shards=tuple(shard_results), sync_cycles=self.sync_cycles
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _require_type(self, expected: str) -> None:
+        if self.core_type != expected:
+            raise ValueError(
+                f"this operation requires {expected.upper()}-cores, but the "
+                f"cluster was built with {self.core_type.upper()}-cores"
+            )
+
+    def _shard(
+        self, core: CoreExecutor, columns: Tuple[int, int], result: ExecutionResult
+    ) -> ShardResult:
+        return ShardResult(
+            core_index=core.state.csr.read("core_index"),
+            columns=columns,
+            cycles=result.cycles,
+            instructions=result.instructions_executed,
+        )
+
+    def core_indices(self) -> Dict[int, int]:
+        """The core-index CSR value of every core (programming-model check)."""
+        return {
+            index: core.state.csr.read("core_index")
+            for index, core in enumerate(self.cores)
+        }

@@ -1,0 +1,216 @@
+"""Architectural register state of an AI-extended core.
+
+A core's extension state comprises:
+
+* a **matrix register file** (CC-cores): four R x C matrix registers shared
+  between the systolic array and the vector unit,
+* a **vector register file** (all cores): 32 vector registers of element
+  width C used by the V-V subset and as the M-V source/destination,
+* a **scalar register file**: the 32 RISC-V integer registers (x0 wired to
+  zero) used for addresses,
+* a **CSR file** storing runtime parameters — tile sizes, the core/cluster
+  index and type (read-only), and the pruning parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+
+class MatrixRegisterFile:
+    """The R x C matrix registers of a CC-core."""
+
+    def __init__(self, n_registers: int = 4, rows: int = 16, cols: int = 16) -> None:
+        if n_registers <= 0 or rows <= 0 or cols <= 0:
+            raise ValueError("register file dimensions must be positive")
+        self.n_registers = n_registers
+        self.rows = rows
+        self.cols = cols
+        self._data = np.zeros((n_registers, rows, cols), dtype=np.float64)
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.n_registers:
+            raise IndexError(
+                f"matrix register m{index} out of range (0..{self.n_registers - 1})"
+            )
+
+    def read(self, index: int) -> np.ndarray:
+        self._check_index(index)
+        return self._data[index].copy()
+
+    def write(self, index: int, value: np.ndarray) -> None:
+        self._check_index(index)
+        value = np.asarray(value, dtype=np.float64)
+        if value.shape != (self.rows, self.cols):
+            raise ValueError(
+                f"matrix register m{index} expects shape "
+                f"({self.rows}, {self.cols}), got {value.shape}"
+            )
+        self._data[index] = value
+
+    def write_tile(self, index: int, tile: np.ndarray) -> None:
+        """Write a possibly smaller tile into the top-left corner, zero-padding."""
+        self._check_index(index)
+        tile = np.asarray(tile, dtype=np.float64)
+        if tile.ndim != 2:
+            raise ValueError("tile must be two-dimensional")
+        if tile.shape[0] > self.rows or tile.shape[1] > self.cols:
+            raise ValueError(
+                f"tile shape {tile.shape} exceeds register shape "
+                f"({self.rows}, {self.cols})"
+            )
+        padded = np.zeros((self.rows, self.cols), dtype=np.float64)
+        padded[: tile.shape[0], : tile.shape[1]] = tile
+        self._data[index] = padded
+
+    def row(self, index: int, row: int) -> np.ndarray:
+        """One row of a matrix register (the vector unit's operand width)."""
+        self._check_index(index)
+        if not 0 <= row < self.rows:
+            raise IndexError("row out of range")
+        return self._data[index, row].copy()
+
+    def reset(self) -> None:
+        self._data[:] = 0.0
+
+
+class VectorRegisterFile:
+    """The 32 vector registers shared by the V-V and M-V instructions."""
+
+    def __init__(self, n_registers: int = 32, length: int = 64) -> None:
+        if n_registers <= 0 or length <= 0:
+            raise ValueError("register file dimensions must be positive")
+        self.n_registers = n_registers
+        self.length = length
+        self._data = np.zeros((n_registers, length), dtype=np.float64)
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.n_registers:
+            raise IndexError(
+                f"vector register v{index} out of range (0..{self.n_registers - 1})"
+            )
+
+    def read(self, index: int) -> np.ndarray:
+        self._check_index(index)
+        return self._data[index].copy()
+
+    def write(self, index: int, value: np.ndarray) -> None:
+        self._check_index(index)
+        value = np.asarray(value, dtype=np.float64).ravel()
+        if value.size > self.length:
+            raise ValueError(
+                f"vector of {value.size} elements exceeds register length {self.length}"
+            )
+        padded = np.zeros(self.length, dtype=np.float64)
+        padded[: value.size] = value
+        self._data[index] = padded
+
+    def reset(self) -> None:
+        self._data[:] = 0.0
+
+
+class ScalarRegisterFile:
+    """The 32 RISC-V integer registers; x0 is hard-wired to zero."""
+
+    def __init__(self) -> None:
+        self._data = [0] * 32
+
+    def read(self, index: int) -> int:
+        if not 0 <= index < 32:
+            raise IndexError("scalar register index out of range")
+        return self._data[index]
+
+    def write(self, index: int, value: int) -> None:
+        if not 0 <= index < 32:
+            raise IndexError("scalar register index out of range")
+        if index == 0:
+            return
+        self._data[index] = int(value)
+
+    def reset(self) -> None:
+        self._data = [0] * 32
+
+
+#: CSR addresses of the extension's runtime parameters.
+CSR_ADDRESSES: Dict[str, int] = {
+    "core_index": 0x00,
+    "cluster_index": 0x01,
+    "core_type": 0x02,       # 0 = CC, 1 = MC (read-only)
+    "tile_m": 0x10,
+    "tile_k": 0x11,
+    "tile_n": 0x12,
+    "vector_length": 0x13,
+    "prune_k": 0x20,
+    "prune_threshold": 0x21,
+    "prune_count": 0x22,     # written by the hardware pruner (n of Alg. 1)
+}
+
+#: CSRs that software may not write (identification registers).
+READ_ONLY_CSRS = frozenset({"core_index", "cluster_index", "core_type"})
+
+CSR_NAME_BY_ADDRESS: Dict[int, str] = {addr: name for name, addr in CSR_ADDRESSES.items()}
+
+
+class CSRFile:
+    """Control and status registers holding the extension's runtime state."""
+
+    def __init__(self, initial: Optional[Dict[str, int]] = None) -> None:
+        self._values: Dict[str, int] = {name: 0 for name in CSR_ADDRESSES}
+        if initial:
+            for name, value in initial.items():
+                self._require_known(name)
+                self._values[name] = int(value)
+
+    @staticmethod
+    def _require_known(name: str) -> None:
+        if name not in CSR_ADDRESSES:
+            raise KeyError(
+                f"unknown CSR {name!r}; known CSRs: {', '.join(sorted(CSR_ADDRESSES))}"
+            )
+
+    def read(self, name: str) -> int:
+        self._require_known(name)
+        return self._values[name]
+
+    def read_address(self, address: int) -> int:
+        name = CSR_NAME_BY_ADDRESS.get(address)
+        if name is None:
+            raise KeyError(f"unknown CSR address 0x{address:02x}")
+        return self._values[name]
+
+    def write(self, name: str, value: int, *, hardware: bool = False) -> None:
+        """Write a CSR; software writes to read-only CSRs raise."""
+        self._require_known(name)
+        if name in READ_ONLY_CSRS and not hardware:
+            raise PermissionError(f"CSR {name!r} is read-only for software")
+        self._values[name] = int(value)
+
+    def write_address(self, address: int, value: int, *, hardware: bool = False) -> None:
+        name = CSR_NAME_BY_ADDRESS.get(address)
+        if name is None:
+            raise KeyError(f"unknown CSR address 0x{address:02x}")
+        self.write(name, value, hardware=hardware)
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self._values)
+
+
+@dataclass
+class CoreState:
+    """The complete architectural state of one AI-extended core."""
+
+    matrix: MatrixRegisterFile = field(default_factory=MatrixRegisterFile)
+    vector: VectorRegisterFile = field(default_factory=VectorRegisterFile)
+    scalar: ScalarRegisterFile = field(default_factory=ScalarRegisterFile)
+    csr: CSRFile = field(default_factory=CSRFile)
+
+    def reset(self) -> None:
+        self.matrix.reset()
+        self.vector.reset()
+        self.scalar.reset()
+        self.csr = CSRFile(
+            {name: self.csr.read(name) for name in ("core_index", "cluster_index", "core_type")}
+        )

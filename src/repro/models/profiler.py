@@ -1,0 +1,192 @@
+"""Workload profiling utilities (Fig. 2 of the paper).
+
+The profiler answers the questions Section II-B asks about edge MLLMs:
+
+* how the inference latency splits across vision encoder / projector /
+  prefill / decode as the output token length grows (Fig. 2(a)),
+* the per-phase model statistics — FLOPs, parameters, arithmetic
+  intensity (Fig. 2(b)),
+* where the DRAM traffic goes — FFN weights vs attention weights vs KV
+  cache vs activations (Fig. 2(c)).
+
+Latency numbers require a hardware model; the profiler accepts any object
+with an ``execute_phase(phase) -> PhaseResult``-like interface (the EdgeMM
+simulator, the homogeneous variants and the GPU baseline all provide one),
+but the traffic and FLOP statistics are hardware-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from .mllm import InferenceRequest, MLLMConfig
+from .ops import OpKind, Phase, Workload
+
+
+@dataclass(frozen=True)
+class PhaseStatistics:
+    """Hardware-independent statistics of one phase."""
+
+    name: str
+    flops: int
+    weight_bytes: int
+    activation_bytes: int
+    output_bytes: int
+    op_count: int
+    gemm_flops: int
+    gemv_flops: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.weight_bytes + self.activation_bytes + self.output_bytes
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        total = self.total_bytes
+        return self.flops / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class WorkloadStatistics:
+    """Per-phase and aggregate statistics of a workload (Fig. 2(b))."""
+
+    workload_name: str
+    phases: Dict[str, PhaseStatistics]
+
+    @property
+    def total_flops(self) -> int:
+        return sum(p.flops for p in self.phases.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(p.total_bytes for p in self.phases.values())
+
+    def phase(self, name: str) -> PhaseStatistics:
+        if name not in self.phases:
+            raise KeyError(f"no phase named {name!r} in {self.workload_name}")
+        return self.phases[name]
+
+
+def phase_statistics(phase: Phase) -> PhaseStatistics:
+    """Compute hardware-independent statistics of a phase."""
+    gemm_flops = phase.repeat * sum(
+        op.flops for op in phase.ops if op.kind is OpKind.GEMM
+    )
+    gemv_flops = phase.repeat * sum(
+        op.flops for op in phase.ops if op.kind is OpKind.GEMV
+    )
+    return PhaseStatistics(
+        name=phase.name,
+        flops=phase.flops,
+        weight_bytes=phase.weight_bytes,
+        activation_bytes=phase.activation_bytes,
+        output_bytes=phase.output_bytes,
+        op_count=phase.repeat * len(phase.ops),
+        gemm_flops=gemm_flops,
+        gemv_flops=gemv_flops,
+    )
+
+
+def workload_statistics(workload: Workload) -> WorkloadStatistics:
+    """Per-phase statistics for a whole workload."""
+    return WorkloadStatistics(
+        workload_name=workload.name,
+        phases={phase.name: phase_statistics(phase) for phase in workload.phases},
+    )
+
+
+def memory_access_breakdown(workload: Workload) -> Dict[str, int]:
+    """DRAM traffic grouped by operator tag (Fig. 2(c)).
+
+    Tags of interest: ``ffn`` (FFN weights + activations), ``attn_proj``
+    (attention projection weights), ``kv_cache``, ``lm_head``, plus the
+    encoder-side tags.  Weight and activation traffic are both included, as
+    in the paper's figure.
+    """
+    breakdown: Dict[str, int] = {}
+    for phase in workload.phases:
+        for tag, traffic in phase.traffic_by_tag().items():
+            label = tag or "other"
+            breakdown[label] = breakdown.get(label, 0) + traffic
+    return breakdown
+
+
+def weight_traffic_breakdown(workload: Workload) -> Dict[str, int]:
+    """Weight-only DRAM traffic grouped by operator tag."""
+    breakdown: Dict[str, int] = {}
+    for phase in workload.phases:
+        for op in phase.ops:
+            label = op.tag or "other"
+            breakdown[label] = breakdown.get(label, 0) + phase.repeat * op.weight_bytes
+    return breakdown
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Per-phase latency of one request on one hardware model (Fig. 2(a))."""
+
+    workload_name: str
+    hardware_name: str
+    output_tokens: int
+    phase_latency_s: Dict[str, float]
+
+    @property
+    def total_latency_s(self) -> float:
+        return sum(self.phase_latency_s.values())
+
+    def fraction(self, phase_name: str) -> float:
+        total = self.total_latency_s
+        if total == 0:
+            return 0.0
+        return self.phase_latency_s.get(phase_name, 0.0) / total
+
+
+def latency_breakdown(
+    model: MLLMConfig,
+    request: InferenceRequest,
+    hardware,
+    *,
+    hardware_name: Optional[str] = None,
+) -> LatencyBreakdown:
+    """Per-phase latency of a request on a hardware model.
+
+    ``hardware`` must expose ``execute_phase(phase)`` returning an object
+    with a ``latency_s`` attribute (all hardware models in this package do).
+    """
+    workload = model.build_workload(request)
+    phase_latency: Dict[str, float] = {}
+    for phase in workload.phases:
+        result = hardware.execute_phase(phase)
+        phase_latency[phase.name] = float(result.latency_s)
+    return LatencyBreakdown(
+        workload_name=workload.name,
+        hardware_name=hardware_name or type(hardware).__name__,
+        output_tokens=request.output_tokens,
+        phase_latency_s=phase_latency,
+    )
+
+
+def latency_sweep(
+    model: MLLMConfig,
+    hardware,
+    output_token_lengths: Sequence[int],
+    *,
+    images: int = 1,
+    prompt_text_tokens: int = 32,
+    hardware_name: Optional[str] = None,
+) -> List[LatencyBreakdown]:
+    """Latency breakdowns across a range of output token lengths (Fig. 2(a))."""
+    if not output_token_lengths:
+        raise ValueError("output_token_lengths must not be empty")
+    results = []
+    for length in output_token_lengths:
+        request = InferenceRequest(
+            images=images,
+            prompt_text_tokens=prompt_text_tokens,
+            output_tokens=length,
+        )
+        results.append(
+            latency_breakdown(model, request, hardware, hardware_name=hardware_name)
+        )
+    return results

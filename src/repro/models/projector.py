@@ -1,0 +1,220 @@
+"""Projector definitions aligning vision features with the language model.
+
+Table I of the paper lists three projector families: a plain MLP (LLaVA,
+SPHINX, DeepSeek-VL, KarmaVLM), the lightweight downsample projector (LDP,
+MobileVLM) and the Q-Former (TinyGPT-V).  All of them are tiny relative to
+the encoder and LLM (the paper notes projector latency is negligible) but
+they are included so the latency breakdown of Fig. 2 can report them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .ops import OpKind, Phase, elementwise_op, matmul_op
+from .transformer import TransformerLayerConfig, encoder_layer_ops
+
+
+@dataclass(frozen=True)
+class MLPProjectorConfig:
+    """Two-layer MLP projector (GELU in between)."""
+
+    name: str
+    input_dim: int
+    output_dim: int
+    hidden_dim: int = 0  # 0 means single linear layer
+    weight_bytes: float = 1.0
+    activation_bytes: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.input_dim <= 0 or self.output_dim <= 0:
+            raise ValueError("input_dim and output_dim must be positive")
+        if self.hidden_dim < 0:
+            raise ValueError("hidden_dim must be >= 0")
+
+    @property
+    def parameter_count(self) -> int:
+        if self.hidden_dim:
+            return self.input_dim * self.hidden_dim + self.hidden_dim * self.output_dim
+        return self.input_dim * self.output_dim
+
+    @property
+    def parameter_bytes(self) -> int:
+        return int(round(self.parameter_count * self.weight_bytes))
+
+    def project_phase(self, tokens: int) -> Phase:
+        """Project ``tokens`` vision tokens into the LLM embedding space."""
+        if tokens <= 0:
+            raise ValueError("tokens must be positive")
+        phase = Phase(name="projector")
+        common = dict(
+            weight_bytes_per_element=self.weight_bytes,
+            activation_bytes_per_element=self.activation_bytes,
+            tag="projector",
+        )
+        if self.hidden_dim:
+            phase.add(
+                matmul_op(f"{self.name}.fc1", tokens, self.input_dim, self.hidden_dim, **common)
+            )
+            phase.add(
+                elementwise_op(
+                    f"{self.name}.gelu",
+                    tokens * self.hidden_dim,
+                    kind=OpKind.ACTIVATION,
+                    bytes_per_element=self.activation_bytes,
+                    flops_per_element=8.0,
+                    tag="projector",
+                )
+            )
+            phase.add(
+                matmul_op(f"{self.name}.fc2", tokens, self.hidden_dim, self.output_dim, **common)
+            )
+        else:
+            phase.add(
+                matmul_op(f"{self.name}.fc", tokens, self.input_dim, self.output_dim, **common)
+            )
+        return phase
+
+    def output_tokens(self, input_tokens: int) -> int:
+        """MLP projection preserves the token count."""
+        return input_tokens
+
+
+@dataclass(frozen=True)
+class LDPProjectorConfig:
+    """Lightweight downsample projector (MobileVLM): MLP + 2x downsample."""
+
+    name: str
+    input_dim: int
+    output_dim: int
+    downsample: int = 2
+    weight_bytes: float = 1.0
+    activation_bytes: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.downsample < 1:
+            raise ValueError("downsample must be >= 1")
+
+    @property
+    def parameter_count(self) -> int:
+        pointwise = self.input_dim * self.output_dim + self.output_dim * self.output_dim
+        depthwise = 2 * 3 * 3 * self.output_dim
+        return pointwise + depthwise
+
+    @property
+    def parameter_bytes(self) -> int:
+        return int(round(self.parameter_count * self.weight_bytes))
+
+    def project_phase(self, tokens: int) -> Phase:
+        if tokens <= 0:
+            raise ValueError("tokens must be positive")
+        phase = Phase(name="projector")
+        common = dict(
+            weight_bytes_per_element=self.weight_bytes,
+            activation_bytes_per_element=self.activation_bytes,
+            tag="projector",
+        )
+        phase.add(
+            matmul_op(f"{self.name}.pw1", tokens, self.input_dim, self.output_dim, **common)
+        )
+        phase.add(
+            matmul_op(f"{self.name}.dw1", tokens, 3 * 3, self.output_dim, **common)
+        )
+        out_tokens = self.output_tokens(tokens)
+        phase.add(
+            matmul_op(f"{self.name}.dw2", out_tokens, 3 * 3, self.output_dim, **common)
+        )
+        phase.add(
+            matmul_op(f"{self.name}.pw2", out_tokens, self.output_dim, self.output_dim, **common)
+        )
+        return phase
+
+    def output_tokens(self, input_tokens: int) -> int:
+        return max(input_tokens // (self.downsample * self.downsample), 1)
+
+
+@dataclass(frozen=True)
+class QFormerProjectorConfig:
+    """Q-Former projector (BLIP-2 / TinyGPT-V): a small cross-attention stack."""
+
+    name: str
+    input_dim: int
+    output_dim: int
+    n_layers: int = 6
+    n_queries: int = 32
+    d_model: int = 768
+    n_heads: int = 12
+    weight_bytes: float = 1.0
+    activation_bytes: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.n_layers <= 0 or self.n_queries <= 0:
+            raise ValueError("n_layers and n_queries must be positive")
+
+    def _layer_config(self) -> TransformerLayerConfig:
+        return TransformerLayerConfig(
+            d_model=self.d_model,
+            n_heads=self.n_heads,
+            d_ffn=4 * self.d_model,
+            gated_ffn=False,
+            weight_bytes=self.weight_bytes,
+            activation_bytes=self.activation_bytes,
+        )
+
+    @property
+    def parameter_count(self) -> int:
+        blocks = self.n_layers * self._layer_config().parameter_count
+        in_proj = self.input_dim * self.d_model
+        out_proj = self.d_model * self.output_dim
+        return blocks + in_proj + out_proj
+
+    @property
+    def parameter_bytes(self) -> int:
+        return int(round(self.parameter_count * self.weight_bytes))
+
+    def project_phase(self, tokens: int) -> Phase:
+        if tokens <= 0:
+            raise ValueError("tokens must be positive")
+        cfg = self._layer_config()
+        phase = Phase(name="projector")
+        common = dict(
+            weight_bytes_per_element=self.weight_bytes,
+            activation_bytes_per_element=self.activation_bytes,
+            tag="projector",
+        )
+        phase.add(
+            matmul_op(f"{self.name}.in_proj", tokens, self.input_dim, self.d_model, **common)
+        )
+        # The Q-Former processes the fixed query set against the vision
+        # tokens; we approximate each block as a self-attention block over
+        # queries + vision tokens, which upper-bounds the real cross-attention.
+        combined = tokens + self.n_queries
+        for layer in range(self.n_layers):
+            phase.extend(
+                encoder_layer_ops(cfg, combined, layer_index=layer, prefix=f"{self.name}.blk")
+            )
+        phase.add(
+            matmul_op(
+                f"{self.name}.out_proj",
+                self.n_queries,
+                self.d_model,
+                self.output_dim,
+                **common,
+            )
+        )
+        return phase
+
+    def output_tokens(self, input_tokens: int) -> int:
+        return self.n_queries
+
+
+def mlp_projector(name: str, input_dim: int, output_dim: int) -> MLPProjectorConfig:
+    """Standard two-layer MLP projector with hidden dim = output dim."""
+    return MLPProjectorConfig(
+        name=name, input_dim=input_dim, output_dim=output_dim, hidden_dim=output_dim
+    )
+
+
+def available_projector_kinds() -> List[str]:
+    return ["mlp", "ldp", "qformer"]

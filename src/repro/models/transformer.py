@@ -1,0 +1,414 @@
+"""Transformer layer builders lowered to the operator IR.
+
+These builders produce the operator lists for a standard pre-norm
+Transformer block in its three usage modes:
+
+* **encoder** — all tokens processed together (vision encoder),
+* **prefill** — all prompt tokens processed together, KV cache written,
+* **decode** — a single token processed against the cached KV entries.
+
+The shapes follow the conventions of the LLaMA-family models the paper
+targets (gated-MLP FFN, grouped-query attention optional) and of ViT-style
+encoders (standard MLP FFN with GELU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .ops import Op, OpKind, elementwise_op, matmul_op
+
+
+@dataclass(frozen=True)
+class TransformerLayerConfig:
+    """Shape parameters of one Transformer block.
+
+    Attributes
+    ----------
+    d_model:
+        Hidden (model) dimension.
+    n_heads:
+        Number of attention heads.
+    n_kv_heads:
+        Number of key/value heads (``n_heads`` unless grouped-query
+        attention is used).
+    d_ffn:
+        FFN inner (channel) dimension.
+    gated_ffn:
+        True for the gated-MLP (SwiGLU) FFN of LLaMA-family models
+        (three projections: gate, up, down); False for the classic
+        two-projection MLP of ViT-style encoders.
+    weight_bytes:
+        Bytes per weight element (1 for INT8, 2 for BF16).
+    activation_bytes:
+        Bytes per activation element.
+    """
+
+    d_model: int
+    n_heads: int
+    d_ffn: int
+    n_kv_heads: Optional[int] = None
+    gated_ffn: bool = True
+    weight_bytes: float = 1.0
+    activation_bytes: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.d_model <= 0 or self.n_heads <= 0 or self.d_ffn <= 0:
+            raise ValueError("d_model, n_heads and d_ffn must be positive")
+        if self.d_model % self.n_heads != 0:
+            raise ValueError("d_model must be divisible by n_heads")
+        kv_heads = self.kv_heads
+        if kv_heads <= 0 or self.n_heads % kv_heads != 0:
+            raise ValueError("n_kv_heads must divide n_heads")
+
+    @property
+    def kv_heads(self) -> int:
+        return self.n_kv_heads if self.n_kv_heads is not None else self.n_heads
+
+    @property
+    def head_dim(self) -> int:
+        return self.d_model // self.n_heads
+
+    @property
+    def kv_dim(self) -> int:
+        return self.kv_heads * self.head_dim
+
+    @property
+    def parameter_count(self) -> int:
+        """Number of weight elements in one block (attention + FFN)."""
+        attn = (
+            self.d_model * self.d_model  # Q
+            + 2 * self.d_model * self.kv_dim  # K, V
+            + self.d_model * self.d_model  # output projection
+        )
+        if self.gated_ffn:
+            ffn = 3 * self.d_model * self.d_ffn
+        else:
+            ffn = 2 * self.d_model * self.d_ffn
+        return attn + ffn
+
+    @property
+    def parameter_bytes(self) -> int:
+        return int(round(self.parameter_count * self.weight_bytes))
+
+
+def _projections(
+    cfg: TransformerLayerConfig,
+    tokens: int,
+    layer_index: Optional[int],
+    prefix: str,
+) -> List[Op]:
+    """QKV and output projections for ``tokens`` query tokens."""
+    common = dict(
+        weight_bytes_per_element=cfg.weight_bytes,
+        activation_bytes_per_element=cfg.activation_bytes,
+        layer_index=layer_index,
+        tag="attn_proj",
+    )
+    return [
+        matmul_op(f"{prefix}.q_proj", tokens, cfg.d_model, cfg.d_model, **common),
+        matmul_op(f"{prefix}.k_proj", tokens, cfg.d_model, cfg.kv_dim, **common),
+        matmul_op(f"{prefix}.v_proj", tokens, cfg.d_model, cfg.kv_dim, **common),
+        matmul_op(f"{prefix}.o_proj", tokens, cfg.d_model, cfg.d_model, **common),
+    ]
+
+
+def _attention_core(
+    cfg: TransformerLayerConfig,
+    q_tokens: int,
+    kv_tokens: int,
+    layer_index: Optional[int],
+    prefix: str,
+    *,
+    include_kv_operand_traffic: bool,
+) -> List[Op]:
+    """Score and context matmuls plus softmax for the attention core.
+
+    The score (Q @ K^T) and context (scores @ V) products involve no model
+    parameters.  Their arithmetic work is the per-head sum: every query head
+    computes a (q_tokens x head_dim) by (head_dim x kv_tokens) product, so
+    across all heads the MAC count equals q_tokens * d_model * kv_tokens.
+    The K/V operand traffic is only charged here when no separate KV-cache
+    operator carries it (the encoder case); in prefill/decode the
+    ``kv_cache`` operators account for those DRAM reads and writes, so the
+    score/context operators only read Q and the score matrix.
+    """
+    act_bytes = cfg.activation_bytes
+    macs_per_product = q_tokens * cfg.d_model * kv_tokens
+    score_elements = q_tokens * kv_tokens * cfg.n_heads
+    kv_operand_bytes = (
+        int(round(kv_tokens * cfg.kv_dim * act_bytes)) if include_kv_operand_traffic else 0
+    )
+    score = Op(
+        name=f"{prefix}.scores",
+        kind=OpKind.ATTENTION if q_tokens > 1 else OpKind.GEMV,
+        m=q_tokens,
+        k=cfg.d_model,
+        n=kv_tokens,
+        weight_bytes=0,
+        activation_bytes=int(round(q_tokens * cfg.d_model * act_bytes)) + kv_operand_bytes,
+        output_bytes=int(round(score_elements * act_bytes)),
+        flops=2 * macs_per_product,
+        layer_index=layer_index,
+        tag="attn_core",
+    )
+    softmax = elementwise_op(
+        f"{prefix}.softmax",
+        score_elements,
+        kind=OpKind.SOFTMAX,
+        bytes_per_element=act_bytes,
+        flops_per_element=5.0,
+        layer_index=layer_index,
+        tag="attn_core",
+    )
+    context = Op(
+        name=f"{prefix}.context",
+        kind=OpKind.ATTENTION if q_tokens > 1 else OpKind.GEMV,
+        m=q_tokens,
+        k=kv_tokens,
+        n=cfg.d_model,
+        weight_bytes=0,
+        activation_bytes=int(round(score_elements * act_bytes)) + kv_operand_bytes,
+        output_bytes=int(round(q_tokens * cfg.d_model * act_bytes)),
+        flops=2 * macs_per_product,
+        layer_index=layer_index,
+        tag="attn_core",
+    )
+    return [score, softmax, context]
+
+
+def _kv_cache_ops(
+    cfg: TransformerLayerConfig,
+    q_tokens: int,
+    kv_tokens: int,
+    layer_index: Optional[int],
+    prefix: str,
+    mode: str,
+) -> List[Op]:
+    """KV-cache write traffic (prefill) or read traffic (decode)."""
+    elements = kv_tokens * cfg.kv_dim * 2  # K and V
+    if mode == "prefill":
+        # Write the freshly computed K/V for all prompt tokens.
+        return [
+            Op(
+                name=f"{prefix}.kv_write",
+                kind=OpKind.OTHER,
+                m=elements,
+                weight_bytes=0,
+                activation_bytes=0,
+                output_bytes=int(round(elements * cfg.activation_bytes)),
+                flops=0,
+                layer_index=layer_index,
+                tag="kv_cache",
+            )
+        ]
+    if mode == "decode":
+        # Read the whole cache, append one token's K/V.
+        read_elements = kv_tokens * cfg.kv_dim * 2
+        write_elements = q_tokens * cfg.kv_dim * 2
+        return [
+            Op(
+                name=f"{prefix}.kv_read",
+                kind=OpKind.OTHER,
+                m=read_elements,
+                weight_bytes=0,
+                activation_bytes=int(round(read_elements * cfg.activation_bytes)),
+                output_bytes=int(round(write_elements * cfg.activation_bytes)),
+                flops=0,
+                layer_index=layer_index,
+                tag="kv_cache",
+            )
+        ]
+    return []
+
+
+def _ffn_ops(
+    cfg: TransformerLayerConfig,
+    tokens: int,
+    layer_index: Optional[int],
+    prefix: str,
+    prunable: bool,
+) -> List[Op]:
+    """Gated-MLP (Eq. 1 of the paper) or classic MLP FFN operators."""
+    common = dict(
+        weight_bytes_per_element=cfg.weight_bytes,
+        activation_bytes_per_element=cfg.activation_bytes,
+        layer_index=layer_index,
+        tag="ffn",
+    )
+    ops: List[Op] = []
+    if cfg.gated_ffn:
+        ops.append(
+            matmul_op(
+                f"{prefix}.ffn.gate",
+                tokens,
+                cfg.d_model,
+                cfg.d_ffn,
+                prunable=prunable,
+                **common,
+            )
+        )
+        ops.append(
+            matmul_op(
+                f"{prefix}.ffn.up",
+                tokens,
+                cfg.d_model,
+                cfg.d_ffn,
+                prunable=prunable,
+                **common,
+            )
+        )
+        ops.append(
+            elementwise_op(
+                f"{prefix}.ffn.act_mul",
+                tokens * cfg.d_ffn,
+                kind=OpKind.ACTIVATION,
+                bytes_per_element=cfg.activation_bytes,
+                flops_per_element=4.0,
+                layer_index=layer_index,
+                tag="ffn",
+            )
+        )
+        ops.append(
+            matmul_op(
+                f"{prefix}.ffn.down",
+                tokens,
+                cfg.d_ffn,
+                cfg.d_model,
+                prunable=prunable,
+                **common,
+            )
+        )
+    else:
+        ops.append(
+            matmul_op(
+                f"{prefix}.ffn.fc1",
+                tokens,
+                cfg.d_model,
+                cfg.d_ffn,
+                prunable=prunable,
+                **common,
+            )
+        )
+        ops.append(
+            elementwise_op(
+                f"{prefix}.ffn.gelu",
+                tokens * cfg.d_ffn,
+                kind=OpKind.ACTIVATION,
+                bytes_per_element=cfg.activation_bytes,
+                flops_per_element=8.0,
+                layer_index=layer_index,
+                tag="ffn",
+            )
+        )
+        ops.append(
+            matmul_op(
+                f"{prefix}.ffn.fc2",
+                tokens,
+                cfg.d_ffn,
+                cfg.d_model,
+                prunable=prunable,
+                **common,
+            )
+        )
+    return ops
+
+
+def _norm_ops(
+    cfg: TransformerLayerConfig,
+    tokens: int,
+    layer_index: Optional[int],
+    prefix: str,
+) -> List[Op]:
+    return [
+        elementwise_op(
+            f"{prefix}.norm{i}",
+            tokens * cfg.d_model,
+            kind=OpKind.NORM,
+            bytes_per_element=cfg.activation_bytes,
+            flops_per_element=4.0,
+            layer_index=layer_index,
+            tag="norm",
+        )
+        for i in (1, 2)
+    ]
+
+
+def encoder_layer_ops(
+    cfg: TransformerLayerConfig,
+    tokens: int,
+    layer_index: Optional[int] = None,
+    prefix: str = "encoder",
+) -> List[Op]:
+    """Operators of one encoder block processing ``tokens`` tokens."""
+    if tokens <= 0:
+        raise ValueError("tokens must be positive")
+    name = f"{prefix}.{layer_index}" if layer_index is not None else prefix
+    ops: List[Op] = []
+    ops.extend(_norm_ops(cfg, tokens, layer_index, name))
+    ops.extend(_projections(cfg, tokens, layer_index, name))
+    ops.extend(
+        _attention_core(
+            cfg, tokens, tokens, layer_index, name, include_kv_operand_traffic=True
+        )
+    )
+    ops.extend(_ffn_ops(cfg, tokens, layer_index, name, prunable=False))
+    return ops
+
+
+def prefill_layer_ops(
+    cfg: TransformerLayerConfig,
+    prompt_tokens: int,
+    layer_index: Optional[int] = None,
+    prefix: str = "prefill",
+) -> List[Op]:
+    """Operators of one decoder block during prefill of ``prompt_tokens``."""
+    if prompt_tokens <= 0:
+        raise ValueError("prompt_tokens must be positive")
+    name = f"{prefix}.{layer_index}" if layer_index is not None else prefix
+    ops: List[Op] = []
+    ops.extend(_norm_ops(cfg, prompt_tokens, layer_index, name))
+    ops.extend(_projections(cfg, prompt_tokens, layer_index, name))
+    ops.extend(
+        _attention_core(
+            cfg,
+            prompt_tokens,
+            prompt_tokens,
+            layer_index,
+            name,
+            include_kv_operand_traffic=False,
+        )
+    )
+    ops.extend(_kv_cache_ops(cfg, prompt_tokens, prompt_tokens, layer_index, name, "prefill"))
+    ops.extend(_ffn_ops(cfg, prompt_tokens, layer_index, name, prunable=False))
+    return ops
+
+
+def decode_layer_ops(
+    cfg: TransformerLayerConfig,
+    context_tokens: int,
+    layer_index: Optional[int] = None,
+    prefix: str = "decode",
+) -> List[Op]:
+    """Operators of one decoder block for a single decode step.
+
+    ``context_tokens`` is the current KV-cache length (prompt plus tokens
+    generated so far).  The FFN projections are GEMVs and are marked
+    ``prunable`` — these are the operators targeted by the paper's
+    activation-aware weight pruning.
+    """
+    if context_tokens <= 0:
+        raise ValueError("context_tokens must be positive")
+    name = f"{prefix}.{layer_index}" if layer_index is not None else prefix
+    ops: List[Op] = []
+    ops.extend(_norm_ops(cfg, 1, layer_index, name))
+    ops.extend(_projections(cfg, 1, layer_index, name))
+    ops.extend(
+        _attention_core(
+            cfg, 1, context_tokens, layer_index, name, include_kv_operand_traffic=False
+        )
+    )
+    ops.extend(_kv_cache_ops(cfg, 1, context_tokens, layer_index, name, "decode"))
+    ops.extend(_ffn_ops(cfg, 1, layer_index, name, prunable=True))
+    return ops

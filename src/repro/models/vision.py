@@ -1,0 +1,312 @@
+"""Vision-encoder definitions for the MLLMs of Table I.
+
+The encoders are ViT-style Transformers (CLIP ViT-L/14, SigLIP, DINOv2,
+EVA) plus a convolutional CLIP-ConvNeXt variant used by SPHINX-Tiny.  Each
+encoder lowers to a single compute-intensive ``vision_encoder`` phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .ops import Op, OpKind, Phase, elementwise_op, matmul_op
+from .transformer import TransformerLayerConfig, encoder_layer_ops
+
+
+@dataclass(frozen=True)
+class VisionEncoderConfig:
+    """Architecture parameters of a ViT-style vision encoder."""
+
+    name: str
+    n_layers: int
+    d_model: int
+    n_heads: int
+    d_ffn: int
+    image_size: int = 224
+    patch_size: int = 14
+    output_dim: int = 0  # 0 means no final projection
+    weight_bytes: float = 1.0
+    activation_bytes: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.image_size % self.patch_size != 0:
+            raise ValueError("image_size must be divisible by patch_size")
+        if self.n_layers <= 0:
+            raise ValueError("n_layers must be positive")
+        self.layer_config()
+
+    @property
+    def num_patches(self) -> int:
+        side = self.image_size // self.patch_size
+        return side * side
+
+    @property
+    def num_tokens(self) -> int:
+        """Patch tokens plus the [CLS] token."""
+        return self.num_patches + 1
+
+    def layer_config(self) -> TransformerLayerConfig:
+        return TransformerLayerConfig(
+            d_model=self.d_model,
+            n_heads=self.n_heads,
+            d_ffn=self.d_ffn,
+            gated_ffn=False,
+            weight_bytes=self.weight_bytes,
+            activation_bytes=self.activation_bytes,
+        )
+
+    @property
+    def parameter_count(self) -> int:
+        patch_embed = 3 * self.patch_size * self.patch_size * self.d_model
+        blocks = self.n_layers * self.layer_config().parameter_count
+        head = self.d_model * self.output_dim if self.output_dim else 0
+        return patch_embed + blocks + head
+
+    @property
+    def parameter_bytes(self) -> int:
+        return int(round(self.parameter_count * self.weight_bytes))
+
+    def encode_phase(self, images: int = 1) -> Phase:
+        """Operators for encoding ``images`` images."""
+        if images <= 0:
+            raise ValueError("images must be positive")
+        cfg = self.layer_config()
+        tokens = self.num_tokens * images
+        phase = Phase(name="vision_encoder")
+        phase.add(self._patch_embed_op(tokens))
+        for layer in range(self.n_layers):
+            phase.extend(
+                encoder_layer_ops(cfg, tokens, layer_index=layer, prefix=f"{self.name}.enc")
+            )
+        if self.output_dim:
+            phase.add(
+                matmul_op(
+                    f"{self.name}.head",
+                    tokens,
+                    self.d_model,
+                    self.output_dim,
+                    weight_bytes_per_element=self.weight_bytes,
+                    activation_bytes_per_element=self.activation_bytes,
+                    tag="vision_head",
+                )
+            )
+        return phase
+
+    def _patch_embed_op(self, tokens: int) -> Op:
+        patch_elements = 3 * self.patch_size * self.patch_size
+        return matmul_op(
+            f"{self.name}.patch_embed",
+            tokens,
+            patch_elements,
+            self.d_model,
+            weight_bytes_per_element=self.weight_bytes,
+            activation_bytes_per_element=self.activation_bytes,
+            tag="patch_embed",
+        )
+
+
+@dataclass(frozen=True)
+class ConvNeXtEncoderConfig:
+    """Simplified CLIP-ConvNeXt encoder (used by SPHINX-Tiny alongside ViT).
+
+    The ConvNeXt trunk is modelled as four stages of depthwise 7x7 +
+    pointwise convolutions; each stage is lowered to GEMM-equivalent
+    operators using the im2col formulation, which is how the systolic
+    array would execute them.
+    """
+
+    name: str
+    depths: tuple = (3, 3, 9, 3)
+    dims: tuple = (128, 256, 512, 1024)
+    image_size: int = 224
+    output_dim: int = 768
+    weight_bytes: float = 1.0
+    activation_bytes: float = 2.0
+
+    def __post_init__(self) -> None:
+        if len(self.depths) != len(self.dims):
+            raise ValueError("depths and dims must have equal length")
+        if self.image_size % 32 != 0:
+            raise ValueError("image_size must be divisible by 32")
+
+    @property
+    def parameter_count(self) -> int:
+        total = 3 * 4 * 4 * self.dims[0]  # stem
+        for stage, (depth, dim) in enumerate(zip(self.depths, self.dims)):
+            block = 7 * 7 * dim + dim * 4 * dim + 4 * dim * dim
+            total += depth * block
+            if stage + 1 < len(self.dims):
+                total += 2 * 2 * dim * self.dims[stage + 1]
+        total += self.dims[-1] * self.output_dim
+        return total
+
+    @property
+    def parameter_bytes(self) -> int:
+        return int(round(self.parameter_count * self.weight_bytes))
+
+    def encode_phase(self, images: int = 1) -> Phase:
+        if images <= 0:
+            raise ValueError("images must be positive")
+        phase = Phase(name="vision_encoder")
+        resolution = self.image_size // 4
+        common = dict(
+            weight_bytes_per_element=self.weight_bytes,
+            activation_bytes_per_element=self.activation_bytes,
+            tag="conv",
+        )
+        phase.add(
+            matmul_op(
+                f"{self.name}.stem",
+                images * resolution * resolution,
+                3 * 4 * 4,
+                self.dims[0],
+                **common,
+            )
+        )
+        for stage, (depth, dim) in enumerate(zip(self.depths, self.dims)):
+            tokens = images * resolution * resolution
+            for block in range(depth):
+                prefix = f"{self.name}.s{stage}.b{block}"
+                phase.add(
+                    matmul_op(f"{prefix}.dwconv", tokens, 7 * 7, dim, **common)
+                )
+                phase.add(
+                    matmul_op(f"{prefix}.pw1", tokens, dim, 4 * dim, **common)
+                )
+                phase.add(
+                    elementwise_op(
+                        f"{prefix}.gelu",
+                        tokens * 4 * dim,
+                        kind=OpKind.ACTIVATION,
+                        bytes_per_element=self.activation_bytes,
+                        flops_per_element=8.0,
+                        tag="conv",
+                    )
+                )
+                phase.add(
+                    matmul_op(f"{prefix}.pw2", tokens, 4 * dim, dim, **common)
+                )
+            if stage + 1 < len(self.dims):
+                resolution //= 2
+                phase.add(
+                    matmul_op(
+                        f"{self.name}.down{stage}",
+                        images * resolution * resolution,
+                        2 * 2 * dim,
+                        self.dims[stage + 1],
+                        **common,
+                    )
+                )
+        phase.add(
+            matmul_op(
+                f"{self.name}.head",
+                images,
+                self.dims[-1],
+                self.output_dim,
+                **common,
+            )
+        )
+        return phase
+
+    @property
+    def num_tokens(self) -> int:
+        final_resolution = self.image_size // 32
+        return final_resolution * final_resolution
+
+
+# ----------------------------------------------------------------------
+# Catalogue
+# ----------------------------------------------------------------------
+_VISION_CATALOGUE: Dict[str, object] = {}
+
+
+def _register(config) -> object:
+    key = config.name.lower()
+    if key in _VISION_CATALOGUE:
+        raise ValueError(f"duplicate vision-encoder registration: {config.name}")
+    _VISION_CATALOGUE[key] = config
+    return config
+
+
+CLIP_VIT_L14 = _register(
+    VisionEncoderConfig(
+        name="clip-vit-l14",
+        n_layers=24,
+        d_model=1024,
+        n_heads=16,
+        d_ffn=4096,
+        image_size=224,
+        patch_size=14,
+        output_dim=768,
+    )
+)
+
+SIGLIP_SO400M = _register(
+    VisionEncoderConfig(
+        name="siglip-so400m",
+        n_layers=27,
+        d_model=1152,
+        n_heads=16,
+        d_ffn=4304,
+        image_size=224,
+        patch_size=14,
+        output_dim=1152,
+    )
+)
+
+SIGLIP_L = _register(
+    VisionEncoderConfig(
+        name="siglip-l",
+        n_layers=24,
+        d_model=1024,
+        n_heads=16,
+        d_ffn=4096,
+        image_size=224,
+        patch_size=16,
+        output_dim=1024,
+    )
+)
+
+DINOV2_L = _register(
+    VisionEncoderConfig(
+        name="dinov2-l",
+        n_layers=24,
+        d_model=1024,
+        n_heads=16,
+        d_ffn=4096,
+        image_size=224,
+        patch_size=14,
+    )
+)
+
+EVA_CLIP_G = _register(
+    VisionEncoderConfig(
+        name="eva-clip-g",
+        n_layers=40,
+        d_model=1408,
+        n_heads=16,
+        d_ffn=6144,
+        image_size=224,
+        patch_size=14,
+        output_dim=1024,
+    )
+)
+
+CLIP_CONVNEXT = _register(
+    ConvNeXtEncoderConfig(name="clip-convnext-b")
+)
+
+
+def available_vision_encoders() -> List[str]:
+    return sorted(_VISION_CATALOGUE)
+
+
+def get_vision_encoder(name: str):
+    key = name.lower()
+    if key not in _VISION_CATALOGUE:
+        raise KeyError(
+            f"unknown vision encoder {name!r}; available: "
+            f"{', '.join(available_vision_encoders())}"
+        )
+    return _VISION_CATALOGUE[key]

@@ -1,0 +1,70 @@
+"""Activation-aware weight pruning: Algorithm 1, baselines and metrics."""
+
+from .ffn import GatedFFN, build_layer_stack, gelu, silu
+from .metrics import (
+    TrafficSaving,
+    average_pruning_ratio,
+    cosine_similarity,
+    kurtosis,
+    pruning_ratio,
+    relative_error,
+    weight_traffic_saving,
+)
+from .topk import (
+    DynamicTopKConfig,
+    DynamicTopKPruner,
+    LayerPruningDecision,
+    TokenPruningReport,
+    decode_traffic_reduction,
+    prune_token,
+)
+from .fixed import (
+    FixedRatioConfig,
+    FixedRatioPruner,
+    ThresholdConfig,
+    ThresholdPruner,
+    prune_token_fixed,
+    wanda_channel_scores,
+)
+from .partition import (
+    ChannelPartition,
+    PartitionedSelection,
+    energy_coverage,
+    global_topk_selection,
+    local_topk_selection,
+    partition_channels,
+    selection_overlap,
+)
+
+__all__ = [
+    "GatedFFN",
+    "build_layer_stack",
+    "gelu",
+    "silu",
+    "TrafficSaving",
+    "average_pruning_ratio",
+    "cosine_similarity",
+    "kurtosis",
+    "pruning_ratio",
+    "relative_error",
+    "weight_traffic_saving",
+    "DynamicTopKConfig",
+    "DynamicTopKPruner",
+    "LayerPruningDecision",
+    "TokenPruningReport",
+    "decode_traffic_reduction",
+    "prune_token",
+    "FixedRatioConfig",
+    "FixedRatioPruner",
+    "ThresholdConfig",
+    "ThresholdPruner",
+    "prune_token_fixed",
+    "wanda_channel_scores",
+    "ChannelPartition",
+    "PartitionedSelection",
+    "energy_coverage",
+    "global_topk_selection",
+    "local_topk_selection",
+    "partition_channels",
+    "selection_overlap",
+]

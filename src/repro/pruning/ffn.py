@@ -1,0 +1,151 @@
+"""Numeric gated-MLP FFN model (Eq. 1 of the paper).
+
+    FFN(Vx) = ((Vx @ W_up) * act(Vx @ W_gate)) @ W_down
+
+The FFN model executes both the exact computation and a channel-pruned
+variant: pruning a set of input channels removes the matching rows of
+``W_up`` and ``W_gate`` (and the matching elements of ``Vx``), which is
+exactly what the hardware pruner's address generator achieves by skipping
+the DRAM reads of the pruned weight rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """SiLU activation used by LLaMA-family gated MLPs."""
+    return x / (1.0 + np.exp(-x))
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Gaussian error linear unit (tanh approximation)."""
+    return 0.5 * x * (1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (x + 0.044715 * x**3)))
+
+
+@dataclass
+class GatedFFN:
+    """A gated-MLP FFN layer with explicit weight matrices.
+
+    Weight layout: ``w_gate`` and ``w_up`` are (d_model x d_ffn); ``w_down``
+    is (d_ffn x d_model); the input is a length-``d_model`` vector.
+    """
+
+    w_gate: np.ndarray
+    w_up: np.ndarray
+    w_down: np.ndarray
+    activation: Callable[[np.ndarray], np.ndarray] = silu
+
+    def __post_init__(self) -> None:
+        self.w_gate = np.asarray(self.w_gate, dtype=np.float64)
+        self.w_up = np.asarray(self.w_up, dtype=np.float64)
+        self.w_down = np.asarray(self.w_down, dtype=np.float64)
+        if self.w_gate.ndim != 2 or self.w_up.ndim != 2 or self.w_down.ndim != 2:
+            raise ValueError("weight matrices must be two-dimensional")
+        if self.w_gate.shape != self.w_up.shape:
+            raise ValueError("w_gate and w_up must have the same shape")
+        d_model, d_ffn = self.w_gate.shape
+        if self.w_down.shape != (d_ffn, d_model):
+            raise ValueError(
+                f"w_down must have shape ({d_ffn}, {d_model}), got {self.w_down.shape}"
+            )
+
+    @property
+    def d_model(self) -> int:
+        return self.w_gate.shape[0]
+
+    @property
+    def d_ffn(self) -> int:
+        return self.w_gate.shape[1]
+
+    @classmethod
+    def random(
+        cls,
+        d_model: int,
+        d_ffn: int,
+        *,
+        seed: int = 0,
+        scale: float = 0.02,
+        activation: Callable[[np.ndarray], np.ndarray] = silu,
+    ) -> "GatedFFN":
+        """Deterministic random FFN used by the pruning experiments."""
+        if d_model <= 0 or d_ffn <= 0:
+            raise ValueError("d_model and d_ffn must be positive")
+        rng = np.random.default_rng(seed)
+        return cls(
+            w_gate=rng.normal(0.0, scale, size=(d_model, d_ffn)),
+            w_up=rng.normal(0.0, scale, size=(d_model, d_ffn)),
+            w_down=rng.normal(0.0, scale, size=(d_ffn, d_model)),
+            activation=activation,
+        )
+
+    # ------------------------------------------------------------------
+    # Forward passes
+    # ------------------------------------------------------------------
+    def forward(self, vx: np.ndarray) -> np.ndarray:
+        """Exact FFN output for the input vector ``vx`` (Eq. 1)."""
+        vx = self._check_input(vx)
+        gate = self.activation(vx @ self.w_gate)
+        up = vx @ self.w_up
+        return (up * gate) @ self.w_down
+
+    def forward_pruned(self, vx: np.ndarray, kept_channels: Sequence[int]) -> np.ndarray:
+        """FFN output using only the kept input channels.
+
+        ``kept_channels`` indexes the input (``d_model``) dimension; pruned
+        channels contribute nothing to the ``W_gate``/``W_up`` products,
+        exactly as if their weight rows were never read from DRAM.
+        """
+        vx = self._check_input(vx)
+        kept = np.asarray(kept_channels, dtype=int)
+        if kept.size == 0:
+            return np.zeros(self.d_model, dtype=np.float64)
+        if kept.min() < 0 or kept.max() >= self.d_model:
+            raise ValueError("kept_channels out of range")
+        vx_kept = vx[kept]
+        gate = self.activation(vx_kept @ self.w_gate[kept, :])
+        up = vx_kept @ self.w_up[kept, :]
+        return (up * gate) @ self.w_down
+
+    def weight_bytes(self, bytes_per_element: float = 1.0) -> int:
+        """Total weight bytes of the layer."""
+        elements = 2 * self.d_model * self.d_ffn + self.d_ffn * self.d_model
+        return int(round(elements * bytes_per_element))
+
+    def pruned_weight_bytes(
+        self, kept_channels: int, bytes_per_element: float = 1.0
+    ) -> int:
+        """Weight bytes read when only ``kept_channels`` input channels remain."""
+        if not 0 <= kept_channels <= self.d_model:
+            raise ValueError("kept_channels must be in [0, d_model]")
+        elements = 2 * kept_channels * self.d_ffn + self.d_ffn * self.d_model
+        return int(round(elements * bytes_per_element))
+
+    def _check_input(self, vx: np.ndarray) -> np.ndarray:
+        vx = np.asarray(vx, dtype=np.float64).ravel()
+        if vx.size != self.d_model:
+            raise ValueError(
+                f"input vector must have {self.d_model} elements, got {vx.size}"
+            )
+        return vx
+
+
+def build_layer_stack(
+    n_layers: int,
+    d_model: int,
+    d_ffn: int,
+    *,
+    seed: int = 0,
+    activation: Callable[[np.ndarray], np.ndarray] = silu,
+) -> list:
+    """One :class:`GatedFFN` per decoder layer with distinct random weights."""
+    if n_layers <= 0:
+        raise ValueError("n_layers must be positive")
+    return [
+        GatedFFN.random(d_model, d_ffn, seed=seed + layer, activation=activation)
+        for layer in range(n_layers)
+    ]

@@ -1,0 +1,171 @@
+"""Fixed-ratio pruning baselines (the "fixed k" schemes of Fig. 12(b)).
+
+The paper compares its dynamic Top-k scheme against fixed pruning ratios
+(0.1 and 0.7).  This module provides those baselines plus two related
+schemes from the literature the paper cites:
+
+* :class:`FixedRatioPruner` — keep the Top-(1 - ratio) fraction of channels
+  by activation magnitude in every layer (the paper's comparison point);
+* :class:`ThresholdPruner` — CATS-style: prune channels whose magnitude
+  falls below an absolute threshold;
+* :func:`wanda_channel_scores` — Wanda-style importance ``|activation| *
+  ||weight row||`` for channel selection when weights are available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .ffn import GatedFFN
+from .metrics import cosine_similarity, pruning_ratio
+from .topk import LayerPruningDecision, TokenPruningReport
+from .metrics import kurtosis
+
+
+@dataclass(frozen=True)
+class FixedRatioConfig:
+    """Configuration of the fixed-ratio baseline."""
+
+    ratio: float
+    skip_first_layer: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.ratio < 1.0:
+            raise ValueError("ratio must be in [0, 1)")
+
+
+class FixedRatioPruner:
+    """Keep the Top-(1 - ratio) magnitude channels of every layer."""
+
+    def __init__(self, d_model: int, config: FixedRatioConfig) -> None:
+        if d_model <= 0:
+            raise ValueError("d_model must be positive")
+        self.d_model = d_model
+        self.config = config
+
+    def keep_count(self, layer_index: int) -> int:
+        if layer_index == 0 and self.config.skip_first_layer:
+            return self.d_model
+        return max(int(round(self.d_model * (1.0 - self.config.ratio))), 1)
+
+    def prune_layer(self, vx: np.ndarray, layer_index: int) -> LayerPruningDecision:
+        vx = np.asarray(vx, dtype=np.float64).ravel()
+        if vx.size != self.d_model:
+            raise ValueError(
+                f"activation vector must have {self.d_model} channels, got {vx.size}"
+            )
+        k = self.keep_count(layer_index)
+        magnitudes = np.abs(vx)
+        if k >= self.d_model:
+            kept = np.arange(self.d_model)
+        else:
+            kept = np.sort(
+                np.argpartition(magnitudes, self.d_model - k)[self.d_model - k:]
+            )
+        return LayerPruningDecision(
+            layer_index=layer_index,
+            k_before=k,
+            k_after=k,
+            kept_channels=kept,
+            above_threshold_count=k,
+            total_channels=self.d_model,
+        )
+
+
+@dataclass(frozen=True)
+class ThresholdConfig:
+    """Configuration of the CATS-style absolute-threshold baseline."""
+
+    threshold: float
+    skip_first_layer: bool = False
+
+    def __post_init__(self) -> None:
+        if self.threshold < 0:
+            raise ValueError("threshold must be >= 0")
+
+
+class ThresholdPruner:
+    """Prune channels whose activation magnitude is below a fixed threshold."""
+
+    def __init__(self, d_model: int, config: ThresholdConfig) -> None:
+        if d_model <= 0:
+            raise ValueError("d_model must be positive")
+        self.d_model = d_model
+        self.config = config
+
+    def prune_layer(self, vx: np.ndarray, layer_index: int) -> LayerPruningDecision:
+        vx = np.asarray(vx, dtype=np.float64).ravel()
+        if vx.size != self.d_model:
+            raise ValueError(
+                f"activation vector must have {self.d_model} channels, got {vx.size}"
+            )
+        magnitudes = np.abs(vx)
+        if layer_index == 0 and self.config.skip_first_layer:
+            kept = np.arange(self.d_model)
+        else:
+            kept = np.flatnonzero(magnitudes >= self.config.threshold)
+            if kept.size == 0:
+                kept = np.array([int(np.argmax(magnitudes))])
+        return LayerPruningDecision(
+            layer_index=layer_index,
+            k_before=self.d_model,
+            k_after=kept.size,
+            kept_channels=kept,
+            above_threshold_count=kept.size,
+            total_channels=self.d_model,
+        )
+
+
+def wanda_channel_scores(vx: np.ndarray, weight: np.ndarray) -> np.ndarray:
+    """Wanda-style channel importance: ``|activation| * ||weight row||_2``.
+
+    ``weight`` has shape (d_model, d_ffn); the score of input channel ``i``
+    multiplies its activation magnitude with the L2 norm of weight row ``i``.
+    """
+    vx = np.asarray(vx, dtype=np.float64).ravel()
+    weight = np.asarray(weight, dtype=np.float64)
+    if weight.ndim != 2 or weight.shape[0] != vx.size:
+        raise ValueError("weight must have shape (d_model, d_ffn)")
+    row_norms = np.linalg.norm(weight, axis=1)
+    return np.abs(vx) * row_norms
+
+
+def prune_token_fixed(
+    activations: Sequence[np.ndarray],
+    ffn_layers: Optional[Sequence[GatedFFN]] = None,
+    *,
+    ratio: float,
+    skip_first_layer: bool = False,
+) -> TokenPruningReport:
+    """Apply a fixed pruning ratio to every layer of one decode step.
+
+    Mirrors :func:`repro.pruning.topk.prune_token` so the dynamic and fixed
+    schemes can be compared layer-by-layer (Fig. 12(b)).
+    """
+    if not activations:
+        raise ValueError("activations must not be empty")
+    if ffn_layers is not None and len(ffn_layers) != len(activations):
+        raise ValueError("ffn_layers must match activations in length")
+    d_model = np.asarray(activations[0]).size
+    pruner = FixedRatioPruner(d_model, FixedRatioConfig(ratio, skip_first_layer))
+    decisions: List[LayerPruningDecision] = []
+    similarities: List[float] = []
+    kurtoses: List[float] = []
+    for layer_index, vx in enumerate(activations):
+        vx = np.asarray(vx, dtype=np.float64).ravel()
+        decision = pruner.prune_layer(vx, layer_index)
+        decisions.append(decision)
+        kurtoses.append(kurtosis(np.abs(vx)))
+        if ffn_layers is not None:
+            layer = ffn_layers[layer_index]
+            exact = layer.forward(vx)
+            pruned = layer.forward_pruned(vx, decision.kept_channels)
+            similarities.append(cosine_similarity(exact, pruned))
+    return TokenPruningReport(
+        decisions=decisions,
+        cosine_similarities=similarities,
+        kurtoses=kurtoses,
+    )

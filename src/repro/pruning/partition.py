@@ -1,0 +1,137 @@
+"""Per-core channel partitioning for local Top-k pruning.
+
+Section IV-A notes that, in practice, the activation vector is allocated to
+cores by channels: each MC-core runs the hardware pruner only on its local
+slice, avoiding an expensive global Top-k search.  This module models that
+partitioned execution and quantifies how close the union of local Top-k
+selections comes to the exact global Top-k.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ChannelPartition:
+    """A contiguous slice of activation channels assigned to one core."""
+
+    core_index: int
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.core_index < 0:
+            raise ValueError("core_index must be >= 0")
+        if not 0 <= self.start < self.stop:
+            raise ValueError("partition bounds must satisfy 0 <= start < stop")
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+    def channels(self) -> np.ndarray:
+        return np.arange(self.start, self.stop)
+
+
+def partition_channels(d_model: int, n_cores: int) -> List[ChannelPartition]:
+    """Split ``d_model`` channels into ``n_cores`` contiguous slices."""
+    if d_model <= 0 or n_cores <= 0:
+        raise ValueError("d_model and n_cores must be positive")
+    if n_cores > d_model:
+        raise ValueError("cannot assign more cores than channels")
+    base = d_model // n_cores
+    remainder = d_model % n_cores
+    partitions: List[ChannelPartition] = []
+    start = 0
+    for core in range(n_cores):
+        size = base + (1 if core < remainder else 0)
+        partitions.append(ChannelPartition(core_index=core, start=start, stop=start + size))
+        start += size
+    return partitions
+
+
+@dataclass(frozen=True)
+class PartitionedSelection:
+    """Result of per-core local Top-k selection."""
+
+    kept_channels: np.ndarray
+    kept_per_core: List[int]
+    local_k: int
+
+    @property
+    def kept(self) -> int:
+        return int(self.kept_channels.size)
+
+
+def local_topk_selection(
+    vx: np.ndarray, k: int, n_cores: int
+) -> PartitionedSelection:
+    """Select approximately ``k`` channels using per-core local Top-k.
+
+    Each core keeps ``ceil(k / n_cores)`` channels from its own slice —
+    the hardware-friendly approximation of the global Top-k.
+    """
+    vx = np.asarray(vx, dtype=np.float64).ravel()
+    if vx.size == 0:
+        raise ValueError("vx must not be empty")
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    k = min(k, vx.size)
+    partitions = partition_channels(vx.size, n_cores)
+    local_k = max(math.ceil(k / n_cores), 0)
+    kept: List[int] = []
+    kept_per_core: List[int] = []
+    for partition in partitions:
+        slice_values = np.abs(vx[partition.start : partition.stop])
+        keep_here = min(local_k, slice_values.size)
+        kept_per_core.append(keep_here)
+        if keep_here == 0:
+            continue
+        local_indices = np.argpartition(slice_values, slice_values.size - keep_here)[
+            slice_values.size - keep_here:
+        ]
+        kept.extend((partition.start + local_indices).tolist())
+    return PartitionedSelection(
+        kept_channels=np.sort(np.asarray(kept, dtype=int)),
+        kept_per_core=kept_per_core,
+        local_k=local_k,
+    )
+
+
+def global_topk_selection(vx: np.ndarray, k: int) -> np.ndarray:
+    """Exact global Top-k channel selection (reference)."""
+    vx = np.asarray(vx, dtype=np.float64).ravel()
+    if vx.size == 0:
+        raise ValueError("vx must not be empty")
+    k = min(max(k, 0), vx.size)
+    if k == 0:
+        return np.empty(0, dtype=int)
+    magnitudes = np.abs(vx)
+    return np.sort(np.argpartition(magnitudes, vx.size - k)[vx.size - k:])
+
+
+def selection_overlap(selected: np.ndarray, reference: np.ndarray) -> float:
+    """Fraction of the reference selection recovered by ``selected``."""
+    reference = np.asarray(reference, dtype=int)
+    if reference.size == 0:
+        return 1.0
+    selected_set = set(np.asarray(selected, dtype=int).tolist())
+    hits = sum(1 for channel in reference.tolist() if channel in selected_set)
+    return hits / reference.size
+
+
+def energy_coverage(vx: np.ndarray, selected: np.ndarray) -> float:
+    """Fraction of the activation vector's L2 energy covered by a selection."""
+    vx = np.asarray(vx, dtype=np.float64).ravel()
+    total = float(np.sum(vx**2))
+    if total == 0.0:
+        return 1.0
+    selected = np.asarray(selected, dtype=int)
+    if selected.size == 0:
+        return 0.0
+    return float(np.sum(vx[selected] ** 2) / total)

@@ -1,0 +1,248 @@
+"""Layer-wise dynamic Top-k activation-aware pruning (Algorithm 1).
+
+The scheme prunes the FFN GEMVs of the decode phase channel-wise, guided by
+the activation vector's magnitudes:
+
+* layer 1 (index 0) is never pruned (``k = d``) because its distribution is
+  unstable and pruning it destroys accuracy;
+* for every other layer the current ``k`` selects the Top-k magnitude
+  channels; only their weight rows are read from DRAM and multiplied;
+* after the selection, ``n`` counts the channels within a factor ``t`` of
+  the maximum (``t = 16`` in the paper); if ``n < k`` the budget shrinks to
+  ``n`` for the following layers, so ``k`` decreases monotonically with
+  depth as the outliers become more prominent;
+* the budget resets to ``d`` at the start of every generated token.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .ffn import GatedFFN
+from .metrics import cosine_similarity, kurtosis, pruning_ratio
+
+
+@dataclass(frozen=True)
+class DynamicTopKConfig:
+    """Parameters of Algorithm 1.
+
+    Attributes
+    ----------
+    threshold:
+        The divisor ``t``: channels smaller than ``max|Vx| / t`` are
+        considered negligible (paper default 16).
+    skip_first_layer:
+        Keep all channels of the first decoder layer (paper behaviour).
+    min_keep:
+        Lower bound on ``k`` to avoid degenerate all-pruned layers.
+    monotonic:
+        Enforce that ``k`` never grows with depth within one token
+        (the paper's "k should decrease progressively with layer depth").
+    """
+
+    threshold: float = 16.0
+    skip_first_layer: bool = True
+    min_keep: int = 1
+    monotonic: bool = True
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 1.0:
+            raise ValueError("threshold must be > 1")
+        if self.min_keep < 1:
+            raise ValueError("min_keep must be >= 1")
+
+
+@dataclass(frozen=True)
+class LayerPruningDecision:
+    """The pruning decision of one layer for one token."""
+
+    layer_index: int
+    k_before: int
+    k_after: int
+    kept_channels: np.ndarray
+    above_threshold_count: int
+    total_channels: int
+
+    @property
+    def kept(self) -> int:
+        return int(self.kept_channels.size)
+
+    @property
+    def ratio(self) -> float:
+        return pruning_ratio(self.kept, self.total_channels)
+
+
+class DynamicTopKPruner:
+    """Stateful implementation of Algorithm 1 for one generated token.
+
+    Call :meth:`start_token` at the beginning of each decode step and
+    :meth:`prune_layer` once per decoder layer, in order.
+    """
+
+    def __init__(self, d_model: int, config: Optional[DynamicTopKConfig] = None) -> None:
+        if d_model <= 0:
+            raise ValueError("d_model must be positive")
+        self.d_model = d_model
+        self.config = config or DynamicTopKConfig()
+        self._k = d_model
+        self._next_layer = 0
+
+    @property
+    def current_k(self) -> int:
+        return self._k
+
+    def start_token(self) -> None:
+        """Reset the channel budget for a new generated token."""
+        self._k = self.d_model
+        self._next_layer = 0
+
+    def prune_layer(self, vx: np.ndarray, layer_index: Optional[int] = None) -> LayerPruningDecision:
+        """Apply Algorithm 1 to one layer's activation vector."""
+        vx = np.asarray(vx, dtype=np.float64).ravel()
+        if vx.size != self.d_model:
+            raise ValueError(
+                f"activation vector must have {self.d_model} channels, got {vx.size}"
+            )
+        if layer_index is None:
+            layer_index = self._next_layer
+        self._next_layer = layer_index + 1
+
+        k_before = self._k
+        if layer_index == 0 and self.config.skip_first_layer:
+            k_used = self.d_model
+        else:
+            k_used = max(min(k_before, self.d_model), self.config.min_keep)
+
+        magnitudes = np.abs(vx)
+        kept_channels = self._select_topk(magnitudes, k_used)
+
+        # th-mask: count channels within a factor t of the maximum.
+        peak = magnitudes.max()
+        if peak == 0.0:
+            n_above = 0
+        else:
+            n_above = int(np.count_nonzero(magnitudes > peak / self.config.threshold))
+
+        k_after = k_before
+        if n_above < k_before:
+            k_after = max(n_above, self.config.min_keep)
+        if self.config.monotonic:
+            k_after = min(k_after, k_before)
+        self._k = k_after
+
+        return LayerPruningDecision(
+            layer_index=layer_index,
+            k_before=k_before,
+            k_after=k_after,
+            kept_channels=kept_channels,
+            above_threshold_count=n_above,
+            total_channels=self.d_model,
+        )
+
+    @staticmethod
+    def _select_topk(magnitudes: np.ndarray, k: int) -> np.ndarray:
+        k = min(max(k, 0), magnitudes.size)
+        if k == magnitudes.size:
+            return np.arange(magnitudes.size)
+        if k == 0:
+            return np.empty(0, dtype=int)
+        partition = np.argpartition(magnitudes, magnitudes.size - k)[magnitudes.size - k:]
+        return np.sort(partition)
+
+
+@dataclass(frozen=True)
+class TokenPruningReport:
+    """Per-layer results of pruning one token's FFN computations."""
+
+    decisions: List[LayerPruningDecision]
+    cosine_similarities: List[float]
+    kurtoses: List[float]
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.decisions)
+
+    @property
+    def mean_pruning_ratio(self) -> float:
+        if not self.decisions:
+            return 0.0
+        return float(np.mean([decision.ratio for decision in self.decisions]))
+
+    @property
+    def mean_cosine_similarity(self) -> float:
+        if not self.cosine_similarities:
+            return 1.0
+        return float(np.mean(self.cosine_similarities))
+
+    def pruning_ratios(self) -> List[float]:
+        return [decision.ratio for decision in self.decisions]
+
+    def kept_per_layer(self) -> List[int]:
+        return [decision.kept for decision in self.decisions]
+
+
+def prune_token(
+    activations: Sequence[np.ndarray],
+    ffn_layers: Optional[Sequence[GatedFFN]] = None,
+    *,
+    config: Optional[DynamicTopKConfig] = None,
+) -> TokenPruningReport:
+    """Run Algorithm 1 over all layers of one decode step.
+
+    ``activations[i]`` is the FFN input vector of layer ``i``.  If
+    ``ffn_layers`` is supplied, the pruned and unpruned FFN outputs are
+    compared layer-by-layer with cosine similarity (Fig. 12(b)); otherwise
+    similarities are omitted.
+    """
+    if not activations:
+        raise ValueError("activations must not be empty")
+    if ffn_layers is not None and len(ffn_layers) != len(activations):
+        raise ValueError("ffn_layers must match activations in length")
+    d_model = np.asarray(activations[0]).size
+    pruner = DynamicTopKPruner(d_model, config)
+    pruner.start_token()
+    decisions: List[LayerPruningDecision] = []
+    similarities: List[float] = []
+    kurtoses: List[float] = []
+    for layer_index, vx in enumerate(activations):
+        vx = np.asarray(vx, dtype=np.float64).ravel()
+        decision = pruner.prune_layer(vx, layer_index)
+        decisions.append(decision)
+        kurtoses.append(kurtosis(np.abs(vx)))
+        if ffn_layers is not None:
+            layer = ffn_layers[layer_index]
+            exact = layer.forward(vx)
+            pruned = layer.forward_pruned(vx, decision.kept_channels)
+            similarities.append(cosine_similarity(exact, pruned))
+    return TokenPruningReport(
+        decisions=decisions,
+        cosine_similarities=similarities,
+        kurtoses=kurtoses,
+    )
+
+
+def decode_traffic_reduction(
+    report: TokenPruningReport,
+    d_ffn: int,
+    *,
+    weight_bytes: float = 1.0,
+) -> float:
+    """Fraction of FFN weight traffic removed by the report's decisions.
+
+    Gate and up projections read only the kept channels' rows; the down
+    projection is unaffected.
+    """
+    if d_ffn <= 0:
+        raise ValueError("d_ffn must be positive")
+    baseline = 0.0
+    pruned = 0.0
+    for decision in report.decisions:
+        d_model = decision.total_channels
+        baseline += (2 * d_model + d_model) * d_ffn * weight_bytes
+        pruned += (2 * decision.kept + d_model) * d_ffn * weight_bytes
+    if baseline == 0.0:
+        return 0.0
+    return 1.0 - pruned / baseline

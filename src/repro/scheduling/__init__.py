@@ -1,0 +1,36 @@
+"""Token-length-driven bandwidth management, batching and scheduling."""
+
+from .bandwidth import (
+    BandwidthDecision,
+    BandwidthManager,
+    DEFAULT_CC_FRACTIONS,
+)
+from .batching import BatchDecision, BatchPlanner
+from .stream import (
+    RequestTiming,
+    StreamReport,
+    StreamRequest,
+    StreamSimulator,
+)
+from .scheduler import (
+    DEFAULT_PHASE_ASSIGNMENT,
+    Schedule,
+    TokenLengthScheduler,
+    phase_pool,
+)
+
+__all__ = [
+    "BandwidthDecision",
+    "BandwidthManager",
+    "DEFAULT_CC_FRACTIONS",
+    "BatchDecision",
+    "BatchPlanner",
+    "RequestTiming",
+    "StreamReport",
+    "StreamRequest",
+    "StreamSimulator",
+    "DEFAULT_PHASE_ASSIGNMENT",
+    "Schedule",
+    "TokenLengthScheduler",
+    "phase_pool",
+]

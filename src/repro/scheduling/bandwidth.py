@@ -1,0 +1,158 @@
+"""Token-length-driven bandwidth management (Section IV-B, Fig. 13).
+
+The policy observes (or is told) the output token length ``l`` of the
+current stream and picks the DMA budget ratio ``Bc : Bm`` between CC- and
+MC-clusters so the two pipeline stages stay balanced:
+
+* for ``l < le`` (the expected balanced length) the CC stage dominates and
+  equal sharing is already fine;
+* as ``l`` grows past ``le`` the decode stage lengthens, so bandwidth is
+  progressively reallocated from the CC- to the MC-clusters (ratios of
+  1:1 -> 1:3 -> 1:7 in the paper);
+* past the reallocation limit ``lb`` batch decoding takes over (see
+  ``repro.scheduling.batching``).
+
+The policy searches the candidate ratios with the pipeline model and keeps
+the one minimising request latency (equivalently, balancing the stages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..arch.dma import BandwidthBudget, allocate_fair_shares
+from ..core.pipeline import PipelineModel, PipelinePoint
+
+
+#: Candidate Bc:Bm ratios, expressed as the CC fraction of total bandwidth.
+#: 0.5 is equal sharing (1:1); 0.25 and 0.125 are the 1:3 and 1:7
+#: reallocations the paper reports.
+DEFAULT_CC_FRACTIONS: Tuple[float, ...] = (0.5, 0.25, 0.125)
+
+
+@dataclass(frozen=True)
+class BandwidthDecision:
+    """The bandwidth allocation chosen for one output token length."""
+
+    output_tokens: int
+    cc_fraction: float
+    point: PipelinePoint
+    baseline_point: PipelinePoint
+
+    @property
+    def bc_to_bm_ratio(self) -> Tuple[int, int]:
+        """The Bc:Bm ratio in smallest integer terms (e.g. (1, 3))."""
+        cc = self.cc_fraction
+        mc = 1.0 - cc
+        if cc == 0:
+            return (0, 1)
+        ratio = mc / cc
+        return (1, int(round(ratio)))
+
+    @property
+    def latency_reduction(self) -> float:
+        """Fractional latency reduction vs equal bandwidth sharing."""
+        baseline = self.baseline_point.request_latency_s
+        if baseline == 0:
+            return 0.0
+        return 1.0 - self.point.request_latency_s / baseline
+
+    @property
+    def throughput_gain(self) -> float:
+        """Throughput multiplier vs equal bandwidth sharing."""
+        baseline = self.baseline_point.tokens_per_second
+        if baseline == 0:
+            return 1.0
+        return self.point.tokens_per_second / baseline
+
+
+class BandwidthManager:
+    """Chooses the Bc:Bm split per output token length using the pipeline model."""
+
+    def __init__(
+        self,
+        pipeline: PipelineModel,
+        *,
+        candidate_cc_fractions: Sequence[float] = DEFAULT_CC_FRACTIONS,
+        keep_fraction: Optional[float] = None,
+    ) -> None:
+        if not candidate_cc_fractions:
+            raise ValueError("candidate_cc_fractions must not be empty")
+        for fraction in candidate_cc_fractions:
+            if not 0.0 < fraction < 1.0:
+                raise ValueError("cc fractions must be in (0, 1)")
+        self.pipeline = pipeline
+        self.candidates = tuple(sorted(set(candidate_cc_fractions), reverse=True))
+        self.keep_fraction = keep_fraction
+
+    def decide(self, output_tokens: int, *, batch_size: int = 1) -> BandwidthDecision:
+        """Pick the allocation minimising request latency for one length."""
+        if output_tokens <= 0:
+            raise ValueError("output_tokens must be positive")
+        baseline = self.pipeline.evaluate(
+            output_tokens,
+            cc_bandwidth_fraction=0.5,
+            batch_size=batch_size,
+            keep_fraction=self.keep_fraction,
+        )
+        best_fraction = 0.5
+        best_point = baseline
+        for fraction in self.candidates:
+            point = self.pipeline.evaluate(
+                output_tokens,
+                cc_bandwidth_fraction=fraction,
+                batch_size=batch_size,
+                keep_fraction=self.keep_fraction,
+            )
+            if point.request_latency_s < best_point.request_latency_s:
+                best_point = point
+                best_fraction = fraction
+        return BandwidthDecision(
+            output_tokens=output_tokens,
+            cc_fraction=best_fraction,
+            point=best_point,
+            baseline_point=baseline,
+        )
+
+    def sweep(
+        self, output_token_lengths: Sequence[int], *, batch_size: int = 1
+    ) -> List[BandwidthDecision]:
+        """Decisions across a range of output token lengths (Fig. 13)."""
+        if not output_token_lengths:
+            raise ValueError("output_token_lengths must not be empty")
+        return [self.decide(length, batch_size=batch_size) for length in output_token_lengths]
+
+    def expected_balanced_length(self) -> int:
+        """The paper's ``le``: the length balancing the stages at equal sharing."""
+        return self.pipeline.balanced_token_length(cc_bandwidth_fraction=0.5)
+
+    def reallocation_limit_length(self) -> int:
+        """The paper's ``lb``: the length balancing the stages at the most
+        aggressive reallocation the policy considers."""
+        min_cc = min(self.candidates)
+        return self.pipeline.balanced_token_length(cc_bandwidth_fraction=min_cc)
+
+    def budgets_for(
+        self,
+        decision: BandwidthDecision,
+        *,
+        total_bytes_per_cycle: float,
+        interval_cycles: int = 100_000,
+    ) -> dict:
+        """Concrete per-cluster DMA budgets implementing a decision.
+
+        Returns ``{"cc": BandwidthBudget, "mc": BandwidthBudget}`` whose
+        byte budgets realise the chosen Bc:Bm ratio over the PMC interval.
+        """
+        shares = allocate_fair_shares(
+            total_bytes_per_cycle,
+            {"cc": decision.cc_fraction, "mc": 1.0 - decision.cc_fraction},
+        )
+        return {
+            name: BandwidthBudget(
+                budget_bytes=int(share * interval_cycles),
+                interval_cycles=interval_cycles,
+            )
+            for name, share in shares.items()
+        }

@@ -1,0 +1,124 @@
+"""Phase-to-cluster scheduling and the combined runtime policy.
+
+The scheduler ties the pieces together:
+
+* it assigns MLLM phases to cluster pools (encoder/projector/prefill ->
+  CC-clusters, decode -> MC-clusters), which the paper states is optimal
+  for the heterogeneous chip;
+* for a stream with a given output token length it consults the
+  :class:`~repro.scheduling.bandwidth.BandwidthManager` and, past the
+  reallocation limit, the :class:`~repro.scheduling.batching.BatchPlanner`,
+  producing a single :class:`Schedule` describing how the stream should run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..core.pipeline import PipelineModel, PipelinePoint
+from .bandwidth import BandwidthDecision, BandwidthManager
+from .batching import BatchDecision, BatchPlanner
+
+
+#: The static phase -> pool assignment of the heterogeneous chip.
+DEFAULT_PHASE_ASSIGNMENT: Dict[str, str] = {
+    "vision_encoder": "cc",
+    "projector": "cc",
+    "llm_prefill": "cc",
+    "llm_decode": "mc",
+}
+
+
+def phase_pool(phase_name: str) -> str:
+    """Pool assignment of a phase (defaults to CC for unknown phases)."""
+    return DEFAULT_PHASE_ASSIGNMENT.get(phase_name, "cc")
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """The runtime decision for one stream."""
+
+    output_tokens: int
+    cc_bandwidth_fraction: float
+    batch_size: int
+    point: PipelinePoint
+    used_batching: bool
+
+    @property
+    def tokens_per_second(self) -> float:
+        return self.point.tokens_per_second
+
+    @property
+    def request_latency_s(self) -> float:
+        return self.point.request_latency_s
+
+
+class TokenLengthScheduler:
+    """Combined bandwidth-reallocation + batch-decoding policy."""
+
+    def __init__(
+        self,
+        pipeline: PipelineModel,
+        *,
+        keep_fraction: Optional[float] = None,
+        candidate_cc_fractions: Optional[Sequence[float]] = None,
+        candidate_batch_sizes: Optional[Sequence[int]] = None,
+        max_latency_overhead: float = 0.5,
+    ) -> None:
+        bandwidth_kwargs = {}
+        if candidate_cc_fractions is not None:
+            bandwidth_kwargs["candidate_cc_fractions"] = candidate_cc_fractions
+        self.bandwidth = BandwidthManager(
+            pipeline, keep_fraction=keep_fraction, **bandwidth_kwargs
+        )
+        batch_kwargs = {}
+        if candidate_batch_sizes is not None:
+            batch_kwargs["candidate_batch_sizes"] = candidate_batch_sizes
+        self.batching = BatchPlanner(
+            pipeline,
+            keep_fraction=keep_fraction,
+            cc_bandwidth_fraction=min(self.bandwidth.candidates),
+            **batch_kwargs,
+        )
+        self.pipeline = pipeline
+        self.max_latency_overhead = max_latency_overhead
+
+    def schedule(self, output_tokens: int) -> Schedule:
+        """Decide how a stream with the given output length should run."""
+        if output_tokens <= 0:
+            raise ValueError("output_tokens must be positive")
+        bandwidth_decision: BandwidthDecision = self.bandwidth.decide(output_tokens)
+        limit = self.bandwidth.reallocation_limit_length()
+        if output_tokens <= limit:
+            return Schedule(
+                output_tokens=output_tokens,
+                cc_bandwidth_fraction=bandwidth_decision.cc_fraction,
+                batch_size=1,
+                point=bandwidth_decision.point,
+                used_batching=False,
+            )
+        batch_decision: BatchDecision = self.batching.decide(
+            output_tokens, max_latency_overhead=self.max_latency_overhead
+        )
+        if batch_decision.batch_size == 1:
+            return Schedule(
+                output_tokens=output_tokens,
+                cc_bandwidth_fraction=bandwidth_decision.cc_fraction,
+                batch_size=1,
+                point=bandwidth_decision.point,
+                used_batching=False,
+            )
+        return Schedule(
+            output_tokens=output_tokens,
+            cc_bandwidth_fraction=self.batching.cc_bandwidth_fraction,
+            batch_size=batch_decision.batch_size,
+            point=batch_decision.point,
+            used_batching=True,
+        )
+
+    def sweep(self, output_token_lengths: Sequence[int]) -> Dict[int, Schedule]:
+        """Schedules across a range of output lengths (Fig. 13 sweep)."""
+        if not output_token_lengths:
+            raise ValueError("output_token_lengths must not be empty")
+        return {length: self.schedule(length) for length in output_token_lengths}

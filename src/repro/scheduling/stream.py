@@ -1,0 +1,216 @@
+"""Stream-level simulation of the two-stage EdgeMM pipeline.
+
+The pipeline model in :mod:`repro.core.pipeline` reports steady-state
+latency and throughput.  Real-time deployments (the paper's AD / robot /
+AR-VR scenarios) additionally care about queueing behaviour under a given
+request arrival rate: does the pipeline keep up with the camera frame rate,
+how much waiting time do requests accumulate, and how busy is each stage?
+
+:class:`StreamSimulator` plays a trace of request arrivals through the
+two-stage pipeline (CC stage: encode + projector + prefill; MC stage:
+decode), respecting the chosen bandwidth split and batch size, and reports
+per-request timing plus stage utilisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.pipeline import PipelineModel
+
+
+@dataclass(frozen=True)
+class StreamRequest:
+    """One request in the input stream."""
+
+    arrival_s: float
+    output_tokens: int
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0:
+            raise ValueError("arrival_s must be >= 0")
+        if self.output_tokens <= 0:
+            raise ValueError("output_tokens must be positive")
+
+
+@dataclass(frozen=True)
+class RequestTiming:
+    """Completion record of one request."""
+
+    request: StreamRequest
+    cc_start_s: float
+    cc_end_s: float
+    mc_start_s: float
+    mc_end_s: float
+
+    @property
+    def latency_s(self) -> float:
+        """Arrival-to-last-token latency, including queueing."""
+        return self.mc_end_s - self.request.arrival_s
+
+    @property
+    def queueing_s(self) -> float:
+        """Time spent waiting before the CC stage starts."""
+        return self.cc_start_s - self.request.arrival_s
+
+    @property
+    def service_s(self) -> float:
+        """Pure service time (CC stage + MC stage, excluding waits)."""
+        return (self.cc_end_s - self.cc_start_s) + (self.mc_end_s - self.mc_start_s)
+
+
+@dataclass(frozen=True)
+class StreamReport:
+    """Aggregate results of one stream simulation."""
+
+    timings: List[RequestTiming]
+    cc_busy_s: float
+    mc_busy_s: float
+    makespan_s: float
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.timings)
+
+    @property
+    def mean_latency_s(self) -> float:
+        if not self.timings:
+            return 0.0
+        return sum(t.latency_s for t in self.timings) / len(self.timings)
+
+    @property
+    def p95_latency_s(self) -> float:
+        if not self.timings:
+            return 0.0
+        ordered = sorted(t.latency_s for t in self.timings)
+        index = min(int(round(0.95 * (len(ordered) - 1))), len(ordered) - 1)
+        return ordered[index]
+
+    @property
+    def mean_queueing_s(self) -> float:
+        if not self.timings:
+            return 0.0
+        return sum(t.queueing_s for t in self.timings) / len(self.timings)
+
+    @property
+    def cc_utilization(self) -> float:
+        return self.cc_busy_s / self.makespan_s if self.makespan_s else 0.0
+
+    @property
+    def mc_utilization(self) -> float:
+        return self.mc_busy_s / self.makespan_s if self.makespan_s else 0.0
+
+    @property
+    def tokens_per_second(self) -> float:
+        if self.makespan_s == 0:
+            return 0.0
+        total_tokens = sum(t.request.output_tokens for t in self.timings)
+        return total_tokens / self.makespan_s
+
+    @property
+    def requests_per_second(self) -> float:
+        if self.makespan_s == 0:
+            return 0.0
+        return self.n_requests / self.makespan_s
+
+
+class StreamSimulator:
+    """Plays request arrivals through the two-stage pipeline."""
+
+    def __init__(
+        self,
+        pipeline: PipelineModel,
+        *,
+        cc_bandwidth_fraction: float = 0.5,
+        keep_fraction: Optional[float] = None,
+    ) -> None:
+        if not 0.0 < cc_bandwidth_fraction < 1.0:
+            raise ValueError("cc_bandwidth_fraction must be in (0, 1)")
+        self.pipeline = pipeline
+        self.cc_bandwidth_fraction = cc_bandwidth_fraction
+        self.keep_fraction = keep_fraction
+        self._cc_latency_cache: dict = {}
+        self._mc_latency_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    # Stage service times (cached per output length)
+    # ------------------------------------------------------------------
+    def _cc_service_s(self, output_tokens: int) -> float:
+        if output_tokens not in self._cc_latency_cache:
+            self._cc_latency_cache[output_tokens] = self.pipeline.cc_stage_latency_s(
+                output_tokens, self.cc_bandwidth_fraction
+            )
+        return self._cc_latency_cache[output_tokens]
+
+    def _mc_service_s(self, output_tokens: int) -> float:
+        if output_tokens not in self._mc_latency_cache:
+            self._mc_latency_cache[output_tokens] = self.pipeline.mc_stage_latency_s(
+                output_tokens,
+                1.0 - self.cc_bandwidth_fraction,
+                keep_fraction=self.keep_fraction,
+            )
+        return self._mc_latency_cache[output_tokens]
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def simulate(self, requests: Sequence[StreamRequest]) -> StreamReport:
+        """Run a trace of requests through the pipeline (FIFO per stage)."""
+        if not requests:
+            raise ValueError("requests must not be empty")
+        ordered = sorted(requests, key=lambda request: request.arrival_s)
+        cc_free_at = 0.0
+        mc_free_at = 0.0
+        cc_busy = 0.0
+        mc_busy = 0.0
+        timings: List[RequestTiming] = []
+        for request in ordered:
+            cc_service = self._cc_service_s(request.output_tokens)
+            mc_service = self._mc_service_s(request.output_tokens)
+            cc_start = max(request.arrival_s, cc_free_at)
+            cc_end = cc_start + cc_service
+            mc_start = max(cc_end, mc_free_at)
+            mc_end = mc_start + mc_service
+            cc_free_at = cc_end
+            mc_free_at = mc_end
+            cc_busy += cc_service
+            mc_busy += mc_service
+            timings.append(
+                RequestTiming(
+                    request=request,
+                    cc_start_s=cc_start,
+                    cc_end_s=cc_end,
+                    mc_start_s=mc_start,
+                    mc_end_s=mc_end,
+                )
+            )
+        makespan = timings[-1].mc_end_s - ordered[0].arrival_s
+        return StreamReport(
+            timings=timings,
+            cc_busy_s=cc_busy,
+            mc_busy_s=mc_busy,
+            makespan_s=makespan,
+        )
+
+    def simulate_periodic(
+        self, n_requests: int, period_s: float, output_tokens: int
+    ) -> StreamReport:
+        """Simulate a periodic stream (e.g. one request per camera frame)."""
+        if n_requests <= 0:
+            raise ValueError("n_requests must be positive")
+        if period_s < 0:
+            raise ValueError("period_s must be >= 0")
+        requests = [
+            StreamRequest(arrival_s=index * period_s, output_tokens=output_tokens)
+            for index in range(n_requests)
+        ]
+        return self.simulate(requests)
+
+    def sustainable_period_s(self, output_tokens: int) -> float:
+        """Shortest arrival period the pipeline sustains without backlog.
+
+        This is the slower of the two stage service times — the pipeline
+        interval of the steady-state model.
+        """
+        return max(self._cc_service_s(output_tokens), self._mc_service_s(output_tokens))

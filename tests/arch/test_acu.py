@@ -1,0 +1,60 @@
+"""Tests for the shared auxiliary compute units (repro.arch.acu)."""
+
+import pytest
+
+from repro.arch.acu import ACUConfig, AuxiliaryComputeUnits, DEFAULT_OP_CYCLES
+
+
+class TestACUConfig:
+    def test_default_op_table_present(self):
+        config = ACUConfig()
+        assert set(config.op_cycles) == set(DEFAULT_OP_CYCLES)
+
+    def test_rejects_bad_units(self):
+        with pytest.raises(ValueError):
+            ACUConfig(units=0)
+
+    def test_rejects_bad_cycle_costs(self):
+        with pytest.raises(ValueError):
+            ACUConfig(op_cycles={"mul32": 0})
+
+
+class TestAuxiliaryComputeUnits:
+    def test_op_cycles_lookup(self):
+        acu = AuxiliaryComputeUnits()
+        assert acu.op_cycles("div32") == DEFAULT_OP_CYCLES["div32"]
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(KeyError):
+            AuxiliaryComputeUnits().op_cycles("fma128")
+
+    def test_batch_cycles_sum_and_parallelise(self):
+        acu = AuxiliaryComputeUnits(ACUConfig(units=4))
+        serial = acu.batch_cycles({"mul32": 8}, requesting_cores=1)
+        parallel = acu.batch_cycles({"mul32": 8}, requesting_cores=4)
+        assert parallel == pytest.approx(serial / 4)
+
+    def test_parallelism_capped_by_units(self):
+        acu = AuxiliaryComputeUnits(ACUConfig(units=2))
+        two = acu.batch_cycles({"exp": 8}, requesting_cores=2)
+        eight = acu.batch_cycles({"exp": 8}, requesting_cores=8)
+        assert two == pytest.approx(eight)
+
+    def test_batch_rejects_bad_inputs(self):
+        acu = AuxiliaryComputeUnits()
+        with pytest.raises(ValueError):
+            acu.batch_cycles({"mul32": -1})
+        with pytest.raises(ValueError):
+            acu.batch_cycles({"mul32": 1}, requesting_cores=0)
+
+    def test_softmax_cost_scales_with_elements(self):
+        acu = AuxiliaryComputeUnits()
+        assert acu.softmax_cycles(200) > acu.softmax_cycles(100)
+        with pytest.raises(ValueError):
+            acu.softmax_cycles(0)
+
+    def test_rmsnorm_cost_positive(self):
+        acu = AuxiliaryComputeUnits()
+        assert acu.rmsnorm_cycles(128) > 0
+        with pytest.raises(ValueError):
+            acu.rmsnorm_cycles(0)

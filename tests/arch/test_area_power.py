@@ -1,0 +1,82 @@
+"""Tests for the 22nm area/power model (repro.arch.area_power)."""
+
+import pytest
+
+from repro.arch.area_power import AreaPowerModel, TechnologyConfig
+from repro.arch.chip import ChipConfig
+
+
+@pytest.fixture(scope="module")
+def model() -> AreaPowerModel:
+    return AreaPowerModel(ChipConfig())
+
+
+class TestTechnologyConfig:
+    def test_rejects_bad_node(self):
+        with pytest.raises(ValueError):
+            TechnologyConfig(node_nm=0)
+
+    def test_rejects_bad_activity(self):
+        with pytest.raises(ValueError):
+            TechnologyConfig(dynamic_activity_factor=0.0)
+
+
+class TestAreaModel:
+    def test_sa_dominates_cc_core(self, model):
+        """Fig. 10: the SA coprocessor occupies ~62% of a CC-core."""
+        report = model.area_report()
+        assert 0.5 <= report.sa_fraction_of_cc_core <= 0.8
+
+    def test_cim_dominates_mc_core(self, model):
+        """Fig. 10: the CIM macro occupies ~81% of an MC-core."""
+        report = model.area_report()
+        assert 0.7 <= report.cim_fraction_of_mc_core <= 0.98
+
+    def test_cluster_areas_exceed_core_areas(self, model):
+        report = model.area_report()
+        assert report.cc_cluster_mm2 > 4 * report.cc_core_mm2
+        assert report.mc_cluster_mm2 > 2 * report.mc_core_mm2
+
+    def test_chip_area_sums_breakdown(self, model):
+        report = model.area_report()
+        total = sum(report.breakdown_mm2.values())
+        assert report.chip_mm2 == pytest.approx(total, rel=1e-6)
+
+    def test_area_scales_with_cluster_count(self):
+        small = AreaPowerModel(ChipConfig(n_groups=2)).chip_area_mm2()
+        large = AreaPowerModel(ChipConfig(n_groups=4)).chip_area_mm2()
+        assert large > 1.8 * small
+
+
+class TestPowerModel:
+    def test_power_at_decode_utilisation_near_paper_value(self, model):
+        """At low compute activity the chip power should land near 112 mW."""
+        report = model.power_report(utilization=0.1)
+        assert 50.0 <= report.total_mw <= 250.0
+
+    def test_power_grows_with_utilisation(self, model):
+        idle = model.power_report(utilization=0.0).total_mw
+        busy = model.power_report(utilization=1.0).total_mw
+        assert busy > idle
+
+    def test_power_components_sum_to_total(self, model):
+        report = model.power_report(utilization=0.5)
+        components = (
+            report.leakage_mw
+            + report.host_cores_mw
+            + report.cc_compute_mw
+            + report.mc_compute_mw
+            + report.sram_mw
+        )
+        assert report.total_mw == pytest.approx(components)
+
+    def test_power_rejects_bad_utilisation(self, model):
+        with pytest.raises(ValueError):
+            model.power_report(utilization=1.5)
+
+    def test_energy_per_token(self, model):
+        energy = model.energy_per_token_j(tokens_per_second=100.0)
+        assert energy > 0
+        assert model.tokens_per_joule(100.0) == pytest.approx(1.0 / energy)
+        with pytest.raises(ValueError):
+            model.energy_per_token_j(0.0)

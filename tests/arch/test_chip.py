@@ -1,0 +1,89 @@
+"""Tests for the chip/group assembly (repro.arch.chip)."""
+
+import pytest
+
+from repro.arch.chip import (
+    Chip,
+    ChipConfig,
+    GroupConfig,
+    homo_cc_chip_config,
+    homo_mc_chip_config,
+)
+
+
+class TestChipConfig:
+    def test_default_matches_fig10(self):
+        """4 groups x (2 CC + 2 MC clusters); 4/2 cores per cluster type."""
+        config = ChipConfig()
+        assert config.n_groups == 4
+        assert config.n_cc_clusters == 8
+        assert config.n_mc_clusters == 8
+        assert config.n_cc_cores == 32
+        assert config.n_mc_cores == 16
+
+    def test_total_cores_includes_dma_hosts(self):
+        config = ChipConfig()
+        assert config.total_cores == 32 + 16 + 8 + 8
+
+    def test_rejects_bad_groups(self):
+        with pytest.raises(ValueError):
+            ChipConfig(n_groups=0)
+        with pytest.raises(ValueError):
+            ChipConfig(frequency_hz=0)
+
+    def test_group_requires_at_least_one_cluster(self):
+        with pytest.raises(ValueError):
+            GroupConfig(n_cc_clusters=0, n_mc_clusters=0)
+
+
+class TestHomogeneousVariants:
+    def test_homo_cc_preserves_cluster_count(self):
+        base = ChipConfig()
+        homo = homo_cc_chip_config(base)
+        assert homo.n_mc_clusters == 0
+        assert homo.n_cc_clusters == base.n_cc_clusters + base.n_mc_clusters
+
+    def test_homo_mc_preserves_cluster_count(self):
+        base = ChipConfig()
+        homo = homo_mc_chip_config(base)
+        assert homo.n_cc_clusters == 0
+        assert homo.n_mc_clusters == base.n_cc_clusters + base.n_mc_clusters
+
+    def test_variant_names(self):
+        assert homo_cc_chip_config().name == "homo_cc"
+        assert homo_mc_chip_config().name == "homo_mc"
+
+
+class TestChipModel:
+    def test_peak_flops_in_paper_ballpark(self, default_chip):
+        """Table II reports 18 TFLOP/s (BF16) for the full chip."""
+        tflops = default_chip.peak_flops / 1e12
+        assert 10.0 <= tflops <= 30.0
+
+    def test_peak_flops_dominated_by_cc_pool(self, default_chip):
+        assert default_chip.peak_cc_macs_per_cycle > default_chip.peak_mc_macs_per_cycle
+
+    def test_mc_pool_has_more_data_memory(self, default_chip):
+        assert default_chip.mc_data_memory_bytes > default_chip.cc_data_memory_bytes
+
+    def test_cycles_to_seconds(self, default_chip):
+        assert default_chip.cycles_to_seconds(1e9) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            default_chip.cycles_to_seconds(-1)
+
+    def test_dram_bytes_per_cycle(self, default_chip):
+        expected = (
+            default_chip.config.dram.peak_bandwidth_bytes_per_s
+            / default_chip.config.frequency_hz
+        )
+        assert default_chip.dram_bytes_per_cycle() == pytest.approx(expected)
+
+    def test_describe_contains_structural_fields(self, default_chip):
+        summary = default_chip.describe()
+        for key in ("groups", "cc_clusters", "mc_clusters", "peak_tflops", "frequency_ghz"):
+            assert key in summary
+
+    def test_scaling_groups_scales_peak_flops(self):
+        small = Chip(ChipConfig(n_groups=2))
+        large = Chip(ChipConfig(n_groups=4))
+        assert large.peak_flops == pytest.approx(2 * small.peak_flops)

@@ -1,0 +1,117 @@
+"""Tests for the digital CIM macro model (repro.arch.cim, paper Eq. 3)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.cim import CIMMacro, CIMMacroConfig
+from repro.arch.systolic import SystolicArray, SystolicArrayConfig
+
+
+class TestCIMMacroConfig:
+    def test_storage_capacity(self):
+        config = CIMMacroConfig(
+            columns=64, subarrays_per_column=16, rows_per_subarray=64, weight_bits=8
+        )
+        assert config.storage_bits == 64 * 16 * 64 * 8
+        assert config.storage_bytes == config.storage_bits // 8
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CIMMacroConfig(columns=0)
+        with pytest.raises(ValueError):
+            CIMMacroConfig(activation_bits=0)
+
+    def test_parallelism_figures(self):
+        config = CIMMacroConfig(columns=32, subarrays_per_column=8)
+        assert config.parallel_outputs == 32
+        assert config.reduction_depth == 8
+        assert config.macs_per_gemv_block == 256
+
+
+class TestEquation3:
+    def test_block_gemv_completes_in_w_plus_one_cycles(self):
+        """GEMV on the resident block completes in W + 1 cycles (paper)."""
+        macro = CIMMacro(CIMMacroConfig(activation_bits=8))
+        assert macro.block_gemv_cycles() == 9
+
+    def test_block_gemm_cycles_match_equation(self):
+        """L_CIM = M * W + 1 (paper Eq. 3)."""
+        macro = CIMMacro(CIMMacroConfig(activation_bits=8))
+        for m in (1, 4, 64, 300):
+            assert macro.block_gemm_cycles(m) == m * 8 + 1
+
+    def test_block_gemm_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            CIMMacro().block_gemm_cycles(0)
+
+    def test_gemv_tiles_over_geometry(self):
+        config = CIMMacroConfig(columns=64, subarrays_per_column=16, activation_bits=8)
+        macro = CIMMacro(config)
+        k, n = 64, 256
+        expected = math.ceil(k / 16) * math.ceil(n / 64) * 9
+        assert macro.gemv_cycles(k, n) == expected
+
+    def test_gemm_pays_bit_serial_row_factor(self):
+        macro = CIMMacro(CIMMacroConfig(activation_bits=8))
+        gemv = macro.gemv_cycles(64, 64)
+        gemm = macro.gemm_cycles(16, 64, 64)
+        assert gemm > 10 * gemv
+
+    @given(
+        k=st.integers(min_value=1, max_value=512),
+        n=st.integers(min_value=1, max_value=512),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_gemv_cycles_positive_and_monotonic_in_n(self, k, n):
+        macro = CIMMacro()
+        cycles = macro.gemv_cycles(k, n)
+        assert cycles > 0
+        assert macro.gemv_cycles(k, n + macro.config.columns) > cycles
+
+
+class TestCrossCoprocessorComparison:
+    """The heterogeneity argument of the paper, in numbers."""
+
+    def test_cim_beats_systolic_array_on_gemv(self):
+        sa = SystolicArray(SystolicArrayConfig(rows=16, cols=16))
+        cim = CIMMacro(CIMMacroConfig(columns=64, subarrays_per_column=16, activation_bits=8))
+        k, n = 2048, 2048
+        assert cim.gemv_cycles(k, n) < sa.gemv_cycles(k, n) / 2
+
+    def test_systolic_array_beats_cim_on_gemm(self):
+        # The default macro broadcasts BF16 activations bit-serially (W = 16),
+        # which is the bit-width factor that penalises GEMM on the CIM path.
+        sa = SystolicArray(SystolicArrayConfig(rows=16, cols=16))
+        cim = CIMMacro(CIMMacroConfig(columns=64, subarrays_per_column=16))
+        m, k, n = 256, 1024, 1024
+        assert sa.gemm_cycles(m, k, n) < cim.gemm_cycles(m, k, n) / 2
+
+
+class TestWeightStorage:
+    def test_fits_weights(self):
+        macro = CIMMacro(
+            CIMMacroConfig(columns=64, subarrays_per_column=16, rows_per_subarray=64)
+        )
+        assert macro.fits_weights(64, 1024)
+        assert not macro.fits_weights(4096, 4096)
+
+    def test_weight_fill_cycles(self):
+        macro = CIMMacro(CIMMacroConfig(weight_bits=8))
+        assert macro.weight_fill_cycles(64, 64, bytes_per_cycle=64) == 64
+        with pytest.raises(ValueError):
+            macro.weight_fill_cycles(64, 64, bytes_per_cycle=0)
+
+    def test_gemv_utilization_high_for_aligned_shapes(self):
+        macro = CIMMacro()
+        aligned_k = macro.config.subarrays_per_column * 4
+        aligned_n = macro.config.columns * 4
+        assert macro.gemv_utilization(aligned_k, aligned_n) > 0.9
+
+    def test_peak_flops_positive(self):
+        macro = CIMMacro()
+        assert macro.peak_flops(1e9) > 0
+        with pytest.raises(ValueError):
+            macro.peak_flops(-1)

@@ -1,0 +1,131 @@
+"""Tests for the cluster-level models (repro.arch.cluster)."""
+
+import pytest
+
+from repro.arch.cluster import (
+    CCCluster,
+    CCClusterConfig,
+    MCCluster,
+    MCClusterConfig,
+    SnitchCluster,
+    SnitchClusterConfig,
+)
+
+
+class TestClusterConfigs:
+    def test_paper_core_counts(self):
+        """Fig. 4 / Fig. 10: 4 CC-cores per CC-cluster, 2 MC-cores per MC-cluster."""
+        assert CCClusterConfig().n_cores == 4
+        assert MCClusterConfig().n_cores == 2
+
+    def test_reject_bad_core_counts(self):
+        with pytest.raises(ValueError):
+            CCClusterConfig(n_cores=0)
+        with pytest.raises(ValueError):
+            MCClusterConfig(n_cores=0)
+        with pytest.raises(ValueError):
+            SnitchClusterConfig(n_cores=0)
+
+    def test_reject_bad_memories(self):
+        with pytest.raises(ValueError):
+            CCClusterConfig(data_memory_bytes=0)
+        with pytest.raises(ValueError):
+            MCClusterConfig(shared_buffer_bytes=0)
+
+
+class TestCCCluster:
+    def test_work_partitioned_across_cores(self):
+        cluster = CCCluster()
+        single_core = cluster.core.gemm_cycles(64, 256, 256)
+        split = cluster.gemm_cycles(64, 256, 256)
+        assert split < single_core
+        assert split >= single_core / cluster.n_cores
+
+    def test_peak_macs_scale_with_cores(self):
+        cluster = CCCluster()
+        assert cluster.peak_macs_per_cycle == cluster.n_cores * cluster.core.peak_macs_per_cycle
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            CCCluster().gemm_cycles(0, 4, 4)
+        with pytest.raises(ValueError):
+            CCCluster().gemv_cycles(0, 4)
+        with pytest.raises(ValueError):
+            CCCluster().elementwise_cycles(0)
+
+
+class TestMCCluster:
+    def test_data_memory_is_cim_plus_buffer(self):
+        cluster = MCCluster()
+        expected = (
+            cluster.n_cores * cluster.core.weight_storage_bytes
+            + cluster.config.shared_buffer_bytes
+        )
+        assert cluster.data_memory_bytes == expected
+
+    def test_mc_cluster_memory_larger_than_cc(self):
+        """The paper: MC-clusters have significantly larger data memory."""
+        assert MCCluster().data_memory_bytes > 4 * CCCluster().data_memory_bytes
+
+    def test_gemv_partitioned_across_cores(self):
+        cluster = MCCluster()
+        single = cluster.core.gemv_cycles(2048, 2048)
+        split = cluster.gemv_cycles(2048, 2048)
+        assert split < single
+
+    def test_pruned_gemv_saves_cycles(self):
+        cluster = MCCluster()
+        assert cluster.pruned_gemv_cycles(2048, 2048, 0.25) < cluster.gemv_cycles(2048, 2048)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            MCCluster().gemv_cycles(0, 4)
+        with pytest.raises(ValueError):
+            MCCluster().gemm_cycles(1, 0, 4)
+        with pytest.raises(ValueError):
+            MCCluster().pruned_gemv_cycles(0, 4, 0.5)
+
+
+class TestClusterComparisons:
+    """Cluster-level versions of the paper's Fig. 11 phase observations."""
+
+    def test_cc_cluster_wins_gemm(self):
+        cc = CCCluster()
+        mc = MCCluster()
+        m, k, n = 300, 2048, 2048
+        assert cc.gemm_cycles(m, k, n) < mc.gemm_cycles(m, k, n) / 2
+
+    def test_mc_cluster_wins_gemv(self):
+        cc = CCCluster()
+        mc = MCCluster()
+        k, n = 2048, 5632
+        assert mc.gemv_cycles(k, n) < cc.gemv_cycles(k, n)
+
+    def test_extensions_beat_snitch_cluster_on_gemm(self):
+        snitch = SnitchCluster()
+        cc = CCCluster()
+        m, k, n = 300, 1024, 1024
+        assert cc.gemm_cycles(m, k, n) < snitch.gemm_cycles(m, k, n) / 10
+
+    def test_extensions_beat_snitch_cluster_on_gemv(self):
+        snitch = SnitchCluster()
+        mc = MCCluster()
+        assert mc.gemv_cycles(2048, 2048) < snitch.gemv_cycles(2048, 2048)
+
+
+class TestSnitchCluster:
+    def test_gemv_is_single_row_gemm(self):
+        snitch = SnitchCluster()
+        assert snitch.gemv_cycles(64, 64) == snitch.gemm_cycles(1, 64, 64)
+
+    def test_peak_macs(self):
+        snitch = SnitchCluster()
+        assert snitch.peak_macs_per_cycle == (
+            snitch.n_cores * snitch.core.config.macs_per_cycle
+        )
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            SnitchCluster().gemm_cycles(0, 4, 4)
+        with pytest.raises(ValueError):
+            SnitchCluster().elementwise_cycles(0)

@@ -1,0 +1,113 @@
+"""Tests for the core-level models (repro.arch.cores)."""
+
+import pytest
+
+from repro.arch.cores import (
+    CCCore,
+    CCCoreConfig,
+    HostCore,
+    HostCoreConfig,
+    MCCore,
+    MCCoreConfig,
+)
+
+
+class TestHostCore:
+    def test_matmul_cycles_scale_with_work(self):
+        core = HostCore()
+        small = core.matmul_cycles(4, 16, 16)
+        large = core.matmul_cycles(8, 16, 16)
+        assert large == pytest.approx(2 * small)
+
+    def test_overhead_factor_applied(self):
+        lean = HostCore(HostCoreConfig(issue_overhead_factor=1.0))
+        heavy = HostCore(HostCoreConfig(issue_overhead_factor=2.0))
+        assert heavy.matmul_cycles(4, 16, 16) == pytest.approx(
+            2 * lean.matmul_cycles(4, 16, 16)
+        )
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            HostCoreConfig(simd_lanes=0)
+        with pytest.raises(ValueError):
+            HostCoreConfig(issue_overhead_factor=0.5)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            HostCore().matmul_cycles(0, 4, 4)
+        with pytest.raises(ValueError):
+            HostCore().elementwise_cycles(0)
+
+
+class TestCCCore:
+    def test_gemm_faster_than_host_core(self):
+        cc = CCCore()
+        host = HostCore()
+        assert cc.gemm_cycles(64, 256, 256) < host.matmul_cycles(64, 256, 256) / 10
+
+    def test_gemm_includes_dispatch_overhead(self):
+        config = CCCoreConfig(dispatch_overhead_cycles=100)
+        cc = CCCore(config)
+        bare = cc.systolic.gemm_cycles(16, 16, 16)
+        assert cc.gemm_cycles(16, 16, 16) == bare + 100
+
+    def test_gemv_runs_but_is_inefficient(self):
+        cc = CCCore()
+        gemv = cc.gemv_cycles(256, 256)
+        gemm = cc.gemm_cycles(256, 256, 256)
+        # Same weight tile count, ~256x less work, but far fewer than 256x
+        # fewer cycles: the array is idle most of the time.
+        assert gemv > gemm / 32
+
+    def test_elementwise_uses_vector_width(self):
+        cc = CCCore()
+        lanes = cc.config.systolic.cols
+        assert cc.elementwise_cycles(lanes) == pytest.approx(1.0)
+        assert cc.elementwise_cycles(lanes + 1) == pytest.approx(2.0)
+
+    def test_peak_macs(self):
+        cc = CCCore()
+        assert cc.peak_macs_per_cycle == cc.config.systolic.rows * cc.config.systolic.cols
+
+
+class TestMCCore:
+    def test_gemv_faster_than_cc_core(self):
+        mc = MCCore()
+        cc = CCCore()
+        assert mc.gemv_cycles(2048, 2048) < cc.gemv_cycles(2048, 2048)
+
+    def test_gemm_slower_than_cc_core(self):
+        mc = MCCore()
+        cc = CCCore()
+        assert mc.gemm_cycles(256, 1024, 1024) > cc.gemm_cycles(256, 1024, 1024)
+
+    def test_pruned_gemv_saves_cycles(self):
+        mc = MCCore()
+        full = mc.gemv_cycles(2048, 2048)
+        pruned = mc.pruned_gemv_cycles(2048, 2048, keep_fraction=0.25)
+        assert pruned < full
+
+    def test_pruned_gemv_includes_pruner_cost(self):
+        mc = MCCore()
+        nearly_full = mc.pruned_gemv_cycles(2048, 2048, keep_fraction=1.0)
+        assert nearly_full > mc.gemv_cycles(2048, 2048)
+
+    def test_pruned_gemv_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            MCCore().pruned_gemv_cycles(64, 64, keep_fraction=0.0)
+        with pytest.raises(ValueError):
+            MCCore().pruned_gemv_cycles(64, 64, keep_fraction=1.5)
+
+    def test_weight_storage_matches_macro(self):
+        mc = MCCore()
+        assert mc.weight_storage_bytes == mc.config.cim.storage_bytes
+
+    def test_elementwise_cycles_positive(self):
+        assert MCCore().elementwise_cycles(100) > 0
+        with pytest.raises(ValueError):
+            MCCore().elementwise_cycles(0)
+
+    def test_dispatch_overhead_applied(self):
+        config = MCCoreConfig(dispatch_overhead_cycles=50)
+        mc = MCCore(config)
+        assert mc.gemv_cycles(64, 64) == mc.cim.gemv_cycles(64, 64) + 50

@@ -1,0 +1,132 @@
+"""Tests for the DMA engine and PMC throttling (repro.arch.dma)."""
+
+import pytest
+
+from repro.arch.dma import (
+    BandwidthBudget,
+    ThrottledDMA,
+    allocate_fair_shares,
+)
+from repro.arch.dram import DRAMConfig, DRAMModel
+
+
+@pytest.fixture
+def dram() -> DRAMModel:
+    return DRAMModel(DRAMConfig(peak_bandwidth_bytes_per_s=64e9, frequency_hz=1e9))
+
+
+class TestBandwidthBudget:
+    def test_unthrottled_has_no_cap(self):
+        assert BandwidthBudget().bytes_per_cycle_cap is None
+
+    def test_cap_is_budget_over_interval(self):
+        budget = BandwidthBudget(budget_bytes=64_000, interval_cycles=1_000)
+        assert budget.bytes_per_cycle_cap == pytest.approx(64.0)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            BandwidthBudget(interval_cycles=0)
+        with pytest.raises(ValueError):
+            BandwidthBudget(budget_bytes=-1)
+
+
+class TestSustainedBandwidth:
+    def test_unthrottled_gets_fair_share(self, dram):
+        dma = ThrottledDMA("cc0", dram)
+        assert dma.sustained_bytes_per_cycle(8.0) == pytest.approx(8.0)
+
+    def test_budget_caps_fair_share(self, dram):
+        budget = BandwidthBudget(budget_bytes=4_000, interval_cycles=1_000)
+        dma = ThrottledDMA("cc0", dram, budget=budget)
+        assert dma.sustained_bytes_per_cycle(8.0) == pytest.approx(4.0)
+
+    def test_generous_budget_does_not_add_bandwidth(self, dram):
+        budget = BandwidthBudget(budget_bytes=1_000_000, interval_cycles=1_000)
+        dma = ThrottledDMA("cc0", dram, budget=budget)
+        assert dma.sustained_bytes_per_cycle(8.0) == pytest.approx(8.0)
+
+    def test_rejects_negative_share(self, dram):
+        with pytest.raises(ValueError):
+            ThrottledDMA("cc0", dram).sustained_bytes_per_cycle(-1.0)
+
+
+class TestTransferCycles:
+    def test_chunking_by_buffer_size(self, dram):
+        dma = ThrottledDMA("cc0", dram, buffer_bytes=1024)
+        one_chunk = dma.transfer_cycles(1024)
+        four_chunks = dma.transfer_cycles(4096)
+        overhead = dram.config.request_overhead_cycles
+        assert four_chunks == pytest.approx(4 * (one_chunk - overhead) + 4 * overhead)
+
+    def test_zero_payload_free(self, dram):
+        assert ThrottledDMA("cc0", dram).transfer_cycles(0) == 0.0
+
+    def test_rejects_bad_buffer(self, dram):
+        with pytest.raises(ValueError):
+            ThrottledDMA("cc0", dram, buffer_bytes=0)
+
+
+class TestPMCBehaviour:
+    def test_transfers_block_after_budget_exhausted(self, dram):
+        budget = BandwidthBudget(budget_bytes=2_048, interval_cycles=10_000)
+        dma = ThrottledDMA("cc0", dram, budget=budget, buffer_bytes=4_096)
+        first = dma.issue(2_048)
+        second = dma.issue(2_048)
+        # The second transfer must wait for the next PMC interval boundary.
+        assert first.issue_cycle == 0.0
+        assert second.issue_cycle >= 10_000
+
+    def test_unthrottled_transfers_run_back_to_back(self, dram):
+        dma = ThrottledDMA("cc0", dram, buffer_bytes=4_096)
+        first = dma.issue(2_048)
+        second = dma.issue(2_048)
+        assert second.issue_cycle == pytest.approx(first.complete_cycle)
+
+    def test_records_and_reset(self, dram):
+        dma = ThrottledDMA("cc0", dram)
+        dma.issue(1_000)
+        dma.issue(2_000)
+        assert dma.total_bytes_moved == 3_000
+        assert len(dma.records) == 2
+        assert dma.observed_bandwidth_bytes_per_cycle() > 0
+        dma.reset()
+        assert dma.total_bytes_moved == 0
+        assert dma.elapsed_cycles == 0.0
+        assert dma.pmc_bytes == 0
+
+    def test_issue_rejects_non_positive(self, dram):
+        with pytest.raises(ValueError):
+            ThrottledDMA("cc0", dram).issue(0)
+
+    def test_throttled_bandwidth_is_lower_than_unthrottled(self, dram):
+        tight = BandwidthBudget(budget_bytes=1_024, interval_cycles=50_000)
+        throttled = ThrottledDMA("cc0", dram, budget=tight, buffer_bytes=1_024)
+        free = ThrottledDMA("cc1", dram, buffer_bytes=1_024)
+        for _ in range(8):
+            throttled.issue(1_024)
+            free.issue(1_024)
+        assert (
+            throttled.observed_bandwidth_bytes_per_cycle()
+            < free.observed_bandwidth_bytes_per_cycle()
+        )
+
+
+class TestFairShares:
+    def test_proportional_split(self):
+        shares = allocate_fair_shares(64.0, {"cc": 1.0, "mc": 3.0})
+        assert shares["cc"] == pytest.approx(16.0)
+        assert shares["mc"] == pytest.approx(48.0)
+
+    def test_equal_split(self):
+        shares = allocate_fair_shares(64.0, {"cc": 1.0, "mc": 1.0})
+        assert shares["cc"] == shares["mc"] == pytest.approx(32.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            allocate_fair_shares(0.0, {"cc": 1.0})
+        with pytest.raises(ValueError):
+            allocate_fair_shares(64.0, {})
+        with pytest.raises(ValueError):
+            allocate_fair_shares(64.0, {"cc": -1.0})
+        with pytest.raises(ValueError):
+            allocate_fair_shares(64.0, {"cc": 0.0, "mc": 0.0})

@@ -1,0 +1,105 @@
+"""Tests for the DRAM / effective-bandwidth model (repro.arch.dram)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.dram import DRAMConfig, DRAMModel
+
+
+class TestDRAMConfig:
+    def test_bytes_per_cycle(self):
+        config = DRAMConfig(peak_bandwidth_bytes_per_s=64e9, frequency_hz=1e9)
+        assert config.bytes_per_cycle == pytest.approx(64.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            DRAMConfig(peak_bandwidth_bytes_per_s=0)
+        with pytest.raises(ValueError):
+            DRAMConfig(frequency_hz=-1)
+        with pytest.raises(ValueError):
+            DRAMConfig(request_overhead_cycles=-1)
+
+
+class TestTransferLatency:
+    def test_zero_payload_is_free(self):
+        assert DRAMModel().transfer_cycles(0) == 0.0
+
+    def test_overhead_paid_per_transfer(self):
+        model = DRAMModel(DRAMConfig(request_overhead_cycles=100))
+        one = model.transfer_cycles(1024, transfers=1)
+        two = model.transfer_cycles(1024, transfers=2)
+        assert two - one == pytest.approx(100.0)
+
+    def test_rejects_bad_arguments(self):
+        model = DRAMModel()
+        with pytest.raises(ValueError):
+            model.transfer_cycles(-1)
+        with pytest.raises(ValueError):
+            model.transfer_cycles(10, transfers=0)
+
+    def test_seconds_conversion(self):
+        config = DRAMConfig(frequency_hz=1e9)
+        model = DRAMModel(config)
+        cycles = model.transfer_cycles(4096)
+        assert model.transfer_seconds(4096) == pytest.approx(cycles / 1e9)
+
+    def test_transfers_for_buffer(self):
+        model = DRAMModel()
+        assert model.transfers_for(0, 1024) == 0
+        assert model.transfers_for(1024, 1024) == 1
+        assert model.transfers_for(1025, 1024) == 2
+        with pytest.raises(ValueError):
+            model.transfers_for(10, 0)
+
+
+class TestEffectiveBandwidth:
+    """The Fig. 6(b) behaviour."""
+
+    def test_small_transfers_are_inefficient(self):
+        model = DRAMModel()
+        assert model.effective_bandwidth_fraction(1024) < 0.5
+
+    def test_large_transfers_approach_ideal(self):
+        model = DRAMModel()
+        assert model.effective_bandwidth_fraction(4 * 1024 * 1024) > 0.95
+
+    def test_monotonically_increasing_with_size(self):
+        model = DRAMModel()
+        sizes = [1024 * (2**i) for i in range(12)]
+        fractions = [model.effective_bandwidth_fraction(size) for size in sizes]
+        assert all(b >= a for a, b in zip(fractions, fractions[1:]))
+
+    def test_never_exceeds_ideal(self):
+        model = DRAMModel()
+        for size in (512, 4096, 1 << 20, 1 << 26):
+            assert model.effective_bandwidth(size) <= model.config.peak_bandwidth_bytes_per_s
+
+    def test_curve_matches_pointwise_queries(self):
+        model = DRAMModel()
+        sizes = [1024, 65536, 1 << 20]
+        curve = model.effective_bandwidth_curve(sizes)
+        assert len(curve) == 3
+        for (size, bandwidth, fraction) in curve:
+            assert bandwidth == pytest.approx(model.effective_bandwidth(size))
+            assert fraction == pytest.approx(model.effective_bandwidth_fraction(size))
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            DRAMModel().effective_bandwidth(0)
+
+    @given(size=st.integers(min_value=1, max_value=1 << 28))
+    @settings(max_examples=60, deadline=None)
+    def test_fraction_always_in_unit_interval(self, size):
+        fraction = DRAMModel().effective_bandwidth_fraction(size)
+        assert 0.0 < fraction <= 1.0
+
+
+class TestMatrixHelpers:
+    def test_matrix_transfer_bytes(self):
+        model = DRAMModel()
+        assert model.matrix_transfer_bytes(64, 64, element_bytes=2.0) == 8192
+        with pytest.raises(ValueError):
+            model.matrix_transfer_bytes(0, 4)
+        with pytest.raises(ValueError):
+            model.matrix_transfer_bytes(4, 4, element_bytes=0)

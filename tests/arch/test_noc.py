@@ -1,0 +1,64 @@
+"""Tests for the hierarchical interconnect model (repro.arch.noc)."""
+
+import pytest
+
+from repro.arch.noc import CrossbarConfig, InterconnectConfig, InterconnectModel
+
+
+class TestCrossbarConfig:
+    def test_aggregate_bandwidth(self):
+        xbar = CrossbarConfig(name="x", ports=4, bytes_per_cycle_per_port=32.0)
+        assert xbar.aggregate_bytes_per_cycle == 128.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CrossbarConfig(name="x", ports=0)
+        with pytest.raises(ValueError):
+            CrossbarConfig(name="x", ports=2, latency_cycles=-1)
+        with pytest.raises(ValueError):
+            CrossbarConfig(name="x", ports=2, bytes_per_cycle_per_port=0)
+
+
+class TestInterconnectModel:
+    def test_traversal_latency_sums_levels(self):
+        config = InterconnectConfig()
+        model = InterconnectModel(config)
+        expected = sum(level.latency_cycles for level in config.levels)
+        assert model.request_latency_cycles() == expected
+
+    def test_no_contention_within_port_count(self):
+        model = InterconnectModel()
+        level = model.config.cluster_bus
+        assert model.contention_factor(level.ports, level) == 1.0
+
+    def test_contention_beyond_ports(self):
+        model = InterconnectModel()
+        level = model.config.group_crossbar
+        assert model.contention_factor(2 * level.ports, level) == pytest.approx(2.0)
+
+    def test_contention_rejects_bad_requesters(self):
+        model = InterconnectModel()
+        with pytest.raises(ValueError):
+            model.contention_factor(0, model.config.cluster_bus)
+
+    def test_effective_transfer_zero_payload(self):
+        assert InterconnectModel().effective_transfer_cycles(0) == 0.0
+
+    def test_effective_transfer_grows_with_contention(self):
+        model = InterconnectModel()
+        light = model.effective_transfer_cycles(1 << 20, active_requesters=1)
+        heavy = model.effective_transfer_cycles(1 << 20, active_requesters=64)
+        assert heavy > light
+
+    def test_effective_transfer_rejects_negative_payload(self):
+        with pytest.raises(ValueError):
+            InterconnectModel().effective_transfer_cycles(-1)
+
+    def test_bisection_bandwidth_positive(self):
+        assert InterconnectModel().bisection_bandwidth_bytes_per_cycle() > 0
+
+    def test_min_bytes_per_cycle_is_tightest_level(self):
+        model = InterconnectModel()
+        assert model.min_bytes_per_cycle() == min(
+            level.aggregate_bytes_per_cycle for level in model.config.levels
+        )

@@ -1,0 +1,127 @@
+"""Tests for the hardware Act-Aware pruner (repro.arch.pruner_hw)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.arch.pruner_hw import HardwarePruner, PrunerConfig
+
+
+@pytest.fixture
+def pruner() -> HardwarePruner:
+    return HardwarePruner(PrunerConfig(vector_length=64, threshold_divisor=16.0))
+
+
+class TestPrunerConfig:
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            PrunerConfig(threshold_divisor=1.0)
+
+    def test_rejects_bad_vector_length(self):
+        with pytest.raises(ValueError):
+            PrunerConfig(vector_length=0)
+
+
+class TestTopKEngine:
+    def test_selects_largest_magnitudes(self, pruner):
+        vs = np.array([0.1, -5.0, 0.2, 3.0, -0.05, 0.0, 1.0, -2.0])
+        mask = pruner.topk_mask(vs, 3)
+        assert mask.sum() == 3
+        assert set(np.flatnonzero(mask)) == {1, 3, 7}
+
+    def test_k_zero_returns_empty_mask(self, pruner):
+        mask = pruner.topk_mask(np.ones(8), 0)
+        assert mask.sum() == 0
+
+    def test_k_larger_than_vector_keeps_all(self, pruner):
+        mask = pruner.topk_mask(np.ones(8), 100)
+        assert mask.sum() == 8
+
+    def test_rejects_negative_k(self, pruner):
+        with pytest.raises(ValueError):
+            pruner.topk_mask(np.ones(8), -1)
+
+    def test_rejects_oversized_vector(self, pruner):
+        with pytest.raises(ValueError):
+            pruner.topk_mask(np.ones(65), 1)
+
+    def test_rejects_non_vector_input(self, pruner):
+        with pytest.raises(ValueError):
+            pruner.topk_mask(np.ones((4, 4)), 2)
+
+
+class TestThresholdMask:
+    def test_counts_channels_above_max_over_t(self, pruner):
+        vs = np.array([16.0, 1.5, 0.5, -2.0, 0.9])
+        # threshold = 16/16 = 1.0 -> strictly above: 16.0, 1.5, -2.0
+        assert pruner.threshold_count(vs) == 3
+
+    def test_zero_vector_counts_zero(self, pruner):
+        assert pruner.threshold_count(np.zeros(8)) == 0
+
+    def test_all_equal_vector_counts_all(self, pruner):
+        assert pruner.threshold_count(np.full(8, 2.0)) == 8
+
+
+class TestAddressGenerator:
+    def test_addresses_follow_row_stride(self):
+        pruner = HardwarePruner(
+            PrunerConfig(vector_length=8, weight_row_bytes=128, base_address=1000)
+        )
+        mask = np.array([True, False, False, True, False, False, False, True])
+        addresses = pruner.generate_addresses(mask)
+        np.testing.assert_array_equal(addresses, [1000, 1000 + 3 * 128, 1000 + 7 * 128])
+
+    def test_empty_mask_gives_no_addresses(self, pruner):
+        assert pruner.generate_addresses(np.zeros(8, dtype=bool)).size == 0
+
+
+class TestFullPipeline:
+    def test_process_outputs_consistent(self, pruner):
+        rng = np.random.default_rng(0)
+        vs = rng.normal(size=64)
+        result = pruner.process(vs, k=8)
+        assert result.kept == 8
+        assert result.selected_values.shape == (8,)
+        assert result.weight_addresses.shape == (8,)
+        assert result.pruning_ratio == pytest.approx(1 - 8 / 64)
+        np.testing.assert_array_equal(result.selected_values, vs[result.selected_channels])
+
+    def test_threshold_count_matches_direct_call(self, pruner):
+        vs = np.linspace(-1, 1, 64)
+        result = pruner.process(vs, k=4)
+        assert result.above_threshold_count == pruner.threshold_count(vs)
+
+    def test_cycles_grow_with_vector_length(self):
+        short = HardwarePruner(PrunerConfig(vector_length=32)).invocation_cycles(32, 8)
+        long = HardwarePruner(PrunerConfig(vector_length=128)).invocation_cycles(128, 8)
+        assert long > short
+
+    def test_invocation_cycles_validation(self, pruner):
+        with pytest.raises(ValueError):
+            pruner.invocation_cycles(0, 0)
+        with pytest.raises(ValueError):
+            pruner.invocation_cycles(10, 20)
+
+    @given(
+        vs=arrays(
+            dtype=float,
+            shape=st.integers(min_value=1, max_value=64),
+            elements=st.floats(
+                min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+            ),
+        ),
+        k=st.integers(min_value=0, max_value=64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_selected_channels_are_the_top_k_by_magnitude(self, vs, k):
+        pruner = HardwarePruner(PrunerConfig(vector_length=64))
+        result = pruner.process(vs, min(k, vs.size))
+        kept = min(k, vs.size)
+        assert result.kept == kept
+        if kept and kept < vs.size:
+            selected_min = np.abs(vs[result.selected_channels]).min()
+            unselected = np.setdiff1d(np.arange(vs.size), result.selected_channels)
+            assert selected_min >= np.abs(vs[unselected]).max() - 1e-12

@@ -1,0 +1,102 @@
+"""Tests for the systolic-array model (repro.arch.systolic, paper Eq. 2)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.systolic import SystolicArray, SystolicArrayConfig
+
+
+class TestSystolicArrayConfig:
+    def test_defaults_match_paper_style_array(self):
+        config = SystolicArrayConfig()
+        assert config.pe_count == config.rows * config.cols
+        assert config.matrix_registers == 4
+        assert config.peak_flops_per_cycle == 2 * config.pe_count
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            SystolicArrayConfig(rows=0)
+        with pytest.raises(ValueError):
+            SystolicArrayConfig(matrix_registers=1)
+        with pytest.raises(ValueError):
+            SystolicArrayConfig(weight_bits=0)
+
+
+class TestEquation2:
+    def test_tile_cycles_matches_paper_equation(self):
+        """L_SA = 2R + C + M - 3 (paper Eq. 2)."""
+        array = SystolicArray(SystolicArrayConfig(rows=16, cols=16))
+        for m in (1, 8, 16, 300):
+            assert array.tile_cycles(m) == 2 * 16 + 16 + m - 3
+
+    def test_tile_cycles_general_geometry(self):
+        array = SystolicArray(SystolicArrayConfig(rows=8, cols=32))
+        assert array.tile_cycles(10) == 2 * 8 + 32 + 10 - 3
+
+    def test_tile_cycles_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            SystolicArray().tile_cycles(0)
+
+    def test_single_tile_gemm_equals_tile_cycles(self):
+        config = SystolicArrayConfig(rows=16, cols=16)
+        array = SystolicArray(config)
+        assert array.gemm_cycles(12, 16, 16) == array.tile_cycles(12)
+
+    def test_gemm_tiles_multiply(self):
+        array = SystolicArray(SystolicArrayConfig(rows=16, cols=16))
+        # k = 32 -> 2 weight-row tiles, n = 48 -> 3 column tiles.
+        assert array.gemm_cycles(10, 32, 48) == 6 * array.tile_cycles(10)
+
+    def test_partial_tiles_cost_full_tiles(self):
+        array = SystolicArray(SystolicArrayConfig(rows=16, cols=16))
+        assert array.gemm_cycles(4, 17, 17) == 4 * array.tile_cycles(4)
+
+    def test_gemv_is_gemm_with_one_row(self):
+        array = SystolicArray()
+        assert array.gemv_cycles(64, 64) == array.gemm_cycles(1, 64, 64)
+
+    @given(
+        m=st.integers(min_value=1, max_value=256),
+        k=st.integers(min_value=1, max_value=256),
+        n=st.integers(min_value=1, max_value=256),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_gemm_cycles_scale_with_tile_count(self, m, k, n):
+        config = SystolicArrayConfig(rows=16, cols=16)
+        array = SystolicArray(config)
+        cycles = array.gemm_cycles(m, k, n)
+        expected_tiles = math.ceil(k / 16) * math.ceil(n / 16)
+        assert cycles == expected_tiles * array.tile_cycles(m)
+
+
+class TestUtilization:
+    def test_large_gemm_utilization_is_high(self):
+        array = SystolicArray()
+        assert array.gemm_utilization(512, 512, 512) > 0.8
+
+    def test_gemv_utilization_is_poor(self):
+        """The paper's motivation: GEMV leaves the PE array mostly idle."""
+        array = SystolicArray()
+        assert array.gemv_cycles(2048, 2048) > 0
+        assert array.gemm_utilization(1, 2048, 2048) < 0.15
+
+    def test_gemm_beats_gemv_utilization(self):
+        array = SystolicArray()
+        assert array.gemm_utilization(256, 256, 256) > 5 * array.gemm_utilization(1, 256, 256)
+
+    def test_effective_macs_bounded_by_peak(self):
+        array = SystolicArray()
+        assert array.effective_macs_per_cycle(128, 128, 128) <= array.config.macs_per_cycle
+
+    def test_peak_flops_scales_with_frequency(self):
+        array = SystolicArray()
+        assert array.peak_flops(2e9) == 2 * array.peak_flops(1e9)
+        with pytest.raises(ValueError):
+            array.peak_flops(0)
+
+    def test_weight_tile_bytes(self):
+        array = SystolicArray(SystolicArrayConfig(rows=16, cols=16, weight_bits=8))
+        assert array.weight_tile_bytes() == 256

@@ -1,0 +1,84 @@
+"""Tests for the RTX 3060 GPU baseline (repro.baselines.gpu)."""
+
+import pytest
+
+from repro.baselines.gpu import GPUConfig, GPUModel, rtx3060_laptop
+from repro.models.mllm import InferenceRequest
+from repro.models.ops import matmul_op
+
+
+class TestGPUConfig:
+    def test_table2_headline_figures(self):
+        config = GPUConfig()
+        assert config.peak_flops == pytest.approx(13.0e12)
+        assert config.memory_bandwidth_bytes_per_s == pytest.approx(336.0e9)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            GPUConfig(peak_flops=0)
+        with pytest.raises(ValueError):
+            GPUConfig(gemv_bandwidth_utilization=0.0)
+        with pytest.raises(ValueError):
+            GPUConfig(kernel_launch_overhead_s=-1)
+        with pytest.raises(ValueError):
+            GPUConfig(board_power_w=0)
+
+
+class TestOpLatency:
+    def test_gemv_is_bandwidth_limited(self):
+        gpu = GPUModel()
+        op = matmul_op("v", 1, 2048, 5632)
+        cfg = gpu.config
+        bandwidth_time = op.total_bytes / (
+            cfg.memory_bandwidth_bytes_per_s * cfg.gemv_bandwidth_utilization
+        )
+        assert gpu.op_latency_s(op) >= bandwidth_time
+
+    def test_launch_overhead_always_charged(self):
+        gpu = GPUModel(GPUConfig(kernel_launch_overhead_s=1e-3))
+        tiny = matmul_op("t", 1, 4, 4)
+        assert gpu.op_latency_s(tiny) >= 1e-3
+
+    def test_gemm_faster_per_flop_than_gemv(self):
+        gpu = GPUModel()
+        gemm = matmul_op("g", 256, 2048, 2048)
+        gemv = matmul_op("v", 1, 2048, 2048)
+        gemm_per_flop = gpu.op_latency_s(gemm) / gemm.flops
+        gemv_per_flop = gpu.op_latency_s(gemv) / gemv.flops
+        assert gemm_per_flop < gemv_per_flop
+
+
+class TestWorkloadExecution:
+    def test_run_request_phases(self, gpu_baseline, sphinx_tiny, short_request):
+        result = gpu_baseline.run_request(sphinx_tiny, short_request)
+        assert set(result.phases) == {
+            "vision_encoder",
+            "projector",
+            "llm_prefill",
+            "llm_decode",
+        }
+        assert result.hardware_name == "rtx3060-laptop"
+        assert result.power_w == pytest.approx(80.0)
+
+    def test_host_offload_charged_once(self, sphinx_tiny, short_request):
+        heavy_offload = GPUModel(GPUConfig(host_offload_overhead_s=0.5))
+        light_offload = GPUModel(GPUConfig(host_offload_overhead_s=0.0))
+        heavy = heavy_offload.run_request(sphinx_tiny, short_request)
+        light = light_offload.run_request(sphinx_tiny, short_request)
+        assert heavy.total_latency_s - light.total_latency_s == pytest.approx(0.5, rel=1e-6)
+
+    def test_decode_dominates_for_long_outputs(self, gpu_baseline, sphinx_tiny):
+        request = InferenceRequest(images=1, prompt_text_tokens=16, output_tokens=128)
+        result = gpu_baseline.run_request(sphinx_tiny, request)
+        assert result.decode_latency_s > 0.7 * result.total_latency_s
+
+    def test_execute_phase_accepts_simulator_kwargs(self, gpu_baseline, sphinx_tiny, short_request):
+        """The GPU model must be interface-compatible with the profiler."""
+        workload = sphinx_tiny.build_workload(short_request)
+        result = gpu_baseline.execute_phase(
+            workload.phase("llm_decode"), pool="mc", bandwidth_fraction=0.5
+        )
+        assert result.latency_s > 0
+
+    def test_factory(self):
+        assert isinstance(rtx3060_laptop(), GPUModel)

@@ -1,0 +1,66 @@
+"""Tests for the homogeneous chip variants (repro.baselines.homogeneous)."""
+
+import pytest
+
+from repro.baselines.homogeneous import homo_cc_simulator, homo_mc_simulator
+from repro.models.ops import Phase, matmul_op
+
+
+@pytest.fixture(scope="module")
+def gemm_phase() -> Phase:
+    phase = Phase(name="gemm_heavy")
+    phase.add(matmul_op("g", 300, 2048, 2048))
+    return phase
+
+
+@pytest.fixture(scope="module")
+def gemv_phase() -> Phase:
+    phase = Phase(name="gemv_heavy")
+    phase.add(matmul_op("v", 1, 2048, 5632))
+    return phase
+
+
+class TestHomogeneousSimulators:
+    def test_homo_cc_has_only_cc_clusters(self):
+        sim = homo_cc_simulator()
+        assert sim.has_cc and not sim.has_mc
+        assert sim.chip.n_cc_clusters == 16
+
+    def test_homo_mc_has_only_mc_clusters(self):
+        sim = homo_mc_simulator()
+        assert sim.has_mc and not sim.has_cc
+        assert sim.chip.n_mc_clusters == 16
+
+    def test_homo_cc_wins_gemm_phase(self, gemm_phase):
+        """Fig. 11: homo-CC peaks in the compute-intensive phases."""
+        cc = homo_cc_simulator().execute_phase(gemm_phase)
+        mc = homo_mc_simulator().execute_phase(gemm_phase)
+        assert cc.latency_s < mc.latency_s
+
+    def test_homo_mc_wins_gemv_phase(self, gemv_phase):
+        """Fig. 11: homo-MC peaks in the memory-bound decode phase."""
+        cc = homo_cc_simulator().execute_phase(gemv_phase)
+        mc = homo_mc_simulator().execute_phase(gemv_phase)
+        assert mc.latency_s < cc.latency_s
+
+    def test_hetero_close_to_best_of_both_per_phase(
+        self, simulator, gemm_phase, gemv_phase
+    ):
+        hetero_gemm = simulator.execute_phase(gemm_phase).latency_s
+        hetero_gemv = simulator.execute_phase(gemv_phase).latency_s
+        best_gemm = homo_cc_simulator().execute_phase(gemm_phase).latency_s
+        best_gemv = homo_mc_simulator().execute_phase(gemv_phase).latency_s
+        # The heterogeneous chip has half the clusters of each type, so it can
+        # be up to ~2x the specialised chip per phase, but no worse.
+        assert hetero_gemm <= 2.2 * best_gemm
+        assert hetero_gemv <= 2.2 * best_gemv
+
+    def test_hetero_beats_both_on_full_workload(
+        self, simulator, sphinx_tiny, short_request
+    ):
+        """Fig. 11 headline: EdgeMM wins the end-to-end MLLM."""
+        hetero = simulator.run_request(sphinx_tiny, short_request).total_latency_s
+        homo_cc = homo_cc_simulator().run_request(sphinx_tiny, short_request).total_latency_s
+        homo_mc = homo_mc_simulator().run_request(sphinx_tiny, short_request).total_latency_s
+        assert hetero < homo_cc
+        assert hetero < homo_mc

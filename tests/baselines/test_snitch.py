@@ -1,0 +1,69 @@
+"""Tests for the Snitch-cluster baseline (repro.baselines.snitch)."""
+
+import pytest
+
+from repro.baselines.snitch import SnitchBaseline, SnitchChipConfig
+from repro.models.ops import matmul_op, Phase
+
+
+class TestSnitchChipConfig:
+    def test_default_cluster_count_matches_edgemm_total(self):
+        """The baseline has as many clusters as the EdgeMM chip (16)."""
+        assert SnitchChipConfig().n_clusters == 16
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SnitchChipConfig(n_clusters=0)
+        with pytest.raises(ValueError):
+            SnitchChipConfig(frequency_hz=0)
+
+
+class TestSnitchBaseline:
+    def test_run_request_produces_phases(self, sphinx_tiny, short_request):
+        baseline = SnitchBaseline()
+        result = baseline.run_request(sphinx_tiny, short_request)
+        assert result.hardware_name == "snitch_baseline"
+        assert result.total_latency_s > 0
+        assert set(result.phases) == {
+            "vision_encoder",
+            "projector",
+            "llm_prefill",
+            "llm_decode",
+        }
+
+    def test_slower_than_edgemm_on_full_mllm(
+        self, simulator, sphinx_tiny, short_request
+    ):
+        """Fig. 11: every extended design beats the Snitch baseline."""
+        snitch = SnitchBaseline().run_request(sphinx_tiny, short_request)
+        edgemm = simulator.run_request(sphinx_tiny, short_request)
+        assert snitch.total_latency_s > 2 * edgemm.total_latency_s
+
+    def test_gemm_heavy_phase_is_compute_bound(self):
+        baseline = SnitchBaseline()
+        phase = Phase(name="gemm")
+        phase.add(matmul_op("g", 300, 2048, 2048))
+        result = baseline.execute_phase(phase)
+        assert result.bound == "compute"
+
+    def test_phase_repeat_scales_latency(self):
+        baseline = SnitchBaseline()
+        single = Phase(name="p")
+        single.add(matmul_op("g", 16, 256, 256))
+        repeated = single.scaled(repeat=4)
+        assert baseline.execute_phase(repeated).cycles == pytest.approx(
+            4 * baseline.execute_phase(single).cycles
+        )
+
+    def test_more_clusters_reduce_compute_latency(self):
+        small = SnitchBaseline(SnitchChipConfig(n_clusters=4))
+        large = SnitchBaseline(SnitchChipConfig(n_clusters=16))
+        phase = Phase(name="gemm")
+        phase.add(matmul_op("g", 300, 1024, 1024))
+        assert (
+            large.execute_phase(phase).latency_s < small.execute_phase(phase).latency_s
+        )
+
+    def test_no_power_model(self, sphinx_tiny, short_request):
+        result = SnitchBaseline().run_request(sphinx_tiny, short_request)
+        assert result.power_w is None

@@ -1,0 +1,68 @@
+"""Shared fixtures for the EdgeMM reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.chip import Chip, ChipConfig
+from repro.baselines.gpu import rtx3060_laptop
+from repro.core.edgemm import EdgeMM
+from repro.core.simulator import PerformanceSimulator
+from repro.models.activations import ActivationTraceConfig, ActivationTraceGenerator
+from repro.models.mllm import InferenceRequest, get_mllm
+
+
+@pytest.fixture(scope="session")
+def default_chip() -> Chip:
+    """The default EdgeMM chip model (Fig. 10 configuration)."""
+    return Chip(ChipConfig())
+
+
+@pytest.fixture(scope="session")
+def edgemm_system() -> EdgeMM:
+    """The default heterogeneous EdgeMM system."""
+    return EdgeMM.default()
+
+
+@pytest.fixture(scope="session")
+def simulator() -> PerformanceSimulator:
+    """A performance simulator on the default chip."""
+    return PerformanceSimulator()
+
+
+@pytest.fixture(scope="session")
+def sphinx_tiny():
+    """The SPHINX-Tiny MLLM configuration (the paper's main workload)."""
+    return get_mllm("sphinx-tiny")
+
+
+@pytest.fixture(scope="session")
+def karmavlm():
+    """The KarmaVLM MLLM configuration (the paper's second workload)."""
+    return get_mllm("karmavlm")
+
+
+@pytest.fixture(scope="session")
+def short_request() -> InferenceRequest:
+    """A small request used where workload size does not matter."""
+    return InferenceRequest(images=1, prompt_text_tokens=16, output_tokens=8)
+
+
+@pytest.fixture(scope="session")
+def reference_request() -> InferenceRequest:
+    """The ~300-token-prompt, 64-output-token request used for headline numbers."""
+    return InferenceRequest(images=1, prompt_text_tokens=32, output_tokens=64)
+
+
+@pytest.fixture(scope="session")
+def gpu_baseline():
+    """The RTX 3060 laptop GPU baseline."""
+    return rtx3060_laptop()
+
+
+@pytest.fixture(scope="session")
+def small_trace() -> ActivationTraceGenerator:
+    """A reduced activation trace for fast pruning tests."""
+    return ActivationTraceGenerator(
+        ActivationTraceConfig(n_layers=8, d_model=256, seed=11)
+    )

@@ -1,0 +1,101 @@
+"""Tests for the top-level EdgeMM driver (repro.core.edgemm)."""
+
+import pytest
+
+from repro.core.edgemm import EdgeMM
+from repro.models.activations import ActivationTraceConfig, ActivationTraceGenerator
+from repro.models.mllm import InferenceRequest
+
+
+class TestConstructors:
+    def test_default_is_heterogeneous(self):
+        system = EdgeMM.default()
+        assert system.simulator.has_cc and system.simulator.has_mc
+
+    def test_homogeneous_variants(self):
+        assert not EdgeMM.homo_cc().simulator.has_mc
+        assert not EdgeMM.homo_mc().simulator.has_cc
+
+    def test_with_pruning(self):
+        system = EdgeMM.with_pruning(0.25)
+        assert system.system.pruning.enabled
+        assert system.system.pruning.average_keep_fraction == 0.25
+
+
+class TestInference:
+    def test_run_produces_result(self, edgemm_system, sphinx_tiny, short_request):
+        result = edgemm_system.run(sphinx_tiny, short_request)
+        assert result.total_latency_s > 0
+        assert result.hardware_name == "edgemm"
+
+    def test_run_workload_matches_run(self, edgemm_system, sphinx_tiny, short_request):
+        workload = sphinx_tiny.build_workload(short_request)
+        via_workload = edgemm_system.run_workload(workload)
+        via_request = edgemm_system.run(sphinx_tiny, short_request)
+        assert via_workload.total_latency_s == pytest.approx(via_request.total_latency_s)
+
+    def test_run_phase(self, edgemm_system, sphinx_tiny, short_request):
+        workload = sphinx_tiny.build_workload(short_request)
+        result = edgemm_system.run_phase(workload.phase("llm_decode"))
+        assert result.latency_s > 0
+
+    def test_tokens_per_joule_accessor(self, edgemm_system, sphinx_tiny, short_request):
+        result = edgemm_system.run(sphinx_tiny, short_request)
+        assert edgemm_system.tokens_per_joule(result) > 0
+
+
+class TestPruningCalibration:
+    @pytest.fixture(scope="class")
+    def calibration(self, edgemm_system, small_trace):
+        return edgemm_system.calibrate_pruning(small_trace, n_tokens=3)
+
+    def test_calibration_fields(self, calibration, small_trace):
+        assert 0.0 < calibration.average_keep_fraction < 1.0
+        assert 0.0 < calibration.mean_pruning_ratio < 1.0
+        assert calibration.average_keep_fraction == pytest.approx(
+            1.0 - calibration.mean_pruning_ratio, abs=0.02
+        )
+        assert len(calibration.per_layer_keep_fraction) == small_trace.config.n_layers
+
+    def test_first_layer_is_kept(self, calibration):
+        assert calibration.per_layer_keep_fraction[0] == pytest.approx(1.0)
+
+    def test_enable_pruning_speeds_up_decode(
+        self, edgemm_system, calibration, sphinx_tiny, short_request
+    ):
+        baseline = edgemm_system.run(sphinx_tiny, short_request)
+        pruned_system = edgemm_system.enable_pruning(calibration)
+        pruned = pruned_system.run(sphinx_tiny, short_request)
+        assert pruned.decode_latency_s < baseline.decode_latency_s
+        # Encoder and prefill are untouched by decode-side weight pruning.
+        assert pruned.prefill_latency_s == pytest.approx(baseline.prefill_latency_s)
+
+    def test_calibration_rejects_bad_token_count(self, edgemm_system, small_trace):
+        with pytest.raises(ValueError):
+            edgemm_system.calibrate_pruning(small_trace, n_tokens=0)
+
+    def test_default_trace_calibration(self, edgemm_system):
+        calibration = edgemm_system.calibrate_pruning(n_tokens=1)
+        assert 0.0 < calibration.average_keep_fraction < 1.0
+
+
+class TestDescribe:
+    def test_describe_contains_key_figures(self, edgemm_system):
+        summary = edgemm_system.describe()
+        for key in (
+            "system",
+            "groups",
+            "peak_tflops",
+            "chip_area_mm2",
+            "sa_fraction_of_cc_core",
+            "cim_fraction_of_mc_core",
+            "power_mw_at_60pct",
+            "pruning_enabled",
+        ):
+            assert key in summary
+        assert summary["pruning_enabled"] is False
+
+    def test_pipeline_factory(self, edgemm_system, sphinx_tiny):
+        pipeline = edgemm_system.pipeline(sphinx_tiny)
+        point = pipeline.evaluate(8)
+        assert point.request_latency_s > 0

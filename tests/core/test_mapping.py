@@ -1,0 +1,84 @@
+"""Tests for the mapping explorer (repro.core.mapping)."""
+
+import pytest
+
+from repro.core.mapping import MappingExplorer
+from repro.core.simulator import PerformanceSimulator
+from repro.core.config import homo_cc_system
+from repro.models.ops import Op, OpKind, elementwise_op, matmul_op
+
+
+@pytest.fixture(scope="module")
+def explorer() -> MappingExplorer:
+    return MappingExplorer(PerformanceSimulator())
+
+
+class TestExploreOp:
+    def test_best_choice_is_minimum_cycle_candidate(self, explorer):
+        decision = explorer.explore_op(matmul_op("g", 64, 512, 512))
+        assert decision.best.cycles == min(c.cycles for c in decision.candidates)
+
+    def test_large_gemm_prefers_cc_pool(self, explorer):
+        decision = explorer.explore_op(matmul_op("g", 300, 2048, 2048))
+        assert decision.best.pool == "cc"
+
+    def test_memory_bound_gemv_prefers_mc_pool_or_ties(self, explorer):
+        decision = explorer.explore_op(matmul_op("v", 1, 2048, 5632))
+        mc_best = min(
+            (c for c in decision.candidates if c.pool == "mc"), key=lambda c: c.cycles
+        )
+        assert decision.best.cycles <= mc_best.cycles + 1e-9
+
+    def test_candidates_cover_both_pools(self, explorer):
+        decision = explorer.explore_op(matmul_op("g", 32, 256, 256))
+        pools = {c.pool for c in decision.candidates}
+        assert pools == {"cc", "mc"}
+
+    def test_cluster_counts_are_powers_of_two_up_to_total(self, explorer):
+        decision = explorer.explore_op(matmul_op("g", 32, 256, 256))
+        cc_counts = sorted({c.n_clusters for c in decision.candidates if c.pool == "cc"})
+        assert cc_counts[0] == 1
+        assert cc_counts[-1] == explorer.simulator.chip.n_cc_clusters
+
+    def test_small_op_not_spread_across_all_clusters(self, explorer):
+        """Tiny operators should not be forced onto the whole pool."""
+        decision = explorer.explore_op(matmul_op("tiny", 2, 16, 16))
+        assert decision.best.n_clusters <= explorer.simulator.chip.n_cc_clusters
+
+    def test_data_movement_op_keeps_default_pool(self, explorer):
+        op = Op(name="kv", kind=OpKind.OTHER, m=8, activation_bytes=1024)
+        decision = explorer.explore_op(op)
+        assert decision.best.compute_cycles == 0.0
+
+    def test_homogeneous_chip_only_offers_its_pool(self):
+        explorer = MappingExplorer(PerformanceSimulator(homo_cc_system()))
+        decision = explorer.explore_op(matmul_op("v", 1, 256, 256))
+        assert {c.pool for c in decision.candidates} == {"cc"}
+
+
+class TestExploreMany:
+    def test_explore_ops_returns_one_decision_per_op(self, explorer):
+        ops = [matmul_op(f"g{i}", 16, 128, 128) for i in range(4)]
+        decisions = explorer.explore_ops(ops)
+        assert len(decisions) == 4
+        assert {d.op_name for d in decisions} == {op.name for op in ops}
+
+    def test_total_cycles_sums_best_choices(self, explorer):
+        ops = [
+            matmul_op("a", 16, 128, 128),
+            elementwise_op("b", 4096),
+        ]
+        total = explorer.total_cycles(ops)
+        per_op = sum(d.cycles for d in explorer.explore_ops(ops))
+        assert total == pytest.approx(per_op)
+
+    def test_explored_best_never_worse_than_simulator_default(self, explorer):
+        """The explorer must never pick a mapping slower than the default."""
+        ops = [
+            matmul_op("gemm", 128, 1024, 1024),
+            matmul_op("gemv", 1, 2048, 5632),
+        ]
+        for op in ops:
+            default = explorer.simulator.execute_op(op)
+            explored = explorer.explore_op(op)
+            assert explored.cycles <= default.cycles * 1.001

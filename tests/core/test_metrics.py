@@ -1,0 +1,113 @@
+"""Tests for the result metrics (repro.core.metrics)."""
+
+import pytest
+
+from repro.core.metrics import PhaseResult, WorkloadResult, geometric_mean_speedup
+
+
+def _phase(name, latency_s, compute=100.0, memory=50.0, dram=1000, flops=2000):
+    return PhaseResult(
+        name=name,
+        cycles=latency_s * 1e9,
+        compute_cycles=compute,
+        memory_cycles=memory,
+        latency_s=latency_s,
+        dram_bytes=dram,
+        flops=flops,
+        op_count=10,
+        cluster_kind="cc",
+    )
+
+
+def _workload(decode_latency=0.5, prefill=0.1, encode=0.05, tokens=10, power=None):
+    phases = {
+        "vision_encoder": _phase("vision_encoder", encode),
+        "projector": _phase("projector", 0.001),
+        "llm_prefill": _phase("llm_prefill", prefill),
+        "llm_decode": _phase("llm_decode", decode_latency, compute=10.0, memory=400.0),
+    }
+    return WorkloadResult(
+        workload_name="w",
+        hardware_name="hw",
+        phases=phases,
+        output_tokens=tokens,
+        power_w=power,
+    )
+
+
+class TestPhaseResult:
+    def test_bound_classification(self):
+        assert _phase("a", 1.0, compute=10, memory=5).bound == "compute"
+        assert _phase("a", 1.0, compute=5, memory=10).bound == "memory"
+
+    def test_achieved_rates(self):
+        phase = _phase("a", 2.0, dram=100, flops=400)
+        assert phase.achieved_flops_per_s == pytest.approx(200.0)
+        assert phase.achieved_bandwidth_bytes_per_s == pytest.approx(50.0)
+
+    def test_zero_latency_rates(self):
+        phase = _phase("a", 0.0)
+        assert phase.achieved_flops_per_s == 0.0
+
+
+class TestWorkloadResult:
+    def test_total_latency_is_sum_of_phases(self):
+        result = _workload()
+        assert result.total_latency_s == pytest.approx(0.5 + 0.1 + 0.05 + 0.001)
+
+    def test_phase_accessors(self):
+        result = _workload()
+        assert result.decode_latency_s == pytest.approx(0.5)
+        assert result.prefill_latency_s == pytest.approx(0.1)
+        assert result.encode_latency_s == pytest.approx(0.051)
+        with pytest.raises(KeyError):
+            result.phase("nonexistent")
+
+    def test_missing_phase_contributes_zero(self):
+        result = WorkloadResult(
+            workload_name="w",
+            hardware_name="hw",
+            phases={"llm_decode": _phase("llm_decode", 0.4)},
+            output_tokens=4,
+        )
+        assert result.prefill_latency_s == 0.0
+        assert result.encode_latency_s == 0.0
+
+    def test_throughput_metrics(self):
+        result = _workload(tokens=10)
+        assert result.tokens_per_second == pytest.approx(10 / result.total_latency_s)
+        assert result.decode_tokens_per_second == pytest.approx(10 / 0.5)
+        assert result.time_per_output_token_s == pytest.approx(result.total_latency_s / 10)
+
+    def test_energy_metrics_require_power(self):
+        without_power = _workload()
+        assert without_power.energy_j is None
+        assert without_power.tokens_per_joule is None
+        with_power = _workload(power=2.0)
+        assert with_power.energy_j == pytest.approx(2.0 * with_power.total_latency_s)
+        assert with_power.tokens_per_joule == pytest.approx(
+            10 / (2.0 * with_power.total_latency_s)
+        )
+
+    def test_speedup_over(self):
+        fast = _workload(decode_latency=0.25)
+        slow = _workload(decode_latency=1.0)
+        assert fast.speedup_over(slow) > 1.0
+        assert slow.speedup_over(fast) < 1.0
+
+    def test_totals(self):
+        result = _workload()
+        assert result.total_dram_bytes == 4 * 1000
+        assert result.total_flops == 4 * 2000
+        assert result.total_cycles > 0
+
+
+class TestGeometricMean:
+    def test_geometric_mean(self):
+        assert geometric_mean_speedup({"a": 2.0, "b": 8.0}) == pytest.approx(4.0)
+
+    def test_rejects_empty_and_non_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean_speedup({})
+        with pytest.raises(ValueError):
+            geometric_mean_speedup({"a": 0.0})

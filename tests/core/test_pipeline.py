@@ -1,0 +1,102 @@
+"""Tests for the streaming pipeline model (repro.core.pipeline)."""
+
+import pytest
+
+from repro.core.pipeline import PipelineModel
+
+
+@pytest.fixture(scope="module")
+def pipeline(edgemm_system, sphinx_tiny) -> PipelineModel:
+    return edgemm_system.pipeline(sphinx_tiny, prompt_text_tokens=32)
+
+
+class TestStageLatencies:
+    def test_cc_stage_independent_of_output_tokens(self, pipeline):
+        assert pipeline.cc_stage_latency_s(8, 0.5) == pytest.approx(
+            pipeline.cc_stage_latency_s(128, 0.5), rel=1e-6
+        )
+
+    def test_mc_stage_scales_with_output_tokens(self, pipeline):
+        short = pipeline.mc_stage_latency_s(8, 0.5)
+        long = pipeline.mc_stage_latency_s(64, 0.5)
+        assert long > 6 * short
+
+    def test_more_bandwidth_shortens_decode(self, pipeline):
+        slow = pipeline.mc_stage_latency_s(32, 0.5)
+        fast = pipeline.mc_stage_latency_s(32, 0.875)
+        assert fast < slow
+
+    def test_pruning_shortens_decode(self, pipeline):
+        full = pipeline.mc_stage_latency_s(32, 0.5)
+        pruned = pipeline.mc_stage_latency_s(32, 0.5, keep_fraction=0.3)
+        assert pruned < full
+
+    def test_stage_latency_validation(self, pipeline):
+        with pytest.raises(ValueError):
+            pipeline.cc_stage_latency_s(8, 0.0)
+        with pytest.raises(ValueError):
+            pipeline.mc_stage_latency_s(8, 1.5)
+        with pytest.raises(ValueError):
+            pipeline.mc_stage_latency_s(8, 0.5, batch_size=0)
+
+
+class TestPipelinePoints:
+    def test_request_latency_is_sum_of_stages(self, pipeline):
+        point = pipeline.evaluate(32)
+        assert point.request_latency_s == pytest.approx(
+            point.cc_stage_latency_s + point.mc_stage_latency_s
+        )
+
+    def test_interval_is_slower_stage(self, pipeline):
+        point = pipeline.evaluate(64)
+        assert point.pipeline_interval_s == max(
+            point.cc_stage_latency_s, point.mc_stage_latency_s
+        )
+
+    def test_throughput_definition(self, pipeline):
+        point = pipeline.evaluate(64, batch_size=2)
+        expected = 2 * 64 / point.pipeline_interval_s
+        assert point.tokens_per_second == pytest.approx(expected)
+        assert point.requests_per_second == pytest.approx(2 / point.pipeline_interval_s)
+
+    def test_imbalance_at_long_outputs(self, pipeline):
+        point = pipeline.evaluate(256, cc_bandwidth_fraction=0.5)
+        assert point.mc_stage_latency_s > point.cc_stage_latency_s
+        assert point.imbalance > 1.0
+
+    def test_reallocation_helps_when_decode_dominates(self, pipeline):
+        """Giving MC more bandwidth must shorten a decode-dominated pipeline."""
+        equal = pipeline.evaluate(128, cc_bandwidth_fraction=0.5)
+        skewed = pipeline.evaluate(128, cc_bandwidth_fraction=0.125)
+        assert skewed.request_latency_s < equal.request_latency_s
+        assert skewed.tokens_per_second > equal.tokens_per_second
+
+    def test_batching_boosts_throughput_for_long_outputs(self, pipeline):
+        unbatched = pipeline.evaluate(512, cc_bandwidth_fraction=0.125, batch_size=1)
+        batched = pipeline.evaluate(512, cc_bandwidth_fraction=0.125, batch_size=4)
+        assert batched.tokens_per_second > 2 * unbatched.tokens_per_second
+
+    def test_batching_costs_some_latency(self, pipeline):
+        unbatched = pipeline.evaluate(512, cc_bandwidth_fraction=0.125, batch_size=1)
+        batched = pipeline.evaluate(512, cc_bandwidth_fraction=0.125, batch_size=4)
+        assert batched.request_latency_s > unbatched.request_latency_s
+
+    def test_mc_fraction_complement(self, pipeline):
+        point = pipeline.evaluate(16, cc_bandwidth_fraction=0.25)
+        assert point.mc_bandwidth_fraction == pytest.approx(0.75)
+
+    def test_rejects_bad_output_tokens(self, pipeline):
+        with pytest.raises(ValueError):
+            pipeline.evaluate(0)
+
+
+class TestBalancedLength:
+    def test_balanced_length_positive(self, pipeline):
+        le = pipeline.balanced_token_length()
+        assert le >= 1
+
+    def test_skewed_bandwidth_raises_balanced_length(self, pipeline):
+        """Reallocating bandwidth to MC extends the balanced range (le -> lb)."""
+        le = pipeline.balanced_token_length(cc_bandwidth_fraction=0.5)
+        lb = pipeline.balanced_token_length(cc_bandwidth_fraction=0.125)
+        assert lb > le

@@ -1,0 +1,164 @@
+"""Tests for the phase-level performance simulator (repro.core.simulator)."""
+
+import pytest
+
+from repro.core.config import default_system, homo_cc_system, homo_mc_system
+from repro.core.simulator import PerformanceSimulator
+from repro.models.mllm import InferenceRequest
+from repro.models.ops import OpKind, Phase, elementwise_op, matmul_op
+
+
+class TestPoolSelection:
+    def test_gemm_goes_to_cc(self, simulator):
+        op = matmul_op("g", 64, 256, 256)
+        assert simulator.pool_for(op) == "cc"
+
+    def test_gemv_goes_to_mc(self, simulator):
+        op = matmul_op("v", 1, 256, 256)
+        assert simulator.pool_for(op) == "mc"
+
+    def test_homo_cc_runs_everything_on_cc(self):
+        sim = PerformanceSimulator(homo_cc_system())
+        assert sim.pool_for(matmul_op("v", 1, 256, 256)) == "cc"
+
+    def test_homo_mc_runs_everything_on_mc(self):
+        sim = PerformanceSimulator(homo_mc_system())
+        assert sim.pool_for(matmul_op("g", 64, 256, 256)) == "mc"
+
+    def test_missing_pool_rejected_explicitly(self):
+        sim = PerformanceSimulator(homo_cc_system())
+        with pytest.raises(ValueError):
+            sim.execute_op(matmul_op("v", 1, 64, 64), pool="mc")
+
+
+class TestOpExecution:
+    def test_memory_bound_gemv(self, simulator):
+        """A decode-style FFN GEMV must be memory bound on the MC pool."""
+        op = matmul_op("ffn", 1, 2048, 5632, prunable=True, tag="ffn")
+        execution = simulator.execute_op(op)
+        assert execution.pool == "mc"
+        assert execution.memory_cycles > execution.compute_cycles
+
+    def test_compute_bound_gemm(self, simulator):
+        """A prefill-style GEMM must be compute bound on the CC pool."""
+        op = matmul_op("prefill", 300, 2048, 2048)
+        execution = simulator.execute_op(op)
+        assert execution.pool == "cc"
+        assert execution.compute_cycles > execution.memory_cycles
+
+    def test_cycles_is_max_of_legs(self, simulator):
+        op = matmul_op("g", 32, 256, 256)
+        execution = simulator.execute_op(op)
+        assert execution.cycles == max(execution.compute_cycles, execution.memory_cycles)
+
+    def test_bandwidth_fraction_scales_memory_leg(self, simulator):
+        op = matmul_op("v", 1, 2048, 5632)
+        full = simulator.execute_op(op, bandwidth_fraction=1.0)
+        half = simulator.execute_op(op, bandwidth_fraction=0.5)
+        assert half.memory_cycles > 1.6 * full.memory_cycles
+
+    def test_bandwidth_fraction_must_be_positive(self, simulator):
+        op = matmul_op("v", 1, 64, 64)
+        with pytest.raises(ValueError):
+            simulator.execute_op(op, bandwidth_fraction=0.0)
+
+    def test_keep_fraction_reduces_prunable_traffic_only(self, simulator):
+        prunable = matmul_op("ffn", 1, 2048, 5632, prunable=True)
+        fixed = matmul_op("attn", 1, 2048, 2048, prunable=False)
+        assert (
+            simulator.execute_op(prunable, keep_fraction=0.25).dram_bytes
+            < simulator.execute_op(prunable, keep_fraction=1.0).dram_bytes
+        )
+        assert (
+            simulator.execute_op(fixed, keep_fraction=0.25).dram_bytes
+            == simulator.execute_op(fixed, keep_fraction=1.0).dram_bytes
+        )
+
+    def test_data_movement_op_has_no_compute(self, simulator):
+        from repro.models.ops import Op
+
+        op = Op(name="kv", kind=OpKind.OTHER, m=10, activation_bytes=4096)
+        execution = simulator.execute_op(op)
+        assert execution.compute_cycles == 0.0
+        assert execution.memory_cycles > 0.0
+
+
+class TestPhaseExecution:
+    def _phase(self, repeat=1):
+        phase = Phase(name="test", repeat=repeat)
+        phase.add(matmul_op("a", 16, 256, 256))
+        phase.add(elementwise_op("b", 1024))
+        phase.add(matmul_op("c", 1, 256, 1024, prunable=True))
+        return phase
+
+    def test_phase_result_totals(self, simulator):
+        result = simulator.execute_phase(self._phase())
+        assert result.cycles > 0
+        assert result.latency_s == pytest.approx(
+            result.cycles / simulator.chip.frequency_hz
+        )
+        assert result.op_count == 3
+        assert result.flops > 0
+
+    def test_repeat_scales_linearly(self, simulator):
+        single = simulator.execute_phase(self._phase(repeat=1))
+        triple = simulator.execute_phase(self._phase(repeat=3))
+        assert triple.cycles == pytest.approx(3 * single.cycles)
+        assert triple.dram_bytes == 3 * single.dram_bytes
+
+    def test_forced_pool_overrides_auto(self, simulator):
+        phase = self._phase()
+        cc_result = simulator.execute_phase(phase, pool="cc")
+        assert cc_result.cluster_kind == "cc"
+
+    def test_phase_bound_property(self, simulator):
+        decode_like = Phase(name="d")
+        decode_like.add(matmul_op("v", 1, 2048, 5632))
+        result = simulator.execute_phase(decode_like)
+        assert result.bound == "memory"
+
+
+class TestWorkloadExecution:
+    def test_run_request_produces_all_phases(self, simulator, sphinx_tiny, short_request):
+        result = simulator.run_request(sphinx_tiny, short_request)
+        assert set(result.phases) == {
+            "vision_encoder",
+            "projector",
+            "llm_prefill",
+            "llm_decode",
+        }
+        assert result.output_tokens == short_request.output_tokens
+        assert result.total_latency_s > 0
+        assert result.power_w is not None and result.power_w > 0
+
+    def test_decode_phase_is_memory_bound(self, simulator, sphinx_tiny, short_request):
+        result = simulator.run_request(sphinx_tiny, short_request)
+        assert result.phase("llm_decode").bound == "memory"
+
+    def test_prefill_phase_is_compute_bound(self, simulator, sphinx_tiny, short_request):
+        result = simulator.run_request(sphinx_tiny, short_request)
+        assert result.phase("llm_prefill").bound == "compute"
+
+    def test_pruning_config_reduces_decode_latency(self, sphinx_tiny, short_request):
+        baseline = PerformanceSimulator(default_system())
+        pruned = PerformanceSimulator(default_system().with_pruning(0.3))
+        base_result = baseline.run_request(sphinx_tiny, short_request)
+        pruned_result = pruned.run_request(sphinx_tiny, short_request)
+        assert pruned_result.decode_latency_s < base_result.decode_latency_s
+        assert pruned_result.prefill_latency_s == pytest.approx(
+            base_result.prefill_latency_s
+        )
+
+    def test_larger_output_length_increases_latency(self, simulator, sphinx_tiny):
+        short = simulator.run_request(
+            sphinx_tiny, InferenceRequest(images=1, prompt_text_tokens=16, output_tokens=4)
+        )
+        long = simulator.run_request(
+            sphinx_tiny, InferenceRequest(images=1, prompt_text_tokens=16, output_tokens=32)
+        )
+        assert long.total_latency_s > short.total_latency_s
+
+    def test_average_power_within_physical_range(self, simulator, sphinx_tiny, short_request):
+        result = simulator.run_request(sphinx_tiny, short_request)
+        # Chip (~0.1-1 W) plus DRAM access power: order of a few watts at most.
+        assert 0.01 < result.power_w < 10.0

@@ -1,0 +1,98 @@
+"""Tests for the ablation studies (repro.experiments.ablations)."""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+class TestThresholdAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablations.pruning_threshold_ablation(
+            thresholds=(4.0, 16.0, 64.0), n_tokens=1, d_ffn=128
+        )
+
+    def test_larger_threshold_prunes_less(self, rows):
+        assert ablations.larger_threshold_prunes_less(rows)
+
+    def test_more_aggressive_threshold_gives_more_latency_reduction(self, rows):
+        reductions = [row.decode_latency_reduction for row in rows]
+        assert reductions[0] >= reductions[-1]
+
+    def test_similarity_improves_with_larger_threshold(self, rows):
+        similarities = [row.mean_cosine_similarity for row in rows]
+        assert similarities[-1] >= similarities[0]
+
+    def test_paper_threshold_is_a_good_tradeoff(self, rows):
+        assert ablations.paper_threshold_is_a_good_tradeoff(rows)
+
+    def test_rejects_empty_sweep(self):
+        with pytest.raises(ValueError):
+            ablations.pruning_threshold_ablation(thresholds=())
+
+
+class TestBandwidthAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablations.dram_bandwidth_ablation(bandwidths_gbs=(25.6, 102.4, 204.8))
+
+    def test_decode_scales_with_bandwidth(self, rows):
+        assert ablations.decode_scales_with_bandwidth(rows)
+
+    def test_decode_memory_bound_at_low_bandwidth(self, rows):
+        assert rows[0].decode_bound == "memory"
+
+    def test_throughput_increases_with_bandwidth(self, rows):
+        assert rows[-1].tokens_per_second > rows[0].tokens_per_second
+
+    def test_rejects_empty_sweep(self):
+        with pytest.raises(ValueError):
+            ablations.dram_bandwidth_ablation(bandwidths_gbs=())
+
+
+class TestGeometryAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablations.systolic_geometry_ablation(geometries=((8, 32), (16, 16), (32, 8)))
+
+    def test_constant_pe_count_keeps_peak_flops(self, rows):
+        peaks = {round(row.peak_tflops, 1) for row in rows}
+        assert len(peaks) == 1
+
+    def test_prefill_latency_varies_with_aspect_ratio(self, rows):
+        latencies = [row.prefill_latency_s for row in rows]
+        assert max(latencies) > min(latencies)
+
+    def test_rejects_empty_sweep(self):
+        with pytest.raises(ValueError):
+            ablations.systolic_geometry_ablation(geometries=())
+
+
+class TestClusterMixAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablations.cluster_mix_ablation(mixes=((4, 0), (2, 2), (0, 4)))
+
+    def test_mixed_clusters_beat_homogeneous(self, rows):
+        assert ablations.mixed_clusters_beat_homogeneous(rows)
+
+    def test_rejects_empty_and_invalid_mixes(self):
+        with pytest.raises(ValueError):
+            ablations.cluster_mix_ablation(mixes=())
+        with pytest.raises(ValueError):
+            ablations.cluster_mix_ablation(mixes=((0, 0),))
+
+
+class TestCombinedReport:
+    def test_report_renders_all_sections(self):
+        result = ablations.AblationResult(
+            threshold_rows=ablations.pruning_threshold_ablation(
+                thresholds=(16.0,), n_tokens=1, d_ffn=64
+            ),
+            bandwidth_rows=ablations.dram_bandwidth_ablation(bandwidths_gbs=(102.4,)),
+            geometry_rows=ablations.systolic_geometry_ablation(geometries=((16, 16),)),
+            mix_rows=ablations.cluster_mix_ablation(mixes=((2, 2),)),
+        )
+        report = ablations.format_report(result)
+        for marker in ("Ablation A1", "Ablation A2", "Ablation A3", "Ablation A4"):
+            assert marker in report

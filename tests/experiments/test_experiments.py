@@ -1,0 +1,201 @@
+"""Integration tests for the experiment harnesses (one per paper artifact)."""
+
+import pytest
+
+from repro.experiments import (
+    available_experiments,
+    fig2_workload,
+    fig3_sparsity,
+    fig6_bandwidth,
+    fig10_config,
+    fig11_hetero,
+    fig12_pruning,
+    fig13_bandwidth_mgmt,
+    get_experiment,
+    run_and_report,
+    table2_gpu_comparison,
+)
+from repro.models.mllm import InferenceRequest
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        registered = set(available_experiments())
+        assert {
+            "fig2",
+            "fig3",
+            "fig6",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "table2",
+        } <= registered
+        assert "ablations" in registered
+
+    def test_get_experiment_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+    def test_run_and_report_produces_text(self):
+        report = run_and_report("fig6")
+        assert "effective bandwidth" in report.lower()
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig2_workload.run_fig2(output_lengths=(8, 32, 128))
+
+    def test_decode_share_increases_with_output_length(self, result):
+        for model in ("sphinx-tiny", "karmavlm"):
+            assert fig2_workload.decode_share_increases(result, model)
+
+    def test_ffn_dominates_memory_access(self, result):
+        assert fig2_workload.ffn_dominates_memory(result, "sphinx-tiny")
+
+    def test_decode_arithmetic_intensity_far_below_prefill(self, result):
+        stats = result.statistics["sphinx-tiny"]
+        assert (
+            stats.phase("llm_decode").arithmetic_intensity
+            < stats.phase("llm_prefill").arithmetic_intensity / 20
+        )
+
+    def test_report_mentions_both_models(self, result):
+        report = fig2_workload.format_report(result)
+        assert "sphinx-tiny" in report and "karmavlm" in report
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig3_sparsity.run_fig3(n_tokens=2)
+
+    def test_outliers_become_more_prominent_with_depth(self, result):
+        assert fig3_sparsity.outliers_become_more_prominent(result)
+
+    def test_most_channels_negligible_in_deep_layers(self, result):
+        assert fig3_sparsity.most_channels_are_negligible(result)
+
+    def test_profile_covers_all_layers(self, result):
+        assert len(result.profiles) == 22
+
+    def test_report_renders(self, result):
+        assert "kurtosis" in fig3_sparsity.format_report(result)
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6_bandwidth.run_fig6()
+
+    def test_bandwidth_monotonic_in_transfer_size(self, result):
+        assert fig6_bandwidth.bandwidth_is_monotonic(result)
+
+    def test_small_transfers_lose_bandwidth(self, result):
+        assert fig6_bandwidth.small_transfers_lose_bandwidth(result)
+
+    def test_mc_buffers_recover_bandwidth(self, result):
+        assert fig6_bandwidth.mc_buffers_recover_bandwidth(result)
+
+    def test_mc_buffer_more_efficient_than_cc_buffer(self, result):
+        assert result.mc_buffer_fraction > result.cc_buffer_fraction
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig10_config.run_fig10()
+
+    def test_configuration_matches_paper(self, result):
+        assert fig10_config.configuration_matches_paper(result)
+
+    def test_coprocessors_dominate_core_area(self, result):
+        assert fig10_config.coprocessors_dominate_core_area(result)
+
+    def test_peak_tflops_near_paper_value(self, result):
+        assert 10.0 <= result.configuration["peak_tflops"] <= 30.0
+
+    def test_power_in_paper_ballpark(self, result):
+        assert 40.0 <= result.power.total_mw <= 300.0
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        request = InferenceRequest(images=1, prompt_text_tokens=32, output_tokens=16)
+        return fig11_hetero.run_fig11(request=request)
+
+    def test_hetero_wins_full_mllm(self, result):
+        assert fig11_hetero.hetero_wins_full_mllm(result)
+
+    def test_homo_designs_win_their_phases(self, result):
+        assert fig11_hetero.homo_designs_win_their_phases(result)
+
+    def test_all_extensions_beat_baseline(self, result):
+        assert fig11_hetero.all_extensions_beat_baseline(result)
+
+    def test_report_contains_speedups(self, result):
+        report = fig11_hetero.format_report(result)
+        assert "homo_cc" in report and "edgemm" in report
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig12_pruning.run_fig12(n_tokens=2, d_ffn=256, output_tokens=16)
+
+    def test_first_layer_not_pruned(self, result):
+        assert fig12_pruning.first_layer_is_not_pruned(result)
+
+    def test_pruning_ratio_increases_with_depth(self, result):
+        assert fig12_pruning.pruning_ratio_increases_with_depth(result)
+
+    def test_dynamic_tracks_mild_fixed_ratio(self, result):
+        assert fig12_pruning.dynamic_tracks_mild_fixed_ratio(result)
+
+    def test_aggressive_fixed_ratio_fails_shallow_layers(self, result):
+        assert fig12_pruning.aggressive_fixed_ratio_fails_shallow_layers(result)
+
+    def test_decode_latency_reduction_in_paper_ballpark(self, result):
+        """Paper reports ~42% average decode-latency reduction."""
+        assert 0.2 <= result.decode_latency_reduction <= 0.7
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig13_bandwidth_mgmt.run_fig13(output_lengths=(8, 32, 128, 512))
+
+    def test_reallocation_helps_long_outputs(self, result):
+        assert fig13_bandwidth_mgmt.reallocation_helps_long_outputs(result)
+
+    def test_short_outputs_keep_equal_sharing(self, result):
+        assert fig13_bandwidth_mgmt.short_outputs_keep_equal_sharing(result)
+
+    def test_batching_boosts_long_output_throughput(self, result):
+        assert fig13_bandwidth_mgmt.batching_boosts_long_output_throughput(result)
+
+    def test_lb_greater_than_le(self, result):
+        assert result.reallocation_limit_length > result.expected_balanced_length
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        request = InferenceRequest(images=1, prompt_text_tokens=32, output_tokens=32)
+        return table2_gpu_comparison.run_table2(request=request, calibration_tokens=2)
+
+    def test_edgemm_beats_gpu(self, result):
+        assert table2_gpu_comparison.edgemm_beats_gpu(result)
+
+    def test_pruning_widens_the_gap(self, result):
+        assert table2_gpu_comparison.pruning_widens_the_gap(result)
+
+    def test_pruned_speedup_in_paper_ballpark(self, result):
+        assert table2_gpu_comparison.pruned_speedup_in_paper_ballpark(result)
+
+    def test_report_contains_all_rows(self, result):
+        report = table2_gpu_comparison.format_report(result)
+        assert "RTX 3060" in report
+        assert "EdgeMM + weight pruning" in report

@@ -1,0 +1,89 @@
+"""Tests for the experiment report utilities and CLI entry point."""
+
+import pytest
+
+from repro.experiments import available_experiments
+from repro.experiments.__main__ import main as experiments_main
+from repro.experiments.runner import (
+    ExperimentSpec,
+    format_bytes,
+    format_seconds,
+    format_table,
+    get_experiment,
+    register_experiment,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        table = format_table(["name", "value"], [["a", 1], ["long-name", 2.5]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        # Columns are aligned: every row has the separator at the same offset.
+        assert lines[2].index("1") == lines[3].index("2.5")
+
+    def test_row_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        table = format_table(["v"], [[0.000012], [12345.6], [1.5], [0.0]])
+        assert "1.2e-05" in table
+        assert "1.23e+04" in table
+        assert "1.5" in table
+        assert "0" in table
+
+
+class TestUnitHelpers:
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512.00 B"
+        assert format_bytes(2048) == "2.00 KiB"
+        assert format_bytes(3 * 1024**3) == "3.00 GiB"
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+    def test_format_seconds(self):
+        assert format_seconds(2.0) == "2.000 s"
+        assert format_seconds(0.002) == "2.000 ms"
+        assert format_seconds(2e-6) == "2.00 us"
+        with pytest.raises(ValueError):
+            format_seconds(-0.1)
+
+
+class TestRegistry:
+    def test_duplicate_registration_rejected(self):
+        existing = available_experiments()[0]
+        spec = get_experiment(existing)
+        with pytest.raises(ValueError):
+            register_experiment(
+                ExperimentSpec(
+                    experiment_id=existing,
+                    description="duplicate",
+                    run=spec.run,
+                    report=spec.report,
+                )
+            )
+
+    def test_specs_carry_descriptions(self):
+        for experiment_id in available_experiments():
+            assert get_experiment(experiment_id).description
+
+
+class TestCLI:
+    def test_list_option(self, capsys):
+        assert experiments_main(["--list"]) == 0
+        output = capsys.readouterr().out
+        for experiment_id in available_experiments():
+            assert experiment_id in output
+
+    def test_run_single_experiment(self, capsys):
+        assert experiments_main(["fig6"]) == 0
+        output = capsys.readouterr().out
+        assert "=== fig6 ===" in output
+        assert "effective bandwidth" in output.lower()
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            experiments_main(["fig99"])

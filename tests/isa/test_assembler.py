@@ -1,0 +1,103 @@
+"""Tests for the two-way assembler (repro.isa.assembler)."""
+
+import pytest
+
+from repro.isa.assembler import (
+    AssemblerError,
+    assemble,
+    assemble_to_words,
+    disassemble,
+    parse_line,
+)
+from repro.isa.decoder import decode_program
+from repro.isa.instructions import (
+    CsrWrite,
+    LoadImmediate,
+    MMLoad,
+    MMMul,
+    MVPrune,
+    Sync,
+    VSilu,
+)
+
+
+EXAMPLE_PROGRAM = """
+# simple GEMM tile kernel
+li      x1, 0
+li      x2, 256
+cfg.csrw 0x10, x2      # tile_m
+mm.ld   m0, (x1)
+mm.ld   m1, (x2)
+mm.zero m2
+mm.mul  m2, m0, m1
+mm.st   m2, (x3)
+sync
+"""
+
+
+class TestParseLine:
+    def test_parse_mm_mul(self):
+        assert parse_line("mm.mul m2, m0, m1") == MMMul(md=2, ms1=0, ms2=1)
+
+    def test_parse_load_with_parentheses(self):
+        assert parse_line("mm.ld m0, (x4)") == MMLoad(md=0, rs=4)
+
+    def test_parse_csr_write_hex(self):
+        assert parse_line("cfg.csrw 0x20, x7") == CsrWrite(csr=0x20, rs=7)
+
+    def test_parse_li(self):
+        assert parse_line("li x5, 1234") == LoadImmediate(rd=5, value=1234)
+
+    def test_parse_prune_and_silu(self):
+        assert parse_line("mv.prune v3, v1") == MVPrune(vd=3, vs1=1)
+        assert parse_line("v.silu v2, v2") == VSilu(vd=2, vs1=2)
+
+    def test_comments_are_stripped(self):
+        assert parse_line("sync  # barrier") == Sync()
+
+    def test_unknown_mnemonic_raises(self):
+        with pytest.raises(AssemblerError):
+            parse_line("madd m0, m1, m2")
+
+    def test_wrong_operand_kind_raises(self):
+        with pytest.raises(AssemblerError):
+            parse_line("mm.mul x2, m0, m1")
+
+    def test_wrong_operand_count_raises(self):
+        with pytest.raises(AssemblerError):
+            parse_line("mm.mul m2, m0")
+
+    def test_garbage_operand_raises(self):
+        with pytest.raises(AssemblerError):
+            parse_line("li x1, banana")
+
+
+class TestAssembleProgram:
+    def test_assemble_skips_blank_and_comment_lines(self):
+        program = assemble(EXAMPLE_PROGRAM)
+        assert len(program) == 9
+
+    def test_assemble_reports_line_numbers(self):
+        source = "mm.mul m2, m0, m1\nbogus m1\n"
+        with pytest.raises(AssemblerError, match="line 2"):
+            assemble(source)
+
+    def test_disassemble_roundtrip(self):
+        program = assemble(EXAMPLE_PROGRAM)
+        text = disassemble(program)
+        again = assemble(text)
+        assert again == program
+
+    def test_assemble_to_words_roundtrips_through_decoder(self):
+        source = "\n".join(
+            line
+            for line in EXAMPLE_PROGRAM.splitlines()
+            if line.strip() and not line.strip().startswith("#") and not line.strip().startswith("li")
+        )
+        words = assemble_to_words(source)
+        decoded = decode_program(words)
+        assert decoded == assemble(source)
+
+    def test_assemble_to_words_rejects_pseudo_instructions(self):
+        with pytest.raises(NotImplementedError):
+            assemble_to_words("li x1, 5")

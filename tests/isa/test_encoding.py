@@ -1,0 +1,123 @@
+"""Tests for the instruction encoding formats (repro.isa.encoding, Fig. 7)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.encoding import (
+    InstructionFormat,
+    MAJOR_OPCODES,
+    OPCODE_TO_FORMAT,
+    BitField,
+    decode_fields,
+    encode_fields,
+    field_names,
+    format_fields,
+)
+
+
+class TestBitField:
+    def test_insert_and_extract_roundtrip(self):
+        field = BitField("f", lsb=4, width=5)
+        word = field.insert(0, 0b10110)
+        assert field.extract(word) == 0b10110
+
+    def test_insert_preserves_other_bits(self):
+        field = BitField("f", lsb=8, width=4)
+        word = field.insert(0xFFFF_FFFF, 0)
+        assert word == 0xFFFF_F0FF
+
+    def test_rejects_out_of_range_value(self):
+        field = BitField("f", lsb=0, width=3)
+        with pytest.raises(ValueError):
+            field.insert(0, 8)
+
+    def test_rejects_field_outside_word(self):
+        with pytest.raises(ValueError):
+            BitField("f", lsb=30, width=4)
+        with pytest.raises(ValueError):
+            BitField("f", lsb=-1, width=2)
+
+    def test_msb_and_mask(self):
+        field = BitField("f", lsb=4, width=4)
+        assert field.msb == 7
+        assert field.mask == 0xF
+
+
+class TestFormatLayouts:
+    def test_all_formats_have_unique_opcodes(self):
+        assert len(set(MAJOR_OPCODES.values())) == len(MAJOR_OPCODES)
+        for fmt, opcode in MAJOR_OPCODES.items():
+            assert OPCODE_TO_FORMAT[opcode] is fmt
+
+    def test_every_format_has_an_opcode_field(self):
+        for fmt in InstructionFormat:
+            assert "opcode" in field_names(fmt)
+
+    def test_fields_do_not_overlap(self):
+        for fmt in InstructionFormat:
+            used = set()
+            for field in format_fields(fmt):
+                bits = set(range(field.lsb, field.lsb + field.width))
+                assert not (bits & used), f"{fmt} field {field.name} overlaps"
+                used |= bits
+
+    def test_mm_format_has_three_matrix_operands(self):
+        names = field_names(InstructionFormat.MM)
+        assert {"md", "ms1", "ms2"} <= set(names)
+
+    def test_mv_format_has_vector_and_scalar_operands(self):
+        names = field_names(InstructionFormat.MV)
+        assert {"vd", "rs1", "vs1"} <= set(names)
+
+    def test_config_format_has_csr_field(self):
+        assert "csr" in field_names(InstructionFormat.CONFIG)
+
+
+class TestEncodeDecode:
+    def test_roundtrip_mm(self):
+        word = encode_fields(InstructionFormat.MM, func=2, md=1, ms1=2, ms2=3)
+        fmt, fields = decode_fields(word)
+        assert fmt is InstructionFormat.MM
+        assert fields["md"] == 1
+        assert fields["ms1"] == 2
+        assert fields["ms2"] == 3
+        assert fields["func"] == 2
+
+    def test_roundtrip_vv(self):
+        word = encode_fields(InstructionFormat.VV, func=1, vd=4, vs1=5, vs2=6)
+        fmt, fields = decode_fields(word)
+        assert fmt is InstructionFormat.VV
+        assert (fields["vd"], fields["vs1"], fields["vs2"]) == (4, 5, 6)
+
+    def test_opcode_filled_automatically(self):
+        word = encode_fields(InstructionFormat.CONFIG, func=0, csr=0x10, rs1=3)
+        assert word & 0x7F == MAJOR_OPCODES[InstructionFormat.CONFIG]
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            encode_fields(InstructionFormat.MM, bogus=1)
+
+    def test_decode_rejects_unknown_opcode(self):
+        with pytest.raises(ValueError):
+            decode_fields(0b0110011)  # base RISC-V OP opcode, not an extension
+
+    def test_decode_rejects_out_of_range_word(self):
+        with pytest.raises(ValueError):
+            decode_fields(1 << 33)
+
+    @given(
+        vd=st.integers(min_value=0, max_value=31),
+        rs1=st.integers(min_value=0, max_value=31),
+        vs1=st.integers(min_value=0, max_value=31),
+        func=st.integers(min_value=0, max_value=31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mv_roundtrip_property(self, vd, rs1, vs1, func):
+        word = encode_fields(InstructionFormat.MV, vd=vd, rs1=rs1, vs1=vs1, func=func)
+        fmt, fields = decode_fields(word)
+        assert fmt is InstructionFormat.MV
+        assert fields["vd"] == vd
+        assert fields["rs1"] == rs1
+        assert fields["vs1"] == vs1
+        assert fields["func"] == func

@@ -1,0 +1,238 @@
+"""Tests for the functional ISA executor (repro.isa.executor)."""
+
+import numpy as np
+import pytest
+
+from repro.isa.executor import CoreExecutor, DataMemory, ExecutionError
+from repro.isa.instructions import (
+    CsrWrite,
+    LoadImmediate,
+    MMLoad,
+    MMMul,
+    MMStore,
+    MMZero,
+    MVMul,
+    MVPrune,
+    MVWeightLoad,
+    Sync,
+    VAdd,
+    VLoad,
+    VMul,
+    VRelu,
+    VSilu,
+    VStore,
+)
+from repro.isa.registers import CSR_ADDRESSES
+
+
+class TestDataMemory:
+    def test_read_write_roundtrip(self):
+        memory = DataMemory(128)
+        memory.write(10, np.arange(5, dtype=float))
+        np.testing.assert_array_equal(memory.read(10, 5), np.arange(5, dtype=float))
+
+    def test_matrix_roundtrip(self):
+        memory = DataMemory(64)
+        matrix = np.arange(12, dtype=float).reshape(3, 4)
+        memory.write_matrix(0, matrix)
+        np.testing.assert_array_equal(memory.read_matrix(0, 3, 4), matrix)
+
+    def test_out_of_bounds_raises(self):
+        memory = DataMemory(16)
+        with pytest.raises(ExecutionError):
+            memory.read(10, 10)
+        with pytest.raises(ExecutionError):
+            memory.write(15, np.ones(5))
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            DataMemory(0)
+
+
+class TestCCExecution:
+    def _make_executor(self) -> CoreExecutor:
+        return CoreExecutor("cc", memory_size=4096)
+
+    def test_mm_mul_computes_matrix_product(self):
+        executor = self._make_executor()
+        rows = executor.systolic.config.rows
+        cols = executor.systolic.config.cols
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(rows, cols))
+        b = rng.normal(size=(rows, cols))
+        executor.memory.write_matrix(0, a)
+        executor.memory.write_matrix(rows * cols, b)
+        program = [
+            LoadImmediate(rd=1, value=0),
+            LoadImmediate(rd=2, value=rows * cols),
+            LoadImmediate(rd=3, value=2 * rows * cols),
+            MMLoad(md=0, rs=1),
+            MMLoad(md=1, rs=2),
+            MMZero(md=2),
+            MMMul(md=2, ms1=0, ms2=1),
+            MMStore(ms=2, rs=3),
+        ]
+        result = executor.run(program)
+        stored = executor.memory.read_matrix(2 * rows * cols, rows, cols)
+        np.testing.assert_allclose(stored, a @ b, rtol=1e-12)
+        assert result.cycles > 0
+        assert result.instructions_executed == len(program)
+
+    def test_mm_mul_accumulates_into_destination(self):
+        executor = self._make_executor()
+        rows = executor.systolic.config.rows
+        identity = np.eye(rows)
+        executor.memory.write_matrix(0, identity)
+        program = [
+            LoadImmediate(rd=1, value=0),
+            MMLoad(md=0, rs=1),
+            MMLoad(md=1, rs=1),
+            MMZero(md=2),
+            MMMul(md=2, ms1=0, ms2=1),
+            MMMul(md=2, ms1=0, ms2=1),
+        ]
+        executor.run(program)
+        np.testing.assert_allclose(executor.state.matrix.read(2), 2 * identity)
+
+    def test_load_plus_mul_cycles_match_equation_2(self):
+        """mm.ld + mm.mul together cost L_SA = 2R + C + M - 3 with M = R."""
+        executor = self._make_executor()
+        sa = executor.systolic.config
+        load_cycles = executor._execute(MMLoad(md=0, rs=0))
+        mul_cycles = executor._execute(MMMul(md=2, ms1=0, ms2=1))
+        assert load_cycles + mul_cycles == executor.systolic.tile_cycles(sa.rows)
+
+    def test_mm_instructions_rejected_on_mc_core(self):
+        executor = CoreExecutor("mc", memory_size=1024)
+        with pytest.raises(ExecutionError):
+            executor.run([MMZero(md=0)])
+
+    def test_cycle_breakdown_by_mnemonic(self):
+        executor = self._make_executor()
+        result = executor.run([MMZero(md=0), MMZero(md=1), Sync()])
+        assert result.cycles_for("mm.zero") == 2.0
+        assert result.cycles_for("sync") == 1.0
+
+
+class TestMCExecution:
+    def _make_executor(self, vector_length=64) -> CoreExecutor:
+        return CoreExecutor("mc", memory_size=1 << 16, vector_length=vector_length)
+
+    def _write_csr_program(self, name, value, scratch=5):
+        return [
+            LoadImmediate(rd=scratch, value=value),
+            CsrWrite(csr=CSR_ADDRESSES[name], rs=scratch),
+        ]
+
+    def test_mv_mul_computes_gemv(self):
+        executor = self._make_executor()
+        k, n = 32, 48
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=k)
+        w = rng.normal(size=(k, n))
+        executor.memory.write(0, x)
+        executor.memory.write_matrix(k, w)
+        program = []
+        program += self._write_csr_program("tile_k", k)
+        program += self._write_csr_program("tile_n", n)
+        program += self._write_csr_program("vector_length", k)
+        program += [
+            LoadImmediate(rd=1, value=k),
+            MVWeightLoad(rs=1),
+            LoadImmediate(rd=2, value=0),
+            VLoad(vd=1, rs=2),
+            MVMul(vd=2, vs1=1),
+        ]
+        executor.run(program)
+        np.testing.assert_allclose(executor.state.vector.read(2)[:n], x @ w, rtol=1e-12)
+
+    def test_mv_mul_requires_weights_loaded(self):
+        executor = self._make_executor()
+        with pytest.raises(ExecutionError):
+            executor.run([MVMul(vd=2, vs1=1)])
+
+    def test_mv_wld_requires_tile_csrs(self):
+        executor = self._make_executor()
+        with pytest.raises(ExecutionError):
+            executor.run([MVWeightLoad(rs=0)])
+
+    def test_mv_wld_rejects_oversized_block(self):
+        executor = self._make_executor()
+        program = self._write_csr_program("tile_k", 10_000)
+        program += self._write_csr_program("tile_n", 10_000)
+        program += [MVWeightLoad(rs=0)]
+        with pytest.raises(ExecutionError):
+            executor.run(program)
+
+    def test_mv_prune_selects_topk_and_updates_csr(self):
+        executor = self._make_executor(vector_length=16)
+        values = np.zeros(16)
+        values[[3, 7, 11]] = [5.0, -9.0, 2.0]
+        executor.memory.write(0, values)
+        program = self._write_csr_program("vector_length", 16)
+        program += self._write_csr_program("prune_k", 2)
+        program += [
+            LoadImmediate(rd=2, value=0),
+            VLoad(vd=1, rs=2),
+            MVPrune(vd=3, vs1=1),
+        ]
+        executor.run(program)
+        compacted = executor.state.vector.read(3)
+        assert set(np.abs(compacted[np.abs(compacted) > 0]).tolist()) == {5.0, 9.0}
+        assert executor.state.csr.read("prune_count") == 3
+
+    def test_vector_store_roundtrip(self):
+        executor = self._make_executor(vector_length=8)
+        executor.memory.write(0, np.arange(8, dtype=float))
+        program = self._write_csr_program("vector_length", 8)
+        program += [
+            LoadImmediate(rd=1, value=0),
+            VLoad(vd=1, rs=1),
+            LoadImmediate(rd=2, value=100),
+            VStore(vs=1, rs=2),
+        ]
+        executor.run(program)
+        np.testing.assert_array_equal(
+            executor.memory.read(100, 8), np.arange(8, dtype=float)
+        )
+
+
+class TestVectorInstructions:
+    def test_vector_arithmetic(self):
+        executor = CoreExecutor("cc", memory_size=256, vector_length=8)
+        executor.state.vector.write(1, np.array([1.0, -2.0, 3.0, -4.0]))
+        executor.state.vector.write(2, np.array([0.5, 0.5, 0.5, 0.5]))
+        executor.run(
+            [
+                VAdd(vd=3, vs1=1, vs2=2),
+                VMul(vd=4, vs1=1, vs2=2),
+                VRelu(vd=5, vs1=1),
+                VSilu(vd=6, vs1=1),
+            ]
+        )
+        np.testing.assert_allclose(
+            executor.state.vector.read(3)[:4], [1.5, -1.5, 3.5, -3.5]
+        )
+        np.testing.assert_allclose(
+            executor.state.vector.read(4)[:4], [0.5, -1.0, 1.5, -2.0]
+        )
+        np.testing.assert_allclose(executor.state.vector.read(5)[:4], [1.0, 0.0, 3.0, 0.0])
+        silu = executor.state.vector.read(6)[:4]
+        expected = np.array([1.0, -2.0, 3.0, -4.0])
+        np.testing.assert_allclose(silu, expected / (1 + np.exp(-expected)), rtol=1e-12)
+
+    def test_csr_write_from_scalar(self):
+        executor = CoreExecutor("cc")
+        executor.run(
+            [LoadImmediate(rd=4, value=77), CsrWrite(csr=CSR_ADDRESSES["tile_m"], rs=4)]
+        )
+        assert executor.state.csr.read("tile_m") == 77
+
+    def test_unknown_csr_address_raises(self):
+        executor = CoreExecutor("cc")
+        with pytest.raises(ExecutionError):
+            executor.run([CsrWrite(csr=0x7E, rs=0)])
+
+    def test_invalid_core_type_rejected(self):
+        with pytest.raises(ValueError):
+            CoreExecutor("gpu")

@@ -1,0 +1,97 @@
+"""Tests for instruction objects and their binary encodings."""
+
+import pytest
+
+from repro.isa.decoder import decode
+from repro.isa.instructions import (
+    INSTRUCTION_CLASSES,
+    CsrWrite,
+    LoadImmediate,
+    MMLoad,
+    MMMul,
+    MMStore,
+    MMZero,
+    MVMul,
+    MVPrune,
+    MVWeightLoad,
+    Sync,
+    VAdd,
+    VLoad,
+    VMax,
+    VMul,
+    VRelu,
+    VSilu,
+    VStore,
+)
+
+
+class TestTextRendering:
+    def test_mm_mul_text(self):
+        assert MMMul(md=2, ms1=0, ms2=1).text() == "mm.mul m2, m0, m1"
+
+    def test_mm_load_text(self):
+        assert MMLoad(md=0, rs=5).text() == "mm.ld m0, (x5)"
+
+    def test_mv_mul_text(self):
+        assert MVMul(vd=2, vs1=1).text() == "mv.mul v2, v1"
+
+    def test_csr_write_text(self):
+        assert CsrWrite(csr=0x10, rs=5).text() == "cfg.csrw 0x10, x5"
+
+    def test_li_text(self):
+        assert LoadImmediate(rd=3, value=42).text() == "li x3, 42"
+
+    def test_sync_text_has_no_operands(self):
+        assert Sync().text() == "sync"
+
+
+class TestEncoding:
+    @pytest.mark.parametrize(
+        "instruction",
+        [
+            MMLoad(md=1, rs=9),
+            MMStore(ms=2, rs=3),
+            MMMul(md=2, ms1=0, ms2=1),
+            MMZero(md=3),
+            MVWeightLoad(rs=7),
+            MVMul(vd=4, vs1=2),
+            MVPrune(vd=5, vs1=1),
+            VLoad(vd=6, rs=11),
+            VStore(vs=7, rs=12),
+            VAdd(vd=1, vs1=2, vs2=3),
+            VMul(vd=4, vs1=5, vs2=6),
+            VMax(vd=7, vs1=8, vs2=9),
+            VRelu(vd=10, vs1=11),
+            VSilu(vd=12, vs1=13),
+            CsrWrite(csr=0x21, rs=4),
+            Sync(),
+        ],
+    )
+    def test_encode_decode_roundtrip(self, instruction):
+        word = instruction.encode()
+        assert 0 <= word < (1 << 32)
+        assert decode(word) == instruction
+
+    def test_pseudo_instruction_has_no_encoding(self):
+        with pytest.raises(NotImplementedError):
+            LoadImmediate(rd=1, value=5).encode()
+
+    def test_decode_table_covers_all_encodable_instructions(self):
+        encodable = [cls for cls in INSTRUCTION_CLASSES if cls.FORMAT is not None]
+        funcs = {(cls.FORMAT, cls.FUNC) for cls in encodable}
+        assert len(funcs) == len(encodable), "duplicate (format, func) assignments"
+
+    def test_distinct_instructions_have_distinct_words(self):
+        words = {
+            MMMul(md=2, ms1=0, ms2=1).encode(),
+            MMZero(md=2).encode(),
+            MVMul(vd=2, vs1=1).encode(),
+            VAdd(vd=2, vs1=1, vs2=0).encode(),
+            CsrWrite(csr=2, rs=1).encode(),
+        }
+        assert len(words) == 5
+
+    def test_mm_load_large_scalar_register_roundtrips(self):
+        # Scalar register indices above 7 are split across ms1 and uimm.
+        instruction = MMLoad(md=3, rs=27)
+        assert decode(instruction.encode()) == instruction

@@ -1,0 +1,158 @@
+"""Tests for the extension kernel builders (repro.isa.kernels)."""
+
+import numpy as np
+import pytest
+
+from repro.isa.executor import CoreExecutor
+from repro.isa.kernels import (
+    build_ffn_kernel,
+    build_gemm_kernel,
+    build_gemv_kernel,
+    build_pruned_gemv_kernel,
+    pack_tiles,
+    simple_gemm_kernel,
+    unpack_tiles,
+)
+from repro.pruning.ffn import silu
+
+
+class TestTilePacking:
+    def test_pack_unpack_roundtrip(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(size=(32, 48))
+        packed = pack_tiles(matrix, 16, 16)
+        restored = unpack_tiles(packed, 32, 48, 16, 16)
+        np.testing.assert_array_equal(restored, matrix)
+
+    def test_pack_rejects_unaligned(self):
+        with pytest.raises(ValueError):
+            pack_tiles(np.ones((17, 16)), 16, 16)
+
+    def test_unpack_rejects_wrong_size(self):
+        with pytest.raises(ValueError):
+            unpack_tiles(np.ones(10), 4, 4, 2, 2)
+
+
+class TestSimpleGEMMKernel:
+    @pytest.mark.parametrize("m,k,n", [(16, 16, 16), (32, 16, 32), (16, 48, 32)])
+    def test_gemm_kernel_computes_correct_product(self, m, k, n):
+        tile = 16
+        rng = np.random.default_rng(42)
+        a = rng.normal(size=(m, k))
+        b = rng.normal(size=(k, n))
+        plan = simple_gemm_kernel(m, k, n, tile=tile)
+        executor = CoreExecutor("cc", memory_size=plan.memory_words + 16)
+        plan.place(executor, {"a": pack_tiles(a, tile, tile), "b": pack_tiles(b, tile, tile)})
+        result = executor.run(plan.program)
+        packed_c = plan.fetch(executor, "c")
+        c = unpack_tiles(packed_c.ravel(), m, n, tile, tile)
+        np.testing.assert_allclose(c, a @ b, rtol=1e-10)
+        assert result.cycles > 0
+
+    def test_cycles_scale_with_tile_count(self):
+        small = simple_gemm_kernel(16, 16, 16)
+        large = simple_gemm_kernel(16, 64, 64)
+        executor_small = CoreExecutor("cc", memory_size=small.memory_words + 1)
+        executor_large = CoreExecutor("cc", memory_size=large.memory_words + 1)
+        cycles_small = executor_small.run(small.program).cycles
+        cycles_large = executor_large.run(large.program).cycles
+        assert cycles_large > 10 * cycles_small
+
+    def test_rejects_unaligned_dimensions(self):
+        with pytest.raises(ValueError):
+            simple_gemm_kernel(10, 16, 16)
+
+    def test_place_rejects_wrong_shape(self):
+        plan = simple_gemm_kernel(16, 16, 16)
+        executor = CoreExecutor("cc", memory_size=plan.memory_words)
+        with pytest.raises(ValueError):
+            plan.place(executor, {"a": np.ones((8, 8))})
+
+    def test_place_rejects_unknown_operand(self):
+        plan = simple_gemm_kernel(16, 16, 16)
+        executor = CoreExecutor("cc", memory_size=plan.memory_words)
+        with pytest.raises(KeyError):
+            plan.place(executor, {"z": np.ones((16, 16))})
+
+
+class TestBuildGEMMKernel:
+    def test_layout_and_program_nonempty(self):
+        plan = build_gemm_kernel(32, 32, 32)
+        assert set(plan.layout) == {"a", "b", "c"}
+        assert plan.memory_words == 3 * 32 * 32
+        assert len(plan.program) > 0
+
+    def test_rejects_unaligned(self):
+        with pytest.raises(ValueError):
+            build_gemm_kernel(30, 32, 32)
+
+
+class TestGEMVKernel:
+    def test_gemv_kernel_computes_correct_product(self):
+        k, n = 48, 56
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=k)
+        w = rng.normal(size=(k, n))
+        plan = build_gemv_kernel(k, n)
+        executor = CoreExecutor("mc", memory_size=plan.memory_words + 16, vector_length=max(k, n))
+        plan.place(executor, {"x": x, "w": w})
+        executor.run(plan.program)
+        np.testing.assert_allclose(plan.fetch(executor, "y"), x @ w, rtol=1e-10)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            build_gemv_kernel(0, 4)
+
+
+class TestPrunedGEMVKernel:
+    def test_pruned_gemv_matches_reference_on_kept_channels(self):
+        k, n, keep = 64, 32, 8
+        rng = np.random.default_rng(3)
+        x = np.zeros(k)
+        outliers = rng.choice(k, size=keep, replace=False)
+        x[outliers] = rng.normal(size=keep) * 10.0
+        x += rng.normal(size=k) * 0.01
+        w = rng.normal(size=(k, n))
+
+        # The pruner keeps the top-`keep` channels; compact the weight rows
+        # accordingly, as the hardware address generator would.
+        kept_channels = np.sort(np.argsort(np.abs(x))[-keep:])
+        w_pruned = w[kept_channels, :]
+
+        plan = build_pruned_gemv_kernel(k, n, prune_k=keep)
+        executor = CoreExecutor("mc", memory_size=plan.memory_words + 16, vector_length=k)
+        plan.place(executor, {"x": x, "w_pruned": w_pruned})
+        executor.run(plan.program)
+        y = plan.fetch(executor, "y")
+        # Compaction sorts by channel index, matching the address generator.
+        reference = x[kept_channels] @ w_pruned
+        np.testing.assert_allclose(y, reference, rtol=1e-10)
+
+    def test_rejects_bad_prune_k(self):
+        with pytest.raises(ValueError):
+            build_pruned_gemv_kernel(16, 8, prune_k=0)
+        with pytest.raises(ValueError):
+            build_pruned_gemv_kernel(16, 8, prune_k=32)
+
+
+class TestFFNKernel:
+    def test_ffn_kernel_matches_equation_1(self):
+        d_model, d_ffn = 32, 48
+        rng = np.random.default_rng(9)
+        x = rng.normal(size=d_model) * 0.5
+        w_gate = rng.normal(size=(d_model, d_ffn)) * 0.2
+        w_up = rng.normal(size=(d_model, d_ffn)) * 0.2
+        w_down = rng.normal(size=(d_ffn, d_model)) * 0.2
+        plan = build_ffn_kernel(d_model, d_ffn)
+        executor = CoreExecutor(
+            "mc", memory_size=plan.memory_words + 16, vector_length=max(d_model, d_ffn)
+        )
+        plan.place(executor, {"x": x, "w_gate": w_gate, "w_up": w_up, "w_down": w_down})
+        executor.run(plan.program)
+        y = plan.fetch(executor, "y")
+        expected = ((x @ w_up) * silu(x @ w_gate)) @ w_down
+        np.testing.assert_allclose(y, expected, rtol=1e-9)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            build_ffn_kernel(0, 8)

@@ -1,0 +1,154 @@
+"""Tests for the cluster-level multi-core executor (repro.isa.multicore)."""
+
+import numpy as np
+import pytest
+
+from repro.isa.multicore import ClusterExecutor, _column_shards
+from repro.pruning.ffn import silu
+
+
+class TestColumnShards:
+    def test_covers_all_columns_contiguously(self):
+        shards = _column_shards(100, 4)
+        assert shards[0][0] == 0
+        assert shards[-1][1] == 100
+        for (_, stop), (start, _) in zip(shards, shards[1:]):
+            assert stop == start
+
+    def test_tile_alignment(self):
+        shards = _column_shards(96, 4, multiple_of=16)
+        for start, stop in shards[:-1]:
+            assert (stop - start) % 16 == 0
+
+    def test_fewer_shards_than_cores_when_small(self):
+        shards = _column_shards(3, 8)
+        assert len(shards) <= 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _column_shards(0, 4)
+        with pytest.raises(ValueError):
+            _column_shards(8, 0)
+
+
+class TestClusterConstruction:
+    def test_core_indices_written_to_csrs(self):
+        cluster = ClusterExecutor("mc", n_cores=4)
+        assert cluster.core_indices() == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ClusterExecutor("gpu")
+        with pytest.raises(ValueError):
+            ClusterExecutor("cc", n_cores=0)
+        with pytest.raises(ValueError):
+            ClusterExecutor("cc", sync_cycles=-1)
+
+    def test_type_mismatch_raises(self):
+        cc_cluster = ClusterExecutor("cc", n_cores=2)
+        mc_cluster = ClusterExecutor("mc", n_cores=2)
+        with pytest.raises(ValueError):
+            cc_cluster.gemv(np.ones(8), np.ones((8, 8)))
+        with pytest.raises(ValueError):
+            mc_cluster.gemm(np.ones((16, 16)), np.ones((16, 16)))
+
+
+class TestClusterGEMV:
+    def test_matches_numpy_and_uses_both_cores(self):
+        rng = np.random.default_rng(0)
+        k, n = 48, 80
+        x, w = rng.normal(size=k), rng.normal(size=(k, n))
+        cluster = ClusterExecutor("mc", n_cores=2)
+        result = cluster.gemv(x, w)
+        np.testing.assert_allclose(result.output, x @ w, rtol=1e-10)
+        assert len(result.shards) == 2
+        assert result.parallel_cycles > 0
+
+    def test_parallel_cycles_below_total_work(self):
+        rng = np.random.default_rng(1)
+        x, w = rng.normal(size=64), rng.normal(size=(64, 128))
+        cluster = ClusterExecutor("mc", n_cores=2)
+        result = cluster.gemv(x, w)
+        assert result.parallel_cycles < result.total_core_cycles
+
+    def test_more_cores_reduce_wall_clock(self):
+        rng = np.random.default_rng(2)
+        x, w = rng.normal(size=64), rng.normal(size=(64, 256))
+        one = ClusterExecutor("mc", n_cores=1).gemv(x, w)
+        two = ClusterExecutor("mc", n_cores=2).gemv(x, w)
+        np.testing.assert_allclose(one.output, two.output, rtol=1e-10)
+        assert two.parallel_cycles < one.parallel_cycles
+
+    def test_balanced_shards(self):
+        rng = np.random.default_rng(3)
+        x, w = rng.normal(size=32), rng.normal(size=(32, 128))
+        result = ClusterExecutor("mc", n_cores=2).gemv(x, w)
+        assert result.load_balance < 1.2
+
+    def test_shape_validation(self):
+        cluster = ClusterExecutor("mc", n_cores=2)
+        with pytest.raises(ValueError):
+            cluster.gemv(np.ones(8), np.ones((9, 4)))
+
+
+class TestClusterGEMM:
+    def test_matches_numpy_across_four_cores(self):
+        rng = np.random.default_rng(4)
+        m, k, n = 32, 32, 64
+        a, b = rng.normal(size=(m, k)), rng.normal(size=(k, n))
+        cluster = ClusterExecutor("cc", n_cores=4)
+        result = cluster.gemm(a, b)
+        np.testing.assert_allclose(result.output, a @ b, rtol=1e-10)
+        assert len(result.shards) == 4
+
+    def test_rejects_unaligned_shapes(self):
+        cluster = ClusterExecutor("cc", n_cores=2)
+        with pytest.raises(ValueError):
+            cluster.gemm(np.ones((30, 32)), np.ones((32, 32)))
+        with pytest.raises(ValueError):
+            cluster.gemm(np.ones((16, 16)), np.ones((8, 16)))
+
+    def test_sync_cost_added_to_wall_clock(self):
+        rng = np.random.default_rng(5)
+        a, b = rng.normal(size=(16, 16)), rng.normal(size=(16, 32))
+        with_sync = ClusterExecutor("cc", n_cores=2, sync_cycles=100.0).gemm(a, b)
+        without_sync = ClusterExecutor("cc", n_cores=2, sync_cycles=0.0).gemm(a, b)
+        assert with_sync.parallel_cycles == pytest.approx(
+            without_sync.parallel_cycles + 100.0
+        )
+
+
+class TestClusterFFN:
+    def test_sharded_ffn_matches_reference(self):
+        rng = np.random.default_rng(6)
+        d_model, d_ffn = 48, 96
+        x = rng.normal(size=d_model) * 0.5
+        w_gate = rng.normal(size=(d_model, d_ffn)) * 0.2
+        w_up = rng.normal(size=(d_model, d_ffn)) * 0.2
+        w_down = rng.normal(size=(d_ffn, d_model)) * 0.2
+        cluster = ClusterExecutor("mc", n_cores=2)
+        result = cluster.gated_ffn(x, w_gate, w_up, w_down)
+        reference = ((x @ w_up) * silu(x @ w_gate)) @ w_down
+        np.testing.assert_allclose(result.output, reference, rtol=1e-9)
+
+    def test_ffn_sharding_is_invariant_to_core_count(self):
+        rng = np.random.default_rng(7)
+        d_model, d_ffn = 32, 64
+        x = rng.normal(size=d_model) * 0.5
+        w_gate = rng.normal(size=(d_model, d_ffn)) * 0.2
+        w_up = rng.normal(size=(d_model, d_ffn)) * 0.2
+        w_down = rng.normal(size=(d_ffn, d_model)) * 0.2
+        one = ClusterExecutor("mc", n_cores=1).gated_ffn(x, w_gate, w_up, w_down)
+        four = ClusterExecutor("mc", n_cores=4).gated_ffn(x, w_gate, w_up, w_down)
+        np.testing.assert_allclose(one.output, four.output, rtol=1e-9)
+
+    def test_shape_validation(self):
+        cluster = ClusterExecutor("mc", n_cores=2)
+        with pytest.raises(ValueError):
+            cluster.gated_ffn(
+                np.ones(8), np.ones((8, 16)), np.ones((8, 15)), np.ones((16, 8))
+            )
+        with pytest.raises(ValueError):
+            cluster.gated_ffn(
+                np.ones(8), np.ones((8, 16)), np.ones((8, 16)), np.ones((15, 8))
+            )

@@ -1,0 +1,148 @@
+"""Tests for the architectural register files (repro.isa.registers)."""
+
+import numpy as np
+import pytest
+
+from repro.isa.registers import (
+    CSR_ADDRESSES,
+    CSRFile,
+    CoreState,
+    MatrixRegisterFile,
+    ScalarRegisterFile,
+    VectorRegisterFile,
+)
+
+
+class TestMatrixRegisterFile:
+    def test_write_read_roundtrip(self):
+        regs = MatrixRegisterFile(n_registers=4, rows=4, cols=4)
+        value = np.arange(16, dtype=float).reshape(4, 4)
+        regs.write(2, value)
+        np.testing.assert_array_equal(regs.read(2), value)
+
+    def test_read_returns_copy(self):
+        regs = MatrixRegisterFile(rows=4, cols=4)
+        regs.write(0, np.ones((4, 4)))
+        view = regs.read(0)
+        view[0, 0] = 99.0
+        assert regs.read(0)[0, 0] == 1.0
+
+    def test_write_rejects_wrong_shape(self):
+        regs = MatrixRegisterFile(rows=4, cols=4)
+        with pytest.raises(ValueError):
+            regs.write(0, np.ones((3, 3)))
+
+    def test_write_tile_zero_pads(self):
+        regs = MatrixRegisterFile(rows=4, cols=4)
+        regs.write_tile(1, np.ones((2, 3)))
+        stored = regs.read(1)
+        assert stored[:2, :3].sum() == 6.0
+        assert stored.sum() == 6.0
+
+    def test_write_tile_rejects_oversized(self):
+        regs = MatrixRegisterFile(rows=4, cols=4)
+        with pytest.raises(ValueError):
+            regs.write_tile(0, np.ones((5, 4)))
+
+    def test_row_access(self):
+        regs = MatrixRegisterFile(rows=4, cols=4)
+        regs.write(0, np.arange(16, dtype=float).reshape(4, 4))
+        np.testing.assert_array_equal(regs.row(0, 1), [4.0, 5.0, 6.0, 7.0])
+        with pytest.raises(IndexError):
+            regs.row(0, 5)
+
+    def test_index_bounds(self):
+        regs = MatrixRegisterFile(n_registers=4, rows=2, cols=2)
+        with pytest.raises(IndexError):
+            regs.read(4)
+
+    def test_reset(self):
+        regs = MatrixRegisterFile(rows=2, cols=2)
+        regs.write(0, np.ones((2, 2)))
+        regs.reset()
+        assert regs.read(0).sum() == 0.0
+
+
+class TestVectorRegisterFile:
+    def test_short_vectors_are_zero_padded(self):
+        regs = VectorRegisterFile(length=8)
+        regs.write(1, np.array([1.0, 2.0]))
+        stored = regs.read(1)
+        assert stored.shape == (8,)
+        assert stored[:2].tolist() == [1.0, 2.0]
+        assert stored[2:].sum() == 0.0
+
+    def test_rejects_oversized_vector(self):
+        regs = VectorRegisterFile(length=4)
+        with pytest.raises(ValueError):
+            regs.write(0, np.ones(5))
+
+    def test_index_bounds(self):
+        regs = VectorRegisterFile(n_registers=4, length=4)
+        with pytest.raises(IndexError):
+            regs.read(4)
+
+
+class TestScalarRegisterFile:
+    def test_x0_is_hardwired_to_zero(self):
+        regs = ScalarRegisterFile()
+        regs.write(0, 42)
+        assert regs.read(0) == 0
+
+    def test_write_read(self):
+        regs = ScalarRegisterFile()
+        regs.write(5, 1234)
+        assert regs.read(5) == 1234
+
+    def test_index_bounds(self):
+        regs = ScalarRegisterFile()
+        with pytest.raises(IndexError):
+            regs.read(32)
+        with pytest.raises(IndexError):
+            regs.write(-1, 0)
+
+
+class TestCSRFile:
+    def test_read_write_by_name_and_address(self):
+        csr = CSRFile()
+        csr.write("tile_m", 128)
+        assert csr.read("tile_m") == 128
+        assert csr.read_address(CSR_ADDRESSES["tile_m"]) == 128
+        csr.write_address(CSR_ADDRESSES["tile_n"], 64)
+        assert csr.read("tile_n") == 64
+
+    def test_identification_csrs_are_read_only_for_software(self):
+        csr = CSRFile()
+        with pytest.raises(PermissionError):
+            csr.write("core_index", 3)
+        csr.write("core_index", 3, hardware=True)
+        assert csr.read("core_index") == 3
+
+    def test_unknown_csr_raises(self):
+        csr = CSRFile()
+        with pytest.raises(KeyError):
+            csr.read("nonexistent")
+        with pytest.raises(KeyError):
+            csr.read_address(0x7F)
+
+    def test_initial_values(self):
+        csr = CSRFile({"prune_k": 16})
+        assert csr.read("prune_k") == 16
+
+    def test_snapshot_is_a_copy(self):
+        csr = CSRFile()
+        snapshot = csr.snapshot()
+        snapshot["tile_m"] = 999
+        assert csr.read("tile_m") == 0
+
+
+class TestCoreState:
+    def test_reset_preserves_identity_csrs(self):
+        state = CoreState()
+        state.csr.write("core_index", 5, hardware=True)
+        state.csr.write("tile_m", 64)
+        state.scalar.write(3, 7)
+        state.reset()
+        assert state.csr.read("core_index") == 5
+        assert state.csr.read("tile_m") == 0
+        assert state.scalar.read(3) == 0

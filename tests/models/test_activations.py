@@ -1,0 +1,131 @@
+"""Tests for the synthetic activation traces (repro.models.activations)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.activations import (
+    ActivationTraceConfig,
+    ActivationTraceGenerator,
+    karmavlm_trace,
+    sphinx_tiny_trace,
+    synthetic_ffn_weights,
+)
+from repro.pruning.metrics import kurtosis
+
+
+class TestActivationTraceConfig:
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ValueError):
+            ActivationTraceConfig(outlier_fraction_first=0.1, outlier_fraction_last=0.2)
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            ActivationTraceConfig(n_layers=0)
+
+    def test_rejects_bad_scales(self):
+        with pytest.raises(ValueError):
+            ActivationTraceConfig(base_scale=0.0)
+
+
+class TestActivationTraceGenerator:
+    def test_vector_shape_and_determinism(self, small_trace):
+        first = small_trace.layer_vector(2, token_index=0)
+        second = small_trace.layer_vector(2, token_index=0)
+        assert first.shape == (small_trace.config.d_model,)
+        np.testing.assert_array_equal(first, second)
+
+    def test_different_tokens_differ(self, small_trace):
+        a = small_trace.layer_vector(2, token_index=0)
+        b = small_trace.layer_vector(2, token_index=1)
+        assert not np.allclose(a, b)
+
+    def test_layer_index_bounds(self, small_trace):
+        with pytest.raises(IndexError):
+            small_trace.layer_vector(small_trace.config.n_layers)
+        with pytest.raises(IndexError):
+            small_trace.outlier_fraction(-1)
+
+    def test_outlier_fraction_decreases_with_depth(self, small_trace):
+        first = small_trace.outlier_fraction(0)
+        last = small_trace.outlier_fraction(small_trace.config.n_layers - 1)
+        assert last < first
+
+    def test_outlier_scale_increases_with_depth(self, small_trace):
+        first = small_trace.outlier_scale(0)
+        last = small_trace.outlier_scale(small_trace.config.n_layers - 1)
+        assert last > first
+
+    def test_kurtosis_grows_with_depth(self):
+        """The trace must reproduce the Fig. 3 trend used by Fig. 12(a)."""
+        trace = sphinx_tiny_trace()
+        shallow = np.mean(
+            [kurtosis(np.abs(trace.layer_vector(layer))) for layer in range(1, 4)]
+        )
+        deep_layers = range(trace.config.n_layers - 3, trace.config.n_layers)
+        deep = np.mean(
+            [kurtosis(np.abs(trace.layer_vector(layer))) for layer in deep_layers]
+        )
+        assert deep > shallow
+
+    def test_first_layer_outliers_unstable_across_tokens(self):
+        trace = sphinx_tiny_trace()
+        threshold = lambda v: np.abs(v) > np.abs(v).max() / 16.0
+        sets = [frozenset(np.flatnonzero(threshold(trace.layer_vector(0, t)))) for t in range(3)]
+        assert len(set(sets)) > 1
+
+    def test_deep_layer_outliers_stable_across_tokens(self):
+        trace = sphinx_tiny_trace()
+        layer = trace.config.n_layers - 1
+        stable = set(trace.stable_outlier_channels(layer).tolist())
+        for token in range(3):
+            vector = trace.layer_vector(layer, token)
+            top = set(np.argsort(np.abs(vector))[-len(stable):].tolist())
+            overlap = len(stable & top) / len(stable)
+            assert overlap > 0.8
+
+    def test_token_trace_length(self, small_trace):
+        trace = small_trace.token_trace(0)
+        assert len(trace) == small_trace.config.n_layers
+
+    def test_iter_tokens(self, small_trace):
+        tokens = list(small_trace.iter_tokens(3))
+        assert len(tokens) == 3
+        with pytest.raises(ValueError):
+            list(small_trace.iter_tokens(0))
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_any_seed_produces_finite_vectors(self, seed):
+        trace = ActivationTraceGenerator(
+            ActivationTraceConfig(n_layers=4, d_model=64, seed=seed)
+        )
+        for layer in range(4):
+            vector = trace.layer_vector(layer)
+            assert np.all(np.isfinite(vector))
+            assert np.abs(vector).max() > 0
+
+
+class TestModelSpecificTraces:
+    def test_sphinx_tiny_matches_tinyllama_shape(self):
+        trace = sphinx_tiny_trace()
+        assert trace.config.n_layers == 22
+        assert trace.config.d_model == 2048
+
+    def test_karmavlm_matches_qwen_shape(self):
+        trace = karmavlm_trace()
+        assert trace.config.n_layers == 24
+        assert trace.config.d_model == 1024
+
+
+class TestSyntheticWeights:
+    def test_shape_and_determinism(self):
+        a = synthetic_ffn_weights(32, 64, seed=3)
+        b = synthetic_ffn_weights(32, 64, seed=3)
+        assert a.shape == (64, 32)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            synthetic_ffn_weights(0, 4)

@@ -1,0 +1,82 @@
+"""Tests for the operator-graph utilities (repro.models.graph)."""
+
+import pytest
+
+from repro.models.graph import (
+    build_phase_graph,
+    partition_balance,
+    partition_ops_round_robin,
+)
+from repro.models.llm import LLMConfig
+from repro.models.ops import Phase, matmul_op
+
+
+@pytest.fixture
+def tiny_llm_phase():
+    llm = LLMConfig(
+        name="graph-llm", n_layers=3, d_model=64, n_heads=4, d_ffn=128, vocab_size=500
+    )
+    return llm.decode_step_phase(context_tokens=16)
+
+
+class TestPhaseGraph:
+    def test_groups_ops_by_layer(self, tiny_llm_phase):
+        graph = build_phase_graph(tiny_llm_phase)
+        assert graph.n_layers == 3
+        assert graph.phase_name == "llm_decode"
+
+    def test_layerless_ops_get_their_own_node(self, tiny_llm_phase):
+        graph = build_phase_graph(tiny_llm_phase)
+        layerless = [node for node in graph.nodes if node.layer_index is None]
+        assert layerless  # the LM head has no layer index
+        assert all(node.ops for node in graph.nodes)
+
+    def test_node_lookup(self, tiny_llm_phase):
+        graph = build_phase_graph(tiny_llm_phase)
+        node = graph.node_for_layer(1)
+        assert node.layer_index == 1
+        with pytest.raises(KeyError):
+            graph.node_for_layer(99)
+
+    def test_critical_path_equals_total_flops(self, tiny_llm_phase):
+        graph = build_phase_graph(tiny_llm_phase)
+        assert graph.critical_path_flops() == sum(op.flops for op in tiny_llm_phase.ops)
+
+    def test_prunable_weight_bytes_positive_for_decode(self, tiny_llm_phase):
+        graph = build_phase_graph(tiny_llm_phase)
+        assert graph.prunable_weight_bytes() > 0
+
+
+class TestPartitioning:
+    def _ops(self, count=10):
+        return [matmul_op(f"op{i}", 2, 16, 16 * (i + 1)) for i in range(count)]
+
+    def test_round_robin_covers_all_ops(self):
+        ops = self._ops(10)
+        partitions = partition_ops_round_robin(ops, 3)
+        assert sum(len(part) for part in partitions) == 10
+        names = {op.name for part in partitions for op in part}
+        assert names == {op.name for op in ops}
+
+    def test_round_robin_rejects_bad_partitions(self):
+        with pytest.raises(ValueError):
+            partition_ops_round_robin(self._ops(), 0)
+
+    def test_balance_of_identical_ops_is_one(self):
+        ops = [matmul_op(f"op{i}", 2, 16, 16) for i in range(8)]
+        partitions = partition_ops_round_robin(ops, 4)
+        assert partition_balance(partitions) == pytest.approx(1.0)
+
+    def test_balance_never_below_one(self):
+        partitions = partition_ops_round_robin(self._ops(7), 3)
+        assert partition_balance(partitions) >= 1.0
+
+    def test_lpt_ordering_beats_naive_split_in_balance(self):
+        ops = self._ops(9)
+        lpt = partition_ops_round_robin(ops, 3)
+        naive = [ops[0:3], ops[3:6], ops[6:9]]
+        assert partition_balance(lpt) <= partition_balance(naive)
+
+    def test_balance_rejects_empty(self):
+        with pytest.raises(ValueError):
+            partition_balance([])

@@ -1,0 +1,120 @@
+"""Tests for the MLLM compositions (repro.models.mllm)."""
+
+import pytest
+
+from repro.models.mllm import InferenceRequest, MLLMConfig, available_mllms, get_mllm
+from repro.models.llm import get_llm
+from repro.models.projector import mlp_projector
+from repro.models.vision import get_vision_encoder
+
+
+class TestInferenceRequest:
+    def test_rejects_zero_output_tokens(self):
+        with pytest.raises(ValueError):
+            InferenceRequest(images=1, prompt_text_tokens=8, output_tokens=0)
+
+    def test_rejects_empty_request(self):
+        with pytest.raises(ValueError):
+            InferenceRequest(images=0, prompt_text_tokens=0, output_tokens=4)
+
+    def test_text_only_request_is_valid(self):
+        request = InferenceRequest(images=0, prompt_text_tokens=8, output_tokens=4)
+        assert request.images == 0
+
+
+class TestCatalogue:
+    def test_contains_paper_workloads(self):
+        names = available_mllms()
+        assert "sphinx-tiny" in names
+        assert "karmavlm" in names
+
+    def test_unknown_mllm_raises(self):
+        with pytest.raises(KeyError):
+            get_mllm("made-up-vlm")
+
+    def test_sphinx_tiny_composition(self, sphinx_tiny):
+        assert len(sphinx_tiny.vision_encoders) == 3
+        assert sphinx_tiny.llm.name == "tinyllama-1.1b"
+
+    def test_karmavlm_composition(self, karmavlm):
+        assert len(karmavlm.vision_encoders) == 2
+        assert karmavlm.llm.name == "qwen1.5-0.5b"
+
+    def test_total_parameters_in_expected_range(self, sphinx_tiny):
+        # TinyLlama 1.1B + ~1B of encoders/projector.
+        assert 1.5e9 <= sphinx_tiny.parameter_count <= 3.0e9
+
+    def test_rejects_empty_encoder_list(self):
+        with pytest.raises(ValueError):
+            MLLMConfig(
+                name="bad",
+                vision_encoders=(),
+                projector=mlp_projector("p", 64, 64),
+                llm=get_llm("tinyllama-1.1b"),
+            )
+
+
+class TestPromptComposition:
+    def test_vision_tokens_zero_without_images(self, sphinx_tiny):
+        assert sphinx_tiny.vision_tokens(images=0) == 0
+
+    def test_prompt_tokens_add_text_and_vision(self, sphinx_tiny):
+        request = InferenceRequest(images=1, prompt_text_tokens=32, output_tokens=4)
+        assert sphinx_tiny.prompt_tokens(request) == sphinx_tiny.vision_tokens(1) + 32
+
+    def test_paper_prompt_length_is_about_300_tokens(self, karmavlm):
+        """The paper profiles inputs of ~300 tokens, mostly vision tokens."""
+        request = InferenceRequest(images=1, prompt_text_tokens=32, output_tokens=4)
+        prompt = karmavlm.prompt_tokens(request)
+        assert 200 <= prompt <= 900
+        assert karmavlm.vision_tokens(1) > request.prompt_text_tokens
+
+
+class TestWorkloadLowering:
+    def test_four_phases_with_image(self, sphinx_tiny, short_request):
+        workload = sphinx_tiny.build_workload(short_request)
+        assert workload.phase_names == (
+            "vision_encoder",
+            "projector",
+            "llm_prefill",
+            "llm_decode",
+        )
+
+    def test_text_only_request_skips_vision_phases(self, sphinx_tiny):
+        request = InferenceRequest(images=0, prompt_text_tokens=16, output_tokens=4)
+        workload = sphinx_tiny.build_workload(request)
+        assert workload.phase_names == ("llm_prefill", "llm_decode")
+
+    def test_decode_repeat_matches_output_tokens(self, sphinx_tiny, short_request):
+        workload = sphinx_tiny.build_workload(short_request)
+        assert workload.phase("llm_decode").repeat == short_request.output_tokens
+
+    def test_decode_weight_traffic_dominated_by_ffn(self, sphinx_tiny, short_request):
+        """Fig. 2(c): FFN weights dominate the decode-phase DRAM accesses."""
+        workload = sphinx_tiny.build_workload(short_request)
+        decode = workload.phase("llm_decode")
+        ffn_bytes = sum(op.weight_bytes for op in decode.ops if op.tag == "ffn")
+        total_weight = sum(op.weight_bytes for op in decode.ops)
+        assert ffn_bytes > 0.5 * total_weight
+
+    def test_kv_cache_is_small_fraction_for_short_context(self, sphinx_tiny, short_request):
+        """Fig. 2(c): the KV cache is a small share for edge-length contexts."""
+        workload = sphinx_tiny.build_workload(short_request)
+        decode = workload.phase("llm_decode")
+        kv_bytes = sum(op.total_bytes for op in decode.ops if op.tag == "kv_cache")
+        assert kv_bytes < 0.1 * decode.total_bytes
+
+    def test_decode_step_phase_exposed(self, sphinx_tiny):
+        step = sphinx_tiny.decode_step(context_tokens=128)
+        assert step.name == "llm_decode"
+        assert step.repeat == 1
+
+    def test_larger_output_increases_only_decode(self, sphinx_tiny):
+        small = sphinx_tiny.build_workload(
+            InferenceRequest(images=1, prompt_text_tokens=16, output_tokens=4)
+        )
+        large = sphinx_tiny.build_workload(
+            InferenceRequest(images=1, prompt_text_tokens=16, output_tokens=16)
+        )
+        assert small.phase("llm_prefill").flops == large.phase("llm_prefill").flops
+        assert large.phase("llm_decode").flops > small.phase("llm_decode").flops

@@ -1,0 +1,214 @@
+"""Tests for the operator IR (repro.models.ops)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.ops import (
+    Op,
+    OpKind,
+    Phase,
+    Workload,
+    elementwise_op,
+    matmul_op,
+    merge_phases,
+)
+
+
+class TestOp:
+    def test_rejects_non_positive_dimensions(self):
+        with pytest.raises(ValueError):
+            Op(name="bad", kind=OpKind.GEMM, m=0, k=1, n=1)
+
+    def test_rejects_negative_traffic(self):
+        with pytest.raises(ValueError):
+            Op(name="bad", kind=OpKind.GEMM, m=1, k=1, n=1, weight_bytes=-1)
+
+    def test_total_bytes_sums_all_traffic(self):
+        op = Op(
+            name="op",
+            kind=OpKind.GEMM,
+            m=2,
+            k=2,
+            n=2,
+            weight_bytes=10,
+            activation_bytes=20,
+            output_bytes=5,
+            flops=16,
+        )
+        assert op.total_bytes == 35
+
+    def test_macs_is_half_of_flops(self):
+        op = matmul_op("m", 4, 8, 16)
+        assert op.macs == op.flops // 2
+        assert op.flops == 2 * 4 * 8 * 16
+
+    def test_arithmetic_intensity(self):
+        op = Op(
+            name="op",
+            kind=OpKind.GEMM,
+            m=1,
+            k=1,
+            n=1,
+            weight_bytes=10,
+            activation_bytes=0,
+            output_bytes=0,
+            flops=40,
+        )
+        assert op.arithmetic_intensity == pytest.approx(4.0)
+
+    def test_arithmetic_intensity_no_traffic(self):
+        op = Op(name="op", kind=OpKind.OTHER, flops=10)
+        assert op.arithmetic_intensity == math.inf
+
+    def test_kind_classification_sets(self):
+        assert matmul_op("g", 4, 4, 4).is_compute_bound_kind
+        assert matmul_op("v", 1, 4, 4).is_memory_bound_kind
+
+    def test_scaled_traffic_reduces_weights_and_flops(self):
+        op = matmul_op("v", 1, 100, 100, prunable=True)
+        scaled = op.scaled_traffic(0.5)
+        assert scaled.weight_bytes == pytest.approx(op.weight_bytes * 0.5, abs=1)
+        assert scaled.flops == pytest.approx(op.flops * 0.5, abs=1)
+        assert scaled.activation_bytes == op.activation_bytes
+
+    def test_scaled_traffic_rejects_bad_fraction(self):
+        op = matmul_op("v", 1, 10, 10)
+        with pytest.raises(ValueError):
+            op.scaled_traffic(1.5)
+
+
+class TestMatmulOp:
+    def test_gemv_when_single_row(self):
+        assert matmul_op("v", 1, 64, 64).kind is OpKind.GEMV
+
+    def test_gemm_when_multiple_rows(self):
+        assert matmul_op("g", 2, 64, 64).kind is OpKind.GEMM
+
+    def test_weight_bytes_use_weight_precision(self):
+        op = matmul_op("g", 4, 8, 16, weight_bytes_per_element=2.0)
+        assert op.weight_bytes == 8 * 16 * 2
+
+    def test_weights_resident_moves_traffic_to_activations(self):
+        op = matmul_op("a", 4, 8, 16, weights_resident=True)
+        assert op.weight_bytes == 0
+        assert op.activation_bytes > 0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            matmul_op("bad", 0, 1, 1)
+
+    @given(
+        m=st.integers(min_value=1, max_value=64),
+        k=st.integers(min_value=1, max_value=64),
+        n=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_flops_always_twice_macs(self, m, k, n):
+        op = matmul_op("p", m, k, n)
+        assert op.flops == 2 * m * k * n
+        assert op.total_bytes > 0
+
+
+class TestElementwiseOp:
+    def test_traffic_scales_with_reads_and_writes(self):
+        op = elementwise_op("e", 100, reads=2, writes=1, bytes_per_element=2.0)
+        assert op.activation_bytes == 400
+        assert op.output_bytes == 200
+
+    def test_rejects_non_positive_elements(self):
+        with pytest.raises(ValueError):
+            elementwise_op("e", 0)
+
+    def test_kind_override(self):
+        op = elementwise_op("s", 10, kind=OpKind.SOFTMAX)
+        assert op.kind is OpKind.SOFTMAX
+
+
+class TestPhase:
+    def _phase(self, repeat=1):
+        phase = Phase(name="p", repeat=repeat)
+        phase.add(matmul_op("a", 2, 4, 8))
+        phase.add(matmul_op("b", 1, 4, 8, tag="ffn"))
+        phase.add(elementwise_op("c", 16, tag="norm"))
+        return phase
+
+    def test_rejects_bad_repeat(self):
+        with pytest.raises(ValueError):
+            Phase(name="p", repeat=0)
+
+    def test_len_and_iter(self):
+        phase = self._phase()
+        assert len(phase) == 3
+        assert [op.name for op in phase] == ["a", "b", "c"]
+
+    def test_totals_scale_with_repeat(self):
+        single = self._phase(repeat=1)
+        repeated = self._phase(repeat=3)
+        assert repeated.flops == 3 * single.flops
+        assert repeated.total_bytes == 3 * single.total_bytes
+
+    def test_ops_by_kind_and_tag(self):
+        phase = self._phase()
+        assert len(phase.ops_by_kind(OpKind.GEMM)) == 1
+        assert len(phase.ops_by_kind(OpKind.GEMV)) == 1
+        assert [op.name for op in phase.ops_by_tag("ffn")] == ["b"]
+
+    def test_traffic_by_tag_includes_repeat(self):
+        phase = self._phase(repeat=2)
+        breakdown = phase.traffic_by_tag()
+        assert set(breakdown) == {"", "ffn", "norm"}
+        assert breakdown["ffn"] == 2 * phase.ops[1].total_bytes
+
+    def test_scaled_returns_new_phase_with_repeat(self):
+        phase = self._phase()
+        scaled = phase.scaled(repeat=5)
+        assert scaled.repeat == 5
+        assert scaled.ops == phase.ops
+        assert phase.repeat == 1
+
+    def test_arithmetic_intensity_positive(self):
+        assert self._phase().arithmetic_intensity > 0
+
+
+class TestWorkload:
+    def test_phase_lookup(self):
+        workload = Workload(name="w")
+        phase = Phase(name="decode")
+        phase.add(matmul_op("a", 1, 4, 4))
+        workload.add(phase)
+        assert workload.phase("decode") is phase
+        assert workload.has_phase("decode")
+        assert not workload.has_phase("prefill")
+        with pytest.raises(KeyError):
+            workload.phase("missing")
+
+    def test_totals_sum_over_phases(self):
+        workload = Workload(name="w")
+        for name in ("a", "b"):
+            phase = Phase(name=name)
+            phase.add(matmul_op(name, 2, 4, 4))
+            workload.add(phase)
+        assert workload.flops == 2 * 2 * 2 * 4 * 4
+        assert len(workload) == 2
+        assert workload.phase_names == ("a", "b")
+
+
+class TestMergePhases:
+    def test_merge_expands_repeats(self):
+        phase = Phase(name="step", repeat=3)
+        phase.add(matmul_op("a", 1, 4, 4))
+        merged = merge_phases("merged", [phase])
+        assert len(merged) == 3
+        assert merged.repeat == 1
+        assert merged.flops == phase.flops
+
+    def test_merge_preserves_order(self):
+        first = Phase(name="one")
+        first.add(matmul_op("a", 1, 4, 4))
+        second = Phase(name="two")
+        second.add(matmul_op("b", 1, 4, 4))
+        merged = merge_phases("merged", [first, second])
+        assert [op.name for op in merged] == ["a", "b"]

@@ -1,0 +1,113 @@
+"""Tests for the workload profiler (repro.models.profiler)."""
+
+import pytest
+
+from repro.models.mllm import InferenceRequest
+from repro.models.profiler import (
+    latency_breakdown,
+    latency_sweep,
+    memory_access_breakdown,
+    phase_statistics,
+    weight_traffic_breakdown,
+    workload_statistics,
+)
+
+
+@pytest.fixture(scope="module")
+def sphinx_workload(sphinx_tiny):
+    request = InferenceRequest(images=1, prompt_text_tokens=16, output_tokens=8)
+    return sphinx_tiny.build_workload(request)
+
+
+class TestPhaseStatistics:
+    def test_phase_statistics_totals(self, sphinx_workload):
+        decode = sphinx_workload.phase("llm_decode")
+        stats = phase_statistics(decode)
+        assert stats.flops == decode.flops
+        assert stats.total_bytes == decode.total_bytes
+        assert stats.op_count == decode.repeat * len(decode)
+
+    def test_decode_is_gemv_dominated(self, sphinx_workload):
+        stats = phase_statistics(sphinx_workload.phase("llm_decode"))
+        assert stats.gemv_flops > 0.9 * (stats.gemv_flops + stats.gemm_flops)
+
+    def test_prefill_is_gemm_dominated(self, sphinx_workload):
+        stats = phase_statistics(sphinx_workload.phase("llm_prefill"))
+        assert stats.gemm_flops > 0.9 * (stats.gemv_flops + stats.gemm_flops)
+
+    def test_decode_has_low_arithmetic_intensity(self, sphinx_workload):
+        """Fig. 2(b): decode FLOPs/byte is orders of magnitude below prefill."""
+        decode = phase_statistics(sphinx_workload.phase("llm_decode"))
+        prefill = phase_statistics(sphinx_workload.phase("llm_prefill"))
+        assert decode.arithmetic_intensity < prefill.arithmetic_intensity / 20
+
+
+class TestWorkloadStatistics:
+    def test_contains_all_phases(self, sphinx_workload):
+        stats = workload_statistics(sphinx_workload)
+        assert set(stats.phases) == set(sphinx_workload.phase_names)
+        assert stats.total_flops == sum(p.flops for p in stats.phases.values())
+
+    def test_unknown_phase_raises(self, sphinx_workload):
+        stats = workload_statistics(sphinx_workload)
+        with pytest.raises(KeyError):
+            stats.phase("nonexistent")
+
+
+class TestMemoryBreakdown:
+    def test_ffn_dominates_traffic(self, sphinx_workload):
+        breakdown = memory_access_breakdown(sphinx_workload)
+        total = sum(breakdown.values())
+        assert breakdown["ffn"] > 0.4 * total
+
+    def test_weight_breakdown_subset_of_total(self, sphinx_workload):
+        weights = weight_traffic_breakdown(sphinx_workload)
+        total = memory_access_breakdown(sphinx_workload)
+        for tag, value in weights.items():
+            assert value <= total[tag]
+
+    def test_kv_cache_present_but_small(self, sphinx_workload):
+        breakdown = memory_access_breakdown(sphinx_workload)
+        total = sum(breakdown.values())
+        assert 0 < breakdown["kv_cache"] < 0.1 * total
+
+
+class TestLatencyBreakdown:
+    def test_breakdown_sums_phases(self, sphinx_tiny, gpu_baseline):
+        request = InferenceRequest(images=1, prompt_text_tokens=16, output_tokens=8)
+        breakdown = latency_breakdown(sphinx_tiny, request, gpu_baseline)
+        assert breakdown.total_latency_s == pytest.approx(
+            sum(breakdown.phase_latency_s.values())
+        )
+        assert set(breakdown.phase_latency_s) == {
+            "vision_encoder",
+            "projector",
+            "llm_prefill",
+            "llm_decode",
+        }
+
+    def test_fractions_sum_to_one(self, sphinx_tiny, gpu_baseline):
+        request = InferenceRequest(images=1, prompt_text_tokens=16, output_tokens=8)
+        breakdown = latency_breakdown(sphinx_tiny, request, gpu_baseline)
+        total = sum(
+            breakdown.fraction(name) for name in breakdown.phase_latency_s
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_sweep_decode_share_grows(self, sphinx_tiny, gpu_baseline):
+        """Fig. 2(a): more output tokens means a larger decode share."""
+        sweeps = latency_sweep(sphinx_tiny, gpu_baseline, [4, 32, 128])
+        shares = [s.fraction("llm_decode") for s in sweeps]
+        assert shares[0] < shares[1] < shares[2]
+
+    def test_sweep_rejects_empty_lengths(self, sphinx_tiny, gpu_baseline):
+        with pytest.raises(ValueError):
+            latency_sweep(sphinx_tiny, gpu_baseline, [])
+
+    def test_works_with_edgemm_simulator(self, sphinx_tiny, simulator):
+        request = InferenceRequest(images=1, prompt_text_tokens=16, output_tokens=4)
+        breakdown = latency_breakdown(
+            sphinx_tiny, request, simulator, hardware_name="edgemm"
+        )
+        assert breakdown.hardware_name == "edgemm"
+        assert breakdown.total_latency_s > 0

@@ -1,0 +1,84 @@
+"""Tests for the projector models (repro.models.projector)."""
+
+import pytest
+
+from repro.models.projector import (
+    LDPProjectorConfig,
+    MLPProjectorConfig,
+    QFormerProjectorConfig,
+    available_projector_kinds,
+    mlp_projector,
+)
+
+
+class TestMLPProjector:
+    def test_two_layer_parameter_count(self):
+        projector = MLPProjectorConfig(name="p", input_dim=64, output_dim=128, hidden_dim=128)
+        assert projector.parameter_count == 64 * 128 + 128 * 128
+
+    def test_single_layer_parameter_count(self):
+        projector = MLPProjectorConfig(name="p", input_dim=64, output_dim=128)
+        assert projector.parameter_count == 64 * 128
+
+    def test_preserves_token_count(self):
+        projector = mlp_projector("p", 64, 128)
+        assert projector.output_tokens(300) == 300
+
+    def test_phase_has_projector_tag(self):
+        projector = mlp_projector("p", 64, 128)
+        phase = projector.project_phase(tokens=10)
+        assert phase.name == "projector"
+        assert all(op.tag == "projector" for op in phase.ops)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            MLPProjectorConfig(name="p", input_dim=0, output_dim=10)
+
+    def test_rejects_zero_tokens(self):
+        with pytest.raises(ValueError):
+            mlp_projector("p", 8, 8).project_phase(0)
+
+
+class TestLDPProjector:
+    def test_downsamples_tokens(self):
+        projector = LDPProjectorConfig(name="ldp", input_dim=64, output_dim=128, downsample=2)
+        assert projector.output_tokens(400) == 100
+
+    def test_never_returns_zero_tokens(self):
+        projector = LDPProjectorConfig(name="ldp", input_dim=64, output_dim=128, downsample=4)
+        assert projector.output_tokens(3) == 1
+
+    def test_rejects_bad_downsample(self):
+        with pytest.raises(ValueError):
+            LDPProjectorConfig(name="ldp", input_dim=64, output_dim=128, downsample=0)
+
+    def test_phase_work_positive(self):
+        projector = LDPProjectorConfig(name="ldp", input_dim=64, output_dim=128)
+        assert projector.project_phase(64).flops > 0
+
+
+class TestQFormerProjector:
+    def test_outputs_fixed_query_count(self):
+        projector = QFormerProjectorConfig(name="qf", input_dim=64, output_dim=128, n_queries=32)
+        assert projector.output_tokens(1000) == 32
+
+    def test_parameter_count_grows_with_layers(self):
+        small = QFormerProjectorConfig(name="qf", input_dim=64, output_dim=128, n_layers=2)
+        large = QFormerProjectorConfig(name="qf", input_dim=64, output_dim=128, n_layers=6)
+        assert large.parameter_count > small.parameter_count
+
+    def test_phase_includes_projections(self):
+        projector = QFormerProjectorConfig(
+            name="qf", input_dim=64, output_dim=128, n_layers=1, d_model=64, n_heads=4
+        )
+        names = [op.name for op in projector.project_phase(16).ops]
+        assert any(name.endswith(".in_proj") for name in names)
+        assert any(name.endswith(".out_proj") for name in names)
+
+    def test_rejects_bad_layers(self):
+        with pytest.raises(ValueError):
+            QFormerProjectorConfig(name="qf", input_dim=64, output_dim=128, n_layers=0)
+
+
+def test_available_projector_kinds():
+    assert set(available_projector_kinds()) == {"mlp", "ldp", "qformer"}

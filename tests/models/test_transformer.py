@@ -1,0 +1,148 @@
+"""Tests for the Transformer layer builders (repro.models.transformer)."""
+
+import pytest
+
+from repro.models.ops import OpKind
+from repro.models.transformer import (
+    TransformerLayerConfig,
+    decode_layer_ops,
+    encoder_layer_ops,
+    prefill_layer_ops,
+)
+
+
+@pytest.fixture
+def layer_config() -> TransformerLayerConfig:
+    return TransformerLayerConfig(d_model=256, n_heads=8, d_ffn=512, n_kv_heads=4)
+
+
+class TestTransformerLayerConfig:
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ValueError):
+            TransformerLayerConfig(d_model=250, n_heads=8, d_ffn=512)
+
+    def test_rejects_bad_kv_heads(self):
+        with pytest.raises(ValueError):
+            TransformerLayerConfig(d_model=256, n_heads=8, d_ffn=512, n_kv_heads=3)
+
+    def test_kv_dim_and_head_dim(self, layer_config):
+        assert layer_config.head_dim == 32
+        assert layer_config.kv_dim == 128
+
+    def test_parameter_count_gated(self, layer_config):
+        attn = 256 * 256 + 2 * 256 * 128 + 256 * 256
+        ffn = 3 * 256 * 512
+        assert layer_config.parameter_count == attn + ffn
+
+    def test_parameter_count_classic_mlp(self):
+        config = TransformerLayerConfig(d_model=256, n_heads=8, d_ffn=512, gated_ffn=False)
+        attn = 4 * 256 * 256  # Q, K, V, O with full-width KV heads
+        ffn = 2 * 256 * 512
+        assert config.parameter_count == attn + ffn
+
+    def test_parameter_bytes_follow_precision(self, layer_config):
+        wide = TransformerLayerConfig(
+            d_model=256, n_heads=8, d_ffn=512, n_kv_heads=4, weight_bytes=2.0
+        )
+        assert wide.parameter_bytes == 2 * layer_config.parameter_bytes
+
+
+class TestEncoderLayer:
+    def test_all_matmuls_are_gemm(self, layer_config):
+        ops = encoder_layer_ops(layer_config, tokens=16, layer_index=0)
+        matmuls = [op for op in ops if op.kind in (OpKind.GEMM, OpKind.GEMV)]
+        assert matmuls
+        assert all(op.kind is OpKind.GEMM for op in matmuls)
+
+    def test_rejects_non_positive_tokens(self, layer_config):
+        with pytest.raises(ValueError):
+            encoder_layer_ops(layer_config, tokens=0)
+
+    def test_layer_index_is_propagated(self, layer_config):
+        ops = encoder_layer_ops(layer_config, tokens=4, layer_index=7)
+        assert all(op.layer_index == 7 for op in ops)
+
+    def test_ffn_not_prunable_in_encoder(self, layer_config):
+        ops = encoder_layer_ops(layer_config, tokens=4)
+        assert not any(op.prunable for op in ops)
+
+    def test_encoder_includes_kv_operand_traffic_in_attention(self, layer_config):
+        ops = encoder_layer_ops(layer_config, tokens=16)
+        scores = next(op for op in ops if op.name.endswith(".scores"))
+        # Q read + K read must both be present (no separate KV-cache op).
+        q_bytes = 16 * layer_config.d_model * layer_config.activation_bytes
+        assert scores.activation_bytes > q_bytes
+
+
+class TestPrefillLayer:
+    def test_contains_kv_write(self, layer_config):
+        ops = prefill_layer_ops(layer_config, prompt_tokens=32, layer_index=0)
+        kv_ops = [op for op in ops if op.tag == "kv_cache"]
+        assert len(kv_ops) == 1
+        assert kv_ops[0].output_bytes > 0
+        assert kv_ops[0].activation_bytes == 0
+
+    def test_kv_write_size_matches_cache(self, layer_config):
+        tokens = 32
+        ops = prefill_layer_ops(layer_config, prompt_tokens=tokens)
+        kv = next(op for op in ops if op.tag == "kv_cache")
+        expected = tokens * layer_config.kv_dim * 2 * layer_config.activation_bytes
+        assert kv.output_bytes == expected
+
+    def test_prefill_work_scales_with_tokens(self, layer_config):
+        small = sum(op.flops for op in prefill_layer_ops(layer_config, prompt_tokens=16))
+        large = sum(op.flops for op in prefill_layer_ops(layer_config, prompt_tokens=64))
+        assert large > 3 * small
+
+    def test_rejects_non_positive_tokens(self, layer_config):
+        with pytest.raises(ValueError):
+            prefill_layer_ops(layer_config, prompt_tokens=0)
+
+
+class TestDecodeLayer:
+    def test_ffn_projections_are_prunable_gemvs(self, layer_config):
+        ops = decode_layer_ops(layer_config, context_tokens=100, layer_index=0)
+        prunable = [op for op in ops if op.prunable]
+        assert len(prunable) == 3  # gate, up, down
+        assert all(op.kind is OpKind.GEMV for op in prunable)
+        assert all(op.tag == "ffn" for op in prunable)
+
+    def test_classic_mlp_has_two_prunable_projections(self):
+        config = TransformerLayerConfig(d_model=256, n_heads=8, d_ffn=512, gated_ffn=False)
+        ops = decode_layer_ops(config, context_tokens=10)
+        assert len([op for op in ops if op.prunable]) == 2
+
+    def test_kv_read_grows_with_context(self, layer_config):
+        short = decode_layer_ops(layer_config, context_tokens=10)
+        long = decode_layer_ops(layer_config, context_tokens=1000)
+        kv_short = next(op for op in short if op.tag == "kv_cache")
+        kv_long = next(op for op in long if op.tag == "kv_cache")
+        assert kv_long.activation_bytes > 50 * kv_short.activation_bytes
+
+    def test_weight_traffic_independent_of_context(self, layer_config):
+        short = decode_layer_ops(layer_config, context_tokens=10)
+        long = decode_layer_ops(layer_config, context_tokens=1000)
+        assert sum(op.weight_bytes for op in short) == sum(op.weight_bytes for op in long)
+
+    def test_projections_are_gemv(self, layer_config):
+        ops = decode_layer_ops(layer_config, context_tokens=16)
+        projections = [op for op in ops if op.tag == "attn_proj"]
+        assert projections
+        assert all(op.kind is OpKind.GEMV for op in projections)
+
+    def test_no_double_counting_of_kv_reads(self, layer_config):
+        """Attention-core operand traffic must not duplicate the kv_cache read."""
+        context = 500
+        ops = decode_layer_ops(layer_config, context_tokens=context)
+        kv_read = next(op for op in ops if op.tag == "kv_cache").activation_bytes
+        attn_core_read = sum(
+            op.activation_bytes for op in ops if op.tag == "attn_core"
+        )
+        expected_kv = context * layer_config.kv_dim * 2 * layer_config.activation_bytes
+        assert kv_read == expected_kv
+        # scores/context only read Q and the score matrix, far less than the cache.
+        assert attn_core_read < expected_kv
+
+    def test_rejects_non_positive_context(self, layer_config):
+        with pytest.raises(ValueError):
+            decode_layer_ops(layer_config, context_tokens=0)

@@ -1,0 +1,103 @@
+"""Tests for the vision-encoder catalogue (repro.models.vision)."""
+
+import pytest
+
+from repro.models.ops import OpKind
+from repro.models.vision import (
+    ConvNeXtEncoderConfig,
+    VisionEncoderConfig,
+    available_vision_encoders,
+    get_vision_encoder,
+)
+
+
+class TestCatalogue:
+    def test_contains_table1_encoders(self):
+        names = available_vision_encoders()
+        for expected in ("clip-vit-l14", "siglip-so400m", "dinov2-l", "clip-convnext-b"):
+            assert expected in names
+
+    def test_unknown_encoder_raises(self):
+        with pytest.raises(KeyError):
+            get_vision_encoder("resnet-50")
+
+    def test_clip_vit_l14_size(self):
+        clip = get_vision_encoder("clip-vit-l14")
+        # CLIP ViT-L/14's visual tower is ~0.3B parameters (Table I).
+        assert 0.25e9 <= clip.parameter_count <= 0.45e9
+
+    def test_clip_vit_l14_token_count(self):
+        clip = get_vision_encoder("clip-vit-l14")
+        assert clip.num_patches == (224 // 14) ** 2
+        assert clip.num_tokens == clip.num_patches + 1
+
+
+class TestVisionEncoderConfig:
+    def test_rejects_indivisible_patches(self):
+        with pytest.raises(ValueError):
+            VisionEncoderConfig(
+                name="bad", n_layers=2, d_model=64, n_heads=4, d_ffn=128,
+                image_size=225, patch_size=14,
+            )
+
+    def test_encode_phase_is_gemm_only(self):
+        encoder = VisionEncoderConfig(
+            name="tiny-vit", n_layers=2, d_model=64, n_heads=4, d_ffn=128,
+            image_size=56, patch_size=14,
+        )
+        phase = encoder.encode_phase()
+        assert phase.name == "vision_encoder"
+        matmul_kinds = {op.kind for op in phase.ops if op.kind in (OpKind.GEMM, OpKind.GEMV)}
+        assert matmul_kinds == {OpKind.GEMM}
+
+    def test_encode_phase_scales_with_images(self):
+        encoder = VisionEncoderConfig(
+            name="tiny-vit", n_layers=2, d_model=64, n_heads=4, d_ffn=128,
+            image_size=56, patch_size=14,
+        )
+        one = encoder.encode_phase(images=1)
+        two = encoder.encode_phase(images=2)
+        assert two.flops > 1.9 * one.flops
+
+    def test_output_projection_optional(self):
+        with_head = VisionEncoderConfig(
+            name="a", n_layers=1, d_model=64, n_heads=4, d_ffn=128,
+            image_size=56, patch_size=14, output_dim=32,
+        )
+        without_head = VisionEncoderConfig(
+            name="b", n_layers=1, d_model=64, n_heads=4, d_ffn=128,
+            image_size=56, patch_size=14,
+        )
+        assert with_head.parameter_count > without_head.parameter_count
+        names_with = [op.name for op in with_head.encode_phase().ops]
+        assert any(name.endswith(".head") for name in names_with)
+
+    def test_rejects_zero_images(self):
+        encoder = get_vision_encoder("clip-vit-l14")
+        with pytest.raises(ValueError):
+            encoder.encode_phase(images=0)
+
+
+class TestConvNeXtEncoder:
+    def test_default_configuration_valid(self):
+        conv = ConvNeXtEncoderConfig(name="cnx")
+        assert conv.parameter_count > 0
+        assert conv.num_tokens == (224 // 32) ** 2
+
+    def test_rejects_mismatched_stage_lists(self):
+        with pytest.raises(ValueError):
+            ConvNeXtEncoderConfig(name="bad", depths=(1, 2), dims=(64,))
+
+    def test_encode_phase_contains_conv_ops(self):
+        conv = ConvNeXtEncoderConfig(name="cnx", depths=(1, 1, 1, 1), dims=(32, 64, 128, 256))
+        phase = conv.encode_phase()
+        assert all(op.tag == "conv" for op in phase.ops if op.kind is OpKind.GEMM)
+        assert phase.flops > 0
+
+    def test_encode_scales_with_images(self):
+        conv = ConvNeXtEncoderConfig(name="cnx", depths=(1, 1, 1, 1), dims=(32, 64, 128, 256))
+        assert conv.encode_phase(images=2).flops > 1.9 * conv.encode_phase(images=1).flops
+
+    def test_rejects_bad_image_size(self):
+        with pytest.raises(ValueError):
+            ConvNeXtEncoderConfig(name="bad", image_size=100)

@@ -1,0 +1,115 @@
+"""Tests for the gated-MLP FFN numeric model (repro.pruning.ffn, Eq. 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pruning.ffn import GatedFFN, build_layer_stack, gelu, silu
+
+
+class TestActivations:
+    def test_silu_matches_definition(self):
+        x = np.linspace(-5, 5, 11)
+        np.testing.assert_allclose(silu(x), x / (1 + np.exp(-x)))
+
+    def test_silu_at_zero(self):
+        assert silu(np.array([0.0]))[0] == 0.0
+
+    def test_gelu_is_monotone_on_positive_axis(self):
+        x = np.linspace(0, 5, 50)
+        values = gelu(x)
+        assert np.all(np.diff(values) > 0)
+
+    def test_gelu_near_identity_for_large_inputs(self):
+        assert gelu(np.array([10.0]))[0] == pytest.approx(10.0, rel=1e-3)
+
+
+class TestGatedFFN:
+    def test_forward_matches_equation_1(self):
+        rng = np.random.default_rng(0)
+        ffn = GatedFFN.random(16, 32, seed=1)
+        vx = rng.normal(size=16)
+        expected = ((vx @ ffn.w_up) * silu(vx @ ffn.w_gate)) @ ffn.w_down
+        np.testing.assert_allclose(ffn.forward(vx), expected, rtol=1e-12)
+
+    def test_forward_pruned_with_all_channels_equals_forward(self):
+        ffn = GatedFFN.random(16, 32, seed=2)
+        vx = np.random.default_rng(3).normal(size=16)
+        np.testing.assert_allclose(
+            ffn.forward_pruned(vx, np.arange(16)), ffn.forward(vx), rtol=1e-12
+        )
+
+    def test_forward_pruned_with_no_channels_is_zero(self):
+        ffn = GatedFFN.random(8, 16, seed=4)
+        vx = np.ones(8)
+        np.testing.assert_array_equal(ffn.forward_pruned(vx, []), np.zeros(8))
+
+    def test_pruning_outlier_dominated_input_preserves_direction(self):
+        """Keeping the outlier channels preserves the output direction."""
+        d_model, d_ffn = 64, 128
+        ffn = GatedFFN.random(d_model, d_ffn, seed=5)
+        vx = np.random.default_rng(6).normal(size=d_model) * 0.01
+        outliers = np.array([3, 17, 42])
+        vx[outliers] = 10.0
+        pruned = ffn.forward_pruned(vx, outliers)
+        exact = ffn.forward(vx)
+        cosine = np.dot(pruned, exact) / (np.linalg.norm(pruned) * np.linalg.norm(exact))
+        assert cosine > 0.95
+
+    def test_forward_rejects_wrong_length(self):
+        ffn = GatedFFN.random(8, 16)
+        with pytest.raises(ValueError):
+            ffn.forward(np.ones(9))
+
+    def test_forward_pruned_rejects_out_of_range_channels(self):
+        ffn = GatedFFN.random(8, 16)
+        with pytest.raises(ValueError):
+            ffn.forward_pruned(np.ones(8), [8])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            GatedFFN(
+                w_gate=np.ones((4, 8)),
+                w_up=np.ones((4, 8)),
+                w_down=np.ones((4, 8)),
+            )
+        with pytest.raises(ValueError):
+            GatedFFN(
+                w_gate=np.ones((4, 8)),
+                w_up=np.ones((4, 9)),
+                w_down=np.ones((8, 4)),
+            )
+
+    def test_weight_byte_accounting(self):
+        ffn = GatedFFN.random(16, 64, seed=7)
+        assert ffn.weight_bytes() == 3 * 16 * 64
+        assert ffn.pruned_weight_bytes(4) == (2 * 4 + 16) * 64
+        assert ffn.pruned_weight_bytes(16) == ffn.weight_bytes()
+        with pytest.raises(ValueError):
+            ffn.pruned_weight_bytes(17)
+
+    def test_custom_activation(self):
+        ffn = GatedFFN.random(8, 16, seed=8, activation=gelu)
+        vx = np.random.default_rng(9).normal(size=8)
+        expected = ((vx @ ffn.w_up) * gelu(vx @ ffn.w_gate)) @ ffn.w_down
+        np.testing.assert_allclose(ffn.forward(vx), expected, rtol=1e-12)
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_ffn_is_deterministic_per_seed(self, seed):
+        a = GatedFFN.random(8, 16, seed=seed)
+        b = GatedFFN.random(8, 16, seed=seed)
+        np.testing.assert_array_equal(a.w_gate, b.w_gate)
+        np.testing.assert_array_equal(a.w_down, b.w_down)
+
+
+class TestLayerStack:
+    def test_stack_has_distinct_weights_per_layer(self):
+        stack = build_layer_stack(3, 8, 16, seed=0)
+        assert len(stack) == 3
+        assert not np.allclose(stack[0].w_gate, stack[1].w_gate)
+
+    def test_rejects_bad_layer_count(self):
+        with pytest.raises(ValueError):
+            build_layer_stack(0, 8, 16)

@@ -1,0 +1,115 @@
+"""Tests for the fixed-ratio pruning baselines (repro.pruning.fixed)."""
+
+import numpy as np
+import pytest
+
+from repro.models.activations import ActivationTraceConfig, ActivationTraceGenerator
+from repro.pruning.ffn import build_layer_stack
+from repro.pruning.fixed import (
+    FixedRatioConfig,
+    FixedRatioPruner,
+    ThresholdConfig,
+    ThresholdPruner,
+    prune_token_fixed,
+    wanda_channel_scores,
+)
+from repro.pruning.topk import prune_token
+
+
+class TestFixedRatioPruner:
+    def test_keep_count_matches_ratio(self):
+        pruner = FixedRatioPruner(100, FixedRatioConfig(ratio=0.7))
+        assert pruner.keep_count(3) == 30
+
+    def test_skip_first_layer_option(self):
+        pruner = FixedRatioPruner(100, FixedRatioConfig(ratio=0.7, skip_first_layer=True))
+        assert pruner.keep_count(0) == 100
+        assert pruner.keep_count(1) == 30
+
+    def test_keeps_top_magnitude_channels(self):
+        pruner = FixedRatioPruner(10, FixedRatioConfig(ratio=0.5))
+        vx = np.arange(10, dtype=float)
+        decision = pruner.prune_layer(vx, layer_index=2)
+        assert set(decision.kept_channels.tolist()) == {5, 6, 7, 8, 9}
+
+    def test_zero_ratio_keeps_everything(self):
+        pruner = FixedRatioPruner(16, FixedRatioConfig(ratio=0.0))
+        decision = pruner.prune_layer(np.random.default_rng(0).normal(size=16), 0)
+        assert decision.kept == 16
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ValueError):
+            FixedRatioConfig(ratio=1.0)
+        with pytest.raises(ValueError):
+            FixedRatioConfig(ratio=-0.1)
+
+    def test_rejects_wrong_vector_length(self):
+        pruner = FixedRatioPruner(16, FixedRatioConfig(ratio=0.5))
+        with pytest.raises(ValueError):
+            pruner.prune_layer(np.ones(8), 0)
+
+
+class TestThresholdPruner:
+    def test_keeps_channels_above_threshold(self):
+        pruner = ThresholdPruner(8, ThresholdConfig(threshold=0.5))
+        vx = np.array([0.1, 0.6, -0.7, 0.2, 0.9, 0.0, -0.4, 0.55])
+        decision = pruner.prune_layer(vx, 1)
+        assert set(decision.kept_channels.tolist()) == {1, 2, 4, 7}
+
+    def test_never_keeps_zero_channels(self):
+        pruner = ThresholdPruner(8, ThresholdConfig(threshold=100.0))
+        decision = pruner.prune_layer(np.ones(8) * 0.1, 1)
+        assert decision.kept == 1
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError):
+            ThresholdConfig(threshold=-1.0)
+
+
+class TestWandaScores:
+    def test_scores_combine_activation_and_weight_norms(self):
+        vx = np.array([1.0, 2.0])
+        weight = np.array([[3.0, 4.0], [0.0, 1.0]])  # row norms 5 and 1
+        scores = wanda_channel_scores(vx, weight)
+        np.testing.assert_allclose(scores, [5.0, 2.0])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            wanda_channel_scores(np.ones(3), np.ones((2, 4)))
+
+
+@pytest.fixture(scope="module")
+def trace() -> ActivationTraceGenerator:
+    return ActivationTraceGenerator(ActivationTraceConfig(n_layers=6, d_model=256, seed=3))
+
+
+class TestPruneTokenFixed:
+    def test_report_has_constant_ratio(self, trace):
+        report = prune_token_fixed(trace.token_trace(0), ratio=0.5)
+        ratios = report.pruning_ratios()
+        assert all(r == pytest.approx(0.5, abs=0.01) for r in ratios)
+
+    def test_mild_ratio_keeps_high_similarity(self, trace):
+        stack = build_layer_stack(6, 256, 128, seed=2)
+        report = prune_token_fixed(trace.token_trace(0), stack, ratio=0.1)
+        assert report.mean_cosine_similarity > 0.99
+
+    def test_aggressive_ratio_hurts_shallow_layers_more_than_dynamic(self, trace):
+        """The Fig. 12(b) comparison on the calibrated trace."""
+        stack = build_layer_stack(6, 256, 128, seed=2)
+        activations = trace.token_trace(0)
+        aggressive = prune_token_fixed(activations, stack, ratio=0.7)
+        dynamic = prune_token(activations, stack)
+        shallow = slice(1, 3)
+        assert np.mean(aggressive.cosine_similarities[shallow]) < np.mean(
+            dynamic.cosine_similarities[shallow]
+        )
+
+    def test_mismatched_stack_raises(self, trace):
+        stack = build_layer_stack(2, 256, 128)
+        with pytest.raises(ValueError):
+            prune_token_fixed(trace.token_trace(0), stack, ratio=0.5)
+
+    def test_empty_activations_raise(self):
+        with pytest.raises(ValueError):
+            prune_token_fixed([], ratio=0.5)

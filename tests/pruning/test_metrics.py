@@ -1,0 +1,147 @@
+"""Tests for the pruning metrics (repro.pruning.metrics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.pruning.metrics import (
+    TrafficSaving,
+    average_pruning_ratio,
+    cosine_similarity,
+    kurtosis,
+    pruning_ratio,
+    relative_error,
+    weight_traffic_saving,
+)
+
+
+class TestKurtosis:
+    def test_normal_samples_near_three(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(size=200_000)
+        assert kurtosis(samples) == pytest.approx(3.0, abs=0.1)
+
+    def test_fisher_variant_subtracts_three(self):
+        rng = np.random.default_rng(1)
+        samples = rng.normal(size=50_000)
+        assert kurtosis(samples, fisher=True) == pytest.approx(
+            kurtosis(samples) - 3.0
+        )
+
+    def test_outliers_increase_kurtosis(self):
+        base = np.random.default_rng(2).normal(size=10_000)
+        spiky = base.copy()
+        spiky[:10] = 100.0
+        assert kurtosis(spiky) > 10 * kurtosis(base)
+
+    def test_constant_vector(self):
+        assert kurtosis(np.full(10, 3.0)) == 3.0
+        assert kurtosis(np.full(10, 3.0), fisher=True) == 0.0
+
+    def test_requires_at_least_two_values(self):
+        with pytest.raises(ValueError):
+            kurtosis(np.array([1.0]))
+
+
+class TestCosineSimilarity:
+    def test_identical_vectors(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+
+    def test_opposite_vectors(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert cosine_similarity(v, -v) == pytest.approx(-1.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_similarity([1.0, 0.0], [0.0, 1.0]) == pytest.approx(0.0)
+
+    def test_zero_vector_handling(self):
+        assert cosine_similarity([0.0, 0.0], [0.0, 0.0]) == 1.0
+        assert cosine_similarity([0.0, 0.0], [1.0, 0.0]) == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            cosine_similarity([1.0], [1.0, 2.0])
+
+    @given(
+        v=arrays(
+            dtype=float,
+            shape=st.integers(min_value=2, max_value=32),
+            elements=st.floats(min_value=-50, max_value=50, allow_nan=False),
+        ),
+        scale=st.floats(min_value=0.01, max_value=100.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_scale_invariance(self, v, scale):
+        similarity = cosine_similarity(v, v * scale)
+        if np.linalg.norm(v) == 0:
+            assert similarity in (0.0, 1.0)
+        else:
+            assert similarity == pytest.approx(1.0, abs=1e-9)
+
+
+class TestPruningRatio:
+    def test_basic_values(self):
+        assert pruning_ratio(25, 100) == pytest.approx(0.75)
+        assert pruning_ratio(100, 100) == 0.0
+        assert pruning_ratio(0, 100) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pruning_ratio(5, 0)
+        with pytest.raises(ValueError):
+            pruning_ratio(11, 10)
+
+    def test_average(self):
+        assert average_pruning_ratio([50, 25], 100) == pytest.approx(0.625)
+        with pytest.raises(ValueError):
+            average_pruning_ratio([], 100)
+
+
+class TestRelativeError:
+    def test_zero_for_identical(self):
+        v = np.arange(5, dtype=float)
+        assert relative_error(v, v) == 0.0
+
+    def test_scales_with_perturbation(self):
+        v = np.ones(10)
+        small = relative_error(v, v + 0.01)
+        large = relative_error(v, v + 0.1)
+        assert large > small
+
+    def test_zero_reference(self):
+        assert relative_error(np.zeros(3), np.array([1.0, 0.0, 0.0])) == 1.0
+
+
+class TestTrafficSaving:
+    def test_saving_fraction(self):
+        saving = TrafficSaving(baseline_bytes=1000, pruned_bytes=400)
+        assert saving.saved_bytes == 600
+        assert saving.saving_fraction == pytest.approx(0.6)
+
+    def test_no_baseline_traffic(self):
+        assert TrafficSaving(0, 0).saving_fraction == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TrafficSaving(-1, 0)
+
+
+class TestWeightTrafficSaving:
+    def test_only_input_projections_shrink(self):
+        d_model, d_ffn = 128, 512
+        saving = weight_traffic_saving(d_model, d_ffn, kept_channels=32)
+        expected_baseline = (2 * d_model + d_model) * d_ffn
+        expected_pruned = (2 * 32 + d_model) * d_ffn
+        assert saving.baseline_bytes == expected_baseline
+        assert saving.pruned_bytes == expected_pruned
+
+    def test_keeping_everything_saves_nothing(self):
+        saving = weight_traffic_saving(64, 256, kept_channels=64)
+        assert saving.saving_fraction == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weight_traffic_saving(64, 256, kept_channels=65)

@@ -1,0 +1,111 @@
+"""Tests for per-core channel partitioning (repro.pruning.partition)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pruning.partition import (
+    energy_coverage,
+    global_topk_selection,
+    local_topk_selection,
+    partition_channels,
+    selection_overlap,
+)
+
+
+class TestPartitionChannels:
+    def test_partitions_cover_all_channels_exactly_once(self):
+        partitions = partition_channels(100, 6)
+        covered = np.concatenate([p.channels() for p in partitions])
+        np.testing.assert_array_equal(np.sort(covered), np.arange(100))
+
+    def test_balanced_sizes(self):
+        partitions = partition_channels(100, 6)
+        sizes = [p.size for p in partitions]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_rejects_more_cores_than_channels(self):
+        with pytest.raises(ValueError):
+            partition_channels(4, 8)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            partition_channels(0, 2)
+        with pytest.raises(ValueError):
+            partition_channels(10, 0)
+
+
+class TestLocalTopK:
+    def test_local_selection_size_close_to_global_k(self):
+        rng = np.random.default_rng(0)
+        vx = rng.normal(size=256)
+        selection = local_topk_selection(vx, k=64, n_cores=8)
+        assert 64 <= selection.kept <= 64 + 8
+
+    def test_local_selection_recovers_uniform_outliers(self):
+        """When outliers spread across cores, local Top-k matches global."""
+        vx = np.full(64, 0.01)
+        outliers = np.arange(0, 64, 8)  # one per 8-channel slice
+        vx[outliers] = 10.0
+        selection = local_topk_selection(vx, k=8, n_cores=8)
+        reference = global_topk_selection(vx, 8)
+        assert selection_overlap(selection.kept_channels, reference) == 1.0
+
+    def test_local_selection_misses_clustered_outliers(self):
+        """Clustered outliers expose the local approximation (bounded loss)."""
+        vx = np.full(64, 0.01)
+        vx[:16] = 10.0  # all outliers in the first two slices
+        selection = local_topk_selection(vx, k=16, n_cores=8)
+        reference = global_topk_selection(vx, 16)
+        overlap = selection_overlap(selection.kept_channels, reference)
+        assert overlap < 1.0
+        assert overlap >= 0.25
+
+    def test_energy_coverage_of_topk_is_high_for_outlier_inputs(self):
+        rng = np.random.default_rng(1)
+        vx = rng.normal(size=128) * 0.01
+        vx[rng.choice(128, size=8, replace=False)] = 5.0
+        selection = local_topk_selection(vx, k=16, n_cores=4)
+        assert energy_coverage(vx, selection.kept_channels) > 0.95
+
+    def test_k_zero_keeps_nothing(self):
+        selection = local_topk_selection(np.ones(16), k=0, n_cores=4)
+        assert selection.kept == 0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            local_topk_selection(np.array([]), 2, 2)
+        with pytest.raises(ValueError):
+            local_topk_selection(np.ones(8), -1, 2)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=200),
+        k=st.integers(min_value=1, max_value=64),
+        cores=st.sampled_from([1, 2, 4, 8]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_local_energy_never_worse_than_random_floor(self, seed, k, cores):
+        rng = np.random.default_rng(seed)
+        vx = rng.normal(size=64)
+        selection = local_topk_selection(vx, k=k, n_cores=cores)
+        coverage = energy_coverage(vx, selection.kept_channels)
+        assert coverage >= min(1.0, selection.kept / 64) - 1e-9
+
+
+class TestGlobalTopK:
+    def test_global_selection_sorted_and_correct(self):
+        vx = np.array([0.1, -9.0, 3.0, 0.2, -5.0])
+        np.testing.assert_array_equal(global_topk_selection(vx, 2), [1, 4])
+
+    def test_k_clamped_to_vector_size(self):
+        assert global_topk_selection(np.ones(4), 10).size == 4
+
+    def test_overlap_of_empty_reference_is_one(self):
+        assert selection_overlap(np.array([1, 2]), np.array([])) == 1.0
+
+    def test_energy_coverage_bounds(self):
+        vx = np.array([1.0, 2.0, 2.0])
+        assert energy_coverage(vx, np.array([])) == 0.0
+        assert energy_coverage(vx, np.arange(3)) == pytest.approx(1.0)
+        assert energy_coverage(np.zeros(3), np.array([0])) == 1.0

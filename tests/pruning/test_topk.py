@@ -1,0 +1,172 @@
+"""Tests for the layer-wise dynamic Top-k pruning algorithm (Alg. 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.activations import ActivationTraceConfig, ActivationTraceGenerator
+from repro.pruning.ffn import build_layer_stack
+from repro.pruning.topk import (
+    DynamicTopKConfig,
+    DynamicTopKPruner,
+    decode_traffic_reduction,
+    prune_token,
+)
+
+
+class TestDynamicTopKConfig:
+    def test_defaults_match_paper(self):
+        config = DynamicTopKConfig()
+        assert config.threshold == 16.0
+        assert config.skip_first_layer is True
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            DynamicTopKConfig(threshold=1.0)
+
+    def test_rejects_bad_min_keep(self):
+        with pytest.raises(ValueError):
+            DynamicTopKConfig(min_keep=0)
+
+
+class TestDynamicTopKPruner:
+    def test_first_layer_is_never_pruned(self):
+        pruner = DynamicTopKPruner(d_model=64)
+        pruner.start_token()
+        vx = np.random.default_rng(0).normal(size=64)
+        decision = pruner.prune_layer(vx, layer_index=0)
+        assert decision.kept == 64
+        assert decision.ratio == 0.0
+
+    def test_k_updates_from_threshold_count(self):
+        """After a layer with n channels above max/t and n < k, k becomes n."""
+        pruner = DynamicTopKPruner(d_model=16, config=DynamicTopKConfig(threshold=16.0))
+        pruner.start_token()
+        vx = np.zeros(16)
+        vx[[1, 5, 9]] = [10.0, -8.0, 6.0]  # 3 channels above 10/16
+        pruner.prune_layer(vx, layer_index=0)  # skipped, but n is measured
+        assert pruner.current_k == 3
+
+    def test_k_never_increases_within_token(self):
+        pruner = DynamicTopKPruner(d_model=32)
+        pruner.start_token()
+        rng = np.random.default_rng(1)
+        previous_k = pruner.current_k
+        for layer in range(6):
+            vx = rng.normal(size=32)
+            pruner.prune_layer(vx, layer_index=layer)
+            assert pruner.current_k <= previous_k
+            previous_k = pruner.current_k
+
+    def test_start_token_resets_budget(self):
+        pruner = DynamicTopKPruner(d_model=32)
+        pruner.start_token()
+        vx = np.zeros(32)
+        vx[0] = 100.0
+        pruner.prune_layer(vx, layer_index=0)
+        assert pruner.current_k < 32
+        pruner.start_token()
+        assert pruner.current_k == 32
+
+    def test_kept_channels_are_topk_by_magnitude(self):
+        config = DynamicTopKConfig(skip_first_layer=False)
+        pruner = DynamicTopKPruner(d_model=16, config=config)
+        pruner.start_token()
+        pruner._k = 4
+        vx = np.arange(16, dtype=float)
+        decision = pruner.prune_layer(vx, layer_index=3)
+        assert set(decision.kept_channels.tolist()) == {12, 13, 14, 15}
+
+    def test_min_keep_floor(self):
+        config = DynamicTopKConfig(min_keep=2, skip_first_layer=False)
+        pruner = DynamicTopKPruner(d_model=16, config=config)
+        pruner.start_token()
+        vx = np.zeros(16)
+        vx[0] = 1000.0
+        pruner.prune_layer(vx, layer_index=1)
+        assert pruner.current_k >= 2
+
+    def test_rejects_wrong_vector_length(self):
+        pruner = DynamicTopKPruner(d_model=16)
+        with pytest.raises(ValueError):
+            pruner.prune_layer(np.ones(8))
+
+    def test_rejects_bad_d_model(self):
+        with pytest.raises(ValueError):
+            DynamicTopKPruner(d_model=0)
+
+    @given(
+        d_model=st.integers(min_value=4, max_value=128),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_kept_count_never_exceeds_budget(self, d_model, seed):
+        pruner = DynamicTopKPruner(d_model=d_model)
+        pruner.start_token()
+        rng = np.random.default_rng(seed)
+        for layer in range(5):
+            budget_before = pruner.current_k if layer > 0 else d_model
+            decision = pruner.prune_layer(rng.normal(size=d_model), layer_index=layer)
+            assert decision.kept <= max(budget_before, 1)
+            assert 0 < decision.kept <= d_model
+
+
+@pytest.fixture(scope="module")
+def trace() -> ActivationTraceGenerator:
+    return ActivationTraceGenerator(ActivationTraceConfig(n_layers=8, d_model=256, seed=5))
+
+
+class TestPruneToken:
+    def test_report_shapes(self, trace):
+        report = prune_token(trace.token_trace(0))
+        assert report.n_layers == 8
+        assert len(report.pruning_ratios()) == 8
+        assert len(report.kurtoses) == 8
+        assert report.cosine_similarities == []
+
+    def test_report_with_ffn_similarities(self, trace):
+        stack = build_layer_stack(8, 256, 128, seed=1)
+        report = prune_token(trace.token_trace(0), stack)
+        assert len(report.cosine_similarities) == 8
+        assert all(0.0 <= value <= 1.0 + 1e-9 for value in report.cosine_similarities)
+        assert report.mean_cosine_similarity > 0.9
+
+    def test_pruning_ratio_rises_with_depth(self, trace):
+        """The Fig. 12(a) trend on the calibrated trace."""
+        report = prune_token(trace.token_trace(0))
+        ratios = report.pruning_ratios()
+        assert ratios[0] == 0.0
+        assert np.mean(ratios[-3:]) > np.mean(ratios[1:4])
+
+    def test_mismatched_stack_length_raises(self, trace):
+        stack = build_layer_stack(3, 256, 128)
+        with pytest.raises(ValueError):
+            prune_token(trace.token_trace(0), stack)
+
+    def test_empty_activations_raise(self):
+        with pytest.raises(ValueError):
+            prune_token([])
+
+    def test_kept_per_layer_matches_decisions(self, trace):
+        report = prune_token(trace.token_trace(0))
+        assert report.kept_per_layer() == [d.kept for d in report.decisions]
+
+
+class TestTrafficReduction:
+    def test_reduction_between_zero_and_one(self, trace):
+        report = prune_token(trace.token_trace(0))
+        reduction = decode_traffic_reduction(report, d_ffn=512)
+        assert 0.0 < reduction < 1.0
+
+    def test_no_pruning_means_no_reduction(self):
+        rng = np.random.default_rng(0)
+        activations = [rng.normal(size=64) for _ in range(2)]
+        config = DynamicTopKConfig(threshold=1e9)  # nothing is negligible
+        report = prune_token(activations, config=config)
+        assert decode_traffic_reduction(report, d_ffn=128) == pytest.approx(0.0, abs=1e-9)
+
+    def test_rejects_bad_d_ffn(self, trace):
+        report = prune_token(trace.token_trace(0))
+        with pytest.raises(ValueError):
+            decode_traffic_reduction(report, d_ffn=0)

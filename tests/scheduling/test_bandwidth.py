@@ -1,0 +1,85 @@
+"""Tests for the token-length-driven bandwidth manager (Section IV-B)."""
+
+import pytest
+
+from repro.scheduling.bandwidth import (
+    BandwidthManager,
+    DEFAULT_CC_FRACTIONS,
+)
+
+
+@pytest.fixture(scope="module")
+def manager(edgemm_system, sphinx_tiny) -> BandwidthManager:
+    return BandwidthManager(edgemm_system.pipeline(sphinx_tiny))
+
+
+class TestConstruction:
+    def test_default_candidates_include_paper_ratios(self):
+        # 0.5 -> 1:1, 0.25 -> 1:3, 0.125 -> 1:7
+        assert set(DEFAULT_CC_FRACTIONS) == {0.5, 0.25, 0.125}
+
+    def test_rejects_bad_candidates(self, edgemm_system, sphinx_tiny):
+        pipeline = edgemm_system.pipeline(sphinx_tiny)
+        with pytest.raises(ValueError):
+            BandwidthManager(pipeline, candidate_cc_fractions=[])
+        with pytest.raises(ValueError):
+            BandwidthManager(pipeline, candidate_cc_fractions=[1.0])
+
+
+class TestDecisions:
+    def test_short_outputs_keep_equal_sharing(self, manager):
+        le = manager.expected_balanced_length()
+        decision = manager.decide(max(le // 2, 1))
+        assert decision.cc_fraction == pytest.approx(0.5)
+        assert decision.bc_to_bm_ratio == (1, 1)
+
+    def test_long_outputs_reallocate_to_mc(self, manager):
+        lb = manager.reallocation_limit_length()
+        decision = manager.decide(max(lb, 8))
+        assert decision.cc_fraction < 0.5
+        assert decision.bc_to_bm_ratio[1] >= 3
+
+    def test_reallocation_reduces_latency_for_long_outputs(self, manager):
+        lb = manager.reallocation_limit_length()
+        decision = manager.decide(max(lb, 8))
+        assert decision.latency_reduction > 0.0
+        assert decision.throughput_gain >= 1.0
+
+    def test_chosen_point_never_slower_than_baseline(self, manager):
+        for length in (4, 16, 64, 256):
+            decision = manager.decide(length)
+            assert (
+                decision.point.request_latency_s
+                <= decision.baseline_point.request_latency_s + 1e-12
+            )
+
+    def test_sweep_matches_individual_decisions(self, manager):
+        sweep = manager.sweep([8, 64])
+        assert len(sweep) == 2
+        assert sweep[0].output_tokens == 8
+        assert sweep[1].cc_fraction == manager.decide(64).cc_fraction
+
+    def test_decide_rejects_bad_length(self, manager):
+        with pytest.raises(ValueError):
+            manager.decide(0)
+        with pytest.raises(ValueError):
+            manager.sweep([])
+
+
+class TestBalancePoints:
+    def test_lb_exceeds_le(self, manager):
+        """More MC bandwidth balances longer outputs (lb > le)."""
+        assert manager.reallocation_limit_length() > manager.expected_balanced_length()
+
+
+class TestBudgets:
+    def test_budgets_realise_ratio(self, manager):
+        decision = manager.decide(64)
+        budgets = manager.budgets_for(
+            decision, total_bytes_per_cycle=64.0, interval_cycles=10_000
+        )
+        cc = budgets["cc"].budget_bytes
+        mc = budgets["mc"].budget_bytes
+        assert cc + mc == pytest.approx(64.0 * 10_000, rel=0.01)
+        expected_ratio = (1.0 - decision.cc_fraction) / decision.cc_fraction
+        assert mc / cc == pytest.approx(expected_ratio, rel=0.01)

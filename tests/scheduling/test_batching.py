@@ -1,0 +1,75 @@
+"""Tests for stream-based batch decoding (repro.scheduling.batching)."""
+
+import pytest
+
+from repro.scheduling.batching import BatchPlanner
+
+
+@pytest.fixture(scope="module")
+def planner(edgemm_system, sphinx_tiny) -> BatchPlanner:
+    return BatchPlanner(
+        edgemm_system.pipeline(sphinx_tiny),
+        candidate_batch_sizes=(1, 2, 4, 8),
+        cc_bandwidth_fraction=0.125,
+    )
+
+
+class TestConstruction:
+    def test_rejects_bad_batch_sizes(self, edgemm_system, sphinx_tiny):
+        pipeline = edgemm_system.pipeline(sphinx_tiny)
+        with pytest.raises(ValueError):
+            BatchPlanner(pipeline, candidate_batch_sizes=())
+        with pytest.raises(ValueError):
+            BatchPlanner(pipeline, candidate_batch_sizes=(0, 2))
+        with pytest.raises(ValueError):
+            BatchPlanner(pipeline, cc_bandwidth_fraction=0.0)
+
+
+class TestDecisions:
+    def test_long_outputs_get_batched(self, planner):
+        decision = planner.decide(512, max_latency_overhead=0.6)
+        assert decision.batch_size > 1
+        assert decision.throughput_gain > 1.5
+
+    def test_latency_overhead_respected(self, planner):
+        tight = planner.decide(512, max_latency_overhead=0.05)
+        loose = planner.decide(512, max_latency_overhead=1.0)
+        assert tight.latency_overhead <= 0.05 + 1e-9
+        assert loose.throughput_gain >= tight.throughput_gain
+
+    def test_batching_never_selected_if_it_hurts_throughput(self, planner):
+        decision = planner.decide(4, max_latency_overhead=0.5)
+        assert decision.point.tokens_per_second >= decision.unbatched_point.tokens_per_second
+
+    def test_throughput_gain_definition(self, planner):
+        decision = planner.decide(256, max_latency_overhead=0.6)
+        expected = (
+            decision.point.tokens_per_second / decision.unbatched_point.tokens_per_second
+        )
+        assert decision.throughput_gain == pytest.approx(expected)
+
+    def test_sweep(self, planner):
+        decisions = planner.sweep([64, 512])
+        assert [d.output_tokens for d in decisions] == [64, 512]
+        with pytest.raises(ValueError):
+            planner.sweep([])
+
+    def test_decide_validation(self, planner):
+        with pytest.raises(ValueError):
+            planner.decide(0)
+        with pytest.raises(ValueError):
+            planner.decide(64, max_latency_overhead=-0.1)
+
+
+class TestBalanceBatchSize:
+    def test_balance_batch_grows_with_output_length(self, planner):
+        short = planner.balance_batch_size(16)
+        long = planner.balance_batch_size(1024)
+        assert long >= short
+
+    def test_balance_batch_within_candidates(self, planner):
+        assert planner.balance_batch_size(256) in planner.candidates
+
+    def test_validation(self, planner):
+        with pytest.raises(ValueError):
+            planner.balance_batch_size(0)

@@ -1,0 +1,72 @@
+"""Tests for the combined token-length scheduler (repro.scheduling.scheduler)."""
+
+import pytest
+
+from repro.scheduling.scheduler import (
+    DEFAULT_PHASE_ASSIGNMENT,
+    TokenLengthScheduler,
+    phase_pool,
+)
+
+
+@pytest.fixture(scope="module")
+def scheduler(edgemm_system, sphinx_tiny) -> TokenLengthScheduler:
+    return TokenLengthScheduler(
+        edgemm_system.pipeline(sphinx_tiny),
+        candidate_batch_sizes=(1, 2, 4, 8),
+        max_latency_overhead=0.6,
+    )
+
+
+class TestPhaseAssignment:
+    def test_paper_phase_mapping(self):
+        assert DEFAULT_PHASE_ASSIGNMENT["vision_encoder"] == "cc"
+        assert DEFAULT_PHASE_ASSIGNMENT["llm_prefill"] == "cc"
+        assert DEFAULT_PHASE_ASSIGNMENT["llm_decode"] == "mc"
+
+    def test_phase_pool_lookup(self):
+        assert phase_pool("llm_decode") == "mc"
+        assert phase_pool("projector") == "cc"
+        assert phase_pool("unknown_phase") == "cc"
+
+
+class TestScheduling:
+    def test_short_stream_uses_equal_sharing_without_batching(self, scheduler):
+        le = scheduler.bandwidth.expected_balanced_length()
+        schedule = scheduler.schedule(max(le // 2, 1))
+        assert schedule.batch_size == 1
+        assert not schedule.used_batching
+        assert schedule.cc_bandwidth_fraction == pytest.approx(0.5)
+
+    def test_medium_stream_reallocates_bandwidth(self, scheduler):
+        le = scheduler.bandwidth.expected_balanced_length()
+        lb = scheduler.bandwidth.reallocation_limit_length()
+        length = (le + lb) // 2
+        if length > le:
+            schedule = scheduler.schedule(length)
+            assert schedule.cc_bandwidth_fraction <= 0.5
+            assert not schedule.used_batching
+
+    def test_long_stream_uses_batching(self, scheduler):
+        lb = scheduler.bandwidth.reallocation_limit_length()
+        schedule = scheduler.schedule(max(4 * lb, 512))
+        assert schedule.used_batching
+        assert schedule.batch_size > 1
+
+    def test_batching_improves_throughput_over_reallocation(self, scheduler):
+        lb = scheduler.bandwidth.reallocation_limit_length()
+        length = max(4 * lb, 512)
+        schedule = scheduler.schedule(length)
+        reallocation_only = scheduler.bandwidth.decide(length)
+        assert schedule.tokens_per_second >= reallocation_only.point.tokens_per_second
+
+    def test_sweep_returns_schedule_per_length(self, scheduler):
+        schedules = scheduler.sweep([8, 64, 512])
+        assert set(schedules) == {8, 64, 512}
+        assert all(s.request_latency_s > 0 for s in schedules.values())
+
+    def test_validation(self, scheduler):
+        with pytest.raises(ValueError):
+            scheduler.schedule(0)
+        with pytest.raises(ValueError):
+            scheduler.sweep([])

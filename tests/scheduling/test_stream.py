@@ -1,0 +1,94 @@
+"""Tests for the stream-level pipeline simulator (repro.scheduling.stream)."""
+
+import pytest
+
+from repro.scheduling.stream import StreamRequest, StreamSimulator
+
+
+@pytest.fixture(scope="module")
+def simulator_stream(edgemm_system, sphinx_tiny) -> StreamSimulator:
+    return StreamSimulator(
+        edgemm_system.pipeline(sphinx_tiny), cc_bandwidth_fraction=0.5
+    )
+
+
+class TestStreamRequest:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamRequest(arrival_s=-1.0, output_tokens=4)
+        with pytest.raises(ValueError):
+            StreamRequest(arrival_s=0.0, output_tokens=0)
+
+
+class TestStreamSimulator:
+    def test_rejects_bad_bandwidth_fraction(self, edgemm_system, sphinx_tiny):
+        with pytest.raises(ValueError):
+            StreamSimulator(edgemm_system.pipeline(sphinx_tiny), cc_bandwidth_fraction=1.0)
+
+    def test_rejects_empty_trace(self, simulator_stream):
+        with pytest.raises(ValueError):
+            simulator_stream.simulate([])
+
+    def test_single_request_has_no_queueing(self, simulator_stream):
+        report = simulator_stream.simulate([StreamRequest(0.0, output_tokens=8)])
+        timing = report.timings[0]
+        assert timing.queueing_s == 0.0
+        assert timing.latency_s == pytest.approx(timing.service_s)
+
+    def test_stage_ordering_is_respected(self, simulator_stream):
+        report = simulator_stream.simulate_periodic(4, period_s=0.0, output_tokens=8)
+        for timing in report.timings:
+            assert timing.cc_start_s >= timing.request.arrival_s
+            assert timing.cc_end_s > timing.cc_start_s
+            assert timing.mc_start_s >= timing.cc_end_s
+            assert timing.mc_end_s > timing.mc_start_s
+
+    def test_back_to_back_arrivals_queue_up(self, simulator_stream):
+        report = simulator_stream.simulate_periodic(5, period_s=0.0, output_tokens=8)
+        queueing = [timing.queueing_s for timing in report.timings]
+        assert queueing[0] == 0.0
+        assert queueing[-1] > queueing[1] >= 0.0
+
+    def test_slow_arrivals_have_no_queueing(self, simulator_stream):
+        period = 2.0 * simulator_stream.sustainable_period_s(8)
+        report = simulator_stream.simulate_periodic(4, period_s=period, output_tokens=8)
+        assert report.mean_queueing_s == pytest.approx(0.0, abs=1e-9)
+        assert report.cc_utilization < 1.0
+        assert report.mc_utilization < 1.0
+
+    def test_sustainable_period_saturates_one_stage(self, simulator_stream):
+        period = simulator_stream.sustainable_period_s(32)
+        report = simulator_stream.simulate_periodic(8, period_s=period, output_tokens=32)
+        assert max(report.cc_utilization, report.mc_utilization) > 0.8
+        # Latency stays bounded: the last request waits no longer than the first few.
+        latencies = [t.latency_s for t in report.timings]
+        assert latencies[-1] <= 1.5 * max(latencies[:3])
+
+    def test_overloaded_stream_grows_latency(self, simulator_stream):
+        period = 0.25 * simulator_stream.sustainable_period_s(32)
+        report = simulator_stream.simulate_periodic(8, period_s=period, output_tokens=32)
+        latencies = [t.latency_s for t in report.timings]
+        assert latencies[-1] > latencies[0]
+
+    def test_throughput_accounting(self, simulator_stream):
+        report = simulator_stream.simulate_periodic(4, period_s=0.05, output_tokens=16)
+        assert report.n_requests == 4
+        assert report.tokens_per_second > 0
+        assert report.requests_per_second > 0
+        assert report.p95_latency_s >= report.mean_latency_s * 0.5
+
+    def test_pruning_keep_fraction_improves_stream_latency(
+        self, edgemm_system, sphinx_tiny
+    ):
+        pipeline = edgemm_system.pipeline(sphinx_tiny)
+        full = StreamSimulator(pipeline)
+        pruned = StreamSimulator(pipeline, keep_fraction=0.3)
+        full_report = full.simulate_periodic(3, period_s=0.1, output_tokens=32)
+        pruned_report = pruned.simulate_periodic(3, period_s=0.1, output_tokens=32)
+        assert pruned_report.mean_latency_s < full_report.mean_latency_s
+
+    def test_validation_of_periodic_parameters(self, simulator_stream):
+        with pytest.raises(ValueError):
+            simulator_stream.simulate_periodic(0, period_s=0.1, output_tokens=8)
+        with pytest.raises(ValueError):
+            simulator_stream.simulate_periodic(2, period_s=-0.1, output_tokens=8)

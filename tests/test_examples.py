@@ -1,0 +1,33 @@
+"""Smoke tests: every example script must run cleanly via its main()."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def _load_module(script_name: str):
+    path = EXAMPLES_DIR / script_name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_has_expected_scripts():
+    assert "quickstart.py" in EXAMPLE_SCRIPTS
+    assert len(EXAMPLE_SCRIPTS) >= 4
+
+
+@pytest.mark.parametrize("script_name", EXAMPLE_SCRIPTS)
+def test_example_runs(script_name, capsys):
+    module = _load_module(script_name)
+    assert hasattr(module, "main"), f"{script_name} must expose a main() function"
+    module.main()
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script_name} produced no output"

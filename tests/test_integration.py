@@ -1,0 +1,123 @@
+"""End-to-end integration tests across the whole library.
+
+These tests exercise the paths a downstream user follows: build an MLLM
+workload, run it on EdgeMM and the baselines, calibrate pruning from an
+activation trace, schedule a stream, and check that the headline claims of
+the paper hold in shape.
+"""
+
+import pytest
+
+from repro import EdgeMM, InferenceRequest, get_mllm
+from repro.baselines import SnitchBaseline, homo_cc_simulator, homo_mc_simulator, rtx3060_laptop
+from repro.models import available_mllms
+from repro.scheduling import TokenLengthScheduler
+
+
+REQUEST = InferenceRequest(images=1, prompt_text_tokens=32, output_tokens=32)
+
+
+class TestEndToEndHeadlines:
+    """The paper's headline claims, checked end to end in shape."""
+
+    @pytest.fixture(scope="class")
+    def systems(self, sphinx_tiny):
+        edgemm = EdgeMM.default()
+        gpu = rtx3060_laptop()
+        results = {
+            "edgemm": edgemm.run(sphinx_tiny, REQUEST),
+            "gpu": gpu.run_request(sphinx_tiny, REQUEST),
+            "homo_cc": homo_cc_simulator().run_request(sphinx_tiny, REQUEST),
+            "homo_mc": homo_mc_simulator().run_request(sphinx_tiny, REQUEST),
+            "snitch": SnitchBaseline().run_request(sphinx_tiny, REQUEST),
+        }
+        calibration = edgemm.calibrate_pruning(n_tokens=2)
+        results["edgemm_pruned"] = edgemm.enable_pruning(calibration).run(
+            sphinx_tiny, REQUEST
+        )
+        return results
+
+    def test_edgemm_beats_the_gpu(self, systems):
+        assert systems["edgemm"].total_latency_s < systems["gpu"].total_latency_s
+
+    def test_pruning_widens_the_gpu_gap(self, systems):
+        unpruned_speedup = systems["gpu"].total_latency_s / systems["edgemm"].total_latency_s
+        pruned_speedup = (
+            systems["gpu"].total_latency_s / systems["edgemm_pruned"].total_latency_s
+        )
+        assert pruned_speedup > unpruned_speedup
+
+    def test_pruned_speedup_in_paper_band(self, systems):
+        """Paper: 2.84x over the RTX 3060 with pruning (we accept 2x-4x)."""
+        speedup = systems["gpu"].total_latency_s / systems["edgemm_pruned"].total_latency_s
+        assert 2.0 <= speedup <= 4.0
+
+    def test_heterogeneous_beats_homogeneous(self, systems):
+        assert systems["edgemm"].total_latency_s < systems["homo_cc"].total_latency_s
+        assert systems["edgemm"].total_latency_s < systems["homo_mc"].total_latency_s
+
+    def test_everything_beats_the_snitch_baseline(self, systems):
+        for name in ("edgemm", "homo_cc", "homo_mc"):
+            assert systems[name].total_latency_s < systems["snitch"].total_latency_s
+
+    def test_decode_dominates_edgemm_latency(self, systems):
+        result = systems["edgemm"]
+        assert result.decode_latency_s > 0.5 * result.total_latency_s
+
+    def test_throughput_above_gpu(self, systems):
+        assert (
+            systems["edgemm_pruned"].tokens_per_second
+            > systems["gpu"].tokens_per_second
+        )
+
+
+class TestAllCatalogueModelsRun:
+    @pytest.mark.parametrize("model_name", sorted(available_mllms()))
+    def test_every_mllm_runs_on_edgemm(self, model_name, edgemm_system):
+        model = get_mllm(model_name)
+        request = InferenceRequest(images=1, prompt_text_tokens=16, output_tokens=4)
+        result = edgemm_system.run(model, request)
+        assert result.total_latency_s > 0
+        assert result.phase("llm_decode").dram_bytes > 0
+
+    @pytest.mark.parametrize("model_name", ["sphinx-tiny", "karmavlm"])
+    def test_paper_workloads_run_on_gpu_baseline(self, model_name, gpu_baseline):
+        model = get_mllm(model_name)
+        request = InferenceRequest(images=1, prompt_text_tokens=16, output_tokens=4)
+        assert gpu_baseline.run_request(model, request).total_latency_s > 0
+
+
+class TestSchedulerIntegration:
+    def test_scheduler_end_to_end(self, edgemm_system, sphinx_tiny):
+        scheduler = TokenLengthScheduler(
+            edgemm_system.pipeline(sphinx_tiny),
+            candidate_batch_sizes=(1, 2, 4, 8),
+            max_latency_overhead=0.6,
+        )
+        schedules = scheduler.sweep([8, 128, 512])
+        # Throughput must not decrease as we allow the policy more output.
+        assert schedules[512].tokens_per_second >= schedules[8].tokens_per_second
+
+    def test_pruning_keep_fraction_flows_into_scheduler(self, edgemm_system, sphinx_tiny):
+        calibration = edgemm_system.calibrate_pruning(n_tokens=1)
+        pipeline = edgemm_system.pipeline(sphinx_tiny)
+        pruned_scheduler = TokenLengthScheduler(
+            pipeline, keep_fraction=calibration.average_keep_fraction
+        )
+        full_scheduler = TokenLengthScheduler(pipeline)
+        pruned = pruned_scheduler.schedule(64)
+        full = full_scheduler.schedule(64)
+        assert pruned.request_latency_s < full.request_latency_s
+
+
+class TestReproducibility:
+    def test_same_request_gives_identical_results(self, sphinx_tiny):
+        first = EdgeMM.default().run(sphinx_tiny, REQUEST)
+        second = EdgeMM.default().run(sphinx_tiny, REQUEST)
+        assert first.total_latency_s == second.total_latency_s
+        assert first.total_dram_bytes == second.total_dram_bytes
+
+    def test_calibration_is_deterministic(self):
+        a = EdgeMM.default().calibrate_pruning(n_tokens=2)
+        b = EdgeMM.default().calibrate_pruning(n_tokens=2)
+        assert a.average_keep_fraction == b.average_keep_fraction

@@ -1,0 +1,150 @@
+"""Cross-module property-based tests on the library's core invariants.
+
+These complement the per-module unit tests with properties that must hold
+for *any* reasonable input: performance models must be monotone in problem
+size and bandwidth, pruning must never increase traffic, the ISA executor
+must agree with NumPy, and roofline legs must bound the reported latency.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.cim import CIMMacro
+from repro.arch.dram import DRAMConfig, DRAMModel
+from repro.arch.systolic import SystolicArray
+from repro.core.simulator import PerformanceSimulator
+from repro.isa.executor import CoreExecutor
+from repro.isa.kernels import build_gemv_kernel
+from repro.models.ops import matmul_op
+from repro.pruning.topk import DynamicTopKConfig, DynamicTopKPruner
+
+
+SIMULATOR = PerformanceSimulator()
+
+
+class TestCoprocessorMonotonicity:
+    @given(
+        m=st.integers(min_value=1, max_value=128),
+        k=st.integers(min_value=1, max_value=512),
+        n=st.integers(min_value=1, max_value=512),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_systolic_cycles_monotone_in_every_dimension(self, m, k, n):
+        array = SystolicArray()
+        base = array.gemm_cycles(m, k, n)
+        assert array.gemm_cycles(m + 1, k, n) >= base
+        assert array.gemm_cycles(m, k + array.config.rows, n) > base
+        assert array.gemm_cycles(m, k, n + array.config.cols) > base
+
+    @given(
+        m=st.integers(min_value=1, max_value=64),
+        k=st.integers(min_value=1, max_value=512),
+        n=st.integers(min_value=1, max_value=512),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cim_gemm_never_cheaper_than_gemv_per_row(self, m, k, n):
+        macro = CIMMacro()
+        assert macro.gemm_cycles(m, k, n) >= macro.gemv_cycles(k, n)
+
+
+class TestSimulatorProperties:
+    @given(
+        k=st.integers(min_value=64, max_value=4096),
+        n=st.integers(min_value=64, max_value=8192),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_op_latency_is_bounded_by_roofline_legs(self, k, n):
+        op = matmul_op("v", 1, k, n)
+        execution = SIMULATOR.execute_op(op)
+        assert execution.cycles == max(execution.compute_cycles, execution.memory_cycles)
+        assert execution.cycles > 0
+
+    @given(
+        k=st.integers(min_value=64, max_value=2048),
+        n=st.integers(min_value=64, max_value=4096),
+        keep=st.floats(min_value=0.05, max_value=1.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_pruning_never_increases_traffic_or_latency(self, k, n, keep):
+        op = matmul_op("ffn", 1, k, n, prunable=True)
+        full = SIMULATOR.execute_op(op, keep_fraction=1.0)
+        pruned = SIMULATOR.execute_op(op, keep_fraction=keep)
+        assert pruned.dram_bytes <= full.dram_bytes
+        assert pruned.cycles <= full.cycles + 1e-9
+
+    @given(
+        fraction=st.floats(min_value=0.1, max_value=1.0),
+        k=st.integers(min_value=128, max_value=2048),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_less_bandwidth_never_speeds_an_op_up(self, fraction, k):
+        op = matmul_op("v", 1, k, 4 * k)
+        full = SIMULATOR.execute_op(op, bandwidth_fraction=1.0)
+        limited = SIMULATOR.execute_op(op, bandwidth_fraction=fraction)
+        assert limited.cycles >= full.cycles - 1e-9
+
+
+class TestDRAMProperties:
+    @given(
+        size=st.integers(min_value=1, max_value=1 << 24),
+        overhead=st.integers(min_value=0, max_value=2000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_effective_bandwidth_never_exceeds_peak(self, size, overhead):
+        model = DRAMModel(DRAMConfig(request_overhead_cycles=overhead))
+        # Allow a hair of floating-point slack for the zero-overhead case.
+        assert model.effective_bandwidth(size) <= model.config.peak_bandwidth_bytes_per_s * (
+            1.0 + 1e-9
+        )
+
+    @given(size=st.integers(min_value=1, max_value=1 << 22))
+    @settings(max_examples=30, deadline=None)
+    def test_splitting_a_transfer_never_helps(self, size):
+        model = DRAMModel()
+        assert model.transfer_cycles(size, transfers=2) >= model.transfer_cycles(
+            size, transfers=1
+        )
+
+
+class TestPruningProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        d_model=st.integers(min_value=8, max_value=256),
+        threshold=st.floats(min_value=2.0, max_value=64.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_budget_is_monotone_and_kept_channels_valid(self, seed, d_model, threshold):
+        pruner = DynamicTopKPruner(d_model, DynamicTopKConfig(threshold=threshold))
+        pruner.start_token()
+        rng = np.random.default_rng(seed)
+        previous_k = d_model
+        for layer in range(4):
+            decision = pruner.prune_layer(rng.normal(size=d_model), layer)
+            assert pruner.current_k <= previous_k
+            previous_k = pruner.current_k
+            assert decision.kept_channels.size == decision.kept
+            assert np.all(decision.kept_channels < d_model)
+            assert np.all(decision.kept_channels >= 0)
+            assert np.unique(decision.kept_channels).size == decision.kept
+
+
+class TestExecutorAgreesWithNumpy:
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        k=st.integers(min_value=4, max_value=48),
+        n=st.integers(min_value=4, max_value=48),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_gemv_kernel_matches_numpy_for_random_shapes(self, seed, k, n):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=k)
+        w = rng.normal(size=(k, n))
+        plan = build_gemv_kernel(k, n)
+        executor = CoreExecutor(
+            "mc", memory_size=plan.memory_words + 16, vector_length=max(k, n)
+        )
+        plan.place(executor, {"x": x, "w": w})
+        executor.run(plan.program)
+        np.testing.assert_allclose(plan.fetch(executor, "y"), x @ w, rtol=1e-9)
