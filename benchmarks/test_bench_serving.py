@@ -1,0 +1,33 @@
+"""Benchmark the serving layer: requests simulated per wall-clock second."""
+
+from repro.models.mllm import get_mllm
+from repro.serving import (
+    BurstyArrivals,
+    ContinuousBatchingSimulator,
+    RequestSampler,
+    build_trace,
+)
+
+N_REQUESTS = 250
+
+
+def run():
+    model = get_mllm("sphinx-tiny")
+    trace = build_trace(
+        BurstyArrivals(2.5, seed=3).generate(N_REQUESTS),
+        RequestSampler(seed=3).sample(N_REQUESTS),
+    )
+    chip = ContinuousBatchingSimulator(model=model, max_batch_size=16)
+    return chip.run(trace)
+
+
+def test_bench_serving(benchmark):
+    result = benchmark(run)
+    assert len(result.records) == N_REQUESTS
+    assert result.peak_batch_size <= 16
+    mean_s = benchmark.stats.stats.mean
+    print()
+    print(
+        f"serving micro-benchmark: {N_REQUESTS} requests in {mean_s:.3f} s "
+        f"-> {N_REQUESTS / mean_s:.0f} requests simulated per second"
+    )

@@ -2,60 +2,40 @@
 
 The EdgeMM architecture is parameterisable (the paper notes the hardware can
 be scaled by changing architecture parameters).  This example sweeps the
-CC:MC cluster mix per group and the group count, runs the SPHINX-Tiny
-workload on every variant, and reports latency, throughput per area and
-energy per token — the kind of ablation a designer would run before fixing
-the Fig. 10 configuration.
+CC:MC cluster mix per group and the group count through the parallel
+experiment engine — every configuration is an independent simulation, so
+the sweep fans out over worker processes — and reports latency, throughput
+per area and energy per token: the kind of ablation a designer would run
+before fixing the Fig. 10 configuration.
 
-Run with:  python examples/design_space_exploration.py
+Run with:  PYTHONPATH=src python examples/design_space_exploration.py
 """
 
-from repro import InferenceRequest, get_mllm
-from repro.arch.area_power import AreaPowerModel
-from repro.core import EdgeMM, scaled_system
+from repro.experiments import (
+    ParallelSweepRunner,
+    format_design_space_report,
+    sweep_design_space,
+)
 
 
 def main() -> None:
-    model = get_mllm("sphinx-tiny")
-    request = InferenceRequest(images=1, prompt_text_tokens=32, output_tokens=64)
+    runner = ParallelSweepRunner()
+    points = sweep_design_space(runner=runner)
+    print(format_design_space_report(points))
 
-    print("groups  CC/grp  MC/grp  area(mm^2)  latency(s)  tokens/s  tokens/s/mm^2  tokens/J")
-    print("-" * 95)
-
-    best = None
-    for n_groups in (2, 4):
-        for cc_per_group, mc_per_group in ((4, 0), (3, 1), (2, 2), (1, 3), (0, 4)):
-            if cc_per_group == 0 and mc_per_group == 0:
-                continue
-            system_config = scaled_system(
-                n_groups=n_groups,
-                cc_clusters_per_group=cc_per_group,
-                mc_clusters_per_group=mc_per_group,
-            )
-            system = EdgeMM(system_config)
-            result = system.run(model, request)
-            area = AreaPowerModel(system_config.chip).chip_area_mm2()
-            tokens_per_s = result.tokens_per_second
-            density = tokens_per_s / area
-            tokens_per_j = result.tokens_per_joule or 0.0
-            print(
-                f"{n_groups:6d}  {cc_per_group:6d}  {mc_per_group:6d}  {area:10.2f}  "
-                f"{result.total_latency_s:10.3f}  {tokens_per_s:8.1f}  "
-                f"{density:13.2f}  {tokens_per_j:8.1f}"
-            )
-            if best is None or tokens_per_s > best[1]:
-                best = ((n_groups, cc_per_group, mc_per_group), tokens_per_s)
-
+    best = max(points, key=lambda point: point.tokens_per_second)
     print()
-    (groups, cc, mc), tokens = best
     print(
-        f"best throughput: {tokens:.1f} tokens/s with {groups} groups of "
-        f"{cc} CC + {mc} MC clusters"
+        f"best throughput: {best.tokens_per_second:.1f} tokens/s with "
+        f"{best.n_groups} groups of {best.cc_per_group} CC + "
+        f"{best.mc_per_group} MC clusters"
     )
     print(
         "The mixed configurations dominate the homogeneous corners, which is "
         "the heterogeneity argument of the paper in design-space form."
     )
+    workers = min(runner.processes, len(points))
+    print(f"(swept {len(points)} configurations across {workers} worker processes)")
 
 
 if __name__ == "__main__":

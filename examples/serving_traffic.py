@@ -1,0 +1,54 @@
+"""Traffic-scale serving: a bursty 1000-request trace on EdgeMM.
+
+Simulates one EdgeMM chip serving a bursty open-loop trace of 1000 SPHINX-
+Tiny requests with continuous batching, then the same trace on a 4-chip
+fleet behind a least-loaded dispatcher, and prints p50/p95/p99 latency,
+TTFT and aggregate throughput for both.
+
+Run with:  PYTHONPATH=src python examples/serving_traffic.py
+"""
+
+import time
+
+from repro.models.mllm import get_mllm
+from repro.serving import (
+    BurstyArrivals,
+    ContinuousBatchingSimulator,
+    FleetSimulator,
+    RequestSampler,
+    build_trace,
+    format_report,
+)
+
+N_REQUESTS = 1000
+
+
+def main() -> None:
+    model = get_mllm("sphinx-tiny")
+    arrivals = BurstyArrivals(2.5, burst_multiplier=6.0, seed=42)
+    shapes = RequestSampler(seed=42).sample(N_REQUESTS)
+    trace = build_trace(arrivals.generate(N_REQUESTS), shapes)
+
+    wall_start = time.perf_counter()
+    chip = ContinuousBatchingSimulator(model=model, max_batch_size=16)
+    result = chip.run(trace)
+    wall = time.perf_counter() - wall_start
+    print(format_report(result.report, title=f"Single chip ({N_REQUESTS} requests)"))
+    print(
+        f"peak decode batch  : {result.peak_batch_size} streams "
+        f"({result.decode_steps} decode steps)"
+    )
+    print(
+        f"simulation speed   : {N_REQUESTS / wall:.0f} requests simulated "
+        f"per wall-clock second"
+    )
+
+    print()
+    fleet = FleetSimulator(model, n_chips=4, policy="least_loaded", max_batch_size=16)
+    fleet_result = fleet.run(trace)
+    print(format_report(fleet_result.report, title="4-chip fleet (least-loaded)"))
+    print(f"requests per chip  : {fleet_result.requests_per_chip}")
+
+
+if __name__ == "__main__":
+    main()

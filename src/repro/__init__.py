@@ -10,8 +10,11 @@ Multimodal LLMs at Edge" (DAC 2025):
 * :mod:`repro.models` — the MLLM workload substrate (Table I catalogue),
 * :mod:`repro.pruning` — activation-aware dynamic Top-k pruning (Alg. 1),
 * :mod:`repro.scheduling` — bandwidth management and batch decoding,
+* :mod:`repro.serving` — traffic-scale serving: arrivals, continuous
+  batching, latency percentiles, multi-chip fleets,
 * :mod:`repro.baselines` — GPU, Snitch and homogeneous-chip baselines,
-* :mod:`repro.experiments` — one module per paper table/figure.
+* :mod:`repro.experiments` — one module per paper table/figure, plus the
+  parallel experiment engine.
 """
 
 from .core import EdgeMM, PerformanceSimulator, SystemConfig, WorkloadResult

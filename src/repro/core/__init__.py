@@ -10,7 +10,7 @@ from .config import (
     scaled_system,
 )
 from .metrics import PhaseResult, WorkloadResult, geometric_mean_speedup
-from .simulator import OpExecution, PerformanceSimulator
+from .simulator import CacheInfo, OpExecution, PerformanceSimulator
 from .mapping import MappingChoice, MappingDecision, MappingExplorer
 from .pipeline import PipelineModel, PipelinePoint
 from .edgemm import EdgeMM, PruningCalibration
@@ -26,6 +26,7 @@ __all__ = [
     "PhaseResult",
     "WorkloadResult",
     "geometric_mean_speedup",
+    "CacheInfo",
     "OpExecution",
     "PerformanceSimulator",
     "MappingChoice",

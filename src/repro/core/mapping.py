@@ -98,7 +98,7 @@ class MappingExplorer:
             for n_clusters in self._candidate_cluster_counts(pool):
                 compute = self._compute_with_clusters(op, pool, n_clusters)
                 traffic = self.simulator._op_traffic_bytes(op, 1.0)
-                memory = self.simulator._memory_cycles(traffic, pool, bandwidth_fraction)
+                memory = self.simulator.memory_cycles(traffic, pool, bandwidth_fraction)
                 candidates.append(
                     MappingChoice(
                         pool=pool,

@@ -22,11 +22,39 @@ and a bandwidth split ``Bc : Bm``:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from ..models.mllm import InferenceRequest, MLLMConfig
 from ..models.ops import merge_phases
 from .simulator import PerformanceSimulator
+
+#: Phases executed by the CC-stage (everything before the first decoded
+#: token).  The serving layer shares this definition.
+CC_STAGE_PHASES: Tuple[str, ...] = ("vision_encoder", "projector", "llm_prefill")
+
+
+def cc_stage_latency(
+    simulator: PerformanceSimulator,
+    model: MLLMConfig,
+    request: InferenceRequest,
+    *,
+    pool: str = "cc",
+    bandwidth_fraction: float = 0.5,
+) -> float:
+    """Encode + projector + prefill latency of one request on one pool.
+
+    The single definition of CC-stage costing, shared by the pipeline
+    model and the serving engine so their latencies cannot diverge.
+    """
+    if not 0.0 < bandwidth_fraction <= 1.0:
+        raise ValueError("bandwidth_fraction must be in (0, 1]")
+    workload = model.build_workload(request)
+    cc_phases = [phase for phase in workload.phases if phase.name in CC_STAGE_PHASES]
+    merged = merge_phases("cc_stage", cc_phases)
+    result = simulator.execute_phase(
+        merged, pool=pool, bandwidth_fraction=bandwidth_fraction
+    )
+    return result.latency_s
 
 
 @dataclass(frozen=True)
@@ -104,20 +132,13 @@ class PipelineModel:
         self, output_tokens: int, cc_bandwidth_fraction: float
     ) -> float:
         """Encode + projector + prefill latency on the CC-clusters."""
-        if not 0.0 < cc_bandwidth_fraction <= 1.0:
-            raise ValueError("cc_bandwidth_fraction must be in (0, 1]")
-        request = self._request(output_tokens)
-        workload = self.model.build_workload(request)
-        cc_phases = [
-            phase
-            for phase in workload.phases
-            if phase.name in ("vision_encoder", "projector", "llm_prefill")
-        ]
-        merged = merge_phases("cc_stage", cc_phases)
-        result = self.simulator.execute_phase(
-            merged, pool="cc", bandwidth_fraction=cc_bandwidth_fraction
+        return cc_stage_latency(
+            self.simulator,
+            self.model,
+            self._request(output_tokens),
+            pool="cc",
+            bandwidth_fraction=cc_bandwidth_fraction,
         )
-        return result.latency_s
 
     def mc_stage_latency_s(
         self,
@@ -153,26 +174,11 @@ class PipelineModel:
         # portions.  Weight bytes dominate decode traffic; they are read once
         # for the whole batch.  Compute scales with the batch (every stream's
         # GEMV runs), but decode is memory-bound so this rarely dominates.
-        weight_bytes = decode.weight_bytes
-        keep = (
-            keep_fraction
-            if keep_fraction is not None
-            else (
-                self.simulator.system.pruning.average_keep_fraction
-                if self.simulator.system.pruning.enabled
-                else 1.0
-            )
-        )
-        pruned_weight_bytes = 0
-        for op in decode.ops:
-            bytes_here = op.weight_bytes
-            if op.prunable and keep < 1.0:
-                bytes_here = int(round(bytes_here * keep))
-            pruned_weight_bytes += bytes_here
-        pruned_weight_bytes *= decode.repeat
+        keep = self.simulator.effective_keep_fraction(keep_fraction)
+        pruned_weight_bytes = decode.pruned_weight_bytes(keep)
         per_stream_bytes = single.dram_bytes - pruned_weight_bytes
         batch_bytes = pruned_weight_bytes + batch_size * per_stream_bytes
-        batch_memory_cycles = self.simulator._memory_cycles(
+        batch_memory_cycles = self.simulator.memory_cycles(
             int(batch_bytes), "mc", mc_bandwidth_fraction
         )
         batch_compute_cycles = single.compute_cycles * batch_size

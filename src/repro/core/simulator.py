@@ -16,13 +16,26 @@ and takes the maximum of the two legs (compute/DMA double buffering), then
 sums over the operators of the phase.  GEMM-like operators are routed to
 CC-clusters and GEMV-like operators to MC-clusters when both are available
 ("auto" policy); homogeneous variants simply lack one of the pools.
+
+Two layers of memoization keep traffic-scale simulation fast:
+
+* per-op cycle results are cached by the cost-relevant signature
+  ``(kind, m, k, n, traffic bytes, flops, prunable, pool, bandwidth,
+  keep_fraction)`` — decoder layers share shapes, so a 22-layer decode
+  phase resolves to a handful of cache entries;
+* whole-request :class:`WorkloadResult` objects are cached by
+  ``(model, request)``, so a serving simulation replaying thousands of
+  identical requests pays for the first one only.
+
+Both caches belong to the simulator instance; :meth:`clear_cache` resets
+them (required after mutating ``self.system`` or chip state in place).
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
 
 from ..arch.area_power import AreaPowerModel, TechnologyConfig
 from ..arch.chip import Chip
@@ -47,6 +60,21 @@ class OpExecution:
         return max(self.compute_cycles, self.memory_cycles)
 
 
+@dataclass(frozen=True)
+class CacheInfo:
+    """Hit/miss counters of the simulator's memoization layers."""
+
+    op_hits: int
+    op_misses: int
+    request_hits: int
+    request_misses: int
+
+    @property
+    def op_hit_rate(self) -> float:
+        total = self.op_hits + self.op_misses
+        return self.op_hits / total if total else 0.0
+
+
 class PerformanceSimulator:
     """Executes operator workloads on an EdgeMM (or variant) chip model."""
 
@@ -55,11 +83,38 @@ class PerformanceSimulator:
         system: Optional[SystemConfig] = None,
         *,
         technology: Optional[TechnologyConfig] = None,
+        enable_cache: bool = True,
     ) -> None:
         self.system = system or default_system()
         self.chip = Chip(self.system.chip)
         self.area_power = AreaPowerModel(self.system.chip, technology)
         self._technology = self.area_power.technology
+        self.enable_cache = enable_cache
+        self._op_cache: Dict[tuple, Tuple[float, float, int]] = {}
+        self._request_cache: Dict[tuple, WorkloadResult] = {}
+        self._op_hits = 0
+        self._op_misses = 0
+        self._request_hits = 0
+        self._request_misses = 0
+
+    # ------------------------------------------------------------------
+    # Memoization
+    # ------------------------------------------------------------------
+    def clear_cache(self) -> None:
+        """Drop all memoized results (call after mutating the system)."""
+        self._op_cache.clear()
+        self._request_cache.clear()
+        self._op_hits = self._op_misses = 0
+        self._request_hits = self._request_misses = 0
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss counters for the op- and request-level caches."""
+        return CacheInfo(
+            op_hits=self._op_hits,
+            op_misses=self._op_misses,
+            request_hits=self._request_hits,
+            request_misses=self._request_misses,
+        )
 
     # ------------------------------------------------------------------
     # Pool selection
@@ -110,15 +165,36 @@ class PerformanceSimulator:
         # OpKind.OTHER: pure data movement (KV-cache reads/writes).
         return 0.0
 
-    def _op_traffic_bytes(self, op: Op, keep_fraction: float) -> int:
-        weight_bytes = op.weight_bytes
-        if op.prunable and keep_fraction < 1.0:
-            weight_bytes = int(round(weight_bytes * keep_fraction))
-        return weight_bytes + op.activation_bytes + op.output_bytes
+    def effective_keep_fraction(self, keep_fraction: Optional[float] = None) -> float:
+        """Resolve an explicit keep fraction against the pruning config.
 
-    def _memory_cycles(
+        ``None`` means "use the system default": the calibrated average keep
+        fraction when pruning is enabled, otherwise 1.0.  Every layer that
+        prices pruned weight traffic (operator execution, the pipeline
+        model, the serving cost model) resolves through this one helper.
+        """
+        if keep_fraction is not None:
+            return keep_fraction
+        if self.system.pruning.enabled:
+            return self.system.pruning.average_keep_fraction
+        return 1.0
+
+    def _op_traffic_bytes(self, op: Op, keep_fraction: float) -> int:
+        return (
+            op.pruned_weight_bytes(keep_fraction)
+            + op.activation_bytes
+            + op.output_bytes
+        )
+
+    def memory_cycles(
         self, traffic_bytes: int, pool: str, bandwidth_fraction: float
     ) -> float:
+        """DRAM cycles to move ``traffic_bytes`` with a pool's bandwidth share.
+
+        Public cost primitive: the pipeline model, the mapping explorer and
+        the serving layer price custom traffic patterns (e.g. batch-shared
+        weight reads) with it.
+        """
         if traffic_bytes <= 0:
             return 0.0
         if bandwidth_fraction <= 0:
@@ -147,18 +223,46 @@ class PerformanceSimulator:
         n_clusters = self._pool_cluster_count(pool)
         if n_clusters == 0:
             raise ValueError(f"chip {self.system.name!r} has no {pool.upper()} clusters")
-        if keep_fraction is None:
-            keep_fraction = (
-                self.system.pruning.average_keep_fraction
-                if self.system.pruning.enabled
-                else 1.0
+        keep_fraction = self.effective_keep_fraction(keep_fraction)
+        key = None
+        if self.enable_cache:
+            # Only the cost-relevant signature: ops with the same shape,
+            # traffic and routing (e.g. every decoder layer's FFN GEMV)
+            # share one entry regardless of name or layer index.
+            key = (
+                op.kind,
+                op.m,
+                op.k,
+                op.n,
+                op.weight_bytes,
+                op.activation_bytes,
+                op.output_bytes,
+                op.flops,
+                op.prunable,
+                pool,
+                bandwidth_fraction,
+                keep_fraction,
             )
+            cached = self._op_cache.get(key)
+            if cached is not None:
+                self._op_hits += 1
+                compute, memory, traffic = cached
+                return OpExecution(
+                    op_name=op.name,
+                    pool=pool,
+                    compute_cycles=compute,
+                    memory_cycles=memory,
+                    dram_bytes=traffic,
+                )
+            self._op_misses += 1
         traffic = self._op_traffic_bytes(op, keep_fraction)
         compute = self._compute_cycles(op, pool, n_clusters)
         if op.prunable and keep_fraction < 1.0 and op.kind is OpKind.GEMV:
             # Pruning also removes the matching MACs (smaller reduction dim).
             compute *= keep_fraction
-        memory = self._memory_cycles(traffic, pool, bandwidth_fraction)
+        memory = self.memory_cycles(traffic, pool, bandwidth_fraction)
+        if key is not None:
+            self._op_cache[key] = (compute, memory, traffic)
         return OpExecution(
             op_name=op.name,
             pool=pool,
@@ -244,9 +348,26 @@ class PerformanceSimulator:
         )
 
     def run_request(self, model: MLLMConfig, request: InferenceRequest) -> WorkloadResult:
-        """Build the workload for an inference request and execute it."""
+        """Build the workload for an inference request and execute it.
+
+        Results are memoized by the ``(model, request)`` pair — both are
+        frozen, hashable dataclasses, so two models agreeing only on name
+        never alias.  Cache hits return a shallow copy, so mutating a
+        returned result's ``phases`` dict cannot poison later hits.
+        """
+        if not self.enable_cache:
+            workload = model.build_workload(request)
+            return self.execute_workload(workload, output_tokens=request.output_tokens)
+        key = (model, request)
+        cached = self._request_cache.get(key)
+        if cached is not None:
+            self._request_hits += 1
+            return replace(cached, phases=dict(cached.phases))
+        self._request_misses += 1
         workload = model.build_workload(request)
-        return self.execute_workload(workload, output_tokens=request.output_tokens)
+        result = self.execute_workload(workload, output_tokens=request.output_tokens)
+        self._request_cache[key] = replace(result, phases=dict(result.phases))
+        return result
 
     # ------------------------------------------------------------------
     # Energy

@@ -10,6 +10,14 @@ from .runner import (
     register_experiment,
     run_and_report,
 )
+from .parallel import (
+    DesignPoint,
+    ParallelSweepRunner,
+    evaluate_design_point,
+    format_design_space_report,
+    run_experiments_parallel,
+    sweep_design_space,
+)
 from . import ablations
 from . import fig2_workload
 from . import fig3_sparsity
@@ -96,6 +104,12 @@ register_experiment(
 
 __all__ = [
     "ablations",
+    "DesignPoint",
+    "ParallelSweepRunner",
+    "evaluate_design_point",
+    "format_design_space_report",
+    "run_experiments_parallel",
+    "sweep_design_space",
     "ExperimentSpec",
     "available_experiments",
     "format_bytes",

@@ -10,7 +10,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from . import available_experiments, run_and_report
+from . import available_experiments, run_and_report, run_experiments_parallel
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -26,7 +26,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list available experiment ids and exit"
     )
+    parser.add_argument(
+        "--parallel",
+        "-j",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run the experiments across N worker processes (0 = serial)",
+    )
     args = parser.parse_args(argv)
+    if args.parallel < 0:
+        parser.error("--parallel must be >= 0")
 
     if args.list:
         for experiment_id in available_experiments():
@@ -40,10 +50,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"unknown experiment(s): {', '.join(unknown)}; "
             f"available: {', '.join(available_experiments())}"
         )
-    for experiment_id in requested:
-        print(f"=== {experiment_id} ===")
-        print(run_and_report(experiment_id))
-        print()
+    if args.parallel > 1:
+        reports = run_experiments_parallel(requested, processes=args.parallel)
+        for experiment_id in requested:
+            print(f"=== {experiment_id} ===")
+            print(reports[experiment_id])
+            print()
+    else:
+        # Serial runs stream each report as it finishes.
+        for experiment_id in requested:
+            print(f"=== {experiment_id} ===")
+            print(run_and_report(experiment_id))
+            print()
     return 0
 
 

@@ -1,0 +1,291 @@
+"""Parallel experiment engine: design-space sweeps over ``multiprocessing``.
+
+Design-space exploration evaluates hundreds of chip configurations, each an
+independent simulation — an embarrassingly parallel workload.  This module
+provides:
+
+* :class:`ParallelSweepRunner` — maps a top-level function over a list of
+  keyword-argument dicts through a process pool, with an in-memory result
+  cache so repeated points (common in iterative exploration) are free;
+* :func:`run_experiments_parallel` — fans the registered paper experiments
+  (``fig10``, ``fig11``, ...) out over processes, producing reports
+  *identical* to the serial ``run_and_report`` path;
+* :func:`sweep_design_space` — the CC:MC cluster-mix sweep used by
+  ``examples/design_space_exploration.py``, returning picklable
+  :class:`DesignPoint` rows.
+
+Workers are forked on Linux, so the registry and model catalogue are
+inherited and no per-task import cost is paid; other platforms use their
+default start method (spawn on macOS/Windows, where forking a
+numpy-initialised interpreter is unsafe).  Pools of one process fall back
+to serial execution, which by construction produces the same results.
+"""
+
+from __future__ import annotations
+
+import copy
+import multiprocessing
+import os
+import pickle
+import sys
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.config import scaled_system
+from ..core.simulator import PerformanceSimulator
+from ..models.mllm import InferenceRequest, get_mllm
+from .runner import available_experiments, format_table, run_and_report
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """The process-pool context for this platform.
+
+    Fork is preferred on Linux (workers inherit the experiment registry and
+    the model catalogue for free), but it is unsafe on macOS once numpy has
+    touched Accelerate/Objective-C state — there CPython's own default is
+    spawn, so defer to the platform default everywhere else.  Spawned
+    workers re-import the task function's module, which pulls the registry
+    back in through the package import.
+    """
+    if sys.platform == "linux":
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - exotic linux builds
+            pass
+    return multiprocessing.get_context()
+
+
+def _call_task(task: Tuple[Callable[..., object], Dict[str, object]]) -> object:
+    """Top-level (picklable) trampoline executed in worker processes."""
+    fn, kwargs = task
+    return fn(**kwargs)
+
+
+class ParallelSweepRunner:
+    """Maps a function over parameter points through a process pool.
+
+    The function must be a module-level callable and both the parameter
+    values and the results must be picklable.  Results are cached by
+    ``(function, parameters)`` so a repeated point never re-runs, whether
+    the repeat happens within one ``map`` call or across calls.
+    """
+
+    def __init__(self, *, processes: Optional[int] = None, cache: bool = True) -> None:
+        if processes is not None and processes < 1:
+            raise ValueError("processes must be >= 1")
+        self.processes = processes if processes is not None else (os.cpu_count() or 1)
+        self._cache: Optional[Dict[tuple, object]] = {} if cache else None
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    @staticmethod
+    def _key(fn: Callable[..., object], kwargs: Mapping[str, object]) -> tuple:
+        # Parameters must be picklable to cross the process boundary anyway;
+        # keying on the pickled form is value-faithful where repr() is not
+        # (e.g. large numpy arrays truncate their repr).
+        return (fn.__module__, fn.__qualname__, pickle.dumps(sorted(kwargs.items())))
+
+    def map(
+        self,
+        fn: Callable[..., object],
+        param_list: Sequence[Mapping[str, object]],
+    ) -> List[object]:
+        """``[fn(**params) for params in param_list]``, in parallel."""
+        if not param_list:
+            return []
+        if self._cache is None:
+            # Cache disabled: every point executes, duplicates included
+            # (callers disable the cache precisely to force re-execution).
+            return self._run_tasks(fn, [dict(params) for params in param_list])
+        keys = [self._key(fn, params) for params in param_list]
+        pending: Dict[tuple, Dict[str, object]] = {}
+        for key, params in zip(keys, param_list):
+            if key in self._cache:
+                self.cache_hits += 1
+            elif key not in pending:
+                pending[key] = dict(params)
+                self.cache_misses += 1
+            else:
+                self.cache_hits += 1
+        fresh = self._run_tasks(fn, list(pending.values()))
+        self._cache.update(zip(pending.keys(), fresh))
+        # Hand out copies so a caller mutating a returned result cannot
+        # poison the cache entry behind later hits.
+        return [copy.deepcopy(self._cache[key]) for key in keys]
+
+    def _run_tasks(
+        self, fn: Callable[..., object], params: List[Dict[str, object]]
+    ) -> List[object]:
+        if not params:
+            return []
+        tasks = [(fn, kwargs) for kwargs in params]
+        n_processes = min(self.processes, len(tasks))
+        if n_processes <= 1:
+            return [_call_task(task) for task in tasks]
+        with _pool_context().Pool(processes=n_processes) as pool:
+            return pool.map(_call_task, tasks)
+
+
+# ----------------------------------------------------------------------
+# Registered paper experiments in parallel
+# ----------------------------------------------------------------------
+def _run_registered(experiment_id: str) -> str:
+    """Worker: run one registered experiment and return its report."""
+    return run_and_report(experiment_id)
+
+
+def run_experiments_parallel(
+    experiment_ids: Optional[Sequence[str]] = None,
+    *,
+    processes: Optional[int] = None,
+) -> Dict[str, str]:
+    """Run registered experiments across processes; reports keyed by id.
+
+    The per-experiment report strings are byte-identical to the serial
+    :func:`~repro.experiments.runner.run_and_report` output — the engine
+    changes where the work runs, never what it computes.
+    """
+    requested = (
+        list(experiment_ids) if experiment_ids is not None else available_experiments()
+    )
+    unknown = [name for name in requested if name not in available_experiments()]
+    if unknown:
+        raise KeyError(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"available: {', '.join(available_experiments())}"
+        )
+    runner = ParallelSweepRunner(processes=processes)
+    reports = runner.map(
+        _run_registered, [{"experiment_id": name} for name in requested]
+    )
+    return dict(zip(requested, reports))
+
+
+# ----------------------------------------------------------------------
+# Design-space sweep (examples/design_space_exploration.py)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated chip configuration of a design-space sweep."""
+
+    n_groups: int
+    cc_per_group: int
+    mc_per_group: int
+    area_mm2: float
+    latency_s: float
+    tokens_per_second: float
+    tokens_per_second_per_mm2: float
+    tokens_per_joule: float
+
+
+def evaluate_design_point(
+    n_groups: int,
+    cc_per_group: int,
+    mc_per_group: int,
+    *,
+    model_name: str = "sphinx-tiny",
+    images: int = 1,
+    prompt_text_tokens: int = 32,
+    output_tokens: int = 64,
+) -> DesignPoint:
+    """Simulate one chip configuration on one request shape."""
+    system_config = scaled_system(
+        n_groups=n_groups,
+        cc_clusters_per_group=cc_per_group,
+        mc_clusters_per_group=mc_per_group,
+    )
+    simulator = PerformanceSimulator(system_config)
+    result = simulator.run_request(
+        get_mllm(model_name),
+        InferenceRequest(
+            images=images,
+            prompt_text_tokens=prompt_text_tokens,
+            output_tokens=output_tokens,
+        ),
+    )
+    area = simulator.area_power.chip_area_mm2()
+    tokens_per_s = result.tokens_per_second
+    return DesignPoint(
+        n_groups=n_groups,
+        cc_per_group=cc_per_group,
+        mc_per_group=mc_per_group,
+        area_mm2=area,
+        latency_s=result.total_latency_s,
+        tokens_per_second=tokens_per_s,
+        tokens_per_second_per_mm2=tokens_per_s / area,
+        tokens_per_joule=result.tokens_per_joule or 0.0,
+    )
+
+
+DEFAULT_CLUSTER_MIXES: Tuple[Tuple[int, int], ...] = (
+    (4, 0),
+    (3, 1),
+    (2, 2),
+    (1, 3),
+    (0, 4),
+)
+
+
+def sweep_design_space(
+    *,
+    n_groups_options: Sequence[int] = (2, 4),
+    cluster_mixes: Sequence[Tuple[int, int]] = DEFAULT_CLUSTER_MIXES,
+    model_name: str = "sphinx-tiny",
+    request: Optional[InferenceRequest] = None,
+    processes: Optional[int] = None,
+    runner: Optional[ParallelSweepRunner] = None,
+) -> List[DesignPoint]:
+    """Evaluate every (group count, CC:MC mix) combination in parallel."""
+    if runner is not None and processes is not None:
+        raise ValueError("pass either processes or runner, not both")
+    request = request or InferenceRequest(
+        images=1, prompt_text_tokens=32, output_tokens=64
+    )
+    params: List[Dict[str, object]] = []
+    for n_groups in n_groups_options:
+        for cc_per_group, mc_per_group in cluster_mixes:
+            if cc_per_group == 0 and mc_per_group == 0:
+                continue
+            params.append(
+                {
+                    "n_groups": n_groups,
+                    "cc_per_group": cc_per_group,
+                    "mc_per_group": mc_per_group,
+                    "model_name": model_name,
+                    "images": request.images,
+                    "prompt_text_tokens": request.prompt_text_tokens,
+                    "output_tokens": request.output_tokens,
+                }
+            )
+    runner = runner or ParallelSweepRunner(processes=processes)
+    return list(runner.map(evaluate_design_point, params))
+
+
+def format_design_space_report(points: Sequence[DesignPoint]) -> str:
+    """Render a design-space sweep as the usual aligned text table."""
+    rows = [
+        [
+            point.n_groups,
+            point.cc_per_group,
+            point.mc_per_group,
+            f"{point.area_mm2:.2f}",
+            f"{point.latency_s:.3f}",
+            f"{point.tokens_per_second:.1f}",
+            f"{point.tokens_per_second_per_mm2:.2f}",
+            f"{point.tokens_per_joule:.1f}",
+        ]
+        for point in points
+    ]
+    return format_table(
+        [
+            "groups",
+            "CC/grp",
+            "MC/grp",
+            "area(mm^2)",
+            "latency(s)",
+            "tokens/s",
+            "tokens/s/mm^2",
+            "tokens/J",
+        ],
+        rows,
+    )

@@ -131,6 +131,19 @@ class Op:
     def is_memory_bound_kind(self) -> bool:
         return self.kind in MEMORY_BOUND_KINDS
 
+    def pruned_weight_bytes(self, keep_fraction: float) -> int:
+        """Weight traffic after activation-aware pruning at ``keep_fraction``.
+
+        The single source of truth for how pruning scales weight reads:
+        the simulator, the pipeline model and the serving cost model all
+        account batches' shared weight traffic through this method.
+        """
+        if not 0.0 <= keep_fraction <= 1.0:
+            raise ValueError("keep_fraction must be in [0, 1]")
+        if self.prunable and keep_fraction < 1.0:
+            return int(round(self.weight_bytes * keep_fraction))
+        return self.weight_bytes
+
     def scaled_traffic(self, weight_keep_fraction: float) -> "Op":
         """Return a copy with weight traffic scaled by ``weight_keep_fraction``.
 
@@ -287,6 +300,12 @@ class Phase:
     @property
     def total_bytes(self) -> int:
         return self.weight_bytes + self.activation_bytes + self.output_bytes
+
+    def pruned_weight_bytes(self, keep_fraction: float) -> int:
+        """Phase weight traffic with pruning applied (including repeats)."""
+        return self.repeat * sum(
+            op.pruned_weight_bytes(keep_fraction) for op in self.ops
+        )
 
     @property
     def arithmetic_intensity(self) -> float:

@@ -44,13 +44,19 @@ def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
         raise ValueError("vectors must have the same length")
     if a.size == 0:
         raise ValueError("vectors must not be empty")
-    norm_a = np.linalg.norm(a)
-    norm_b = np.linalg.norm(b)
-    if norm_a == 0.0 and norm_b == 0.0:
+    # Rescale by the max magnitude before squaring: elements near the
+    # subnormal range would otherwise underflow inside the norms and the
+    # dot product.  The clip bounds rounding error to the mathematical range.
+    max_a = float(np.max(np.abs(a)))
+    max_b = float(np.max(np.abs(b)))
+    if max_a == 0.0 and max_b == 0.0:
         return 1.0
-    if norm_a == 0.0 or norm_b == 0.0:
+    if max_a == 0.0 or max_b == 0.0:
         return 0.0
-    return float(np.dot(a, b) / (norm_a * norm_b))
+    a = a / max_a
+    b = b / max_b
+    denominator = np.linalg.norm(a) * np.linalg.norm(b)
+    return float(np.clip(np.dot(a, b) / denominator, -1.0, 1.0))
 
 
 def pruning_ratio(kept_channels: int, total_channels: int) -> float:

@@ -1,0 +1,49 @@
+"""Traffic-scale serving simulation on EdgeMM chips.
+
+The serving layer turns the single-request performance simulator into a
+deployment study: open-loop arrival processes drive a continuous-batching
+queue on one chip (:mod:`repro.serving.queue`) or a load-balanced fleet of
+chips (:mod:`repro.serving.fleet`), and per-request timestamp records fold
+into latency/TTFT percentiles and aggregate throughput
+(:mod:`repro.serving.metrics`).
+"""
+
+from .arrival import BurstyArrivals, PoissonArrivals, RequestSampler, TraceArrivals
+from .fleet import FleetResult, FleetSimulator
+from .metrics import (
+    PercentileStats,
+    RequestRecord,
+    ServingReport,
+    empty_report,
+    format_report,
+    percentile,
+    summarize,
+)
+from .queue import (
+    BatchDecodeCostModel,
+    ContinuousBatchingSimulator,
+    ServingRequest,
+    ServingResult,
+    build_trace,
+)
+
+__all__ = [
+    "BurstyArrivals",
+    "PoissonArrivals",
+    "RequestSampler",
+    "TraceArrivals",
+    "FleetResult",
+    "FleetSimulator",
+    "PercentileStats",
+    "RequestRecord",
+    "ServingReport",
+    "empty_report",
+    "format_report",
+    "percentile",
+    "summarize",
+    "BatchDecodeCostModel",
+    "ContinuousBatchingSimulator",
+    "ServingRequest",
+    "ServingResult",
+    "build_trace",
+]

@@ -1,0 +1,176 @@
+"""Request arrival processes for traffic-scale serving simulation.
+
+Three arrival models cover the deployment scenarios the serving simulator
+targets:
+
+* :class:`PoissonArrivals` — memoryless traffic at a constant offered rate,
+  the classical open-loop load model;
+* :class:`BurstyArrivals` — a two-state Markov-modulated Poisson process
+  alternating between a calm state and a burst state whose rate is a
+  multiple of the base rate (interactive edge traffic is bursty, not
+  Poisson);
+* :class:`TraceArrivals` — replay of an explicit timestamp trace, for
+  feeding measured production traces through the simulator.
+
+All generators are deterministic under a fixed seed: two generators built
+with the same parameters produce bit-identical timestamp sequences, which
+the test suite relies on and which makes serving experiments reproducible.
+
+:class:`RequestSampler` pairs the arrival times with request *shapes*
+(image count, prompt length, output length), again deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..models.mllm import InferenceRequest
+
+
+class PoissonArrivals:
+    """Poisson arrival process at a constant ``rate_rps`` requests/second."""
+
+    def __init__(self, rate_rps: float, *, seed: int = 0) -> None:
+        if rate_rps <= 0:
+            raise ValueError("rate_rps must be positive")
+        self.rate_rps = rate_rps
+        self.seed = seed
+
+    def generate(self, n: int) -> List[float]:
+        """Arrival timestamps (seconds, sorted, starting after t = 0)."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        rng = random.Random(self.seed)
+        times: List[float] = []
+        now = 0.0
+        for _ in range(n):
+            now += rng.expovariate(self.rate_rps)
+            times.append(now)
+        return times
+
+
+class BurstyArrivals:
+    """Two-state Markov-modulated Poisson process (calm / burst).
+
+    The process alternates between a calm state at ``rate_rps`` and a burst
+    state at ``rate_rps * burst_multiplier``.  State residence is geometric:
+    after each arrival the process stays in its state with a probability
+    derived from ``mean_calm_arrivals`` / ``mean_burst_arrivals``.
+    """
+
+    def __init__(
+        self,
+        rate_rps: float,
+        *,
+        burst_multiplier: float = 8.0,
+        mean_calm_arrivals: float = 60.0,
+        mean_burst_arrivals: float = 20.0,
+        seed: int = 0,
+    ) -> None:
+        if rate_rps <= 0:
+            raise ValueError("rate_rps must be positive")
+        if burst_multiplier < 1.0:
+            raise ValueError("burst_multiplier must be >= 1")
+        if mean_calm_arrivals < 1.0 or mean_burst_arrivals < 1.0:
+            raise ValueError("mean state lengths must be >= 1 arrival")
+        self.rate_rps = rate_rps
+        self.burst_multiplier = burst_multiplier
+        self.mean_calm_arrivals = mean_calm_arrivals
+        self.mean_burst_arrivals = mean_burst_arrivals
+        self.seed = seed
+
+    def generate(self, n: int) -> List[float]:
+        """Arrival timestamps (seconds, sorted, starting after t = 0)."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        rng = random.Random(self.seed)
+        times: List[float] = []
+        now = 0.0
+        bursting = False
+        for _ in range(n):
+            rate = self.rate_rps * (self.burst_multiplier if bursting else 1.0)
+            now += rng.expovariate(rate)
+            times.append(now)
+            mean_length = (
+                self.mean_burst_arrivals if bursting else self.mean_calm_arrivals
+            )
+            if rng.random() < 1.0 / mean_length:
+                bursting = not bursting
+        return times
+
+
+class TraceArrivals:
+    """Replay of an explicit arrival-timestamp trace.
+
+    The trace must already be in non-decreasing order: trace position pairs
+    each timestamp with a request shape downstream (``build_trace``), so
+    silently sorting would re-pair times with the wrong requests.
+    """
+
+    def __init__(self, times: Sequence[float]) -> None:
+        times = [float(t) for t in times]
+        if any(t < 0 for t in times):
+            raise ValueError("trace timestamps must be >= 0")
+        if any(later < earlier for earlier, later in zip(times, times[1:])):
+            raise ValueError(
+                "trace timestamps must be non-decreasing (trace order pairs "
+                "timestamps with request shapes)"
+            )
+        self.times = times
+
+    def generate(self, n: int) -> List[float]:
+        """The first ``n`` trace timestamps (the trace must be long enough)."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        if n > len(self.times):
+            raise ValueError(
+                f"trace holds {len(self.times)} arrivals, {n} requested"
+            )
+        return list(self.times[:n])
+
+
+@dataclass(frozen=True)
+class RequestSampler:
+    """Deterministic sampler of request shapes.
+
+    ``output_token_choices`` are drawn with ``output_token_weights`` (short
+    answers dominate real chat traffic, with a long tail); prompt lengths are
+    uniform over ``prompt_token_range``.
+    """
+
+    images: int = 1
+    prompt_token_range: Tuple[int, int] = (16, 64)
+    output_token_choices: Tuple[int, ...] = (16, 32, 64, 128, 256)
+    output_token_weights: Tuple[float, ...] = (0.3, 0.3, 0.25, 0.1, 0.05)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        lo, hi = self.prompt_token_range
+        if lo <= 0 or hi < lo:
+            raise ValueError("prompt_token_range must be a positive (lo, hi)")
+        if len(self.output_token_choices) != len(self.output_token_weights):
+            raise ValueError("choices and weights must have equal length")
+        if any(tokens <= 0 for tokens in self.output_token_choices):
+            raise ValueError("output token choices must be positive")
+
+    def sample(self, n: int) -> List[InferenceRequest]:
+        """``n`` request shapes, bit-identical for identical samplers."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        rng = random.Random(self.seed)
+        lo, hi = self.prompt_token_range
+        requests = []
+        for _ in range(n):
+            output_tokens = rng.choices(
+                self.output_token_choices, weights=self.output_token_weights
+            )[0]
+            requests.append(
+                InferenceRequest(
+                    images=self.images,
+                    prompt_text_tokens=rng.randint(lo, hi),
+                    output_tokens=output_tokens,
+                )
+            )
+        return requests

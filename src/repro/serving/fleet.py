@@ -1,0 +1,148 @@
+"""Multi-chip fleet serving: a load balancer in front of N EdgeMM chips.
+
+A deployment serving heavy traffic runs a fleet of EdgeMM chips behind a
+dispatcher.  :class:`FleetSimulator` partitions an open-loop trace across
+``n_chips`` single-chip :class:`~repro.serving.queue.ContinuousBatchingSimulator`
+instances according to a load-balancing policy and merges the per-chip
+records into one fleet-wide report.
+
+Two dispatch policies are provided:
+
+* ``round_robin`` — requests go to chips cyclically, the stateless default;
+* ``least_loaded`` — each request goes to the chip whose *estimated*
+  completion horizon is earliest, where the estimate is the chip's current
+  horizon plus a batch-1 cost estimate of the request (prefill + decode).
+  This is a dispatcher-side estimate, as a real front-end would compute —
+  the dispatcher does not look inside the chips' queues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..core.simulator import PerformanceSimulator
+from ..models.mllm import InferenceRequest, MLLMConfig
+from .metrics import RequestRecord, ServingReport, summarize
+from .queue import ContinuousBatchingSimulator, ServingRequest, ServingResult
+
+POLICIES: Tuple[str, ...] = ("round_robin", "least_loaded")
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Outcome of a fleet simulation: merged records plus per-chip results."""
+
+    records: Tuple[RequestRecord, ...]
+    per_chip: Tuple[ServingResult, ...]
+    assignments: Tuple[int, ...]
+
+    @property
+    def report(self) -> ServingReport:
+        return summarize(self.records)
+
+    @property
+    def requests_per_chip(self) -> Tuple[int, ...]:
+        counts = [0] * len(self.per_chip)
+        for chip_id in self.assignments:
+            counts[chip_id] += 1
+        return tuple(counts)
+
+
+class FleetSimulator:
+    """Dispatches a trace across a fleet of identical EdgeMM chips."""
+
+    def __init__(
+        self,
+        model: MLLMConfig,
+        *,
+        n_chips: int = 2,
+        policy: str = "round_robin",
+        simulator_factory: Optional[Callable[[], PerformanceSimulator]] = None,
+        max_batch_size: int = 8,
+        cc_bandwidth_fraction: float = 0.5,
+        context_bucket: int = 32,
+    ) -> None:
+        if n_chips < 1:
+            raise ValueError("n_chips must be >= 1")
+        if policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}, got {policy!r}")
+        self.model = model
+        self.n_chips = n_chips
+        self.policy = policy
+        factory = simulator_factory or PerformanceSimulator
+        self.chips: List[ContinuousBatchingSimulator] = [
+            ContinuousBatchingSimulator(
+                factory(),
+                model,
+                max_batch_size=max_batch_size,
+                cc_bandwidth_fraction=cc_bandwidth_fraction,
+                context_bucket=context_bucket,
+                chip_id=chip_id,
+            )
+            for chip_id in range(n_chips)
+        ]
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _estimate_cost_s(self, chip: ContinuousBatchingSimulator,
+                         request: InferenceRequest) -> float:
+        """Dispatcher-side batch-1 service-time estimate of one request."""
+        prefill = chip.cc_latency_s(request)
+        context = self.model.prompt_tokens(request)
+        per_token = chip.cost_model.step_latency_s([context])
+        return prefill + per_token * request.output_tokens
+
+    def assign(self, trace: Sequence[ServingRequest]) -> List[int]:
+        """Chip index for every request of the trace, in trace order.
+
+        Assignments are positional, so traces carrying duplicate (caller-
+        supplied) request ids still dispatch every request.
+        """
+        order = sorted(
+            range(len(trace)),
+            key=lambda i: (trace[i].arrival_s, trace[i].request_id),
+        )
+        assignments = [0] * len(trace)
+        if self.policy == "round_robin":
+            for position, index in enumerate(order):
+                assignments[index] = position % self.n_chips
+        else:  # least_loaded
+            horizon = [0.0] * self.n_chips
+            for index in order:
+                request = trace[index]
+                chip_id = min(range(self.n_chips), key=lambda i: horizon[i])
+                cost = self._estimate_cost_s(self.chips[chip_id], request.request)
+                horizon[chip_id] = max(horizon[chip_id], request.arrival_s) + cost
+                assignments[index] = chip_id
+        return assignments
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def run(self, trace: Sequence[ServingRequest]) -> FleetResult:
+        """Dispatch the trace, simulate every chip and merge the records."""
+        if not trace:
+            raise ValueError("trace must not be empty")
+        assignments = self.assign(trace)
+        shards: List[List[ServingRequest]] = [[] for _ in range(self.n_chips)]
+        for request, chip_id in zip(trace, assignments):
+            shards[chip_id].append(request)
+        per_chip: List[ServingResult] = []
+        records: List[RequestRecord] = []
+        for chip, shard in zip(self.chips, shards):
+            if not shard:
+                per_chip.append(
+                    ServingResult(records=(), peak_batch_size=0, decode_steps=0)
+                )
+                continue
+            result = chip.run(shard)
+            per_chip.append(result)
+            records.extend(result.records)
+        records.sort(key=lambda record: record.request_id)
+        return FleetResult(
+            records=tuple(records),
+            per_chip=tuple(per_chip),
+            assignments=tuple(assignments),
+        )

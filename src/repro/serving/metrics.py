@@ -1,0 +1,182 @@
+"""Serving-level metrics: per-request records and traffic-wide statistics.
+
+The serving simulator produces one :class:`RequestRecord` per request with
+the full timestamp trail (arrival -> prefill start -> first token ->
+completion).  :func:`summarize` folds a batch of records into the
+:class:`ServingReport` a deployment study reads: latency and TTFT
+percentiles, queueing delay and aggregate throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..models.mllm import InferenceRequest
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) with linear interpolation.
+
+    Thin wrapper over ``numpy.percentile``'s default (``linear``) method
+    with explicit validation, so the serving metrics share one percentile
+    definition with the rest of the scientific stack.
+    """
+    if len(values) == 0:
+        raise ValueError("values must not be empty")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Timestamp trail of one served request (all times in seconds)."""
+
+    request_id: int
+    request: InferenceRequest
+    arrival_s: float
+    prefill_start_s: float
+    prefill_end_s: float
+    first_token_s: float
+    finish_s: float
+    chip_id: int = 0
+
+    def __post_init__(self) -> None:
+        trail = (
+            self.arrival_s,
+            self.prefill_start_s,
+            self.prefill_end_s,
+            self.first_token_s,
+            self.finish_s,
+        )
+        if any(later < earlier for earlier, later in zip(trail, trail[1:])):
+            raise ValueError(
+                f"request {self.request_id}: timestamps must be monotonic, got {trail}"
+            )
+
+    @property
+    def queue_wait_s(self) -> float:
+        """Time spent waiting before the CC-stage started the request."""
+        return self.prefill_start_s - self.arrival_s
+
+    @property
+    def ttft_s(self) -> float:
+        """Time to first token, measured from arrival."""
+        return self.first_token_s - self.arrival_s
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end request latency (arrival to last token)."""
+        return self.finish_s - self.arrival_s
+
+    @property
+    def decode_s(self) -> float:
+        """Time spent in the decode stage (first admission to last token)."""
+        return self.finish_s - self.prefill_end_s
+
+    @property
+    def output_tokens(self) -> int:
+        return self.request.output_tokens
+
+
+@dataclass(frozen=True)
+class PercentileStats:
+    """p50/p95/p99 plus mean and max of one latency-like quantity."""
+
+    p50: float
+    p95: float
+    p99: float
+    mean: float
+    max: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "PercentileStats":
+        if len(values) == 0:
+            raise ValueError("values must not be empty")
+        return cls(
+            p50=percentile(values, 50),
+            p95=percentile(values, 95),
+            p99=percentile(values, 99),
+            mean=sum(values) / len(values),
+            max=max(values),
+        )
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Aggregate statistics over one serving-simulation run."""
+
+    n_requests: int
+    makespan_s: float
+    total_output_tokens: int
+    latency: PercentileStats
+    ttft: PercentileStats
+    queue_wait: PercentileStats
+
+    @property
+    def requests_per_second(self) -> float:
+        """Completed requests per second of simulated time."""
+        if self.makespan_s == 0:
+            return 0.0
+        return self.n_requests / self.makespan_s
+
+    @property
+    def tokens_per_second(self) -> float:
+        """Generated tokens per second of simulated time."""
+        if self.makespan_s == 0:
+            return 0.0
+        return self.total_output_tokens / self.makespan_s
+
+
+def empty_report() -> ServingReport:
+    """The all-zero report of a server that completed no requests."""
+    zeros = PercentileStats(p50=0.0, p95=0.0, p99=0.0, mean=0.0, max=0.0)
+    return ServingReport(
+        n_requests=0,
+        makespan_s=0.0,
+        total_output_tokens=0,
+        latency=zeros,
+        ttft=zeros,
+        queue_wait=zeros,
+    )
+
+
+def summarize(records: Sequence[RequestRecord]) -> ServingReport:
+    """Fold per-request records into a :class:`ServingReport`."""
+    if not records:
+        raise ValueError("records must not be empty")
+    makespan = max(record.finish_s for record in records) - min(
+        record.arrival_s for record in records
+    )
+    return ServingReport(
+        n_requests=len(records),
+        makespan_s=makespan,
+        total_output_tokens=sum(record.output_tokens for record in records),
+        latency=PercentileStats.from_values([r.latency_s for r in records]),
+        ttft=PercentileStats.from_values([r.ttft_s for r in records]),
+        queue_wait=PercentileStats.from_values([r.queue_wait_s for r in records]),
+    )
+
+
+def format_report(report: ServingReport, *, title: str = "Serving report") -> str:
+    """Human-readable rendering of a :class:`ServingReport`."""
+    lines: List[str] = [title, "-" * len(title)]
+    lines.append(f"requests completed : {report.n_requests}")
+    lines.append(f"makespan           : {report.makespan_s:.3f} s")
+    lines.append(f"throughput         : {report.requests_per_second:.2f} req/s")
+    lines.append(f"token throughput   : {report.tokens_per_second:.1f} tokens/s")
+    quantities: Dict[str, PercentileStats] = {
+        "latency": report.latency,
+        "TTFT": report.ttft,
+        "queue wait": report.queue_wait,
+    }
+    for label, stats in quantities.items():
+        lines.append(
+            f"{label:<11}: p50 {stats.p50 * 1e3:9.2f} ms   "
+            f"p95 {stats.p95 * 1e3:9.2f} ms   p99 {stats.p99 * 1e3:9.2f} ms   "
+            f"mean {stats.mean * 1e3:9.2f} ms"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,335 @@
+"""Continuous-batching serving engine for one EdgeMM chip.
+
+The engine plays an open-loop request trace against the two-stage EdgeMM
+pipeline the paper describes (Fig. 9): the CC-clusters run vision encode +
+projection + prefill one request at a time, while the MC-clusters decode a
+*dynamic* batch — streams join the decode batch the moment their prefill
+finishes (at the next token boundary) and leave the moment their last token
+is generated, exactly the continuous-batching discipline of modern LLM
+servers.  Decoding a batch re-uses every weight read across the batch, the
+same traffic model as :class:`~repro.scheduling.batching.BatchPlanner`.
+
+The simulation is event-driven over three event sources (request arrival,
+CC-stage completion, decode-step completion) and entirely deterministic.
+Its cost model leans on the memoized
+:class:`~repro.core.simulator.PerformanceSimulator`: per-op cycles are
+cached by shape and decode contexts are quantized to ``context_bucket``
+tokens, so simulating thousands of requests costs thousands of dictionary
+lookups, not thousands of full workload simulations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..core.pipeline import cc_stage_latency
+from ..core.simulator import PerformanceSimulator
+from ..models.mllm import InferenceRequest, MLLMConfig
+from .metrics import RequestRecord, ServingReport, empty_report, summarize
+
+
+@dataclass(frozen=True)
+class ServingRequest:
+    """One request of a serving trace: an arrival time plus a shape."""
+
+    request_id: int
+    arrival_s: float
+    request: InferenceRequest
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0:
+            raise ValueError("arrival_s must be >= 0")
+
+
+def build_trace(
+    arrival_times: Sequence[float], requests: Sequence[InferenceRequest]
+) -> List[ServingRequest]:
+    """Zip arrival timestamps with request shapes into a serving trace."""
+    if len(arrival_times) != len(requests):
+        raise ValueError("arrival_times and requests must have equal length")
+    return [
+        ServingRequest(request_id=index, arrival_s=arrival, request=request)
+        for index, (arrival, request) in enumerate(zip(arrival_times, requests))
+    ]
+
+
+class BatchDecodeCostModel:
+    """Latency of one decode step for a batch of streams.
+
+    Weight traffic (and nothing else) is shared across the batch; per-stream
+    activation and KV-cache traffic and per-stream compute scale with the
+    batch size.  Contexts are quantized to ``context_bucket`` tokens so the
+    per-context cost triple ``(weight bytes, per-stream bytes, compute
+    cycles)`` is computed once per bucket and then reused for every stream
+    and every step that lands in the bucket.
+    """
+
+    def __init__(
+        self,
+        simulator: PerformanceSimulator,
+        model: MLLMConfig,
+        *,
+        mc_bandwidth_fraction: float = 0.5,
+        context_bucket: int = 32,
+    ) -> None:
+        if not 0.0 < mc_bandwidth_fraction <= 1.0:
+            raise ValueError("mc_bandwidth_fraction must be in (0, 1]")
+        if context_bucket < 1:
+            raise ValueError("context_bucket must be >= 1")
+        self.simulator = simulator
+        self.model = model
+        self.mc_bandwidth_fraction = mc_bandwidth_fraction
+        self.context_bucket = context_bucket
+        self.pool = "mc" if simulator.has_mc else "cc"
+        self._bucket_cost: Dict[int, Tuple[int, int, float]] = {}
+
+    def _bucket(self, context: int) -> int:
+        return ((max(context, 1) + self.context_bucket - 1) // self.context_bucket) * (
+            self.context_bucket
+        )
+
+    def _cost(self, bucket: int) -> Tuple[int, int, float]:
+        """(shared weight bytes, per-stream bytes, per-stream compute cycles)."""
+        cached = self._bucket_cost.get(bucket)
+        if cached is not None:
+            return cached
+        phase = self.model.decode_step(bucket)
+        keep = self.simulator.effective_keep_fraction()
+        weight_bytes = 0
+        total_bytes = 0
+        compute_cycles = 0.0
+        for op in phase.ops:
+            execution = self.simulator.execute_op(
+                op, pool=self.pool, bandwidth_fraction=1.0
+            )
+            weight_bytes += op.pruned_weight_bytes(keep)
+            total_bytes += execution.dram_bytes
+            compute_cycles += execution.compute_cycles
+        cost = (weight_bytes, total_bytes - weight_bytes, compute_cycles)
+        self._bucket_cost[bucket] = cost
+        return cost
+
+    def step_latency_s(self, context_lengths: Sequence[int]) -> float:
+        """Seconds to generate one token for every stream in the batch."""
+        if not context_lengths:
+            raise ValueError("context_lengths must not be empty")
+        weight_bytes = 0
+        per_stream_bytes = 0
+        compute_cycles = 0.0
+        for context in context_lengths:
+            shared, per_stream, compute = self._cost(self._bucket(context))
+            # Weights are identical for every stream; read them once per step.
+            weight_bytes = max(weight_bytes, shared)
+            per_stream_bytes += per_stream
+            compute_cycles += compute
+        memory_cycles = self.simulator.memory_cycles(
+            weight_bytes + per_stream_bytes, self.pool, self.mc_bandwidth_fraction
+        )
+        return self.simulator.chip.cycles_to_seconds(
+            max(memory_cycles, compute_cycles)
+        )
+
+
+@dataclass
+class _DecodeStream:
+    """Book-keeping of one request while it decodes."""
+
+    source: ServingRequest
+    prefill_start_s: float
+    prefill_end_s: float
+    context: int
+    generated: int = 0
+    first_token_s: Optional[float] = None
+
+    @property
+    def target_tokens(self) -> int:
+        return self.source.request.output_tokens
+
+
+@dataclass(frozen=True)
+class ServingResult:
+    """Outcome of one single-chip serving simulation."""
+
+    records: Tuple[RequestRecord, ...]
+    peak_batch_size: int
+    decode_steps: int
+
+    @property
+    def report(self) -> ServingReport:
+        """Aggregate report; all-zero for a chip that served no requests."""
+        if not self.records:
+            return empty_report()
+        return summarize(self.records)
+
+
+class ContinuousBatchingSimulator:
+    """Serves an open-loop request trace on one EdgeMM chip.
+
+    The engine models the heterogeneous two-stage pipeline: the CC-stage
+    and the decode batch own separate cluster pools and only contend for
+    DRAM bandwidth.  On homogeneous chips both stages fall back to the
+    single available pool and still run concurrently in simulated time, so
+    compute capacity is double-booked there — an optimistic bound, not a
+    faithful model of homogeneous serving.
+    """
+
+    def __init__(
+        self,
+        simulator: Optional[PerformanceSimulator] = None,
+        model: Optional[MLLMConfig] = None,
+        *,
+        max_batch_size: int = 8,
+        cc_bandwidth_fraction: float = 0.5,
+        context_bucket: int = 32,
+        chip_id: int = 0,
+    ) -> None:
+        if model is None:
+            raise ValueError("a serving simulator needs an MLLM model")
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if not 0.0 < cc_bandwidth_fraction < 1.0:
+            raise ValueError("cc_bandwidth_fraction must be in (0, 1)")
+        self.simulator = simulator or PerformanceSimulator()
+        self.model = model
+        self.max_batch_size = max_batch_size
+        self.cc_bandwidth_fraction = cc_bandwidth_fraction
+        self.chip_id = chip_id
+        self.cost_model = BatchDecodeCostModel(
+            self.simulator,
+            model,
+            mc_bandwidth_fraction=1.0 - cc_bandwidth_fraction,
+            context_bucket=context_bucket,
+        )
+        self._cc_pool = "cc" if self.simulator.has_cc else "mc"
+        self._cc_latency_cache: Dict[Tuple[int, int], float] = {}
+
+    # ------------------------------------------------------------------
+    # Stage cost models
+    # ------------------------------------------------------------------
+    def cc_latency_s(self, request: InferenceRequest) -> float:
+        """Encode + projector + prefill latency of one request.
+
+        Shares :func:`~repro.core.pipeline.cc_stage_latency` with the
+        pipeline model; results are cached by the request's CC-stage shape
+        (the output length does not affect this stage).
+        """
+        key = (request.images, request.prompt_text_tokens)
+        cached = self._cc_latency_cache.get(key)
+        if cached is not None:
+            return cached
+        probe = InferenceRequest(
+            images=request.images,
+            prompt_text_tokens=request.prompt_text_tokens,
+            output_tokens=1,
+        )
+        latency = cc_stage_latency(
+            self.simulator,
+            self.model,
+            probe,
+            pool=self._cc_pool,
+            bandwidth_fraction=self.cc_bandwidth_fraction,
+        )
+        self._cc_latency_cache[key] = latency
+        return latency
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+    def run(self, trace: Sequence[ServingRequest]) -> ServingResult:
+        """Simulate the trace to completion and return per-request records."""
+        if not trace:
+            raise ValueError("trace must not be empty")
+        pending = sorted(trace, key=lambda r: (r.arrival_s, r.request_id))
+        infinity = float("inf")
+        records: List[RequestRecord] = []
+        cc_queue: Deque[ServingRequest] = deque()
+        cc_job: Optional[Tuple[ServingRequest, float, float]] = None
+        ready: Deque[_DecodeStream] = deque()
+        active: List[_DecodeStream] = []
+        step_end: Optional[float] = None
+        now = 0.0
+        arrival_index = 0
+        peak_batch = 0
+        decode_steps = 0
+
+        while (
+            arrival_index < len(pending)
+            or cc_queue
+            or cc_job is not None
+            or ready
+            or active
+        ):
+            # Start work that can start without advancing time.
+            if cc_job is None and cc_queue:
+                request = cc_queue.popleft()
+                cc_job = (request, now, now + self.cc_latency_s(request.request))
+            if step_end is None and (active or ready):
+                while ready and len(active) < self.max_batch_size:
+                    active.append(ready.popleft())
+                peak_batch = max(peak_batch, len(active))
+                step_end = now + self.cost_model.step_latency_s(
+                    [stream.context for stream in active]
+                )
+                decode_steps += 1
+
+            next_arrival = (
+                pending[arrival_index].arrival_s
+                if arrival_index < len(pending)
+                else infinity
+            )
+            next_cc = cc_job[2] if cc_job is not None else infinity
+            next_step = step_end if step_end is not None else infinity
+            now = min(next_arrival, next_cc, next_step)
+            if now == infinity:  # pragma: no cover - loop guard keeps this dead
+                raise RuntimeError("serving simulation stalled with work pending")
+
+            while (
+                arrival_index < len(pending)
+                and pending[arrival_index].arrival_s <= now
+            ):
+                cc_queue.append(pending[arrival_index])
+                arrival_index += 1
+            if cc_job is not None and cc_job[2] <= now:
+                request, started, finished = cc_job
+                ready.append(
+                    _DecodeStream(
+                        source=request,
+                        prefill_start_s=started,
+                        prefill_end_s=finished,
+                        context=self.model.prompt_tokens(request.request),
+                    )
+                )
+                cc_job = None
+            if step_end is not None and step_end <= now:
+                still_active: List[_DecodeStream] = []
+                for stream in active:
+                    stream.generated += 1
+                    stream.context += 1
+                    if stream.first_token_s is None:
+                        stream.first_token_s = now
+                    if stream.generated >= stream.target_tokens:
+                        records.append(
+                            RequestRecord(
+                                request_id=stream.source.request_id,
+                                request=stream.source.request,
+                                arrival_s=stream.source.arrival_s,
+                                prefill_start_s=stream.prefill_start_s,
+                                prefill_end_s=stream.prefill_end_s,
+                                first_token_s=stream.first_token_s,
+                                finish_s=now,
+                                chip_id=self.chip_id,
+                            )
+                        )
+                    else:
+                        still_active.append(stream)
+                active = still_active
+                step_end = None
+
+        records.sort(key=lambda record: record.request_id)
+        return ServingResult(
+            records=tuple(records),
+            peak_batch_size=peak_batch,
+            decode_steps=decode_steps,
+        )

@@ -1,0 +1,71 @@
+"""Parallel experiment engine tests: identity with the serial path."""
+
+import pytest
+
+from repro.experiments import (
+    ParallelSweepRunner,
+    run_experiments_parallel,
+    sweep_design_space,
+)
+from repro.experiments.parallel import evaluate_design_point
+from repro.experiments.runner import run_and_report
+
+
+def _mutable_result(experiment_id):
+    return {"rows": []}
+
+
+class TestParallelExperiments:
+    def test_fig10_identical_to_serial(self):
+        parallel = run_experiments_parallel(["fig10"], processes=2)
+        assert parallel["fig10"] == run_and_report("fig10")
+
+    def test_fig11_identical_to_serial(self):
+        parallel = run_experiments_parallel(["fig11"], processes=2)
+        assert parallel["fig11"] == run_and_report("fig11")
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiments_parallel(["fig99"])
+
+
+class TestParallelSweepRunner:
+    def test_empty_map(self):
+        assert ParallelSweepRunner(processes=2).map(evaluate_design_point, []) == []
+
+    def test_parallel_matches_serial_sweep(self):
+        serial = sweep_design_space(
+            n_groups_options=(2,), processes=1
+        )
+        parallel = sweep_design_space(
+            n_groups_options=(2,), processes=2
+        )
+        assert serial == parallel
+
+    def test_repeated_points_hit_the_cache(self):
+        runner = ParallelSweepRunner(processes=1)
+        params = {"n_groups": 2, "cc_per_group": 1, "mc_per_group": 1}
+        first = runner.map(evaluate_design_point, [params, params])
+        assert runner.cache_misses == 1
+        assert runner.cache_hits == 1
+        second = runner.map(evaluate_design_point, [params])
+        assert runner.cache_hits == 2
+        assert runner.cache_misses == 1
+        assert first[0] == first[1] == second[0]
+
+    def test_mutating_a_result_does_not_poison_the_cache(self):
+        runner = ParallelSweepRunner(processes=1)
+        params = {"experiment_id": "fig10"}
+        first = runner.map(_mutable_result, [params])[0]
+        first["rows"].append("corrupted")
+        second = runner.map(_mutable_result, [params])[0]
+        assert second == {"rows": []}
+        assert runner.cache_hits == 1
+
+    def test_rejects_bad_process_count(self):
+        with pytest.raises(ValueError):
+            ParallelSweepRunner(processes=0)
+
+    def test_rejects_processes_and_runner_together(self):
+        with pytest.raises(ValueError):
+            sweep_design_space(processes=2, runner=ParallelSweepRunner(processes=1))

@@ -75,10 +75,18 @@ class TestCosineSimilarity:
     )
     @settings(max_examples=50, deadline=None)
     def test_scale_invariance(self, v, scale):
-        similarity = cosine_similarity(v, v * scale)
-        if np.linalg.norm(v) == 0:
-            assert similarity in (0.0, 1.0)
+        scaled = v * scale
+        similarity = cosine_similarity(v, scaled)
+        if np.all(v == 0):
+            assert similarity == 1.0
+        elif not np.allclose(scaled / scale, v, rtol=1e-6, atol=0.0):
+            # Subnormal elements underflowed during scaling, so the scaled
+            # vector no longer points in v's direction; the invariance
+            # property is vacuous for such inputs.
+            pass
         else:
+            # Holds even for subnormal-magnitude vectors whose norms
+            # underflow: the implementation rescales before squaring.
             assert similarity == pytest.approx(1.0, abs=1e-9)
 
 

@@ -1,0 +1,101 @@
+"""Arrival-process tests: determinism, ordering and rate behaviour."""
+
+import pytest
+
+from repro.serving import BurstyArrivals, PoissonArrivals, RequestSampler, TraceArrivals
+
+
+class TestPoissonArrivals:
+    def test_deterministic_under_fixed_seed(self):
+        a = PoissonArrivals(5.0, seed=123).generate(500)
+        b = PoissonArrivals(5.0, seed=123).generate(500)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = PoissonArrivals(5.0, seed=1).generate(100)
+        b = PoissonArrivals(5.0, seed=2).generate(100)
+        assert a != b
+
+    def test_sorted_and_positive(self):
+        times = PoissonArrivals(3.0, seed=0).generate(200)
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)
+
+    def test_mean_rate_close_to_nominal(self):
+        n = 4000
+        times = PoissonArrivals(8.0, seed=7).generate(n)
+        observed_rate = n / times[-1]
+        assert observed_rate == pytest.approx(8.0, rel=0.1)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0)
+        with pytest.raises(ValueError):
+            PoissonArrivals(1.0).generate(-1)
+
+
+class TestBurstyArrivals:
+    def test_deterministic_under_fixed_seed(self):
+        a = BurstyArrivals(2.0, seed=9).generate(300)
+        b = BurstyArrivals(2.0, seed=9).generate(300)
+        assert a == b
+
+    def test_mean_rate_between_base_and_burst(self):
+        n = 4000
+        process = BurstyArrivals(2.0, burst_multiplier=10.0, seed=5)
+        times = process.generate(n)
+        observed_rate = n / times[-1]
+        assert 2.0 < observed_rate < 20.0
+
+    def test_burstier_than_poisson(self):
+        # The squared coefficient of variation of MMPP inter-arrivals
+        # exceeds the exponential's CV^2 of 1.
+        times = BurstyArrivals(2.0, burst_multiplier=10.0, seed=11).generate(4000)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        mean = sum(gaps) / len(gaps)
+        variance = sum((gap - mean) ** 2 for gap in gaps) / len(gaps)
+        assert variance / mean**2 > 1.1
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            BurstyArrivals(2.0, burst_multiplier=0.5)
+        with pytest.raises(ValueError):
+            BurstyArrivals(-1.0)
+
+
+class TestTraceArrivals:
+    def test_replays_prefix_in_trace_order(self):
+        trace = TraceArrivals([1.0, 2.0, 3.0])
+        assert trace.generate(2) == [1.0, 2.0]
+
+    def test_rejects_unsorted_traces(self):
+        # Sorting would silently re-pair timestamps with request shapes.
+        with pytest.raises(ValueError):
+            TraceArrivals([3.0, 1.0, 2.0])
+
+    def test_rejects_negative_timestamps_and_overruns(self):
+        with pytest.raises(ValueError):
+            TraceArrivals([-1.0])
+        with pytest.raises(ValueError):
+            TraceArrivals([1.0]).generate(2)
+
+
+class TestRequestSampler:
+    def test_deterministic_under_fixed_seed(self):
+        a = RequestSampler(seed=4).sample(100)
+        b = RequestSampler(seed=4).sample(100)
+        assert a == b
+
+    def test_shapes_within_configured_ranges(self):
+        sampler = RequestSampler(
+            prompt_token_range=(10, 20), output_token_choices=(8, 16),
+            output_token_weights=(0.5, 0.5), seed=1,
+        )
+        for request in sampler.sample(200):
+            assert 10 <= request.prompt_text_tokens <= 20
+            assert request.output_tokens in (8, 16)
+            assert request.images == 1
+
+    def test_rejects_mismatched_weights(self):
+        with pytest.raises(ValueError):
+            RequestSampler(output_token_choices=(8,), output_token_weights=(0.5, 0.5))

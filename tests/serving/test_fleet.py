@@ -1,0 +1,94 @@
+"""Fleet-simulation tests: dispatch policies and merged reporting."""
+
+import pytest
+
+from repro.models.mllm import get_mllm
+from repro.serving import (
+    ContinuousBatchingSimulator,
+    FleetSimulator,
+    PoissonArrivals,
+    RequestSampler,
+    ServingRequest,
+    build_trace,
+)
+
+N_REQUESTS = 48
+
+
+@pytest.fixture(scope="module")
+def model():
+    return get_mllm("sphinx-tiny")
+
+
+@pytest.fixture(scope="module")
+def trace(model):
+    return build_trace(
+        PoissonArrivals(6.0, seed=2).generate(N_REQUESTS),
+        RequestSampler(
+            seed=2, output_token_choices=(8, 16), output_token_weights=(0.6, 0.4)
+        ).sample(N_REQUESTS),
+    )
+
+
+class TestDispatch:
+    def test_round_robin_cycles_chips(self, model, trace):
+        fleet = FleetSimulator(model, n_chips=3, policy="round_robin")
+        assignments = fleet.assign(trace)
+        expected = [index % 3 for index in range(len(trace))]
+        assert assignments == expected
+
+    def test_least_loaded_uses_every_chip(self, model, trace):
+        fleet = FleetSimulator(model, n_chips=4, policy="least_loaded")
+        assignments = fleet.assign(trace)
+        assert set(assignments) == {0, 1, 2, 3}
+
+    def test_duplicate_request_ids_still_dispatch_everywhere(self, model, trace):
+        duplicated = [
+            ServingRequest(request_id=0, arrival_s=r.arrival_s, request=r.request)
+            for r in trace[:4]
+        ]
+        fleet = FleetSimulator(model, n_chips=2, policy="round_robin")
+        assignments = fleet.assign(duplicated)
+        assert sorted(assignments) == [0, 0, 1, 1]
+
+    def test_rejects_unknown_policy(self, model):
+        with pytest.raises(ValueError):
+            FleetSimulator(model, policy="random")
+        with pytest.raises(ValueError):
+            FleetSimulator(model, n_chips=0)
+
+
+class TestFleetRun:
+    def test_every_request_served_once(self, model, trace):
+        fleet = FleetSimulator(model, n_chips=3, policy="round_robin")
+        result = fleet.run(trace)
+        assert len(result.records) == len(trace)
+        assert sorted(r.request_id for r in result.records) == list(
+            range(len(trace))
+        )
+        assert sum(result.requests_per_chip) == len(trace)
+
+    def test_fleet_reduces_latency_under_load(self, model, trace):
+        single = ContinuousBatchingSimulator(model=model, max_batch_size=8).run(trace)
+        fleet = FleetSimulator(
+            model, n_chips=4, policy="least_loaded", max_batch_size=8
+        ).run(trace)
+        assert fleet.report.latency.mean < single.report.latency.mean
+        assert fleet.report.ttft.p95 < single.report.ttft.p95
+
+    def test_idle_chip_reports_do_not_crash(self, model, trace):
+        # More chips than requests in the first arrivals: with only two
+        # requests, chips 2 and 3 of a round-robin fleet stay idle.
+        fleet = FleetSimulator(model, n_chips=4, policy="round_robin")
+        result = fleet.run(trace[:2])
+        reports = [chip_result.report for chip_result in result.per_chip]
+        assert [report.n_requests for report in reports] == [1, 1, 0, 0]
+        assert reports[2].tokens_per_second == 0.0
+        assert reports[2].latency.p99 == 0.0
+
+    def test_single_chip_fleet_matches_direct_simulation(self, model, trace):
+        direct = ContinuousBatchingSimulator(model=model, max_batch_size=8).run(trace)
+        fleet = FleetSimulator(
+            model, n_chips=1, policy="round_robin", max_batch_size=8
+        ).run(trace)
+        assert fleet.records == direct.records

@@ -1,0 +1,122 @@
+"""Continuous-batching queue tests: invariants of the serving engine."""
+
+import pytest
+
+from repro.core.simulator import PerformanceSimulator
+from repro.models.mllm import InferenceRequest, get_mllm
+from repro.serving import (
+    BatchDecodeCostModel,
+    ContinuousBatchingSimulator,
+    PoissonArrivals,
+    RequestSampler,
+    ServingRequest,
+    build_trace,
+)
+
+N_REQUESTS = 60
+
+
+@pytest.fixture(scope="module")
+def model():
+    return get_mllm("sphinx-tiny")
+
+
+@pytest.fixture(scope="module")
+def trace(model):
+    return build_trace(
+        PoissonArrivals(4.0, seed=21).generate(N_REQUESTS),
+        RequestSampler(
+            seed=21, output_token_choices=(8, 16, 32), output_token_weights=(0.5, 0.3, 0.2)
+        ).sample(N_REQUESTS),
+    )
+
+
+@pytest.fixture(scope="module")
+def result(model, trace):
+    return ContinuousBatchingSimulator(model=model, max_batch_size=8).run(trace)
+
+
+class TestQueueInvariants:
+    def test_every_request_completes_exactly_once(self, result, trace):
+        assert len(result.records) == len(trace)
+        assert sorted(r.request_id for r in result.records) == sorted(
+            r.request_id for r in trace
+        )
+
+    def test_tokens_are_conserved(self, result, trace):
+        generated = sum(record.output_tokens for record in result.records)
+        requested = sum(request.request.output_tokens for request in trace)
+        assert generated == requested
+
+    def test_batch_size_never_exceeds_limit(self, result):
+        assert 1 <= result.peak_batch_size <= 8
+
+    def test_timestamp_trail_is_monotonic(self, result):
+        # RequestRecord validates monotonicity on construction; spot-check
+        # the derived quantities are non-negative too.
+        for record in result.records:
+            assert record.queue_wait_s >= 0
+            assert record.ttft_s > 0
+            assert record.latency_s >= record.ttft_s
+
+    def test_cc_stage_is_fifo(self, result):
+        ordered = sorted(result.records, key=lambda r: (r.arrival_s, r.request_id))
+        starts = [record.prefill_start_s for record in ordered]
+        assert starts == sorted(starts)
+
+    def test_deterministic_across_runs(self, model, trace, result):
+        again = ContinuousBatchingSimulator(model=model, max_batch_size=8).run(trace)
+        assert again.records == result.records
+        assert again.decode_steps == result.decode_steps
+
+    def test_batching_improves_makespan(self, model, trace, result):
+        serial = ContinuousBatchingSimulator(model=model, max_batch_size=1).run(trace)
+        assert serial.peak_batch_size == 1
+        batched_makespan = result.report.makespan_s
+        assert batched_makespan <= serial.report.makespan_s
+
+    def test_decode_steps_bounded_below_by_token_count(self, result, trace):
+        total_tokens = sum(request.request.output_tokens for request in trace)
+        assert result.decode_steps >= total_tokens / 8
+
+
+class TestBatchDecodeCostModel:
+    def test_batch_step_cheaper_than_independent_streams(self, model):
+        cost = BatchDecodeCostModel(PerformanceSimulator(), model)
+        single = cost.step_latency_s([512])
+        batch = cost.step_latency_s([512] * 8)
+        # Weight re-use: an 8-stream step is far cheaper than 8 single steps.
+        assert batch < 8 * single
+        assert batch >= single
+
+    def test_longer_context_is_slower(self, model):
+        cost = BatchDecodeCostModel(PerformanceSimulator(), model)
+        assert cost.step_latency_s([2048]) > cost.step_latency_s([64])
+
+    def test_bucket_quantization_reuses_entries(self, model):
+        cost = BatchDecodeCostModel(
+            PerformanceSimulator(), model, context_bucket=32
+        )
+        cost.step_latency_s([65, 70, 95])
+        # 65, 70 and 95 all quantize to the 96-token bucket.
+        assert len(cost._bucket_cost) == 1
+
+
+class TestValidation:
+    def test_rejects_empty_trace(self, model):
+        with pytest.raises(ValueError):
+            ContinuousBatchingSimulator(model=model).run([])
+
+    def test_rejects_bad_parameters(self, model):
+        with pytest.raises(ValueError):
+            ContinuousBatchingSimulator(model=model, max_batch_size=0)
+        with pytest.raises(ValueError):
+            ContinuousBatchingSimulator(model=model, cc_bandwidth_fraction=1.0)
+        with pytest.raises(ValueError):
+            ContinuousBatchingSimulator(model=None)
+        with pytest.raises(ValueError):
+            ServingRequest(
+                request_id=0,
+                arrival_s=-1.0,
+                request=InferenceRequest(output_tokens=4),
+            )

@@ -1,0 +1,105 @@
+"""Serving-metric tests: percentile math and report aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.models.mllm import InferenceRequest
+from repro.serving import (
+    PercentileStats,
+    RequestRecord,
+    percentile,
+    summarize,
+)
+
+
+def make_record(request_id, arrival, prefill_start, prefill_end, first, finish,
+                output_tokens=4):
+    return RequestRecord(
+        request_id=request_id,
+        request=InferenceRequest(
+            images=1, prompt_text_tokens=16, output_tokens=output_tokens
+        ),
+        arrival_s=arrival,
+        prefill_start_s=prefill_start,
+        prefill_end_s=prefill_end,
+        first_token_s=first,
+        finish_s=finish,
+    )
+
+
+class TestPercentile:
+    def test_linear_interpolation_hand_computed(self):
+        # rank = (n - 1) * q / 100 with linear interpolation between ranks.
+        values = [10.0, 20.0, 30.0, 40.0, 50.0]
+        assert percentile(values, 25) == 20.0
+        assert percentile(values, 50) == 30.0
+        assert percentile(values, 90) == pytest.approx(46.0)
+        assert percentile([1.0, 2.0, 3.0, 4.0], 95) == pytest.approx(3.85)
+
+    def test_accepts_unsorted_input(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_small_inputs(self):
+        assert percentile([5.0], 99) == 5.0
+        assert percentile([1.0, 3.0], 50) == 2.0
+
+    def test_endpoints(self):
+        values = [4.0, 1.0, 3.0, 2.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+
+    def test_accepts_numpy_arrays(self):
+        values = np.array([1.0, 2.0, 3.0])
+        assert percentile(values, 50) == 2.0
+        stats = PercentileStats.from_values(values)
+        assert stats.mean == 2.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile(np.array([]), 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestPercentileStats:
+    def test_from_values(self):
+        stats = PercentileStats.from_values([1.0, 2.0, 3.0, 4.0])
+        assert stats.p50 == 2.5
+        assert stats.mean == 2.5
+        assert stats.max == 4.0
+
+
+class TestRequestRecord:
+    def test_derived_quantities(self):
+        record = make_record(0, 1.0, 2.0, 3.0, 3.5, 6.0)
+        assert record.queue_wait_s == 1.0
+        assert record.ttft_s == 2.5
+        assert record.latency_s == 5.0
+        assert record.decode_s == 3.0
+
+    def test_rejects_non_monotonic_timestamps(self):
+        with pytest.raises(ValueError):
+            make_record(0, 2.0, 1.0, 3.0, 3.5, 6.0)
+        with pytest.raises(ValueError):
+            make_record(0, 1.0, 2.0, 3.0, 6.5, 6.0)
+
+
+class TestSummarize:
+    def test_aggregates_throughput_and_latency(self):
+        records = [
+            make_record(0, 0.0, 0.0, 1.0, 1.5, 2.0, output_tokens=10),
+            make_record(1, 1.0, 1.0, 2.0, 2.5, 4.0, output_tokens=30),
+        ]
+        report = summarize(records)
+        assert report.n_requests == 2
+        assert report.makespan_s == 4.0
+        assert report.total_output_tokens == 40
+        assert report.requests_per_second == pytest.approx(0.5)
+        assert report.tokens_per_second == pytest.approx(10.0)
+        assert report.latency.p50 == pytest.approx(2.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize([])
