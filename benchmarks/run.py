@@ -1,0 +1,131 @@
+"""Benchmark harness: time every scenario and write ``BENCH_results.json``.
+
+Each ``benchmarks/test_bench_*.py`` module doubles as a pytest-benchmark
+test and a plain scenario provider:
+
+* modules exposing a ``SCENARIOS`` mapping (name -> zero-argument callable)
+  contribute one timed scenario per entry;
+* every other module contributes its module-level ``run()`` under the
+  module's stem (``test_bench_serving`` -> ``serving``).
+
+The harness times each scenario with ``time.perf_counter`` (best of
+``--repeats`` runs, default 1) and writes ``BENCH_results.json`` next to
+this file: scenario -> seconds (plus any JSON-friendly dict the scenario
+returned), with machine info, so the performance trajectory is tracked
+across PRs — CI uploads the file as an artifact.
+
+Run with:  PYTHONPATH=src python benchmarks/run.py [--only SUBSTRING]
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Tuple
+
+BENCH_DIR = Path(__file__).resolve().parent
+DEFAULT_OUTPUT = BENCH_DIR / "BENCH_results.json"
+
+
+def discover_scenarios() -> List[Tuple[str, str, Callable[[], object]]]:
+    """All (scenario name, module file, callable) triples, sorted by name."""
+    scenarios: List[Tuple[str, str, Callable[[], object]]] = []
+    for path in sorted(BENCH_DIR.glob("test_bench_*.py")):
+        spec = importlib.util.spec_from_file_location(f"bench_{path.stem}", path)
+        module = importlib.util.module_from_spec(spec)
+        sys.modules[spec.name] = module
+        spec.loader.exec_module(module)
+        declared = getattr(module, "SCENARIOS", None)
+        if declared is not None:
+            for name, fn in declared.items():
+                scenarios.append((name, path.name, fn))
+        elif hasattr(module, "run"):
+            name = path.stem.replace("test_bench_", "")
+            scenarios.append((name, path.name, module.run))
+    return sorted(scenarios, key=lambda item: item[0])
+
+
+def machine_info() -> Dict[str, object]:
+    import multiprocessing
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": multiprocessing.cpu_count(),
+    }
+
+
+def _json_friendly(value: object) -> Dict[str, object]:
+    """Scenario return values that are flat JSON-primitive dicts pass through."""
+    if isinstance(value, dict) and all(
+        isinstance(k, str) and isinstance(v, (str, int, float, bool, type(None)))
+        for k, v in value.items()
+    ):
+        return dict(value)
+    return {}
+
+
+def time_scenario(fn: Callable[[], object], repeats: int) -> Tuple[float, Dict[str, object]]:
+    """Best-of-``repeats`` wall-clock seconds plus any returned details."""
+    best = float("inf")
+    details: Dict[str, object] = {}
+    for _ in range(max(repeats, 1)):
+        started = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+        details = _json_friendly(value) or details
+    return best, details
+
+
+def run_benchmarks(
+    *, only: str = "", repeats: int = 1, output: Path = DEFAULT_OUTPUT
+) -> Dict[str, object]:
+    """Time every (matching) scenario and write the results file."""
+    scenarios = discover_scenarios()
+    if only:
+        scenarios = [item for item in scenarios if only in item[0]]
+    if not scenarios:
+        raise SystemExit(f"no benchmark scenario matches {only!r}")
+    results: Dict[str, object] = {}
+    for name, module_file, fn in scenarios:
+        seconds, details = time_scenario(fn, repeats)
+        record: Dict[str, object] = {"seconds": seconds, "module": module_file}
+        record.update(details)
+        results[name] = record
+        print(f"{name:40s} {seconds:9.3f} s")
+    report = {
+        "machine": machine_info(),
+        "repeats": max(repeats, 1),
+        "scenarios": results,
+    }
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {output}")
+    return report
+
+
+def main(argv: List[str] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--only", default="", help="run only scenarios whose name contains this substring"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=1, help="timing repeats per scenario (best is kept)"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT, help="result file path"
+    )
+    args = parser.parse_args(argv)
+    run_benchmarks(only=args.only, repeats=args.repeats, output=args.output)
+
+
+if __name__ == "__main__":
+    main()

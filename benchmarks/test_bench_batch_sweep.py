@@ -1,0 +1,116 @@
+"""Benchmark the array-native batch engine on a 1,000-point design sweep.
+
+The sweep crosses chip geometry (groups x CC:MC mix) with DRAM bandwidth
+shares — the grid shape of the fig10/fig11 surroundings and the ablation
+studies.  The scalar path simulates one point at a time through
+``PerformanceSimulator``; the batch engine prices the whole grid as
+broadcasted NumPy passes over a compiled op table.
+
+Two scenarios feed ``BENCH_results.json`` (via ``benchmarks/run.py``):
+
+* ``design_sweep_batch_1000`` — all 1,000 points through the batch engine,
+  including materialising every ``WorkloadResult``;
+* ``design_sweep_scalar_100`` — a 100-point sample of the same grid through
+  the scalar loop (the full 1,000 would dominate harness time; per-point
+  cost is flat, so the extrapolation is honest).
+
+The pytest test asserts the headline acceptance criterion: >= 50x speedup
+on the 1,000-point sweep, with batch results bit-identical to the scalar
+loop on the sampled points.
+"""
+
+import time
+from typing import List, Tuple
+
+from repro.core.batch import batch_run_request
+from repro.core.config import SystemConfig, scaled_system
+from repro.core.simulator import PerformanceSimulator
+from repro.models.mllm import InferenceRequest, get_mllm
+
+N_POINTS = 1000
+SCALAR_SAMPLE = 100
+MODEL_NAME = "sphinx-tiny"
+REQUEST = InferenceRequest(images=1, prompt_text_tokens=32, output_tokens=64)
+
+
+def design_grid() -> Tuple[List[SystemConfig], List[float]]:
+    """1,000 distinct (geometry, bandwidth fraction) design points."""
+    systems: List[SystemConfig] = []
+    fractions: List[float] = []
+    for n_groups in (1, 2, 3, 4, 5):
+        for cc in range(5):
+            for mc in range(5):
+                if cc == 0 and mc == 0:
+                    continue
+                for step in range(9):
+                    systems.append(scaled_system(n_groups, cc, mc))
+                    fractions.append(0.1 + 0.1 * step)
+    return systems[:N_POINTS], fractions[:N_POINTS]
+
+
+def run_batch() -> dict:
+    """Price all N_POINTS design points through the batch engine."""
+    systems, fractions = design_grid()
+    model = get_mllm(MODEL_NAME)
+    batch = batch_run_request(model, REQUEST, systems, bandwidth_fraction=fractions)
+    results = batch.results()
+    assert len(results) == N_POINTS
+    return {"points": N_POINTS, "engine": "batch"}
+
+
+def run_scalar_sample() -> dict:
+    """Price a SCALAR_SAMPLE-point sample through the scalar simulator."""
+    systems, fractions = design_grid()
+    model = get_mllm(MODEL_NAME)
+    for system, fraction in zip(systems[:SCALAR_SAMPLE], fractions[:SCALAR_SAMPLE]):
+        simulator = PerformanceSimulator(system)
+        workload = model.build_workload(REQUEST)
+        simulator.execute_workload(
+            workload,
+            output_tokens=REQUEST.output_tokens,
+            bandwidth_fraction=fraction,
+        )
+    return {"points": SCALAR_SAMPLE, "engine": "scalar"}
+
+
+SCENARIOS = {
+    "design_sweep_batch_1000": run_batch,
+    "design_sweep_scalar_100": run_scalar_sample,
+}
+
+
+def test_bench_batch_sweep_50x_and_identical():
+    """The acceptance benchmark: >= 50x on 1,000 points, results identical."""
+    systems, fractions = design_grid()
+    model = get_mllm(MODEL_NAME)
+
+    started = time.perf_counter()
+    batch = batch_run_request(model, REQUEST, systems, bandwidth_fraction=fractions)
+    batch_results = batch.results()
+    batch_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    scalar_results = []
+    for system, fraction in zip(systems[:SCALAR_SAMPLE], fractions[:SCALAR_SAMPLE]):
+        simulator = PerformanceSimulator(system)
+        workload = model.build_workload(REQUEST)
+        scalar_results.append(
+            simulator.execute_workload(
+                workload,
+                output_tokens=REQUEST.output_tokens,
+                bandwidth_fraction=fraction,
+            )
+        )
+    scalar_sample_seconds = time.perf_counter() - started
+
+    assert batch_results[:SCALAR_SAMPLE] == scalar_results
+
+    scalar_full_estimate = scalar_sample_seconds * (N_POINTS / SCALAR_SAMPLE)
+    speedup = scalar_full_estimate / batch_seconds
+    print()
+    print(
+        f"batch: {N_POINTS} points in {batch_seconds:.3f} s | scalar: "
+        f"{SCALAR_SAMPLE} points in {scalar_sample_seconds:.3f} s "
+        f"(-> {scalar_full_estimate:.1f} s for {N_POINTS}) | speedup {speedup:.0f}x"
+    )
+    assert speedup >= 50, f"batch engine speedup {speedup:.1f}x below the 50x target"

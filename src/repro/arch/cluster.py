@@ -57,6 +57,17 @@ class MCClusterConfig:
         if self.shared_buffer_bytes <= 0 or self.instruction_memory_bytes <= 0:
             raise ValueError("memory sizes must be positive")
 
+    @property
+    def data_memory_bytes(self) -> int:
+        """On-chip weight storage: the CIM macros plus the shared buffer.
+
+        This is the "significantly larger data memory" of MC-clusters the
+        paper credits for better DMA/DRAM efficiency (Fig. 6(b)).  The
+        single source of the formula — the cluster model and the cost
+        engines all read it from here.
+        """
+        return self.n_cores * self.core.cim.storage_bytes + self.shared_buffer_bytes
+
 
 @dataclass(frozen=True)
 class SnitchClusterConfig:
@@ -130,15 +141,8 @@ class MCCluster:
 
     @property
     def data_memory_bytes(self) -> int:
-        """On-chip weight storage: the CIM macros plus the shared buffer.
-
-        This is the "significantly larger data memory" of MC-clusters the
-        paper credits for better DMA/DRAM efficiency (Fig. 6(b)).
-        """
-        return (
-            self.n_cores * self.core.weight_storage_bytes
-            + self.config.shared_buffer_bytes
-        )
+        """On-chip weight storage (see :attr:`MCClusterConfig.data_memory_bytes`)."""
+        return self.config.data_memory_bytes
 
     @property
     def peak_macs_per_cycle(self) -> float:

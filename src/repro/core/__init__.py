@@ -10,7 +10,15 @@ from .config import (
     scaled_system,
 )
 from .metrics import PhaseResult, WorkloadResult, geometric_mean_speedup
-from .simulator import CacheInfo, OpExecution, PerformanceSimulator
+from .simulator import CacheInfo, OpExecution, PerformanceSimulator, PoolCostParams
+from .batch import (
+    BatchCostEngine,
+    BatchWorkloadResult,
+    DesignGrid,
+    OpTable,
+    batch_run_request,
+    compile_workload,
+)
 from .mapping import MappingChoice, MappingDecision, MappingExplorer
 from .pipeline import PipelineModel, PipelinePoint
 from .edgemm import EdgeMM, PruningCalibration
@@ -29,6 +37,13 @@ __all__ = [
     "CacheInfo",
     "OpExecution",
     "PerformanceSimulator",
+    "PoolCostParams",
+    "BatchCostEngine",
+    "BatchWorkloadResult",
+    "DesignGrid",
+    "OpTable",
+    "batch_run_request",
+    "compile_workload",
     "MappingChoice",
     "MappingDecision",
     "MappingExplorer",

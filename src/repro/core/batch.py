@@ -1,0 +1,707 @@
+"""Array-native batched cost engine for design-space sweeps.
+
+The scalar :class:`~repro.core.simulator.PerformanceSimulator` walks a
+workload one operator at a time — perfect for a single chip, hopeless for
+the thousand-point sweeps of design-space exploration where every point
+re-runs the same closed-form cost equations.  This module evaluates entire
+grids of design points in a handful of NumPy passes:
+
+1. :class:`OpTable` compiles a :class:`~repro.models.ops.Workload` into a
+   columnar table: the cost-relevant operator signature ``(kind, m, k, n,
+   traffic bytes, flops, prunable)`` deduplicated into unique columns plus
+   an order index, with per-phase slices.  A workload is chip-independent,
+   so it compiles once per sweep instead of once per point.
+2. :class:`DesignGrid` flattens a list of :class:`SystemConfig` design
+   points (chip geometry, DRAM, bandwidth share, keep fraction) into
+   parameter columns.
+3. :class:`BatchCostEngine` broadcasts the shared :mod:`repro.costs`
+   kernels over the ``(points, unique ops)`` cross product and reduces to
+   per-phase totals.
+
+Numerical identity with the scalar simulator is a hard guarantee, not an
+approximation: both paths run the same kernels, and the per-phase
+reductions use ``np.add.accumulate`` — a strict left fold, the same
+summation order as the scalar ``for op in phase`` loop — so every float in
+a :class:`~repro.core.metrics.WorkloadResult` materialised from a batch is
+bit-identical to the scalar result.  Regression tests assert this across
+randomized configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .. import costs
+from ..arch.area_power import AreaPowerModel
+from ..arch.chip import ChipConfig
+from ..models.mllm import InferenceRequest, MLLMConfig
+from ..models.ops import Op, OpKind, Phase, Workload
+from .config import SystemConfig
+from .metrics import PhaseResult, WorkloadResult
+from .simulator import PoolCostParams
+
+__all__ = [
+    "OpTable",
+    "PhaseSlice",
+    "DesignGrid",
+    "OpCostMatrices",
+    "BatchPhaseArrays",
+    "BatchWorkloadResult",
+    "BatchCostEngine",
+    "compile_workload",
+    "batch_run_request",
+    "ordered_sum",
+]
+
+#: Operator kinds priced as matrix-matrix products (systolic-friendly).
+_MAT_KINDS = frozenset({OpKind.GEMM, OpKind.CONV, OpKind.ATTENTION})
+#: Operator kinds priced as matrix-vector products (CIM-friendly).
+_VEC_KINDS = frozenset({OpKind.GEMV, OpKind.EMBEDDING})
+#: Operator kinds priced on the vector units.
+_ELEM_KINDS = frozenset(
+    {OpKind.ELEMENTWISE, OpKind.SOFTMAX, OpKind.NORM, OpKind.ACTIVATION}
+)
+
+
+@dataclass(frozen=True)
+class PhaseSlice:
+    """One phase's slice of an :class:`OpTable` op-order array."""
+
+    name: str
+    start: int
+    stop: int
+    repeat: int
+    #: Sum of op FLOPs for a single repeat (exact Python int).
+    flops: int
+
+    @property
+    def op_count(self) -> int:
+        return self.stop - self.start
+
+
+class OpTable:
+    """Columnar, deduplicated view of a workload's operators.
+
+    Unique cost signatures become columns; ``order`` maps every operator
+    position (phase by phase, in execution order) to its column, so
+    reductions can preserve the scalar simulator's exact summation order
+    while the expensive per-op cost math runs once per unique signature.
+    """
+
+    def __init__(self, name: str, phases: Sequence[Tuple[str, Sequence[Op], int]]) -> None:
+        signature_index: Dict[tuple, int] = {}
+        columns: List[Op] = []
+        order: List[int] = []
+        slices: List[PhaseSlice] = []
+        for phase_name, ops, repeat in phases:
+            start = len(order)
+            flops = 0
+            for op in ops:
+                signature = (
+                    op.kind,
+                    op.m,
+                    op.k,
+                    op.n,
+                    op.weight_bytes,
+                    op.activation_bytes,
+                    op.output_bytes,
+                    op.flops,
+                    op.prunable,
+                )
+                index = signature_index.get(signature)
+                if index is None:
+                    index = len(columns)
+                    signature_index[signature] = index
+                    columns.append(op)
+                order.append(index)
+                flops += op.flops
+            slices.append(
+                PhaseSlice(
+                    name=phase_name,
+                    start=start,
+                    stop=len(order),
+                    repeat=repeat,
+                    flops=flops,
+                )
+            )
+        self.name = name
+        self.phases: Tuple[PhaseSlice, ...] = tuple(slices)
+        self.order = np.asarray(order, dtype=np.int64)
+        kinds = [op.kind for op in columns]
+        self.m = np.asarray([op.m for op in columns], dtype=np.int64)
+        self.k = np.asarray([op.k for op in columns], dtype=np.int64)
+        self.n = np.asarray([op.n for op in columns], dtype=np.int64)
+        self.weight_bytes = np.asarray(
+            [op.weight_bytes for op in columns], dtype=np.int64
+        )
+        self.activation_bytes = np.asarray(
+            [op.activation_bytes for op in columns], dtype=np.int64
+        )
+        self.output_bytes = np.asarray(
+            [op.output_bytes for op in columns], dtype=np.int64
+        )
+        self.flops = np.asarray([op.flops for op in columns], dtype=np.int64)
+        self.prunable = np.asarray([op.prunable for op in columns], dtype=bool)
+        self.is_mat = np.asarray([kind in _MAT_KINDS for kind in kinds], dtype=bool)
+        self.is_vec = np.asarray([kind in _VEC_KINDS for kind in kinds], dtype=bool)
+        self.is_elem = np.asarray([kind in _ELEM_KINDS for kind in kinds], dtype=bool)
+        #: Strict GEMV mask — pruning shrinks the MACs of GEMV only, not
+        #: EMBEDDING (mirrors ``op.kind is OpKind.GEMV`` in the simulator).
+        self.is_strict_gemv = np.asarray(
+            [kind is OpKind.GEMV for kind in kinds], dtype=bool
+        )
+        #: MC-pool preference of the auto routing policy.
+        self.prefers_mc = self.is_vec
+
+    @property
+    def n_unique(self) -> int:
+        return int(self.m.size)
+
+    @property
+    def n_ops(self) -> int:
+        return int(self.order.size)
+
+    def phase(self, name: str) -> PhaseSlice:
+        for slice_ in self.phases:
+            if slice_.name == name:
+                return slice_
+        raise KeyError(f"op table {self.name!r} has no phase named {name!r}")
+
+    @property
+    def default_output_tokens(self) -> int:
+        """Mirror of the simulator's default: the decode phase's repeat."""
+        for slice_ in self.phases:
+            if slice_.name == "llm_decode":
+                return slice_.repeat
+        return 1
+
+    @classmethod
+    def from_workload(cls, workload: Workload) -> "OpTable":
+        return cls(
+            workload.name,
+            [(phase.name, phase.ops, phase.repeat) for phase in workload.phases],
+        )
+
+    @classmethod
+    def from_phase(cls, phase: Phase) -> "OpTable":
+        return cls(phase.name, [(phase.name, phase.ops, phase.repeat)])
+
+
+def compile_workload(workload: Workload) -> OpTable:
+    """Compile a workload into its columnar op table."""
+    return OpTable.from_workload(workload)
+
+
+def _as_point_array(value, n_points: int, name: str) -> np.ndarray:
+    """Broadcast a scalar or per-point sequence to a float64 (P,) array."""
+    if np.isscalar(value):
+        array = np.full(n_points, float(value), dtype=np.float64)
+    else:
+        array = np.asarray(list(value), dtype=np.float64)
+        if array.shape != (n_points,):
+            raise ValueError(
+                f"{name} must be a scalar or a sequence of {n_points} values"
+            )
+    return array
+
+
+class DesignGrid:
+    """Columnar parameters of a batch of design points.
+
+    One row per design point: pool geometry (clusters, cores, systolic and
+    CIM shapes, staging buffers), the DRAM/interconnect cost parameters,
+    the DRAM bandwidth share and the effective pruning keep fraction.
+    """
+
+    def __init__(
+        self,
+        systems: Sequence[SystemConfig],
+        *,
+        bandwidth_fraction=1.0,
+        keep_fraction=None,
+    ) -> None:
+        if not systems:
+            raise ValueError("a design grid needs at least one system")
+        self.systems: Tuple[SystemConfig, ...] = tuple(systems)
+        n = len(self.systems)
+        self.names: Tuple[str, ...] = tuple(system.name for system in self.systems)
+        self.bandwidth_fraction = _as_point_array(
+            bandwidth_fraction, n, "bandwidth_fraction"
+        )
+        if np.any(self.bandwidth_fraction <= 0):
+            raise ValueError("bandwidth_fraction must be positive")
+        # Resolve keep fractions exactly like
+        # PerformanceSimulator.effective_keep_fraction: an explicit value
+        # wins, otherwise the system's calibrated default applies.
+        defaults = [
+            system.pruning.average_keep_fraction if system.pruning.enabled else 1.0
+            for system in self.systems
+        ]
+        if keep_fraction is None:
+            resolved = defaults
+        elif np.isscalar(keep_fraction):
+            resolved = [float(keep_fraction)] * n
+        else:
+            values = list(keep_fraction)
+            if len(values) != n:
+                raise ValueError(
+                    f"keep_fraction must be a scalar or a sequence of {n} values"
+                )
+            resolved = [
+                default if value is None else float(value)
+                for value, default in zip(values, defaults)
+            ]
+        self.keep_fraction = np.asarray(resolved, dtype=np.float64)
+        if np.any(self.keep_fraction <= 0) or np.any(self.keep_fraction > 1):
+            raise ValueError("keep_fraction must be in (0, 1]")
+
+        cc = [PoolCostParams.from_chip_config(s.chip, "cc") for s in self.systems]
+        mc = [PoolCostParams.from_chip_config(s.chip, "mc") for s in self.systems]
+
+        def column(params, attribute):
+            return np.asarray([getattr(p, attribute) for p in params], dtype=np.int64)
+
+        self.cc_n_clusters = column(cc, "n_clusters")
+        self.mc_n_clusters = column(mc, "n_clusters")
+        self.has_cc = self.cc_n_clusters > 0
+        self.has_mc = self.mc_n_clusters > 0
+        self.cc_n_cores = column(cc, "n_cores")
+        self.mc_n_cores = column(mc, "n_cores")
+        self.cc_dispatch = column(cc, "dispatch_cycles")
+        self.mc_dispatch = column(mc, "dispatch_cycles")
+        self.sa_rows = column(cc, "sa_rows")
+        self.sa_cols = column(cc, "sa_cols")
+        self.cim_subarrays = column(mc, "cim_subarrays")
+        self.cim_columns = column(mc, "cim_columns")
+        self.cim_activation_bits = column(mc, "cim_activation_bits")
+        self.cc_lanes = column(cc, "lanes")
+        self.mc_lanes = column(mc, "lanes")
+        self.cc_buffer = column(cc, "buffer_bytes")
+        self.mc_buffer = column(mc, "buffer_bytes")
+        self.frequency_hz = np.asarray(
+            [s.chip.frequency_hz for s in self.systems], dtype=np.float64
+        )
+        # Mirror Chip.dram_bytes_per_cycle(): peak bandwidth over chip clock.
+        self.dram_bytes_per_cycle = np.asarray(
+            [
+                s.chip.dram.peak_bandwidth_bytes_per_s / s.chip.frequency_hz
+                for s in self.systems
+            ],
+            dtype=np.float64,
+        )
+        self.request_overhead_cycles = np.asarray(
+            [s.chip.dram.request_overhead_cycles for s in self.systems], dtype=np.int64
+        )
+        self.request_latency_cycles = np.asarray(
+            [
+                s.chip.interconnect.total_traversal_latency_cycles
+                for s in self.systems
+            ],
+            dtype=np.int64,
+        )
+        # Keyed by chip-config identity: configs are frozen but not
+        # hashable (the ACU op-cycle table is a dict), and the grid keeps
+        # the systems alive, so id() keys cannot be recycled.
+        self._area_power_cache: Dict[int, AreaPowerModel] = {}
+
+    @property
+    def n_points(self) -> int:
+        return len(self.systems)
+
+    @classmethod
+    def from_systems(
+        cls,
+        systems: Sequence[SystemConfig],
+        *,
+        bandwidth_fraction=1.0,
+        keep_fraction=None,
+    ) -> "DesignGrid":
+        return cls(
+            systems, bandwidth_fraction=bandwidth_fraction, keep_fraction=keep_fraction
+        )
+
+    def area_power(self, point: int) -> AreaPowerModel:
+        """The (cached) analytical area/power model of one design point."""
+        chip = self.systems[point].chip
+        model = self._area_power_cache.get(id(chip))
+        if model is None:
+            model = AreaPowerModel(chip)
+            self._area_power_cache[id(chip)] = model
+        return model
+
+
+@dataclass(frozen=True)
+class OpCostMatrices:
+    """Per-(design point, unique op) cost components, shape ``(P, U)``."""
+
+    compute_cycles: np.ndarray
+    memory_cycles: np.ndarray
+    traffic_bytes: np.ndarray
+    pruned_weight_bytes: np.ndarray
+    pool_is_mc: np.ndarray
+
+    @property
+    def cycles(self) -> np.ndarray:
+        """Per-op latency: compute/DMA double buffering takes the max leg."""
+        return np.maximum(self.compute_cycles, self.memory_cycles)
+
+
+@dataclass(frozen=True)
+class BatchPhaseArrays:
+    """Per-point totals of one phase across the whole grid."""
+
+    name: str
+    cycles: np.ndarray
+    compute_cycles: np.ndarray
+    memory_cycles: np.ndarray
+    latency_s: np.ndarray
+    dram_bytes: np.ndarray
+    flops: int
+    op_count: int
+    dominant_is_mc: np.ndarray
+
+
+def ordered_sum(matrix: np.ndarray) -> np.ndarray:
+    """Strict left-fold row sum — the scalar loop's exact summation order.
+
+    ``np.add.accumulate`` is defined element-by-element
+    (``out[i] = out[i-1] + a[i]``), unlike ``np.sum`` whose pairwise
+    reduction would differ from the scalar simulator in the last ulp.
+    """
+    if matrix.shape[1] == 0:
+        return np.zeros(matrix.shape[0], dtype=matrix.dtype)
+    return np.add.accumulate(matrix, axis=1)[:, -1]
+
+
+class BatchWorkloadResult:
+    """Grid-shaped workload result with scalar materialisation.
+
+    Array views (``total_latency_s`` etc.) serve sweep-style consumers;
+    :meth:`result_for` materialises the exact
+    :class:`~repro.core.metrics.WorkloadResult` the scalar simulator would
+    have produced for one point (including the power estimate).
+    """
+
+    def __init__(
+        self,
+        table: OpTable,
+        grid: DesignGrid,
+        phase_arrays: Sequence[BatchPhaseArrays],
+        output_tokens: int,
+    ) -> None:
+        self.table = table
+        self.grid = grid
+        self.phases: Tuple[BatchPhaseArrays, ...] = tuple(phase_arrays)
+        self.output_tokens = output_tokens
+
+    @property
+    def n_points(self) -> int:
+        return self.grid.n_points
+
+    def phase(self, name: str) -> BatchPhaseArrays:
+        for arrays in self.phases:
+            if arrays.name == name:
+                return arrays
+        raise KeyError(f"no phase {name!r}; available: "
+                       f"{', '.join(p.name for p in self.phases)}")
+
+    @property
+    def total_latency_s(self) -> np.ndarray:
+        """Per-point end-to-end latency (same fold as ``WorkloadResult``)."""
+        total = np.zeros(self.n_points)
+        for arrays in self.phases:
+            total = total + arrays.latency_s
+        return total
+
+    @property
+    def tokens_per_second(self) -> np.ndarray:
+        total = self.total_latency_s
+        return np.where(total > 0, self.output_tokens / np.where(total > 0, total, 1.0), 0.0)
+
+    def _power_w(self, point: int, phases: Dict[str, PhaseResult]) -> float:
+        """Mirror of ``PerformanceSimulator.average_power_w`` for one point."""
+        model = self.grid.area_power(point)
+        technology = model.technology
+        total_cycles = sum(result.cycles for result in phases.values())
+        if total_cycles == 0:
+            return model.power_report(0.0).total_mw / 1e3
+        total_compute = sum(result.compute_cycles for result in phases.values())
+        utilization = min(total_compute / total_cycles, 1.0)
+        chip_power_w = model.power_report(utilization).total_mw / 1e3
+        total_bytes = sum(result.dram_bytes for result in phases.values())
+        total_seconds = total_cycles / self.grid.frequency_hz[point]
+        if total_seconds == 0:
+            return chip_power_w
+        dram_energy_j = (
+            total_bytes * technology.dram_access_energy_pj_per_byte * 1e-12
+        )
+        return chip_power_w + dram_energy_j / total_seconds
+
+    def result_for(self, point: int) -> WorkloadResult:
+        """Materialise the scalar-identical ``WorkloadResult`` of one point."""
+        if not 0 <= point < self.n_points:
+            raise IndexError(f"point {point} out of range [0, {self.n_points})")
+        phases: Dict[str, PhaseResult] = {}
+        for arrays in self.phases:
+            phases[arrays.name] = PhaseResult(
+                name=arrays.name,
+                cycles=float(arrays.cycles[point]),
+                compute_cycles=float(arrays.compute_cycles[point]),
+                memory_cycles=float(arrays.memory_cycles[point]),
+                latency_s=float(arrays.latency_s[point]),
+                dram_bytes=int(arrays.dram_bytes[point]),
+                flops=arrays.flops,
+                op_count=arrays.op_count,
+                cluster_kind="mc" if arrays.dominant_is_mc[point] else "cc",
+            )
+        return WorkloadResult(
+            workload_name=self.table.name,
+            hardware_name=self.grid.names[point],
+            phases=phases,
+            output_tokens=self.output_tokens,
+            power_w=self._power_w(point, phases),
+        )
+
+    def results(self) -> List[WorkloadResult]:
+        """Materialise every design point, in grid order."""
+        return [self.result_for(point) for point in range(self.n_points)]
+
+
+class BatchCostEngine:
+    """Evaluates op tables against a design grid in broadcasted passes."""
+
+    def __init__(self, grid: DesignGrid) -> None:
+        self.grid = grid
+
+    # ------------------------------------------------------------------
+    # Pool routing
+    # ------------------------------------------------------------------
+    def _pool_matrix(self, table: OpTable, pool: Optional[str]) -> np.ndarray:
+        """Boolean (P, U) matrix: op runs on the MC pool of the point."""
+        grid = self.grid
+        if pool is None:
+            # Auto policy: GEMV-like ops prefer MC, everything else CC,
+            # falling back to the only available pool on homogeneous chips.
+            return np.where(
+                table.prefers_mc[None, :],
+                grid.has_mc[:, None],
+                ~grid.has_cc[:, None],
+            )
+        if pool not in ("cc", "mc"):
+            raise ValueError("pool must be 'cc' or 'mc'")
+        available = grid.has_mc if pool == "mc" else grid.has_cc
+        if not np.all(available):
+            name = grid.names[int(np.argmin(available))]
+            raise ValueError(f"chip {name!r} has no {pool.upper()} clusters")
+        return np.full(
+            (grid.n_points, table.n_unique), pool == "mc", dtype=bool
+        )
+
+    # ------------------------------------------------------------------
+    # Per-op cost matrices
+    # ------------------------------------------------------------------
+    def op_costs(self, table: OpTable, *, pool: Optional[str] = None) -> OpCostMatrices:
+        """Compute/memory/traffic of every unique op at every design point."""
+        grid = self.grid
+        n_points, n_unique = grid.n_points, table.n_unique
+        pool_mc = self._pool_matrix(table, pool)
+        keep = grid.keep_fraction[:, None]
+        # Safe divisors: a pool with zero clusters is never *selected*, but
+        # the unselected side of each np.where still evaluates.
+        cc_div = np.maximum(grid.cc_n_clusters, 1)[:, None]
+        mc_div = np.maximum(grid.mc_n_clusters, 1)[:, None]
+
+        compute = np.zeros((n_points, n_unique), dtype=np.float64)
+
+        mat = table.is_mat
+        if mat.any():
+            m = table.m[mat][None, :]
+            k = table.k[mat][None, :]
+            n = table.n[mat][None, :]
+            cc_val = costs.systolic_gemm_cycles(
+                m,
+                k,
+                costs.partitioned_share(n, cc_div),
+                rows=grid.sa_rows[:, None],
+                cols=grid.sa_cols[:, None],
+                n_cores=grid.cc_n_cores[:, None],
+                dispatch_cycles=grid.cc_dispatch[:, None],
+            )
+            mc_val = costs.cim_gemm_cycles(
+                m,
+                k,
+                costs.partitioned_share(n, mc_div),
+                subarrays=grid.cim_subarrays[:, None],
+                columns=grid.cim_columns[:, None],
+                activation_bits=grid.cim_activation_bits[:, None],
+                n_cores=grid.mc_n_cores[:, None],
+                dispatch_cycles=grid.mc_dispatch[:, None],
+            )
+            compute[:, mat] = np.where(pool_mc[:, mat], mc_val, cc_val)
+
+        vec = table.is_vec
+        if vec.any():
+            k = table.k[vec][None, :]
+            n = table.n[vec][None, :]
+            cc_val = costs.systolic_gemm_cycles(
+                1,
+                k,
+                costs.partitioned_share(n, cc_div),
+                rows=grid.sa_rows[:, None],
+                cols=grid.sa_cols[:, None],
+                n_cores=grid.cc_n_cores[:, None],
+                dispatch_cycles=grid.cc_dispatch[:, None],
+            )
+            mc_val = costs.cim_gemv_cycles(
+                k,
+                costs.partitioned_share(n, mc_div),
+                subarrays=grid.cim_subarrays[:, None],
+                columns=grid.cim_columns[:, None],
+                activation_bits=grid.cim_activation_bits[:, None],
+                n_cores=grid.mc_n_cores[:, None],
+                dispatch_cycles=grid.mc_dispatch[:, None],
+            )
+            compute[:, vec] = np.where(pool_mc[:, vec], mc_val, cc_val)
+
+        elem = table.is_elem
+        if elem.any():
+            m = table.m[elem][None, :]
+            flops_per_element = np.true_divide(table.flops[elem], table.m[elem])[None, :]
+            cc_val = costs.elementwise_cycles(
+                costs.partitioned_share(m, cc_div),
+                np.maximum(flops_per_element, 1.0),
+                n_cores=grid.cc_n_cores[:, None],
+                lanes=grid.cc_lanes[:, None],
+            )
+            mc_val = costs.elementwise_cycles(
+                costs.partitioned_share(m, mc_div),
+                np.maximum(flops_per_element, 1.0),
+                n_cores=grid.mc_n_cores[:, None],
+                lanes=grid.mc_lanes[:, None],
+            )
+            compute[:, elem] = np.where(pool_mc[:, elem], mc_val, cc_val)
+
+        # Pruning removes the matching MACs of strict GEMVs.
+        prune_compute = (
+            table.is_strict_gemv[None, :] & table.prunable[None, :] & (keep < 1.0)
+        )
+        compute = np.where(prune_compute, compute * keep, compute)
+
+        weight = costs.pruned_weight_bytes(
+            table.weight_bytes[None, :], table.prunable[None, :], keep
+        )
+        traffic = weight + table.activation_bytes[None, :] + table.output_bytes[None, :]
+
+        buffer = np.where(pool_mc, grid.mc_buffer[:, None], grid.cc_buffer[:, None])
+        memory = costs.memory_cycles(
+            traffic,
+            buffer_bytes=buffer,
+            dram_bytes_per_cycle=grid.dram_bytes_per_cycle[:, None],
+            bandwidth_fraction=grid.bandwidth_fraction[:, None],
+            request_overhead_cycles=grid.request_overhead_cycles[:, None],
+            request_latency_cycles=grid.request_latency_cycles[:, None],
+        )
+        return OpCostMatrices(
+            compute_cycles=compute,
+            memory_cycles=memory,
+            traffic_bytes=traffic,
+            pruned_weight_bytes=weight,
+            pool_is_mc=pool_mc,
+        )
+
+    # ------------------------------------------------------------------
+    # Phase / workload reduction
+    # ------------------------------------------------------------------
+    def _reduce_phase(
+        self,
+        table: OpTable,
+        matrices: OpCostMatrices,
+        slice_: PhaseSlice,
+        pool: Optional[str] = None,
+    ) -> BatchPhaseArrays:
+        index = table.order[slice_.start : slice_.stop]
+        compute = matrices.compute_cycles[:, index]
+        memory = matrices.memory_cycles[:, index]
+        cycles = np.maximum(compute, memory)
+        pool_mc = matrices.pool_is_mc[:, index]
+        total_compute = ordered_sum(compute)
+        total_memory = ordered_sum(memory)
+        total_cycles = ordered_sum(cycles)
+        votes_mc = ordered_sum(np.where(pool_mc, cycles, 0.0))
+        votes_cc = ordered_sum(np.where(pool_mc, 0.0, cycles))
+        total_bytes = matrices.traffic_bytes[:, index].sum(axis=1)
+        repeat = slice_.repeat
+        total_compute = total_compute * repeat
+        total_memory = total_memory * repeat
+        total_cycles = total_cycles * repeat
+        total_bytes = total_bytes * repeat
+        latency_s = total_cycles / self.grid.frequency_hz
+        # max(votes, key=votes.get) returns 'cc' on ties; zero-cycle phases
+        # fall back to the forced pool (the simulator's `pool or "cc"`).
+        dominant_is_mc = np.where(total_cycles != 0, votes_mc > votes_cc, pool == "mc")
+        return BatchPhaseArrays(
+            name=slice_.name,
+            cycles=total_cycles,
+            compute_cycles=total_compute,
+            memory_cycles=total_memory,
+            latency_s=latency_s,
+            dram_bytes=total_bytes,
+            flops=slice_.flops * repeat,
+            op_count=repeat * slice_.op_count,
+            dominant_is_mc=dominant_is_mc,
+        )
+
+    def evaluate(
+        self,
+        table: OpTable,
+        *,
+        pool: Optional[str] = None,
+        output_tokens: Optional[int] = None,
+    ) -> BatchWorkloadResult:
+        """Evaluate the whole grid against a workload's op table."""
+        matrices = self.op_costs(table, pool=pool)
+        phase_arrays = [
+            self._reduce_phase(table, matrices, slice_, pool) for slice_ in table.phases
+        ]
+        if output_tokens is None:
+            output_tokens = table.default_output_tokens
+        return BatchWorkloadResult(table, self.grid, phase_arrays, output_tokens)
+
+    def evaluate_workload(
+        self,
+        workload: Workload,
+        *,
+        pool: Optional[str] = None,
+        output_tokens: Optional[int] = None,
+    ) -> BatchWorkloadResult:
+        """Compile and evaluate a workload in one call."""
+        return self.evaluate(
+            OpTable.from_workload(workload), pool=pool, output_tokens=output_tokens
+        )
+
+
+def batch_run_request(
+    model: MLLMConfig,
+    request: InferenceRequest,
+    systems: Sequence[SystemConfig],
+    *,
+    bandwidth_fraction=1.0,
+    keep_fraction=None,
+) -> BatchWorkloadResult:
+    """Run one inference request against many chip designs in one pass.
+
+    The batched counterpart of
+    :meth:`~repro.core.simulator.PerformanceSimulator.run_request`: the
+    workload lowers once (it is chip-independent) and every design point
+    evaluates as broadcasted array arithmetic.  ``result_for(i)`` is
+    bit-identical to ``PerformanceSimulator(systems[i]).run_request(...)``.
+    """
+    workload = model.build_workload(request)
+    grid = DesignGrid.from_systems(
+        systems, bandwidth_fraction=bandwidth_fraction, keep_fraction=keep_fraction
+    )
+    engine = BatchCostEngine(grid)
+    return engine.evaluate_workload(workload, output_tokens=request.output_tokens)

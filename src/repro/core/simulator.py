@@ -29,20 +29,161 @@ Two layers of memoization keep traffic-scale simulation fast:
 
 Both caches belong to the simulator instance; :meth:`clear_cache` resets
 them (required after mutating ``self.system`` or chip state in place).
+
+All cycle arithmetic routes through the shared array-aware kernels of
+:mod:`repro.costs` (via :class:`PoolCostParams`), the same kernels the
+batched engine in :mod:`repro.core.batch` broadcasts over whole design
+grids — which is what makes batched sweeps bit-identical to this scalar
+path.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
+from .. import costs
 from ..arch.area_power import AreaPowerModel, TechnologyConfig
-from ..arch.chip import Chip
+from ..arch.chip import Chip, ChipConfig
 from ..models.mllm import InferenceRequest, MLLMConfig
 from ..models.ops import Op, OpKind, Phase, Workload
 from .config import SystemConfig, default_system
 from .metrics import PhaseResult, WorkloadResult
+
+
+@dataclass(frozen=True)
+class PoolCostParams:
+    """Scalar cost-model parameters of one execution pool ('cc' or 'mc').
+
+    The flattened view of the cluster/core/coprocessor object model that
+    the shared :mod:`repro.costs` kernels consume.  The scalar simulator
+    extracts one per pool; :class:`~repro.core.batch.DesignGrid` stacks one
+    per design point into columns.
+    """
+
+    pool: str
+    n_clusters: int
+    n_cores: int
+    dispatch_cycles: int
+    #: Systolic geometry (CC pools) — zero for MC pools.
+    sa_rows: int
+    sa_cols: int
+    #: CIM geometry (MC pools) — zero for CC pools.
+    cim_subarrays: int
+    cim_columns: int
+    cim_activation_bits: int
+    #: Vector-unit width used for elementwise work.
+    lanes: int
+    #: Double-buffered DMA staging space (the Fig. 6(b) lever).
+    buffer_bytes: int
+
+    @classmethod
+    def from_chip_config(cls, config: ChipConfig, pool: str) -> "PoolCostParams":
+        if pool == "cc":
+            cluster = config.group.cc_cluster
+            systolic = cluster.core.systolic
+            return cls(
+                pool="cc",
+                n_clusters=config.n_cc_clusters,
+                n_cores=cluster.n_cores,
+                dispatch_cycles=cluster.core.dispatch_overhead_cycles,
+                sa_rows=systolic.rows,
+                sa_cols=systolic.cols,
+                cim_subarrays=0,
+                cim_columns=0,
+                cim_activation_bits=0,
+                lanes=systolic.cols,
+                buffer_bytes=cluster.data_memory_bytes,
+            )
+        if pool == "mc":
+            cluster = config.group.mc_cluster
+            cim = cluster.core.cim
+            return cls(
+                pool="mc",
+                n_clusters=config.n_mc_clusters,
+                n_cores=cluster.n_cores,
+                dispatch_cycles=cluster.core.dispatch_overhead_cycles,
+                sa_rows=0,
+                sa_cols=0,
+                cim_subarrays=cim.subarrays_per_column,
+                cim_columns=cim.columns,
+                cim_activation_bits=cim.activation_bits,
+                lanes=cim.columns,
+                buffer_bytes=cluster.data_memory_bytes,
+            )
+        raise ValueError("pool must be 'cc' or 'mc'")
+
+    def compute_cycles(self, op: Op, n_clusters: int) -> float:
+        """Coprocessor cycles for one operator partitioned over ``n_clusters``.
+
+        Dispatches the operator's kind to the shared :mod:`repro.costs`
+        kernel of this pool's coprocessor — the same arithmetic the batch
+        engine broadcasts over whole design grids.
+        """
+        if op.kind in (OpKind.GEMM, OpKind.CONV, OpKind.ATTENTION):
+            n_share = costs.partitioned_share(op.n, n_clusters)
+            if self.pool == "cc":
+                return float(
+                    costs.systolic_gemm_cycles(
+                        op.m,
+                        op.k,
+                        n_share,
+                        rows=self.sa_rows,
+                        cols=self.sa_cols,
+                        n_cores=self.n_cores,
+                        dispatch_cycles=self.dispatch_cycles,
+                    )
+                )
+            return float(
+                costs.cim_gemm_cycles(
+                    op.m,
+                    op.k,
+                    n_share,
+                    subarrays=self.cim_subarrays,
+                    columns=self.cim_columns,
+                    activation_bits=self.cim_activation_bits,
+                    n_cores=self.n_cores,
+                    dispatch_cycles=self.dispatch_cycles,
+                )
+            )
+        if op.kind in (OpKind.GEMV, OpKind.EMBEDDING):
+            n_share = costs.partitioned_share(op.n, n_clusters)
+            if self.pool == "cc":
+                return float(
+                    costs.systolic_gemm_cycles(
+                        1,
+                        op.k,
+                        n_share,
+                        rows=self.sa_rows,
+                        cols=self.sa_cols,
+                        n_cores=self.n_cores,
+                        dispatch_cycles=self.dispatch_cycles,
+                    )
+                )
+            return float(
+                costs.cim_gemv_cycles(
+                    op.k,
+                    n_share,
+                    subarrays=self.cim_subarrays,
+                    columns=self.cim_columns,
+                    activation_bits=self.cim_activation_bits,
+                    n_cores=self.n_cores,
+                    dispatch_cycles=self.dispatch_cycles,
+                )
+            )
+        if op.kind in (OpKind.ELEMENTWISE, OpKind.SOFTMAX, OpKind.NORM, OpKind.ACTIVATION):
+            elements = costs.partitioned_share(op.m, n_clusters)
+            flops_per_element = op.flops / op.m if op.m else 1.0
+            return float(
+                costs.elementwise_cycles(
+                    elements,
+                    max(flops_per_element, 1.0),
+                    n_cores=self.n_cores,
+                    lanes=self.lanes,
+                )
+            )
+        # OpKind.OTHER: pure data movement (KV-cache reads/writes).
+        return 0.0
 
 
 @dataclass(frozen=True)
@@ -86,9 +227,8 @@ class PerformanceSimulator:
         enable_cache: bool = True,
     ) -> None:
         self.system = system or default_system()
-        self.chip = Chip(self.system.chip)
-        self.area_power = AreaPowerModel(self.system.chip, technology)
-        self._technology = self.area_power.technology
+        self._technology_config = technology
+        self._refresh_cost_params()
         self.enable_cache = enable_cache
         self._op_cache: Dict[tuple, Tuple[float, float, int]] = {}
         self._request_cache: Dict[tuple, WorkloadResult] = {}
@@ -100,12 +240,32 @@ class PerformanceSimulator:
     # ------------------------------------------------------------------
     # Memoization
     # ------------------------------------------------------------------
+    def _refresh_cost_params(self) -> None:
+        """Rebuild the chip model and flattened cost parameters from the system.
+
+        Everything cost-relevant derives from ``self.system`` here — the
+        chip object, the area/power model and the kernel parameters — so a
+        caller that replaces ``self.system`` and calls :meth:`clear_cache`
+        gets a coherent simulator, never a mix of old and new configs.
+        """
+        self.chip = Chip(self.system.chip)
+        self.area_power = AreaPowerModel(self.system.chip, self._technology_config)
+        self._technology = self.area_power.technology
+        self._pool_params = {
+            pool: PoolCostParams.from_chip_config(self.system.chip, pool)
+            for pool in ("cc", "mc")
+        }
+        self._dram_bytes_per_cycle = self.chip.dram_bytes_per_cycle()
+        self._request_overhead_cycles = self.chip.dram.config.request_overhead_cycles
+        self._request_latency_cycles = self.chip.interconnect.request_latency_cycles()
+
     def clear_cache(self) -> None:
         """Drop all memoized results (call after mutating the system)."""
         self._op_cache.clear()
         self._request_cache.clear()
         self._op_hits = self._op_misses = 0
         self._request_hits = self._request_misses = 0
+        self._refresh_cost_params()
 
     def cache_info(self) -> CacheInfo:
         """Hit/miss counters for the op- and request-level caches."""
@@ -139,31 +299,12 @@ class PerformanceSimulator:
     def _pool_cluster_count(self, pool: str) -> int:
         return self.chip.n_cc_clusters if pool == "cc" else self.chip.n_mc_clusters
 
-    def _pool_buffer_bytes(self, pool: str) -> int:
-        if pool == "cc":
-            return self.chip.cc_cluster.data_memory_bytes
-        return self.chip.mc_cluster.data_memory_bytes
-
     # ------------------------------------------------------------------
     # Operator execution
     # ------------------------------------------------------------------
     def _compute_cycles(self, op: Op, pool: str, n_clusters: int) -> float:
         """Coprocessor cycles with the work partitioned across clusters."""
-        cluster = self.chip.cc_cluster if pool == "cc" else self.chip.mc_cluster
-        if op.kind in (OpKind.GEMM, OpKind.CONV, OpKind.ATTENTION):
-            n_share = max(math.ceil(op.n / n_clusters), 1)
-            return cluster.gemm_cycles(op.m, op.k, n_share)
-        if op.kind in (OpKind.GEMV, OpKind.EMBEDDING):
-            n_share = max(math.ceil(op.n / n_clusters), 1)
-            if pool == "mc":
-                return cluster.gemv_cycles(op.k, n_share)
-            return cluster.gemv_cycles(op.k, n_share)
-        if op.kind in (OpKind.ELEMENTWISE, OpKind.SOFTMAX, OpKind.NORM, OpKind.ACTIVATION):
-            elements = max(math.ceil(op.m / n_clusters), 1)
-            flops_per_element = op.flops / op.m if op.m else 1.0
-            return cluster.elementwise_cycles(elements, max(flops_per_element, 1.0))
-        # OpKind.OTHER: pure data movement (KV-cache reads/writes).
-        return 0.0
+        return self._pool_params[pool].compute_cycles(op, n_clusters)
 
     def effective_keep_fraction(self, keep_fraction: Optional[float] = None) -> float:
         """Resolve an explicit keep fraction against the pruning config.
@@ -199,14 +340,16 @@ class PerformanceSimulator:
             return 0.0
         if bandwidth_fraction <= 0:
             raise ValueError("bandwidth_fraction must be positive")
-        dram = self.chip.dram
-        buffer_bytes = self._pool_buffer_bytes(pool)
-        transfers = dram.transfers_for(traffic_bytes, buffer_bytes)
-        bytes_per_cycle = self.chip.dram_bytes_per_cycle() * bandwidth_fraction
-        stream_cycles = traffic_bytes / bytes_per_cycle
-        overhead = transfers * dram.config.request_overhead_cycles
-        overhead += transfers * self.chip.interconnect.request_latency_cycles()
-        return overhead + stream_cycles
+        return float(
+            costs.memory_cycles(
+                traffic_bytes,
+                buffer_bytes=self._pool_params[pool].buffer_bytes,
+                dram_bytes_per_cycle=self._dram_bytes_per_cycle,
+                bandwidth_fraction=bandwidth_fraction,
+                request_overhead_cycles=self._request_overhead_cycles,
+                request_latency_cycles=self._request_latency_cycles,
+            )
+        )
 
     def execute_op(
         self,

@@ -1,0 +1,149 @@
+"""Array-native cost primitives shared by the scalar and batched engines.
+
+Every latency formula of the performance model lives here exactly once, in
+a form that accepts NumPy arrays *or* Python scalars and broadcasts:
+
+* coprocessor cycle models — the systolic-array tiling of Eq. 2 and the
+  CIM bit-serial model of Eq. 3, with the work partitioned first across a
+  pool's clusters and then across each cluster's cores;
+* elementwise/vector-unit cycles;
+* activation-aware pruning of weight traffic;
+* the DRAM effective-bandwidth model (buffer-limited transfer count, fixed
+  request overhead, bandwidth-share streaming).
+
+Both :class:`~repro.core.simulator.PerformanceSimulator` (per-op, scalar)
+and :class:`~repro.core.batch.BatchCostEngine` (whole design grids at once)
+call these functions, so the two paths cannot diverge: a batched sweep is
+numerically identical to the scalar loop because it runs the same
+arithmetic, element for element.
+
+Exactness rules (load-bearing — regression tests assert bit equality):
+
+* ``ceil_div`` mirrors ``math.ceil(a / b)`` on Python ints: true division
+  to float64 followed by ``ceil``.  All dimension values are far below
+  2**53, so the float64 arithmetic is exact.
+* ``pruned_weight_bytes`` mirrors ``int(round(w * keep))``: IEEE-754
+  round-half-even, which is what both Python's ``round`` and ``np.rint``
+  implement.
+* Expression order matches the scalar code (e.g. the DRAM overhead is
+  ``transfers * request_overhead + transfers * crossbar_latency``, not a
+  factored form), so intermediate roundings agree term by term.
+
+This module must stay import-light (NumPy only): ``repro.models.ops``,
+``repro.arch`` and ``repro.core`` all depend on it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "ceil_div",
+    "partitioned_share",
+    "systolic_gemm_cycles",
+    "cim_gemm_cycles",
+    "cim_gemv_cycles",
+    "elementwise_cycles",
+    "pruned_weight_bytes",
+    "memory_cycles",
+]
+
+
+def ceil_div(a, b):
+    """``ceil(a / b)`` via true division — the array form of ``math.ceil(a / b)``.
+
+    Mirrors the scalar model's idiom exactly: Python's ``/`` on ints is
+    float division, so the ceil is taken of the float64 quotient, never of
+    an integer-division result.
+    """
+    return np.ceil(np.true_divide(a, b))
+
+
+def partitioned_share(n, n_clusters):
+    """Per-cluster share of an ``n``-wide dimension: ``max(ceil(n / clusters), 1)``."""
+    return np.maximum(ceil_div(n, n_clusters), 1.0)
+
+
+def systolic_gemm_cycles(m, k, n_share, *, rows, cols, n_cores, dispatch_cycles):
+    """GEMM cycles on a CC-cluster's systolic arrays (paper Eq. 2, tiled).
+
+    ``n_share`` is the cluster's slice of the output dimension; it is split
+    across the cluster's ``n_cores`` arrays, and each array tiles its weight
+    slice into ``ceil(k / R) * ceil(n_per_core / C)`` stationary tiles of
+    ``2R + C + M - 3`` cycles each, plus the per-kernel dispatch overhead.
+    A GEMV is the ``m == 1`` case.
+    """
+    n_per_core = ceil_div(n_share, n_cores)
+    k_tiles = ceil_div(k, rows)
+    n_tiles = ceil_div(n_per_core, cols)
+    tile = 2 * rows + cols + m - 3
+    return k_tiles * n_tiles * tile + dispatch_cycles
+
+
+def cim_gemm_cycles(m, k, n_share, *, subarrays, columns, activation_bits, n_cores, dispatch_cycles):
+    """GEMM cycles on an MC-cluster's CIM macros (paper Eq. 3, tiled).
+
+    The reduction dimension is split across the ``R`` subarrays and the
+    output dimension across the ``C`` columns; each resident block costs
+    ``M * W + 1`` cycles because activations broadcast bit-serially.
+    """
+    n_per_core = ceil_div(n_share, n_cores)
+    k_tiles = ceil_div(k, subarrays)
+    n_tiles = ceil_div(n_per_core, columns)
+    return k_tiles * n_tiles * (m * activation_bits + 1) + dispatch_cycles
+
+
+def cim_gemv_cycles(k, n_share, *, subarrays, columns, activation_bits, n_cores, dispatch_cycles):
+    """GEMV cycles on an MC-cluster's CIM macros: ``W + 1`` per block."""
+    n_per_core = ceil_div(n_share, n_cores)
+    k_tiles = ceil_div(k, subarrays)
+    n_tiles = ceil_div(n_per_core, columns)
+    return k_tiles * n_tiles * (activation_bits + 1) + dispatch_cycles
+
+
+def elementwise_cycles(elements_share, flops_per_element, *, n_cores, lanes):
+    """Vector-unit cycles for a cluster's share of an elementwise operator.
+
+    The element count splits across the cluster's cores, each core streams
+    ``lanes`` elements per cycle, and multi-FLOP elements (softmax, SiLU)
+    pay proportionally more.
+    """
+    per_core = ceil_div(elements_share, n_cores)
+    return ceil_div(per_core, lanes) * np.maximum(flops_per_element, 1.0)
+
+
+def pruned_weight_bytes(weight_bytes, prunable, keep_fraction):
+    """Weight traffic after activation-aware pruning at ``keep_fraction``.
+
+    Non-prunable operators (and ``keep_fraction == 1``) read their full
+    weights; prunable ones read ``round(weight_bytes * keep_fraction)``
+    bytes with IEEE round-half-even — identical to the scalar
+    ``int(round(...))``.
+    """
+    keep_fraction = np.asarray(keep_fraction, dtype=np.float64)
+    scaled = np.rint(weight_bytes * keep_fraction)
+    apply = np.logical_and(prunable, keep_fraction < 1.0)
+    return np.where(apply, scaled, weight_bytes).astype(np.int64)
+
+
+def memory_cycles(
+    traffic_bytes,
+    *,
+    buffer_bytes,
+    dram_bytes_per_cycle,
+    bandwidth_fraction,
+    request_overhead_cycles,
+    request_latency_cycles,
+):
+    """DRAM cycles to move ``traffic_bytes`` with a pool's bandwidth share.
+
+    The transfer count is buffer-limited (``ceil(payload / buffer)``, the
+    Fig. 6(b) mechanism), each transfer pays the DRAM request overhead plus
+    the crossbar traversal latency, and the payload streams at the pool's
+    share of the pin bandwidth.  Zero traffic costs zero cycles.
+    """
+    transfers = ceil_div(traffic_bytes, buffer_bytes)
+    bytes_per_cycle = dram_bytes_per_cycle * bandwidth_fraction
+    stream_cycles = np.true_divide(traffic_bytes, bytes_per_cycle)
+    overhead = transfers * request_overhead_cycles + transfers * request_latency_cycles
+    return np.where(np.greater(traffic_bytes, 0), overhead + stream_cycles, 0.0)

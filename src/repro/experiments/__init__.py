@@ -17,6 +17,7 @@ from .parallel import (
     format_design_space_report,
     run_experiments_parallel,
     sweep_design_space,
+    sweep_design_space_batched,
 )
 from . import ablations
 from . import fig2_workload
@@ -110,6 +111,7 @@ __all__ = [
     "format_design_space_report",
     "run_experiments_parallel",
     "sweep_design_space",
+    "sweep_design_space_batched",
     "ExperimentSpec",
     "available_experiments",
     "format_bytes",

@@ -20,11 +20,12 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from ..arch.chip import ChipConfig
+from ..arch.chip import Chip, ChipConfig
 from ..arch.cluster import CCClusterConfig
 from ..arch.cores import CCCoreConfig
 from ..arch.dram import DRAMConfig
 from ..arch.systolic import SystolicArrayConfig
+from ..core.batch import batch_run_request
 from ..core.config import SystemConfig, default_system, scaled_system
 from ..core.edgemm import EdgeMM
 from ..models.activations import sphinx_tiny_trace
@@ -60,10 +61,12 @@ def pruning_threshold_ablation(
         raise ValueError("thresholds must not be empty")
     trace = sphinx_tiny_trace()
     stack = build_layer_stack(trace.config.n_layers, trace.config.d_model, d_ffn)
-    system = EdgeMM.default()
     model = get_mllm(model_name)
-    baseline = system.run(model, DEFAULT_REQUEST)
-    rows: List[ThresholdAblationRow] = []
+    system = EdgeMM.default()
+    base = system.system
+    ratio_means: List[float] = []
+    similarity_means: List[float] = []
+    systems: List[SystemConfig] = [base]
     for threshold in thresholds:
         config = DynamicTopKConfig(threshold=threshold)
         ratios = []
@@ -72,14 +75,24 @@ def pruning_threshold_ablation(
             report = prune_token(trace.token_trace(token), stack, config=config)
             ratios.append(report.mean_pruning_ratio)
             similarities.append(report.mean_cosine_similarity)
+        ratio_means.append(float(np.mean(ratios)))
+        similarity_means.append(float(np.mean(similarities)))
         calibration = system.calibrate_pruning(trace, n_tokens=n_tokens, config=config)
-        pruned = system.enable_pruning(calibration).run(model, DEFAULT_REQUEST)
+        systems.append(base.with_pruning(calibration.average_keep_fraction))
+    # One batched pass prices the unpruned baseline and every calibrated
+    # keep fraction together (point 0 is the baseline).
+    batch = batch_run_request(model, DEFAULT_REQUEST, systems)
+    results = batch.results()
+    baseline = results[0]
+    rows: List[ThresholdAblationRow] = []
+    for index, threshold in enumerate(thresholds):
+        pruned = results[index + 1]
         reduction = 1.0 - pruned.decode_latency_s / baseline.decode_latency_s
         rows.append(
             ThresholdAblationRow(
                 threshold=threshold,
-                mean_pruning_ratio=float(np.mean(ratios)),
-                mean_cosine_similarity=float(np.mean(similarities)),
+                mean_pruning_ratio=ratio_means[index],
+                mean_cosine_similarity=similarity_means[index],
                 decode_latency_reduction=float(reduction),
             )
         )
@@ -107,21 +120,21 @@ def dram_bandwidth_ablation(
         raise ValueError("bandwidths_gbs must not be empty")
     model = get_mllm(model_name)
     base = default_system()
-    rows: List[BandwidthAblationRow] = []
+    systems = []
     for bandwidth in bandwidths_gbs:
         dram = DRAMConfig(peak_bandwidth_bytes_per_s=bandwidth * 1e9)
         chip = replace(base.chip, dram=dram)
-        system = EdgeMM(replace(base, chip=chip, name=f"edgemm_{bandwidth:.0f}gbs"))
-        result = system.run(model, DEFAULT_REQUEST)
-        rows.append(
-            BandwidthAblationRow(
-                bandwidth_gbs=bandwidth,
-                decode_latency_s=result.decode_latency_s,
-                tokens_per_second=result.tokens_per_second,
-                decode_bound=result.phase("llm_decode").bound,
-            )
+        systems.append(replace(base, chip=chip, name=f"edgemm_{bandwidth:.0f}gbs"))
+    batch = batch_run_request(model, DEFAULT_REQUEST, systems)
+    return [
+        BandwidthAblationRow(
+            bandwidth_gbs=bandwidth,
+            decode_latency_s=result.decode_latency_s,
+            tokens_per_second=result.tokens_per_second,
+            decode_bound=result.phase("llm_decode").bound,
         )
-    return rows
+        for bandwidth, result in zip(bandwidths_gbs, batch.results())
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -146,25 +159,27 @@ def systolic_geometry_ablation(
         raise ValueError("geometries must not be empty")
     model = get_mllm(model_name)
     base = default_system()
-    rows_out: List[GeometryAblationRow] = []
+    systems = []
     for rows, cols in geometries:
         systolic = SystolicArrayConfig(rows=rows, cols=cols)
         cc_core = CCCoreConfig(systolic=systolic)
         cc_cluster = CCClusterConfig(core=cc_core)
         group = replace(base.chip.group, cc_cluster=cc_cluster)
         chip = replace(base.chip, group=group)
-        system = EdgeMM(replace(base, chip=chip, name=f"edgemm_sa{rows}x{cols}"))
-        result = system.run(model, DEFAULT_REQUEST)
-        rows_out.append(
-            GeometryAblationRow(
-                rows=rows,
-                cols=cols,
-                prefill_latency_s=result.prefill_latency_s,
-                encode_latency_s=result.encode_latency_s,
-                peak_tflops=system.simulator.chip.peak_flops / 1e12,
-            )
+        systems.append(replace(base, chip=chip, name=f"edgemm_sa{rows}x{cols}"))
+    batch = batch_run_request(model, DEFAULT_REQUEST, systems)
+    return [
+        GeometryAblationRow(
+            rows=rows,
+            cols=cols,
+            prefill_latency_s=result.prefill_latency_s,
+            encode_latency_s=result.encode_latency_s,
+            peak_tflops=Chip(system.chip).peak_flops / 1e12,
         )
-    return rows_out
+        for (rows, cols), system, result in zip(
+            geometries, systems, batch.results()
+        )
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -187,23 +202,23 @@ def cluster_mix_ablation(
     if not mixes:
         raise ValueError("mixes must not be empty")
     model = get_mllm(model_name)
-    rows: List[ClusterMixRow] = []
+    systems = []
     for cc, mc in mixes:
         if cc == 0 and mc == 0:
             raise ValueError("a group needs at least one cluster")
-        system = EdgeMM(
+        systems.append(
             scaled_system(n_groups=4, cc_clusters_per_group=cc, mc_clusters_per_group=mc)
         )
-        result = system.run(model, DEFAULT_REQUEST)
-        rows.append(
-            ClusterMixRow(
-                cc_clusters_per_group=cc,
-                mc_clusters_per_group=mc,
-                total_latency_s=result.total_latency_s,
-                tokens_per_second=result.tokens_per_second,
-            )
+    batch = batch_run_request(model, DEFAULT_REQUEST, systems)
+    return [
+        ClusterMixRow(
+            cc_clusters_per_group=cc,
+            mc_clusters_per_group=mc,
+            total_latency_s=result.total_latency_s,
+            tokens_per_second=result.tokens_per_second,
         )
-    return rows
+        for (cc, mc), result in zip(mixes, batch.results())
+    ]
 
 
 # ----------------------------------------------------------------------

@@ -31,7 +31,8 @@ import sys
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..core.config import scaled_system
+from ..core.batch import batch_run_request
+from ..core.config import SystemConfig, scaled_system
 from ..core.simulator import PerformanceSimulator
 from ..models.mllm import InferenceRequest, get_mllm
 from .runner import available_experiments, format_table, run_and_report
@@ -226,6 +227,69 @@ DEFAULT_CLUSTER_MIXES: Tuple[Tuple[int, int], ...] = (
 )
 
 
+def _design_space_geometries(
+    n_groups_options: Sequence[int],
+    cluster_mixes: Sequence[Tuple[int, int]],
+) -> List[Tuple[int, int, int]]:
+    """The (groups, CC/group, MC/group) points of a sweep, in sweep order."""
+    geometries: List[Tuple[int, int, int]] = []
+    for n_groups in n_groups_options:
+        for cc_per_group, mc_per_group in cluster_mixes:
+            if cc_per_group == 0 and mc_per_group == 0:
+                continue
+            geometries.append((n_groups, cc_per_group, mc_per_group))
+    return geometries
+
+
+def sweep_design_space_batched(
+    *,
+    n_groups_options: Sequence[int] = (2, 4),
+    cluster_mixes: Sequence[Tuple[int, int]] = DEFAULT_CLUSTER_MIXES,
+    model_name: str = "sphinx-tiny",
+    request: Optional[InferenceRequest] = None,
+) -> List[DesignPoint]:
+    """Evaluate the design space through the array-native batch engine.
+
+    The whole grid — every (group count, CC:MC mix) combination — prices
+    as one broadcasted NumPy pass instead of one simulation per point, and
+    the points are numerically identical to
+    :func:`evaluate_design_point` (regression-tested, not approximate).
+    This is the default engine of :func:`sweep_design_space`; prefer it
+    whenever the sweep only varies chip geometry, bandwidth or pruning.
+    """
+    request = request or InferenceRequest(
+        images=1, prompt_text_tokens=32, output_tokens=64
+    )
+    geometries = _design_space_geometries(n_groups_options, cluster_mixes)
+    systems: List[SystemConfig] = [
+        scaled_system(
+            n_groups=n_groups,
+            cc_clusters_per_group=cc_per_group,
+            mc_clusters_per_group=mc_per_group,
+        )
+        for n_groups, cc_per_group, mc_per_group in geometries
+    ]
+    batch = batch_run_request(get_mllm(model_name), request, systems)
+    points: List[DesignPoint] = []
+    for index, (n_groups, cc_per_group, mc_per_group) in enumerate(geometries):
+        result = batch.result_for(index)
+        area = batch.grid.area_power(index).chip_area_mm2()
+        tokens_per_s = result.tokens_per_second
+        points.append(
+            DesignPoint(
+                n_groups=n_groups,
+                cc_per_group=cc_per_group,
+                mc_per_group=mc_per_group,
+                area_mm2=area,
+                latency_s=result.total_latency_s,
+                tokens_per_second=tokens_per_s,
+                tokens_per_second_per_mm2=tokens_per_s / area,
+                tokens_per_joule=result.tokens_per_joule or 0.0,
+            )
+        )
+    return points
+
+
 def sweep_design_space(
     *,
     n_groups_options: Sequence[int] = (2, 4),
@@ -235,28 +299,41 @@ def sweep_design_space(
     processes: Optional[int] = None,
     runner: Optional[ParallelSweepRunner] = None,
 ) -> List[DesignPoint]:
-    """Evaluate every (group count, CC:MC mix) combination in parallel."""
+    """Evaluate every (group count, CC:MC mix) combination of the sweep.
+
+    With neither ``processes`` nor ``runner`` given, the sweep runs through
+    the array-native batch engine (:func:`sweep_design_space_batched`) —
+    one vectorised pass over the whole grid.  Passing either argument
+    keeps the process-pool path, which generalises to sweep axes the batch
+    engine cannot vectorise (e.g. different models per point); both paths
+    produce identical :class:`DesignPoint` rows.
+    """
     if runner is not None and processes is not None:
         raise ValueError("pass either processes or runner, not both")
+    if runner is None and processes is None:
+        return sweep_design_space_batched(
+            n_groups_options=n_groups_options,
+            cluster_mixes=cluster_mixes,
+            model_name=model_name,
+            request=request,
+        )
     request = request or InferenceRequest(
         images=1, prompt_text_tokens=32, output_tokens=64
     )
-    params: List[Dict[str, object]] = []
-    for n_groups in n_groups_options:
-        for cc_per_group, mc_per_group in cluster_mixes:
-            if cc_per_group == 0 and mc_per_group == 0:
-                continue
-            params.append(
-                {
-                    "n_groups": n_groups,
-                    "cc_per_group": cc_per_group,
-                    "mc_per_group": mc_per_group,
-                    "model_name": model_name,
-                    "images": request.images,
-                    "prompt_text_tokens": request.prompt_text_tokens,
-                    "output_tokens": request.output_tokens,
-                }
-            )
+    params: List[Dict[str, object]] = [
+        {
+            "n_groups": n_groups,
+            "cc_per_group": cc_per_group,
+            "mc_per_group": mc_per_group,
+            "model_name": model_name,
+            "images": request.images,
+            "prompt_text_tokens": request.prompt_text_tokens,
+            "output_tokens": request.output_tokens,
+        }
+        for n_groups, cc_per_group, mc_per_group in _design_space_geometries(
+            n_groups_options, cluster_mixes
+        )
+    ]
     runner = runner or ParallelSweepRunner(processes=processes)
     return list(runner.map(evaluate_design_point, params))
 

@@ -9,12 +9,18 @@ array, Eq. 3 for the CIM macro, comparator throughput for the pruner).
 Data memory is modelled as a flat float array; scalar registers hold element
 addresses into it.  This keeps kernels simple while still exercising the
 load/store, tiling and CSR-configuration behaviour of the programming model.
+
+Dispatch is decoded once, not per execution: a class-level table maps each
+instruction type to its handler, and whole kernels memoize their resolved
+handler list by instruction tuple, so replaying a kernel (the common case —
+tiled matmuls re-run the same program per tile schedule) skips the
+per-instruction type resolution entirely.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -126,16 +132,43 @@ class CoreExecutor:
         self.state.csr.write("vector_length", vector_length, hardware=True)
         self.memory = DataMemory(memory_size)
         self._cim_weights: Optional[np.ndarray] = None
+        self._kernel_cache: Dict[
+            Tuple[BaseInstruction, ...],
+            List[Callable[["CoreExecutor", BaseInstruction], float]],
+        ] = {}
 
     # ------------------------------------------------------------------
     # Program execution
     # ------------------------------------------------------------------
+    def decode_kernel(
+        self, program: Sequence[BaseInstruction]
+    ) -> List[Callable[["CoreExecutor", BaseInstruction], float]]:
+        """Resolve every instruction to its handler (one type lookup each)."""
+        handlers = []
+        for instruction in program:
+            handler = _DISPATCH.get(type(instruction))
+            if handler is None:
+                raise ExecutionError(f"unsupported instruction {instruction!r}")
+            handlers.append(handler)
+        return handlers
+
     def run(self, program: Sequence[BaseInstruction]) -> ExecutionResult:
-        """Execute a kernel and return its cycle count."""
+        """Execute a kernel and return its cycle count.
+
+        The decoded handler list is memoized by the instruction tuple
+        (instructions are frozen, hashable dataclasses), so replaying a
+        kernel costs one dictionary probe instead of re-resolving every
+        instruction's dispatch.
+        """
+        key = tuple(program)
+        handlers = self._kernel_cache.get(key)
+        if handlers is None:
+            handlers = self.decode_kernel(program)
+            self._kernel_cache[key] = handlers
         total_cycles = 0.0
         breakdown: Dict[str, float] = {}
-        for instruction in program:
-            cycles = self._execute(instruction)
+        for handler, instruction in zip(handlers, key):
+            cycles = handler(self, instruction)
             total_cycles += cycles
             breakdown[instruction.MNEMONIC] = breakdown.get(instruction.MNEMONIC, 0.0) + cycles
         return ExecutionResult(
@@ -148,25 +181,25 @@ class CoreExecutor:
     # Per-instruction semantics
     # ------------------------------------------------------------------
     def _execute(self, instruction: BaseInstruction) -> float:
-        if isinstance(instruction, LoadImmediate):
-            self.state.scalar.write(instruction.rd, instruction.value)
-            return 1.0
-        if isinstance(instruction, CsrWrite):
-            name = CSR_NAME_BY_ADDRESS.get(instruction.csr)
-            if name is None:
-                raise ExecutionError(f"unknown CSR address 0x{instruction.csr:02x}")
-            value = self.state.scalar.read(instruction.rs)
-            self.state.csr.write(name, value)
-            return 1.0
-        if isinstance(instruction, Sync):
-            return 1.0
-        if isinstance(instruction, (MMLoad, MMStore, MMMul, MMZero)):
-            return self._execute_mm(instruction)
-        if isinstance(instruction, (MVWeightLoad, MVMul, MVPrune, VLoad, VStore)):
-            return self._execute_mv(instruction)
-        if isinstance(instruction, (VAdd, VMul, VMax, VRelu, VSilu, VConvert)):
-            return self._execute_vv(instruction)
-        raise ExecutionError(f"unsupported instruction {instruction!r}")
+        handler = _DISPATCH.get(type(instruction))
+        if handler is None:
+            raise ExecutionError(f"unsupported instruction {instruction!r}")
+        return handler(self, instruction)
+
+    def _execute_load_immediate(self, instruction: LoadImmediate) -> float:
+        self.state.scalar.write(instruction.rd, instruction.value)
+        return 1.0
+
+    def _execute_csr_write(self, instruction: CsrWrite) -> float:
+        name = CSR_NAME_BY_ADDRESS.get(instruction.csr)
+        if name is None:
+            raise ExecutionError(f"unknown CSR address 0x{instruction.csr:02x}")
+        value = self.state.scalar.read(instruction.rs)
+        self.state.csr.write(name, value)
+        return 1.0
+
+    def _execute_sync(self, instruction: Sync) -> float:
+        return 1.0
 
     def _require_cc(self) -> None:
         if self.core_type != "cc":
@@ -280,3 +313,28 @@ class CoreExecutor:
             raise ExecutionError(f"unhandled V-V instruction {instruction!r}")
         self.state.vector.write(instruction.vd, result)
         return cycles
+
+
+#: Instruction type -> handler, resolved once at import time.  Group
+#: handlers (``_execute_mm`` etc.) keep the per-family semantics together;
+#: the table removes the isinstance chains from the execution hot path.
+_DISPATCH: Dict[type, Callable[[CoreExecutor, BaseInstruction], float]] = {
+    LoadImmediate: CoreExecutor._execute_load_immediate,
+    CsrWrite: CoreExecutor._execute_csr_write,
+    Sync: CoreExecutor._execute_sync,
+    MMLoad: CoreExecutor._execute_mm,
+    MMStore: CoreExecutor._execute_mm,
+    MMMul: CoreExecutor._execute_mm,
+    MMZero: CoreExecutor._execute_mm,
+    MVWeightLoad: CoreExecutor._execute_mv,
+    MVMul: CoreExecutor._execute_mv,
+    MVPrune: CoreExecutor._execute_mv,
+    VLoad: CoreExecutor._execute_mv,
+    VStore: CoreExecutor._execute_mv,
+    VAdd: CoreExecutor._execute_vv,
+    VMul: CoreExecutor._execute_vv,
+    VMax: CoreExecutor._execute_vv,
+    VRelu: CoreExecutor._execute_vv,
+    VSilu: CoreExecutor._execute_vv,
+    VConvert: CoreExecutor._execute_vv,
+}

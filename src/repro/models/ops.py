@@ -20,6 +20,8 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from .. import costs
+
 
 class OpKind(enum.Enum):
     """Classification of an operator by its compute/memory behaviour."""
@@ -140,9 +142,9 @@ class Op:
         """
         if not 0.0 <= keep_fraction <= 1.0:
             raise ValueError("keep_fraction must be in [0, 1]")
-        if self.prunable and keep_fraction < 1.0:
-            return int(round(self.weight_bytes * keep_fraction))
-        return self.weight_bytes
+        return int(
+            costs.pruned_weight_bytes(self.weight_bytes, self.prunable, keep_fraction)
+        )
 
     def scaled_traffic(self, weight_keep_fraction: float) -> "Op":
         """Return a copy with weight traffic scaled by ``weight_keep_fraction``.

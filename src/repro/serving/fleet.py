@@ -18,11 +18,15 @@ Two dispatch policies are provided:
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..core.batch import BatchCostEngine, DesignGrid, OpTable, ordered_sum
+from ..core.pipeline import CC_STAGE_PHASES
 from ..core.simulator import PerformanceSimulator
 from ..models.mllm import InferenceRequest, MLLMConfig
+from ..models.ops import merge_phases
 from .metrics import RequestRecord, ServingReport, summarize
 from .queue import ContinuousBatchingSimulator, ServingRequest, ServingResult
 
@@ -62,6 +66,7 @@ class FleetSimulator:
         max_batch_size: int = 8,
         cc_bandwidth_fraction: float = 0.5,
         context_bucket: int = 32,
+        precompute: bool = True,
     ) -> None:
         if n_chips < 1:
             raise ValueError("n_chips must be >= 1")
@@ -70,6 +75,8 @@ class FleetSimulator:
         self.model = model
         self.n_chips = n_chips
         self.policy = policy
+        self.precompute = precompute
+        self.cc_bandwidth_fraction = cc_bandwidth_fraction
         factory = simulator_factory or PerformanceSimulator
         self.chips: List[ContinuousBatchingSimulator] = [
             ContinuousBatchingSimulator(
@@ -82,6 +89,85 @@ class FleetSimulator:
             )
             for chip_id in range(n_chips)
         ]
+
+    # ------------------------------------------------------------------
+    # Service-time precomputation (batch engine)
+    # ------------------------------------------------------------------
+    def precompute_service_times(self, trace: Sequence[ServingRequest]) -> None:
+        """Warm every chip's cost caches with one batched pass per table.
+
+        The fleet's chips are identical, yet each one would lazily derive
+        the same CC-stage latencies and decode-bucket cost triples through
+        the scalar simulator.  This precomputation prices each unique
+        request shape and each initial context bucket once through the
+        array-native :class:`~repro.core.batch.BatchCostEngine` and seeds
+        the caches of every chip that shares the reference configuration
+        (chips from a customised ``simulator_factory`` that differ are left
+        to compute lazily).  Seeded values are bit-identical to what the
+        scalar path would cache, so traces replay unchanged.
+
+        Buckets that only appear later (contexts grow as tokens generate)
+        still resolve lazily through the scalar path.
+        """
+        if not trace:
+            return
+        reference = self.chips[0]
+        system = reference.simulator.system
+        targets = [
+            chip for chip in self.chips if chip.simulator.system == system
+        ]
+
+        shapes = sorted(
+            {(r.request.images, r.request.prompt_text_tokens) for r in trace}
+        )
+        missing_shapes = [s for s in shapes if not reference.has_cc_latency(s)]
+        if missing_shapes:
+            grid = DesignGrid.from_systems(
+                [system], bandwidth_fraction=self.cc_bandwidth_fraction
+            )
+            engine = BatchCostEngine(grid)
+            latencies: Dict[Tuple[int, int], float] = {}
+            for images, prompt_text_tokens in missing_shapes:
+                probe = InferenceRequest(
+                    images=images,
+                    prompt_text_tokens=prompt_text_tokens,
+                    output_tokens=1,
+                )
+                workload = self.model.build_workload(probe)
+                merged = merge_phases(
+                    "cc_stage",
+                    [p for p in workload.phases if p.name in CC_STAGE_PHASES],
+                )
+                table = OpTable.from_phase(merged)
+                result = engine.evaluate(table, pool=reference.cc_pool)
+                latencies[(images, prompt_text_tokens)] = float(
+                    result.phases[0].latency_s[0]
+                )
+            for chip in targets:
+                chip.seed_cc_latencies(latencies)
+
+        cost_model = reference.cost_model
+        buckets = sorted(
+            {
+                cost_model.bucket_for(self.model.prompt_tokens(r.request))
+                for r in trace
+            }
+        )
+        missing_buckets = [b for b in buckets if not cost_model.has_bucket_cost(b)]
+        if missing_buckets:
+            grid = DesignGrid.from_systems([system], bandwidth_fraction=1.0)
+            engine = BatchCostEngine(grid)
+            bucket_costs: Dict[int, Tuple[int, int, float]] = {}
+            for bucket in missing_buckets:
+                table = OpTable.from_phase(self.model.decode_step(bucket))
+                matrices = engine.op_costs(table, pool=cost_model.pool)
+                index = table.order
+                weight = int(matrices.pruned_weight_bytes[0, index].sum())
+                total = int(matrices.traffic_bytes[0, index].sum())
+                compute = float(ordered_sum(matrices.compute_cycles[:, index])[0])
+                bucket_costs[bucket] = (weight, total - weight, compute)
+            for chip in targets:
+                chip.cost_model.seed_bucket_costs(bucket_costs)
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -100,6 +186,12 @@ class FleetSimulator:
         Assignments are positional, so traces carrying duplicate (caller-
         supplied) request ids still dispatch every request.
         """
+        if self.policy == "least_loaded" and self.precompute:
+            self.precompute_service_times(trace)
+        return self._assign(trace)
+
+    def _assign(self, trace: Sequence[ServingRequest]) -> List[int]:
+        """The assignment policy itself (caches assumed warm by callers)."""
         order = sorted(
             range(len(trace)),
             key=lambda i: (trace[i].arrival_s, trace[i].request_id),
@@ -109,12 +201,17 @@ class FleetSimulator:
             for position, index in enumerate(order):
                 assignments[index] = position % self.n_chips
         else:  # least_loaded
-            horizon = [0.0] * self.n_chips
+            # Heap of (horizon, chip_id): pops the earliest horizon with
+            # ties broken by the lowest chip id — the same choice as a
+            # linear scan over the horizon list, in O(log n) per request.
+            heap = [(0.0, chip_id) for chip_id in range(self.n_chips)]
             for index in order:
                 request = trace[index]
-                chip_id = min(range(self.n_chips), key=lambda i: horizon[i])
+                horizon, chip_id = heapq.heappop(heap)
                 cost = self._estimate_cost_s(self.chips[chip_id], request.request)
-                horizon[chip_id] = max(horizon[chip_id], request.arrival_s) + cost
+                heapq.heappush(
+                    heap, (max(horizon, request.arrival_s) + cost, chip_id)
+                )
                 assignments[index] = chip_id
         return assignments
 
@@ -125,7 +222,9 @@ class FleetSimulator:
         """Dispatch the trace, simulate every chip and merge the records."""
         if not trace:
             raise ValueError("trace must not be empty")
-        assignments = self.assign(trace)
+        if self.precompute:
+            self.precompute_service_times(trace)
+        assignments = self._assign(trace)
         shards: List[List[ServingRequest]] = [[] for _ in range(self.n_chips)]
         for request, chip_id in zip(trace, assignments):
             shards[chip_id].append(request)

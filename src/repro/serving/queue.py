@@ -64,6 +64,13 @@ class BatchDecodeCostModel:
     per-context cost triple ``(weight bytes, per-stream bytes, compute
     cycles)`` is computed once per bucket and then reused for every stream
     and every step that lands in the bucket.
+
+    Whole steps memoize too: the step latency is a pure function of the
+    batch's bucket composition, and a steady-state decode batch repeats the
+    same composition for thousands of consecutive steps, so the event loop
+    usually pays one tuple hash per step instead of a per-stream scan.  The
+    memo key preserves stream order, which keeps the cached float identical
+    to the freshly-folded one.
     """
 
     def __init__(
@@ -84,6 +91,20 @@ class BatchDecodeCostModel:
         self.context_bucket = context_bucket
         self.pool = "mc" if simulator.has_mc else "cc"
         self._bucket_cost: Dict[int, Tuple[int, int, float]] = {}
+        self._step_cache: Dict[Tuple[int, ...], float] = {}
+
+    def seed_bucket_costs(
+        self, bucket_costs: Dict[int, Tuple[int, int, float]]
+    ) -> None:
+        """Install precomputed per-bucket cost triples (fleet warm-up)."""
+        self._bucket_cost.update(bucket_costs)
+
+    def has_bucket_cost(self, bucket: int) -> bool:
+        return bucket in self._bucket_cost
+
+    def bucket_for(self, context: int) -> int:
+        """The context bucket a given context length quantizes to."""
+        return self._bucket(context)
 
     def _bucket(self, context: int) -> int:
         return ((max(context, 1) + self.context_bucket - 1) // self.context_bucket) * (
@@ -115,11 +136,15 @@ class BatchDecodeCostModel:
         """Seconds to generate one token for every stream in the batch."""
         if not context_lengths:
             raise ValueError("context_lengths must not be empty")
+        buckets = tuple(self._bucket(context) for context in context_lengths)
+        cached = self._step_cache.get(buckets)
+        if cached is not None:
+            return cached
         weight_bytes = 0
         per_stream_bytes = 0
         compute_cycles = 0.0
-        for context in context_lengths:
-            shared, per_stream, compute = self._cost(self._bucket(context))
+        for bucket in buckets:
+            shared, per_stream, compute = self._cost(bucket)
             # Weights are identical for every stream; read them once per step.
             weight_bytes = max(weight_bytes, shared)
             per_stream_bytes += per_stream
@@ -127,9 +152,11 @@ class BatchDecodeCostModel:
         memory_cycles = self.simulator.memory_cycles(
             weight_bytes + per_stream_bytes, self.pool, self.mc_bandwidth_fraction
         )
-        return self.simulator.chip.cycles_to_seconds(
+        latency = self.simulator.chip.cycles_to_seconds(
             max(memory_cycles, compute_cycles)
         )
+        self._step_cache[buckets] = latency
+        return latency
 
 
 @dataclass
@@ -204,6 +231,18 @@ class ContinuousBatchingSimulator:
         )
         self._cc_pool = "cc" if self.simulator.has_cc else "mc"
         self._cc_latency_cache: Dict[Tuple[int, int], float] = {}
+
+    @property
+    def cc_pool(self) -> str:
+        """The pool the CC-stage runs on ('mc' only on MC-only chips)."""
+        return self._cc_pool
+
+    def seed_cc_latencies(self, latencies: Dict[Tuple[int, int], float]) -> None:
+        """Install precomputed CC-stage latencies keyed by request shape."""
+        self._cc_latency_cache.update(latencies)
+
+    def has_cc_latency(self, shape: Tuple[int, int]) -> bool:
+        return shape in self._cc_latency_cache
 
     # ------------------------------------------------------------------
     # Stage cost models

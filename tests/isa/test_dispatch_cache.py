@@ -1,0 +1,51 @@
+"""Decoded-kernel dispatch cache: replayed kernels skip type resolution."""
+
+import pytest
+
+from repro.isa.executor import CoreExecutor, ExecutionError
+from repro.isa.instructions import BaseInstruction, LoadImmediate, MMZero, Sync
+from repro.isa.kernels import simple_gemm_kernel
+
+
+class TestDispatchCache:
+    def test_replayed_kernel_results_identical(self):
+        plan = simple_gemm_kernel(16, 32, 32)
+        executor = CoreExecutor("cc")
+        first = executor.run(plan.program)
+        second = executor.run(plan.program)
+        assert first.cycles == second.cycles
+        assert first.cycle_breakdown == second.cycle_breakdown
+        assert len(executor._kernel_cache) == 1
+
+    def test_cached_run_matches_fresh_executor(self):
+        plan = simple_gemm_kernel(16, 32, 32)
+        warm = CoreExecutor("cc")
+        warm.run(plan.program)
+        replay = warm.run(plan.program)
+        fresh = CoreExecutor("cc").run(plan.program)
+        assert replay.cycles == fresh.cycles
+        assert replay.instructions_executed == fresh.instructions_executed
+
+    def test_distinct_kernels_get_distinct_entries(self):
+        executor = CoreExecutor("cc")
+        executor.run([MMZero(md=0), Sync()])
+        executor.run([MMZero(md=0), MMZero(md=1)])
+        assert len(executor._kernel_cache) == 2
+
+    def test_decode_kernel_resolves_handlers_in_order(self):
+        executor = CoreExecutor("cc")
+        program = [LoadImmediate(rd=0, value=3), Sync(), MMZero(md=0)]
+        handlers = executor.decode_kernel(program)
+        assert len(handlers) == len(program)
+        cycles = [handler(executor, instr) for handler, instr in zip(handlers, program)]
+        assert cycles == [1.0, 1.0, 1.0]
+
+    def test_unsupported_instruction_raises(self):
+        class Bogus(BaseInstruction):
+            MNEMONIC = "bogus"
+
+        executor = CoreExecutor("cc")
+        with pytest.raises(ExecutionError):
+            executor.decode_kernel([Bogus()])
+        with pytest.raises(ExecutionError):
+            executor._execute(Bogus())

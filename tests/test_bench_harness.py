@@ -1,0 +1,71 @@
+"""The benchmark harness writes a well-formed ``BENCH_results.json``."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+HARNESS_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "run.py"
+
+
+@pytest.fixture(scope="module")
+def harness():
+    spec = importlib.util.spec_from_file_location("bench_harness", HARNESS_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestDiscovery:
+    def test_discovers_every_bench_module(self, harness):
+        scenarios = harness.discover_scenarios()
+        names = [name for name, _, _ in scenarios]
+        assert "design_sweep_batch_1000" in names
+        assert "design_sweep_scalar_100" in names
+        assert "serving" in names
+        assert names == sorted(names)
+
+    def test_unknown_filter_exits(self, harness, tmp_path):
+        with pytest.raises(SystemExit):
+            harness.run_benchmarks(
+                only="no-such-scenario", output=tmp_path / "out.json"
+            )
+
+
+class TestResultsFile:
+    def test_writes_scenario_seconds_and_machine_info(self, harness, tmp_path, capsys):
+        output = tmp_path / "BENCH_results.json"
+        report = harness.run_benchmarks(only="fig6", output=output)
+        capsys.readouterr()
+        on_disk = json.loads(output.read_text())
+        assert on_disk == report
+        assert "fig6_bandwidth" in on_disk["scenarios"]
+        record = on_disk["scenarios"]["fig6_bandwidth"]
+        assert record["seconds"] >= 0
+        assert record["module"] == "test_bench_fig6_bandwidth.py"
+        machine = on_disk["machine"]
+        assert machine["python"] and machine["platform"]
+        assert machine["cpu_count"] >= 1
+
+    def test_scenario_details_are_recorded(self, harness, tmp_path, capsys):
+        output = tmp_path / "BENCH_results.json"
+        report = harness.run_benchmarks(only="design_sweep_scalar", output=output)
+        capsys.readouterr()
+        record = report["scenarios"]["design_sweep_scalar_100"]
+        assert record["points"] == 100
+        assert record["engine"] == "scalar"
+
+    def test_committed_results_include_the_sweep_benchmark(self):
+        committed = HARNESS_PATH.parent / "BENCH_results.json"
+        data = json.loads(committed.read_text())
+        assert "design_sweep_batch_1000" in data["scenarios"]
+        assert "design_sweep_scalar_100" in data["scenarios"]
+        batch = data["scenarios"]["design_sweep_batch_1000"]
+        scalar = data["scenarios"]["design_sweep_scalar_100"]
+        # The committed trajectory must show the >= 50x acceptance headline
+        # (scalar seconds are for a 100-point sample of the 1,000 points).
+        speedup = (scalar["seconds"] * 10) / batch["seconds"]
+        assert speedup >= 50
