@@ -51,8 +51,10 @@ __all__ = [
     "BatchPhaseArrays",
     "BatchWorkloadResult",
     "BatchCostEngine",
+    "RequestPrice",
     "compile_workload",
     "batch_run_request",
+    "batch_price_request_mix",
     "ordered_sum",
 ]
 
@@ -705,3 +707,72 @@ def batch_run_request(
     )
     engine = BatchCostEngine(grid)
     return engine.evaluate_workload(workload, output_tokens=request.output_tokens)
+
+
+@dataclass(frozen=True)
+class RequestPrice:
+    """Batch-1 price of one request shape on one design point.
+
+    ``latency_s`` folds the per-phase latencies in workload phase order —
+    the same float summation as ``WorkloadResult.total_latency_s`` — so it
+    is ``==``-equal to the scalar simulator's end-to-end latency.
+    """
+
+    latency_s: float
+    dram_bytes: int
+    flops: int
+
+    @property
+    def chip_seconds(self) -> float:
+        """Alias making fleet-capacity arithmetic read naturally."""
+        return self.latency_s
+
+
+def batch_price_request_mix(
+    model: MLLMConfig,
+    requests: Sequence[InferenceRequest],
+    system: SystemConfig,
+    *,
+    bandwidth_fraction=1.0,
+) -> Dict[InferenceRequest, RequestPrice]:
+    """Price every unique request shape of a mixed trace in one pass.
+
+    The serving-scenario layer compiles traces mixing heterogeneous request
+    shapes (text chat, multi-image, video frames, long context).  Pricing
+    them one scalar simulation at a time would redo the same cost algebra
+    per shape; instead this stacks every unique shape's phases into a
+    *single* :class:`OpTable` — cross-shape signature deduplication comes
+    for free, decoder layers repeat across shapes — and evaluates the lot
+    against one single-point grid.  ``result[shape].latency_s`` is
+    bit-identical to
+    ``PerformanceSimulator(system).run_request(model, shape)``'s
+    ``total_latency_s`` (regression-tested in ``tests/core/test_batch.py``).
+    """
+    unique: Dict[InferenceRequest, None] = {}
+    for request in requests:
+        unique.setdefault(request, None)
+    if not unique:
+        raise ValueError("requests must not be empty")
+    shapes = list(unique)
+    phases: List[Tuple[str, Sequence[Op], int]] = []
+    spans: List[Tuple[int, int]] = []
+    for index, shape in enumerate(shapes):
+        workload = model.build_workload(shape)
+        start = len(phases)
+        phases.extend(
+            (f"{index}/{phase.name}", phase.ops, phase.repeat)
+            for phase in workload.phases
+        )
+        spans.append((start, len(phases)))
+    table = OpTable("request_mix", phases)
+    grid = DesignGrid.from_systems([system], bandwidth_fraction=bandwidth_fraction)
+    result = BatchCostEngine(grid).evaluate(table)
+    prices: Dict[InferenceRequest, RequestPrice] = {}
+    for shape, (start, stop) in zip(shapes, spans):
+        arrays = result.phases[start:stop]
+        prices[shape] = RequestPrice(
+            latency_s=sum(float(a.latency_s[0]) for a in arrays),
+            dram_bytes=sum(int(a.dram_bytes[0]) for a in arrays),
+            flops=sum(a.flops for a in arrays),
+        )
+    return prices

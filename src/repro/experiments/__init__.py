@@ -20,6 +20,7 @@ from .parallel import (
     sweep_design_space_batched,
 )
 from . import ablations
+from . import scenario_suite
 from . import fig2_workload
 from . import fig3_sparsity
 from . import fig6_bandwidth
@@ -102,9 +103,18 @@ register_experiment(
         report=ablations.format_report,
     )
 )
+register_experiment(
+    ExperimentSpec(
+        experiment_id="scenarios",
+        description="Declarative serving-scenario suite (workload mixes, SLOs, autoscaling)",
+        run=scenario_suite.run_scenario_suite,
+        report=scenario_suite.format_report,
+    )
+)
 
 __all__ = [
     "ablations",
+    "scenario_suite",
     "DesignPoint",
     "ParallelSweepRunner",
     "evaluate_design_point",

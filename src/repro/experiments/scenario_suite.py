@@ -1,0 +1,66 @@
+"""Scenario-suite experiment: the workload-mix study, declaratively.
+
+Earlier revisions hand-wired serving mixes inside individual experiment
+scripts; the declarative scenario registry (:mod:`repro.scenarios`) is now
+the single source of truth for workload mixes, arrival patterns, fleet
+topologies and SLOs.  This experiment simply runs every registered
+scenario and tabulates the outcomes — adding a scenario to the registry
+automatically adds a row here (and a golden report to the regression
+suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..scenarios import ScenarioReport, available_scenarios, get_scenario, run_scenario
+from .runner import format_table
+
+
+@dataclass(frozen=True)
+class ScenarioSuiteResult:
+    """Reports of every registered scenario, in registry order."""
+
+    reports: Tuple[ScenarioReport, ...]
+
+    @property
+    def n_slo_met(self) -> int:
+        return sum(1 for report in self.reports if report.slo_met)
+
+
+def run_scenario_suite() -> ScenarioSuiteResult:
+    """Run the whole registered scenario catalogue."""
+    return ScenarioSuiteResult(
+        reports=tuple(
+            run_scenario(get_scenario(name)) for name in available_scenarios()
+        )
+    )
+
+
+def format_report(result: ScenarioSuiteResult) -> str:
+    rows: List[List[object]] = []
+    for report in result.reports:
+        chips = "-"
+        if report.autoscale is not None:
+            chips = f"{report.autoscale.peak_chips} (auto)"
+        rows.append(
+            [
+                report.name,
+                f"{report.n_completed}/{report.n_requests}",
+                f"{report.ttft.p99 * 1e3:.0f}",
+                f"{report.latency.p95 * 1e3:.0f}",
+                f"{report.requests_per_second:.2f}",
+                chips,
+                "MET" if report.slo_met else "MISS",
+            ]
+        )
+    table = format_table(
+        ["scenario", "completed", "p99 TTFT (ms)", "p95 latency (ms)", "req/s",
+         "peak chips", "SLO"],
+        rows,
+    )
+    return (
+        "Scenario suite — declarative serving scenarios "
+        f"({result.n_slo_met}/{len(result.reports)} SLOs met)\n" + table
+    )

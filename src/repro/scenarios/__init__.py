@@ -1,0 +1,79 @@
+"""Declarative serving scenarios on EdgeMM fleets.
+
+``repro.scenarios`` turns hand-wired serving experiments into data: a
+:class:`~repro.scenarios.spec.ScenarioSpec` declares a workload mix, an
+arrival pattern, a fleet topology (optionally SLO-aware autoscaled) and
+service-level objectives; :func:`~repro.scenarios.runner.run_scenario`
+compiles it to a trace, plays it through the serving layer, prices the
+offered load through the array-native batch engine and emits a
+:class:`~repro.scenarios.report.ScenarioReport` whose canonical JSON form
+is regression-locked by the golden-report suite.
+
+Run the catalogue from the command line::
+
+    python -m repro.scenarios list
+    python -m repro.scenarios run mixed-rush-hour
+"""
+
+from .compile import (
+    CompiledScenario,
+    build_arrival_process,
+    compile_scenario,
+    component_sampler,
+)
+from .registry import (
+    LONG_CONTEXT,
+    MULTI_IMAGE,
+    TEXT_CHAT,
+    VIDEO_FRAMES,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+)
+from .report import (
+    AutoscaleSummary,
+    PricingSummary,
+    ScenarioReport,
+    SLOCheck,
+    format_scenario_report,
+    slo_checks,
+)
+from .runner import autoscaler_config, build_fleet, price_offered_load, run_scenario
+from .spec import (
+    ArrivalSpec,
+    AutoscalerSpec,
+    FleetSpec,
+    ScenarioSpec,
+    SLOSpec,
+    WorkloadComponent,
+)
+
+__all__ = [
+    "ArrivalSpec",
+    "AutoscalerSpec",
+    "AutoscaleSummary",
+    "CompiledScenario",
+    "FleetSpec",
+    "LONG_CONTEXT",
+    "MULTI_IMAGE",
+    "PricingSummary",
+    "ScenarioReport",
+    "ScenarioSpec",
+    "SLOCheck",
+    "SLOSpec",
+    "TEXT_CHAT",
+    "VIDEO_FRAMES",
+    "WorkloadComponent",
+    "autoscaler_config",
+    "available_scenarios",
+    "build_arrival_process",
+    "build_fleet",
+    "compile_scenario",
+    "component_sampler",
+    "format_scenario_report",
+    "get_scenario",
+    "price_offered_load",
+    "register_scenario",
+    "run_scenario",
+    "slo_checks",
+]

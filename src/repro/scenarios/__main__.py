@@ -1,0 +1,98 @@
+"""Command-line runner for the scenario catalogue.
+
+::
+
+    python -m repro.scenarios list
+    python -m repro.scenarios run <name> [--json]
+    python -m repro.scenarios run --all
+    python -m repro.scenarios write-golden [--dir tests/golden] [names ...]
+
+``write-golden`` regenerates the canonical JSON reports the golden-report
+regression suite asserts byte identity against; run it only when a change
+*intends* to move scenario numbers, and commit the diff.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .registry import available_scenarios, get_scenario
+from .report import format_scenario_report
+from .runner import run_scenario
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="Run declarative serving scenarios on EdgeMM fleets.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list registered scenarios")
+
+    run = commands.add_parser("run", help="run one scenario (or all)")
+    run.add_argument("name", nargs="?", help="registered scenario name")
+    run.add_argument("--all", action="store_true", help="run every scenario")
+    run.add_argument(
+        "--json", action="store_true", help="emit the canonical JSON report"
+    )
+
+    golden = commands.add_parser(
+        "write-golden", help="(re)write golden reports for the regression suite"
+    )
+    golden.add_argument(
+        "names", nargs="*", help="scenarios to write (default: all registered)"
+    )
+    golden.add_argument(
+        "--dir",
+        default="tests/golden",
+        help="directory the <name>.json files are written to",
+    )
+    return parser
+
+
+def _run(name: str, as_json: bool) -> None:
+    report = run_scenario(get_scenario(name))
+    if as_json:
+        sys.stdout.write(report.to_json())
+    else:
+        print(format_scenario_report(report))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for name in available_scenarios():
+            spec = get_scenario(name)
+            print(f"{name:<24} {spec.description}")
+        return 0
+
+    if args.command == "run":
+        if args.all == (args.name is not None):
+            print("run takes exactly one of <name> or --all", file=sys.stderr)
+            return 2
+        names = available_scenarios() if args.all else [args.name]
+        for index, name in enumerate(names):
+            if index and not args.json:
+                print()
+            _run(name, args.json)
+        return 0
+
+    # write-golden
+    directory = Path(args.dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    names = args.names or available_scenarios()
+    for name in names:
+        report = run_scenario(get_scenario(name))
+        path = directory / f"{get_scenario(name).name}.json"
+        path.write_text(report.to_json(), encoding="utf-8")
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,121 @@
+"""Compilation of a :class:`~repro.scenarios.spec.ScenarioSpec` to a trace.
+
+Compiling a scenario is pure and deterministic: every random stream
+(arrival process, per-component shape samplers, the mix-selection stream)
+is seeded from the spec's content hash, so the same spec compiles to the
+bit-identical :class:`~repro.serving.queue.ServingRequest` trace in every
+process.  The compiled trace remembers which mix component produced each
+request, which the reports use for per-component accounting.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple, Union
+
+from ..models.mllm import InferenceRequest
+from ..serving.arrival import (
+    BurstyArrivals,
+    PoissonArrivals,
+    RequestSampler,
+    TraceArrivals,
+)
+from ..serving.queue import ServingRequest, build_trace
+from .spec import ArrivalSpec, ScenarioSpec, WorkloadComponent
+
+ArrivalProcess = Union[PoissonArrivals, BurstyArrivals, TraceArrivals]
+
+
+@dataclass(frozen=True)
+class CompiledScenario:
+    """A scenario lowered to an executable serving trace."""
+
+    spec: ScenarioSpec
+    trace: Tuple[ServingRequest, ...]
+    #: Mix-component name of every request, in trace order.
+    components: Tuple[str, ...]
+
+    @property
+    def component_counts(self) -> Dict[str, int]:
+        """Requests per mix component, keyed by component name."""
+        counts: Dict[str, int] = {
+            component.name: 0 for component in self.spec.mix
+        }
+        for name in self.components:
+            counts[name] += 1
+        return counts
+
+    @property
+    def unique_shapes(self) -> Tuple[InferenceRequest, ...]:
+        """The distinct request shapes of the trace, in first-seen order."""
+        seen: Dict[InferenceRequest, None] = {}
+        for request in self.trace:
+            seen.setdefault(request.request, None)
+        return tuple(seen)
+
+
+def build_arrival_process(
+    arrival: ArrivalSpec, *, seed: int = 0
+) -> ArrivalProcess:
+    """Instantiate the arrival process an :class:`ArrivalSpec` describes."""
+    if arrival.kind == "poisson":
+        return PoissonArrivals(arrival.rate_rps, seed=seed)
+    if arrival.kind == "bursty":
+        return BurstyArrivals(
+            arrival.rate_rps,
+            burst_multiplier=arrival.burst_multiplier,
+            mean_calm_arrivals=arrival.mean_calm_arrivals,
+            mean_burst_arrivals=arrival.mean_burst_arrivals,
+            seed=seed,
+        )
+    # ArrivalSpec validation guarantees times is present for "trace".
+    return TraceArrivals(arrival.times or ())
+
+
+def component_sampler(
+    component: WorkloadComponent, *, seed: int
+) -> RequestSampler:
+    """The deterministic shape sampler of one mix component."""
+    return RequestSampler(
+        images=component.images,
+        prompt_token_range=component.prompt_token_range,
+        output_token_choices=component.output_token_choices,
+        output_token_weights=component.output_token_weights,
+        seed=seed,
+    )
+
+
+def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
+    """Lower a scenario spec to its serving trace.
+
+    Arrival timestamps come from the spec's arrival process; request
+    shapes interleave the mix components with spec-hash-derived seeds: a
+    selection stream picks the component of every slot and each component
+    contributes the next shape of its own pre-seeded stream.
+    """
+    n = spec.n_requests
+    process = build_arrival_process(spec.arrival, seed=spec.derive_seed("arrival"))
+    times = process.generate(n)
+
+    streams: Dict[str, Iterator[InferenceRequest]] = {
+        component.name: iter(
+            component_sampler(
+                component, seed=spec.derive_seed(f"component:{component.name}")
+            ).sample(n)
+        )
+        for component in spec.mix
+    }
+    names = [component.name for component in spec.mix]
+    weights = [component.weight for component in spec.mix]
+    selection = random.Random(spec.derive_seed("mix"))
+    chosen: List[str] = [
+        names[0] if len(names) == 1 else selection.choices(names, weights=weights)[0]
+        for _ in range(n)
+    ]
+    requests = [next(streams[name]) for name in chosen]
+    return CompiledScenario(
+        spec=spec,
+        trace=tuple(build_trace(times, requests)),
+        components=tuple(chosen),
+    )

@@ -1,0 +1,239 @@
+"""The built-in scenario catalogue.
+
+Every entry is a plain :class:`~repro.scenarios.spec.ScenarioSpec` —
+declarative data, no code — covering the workload families the paper's
+heterogeneous design targets: text chat, multi-image prompts, video-frame
+streaming and long-context summarization, alone and mixed, under Poisson,
+bursty and replayed-trace arrivals, on static and autoscaled fleets.
+
+``register_scenario`` is open: downstream experiments register their own
+specs and run them through the same CLI and golden-report machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List
+
+from .spec import (
+    ArrivalSpec,
+    AutoscalerSpec,
+    FleetSpec,
+    ScenarioSpec,
+    SLOSpec,
+    WorkloadComponent,
+)
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
+    """Register a scenario spec under its (case-insensitive) name."""
+    key = spec.name.lower()
+    if key in _REGISTRY:
+        raise ValueError(f"duplicate scenario registration: {spec.name}")
+    _REGISTRY[key] = spec
+    return spec
+
+
+def available_scenarios() -> List[str]:
+    """Names of all registered scenarios, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a registered scenario by (case-insensitive) name."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: "
+            f"{', '.join(available_scenarios())}"
+        )
+    return _REGISTRY[key]
+
+
+# ----------------------------------------------------------------------
+# Workload-mix building blocks
+# ----------------------------------------------------------------------
+TEXT_CHAT = WorkloadComponent(
+    name="text_chat",
+    images=0,
+    prompt_token_range=(16, 96),
+    output_token_choices=(16, 32, 64, 128, 256),
+    output_token_weights=(0.3, 0.3, 0.25, 0.1, 0.05),
+)
+
+MULTI_IMAGE = WorkloadComponent(
+    name="multi_image",
+    images=4,
+    prompt_token_range=(16, 48),
+    output_token_choices=(32, 64, 128),
+    output_token_weights=(0.5, 0.35, 0.15),
+)
+
+VIDEO_FRAMES = WorkloadComponent(
+    name="video_frames",
+    images=2,
+    prompt_token_range=(8, 16),
+    output_token_choices=(8, 16),
+    output_token_weights=(0.7, 0.3),
+)
+
+LONG_CONTEXT = WorkloadComponent(
+    name="long_context",
+    images=0,
+    prompt_token_range=(512, 1024),
+    output_token_choices=(128, 256),
+    output_token_weights=(0.6, 0.4),
+)
+
+
+# ----------------------------------------------------------------------
+# Catalogue
+# ----------------------------------------------------------------------
+CHAT_POISSON = register_scenario(
+    ScenarioSpec(
+        name="chat-poisson",
+        description="Pure text chat at a steady Poisson rate on one chip",
+        n_requests=120,
+        mix=(TEXT_CHAT,),
+        arrival=ArrivalSpec(kind="poisson", rate_rps=8.0),
+        fleet=FleetSpec(n_chips=1, max_batch_size=16),
+        slo=SLOSpec(ttft_p99_s=0.5, latency_p95_s=5.0),
+    )
+)
+
+MULTI_IMAGE_CHAT = register_scenario(
+    ScenarioSpec(
+        name="multi-image-chat",
+        description="Four-image prompts on a two-chip least-loaded fleet",
+        n_requests=80,
+        mix=(MULTI_IMAGE,),
+        arrival=ArrivalSpec(kind="poisson", rate_rps=0.8),
+        fleet=FleetSpec(n_chips=2, policy="least_loaded", max_batch_size=8),
+        slo=SLOSpec(ttft_p99_s=4.0),
+    )
+)
+
+VIDEO_STREAM = register_scenario(
+    ScenarioSpec(
+        name="video-stream",
+        description="Frame-pair keyframe captioning replayed at a fixed 1.25 Hz cadence",
+        n_requests=96,
+        mix=(VIDEO_FRAMES,),
+        arrival=ArrivalSpec(
+            kind="trace", times=tuple(round(i * 0.8, 6) for i in range(96))
+        ),
+        fleet=FleetSpec(n_chips=1, max_batch_size=8),
+        slo=SLOSpec(ttft_p99_s=1.5, queue_wait_p99_s=1.0),
+    )
+)
+
+LONG_CONTEXT_SUMMARIZE = register_scenario(
+    ScenarioSpec(
+        name="long-context-summarize",
+        description="Long-prompt summarization trickle on two chips",
+        n_requests=60,
+        mix=(LONG_CONTEXT,),
+        arrival=ArrivalSpec(kind="poisson", rate_rps=0.5),
+        fleet=FleetSpec(n_chips=2, policy="least_loaded", max_batch_size=8),
+        slo=SLOSpec(latency_p95_s=8.0),
+    )
+)
+
+MIXED_RUSH_HOUR = register_scenario(
+    ScenarioSpec(
+        name="mixed-rush-hour",
+        description=(
+            "All four workload families under bursty rush-hour traffic, "
+            "served by the SLO-aware autoscaler"
+        ),
+        n_requests=200,
+        mix=(
+            replace(TEXT_CHAT, weight=4.0),
+            replace(MULTI_IMAGE, weight=2.0),
+            replace(VIDEO_FRAMES, weight=2.0),
+            replace(LONG_CONTEXT, weight=1.0),
+        ),
+        arrival=ArrivalSpec(
+            kind="bursty",
+            rate_rps=2.0,
+            burst_multiplier=5.0,
+            mean_calm_arrivals=50.0,
+            mean_burst_arrivals=25.0,
+        ),
+        fleet=FleetSpec(
+            max_batch_size=8,
+            autoscaler=AutoscalerSpec(
+                min_chips=2,
+                max_chips=5,
+                window=32,
+                min_observations=8,
+                cooldown_s=1.5,
+                scale_down_ratio=0.3,
+                max_queue_depth=64,
+                admission="queue",
+            ),
+        ),
+        slo=SLOSpec(ttft_p99_s=5.0),
+    )
+)
+
+EDGE_KIOSK_OVERLOAD = register_scenario(
+    ScenarioSpec(
+        name="edge-kiosk-overload",
+        description=(
+            "An overloaded single-kiosk deployment: bursty mixed traffic, "
+            "two chips maximum, rejecting admission beyond a shallow queue"
+        ),
+        n_requests=150,
+        mix=(
+            replace(TEXT_CHAT, weight=3.0),
+            replace(MULTI_IMAGE, weight=1.0),
+        ),
+        arrival=ArrivalSpec(
+            kind="bursty",
+            rate_rps=3.0,
+            burst_multiplier=6.0,
+            mean_calm_arrivals=30.0,
+            mean_burst_arrivals=30.0,
+        ),
+        fleet=FleetSpec(
+            max_batch_size=8,
+            autoscaler=AutoscalerSpec(
+                min_chips=1,
+                max_chips=2,
+                window=32,
+                min_observations=8,
+                cooldown_s=1.0,
+                scale_down_ratio=0.2,
+                max_queue_depth=12,
+                admission="reject",
+            ),
+        ),
+        slo=SLOSpec(ttft_p99_s=1.5),
+    )
+)
+
+TRACE_SPIKE = register_scenario(
+    ScenarioSpec(
+        name="trace-spike",
+        description=(
+            "A replayed production-style trace: one quiet minute with a "
+            "20-request spike in its middle, on a static two-chip fleet"
+        ),
+        n_requests=80,
+        mix=(TEXT_CHAT, VIDEO_FRAMES),
+        arrival=ArrivalSpec(
+            kind="trace",
+            times=tuple(
+                sorted(
+                    [round(i * 1.0, 6) for i in range(60)]
+                    + [round(30.0 + i * 0.05, 6) for i in range(20)]
+                )
+            ),
+        ),
+        fleet=FleetSpec(n_chips=2, policy="round_robin", max_batch_size=8),
+        slo=SLOSpec(ttft_p99_s=1.0),
+    )
+)

@@ -1,0 +1,234 @@
+"""Structured scenario reports with a canonical JSON form.
+
+:class:`ScenarioReport` is the artifact a scenario run emits: identity
+(name + spec hash), traffic accounting, serving percentiles, SLO verdicts,
+autoscaler activity and the batched-cost-engine pricing summary.  Its
+:meth:`~ScenarioReport.to_json` rendering is *canonical* — key-sorted,
+2-space-indented, trailing newline — and fully determined by the spec, so
+the golden-report regression suite asserts byte identity against committed
+files (the same discipline as the fig11 byte-identity check).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..serving.autoscale import AutoscaleResult, ScalingEvent
+from ..serving.metrics import PercentileStats, ServingReport
+
+
+def _stats_dict(stats: PercentileStats) -> Dict[str, float]:
+    return {
+        "p50": stats.p50,
+        "p95": stats.p95,
+        "p99": stats.p99,
+        "mean": stats.mean,
+        "max": stats.max,
+    }
+
+
+@dataclass(frozen=True)
+class SLOCheck:
+    """One objective's verdict: the attained value against its target."""
+
+    metric: str
+    target_s: float
+    attained_s: float
+
+    @property
+    def met(self) -> bool:
+        return self.attained_s <= self.target_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "metric": self.metric,
+            "target_s": self.target_s,
+            "attained_s": self.attained_s,
+            "met": self.met,
+        }
+
+
+@dataclass(frozen=True)
+class AutoscaleSummary:
+    """Controller activity over one run."""
+
+    peak_chips: int
+    final_chips: int
+    n_scale_ups: int
+    n_scale_downs: int
+    n_rejected: int
+    rejection_rate: float
+    events: Tuple[ScalingEvent, ...]
+
+    @classmethod
+    def from_result(cls, result: AutoscaleResult) -> "AutoscaleSummary":
+        return cls(
+            peak_chips=result.peak_chips,
+            final_chips=result.final_chips,
+            n_scale_ups=result.n_scale_ups,
+            n_scale_downs=result.n_scale_downs,
+            n_rejected=result.n_rejected,
+            rejection_rate=result.rejection_rate,
+            events=result.events,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "peak_chips": self.peak_chips,
+            "final_chips": self.final_chips,
+            "n_scale_ups": self.n_scale_ups,
+            "n_scale_downs": self.n_scale_downs,
+            "n_rejected": self.n_rejected,
+            "rejection_rate": self.rejection_rate,
+            "events": [
+                {
+                    "time_s": event.time_s,
+                    "n_chips_before": event.n_chips_before,
+                    "n_chips_after": event.n_chips_after,
+                    "rolling_p99_ttft_s": event.rolling_p99_ttft_s,
+                }
+                for event in self.events
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class PricingSummary:
+    """Batched cost-engine view of the trace's offered load.
+
+    ``batch1_chip_seconds`` is the total batch-1 service time the trace
+    demands of one chip; divided by the makespan it yields
+    ``mean_chips_demanded`` — the average fleet size the offered load
+    requires before batching gains, a sizing anchor for autoscaler bounds.
+    """
+
+    unique_shapes: int
+    batch1_chip_seconds: float
+    mean_chips_demanded: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "unique_shapes": self.unique_shapes,
+            "batch1_chip_seconds": self.batch1_chip_seconds,
+            "mean_chips_demanded": self.mean_chips_demanded,
+        }
+
+
+@dataclass(frozen=True)
+class ScenarioReport:
+    """The structured outcome of one scenario run."""
+
+    name: str
+    description: str
+    spec_hash: str
+    n_requests: int
+    n_completed: int
+    component_counts: Tuple[Tuple[str, int], ...]
+    makespan_s: float
+    requests_per_second: float
+    tokens_per_second: float
+    latency: PercentileStats
+    ttft: PercentileStats
+    queue_wait: PercentileStats
+    slo: Tuple[SLOCheck, ...]
+    pricing: PricingSummary
+    autoscale: Optional[AutoscaleSummary] = None
+
+    @property
+    def slo_met(self) -> bool:
+        """True when every stated objective is met (vacuously if none)."""
+        return all(check.met for check in self.slo)
+
+    # ------------------------------------------------------------------
+    # Canonical serialization (golden-report surface)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "description": self.description,
+            "spec_hash": self.spec_hash,
+            "n_requests": self.n_requests,
+            "n_completed": self.n_completed,
+            "component_counts": {name: count for name, count in self.component_counts},
+            "makespan_s": self.makespan_s,
+            "requests_per_second": self.requests_per_second,
+            "tokens_per_second": self.tokens_per_second,
+            "latency": _stats_dict(self.latency),
+            "ttft": _stats_dict(self.ttft),
+            "queue_wait": _stats_dict(self.queue_wait),
+            "slo": [check.to_dict() for check in self.slo],
+            "slo_met": self.slo_met,
+            "pricing": self.pricing.to_dict(),
+        }
+        if self.autoscale is not None:
+            data["autoscale"] = self.autoscale.to_dict()
+        return data
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, 2-space indent, trailing newline."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+
+def slo_checks(slo_targets: Mapping[str, float], report: ServingReport) -> Tuple[SLOCheck, ...]:
+    """Evaluate stated objectives against a serving report."""
+    attained = {
+        "ttft_p99_s": report.ttft.p99,
+        "latency_p95_s": report.latency.p95,
+        "queue_wait_p99_s": report.queue_wait.p99,
+    }
+    return tuple(
+        SLOCheck(metric=metric, target_s=target, attained_s=attained[metric])
+        for metric, target in sorted(slo_targets.items())
+    )
+
+
+def format_scenario_report(report: ScenarioReport) -> str:
+    """Human-readable rendering for the CLI."""
+    title = f"Scenario: {report.name}"
+    lines = [title, "=" * len(title)]
+    if report.description:
+        lines.append(report.description)
+    lines.append(f"spec hash          : {report.spec_hash[:16]}…")
+    completed = (
+        f"{report.n_completed}/{report.n_requests}"
+        if report.n_completed != report.n_requests
+        else f"{report.n_requests}"
+    )
+    lines.append(f"requests completed : {completed}")
+    mix = ", ".join(f"{name} {count}" for name, count in report.component_counts)
+    lines.append(f"mix                : {mix}")
+    lines.append(f"makespan           : {report.makespan_s:.3f} s")
+    lines.append(f"throughput         : {report.requests_per_second:.2f} req/s, "
+                 f"{report.tokens_per_second:.1f} tokens/s")
+    for label, stats in (
+        ("latency", report.latency),
+        ("TTFT", report.ttft),
+        ("queue wait", report.queue_wait),
+    ):
+        lines.append(
+            f"{label:<11}: p50 {stats.p50 * 1e3:9.2f} ms   "
+            f"p95 {stats.p95 * 1e3:9.2f} ms   p99 {stats.p99 * 1e3:9.2f} ms"
+        )
+    lines.append(
+        f"offered load       : {report.pricing.mean_chips_demanded:.2f} "
+        f"batch-1 chips ({report.pricing.unique_shapes} unique shapes)"
+    )
+    if report.autoscale is not None:
+        a = report.autoscale
+        lines.append(
+            f"autoscaler         : peak {a.peak_chips} chips, final "
+            f"{a.final_chips}, +{a.n_scale_ups}/-{a.n_scale_downs} scalings, "
+            f"{a.n_rejected} rejected"
+        )
+    if report.slo:
+        for check in report.slo:
+            verdict = "MET " if check.met else "MISS"
+            lines.append(
+                f"SLO {verdict}           : {check.metric} "
+                f"{check.attained_s * 1e3:.2f} ms vs {check.target_s * 1e3:.2f} ms"
+            )
+    else:
+        lines.append("SLO                : none stated")
+    return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""Scenario execution: spec → trace → fleet simulation → report.
+
+:func:`run_scenario` is the one entry point: it compiles the spec
+(:mod:`repro.scenarios.compile`), builds the fleet it describes — a static
+:class:`~repro.serving.fleet.FleetSimulator` or, when the spec carries an
+:class:`~repro.scenarios.spec.AutoscalerSpec`, the SLO-aware
+:class:`~repro.serving.autoscale.AutoscalingFleetSimulator` — plays the
+trace, prices the offered load through the array-native batch engine and
+folds everything into a :class:`~repro.scenarios.report.ScenarioReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Optional, Union
+
+from ..core.batch import batch_price_request_mix
+from ..core.config import SystemConfig, default_system
+from ..models.mllm import get_mllm
+from ..serving.autoscale import (
+    AutoscaleResult,
+    AutoscalerConfig,
+    AutoscalingFleetSimulator,
+)
+from ..serving.fleet import FleetSimulator
+from .compile import CompiledScenario, compile_scenario
+from .report import (
+    AutoscaleSummary,
+    PricingSummary,
+    ScenarioReport,
+    format_scenario_report,
+    slo_checks,
+)
+from .spec import AutoscalerSpec, ScenarioSpec
+
+
+def autoscaler_config(spec: ScenarioSpec) -> Optional[AutoscalerConfig]:
+    """The runtime controller config a spec's autoscaler block describes.
+
+    The controller's TTFT target is the scenario's stated SLO; a spec that
+    asks for autoscaling without a ``ttft_p99_s`` objective is rejected —
+    the controller would have nothing to steer toward.
+    """
+    block = spec.fleet.autoscaler
+    if block is None:
+        return None
+    if spec.slo.ttft_p99_s is None:
+        raise ValueError(
+            f"scenario {spec.name!r} enables autoscaling but states no "
+            "ttft_p99_s SLO for the controller to target"
+        )
+    # AutoscalerSpec's fields are AutoscalerConfig's, minus the target —
+    # a new knob added to both dataclasses flows through automatically.
+    return AutoscalerConfig(target_p99_ttft_s=spec.slo.ttft_p99_s, **asdict(block))
+
+
+def build_fleet(
+    spec: ScenarioSpec,
+) -> Union[FleetSimulator, AutoscalingFleetSimulator]:
+    """Instantiate the fleet a scenario's :class:`FleetSpec` describes."""
+    model = get_mllm(spec.fleet.model)
+    controller = autoscaler_config(spec)
+    if controller is not None:
+        return AutoscalingFleetSimulator(
+            model,
+            autoscaler=controller,
+            max_batch_size=spec.fleet.max_batch_size,
+            cc_bandwidth_fraction=spec.fleet.cc_bandwidth_fraction,
+            context_bucket=spec.fleet.context_bucket,
+        )
+    return FleetSimulator(
+        model,
+        n_chips=spec.fleet.n_chips,
+        policy=spec.fleet.policy,
+        max_batch_size=spec.fleet.max_batch_size,
+        cc_bandwidth_fraction=spec.fleet.cc_bandwidth_fraction,
+        context_bucket=spec.fleet.context_bucket,
+    )
+
+
+def price_offered_load(
+    compiled: CompiledScenario,
+    makespan_s: float,
+    *,
+    system: Optional[SystemConfig] = None,
+) -> PricingSummary:
+    """Price the trace's offered load through the batched cost engine."""
+    model = get_mllm(compiled.spec.fleet.model)
+    system = system or default_system()
+    prices = batch_price_request_mix(
+        model, [request.request for request in compiled.trace], system
+    )
+    chip_seconds = sum(prices[request.request].latency_s for request in compiled.trace)
+    return PricingSummary(
+        unique_shapes=len(prices),
+        batch1_chip_seconds=chip_seconds,
+        mean_chips_demanded=(chip_seconds / makespan_s if makespan_s > 0 else 0.0),
+    )
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioReport:
+    """Compile and run one scenario end to end."""
+    compiled = compile_scenario(spec)
+    fleet = build_fleet(spec)
+    result = fleet.run(list(compiled.trace))
+    report = result.report
+    autoscale = (
+        AutoscaleSummary.from_result(result)
+        if isinstance(result, AutoscaleResult)
+        else None
+    )
+    return ScenarioReport(
+        name=spec.name,
+        description=spec.description,
+        spec_hash=spec.spec_hash(),
+        n_requests=spec.n_requests,
+        n_completed=report.n_requests,
+        component_counts=tuple(sorted(compiled.component_counts.items())),
+        makespan_s=report.makespan_s,
+        requests_per_second=report.requests_per_second,
+        tokens_per_second=report.tokens_per_second,
+        latency=report.latency,
+        ttft=report.ttft,
+        queue_wait=report.queue_wait,
+        slo=slo_checks(spec.slo.targets(), report),
+        pricing=price_offered_load(compiled, report.makespan_s),
+        autoscale=autoscale,
+    )
+
+
+__all__ = [
+    "autoscaler_config",
+    "build_fleet",
+    "price_offered_load",
+    "run_scenario",
+    "format_scenario_report",
+]

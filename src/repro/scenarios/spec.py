@@ -1,0 +1,423 @@
+"""Declarative serving-scenario specifications.
+
+A :class:`ScenarioSpec` describes one deployment study end to end, as pure
+data: the *workload mix* (weighted :class:`WorkloadComponent` entries —
+text chat, multi-image prompts, video-frame streaming, long-context
+summarization, or anything else expressible as a request-shape
+distribution), the *arrival pattern* (:class:`ArrivalSpec`), the *fleet
+topology* with optional SLO-aware autoscaling (:class:`FleetSpec` /
+:class:`AutoscalerSpec`) and the *service-level objectives* the run is
+judged against (:class:`SLOSpec`).
+
+Specs serialize losslessly to JSON (``to_dict`` / ``from_dict``), and the
+canonical JSON form is the *identity* of a scenario: :meth:`ScenarioSpec.
+spec_hash` is its SHA-256, and every random seed used while compiling the
+scenario is derived from that hash via :meth:`ScenarioSpec.derive_seed`.
+Deriving seeds from the content hash — never from Python's per-process
+salted ``hash()`` or any global RNG state — is what makes a scenario
+reproduce bit-identically across processes and machines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+ARRIVAL_KINDS: Tuple[str, ...] = ("poisson", "bursty", "trace")
+ADMISSION_POLICIES: Tuple[str, ...] = ("queue", "reject")
+
+
+def _tuple_of(values, caster) -> Tuple:
+    return tuple(caster(value) for value in values)
+
+
+@dataclass(frozen=True)
+class WorkloadComponent:
+    """One weighted slice of a scenario's workload mix.
+
+    The shape parameters mirror :class:`~repro.serving.arrival.
+    RequestSampler`; the component's sampler seed is derived from the
+    owning spec's hash at compile time, so the component itself stays pure
+    data.
+    """
+
+    name: str
+    weight: float = 1.0
+    images: int = 1
+    prompt_token_range: Tuple[int, int] = (16, 64)
+    output_token_choices: Tuple[int, ...] = (16, 32, 64, 128, 256)
+    output_token_weights: Tuple[float, ...] = (0.3, 0.3, 0.25, 0.1, 0.05)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("component name must not be empty")
+        if self.weight <= 0:
+            raise ValueError(f"component {self.name!r}: weight must be positive")
+        if self.images < 0:
+            raise ValueError(f"component {self.name!r}: images must be >= 0")
+        lo, hi = self.prompt_token_range
+        if lo <= 0 or hi < lo:
+            raise ValueError(
+                f"component {self.name!r}: prompt_token_range must be a "
+                "positive (lo, hi)"
+            )
+        if len(self.output_token_choices) != len(self.output_token_weights):
+            raise ValueError(
+                f"component {self.name!r}: output choices and weights must "
+                "have equal length"
+            )
+        if any(tokens <= 0 for tokens in self.output_token_choices):
+            raise ValueError(
+                f"component {self.name!r}: output token choices must be positive"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "weight": self.weight,
+            "images": self.images,
+            "prompt_token_range": list(self.prompt_token_range),
+            "output_token_choices": list(self.output_token_choices),
+            "output_token_weights": list(self.output_token_weights),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadComponent":
+        return cls(
+            name=str(data["name"]),
+            weight=float(data.get("weight", 1.0)),
+            images=int(data.get("images", 1)),
+            prompt_token_range=tuple(
+                int(v) for v in data.get("prompt_token_range", (16, 64))
+            ),
+            output_token_choices=_tuple_of(
+                data.get("output_token_choices", (16, 32, 64, 128, 256)), int
+            ),
+            output_token_weights=_tuple_of(
+                data.get("output_token_weights", (0.3, 0.3, 0.25, 0.1, 0.05)),
+                float,
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """The arrival process of a scenario (see :mod:`repro.serving.arrival`).
+
+    ``kind`` selects the process; the rate/burst fields apply to the
+    generated kinds and ``times`` carries the explicit timestamps of a
+    ``trace`` replay.
+    """
+
+    kind: str = "poisson"
+    rate_rps: float = 2.0
+    burst_multiplier: float = 8.0
+    mean_calm_arrivals: float = 60.0
+    mean_burst_arrivals: float = 20.0
+    times: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ARRIVAL_KINDS:
+            raise ValueError(
+                f"arrival kind must be one of {ARRIVAL_KINDS}, got {self.kind!r}"
+            )
+        # Fields that do not apply to the chosen kind must stay at their
+        # defaults: `to_dict` omits them, so any other value would be
+        # silently lost on a serialization round trip.
+        self._require_defaults_for_unused_fields()
+        if self.kind == "trace":
+            if not self.times:
+                raise ValueError("a trace arrival spec needs explicit times")
+            if any(t < 0 for t in self.times):
+                raise ValueError("trace timestamps must be >= 0")
+            if any(b < a for a, b in zip(self.times, self.times[1:])):
+                raise ValueError("trace timestamps must be non-decreasing")
+        else:
+            if self.rate_rps <= 0:
+                raise ValueError("rate_rps must be positive")
+            if self.times is not None:
+                raise ValueError("times only apply to trace arrivals")
+
+    def _require_defaults_for_unused_fields(self) -> None:
+        defaults = {f.name: f.default for f in fields(type(self))}
+        unused = []
+        if self.kind != "bursty":
+            unused += ["burst_multiplier", "mean_calm_arrivals", "mean_burst_arrivals"]
+        if self.kind == "trace":
+            unused.append("rate_rps")
+        for name in unused:
+            if getattr(self, name) != defaults[name]:
+                raise ValueError(
+                    f"{name} does not apply to {self.kind!r} arrivals "
+                    "(it would be lost on serialization)"
+                )
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"kind": self.kind}
+        if self.kind == "trace":
+            data["times"] = list(self.times or ())
+        else:
+            data["rate_rps"] = self.rate_rps
+        if self.kind == "bursty":
+            data["burst_multiplier"] = self.burst_multiplier
+            data["mean_calm_arrivals"] = self.mean_calm_arrivals
+            data["mean_burst_arrivals"] = self.mean_burst_arrivals
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ArrivalSpec":
+        times = data.get("times")
+        return cls(
+            kind=str(data.get("kind", "poisson")),
+            rate_rps=float(data.get("rate_rps", 2.0)),
+            burst_multiplier=float(data.get("burst_multiplier", 8.0)),
+            mean_calm_arrivals=float(data.get("mean_calm_arrivals", 60.0)),
+            mean_burst_arrivals=float(data.get("mean_burst_arrivals", 20.0)),
+            times=None if times is None else _tuple_of(times, float),
+        )
+
+
+@dataclass(frozen=True)
+class AutoscalerSpec:
+    """Knobs of the SLO-aware fleet autoscaler (pure data).
+
+    The controller's TTFT target comes from the owning scenario's
+    :class:`SLOSpec`; this spec carries the fleet bounds and the control-
+    loop tuning.  See :class:`repro.serving.autoscale.AutoscalerConfig`
+    for the runtime semantics of each field.
+    """
+
+    min_chips: int = 1
+    max_chips: int = 4
+    window: int = 64
+    min_observations: int = 16
+    cooldown_s: float = 1.0
+    scale_up_ratio: float = 1.0
+    scale_down_ratio: float = 0.4
+    max_queue_depth: int = 64
+    admission: str = "queue"
+
+    def __post_init__(self) -> None:
+        if self.min_chips < 1:
+            raise ValueError("min_chips must be >= 1")
+        if self.max_chips < self.min_chips:
+            raise ValueError("max_chips must be >= min_chips")
+        if self.window < 1 or self.min_observations < 1:
+            raise ValueError("window and min_observations must be >= 1")
+        if self.cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+        if self.scale_up_ratio <= 0 or self.scale_down_ratio < 0:
+            raise ValueError("scaling ratios must be positive")
+        if self.scale_down_ratio >= self.scale_up_ratio:
+            raise ValueError("scale_down_ratio must be below scale_up_ratio")
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if self.admission not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"admission must be one of {ADMISSION_POLICIES}, "
+                f"got {self.admission!r}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "min_chips": self.min_chips,
+            "max_chips": self.max_chips,
+            "window": self.window,
+            "min_observations": self.min_observations,
+            "cooldown_s": self.cooldown_s,
+            "scale_up_ratio": self.scale_up_ratio,
+            "scale_down_ratio": self.scale_down_ratio,
+            "max_queue_depth": self.max_queue_depth,
+            "admission": self.admission,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AutoscalerSpec":
+        kwargs = {f.name: data[f.name] for f in fields(cls) if f.name in data}
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Fleet topology: the model served and the chips serving it."""
+
+    model: str = "sphinx-tiny"
+    n_chips: int = 1
+    policy: str = "least_loaded"
+    max_batch_size: int = 8
+    context_bucket: int = 32
+    cc_bandwidth_fraction: float = 0.5
+    autoscaler: Optional[AutoscalerSpec] = None
+
+    def __post_init__(self) -> None:
+        if self.n_chips < 1:
+            raise ValueError("n_chips must be >= 1")
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "model": self.model,
+            "n_chips": self.n_chips,
+            "policy": self.policy,
+            "max_batch_size": self.max_batch_size,
+            "context_bucket": self.context_bucket,
+            "cc_bandwidth_fraction": self.cc_bandwidth_fraction,
+        }
+        if self.autoscaler is not None:
+            data["autoscaler"] = self.autoscaler.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FleetSpec":
+        autoscaler = data.get("autoscaler")
+        return cls(
+            model=str(data.get("model", "sphinx-tiny")),
+            n_chips=int(data.get("n_chips", 1)),
+            policy=str(data.get("policy", "least_loaded")),
+            max_batch_size=int(data.get("max_batch_size", 8)),
+            context_bucket=int(data.get("context_bucket", 32)),
+            cc_bandwidth_fraction=float(data.get("cc_bandwidth_fraction", 0.5)),
+            autoscaler=(
+                None if autoscaler is None else AutoscalerSpec.from_dict(autoscaler)
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """Service-level objectives a scenario is judged against.
+
+    Every field is optional: ``None`` means "no objective for this metric".
+    """
+
+    ttft_p99_s: Optional[float] = None
+    latency_p95_s: Optional[float] = None
+    queue_wait_p99_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for label, value in self.targets().items():
+            if value <= 0:
+                raise ValueError(f"SLO target {label} must be positive")
+
+    def targets(self) -> Dict[str, float]:
+        """The non-``None`` objectives, keyed by metric name."""
+        targets: Dict[str, float] = {}
+        if self.ttft_p99_s is not None:
+            targets["ttft_p99_s"] = float(self.ttft_p99_s)
+        if self.latency_p95_s is not None:
+            targets["latency_p95_s"] = float(self.latency_p95_s)
+        if self.queue_wait_p99_s is not None:
+            targets["queue_wait_p99_s"] = float(self.queue_wait_p99_s)
+        return targets
+
+    def to_dict(self) -> Dict[str, Any]:
+        return self.targets()
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SLOSpec":
+        return cls(
+            ttft_p99_s=data.get("ttft_p99_s"),
+            latency_p95_s=data.get("latency_p95_s"),
+            queue_wait_p99_s=data.get("queue_wait_p99_s"),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, serializable description of one serving scenario."""
+
+    name: str
+    description: str = ""
+    n_requests: int = 100
+    mix: Tuple[WorkloadComponent, ...] = (WorkloadComponent(name="chat", images=0),)
+    arrival: ArrivalSpec = ArrivalSpec()
+    fleet: FleetSpec = FleetSpec()
+    slo: SLOSpec = SLOSpec()
+    #: Extra entropy folded into every derived seed; two specs that differ
+    #: only in the salt compile to different (but each reproducible) traces.
+    seed_salt: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must not be empty")
+        if self.n_requests < 1:
+            raise ValueError("n_requests must be >= 1")
+        if not self.mix:
+            raise ValueError("a scenario needs at least one workload component")
+        names = [component.name for component in self.mix]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate component names in mix: {names}")
+        if self.arrival.kind == "trace" and self.arrival.times is not None:
+            if self.n_requests > len(self.arrival.times):
+                raise ValueError(
+                    f"trace holds {len(self.arrival.times)} arrivals, "
+                    f"{self.n_requests} requested"
+                )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "n_requests": self.n_requests,
+            "mix": [component.to_dict() for component in self.mix],
+            "arrival": self.arrival.to_dict(),
+            "fleet": self.fleet.to_dict(),
+            "slo": self.slo.to_dict(),
+            "seed_salt": self.seed_salt,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        return cls(
+            name=str(data["name"]),
+            description=str(data.get("description", "")),
+            n_requests=int(data.get("n_requests", 100)),
+            mix=tuple(
+                WorkloadComponent.from_dict(component)
+                for component in data.get("mix", ())
+            ),
+            arrival=ArrivalSpec.from_dict(data.get("arrival", {})),
+            fleet=FleetSpec.from_dict(data.get("fleet", {})),
+            slo=SLOSpec.from_dict(data.get("slo", {})),
+            seed_salt=int(data.get("seed_salt", 0)),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # Identity and seed derivation
+    # ------------------------------------------------------------------
+    def canonical_json(self) -> str:
+        """The canonical (minified, key-sorted) JSON identity of the spec."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    def spec_hash(self) -> str:
+        """SHA-256 of the canonical JSON — the scenario's stable identity."""
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+
+    def derive_seed(self, role: str) -> int:
+        """A deterministic 64-bit seed for one named random stream.
+
+        Derived from the spec's content hash, never from Python's salted
+        ``hash()`` or interpreter state, so the same spec yields the same
+        seed in every process (the regression suite pins reference values).
+        """
+        material = f"{self.spec_hash()}:{role}".encode("utf-8")
+        return int.from_bytes(hashlib.sha256(material).digest()[:8], "big")
+
+    def with_fleet(self, fleet: FleetSpec) -> "ScenarioSpec":
+        """A copy serving the same traffic on a different fleet."""
+        return replace(self, fleet=fleet)

@@ -3,12 +3,20 @@
 The serving layer turns the single-request performance simulator into a
 deployment study: open-loop arrival processes drive a continuous-batching
 queue on one chip (:mod:`repro.serving.queue`) or a load-balanced fleet of
-chips (:mod:`repro.serving.fleet`), and per-request timestamp records fold
-into latency/TTFT percentiles and aggregate throughput
-(:mod:`repro.serving.metrics`).
+chips (:mod:`repro.serving.fleet`) — optionally autoscaled against an SLO
+with admission control (:mod:`repro.serving.autoscale`) — and per-request
+timestamp records fold into latency/TTFT percentiles and aggregate
+throughput (:mod:`repro.serving.metrics`).
 """
 
 from .arrival import BurstyArrivals, PoissonArrivals, RequestSampler, TraceArrivals
+from .autoscale import (
+    AutoscaleResult,
+    AutoscalerConfig,
+    AutoscalingFleetSimulator,
+    ScalingEvent,
+    static_fleet_report,
+)
 from .fleet import FleetResult, FleetSimulator
 from .metrics import (
     PercentileStats,
@@ -32,6 +40,11 @@ __all__ = [
     "PoissonArrivals",
     "RequestSampler",
     "TraceArrivals",
+    "AutoscaleResult",
+    "AutoscalerConfig",
+    "AutoscalingFleetSimulator",
+    "ScalingEvent",
+    "static_fleet_report",
     "FleetResult",
     "FleetSimulator",
     "PercentileStats",

@@ -1,0 +1,371 @@
+"""SLO-aware fleet autoscaling and admission control.
+
+:class:`AutoscalingFleetSimulator` extends the static
+:class:`~repro.serving.fleet.FleetSimulator` with a dispatcher-side control
+loop, the way a real serving front-end scales a chip fleet:
+
+* **observability** — for every dispatched request the controller keeps a
+  dispatcher-side *estimate* of its time to first token (chip horizon +
+  batch-1 prefill + one decode step, the same array-priced estimates the
+  ``least_loaded`` policy uses, warmed by ``precompute_service_times``);
+* **scaling** — a rolling window of recent TTFT estimates is folded into a
+  p99; when it exceeds the target the controller *adds* a chip (up to
+  ``max_chips``), when it falls well below the target it *drains* one
+  (down to ``min_chips``).  A drained chip finishes its in-flight work but
+  receives no new requests.  Scaling honours a cooldown so one burst does
+  not thrash the fleet;
+* **admission control** — the controller tracks the estimated number of
+  in-flight requests; beyond ``max_queue_depth`` per active chip it either
+  **rejects** new arrivals outright or **queues** them at the front door,
+  delaying dispatch until a slot frees (the request's recorded arrival
+  stays its true arrival, so the admission delay shows up as queue wait).
+
+The control loop runs on *estimates*; the per-request records come from
+the exact per-chip :class:`~repro.serving.queue.ContinuousBatchingSimulator`
+replay of the resulting assignment, so reports stay grounded in the
+event-driven engine.  Everything is deterministic: the same trace and
+configuration reproduce bit-identical records, decisions and reports.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, replace
+from typing import Callable, Deque, List, Optional, Sequence, Tuple
+
+from collections import deque
+
+from ..core.simulator import PerformanceSimulator
+from ..models.mllm import MLLMConfig
+from .fleet import FleetResult, FleetSimulator
+from .metrics import RequestRecord, ServingReport, empty_report, percentile, summarize
+from .queue import ServingRequest, ServingResult
+
+ADMISSION_POLICIES: Tuple[str, ...] = ("queue", "reject")
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Tuning of the SLO-aware fleet controller.
+
+    ``target_p99_ttft_s`` is the objective the controller steers toward;
+    scaling triggers when the rolling p99 of TTFT estimates crosses
+    ``target * scale_up_ratio`` (up) or ``target * scale_down_ratio``
+    (down).  ``max_queue_depth`` bounds the estimated in-flight requests
+    *per active chip* before admission control engages with the
+    ``admission`` policy ("queue" delays dispatch, "reject" drops).
+    """
+
+    target_p99_ttft_s: float
+    min_chips: int = 1
+    max_chips: int = 4
+    #: Number of recent TTFT estimates the rolling percentile covers.
+    window: int = 64
+    #: Minimum observations before the controller acts at all.
+    min_observations: int = 16
+    cooldown_s: float = 1.0
+    scale_up_ratio: float = 1.0
+    scale_down_ratio: float = 0.4
+    max_queue_depth: int = 64
+    admission: str = "queue"
+
+    def __post_init__(self) -> None:
+        if self.target_p99_ttft_s <= 0:
+            raise ValueError("target_p99_ttft_s must be positive")
+        if self.min_chips < 1:
+            raise ValueError("min_chips must be >= 1")
+        if self.max_chips < self.min_chips:
+            raise ValueError("max_chips must be >= min_chips")
+        if self.window < 1 or self.min_observations < 1:
+            raise ValueError("window and min_observations must be >= 1")
+        if self.cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+        if self.scale_up_ratio <= 0:
+            raise ValueError("scale_up_ratio must be positive")
+        if not 0 <= self.scale_down_ratio < self.scale_up_ratio:
+            raise ValueError(
+                "scale_down_ratio must be in [0, scale_up_ratio)"
+            )
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if self.admission not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"admission must be one of {ADMISSION_POLICIES}, "
+                f"got {self.admission!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ScalingEvent:
+    """One controller decision: the fleet grew or shrank."""
+
+    time_s: float
+    n_chips_before: int
+    n_chips_after: int
+    rolling_p99_ttft_s: float
+
+    @property
+    def direction(self) -> str:
+        return "up" if self.n_chips_after > self.n_chips_before else "down"
+
+
+@dataclass(frozen=True)
+class AutoscaleResult:
+    """Outcome of an autoscaled fleet simulation.
+
+    ``assignments`` uses ``-1`` for rejected requests; ``records`` covers
+    admitted requests only (their ``arrival_s`` is the *true* arrival even
+    when admission control delayed dispatch).  ``per_chip`` is the raw
+    chip-level view: its records carry the *synthetic* per-trace-position
+    ids and admission-delayed arrivals the chips actually simulated.
+    """
+
+    records: Tuple[RequestRecord, ...]
+    per_chip: Tuple[ServingResult, ...]
+    assignments: Tuple[int, ...]
+    rejected_ids: Tuple[int, ...]
+    events: Tuple[ScalingEvent, ...]
+    final_chips: int
+
+    @property
+    def report(self) -> ServingReport:
+        """Report over admitted requests (all-zero if all were rejected)."""
+        if not self.records:
+            return empty_report()
+        return summarize(self.records)
+
+    @property
+    def peak_chips(self) -> int:
+        peak = max((event.n_chips_after for event in self.events), default=0)
+        return max(peak, self.final_chips)
+
+    @property
+    def n_rejected(self) -> int:
+        return len(self.rejected_ids)
+
+    @property
+    def rejection_rate(self) -> float:
+        total = len(self.records) + self.n_rejected
+        if total == 0:
+            return 0.0
+        return self.n_rejected / total
+
+    @property
+    def n_scale_ups(self) -> int:
+        return sum(1 for event in self.events if event.direction == "up")
+
+    @property
+    def n_scale_downs(self) -> int:
+        return sum(1 for event in self.events if event.direction == "down")
+
+    @property
+    def requests_per_chip(self) -> Tuple[int, ...]:
+        counts = [0] * len(self.per_chip)
+        for chip_id in self.assignments:
+            if chip_id >= 0:
+                counts[chip_id] += 1
+        return tuple(counts)
+
+
+class AutoscalingFleetSimulator(FleetSimulator):
+    """A fleet whose size follows rolling TTFT percentiles.
+
+    The full ``max_chips`` fleet is instantiated up front (so service-time
+    precomputation seeds every chip once), but only the *active* prefix of
+    chips receives requests; the controller grows and shrinks that prefix.
+    """
+
+    def __init__(
+        self,
+        model: MLLMConfig,
+        *,
+        autoscaler: AutoscalerConfig,
+        simulator_factory: Optional[Callable[[], PerformanceSimulator]] = None,
+        max_batch_size: int = 8,
+        cc_bandwidth_fraction: float = 0.5,
+        context_bucket: int = 32,
+        precompute: bool = True,
+    ) -> None:
+        super().__init__(
+            model,
+            n_chips=autoscaler.max_chips,
+            policy="least_loaded",
+            simulator_factory=simulator_factory,
+            max_batch_size=max_batch_size,
+            cc_bandwidth_fraction=cc_bandwidth_fraction,
+            context_bucket=context_bucket,
+            precompute=precompute,
+        )
+        self.autoscaler = autoscaler
+
+    # ------------------------------------------------------------------
+    # Controlled dispatch
+    # ------------------------------------------------------------------
+    def run(self, trace: Sequence[ServingRequest]) -> AutoscaleResult:
+        """Dispatch under the control loop, then replay chips exactly."""
+        if not trace:
+            raise ValueError("trace must not be empty")
+        if self.precompute:
+            self.precompute_service_times(trace)
+        config = self.autoscaler
+
+        order = sorted(
+            range(len(trace)),
+            key=lambda i: (trace[i].arrival_s, trace[i].request_id),
+        )
+        assignments = [-1] * len(trace)
+        #: Effective (possibly admission-delayed) dispatch time per index.
+        dispatch_time = [0.0] * len(trace)
+        horizons = [0.0] * self.n_chips
+        inflight: List[float] = []  # estimated finish times, a min-heap
+        ttft_window: Deque[float] = deque(maxlen=config.window)
+        events: List[ScalingEvent] = []
+        rejected: List[int] = []
+        n_active = config.min_chips
+        last_scale = float("-inf")
+
+        for index in order:
+            request = trace[index]
+            now = request.arrival_s
+
+            # Admission control against the estimated in-flight depth.
+            while inflight and inflight[0] <= now:
+                heapq.heappop(inflight)
+            effective = now
+            depth_limit = config.max_queue_depth * n_active
+            if len(inflight) >= depth_limit:
+                if config.admission == "reject":
+                    rejected.append(index)
+                    continue
+                # Front-door queue: dispatch once enough in-flight requests
+                # have (by estimate) finished to open a slot.
+                overflow = len(inflight) - depth_limit + 1
+                for _ in range(overflow):
+                    effective = heapq.heappop(inflight)
+
+            # Least-loaded dispatch over the active prefix.
+            chip_id = min(range(n_active), key=lambda c: (horizons[c], c))
+            chip = self.chips[chip_id]
+            cost = self._estimate_cost_s(chip, request.request)
+            start = max(horizons[chip_id], effective)
+            prefill = chip.cc_latency_s(request.request)
+            first_step = chip.cost_model.step_latency_s(
+                [self.model.prompt_tokens(request.request)]
+            )
+            ttft_window.append(start + prefill + first_step - now)
+            horizons[chip_id] = start + cost
+            heapq.heappush(inflight, horizons[chip_id])
+            assignments[index] = chip_id
+            dispatch_time[index] = effective
+
+            # Control decision on the rolling percentile.
+            if (
+                len(ttft_window) >= config.min_observations
+                and now - last_scale >= config.cooldown_s
+            ):
+                rolling = percentile(list(ttft_window), 99)
+                target = config.target_p99_ttft_s
+                if (
+                    rolling > target * config.scale_up_ratio
+                    and n_active < config.max_chips
+                ):
+                    events.append(
+                        ScalingEvent(
+                            time_s=now,
+                            n_chips_before=n_active,
+                            n_chips_after=n_active + 1,
+                            rolling_p99_ttft_s=rolling,
+                        )
+                    )
+                    n_active += 1
+                    last_scale = now
+                elif (
+                    rolling < target * config.scale_down_ratio
+                    and n_active > config.min_chips
+                ):
+                    events.append(
+                        ScalingEvent(
+                            time_s=now,
+                            n_chips_before=n_active,
+                            n_chips_after=n_active - 1,
+                            rolling_p99_ttft_s=rolling,
+                        )
+                    )
+                    n_active -= 1
+                    last_scale = now
+
+        return self._replay(trace, assignments, dispatch_time, rejected, events, n_active)
+
+    # ------------------------------------------------------------------
+    # Exact replay of the controlled assignment
+    # ------------------------------------------------------------------
+    def _replay(
+        self,
+        trace: Sequence[ServingRequest],
+        assignments: List[int],
+        dispatch_time: List[float],
+        rejected: List[int],
+        events: List[ScalingEvent],
+        n_active: int,
+    ) -> AutoscaleResult:
+        # Chips run shards under *synthetic* ids — the trace position —
+        # so records map back to trace entries positionally and duplicate
+        # caller-supplied request ids stay well-defined, the same contract
+        # the parent FleetSimulator documents for `assign`.  Records are
+        # rebuilt below with the original id and the *true* arrival (the
+        # admission delay, if any, is folded back out).
+        shards: List[List[ServingRequest]] = [[] for _ in range(self.n_chips)]
+        for index, chip_id in enumerate(assignments):
+            if chip_id < 0:
+                continue
+            request = replace(
+                trace[index],
+                request_id=index,
+                arrival_s=max(dispatch_time[index], trace[index].arrival_s),
+            )
+            shards[chip_id].append(request)
+
+        per_chip: List[ServingResult] = []
+        records: List[RequestRecord] = []
+        for chip, shard in zip(self.chips, shards):
+            if not shard:
+                per_chip.append(
+                    ServingResult(records=(), peak_batch_size=0, decode_steps=0)
+                )
+                continue
+            result = chip.run(shard)
+            per_chip.append(result)
+            for record in result.records:
+                source = trace[record.request_id]
+                records.append(
+                    replace(
+                        record,
+                        request_id=source.request_id,
+                        arrival_s=source.arrival_s,
+                    )
+                )
+        records.sort(key=lambda record: record.request_id)
+        return AutoscaleResult(
+            records=tuple(records),
+            per_chip=tuple(per_chip),
+            assignments=tuple(assignments),
+            rejected_ids=tuple(trace[i].request_id for i in rejected),
+            events=tuple(events),
+            final_chips=n_active,
+        )
+
+
+def static_fleet_report(
+    model: MLLMConfig,
+    trace: Sequence[ServingRequest],
+    *,
+    n_chips: int,
+    **kwargs,
+) -> ServingReport:
+    """Convenience: the report of a fixed-size fleet on the same trace.
+
+    The comparison baseline for autoscaling studies — same trace, same
+    chips, no controller.
+    """
+    fleet = FleetSimulator(model, n_chips=n_chips, **kwargs)
+    return fleet.run(trace).report

@@ -19,6 +19,7 @@ from repro.core.batch import (
     BatchCostEngine,
     DesignGrid,
     OpTable,
+    batch_price_request_mix,
     batch_run_request,
     compile_workload,
     ordered_sum,
@@ -141,6 +142,73 @@ class TestExactEquivalence:
                     phase, pool=pool, bandwidth_fraction=0.5
                 )
                 assert batch.result_for(0).phases[phase.name] == scalar_phase
+
+
+class TestScenarioMixEquivalence:
+    """Scenario-generated workload shapes price batch == scalar.
+
+    The scenario layer mixes request families the original sweeps never
+    exercised — imageless text chat, many-image prompts, video frame
+    pairs, 1k-token contexts.  `batch_price_request_mix` stacks all of
+    them into one op table; every shape's price must stay ``==``-equal to
+    the scalar simulator, exactly like the single-workload paths above.
+    """
+
+    def assert_prices_match_scalar(self, shapes, system):
+        model = get_mllm("sphinx-tiny")
+        prices = batch_price_request_mix(model, shapes, system)
+        simulator = PerformanceSimulator(system)
+        for shape in shapes:
+            scalar = simulator.run_request(model, shape)
+            price = prices[shape]
+            assert price.latency_s == scalar.total_latency_s
+            assert price.dram_bytes == scalar.total_dram_bytes
+            assert price.flops == scalar.total_flops
+
+    def test_registered_scenario_shapes_match_scalar(self):
+        from repro.scenarios import compile_scenario, get_scenario
+
+        compiled = compile_scenario(get_scenario("mixed-rush-hour"))
+        self.assert_prices_match_scalar(
+            compiled.unique_shapes, default_system()
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        images=st.integers(min_value=0, max_value=8),
+        prompt=st.integers(min_value=0, max_value=1024),
+        output=st.integers(min_value=1, max_value=64),
+        cc=st.integers(min_value=0, max_value=2),
+        mc=st.integers(min_value=0, max_value=2),
+    )
+    def test_randomized_scenario_shapes_match_scalar(
+        self, images, prompt, output, cc, mc
+    ):
+        if images == 0 and prompt == 0:
+            prompt = 1
+        if cc == 0 and mc == 0:
+            cc = 1
+        shapes = [
+            InferenceRequest(
+                images=images, prompt_text_tokens=prompt, output_tokens=output
+            ),
+            # A second, fixed shape shares decoder signatures with the
+            # random one, exercising cross-shape deduplication.
+            InferenceRequest(images=1, prompt_text_tokens=32, output_tokens=8),
+        ]
+        self.assert_prices_match_scalar(shapes, scaled_system(2, cc, mc))
+
+    def test_duplicate_requests_price_once(self):
+        model = get_mllm("sphinx-tiny")
+        shapes = [REQUEST, REQUEST, REQUEST]
+        prices = batch_price_request_mix(model, shapes, default_system())
+        assert len(prices) == 1
+
+    def test_rejects_empty_request_list(self):
+        with pytest.raises(ValueError):
+            batch_price_request_mix(
+                get_mllm("sphinx-tiny"), [], default_system()
+            )
 
 
 class TestCacheInteraction:

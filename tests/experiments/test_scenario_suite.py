@@ -1,0 +1,30 @@
+"""The scenario-suite experiment: registry wiring and report rendering."""
+
+from repro.experiments import available_experiments, get_experiment
+from repro.experiments.scenario_suite import ScenarioSuiteResult, format_report
+from repro.scenarios import get_scenario, run_scenario
+
+
+class TestRegistration:
+    def test_scenarios_experiment_is_registered(self):
+        assert "scenarios" in available_experiments()
+        spec = get_experiment("scenarios")
+        assert "scenario" in spec.description.lower()
+
+
+class TestReport:
+    def test_report_tabulates_scenario_rows(self):
+        # One real (fast) scenario keeps the test cheap; the full suite
+        # runs through the CLI and the golden-report tests.
+        result = ScenarioSuiteResult(
+            reports=(run_scenario(get_scenario("chat-poisson")),)
+        )
+        text = format_report(result)
+        assert "chat-poisson" in text
+        assert "p99 TTFT" in text
+        assert f"({result.n_slo_met}/1 SLOs met)" in text
+
+    def test_slo_counter_counts_met_reports(self):
+        report = run_scenario(get_scenario("chat-poisson"))
+        result = ScenarioSuiteResult(reports=(report, report))
+        assert result.n_slo_met == (2 if report.slo_met else 0)

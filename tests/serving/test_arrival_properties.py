@@ -1,0 +1,115 @@
+"""Property-based tests on the arrival generators.
+
+Invariants that must hold for *any* parameters: generated timestamp
+sequences are nondecreasing and positive, empirical rates converge to the
+configured ``rate_rps``, identical seeds reproduce bit-identically, and
+explicit traces survive the scenario-serialization round trip unchanged.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios import ArrivalSpec, ScenarioSpec, WorkloadComponent
+from repro.serving.arrival import BurstyArrivals, PoissonArrivals, TraceArrivals
+
+rates = st.floats(min_value=0.5, max_value=50.0, allow_nan=False)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+sizes = st.integers(min_value=0, max_value=200)
+
+
+class TestMonotonicity:
+    @given(rate=rates, seed=seeds, n=sizes)
+    @settings(max_examples=40, deadline=None)
+    def test_poisson_timestamps_nondecreasing_and_positive(self, rate, seed, n):
+        times = PoissonArrivals(rate, seed=seed).generate(n)
+        assert len(times) == n
+        assert all(t > 0 for t in times)
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    @given(
+        rate=rates,
+        seed=seeds,
+        n=sizes,
+        multiplier=st.floats(min_value=1.0, max_value=16.0),
+        calm=st.floats(min_value=1.0, max_value=100.0),
+        burst=st.floats(min_value=1.0, max_value=100.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bursty_timestamps_nondecreasing_and_positive(
+        self, rate, seed, n, multiplier, calm, burst
+    ):
+        generator = BurstyArrivals(
+            rate,
+            burst_multiplier=multiplier,
+            mean_calm_arrivals=calm,
+            mean_burst_arrivals=burst,
+            seed=seed,
+        )
+        times = generator.generate(n)
+        assert len(times) == n
+        assert all(t > 0 for t in times)
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+
+class TestEmpiricalRate:
+    @given(rate=rates, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_poisson_empirical_rate_converges(self, rate, seed):
+        n = 2000
+        times = PoissonArrivals(rate, seed=seed).generate(n)
+        empirical = n / times[-1]
+        # Mean of 2000 exponential gaps: relative standard error ~2.2%,
+        # so a 20% band is a many-sigma safety margin, not a tolerance.
+        assert 0.8 * rate < empirical < 1.2 * rate
+
+    @given(rate=rates, seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_bursty_empirical_rate_bounded_by_both_regimes(self, rate, seed):
+        multiplier = 6.0
+        times = BurstyArrivals(
+            rate, burst_multiplier=multiplier, seed=seed
+        ).generate(2000)
+        empirical = 2000 / times[-1]
+        # The MMPP rate lives between the calm and burst regimes.
+        assert 0.8 * rate < empirical < 1.2 * rate * multiplier
+
+    @given(rate=rates, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_same_seed_reproduces_bit_identically(self, rate, seed):
+        assert (
+            PoissonArrivals(rate, seed=seed).generate(50)
+            == PoissonArrivals(rate, seed=seed).generate(50)
+        )
+        assert (
+            BurstyArrivals(rate, seed=seed).generate(50)
+            == BurstyArrivals(rate, seed=seed).generate(50)
+        )
+
+
+timestamp_traces = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=60,
+).map(sorted)
+
+
+class TestTraceRoundTrip:
+    @given(times=timestamp_traces)
+    @settings(max_examples=40, deadline=None)
+    def test_trace_arrivals_replay_verbatim(self, times):
+        generated = TraceArrivals(times).generate(len(times))
+        assert generated == [float(t) for t in times]
+
+    @given(times=timestamp_traces)
+    @settings(max_examples=40, deadline=None)
+    def test_trace_survives_scenario_serialization(self, times):
+        spec = ScenarioSpec(
+            name="round-trip",
+            n_requests=len(times),
+            mix=(WorkloadComponent(name="chat", images=0),),
+            arrival=ArrivalSpec(kind="trace", times=tuple(times)),
+        )
+        restored = ScenarioSpec.from_json(spec.to_json())
+        assert restored.arrival.times == tuple(float(t) for t in times)
+        replayed = TraceArrivals(restored.arrival.times).generate(len(times))
+        assert replayed == TraceArrivals(times).generate(len(times))
