@@ -12,6 +12,10 @@ Multimodal LLMs at Edge" (DAC 2025):
 * :mod:`repro.scheduling` — bandwidth management and batch decoding,
 * :mod:`repro.serving` — traffic-scale serving: arrivals, continuous
   batching, latency percentiles, multi-chip fleets,
+* :mod:`repro.scenarios` — declarative serving scenarios (mixes, arrivals,
+  fleets, SLOs) with golden-locked reports,
+* :mod:`repro.planner` — SLO-aware capacity planning over the batched
+  design grid (analytic pruning + exact simulation + Pareto frontiers),
 * :mod:`repro.baselines` — GPU, Snitch and homogeneous-chip baselines,
 * :mod:`repro.experiments` — one module per paper table/figure, plus the
   parallel experiment engine.

@@ -29,6 +29,7 @@ randomized configurations.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -38,7 +39,7 @@ from .. import costs
 from ..arch.area_power import AreaPowerModel
 from ..arch.chip import ChipConfig
 from ..models.mllm import InferenceRequest, MLLMConfig
-from ..models.ops import Op, OpKind, Phase, Workload
+from ..models.ops import Op, OpKind, Phase, Workload, merge_phases
 from .config import SystemConfig
 from .metrics import PhaseResult, WorkloadResult
 from .simulator import PoolCostParams
@@ -52,9 +53,12 @@ __all__ = [
     "BatchWorkloadResult",
     "BatchCostEngine",
     "RequestPrice",
+    "ServiceTimeBounds",
     "compile_workload",
     "batch_run_request",
     "batch_price_request_mix",
+    "batch_service_time_bounds",
+    "context_bucket_for",
     "ordered_sum",
 ]
 
@@ -81,6 +85,7 @@ class PhaseSlice:
 
     @property
     def op_count(self) -> int:
+        """Number of operators in one repeat of the phase."""
         return self.stop - self.start
 
 
@@ -160,13 +165,16 @@ class OpTable:
 
     @property
     def n_unique(self) -> int:
+        """Number of unique cost signatures (columns of the table)."""
         return int(self.m.size)
 
     @property
     def n_ops(self) -> int:
+        """Total operator positions across all phases (one repeat each)."""
         return int(self.order.size)
 
     def phase(self, name: str) -> PhaseSlice:
+        """The slice of the phase called ``name`` (KeyError if absent)."""
         for slice_ in self.phases:
             if slice_.name == name:
                 return slice_
@@ -182,6 +190,7 @@ class OpTable:
 
     @classmethod
     def from_workload(cls, workload: Workload) -> "OpTable":
+        """Compile every phase of ``workload`` into one op table."""
         return cls(
             workload.name,
             [(phase.name, phase.ops, phase.repeat) for phase in workload.phases],
@@ -189,6 +198,7 @@ class OpTable:
 
     @classmethod
     def from_phase(cls, phase: Phase) -> "OpTable":
+        """Compile a single ``phase`` into a one-phase op table."""
         return cls(phase.name, [(phase.name, phase.ops, phase.repeat)])
 
 
@@ -311,6 +321,7 @@ class DesignGrid:
 
     @property
     def n_points(self) -> int:
+        """Number of design points (rows) in the grid."""
         return len(self.systems)
 
     @classmethod
@@ -321,6 +332,7 @@ class DesignGrid:
         bandwidth_fraction=1.0,
         keep_fraction=None,
     ) -> "DesignGrid":
+        """Build a grid from ``systems`` (see the class for the knobs)."""
         return cls(
             systems, bandwidth_fraction=bandwidth_fraction, keep_fraction=keep_fraction
         )
@@ -367,7 +379,7 @@ class BatchPhaseArrays:
 
 
 def ordered_sum(matrix: np.ndarray) -> np.ndarray:
-    """Strict left-fold row sum — the scalar loop's exact summation order.
+    """Strict left-fold row sum of ``matrix`` — the scalar summation order.
 
     ``np.add.accumulate`` is defined element-by-element
     (``out[i] = out[i-1] + a[i]``), unlike ``np.sum`` whose pairwise
@@ -401,9 +413,11 @@ class BatchWorkloadResult:
 
     @property
     def n_points(self) -> int:
+        """Number of design points the result spans."""
         return self.grid.n_points
 
     def phase(self, name: str) -> BatchPhaseArrays:
+        """The per-point arrays of the phase called ``name``."""
         for arrays in self.phases:
             if arrays.name == name:
                 return arrays
@@ -420,6 +434,7 @@ class BatchWorkloadResult:
 
     @property
     def tokens_per_second(self) -> np.ndarray:
+        """Per-point decode throughput (0 where total latency is 0)."""
         total = self.total_latency_s
         return np.where(total > 0, self.output_tokens / np.where(total > 0, total, 1.0), 0.0)
 
@@ -693,13 +708,15 @@ def batch_run_request(
     bandwidth_fraction=1.0,
     keep_fraction=None,
 ) -> BatchWorkloadResult:
-    """Run one inference request against many chip designs in one pass.
+    """Run one inference ``request`` of ``model`` against many chip designs.
 
     The batched counterpart of
     :meth:`~repro.core.simulator.PerformanceSimulator.run_request`: the
-    workload lowers once (it is chip-independent) and every design point
-    evaluates as broadcasted array arithmetic.  ``result_for(i)`` is
-    bit-identical to ``PerformanceSimulator(systems[i]).run_request(...)``.
+    workload lowers once (it is chip-independent) and every point of
+    ``systems`` evaluates as broadcasted array arithmetic, under the given
+    ``bandwidth_fraction`` and ``keep_fraction`` (scalar or per-point).
+    ``result_for(i)`` is bit-identical to
+    ``PerformanceSimulator(systems[i]).run_request(...)``.
     """
     workload = model.build_workload(request)
     grid = DesignGrid.from_systems(
@@ -735,8 +752,9 @@ def batch_price_request_mix(
     *,
     bandwidth_fraction=1.0,
 ) -> Dict[InferenceRequest, RequestPrice]:
-    """Price every unique request shape of a mixed trace in one pass.
+    """Price every unique shape of ``requests`` on ``system`` in one pass.
 
+    ``bandwidth_fraction`` is the DRAM share the pricing runs under.
     The serving-scenario layer compiles traces mixing heterogeneous request
     shapes (text chat, multi-image, video frames, long context).  Pricing
     them one scalar simulation at a time would redo the same cost algebra
@@ -776,3 +794,222 @@ def batch_price_request_mix(
             flops=sum(a.flops for a in arrays),
         )
     return prices
+
+
+@dataclass(frozen=True)
+class ServiceTimeBounds:
+    """Analytic lower bounds on serving service times, per (point, shape).
+
+    Every array has shape ``(n_points, n_shapes)``; row order follows
+    ``systems`` and column order follows ``shapes`` (use :meth:`shape_index`
+    to map a request shape back to its column).  The bounds mirror the
+    serving engine's cost model exactly:
+
+    * ``prefill_s`` — the CC-stage (encode + projector + prefill) latency,
+      the *exact* value :meth:`repro.serving.queue.ContinuousBatchingSimulator.
+      cc_latency_s` computes, and a hard floor on any request's queue-free
+      service start-to-first-phase time;
+    * ``first_step_s`` — one single-stream decode step at the shape's
+      initial context bucket, the exact
+      :meth:`~repro.serving.queue.BatchDecodeCostModel.step_latency_s` of a
+      batch of one;
+    * ``min_ttft_s`` — ``prefill_s + first_step_s``: no fleet of this chip,
+      under any dispatch policy, admission control or batch composition,
+      can serve the shape's first token faster (queue wait is >= 0, decode
+      steps only slow down as streams join the batch);
+    * ``min_latency_s`` — ``prefill_s`` plus one single-stream step per
+      output token at the context bucket that token decodes under.  The
+      exact simulator steps every stream exactly ``output_tokens`` times at
+      those same buckets, each step at least as slow as its single-stream
+      bound, so this floors the end-to-end latency.
+
+    The bounds are what makes SLO-infeasibility *provable* without
+    simulation: if the percentile of a bound across a trace already misses
+    an objective, every exact simulation of that chip misses it too (see
+    :mod:`repro.planner.prune`).
+    """
+
+    systems: Tuple[SystemConfig, ...]
+    shapes: Tuple[InferenceRequest, ...]
+    prefill_s: np.ndarray
+    first_step_s: np.ndarray
+    min_ttft_s: np.ndarray
+    min_latency_s: np.ndarray
+
+    @property
+    def n_points(self) -> int:
+        """Number of design points (rows of every bound array)."""
+        return len(self.systems)
+
+    def shape_index(self, shape: InferenceRequest) -> int:
+        """The column of ``shape`` in the bound arrays."""
+        for index, candidate in enumerate(self.shapes):
+            if candidate == shape:
+                return index
+        raise KeyError(f"shape {shape!r} was not priced by these bounds")
+
+
+def context_bucket_for(context: int, context_bucket: int) -> int:
+    """Quantize a ``context`` length up to a multiple of ``context_bucket``.
+
+    The single definition of decode-context quantization: the serving cost
+    model (:class:`repro.serving.queue.BatchDecodeCostModel`) and the
+    analytic service-time bounds both resolve buckets through this helper,
+    so the bounds can never drift from the buckets the exact simulator
+    prices — which the planner's pruning soundness depends on.
+    """
+    return (
+        (max(context, 1) + context_bucket - 1) // context_bucket
+    ) * context_bucket
+
+
+def batch_service_time_bounds(
+    model: MLLMConfig,
+    shapes: Sequence[InferenceRequest],
+    systems: Sequence[SystemConfig],
+    *,
+    cc_bandwidth_fraction: float = 0.5,
+    context_bucket: int = 32,
+) -> ServiceTimeBounds:
+    """Lower-bound serving service times of shapes across a design grid.
+
+    One broadcasted pass prices every unique request shape's CC stage and
+    every decode-context bucket against *all* ``systems`` at once — the
+    array-native counterpart of asking each chip's serving cost model for
+    its prefill latency and single-stream decode steps.  ``shapes`` are
+    deduplicated; ``cc_bandwidth_fraction`` and ``context_bucket`` must
+    match the serving configuration being bounded (decode gets the
+    remaining ``1 - cc_bandwidth_fraction`` of the bandwidth, exactly like
+    :class:`~repro.serving.queue.ContinuousBatchingSimulator`).
+
+    The returned per-shape values are *bounds on a fleet of any size*: they
+    assume zero queueing and batch-1 decode, both of which the exact
+    event-driven simulator can only do worse than.  Chips that mix CC and
+    MC pools, CC-only chips and MC-only chips are all supported (points are
+    internally grouped by pool availability, matching the serving engine's
+    pool fallback).
+    """
+    if not 0.0 < cc_bandwidth_fraction < 1.0:
+        raise ValueError("cc_bandwidth_fraction must be in (0, 1)")
+    if context_bucket < 1:
+        raise ValueError("context_bucket must be >= 1")
+    unique: Dict[InferenceRequest, None] = {}
+    for shape in shapes:
+        unique.setdefault(shape, None)
+    if not unique:
+        raise ValueError("shapes must not be empty")
+    if not systems:
+        raise ValueError("systems must not be empty")
+    shape_list = tuple(unique)
+    system_list = tuple(systems)
+    n_points, n_shapes = len(system_list), len(shape_list)
+
+    # Chip-independent tables: one merged CC-stage phase per shape, one
+    # decode-step phase per context bucket any shape's decode touches.
+    from .pipeline import CC_STAGE_PHASES
+
+    cc_phases: List[Tuple[str, Sequence[Op], int]] = []
+    prompts: List[int] = []
+    bucket_counts: List[Counter] = []
+    buckets: Dict[int, None] = {}
+    for index, shape in enumerate(shape_list):
+        probe = InferenceRequest(
+            images=shape.images,
+            prompt_text_tokens=shape.prompt_text_tokens,
+            output_tokens=1,
+        )
+        workload = model.build_workload(probe)
+        merged = merge_phases(
+            "cc_stage",
+            [phase for phase in workload.phases if phase.name in CC_STAGE_PHASES],
+        )
+        cc_phases.append((f"{index}/cc_stage", merged.ops, merged.repeat))
+        prompt = model.prompt_tokens(shape)
+        prompts.append(prompt)
+        counts = Counter(
+            context_bucket_for(prompt + step, context_bucket)
+            for step in range(shape.output_tokens)
+        )
+        bucket_counts.append(counts)
+        buckets.setdefault(context_bucket_for(prompt, context_bucket), None)
+        for bucket in counts:
+            buckets.setdefault(bucket, None)
+    bucket_list = sorted(buckets)
+    bucket_column = {bucket: column for column, bucket in enumerate(bucket_list)}
+    decode_table = OpTable(
+        "decode_bounds",
+        [
+            (f"bucket/{bucket}", model.decode_step(bucket).ops, 1)
+            for bucket in bucket_list
+        ],
+    )
+    cc_table = OpTable("cc_stage_bounds", cc_phases)
+
+    prefill_s = np.zeros((n_points, n_shapes), dtype=np.float64)
+    step_s = np.zeros((n_points, len(bucket_list)), dtype=np.float64)
+    mc_bandwidth_fraction = 1.0 - cc_bandwidth_fraction
+
+    # Points grouped by pool availability: the serving engine's CC stage
+    # falls back to the MC pool on MC-only chips (and decode to CC on
+    # CC-only chips), and the batch engine requires a uniform pool string
+    # per evaluation.
+    pool_groups: Dict[Tuple[bool, bool], List[int]] = {}
+    for point, system in enumerate(system_list):
+        key = (system.chip.n_cc_clusters > 0, system.chip.n_mc_clusters > 0)
+        pool_groups.setdefault(key, []).append(point)
+
+    for (has_cc, has_mc), points in pool_groups.items():
+        subset = [system_list[point] for point in points]
+        cc_pool = "cc" if has_cc else "mc"
+        decode_pool = "mc" if has_mc else "cc"
+
+        cc_grid = DesignGrid.from_systems(
+            subset, bandwidth_fraction=cc_bandwidth_fraction
+        )
+        cc_result = BatchCostEngine(cc_grid).evaluate(cc_table, pool=cc_pool)
+        for column in range(n_shapes):
+            prefill_s[points, column] = cc_result.phases[column].latency_s
+
+        # Decode-step cost triples mirror BatchDecodeCostModel._cost: per-op
+        # bytes and compute at bandwidth_fraction=1, then one step-level
+        # memory_cycles over the total traffic at the MC bandwidth share.
+        decode_grid = DesignGrid.from_systems(subset, bandwidth_fraction=1.0)
+        matrices = BatchCostEngine(decode_grid).op_costs(
+            decode_table, pool=decode_pool
+        )
+        buffer_bytes = (
+            decode_grid.mc_buffer if decode_pool == "mc" else decode_grid.cc_buffer
+        )
+        for column, slice_ in enumerate(decode_table.phases):
+            index = decode_table.order[slice_.start : slice_.stop]
+            traffic = matrices.traffic_bytes[:, index].sum(axis=1)
+            compute = ordered_sum(matrices.compute_cycles[:, index])
+            memory = costs.memory_cycles(
+                traffic,
+                buffer_bytes=buffer_bytes,
+                dram_bytes_per_cycle=decode_grid.dram_bytes_per_cycle,
+                bandwidth_fraction=mc_bandwidth_fraction,
+                request_overhead_cycles=decode_grid.request_overhead_cycles,
+                request_latency_cycles=decode_grid.request_latency_cycles,
+            )
+            step_s[points, column] = (
+                np.maximum(memory, compute) / decode_grid.frequency_hz
+            )
+
+    first_columns = [
+        bucket_column[context_bucket_for(prompt, context_bucket)]
+        for prompt in prompts
+    ]
+    first_step_s = step_s[:, first_columns]
+    decode_floor_s = np.zeros((n_points, n_shapes), dtype=np.float64)
+    for column, counts in enumerate(bucket_counts):
+        for bucket, count in sorted(counts.items()):
+            decode_floor_s[:, column] += count * step_s[:, bucket_column[bucket]]
+    return ServiceTimeBounds(
+        systems=system_list,
+        shapes=shape_list,
+        prefill_s=prefill_s,
+        first_step_s=first_step_s,
+        min_ttft_s=prefill_s + first_step_s,
+        min_latency_s=prefill_s + decode_floor_s,
+    )

@@ -20,6 +20,7 @@ from .parallel import (
     sweep_design_space_batched,
 )
 from . import ablations
+from . import planner_suite
 from . import scenario_suite
 from . import fig2_workload
 from . import fig3_sparsity
@@ -111,9 +112,18 @@ register_experiment(
         report=scenario_suite.format_report,
     )
 )
+register_experiment(
+    ExperimentSpec(
+        experiment_id="planner",
+        description="SLO-aware capacity plans over the chip-design × fleet grid",
+        run=planner_suite.run_planner_suite,
+        report=planner_suite.format_report,
+    )
+)
 
 __all__ = [
     "ablations",
+    "planner_suite",
     "scenario_suite",
     "DesignPoint",
     "ParallelSweepRunner",

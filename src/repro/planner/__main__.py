@@ -1,0 +1,135 @@
+"""Command-line capacity planner.
+
+::
+
+    python -m repro.planner plan <scenario> [--slo-p99-ttft 5.0] [--json]
+    python -m repro.planner plan <scenario> --min-chips 1 --max-chips 6 --jobs 4
+    python -m repro.planner write-golden [--dir tests/golden/planner] [names ...]
+
+``plan`` searches fleet topologies × chip design points for the cheapest
+configuration meeting the scenario's SLOs (optionally overridden on the
+command line) and prints the Pareto frontier; ``--json`` emits the
+canonical :class:`~repro.planner.report.PlanReport` instead.
+
+``write-golden`` regenerates the canonical plan reports the golden-plan
+regression suite asserts byte identity against; run it only when a change
+*intends* to move planner numbers, and commit the diff.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..scenarios.registry import get_scenario
+from .plan import GOLDEN_PLAN_SCENARIOS, plan_scenario, resolve_slo
+from .report import format_plan_report
+from .space import PlannerConfig
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.planner",
+        description="SLO-aware capacity planning over the EdgeMM design grid.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    plan = commands.add_parser(
+        "plan", help="find the cheapest SLO-meeting fleet for a scenario"
+    )
+    plan.add_argument("scenario", help="registered scenario name")
+    plan.add_argument(
+        "--slo-p99-ttft", type=float, default=None, metavar="S",
+        help="override the p99 TTFT objective (seconds)",
+    )
+    plan.add_argument(
+        "--slo-p95-latency", type=float, default=None, metavar="S",
+        help="override the p95 end-to-end latency objective (seconds)",
+    )
+    plan.add_argument(
+        "--slo-p99-queue-wait", type=float, default=None, metavar="S",
+        help="override the p99 queue-wait objective (seconds)",
+    )
+    plan.add_argument(
+        "--min-chips", type=int, default=1, help="smallest fleet size considered"
+    )
+    plan.add_argument(
+        "--max-chips", type=int, default=4, help="largest fleet size considered"
+    )
+    plan.add_argument(
+        "--static-only", action="store_true",
+        help="skip the autoscaled fleet candidates",
+    )
+    plan.add_argument(
+        "--no-prune", action="store_true",
+        help="skip analytic pruning and simulate the whole space (slow)",
+    )
+    plan.add_argument(
+        "--jobs", "-j", type=int, default=None, metavar="N",
+        help="simulate surviving candidates across N processes",
+    )
+    plan.add_argument(
+        "--json", action="store_true", help="emit the canonical JSON report"
+    )
+
+    golden = commands.add_parser(
+        "write-golden",
+        help="(re)write golden plan reports for the regression suite",
+    )
+    golden.add_argument(
+        "names", nargs="*",
+        help=f"scenarios to plan (default: {', '.join(GOLDEN_PLAN_SCENARIOS)})",
+    )
+    golden.add_argument(
+        "--dir", default="tests/golden/planner",
+        help="directory the <name>.json files are written to",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``python -m repro.planner`` (``argv`` overrides)."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "plan":
+        spec = get_scenario(args.scenario)
+        config = PlannerConfig(
+            min_chips=args.min_chips,
+            max_chips=args.max_chips,
+            include_autoscaled=not args.static_only,
+        )
+        report = plan_scenario(
+            spec,
+            config,
+            slo=resolve_slo(
+                spec,
+                ttft_p99_s=args.slo_p99_ttft,
+                latency_p95_s=args.slo_p95_latency,
+                queue_wait_p99_s=args.slo_p99_queue_wait,
+            ),
+            prune=not args.no_prune,
+            processes=args.jobs,
+        )
+        if args.json:
+            sys.stdout.write(report.to_json())
+        else:
+            print(format_plan_report(report))
+        return 0 if report.feasible else 1
+
+    # write-golden
+    directory = Path(args.dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    names = args.names or list(GOLDEN_PLAN_SCENARIOS)
+    for name in names:
+        spec = get_scenario(name)
+        report = plan_scenario(spec)
+        path = directory / f"{spec.name}.json"
+        path.write_text(report.to_json(), encoding="utf-8")
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

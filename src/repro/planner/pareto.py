@@ -1,0 +1,49 @@
+"""Pareto-dominance utilities over maximization objective vectors.
+
+The planner ranks candidate plans on several axes at once — SLO
+attainment, chip count, silicon area, power envelope — and returns the
+non-dominated set instead of collapsing the axes into one score.  All
+functions here treat objective vectors as *maximization* tuples; callers
+negate cost-like axes (see :meth:`repro.planner.report.PlanEntry.
+objectives`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+Item = TypeVar("Item")
+Objectives = Tuple[float, ...]
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when vector ``a`` Pareto-dominates vector ``b``.
+
+    ``a`` dominates ``b`` when it is at least as good on every objective
+    and strictly better on at least one (both vectors maximize, and must
+    have equal length).
+    """
+    if len(a) != len(b):
+        raise ValueError("objective vectors must have equal length")
+    return all(x >= y for x, y in zip(a, b)) and any(x > y for x, y in zip(a, b))
+
+
+def pareto_frontier(
+    items: Sequence[Item], objectives: Callable[[Item], Sequence[float]]
+) -> List[Item]:
+    """The non-dominated subset of ``items``, preserving input order.
+
+    ``objectives`` maps an item to its maximization vector.  Items whose
+    vectors tie exactly are all kept (neither dominates), so the frontier
+    is deterministic for a deterministic input order.
+    """
+    vectors = [tuple(objectives(item)) for item in items]
+    frontier: List[Item] = []
+    for index, item in enumerate(items):
+        if not any(
+            dominates(vectors[other], vectors[index])
+            for other in range(len(items))
+            if other != index
+        ):
+            frontier.append(item)
+    return frontier

@@ -1,0 +1,179 @@
+"""The planning engine: prune analytically, simulate the survivors exactly.
+
+:func:`plan_scenario` is the planner's one entry point.  Given a scenario
+spec (traffic, serving knobs, SLOs) and a :class:`~repro.planner.space.
+PlannerConfig` (chip designs × fleet options), it
+
+1. compiles the scenario once — the trace is identical for every
+   candidate, because candidates replace the *fleet*, never the traffic;
+2. floors every chip design's achievable TTFT/latency percentiles with one
+   array pass (:mod:`repro.planner.prune`) and drops designs that provably
+   miss an objective, together with all their fleet options;
+3. exactly simulates every surviving candidate through the event-driven
+   serving engines, serially or through the multiprocessing sweep runner;
+4. returns the Pareto frontier over (SLO attainment, chip count, fleet
+   area, fleet power) plus the cheapest fully-SLO-meeting plan, wrapped in
+   a deterministic, canonically-JSON :class:`~repro.planner.report.
+   PlanReport`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..scenarios.compile import compile_scenario
+from ..scenarios.spec import ScenarioSpec, SLOSpec
+from .evaluate import CandidateOutcome, evaluate_candidate, simulate_candidate
+from .pareto import pareto_frontier
+from .prune import DesignBounds, prune_designs
+from .report import PlanEntry, PlanReport, plan_hash
+from .space import ChipDesign, FleetOption, PlannerConfig
+
+#: Scenarios with committed golden plan reports under
+#: ``tests/golden/planner/`` (kept small: planning simulates dozens of
+#: fleets per scenario).  The CLI's ``write-golden``, the golden-plan
+#: regression suite and the ``planner`` experiment all read this tuple.
+GOLDEN_PLAN_SCENARIOS: Tuple[str, ...] = (
+    "chat-poisson",
+    "trace-spike",
+    "video-stream",
+)
+
+
+def resolve_slo(
+    spec: ScenarioSpec,
+    *,
+    ttft_p99_s: Optional[float] = None,
+    latency_p95_s: Optional[float] = None,
+    queue_wait_p99_s: Optional[float] = None,
+) -> SLOSpec:
+    """``spec``'s SLOs with per-metric overrides applied.
+
+    Explicit ``ttft_p99_s`` / ``latency_p95_s`` / ``queue_wait_p99_s``
+    values win over the spec's stated objectives; ``None`` keeps the
+    spec's value.  Overrides change the *judging* targets only — the
+    compiled trace stays the original scenario's.
+    """
+    base = spec.slo
+    return SLOSpec(
+        ttft_p99_s=ttft_p99_s if ttft_p99_s is not None else base.ttft_p99_s,
+        latency_p95_s=(
+            latency_p95_s if latency_p95_s is not None else base.latency_p95_s
+        ),
+        queue_wait_p99_s=(
+            queue_wait_p99_s
+            if queue_wait_p99_s is not None
+            else base.queue_wait_p99_s
+        ),
+    )
+
+
+def _best_entry(entries: Sequence[PlanEntry]) -> Optional[PlanEntry]:
+    """The cheapest plan meeting every objective (deterministic tiebreak)."""
+    meeting = [entry for entry in entries if entry.slo_met]
+    if not meeting:
+        return None
+    return min(
+        meeting,
+        key=lambda entry: (
+            entry.chips_provisioned,
+            entry.fleet_area_mm2,
+            entry.fleet_power_w,
+            entry.design.name,
+            entry.option.label,
+        ),
+    )
+
+
+def plan_scenario(
+    spec: ScenarioSpec,
+    config: Optional[PlannerConfig] = None,
+    *,
+    slo: Optional[SLOSpec] = None,
+    prune: bool = True,
+    processes: Optional[int] = None,
+) -> PlanReport:
+    """Search ``config``'s candidate space for the cheapest SLO-meeting fleet.
+
+    ``spec`` is the scenario planned for; ``slo`` overrides its stated objectives (see
+    :func:`resolve_slo`); ``prune=False`` skips the analytic bound pass and
+    exactly simulates the whole space (the brute-force baseline the
+    benchmark and the soundness suite compare against); ``processes`` fans
+    candidate simulations out through the multiprocessing sweep runner —
+    results are identical to the serial path because every worker derives
+    the bit-identical trace from the spec hash.
+    """
+    config = config or PlannerConfig()
+    resolved = slo if slo is not None else spec.slo
+    targets = resolved.targets()
+    compiled = compile_scenario(spec)
+    designs: Tuple[ChipDesign, ...] = config.chip_grid
+
+    options = config.fleet_options(with_autoscaled="ttft_p99_s" in targets)
+    n_candidates = len(designs) * len(options)
+
+    if prune:
+        bounds = prune_designs(compiled, designs, targets)
+    else:
+        bounds = [
+            DesignBounds(design, lb_ttft_p99_s=None, lb_latency_p95_s=None)
+            for design in designs
+        ]
+    survivors = [verdict.design for verdict in bounds if verdict.feasible]
+    candidates: List[Tuple[ChipDesign, FleetOption]] = [
+        (design, option) for design in survivors for option in options
+    ]
+
+    if processes is not None and processes > 1 and len(candidates) > 1:
+        # Imported lazily: repro.experiments registers the planner suite and
+        # would recurse into this package at import time.
+        from ..experiments.parallel import ParallelSweepRunner
+
+        runner = ParallelSweepRunner(processes=processes)
+        spec_json = spec.to_json()
+        outcomes: List[CandidateOutcome] = list(
+            runner.map(
+                simulate_candidate,
+                [
+                    {
+                        "spec_json": spec_json,
+                        "design": design.to_dict(),
+                        "option": option.to_dict(),
+                        "targets": targets,
+                    }
+                    for design, option in candidates
+                ],
+            )
+        )
+    else:
+        # Candidates sharing a chip design share one warm cost cache: the
+        # memoized values are design properties, so warmed runs are
+        # bit-identical to cold ones and ~5x faster across a full space.
+        warm: dict = {}
+        outcomes = [
+            evaluate_candidate(
+                spec, compiled.trace, design, option, targets, warm=warm
+            )
+            for design, option in candidates
+        ]
+
+    entries = [PlanEntry.from_outcome(outcome, targets) for outcome in outcomes]
+    frontier = tuple(pareto_frontier(entries, PlanEntry.objectives))
+    best = _best_entry(entries)
+    return PlanReport(
+        scenario=spec.name,
+        description=spec.description,
+        spec_hash=spec.spec_hash(),
+        plan_hash=plan_hash(spec.spec_hash(), config, targets),
+        planner=config,
+        slo_targets=tuple(sorted(targets.items())),
+        n_requests=spec.n_requests,
+        n_chip_designs=len(designs),
+        n_candidates=n_candidates,
+        n_pruned_designs=len(designs) - len(survivors),
+        n_pruned_candidates=n_candidates - len(candidates),
+        n_simulated=len(candidates),
+        design_bounds=tuple(bounds),
+        frontier=frontier,
+        best=best,
+    )

@@ -1,0 +1,131 @@
+"""Analytic SLO-infeasibility pruning of chip designs.
+
+The planner's expensive step is exact fleet simulation; the cheap step is
+the array-native bound pass of
+:func:`repro.core.batch.batch_service_time_bounds`, which floors every
+request's TTFT and end-to-end latency on every chip design in one
+broadcasted evaluation.  Because the bounds hold for *any* fleet size,
+dispatch policy, batch composition and admission decision, a design whose
+bound percentile already misses an objective can be rejected — together
+with every fleet option built on it — without simulating anything.
+
+Soundness (a pruned design can never be one the exact simulator would
+accept) follows from pointwise dominance: every served request's recorded
+TTFT/latency is at least its analytic floor, and the linear-interpolated
+percentile the SLO checks use is monotone under pointwise dominance.  The
+planner's fleet candidates always admit with the front-door queue, so every
+request of the trace is served and the percentile runs over the same
+population the bounds cover.  The property suite re-proves this against
+brute-force exact search on randomized small spaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.batch import batch_service_time_bounds
+from ..models.mllm import get_mllm
+from ..scenarios.compile import CompiledScenario
+from .space import ChipDesign
+
+
+@dataclass(frozen=True)
+class DesignBounds:
+    """One chip design's analytic bound percentiles and feasibility verdict.
+
+    ``lb_ttft_p99_s`` / ``lb_latency_p95_s`` are the trace percentiles of
+    the per-request lower bounds (``None`` when the bound pass was
+    skipped); ``reasons`` names each objective the bound already misses —
+    empty for designs that survive to exact simulation.
+    """
+
+    design: ChipDesign
+    lb_ttft_p99_s: Optional[float]
+    lb_latency_p95_s: Optional[float]
+    reasons: Tuple[str, ...] = ()
+
+    @property
+    def feasible(self) -> bool:
+        """True when no objective is provably missed by the bounds."""
+        return not self.reasons
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize the verdict to plain JSON data."""
+        return {
+            "design": self.design.to_dict(),
+            "lb_ttft_p99_s": self.lb_ttft_p99_s,
+            "lb_latency_p95_s": self.lb_latency_p95_s,
+            "feasible": self.feasible,
+            "reasons": list(self.reasons),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DesignBounds":
+        """Rebuild a verdict from :meth:`to_dict` data."""
+        return cls(
+            design=ChipDesign.from_dict(data["design"]),
+            lb_ttft_p99_s=data.get("lb_ttft_p99_s"),
+            lb_latency_p95_s=data.get("lb_latency_p95_s"),
+            reasons=tuple(str(reason) for reason in data.get("reasons", ())),
+        )
+
+
+def prune_designs(
+    compiled: CompiledScenario,
+    designs: Sequence[ChipDesign],
+    targets: Mapping[str, float],
+) -> List[DesignBounds]:
+    """Bound every design of ``designs`` against ``compiled``'s trace and ``targets``.
+
+    Returns one :class:`DesignBounds` per design, in input order.  A design
+    is marked infeasible when the p99 of its per-request TTFT floors
+    exceeds a stated ``ttft_p99_s`` target, or the p95 of its latency
+    floors exceeds a stated ``latency_p95_s`` target (strict comparisons:
+    a bound exactly on target never prunes).  Queue-wait objectives never
+    prune — their analytic floor is zero.
+    """
+    spec = compiled.spec
+    bounds = batch_service_time_bounds(
+        get_mllm(spec.fleet.model),
+        list(compiled.unique_shapes),
+        [design.system() for design in designs],
+        cc_bandwidth_fraction=spec.fleet.cc_bandwidth_fraction,
+        context_bucket=spec.fleet.context_bucket,
+    )
+    columns = np.asarray(
+        [bounds.shape_index(request.request) for request in compiled.trace],
+        dtype=np.int64,
+    )
+    # Per-design trace percentiles of the per-request floors; np.percentile's
+    # default linear interpolation matches repro.serving.metrics.percentile,
+    # so pointwise dominance carries over to the SLO-check percentiles.
+    lb_ttft_p99 = np.percentile(bounds.min_ttft_s[:, columns], 99, axis=1)
+    lb_latency_p95 = np.percentile(bounds.min_latency_s[:, columns], 95, axis=1)
+
+    verdicts: List[DesignBounds] = []
+    ttft_target = targets.get("ttft_p99_s")
+    latency_target = targets.get("latency_p95_s")
+    for row, design in enumerate(designs):
+        reasons: List[str] = []
+        if ttft_target is not None and lb_ttft_p99[row] > ttft_target:
+            reasons.append(
+                f"analytic p99 TTFT floor {lb_ttft_p99[row]:.6g}s exceeds "
+                f"target {ttft_target:.6g}s"
+            )
+        if latency_target is not None and lb_latency_p95[row] > latency_target:
+            reasons.append(
+                f"analytic p95 latency floor {lb_latency_p95[row]:.6g}s "
+                f"exceeds target {latency_target:.6g}s"
+            )
+        verdicts.append(
+            DesignBounds(
+                design=design,
+                lb_ttft_p99_s=float(lb_ttft_p99[row]),
+                lb_latency_p95_s=float(lb_latency_p95[row]),
+                reasons=tuple(reasons),
+            )
+        )
+    return verdicts

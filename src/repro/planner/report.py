@@ -1,0 +1,307 @@
+"""Structured plan reports with a canonical JSON form.
+
+:class:`PlanReport` is the artifact a planning run emits: the scenario and
+planner-config identity (hashed into ``plan_hash``), the SLO targets the
+search was judged against, the candidate-space accounting (how many designs
+the analytic bounds pruned, how many candidates were exactly simulated),
+the per-design bound verdicts, the Pareto frontier over the simulated
+candidates and the cheapest fully-SLO-meeting plan.  Its
+:meth:`~PlanReport.to_json` rendering is canonical — key-sorted, 2-space
+indented, trailing newline — and fully determined by the scenario spec and
+planner config, so golden plan reports assert byte identity the same way
+scenario reports do.  :meth:`PlanReport.from_json` round-trips the
+canonical form byte-identically (regression-tested).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..arch.area_power import AreaPowerModel
+from ..scenarios.report import SLOCheck
+from .evaluate import CandidateOutcome
+from .prune import DesignBounds
+from .space import ChipDesign, FleetOption, PlannerConfig
+
+
+def chip_cost(design: ChipDesign) -> Tuple[float, float]:
+    """Analytic per-chip (area mm², peak-power W) of a design point."""
+    model = AreaPowerModel(design.system().chip)
+    return model.chip_area_mm2(), model.power_report(1.0).total_mw / 1e3
+
+
+@dataclass(frozen=True)
+class PlanEntry:
+    """One exactly-simulated candidate with its cost and SLO verdicts.
+
+    ``chips_provisioned`` (peak chips for autoscaled fleets) scales the
+    per-chip silicon cost into ``fleet_area_mm2`` and ``fleet_power_w``;
+    ``slo`` holds one verdict per stated objective and ``slo_attainment``
+    the met fraction (1.0 when no objectives are stated).
+    """
+
+    design: ChipDesign
+    option: FleetOption
+    chips_provisioned: int
+    chip_area_mm2: float
+    fleet_area_mm2: float
+    fleet_power_w: float
+    ttft_p99_s: float
+    latency_p95_s: float
+    queue_wait_p99_s: float
+    n_completed: int
+    makespan_s: float
+    slo: Tuple[SLOCheck, ...]
+    slo_attainment: float
+    n_scale_events: int = 0
+
+    @property
+    def slo_met(self) -> bool:
+        """True when every stated objective is met (vacuously if none)."""
+        return all(check.met for check in self.slo)
+
+    def objectives(self) -> Tuple[float, float, float, float]:
+        """The maximization vector Pareto dominance ranks entries by.
+
+        (SLO attainment, −chip count, −fleet area, −fleet power): a plan
+        dominates another when it attains at least as much of the SLO with
+        no more chips, silicon or power, and improves at least one axis.
+        """
+        return (
+            self.slo_attainment,
+            -float(self.chips_provisioned),
+            -self.fleet_area_mm2,
+            -self.fleet_power_w,
+        )
+
+    @classmethod
+    def from_outcome(
+        cls, outcome: CandidateOutcome, targets: Mapping[str, float]
+    ) -> "PlanEntry":
+        """Fold a simulation outcome and the SLO targets into an entry."""
+        attained = {
+            "ttft_p99_s": outcome.ttft_p99_s,
+            "latency_p95_s": outcome.latency_p95_s,
+            "queue_wait_p99_s": outcome.queue_wait_p99_s,
+        }
+        checks = tuple(
+            SLOCheck(metric=metric, target_s=target, attained_s=attained[metric])
+            for metric, target in sorted(targets.items())
+        )
+        attainment = (
+            sum(1 for check in checks if check.met) / len(checks) if checks else 1.0
+        )
+        area, power = chip_cost(outcome.design)
+        return cls(
+            design=outcome.design,
+            option=outcome.option,
+            chips_provisioned=outcome.chips_provisioned,
+            chip_area_mm2=area,
+            fleet_area_mm2=area * outcome.chips_provisioned,
+            fleet_power_w=power * outcome.chips_provisioned,
+            ttft_p99_s=outcome.ttft_p99_s,
+            latency_p95_s=outcome.latency_p95_s,
+            queue_wait_p99_s=outcome.queue_wait_p99_s,
+            n_completed=outcome.n_completed,
+            makespan_s=outcome.makespan_s,
+            slo=checks,
+            slo_attainment=attainment,
+            n_scale_events=outcome.n_scale_events,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize the entry to plain JSON data."""
+        return {
+            "design": self.design.to_dict(),
+            "fleet": self.option.to_dict(),
+            "chips_provisioned": self.chips_provisioned,
+            "chip_area_mm2": self.chip_area_mm2,
+            "fleet_area_mm2": self.fleet_area_mm2,
+            "fleet_power_w": self.fleet_power_w,
+            "ttft_p99_s": self.ttft_p99_s,
+            "latency_p95_s": self.latency_p95_s,
+            "queue_wait_p99_s": self.queue_wait_p99_s,
+            "n_completed": self.n_completed,
+            "makespan_s": self.makespan_s,
+            "slo": [check.to_dict() for check in self.slo],
+            "slo_met": self.slo_met,
+            "slo_attainment": self.slo_attainment,
+            "n_scale_events": self.n_scale_events,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PlanEntry":
+        """Rebuild an entry from :meth:`to_dict` data."""
+        return cls(
+            design=ChipDesign.from_dict(data["design"]),
+            option=FleetOption.from_dict(data["fleet"]),
+            chips_provisioned=int(data["chips_provisioned"]),
+            chip_area_mm2=float(data["chip_area_mm2"]),
+            fleet_area_mm2=float(data["fleet_area_mm2"]),
+            fleet_power_w=float(data["fleet_power_w"]),
+            ttft_p99_s=float(data["ttft_p99_s"]),
+            latency_p95_s=float(data["latency_p95_s"]),
+            queue_wait_p99_s=float(data["queue_wait_p99_s"]),
+            n_completed=int(data["n_completed"]),
+            makespan_s=float(data["makespan_s"]),
+            slo=tuple(
+                SLOCheck(
+                    metric=str(check["metric"]),
+                    target_s=float(check["target_s"]),
+                    attained_s=float(check["attained_s"]),
+                )
+                for check in data.get("slo", ())
+            ),
+            slo_attainment=float(data["slo_attainment"]),
+            n_scale_events=int(data.get("n_scale_events", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class PlanReport:
+    """The structured outcome of one capacity-planning run."""
+
+    scenario: str
+    description: str
+    spec_hash: str
+    plan_hash: str
+    planner: PlannerConfig
+    slo_targets: Tuple[Tuple[str, float], ...]
+    n_requests: int
+    n_chip_designs: int
+    n_candidates: int
+    n_pruned_designs: int
+    n_pruned_candidates: int
+    n_simulated: int
+    design_bounds: Tuple[DesignBounds, ...]
+    frontier: Tuple[PlanEntry, ...]
+    best: Optional[PlanEntry]
+
+    @property
+    def feasible(self) -> bool:
+        """True when some simulated candidate met every stated objective."""
+        return self.best is not None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize the report to plain JSON data (canonical field set)."""
+        return {
+            "scenario": self.scenario,
+            "description": self.description,
+            "spec_hash": self.spec_hash,
+            "plan_hash": self.plan_hash,
+            "planner": self.planner.to_dict(),
+            "slo_targets": {metric: target for metric, target in self.slo_targets},
+            "n_requests": self.n_requests,
+            "n_chip_designs": self.n_chip_designs,
+            "n_candidates": self.n_candidates,
+            "n_pruned_designs": self.n_pruned_designs,
+            "n_pruned_candidates": self.n_pruned_candidates,
+            "n_simulated": self.n_simulated,
+            "design_bounds": [bounds.to_dict() for bounds in self.design_bounds],
+            "frontier": [entry.to_dict() for entry in self.frontier],
+            "best": None if self.best is None else self.best.to_dict(),
+            "feasible": self.feasible,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, 2-space indent, trailing newline."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PlanReport":
+        """Rebuild a report from :meth:`to_dict` data."""
+        best = data.get("best")
+        return cls(
+            scenario=str(data["scenario"]),
+            description=str(data.get("description", "")),
+            spec_hash=str(data["spec_hash"]),
+            plan_hash=str(data["plan_hash"]),
+            planner=PlannerConfig.from_dict(data["planner"]),
+            slo_targets=tuple(sorted(
+                (str(metric), float(target))
+                for metric, target in data.get("slo_targets", {}).items()
+            )),
+            n_requests=int(data["n_requests"]),
+            n_chip_designs=int(data["n_chip_designs"]),
+            n_candidates=int(data["n_candidates"]),
+            n_pruned_designs=int(data["n_pruned_designs"]),
+            n_pruned_candidates=int(data["n_pruned_candidates"]),
+            n_simulated=int(data["n_simulated"]),
+            design_bounds=tuple(
+                DesignBounds.from_dict(entry)
+                for entry in data.get("design_bounds", ())
+            ),
+            frontier=tuple(
+                PlanEntry.from_dict(entry) for entry in data.get("frontier", ())
+            ),
+            best=None if best is None else PlanEntry.from_dict(best),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "PlanReport":
+        """Parse a report back from its (canonical) JSON form."""
+        return cls.from_dict(json.loads(text))
+
+
+def plan_hash(
+    spec_hash: str, config: PlannerConfig, targets: Mapping[str, float]
+) -> str:
+    """The plan identity: SHA-256 over ``spec_hash``, ``config`` and ``targets``.
+
+    Seeded from the scenario's spec hash (itself the root of every compiled
+    trace's RNG seed), so equal inputs always reproduce the byte-identical
+    report and any input change moves the hash.
+    """
+    material = json.dumps(
+        {
+            "spec_hash": spec_hash,
+            "planner": config.to_dict(),
+            "slo_targets": dict(sorted(targets.items())),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def format_plan_report(report: PlanReport) -> str:
+    """Human-readable rendering of ``report`` for the CLI."""
+    title = f"Capacity plan: {report.scenario}"
+    lines = [title, "=" * len(title)]
+    if report.description:
+        lines.append(report.description)
+    lines.append(f"plan hash          : {report.plan_hash[:16]}…")
+    targets = ", ".join(
+        f"{metric} <= {target:g}s" for metric, target in report.slo_targets
+    )
+    lines.append(f"objectives         : {targets or 'none stated'}")
+    lines.append(
+        f"candidate space    : {report.n_candidates} "
+        f"({report.n_chip_designs} chip designs), "
+        f"{report.n_pruned_candidates} pruned analytically, "
+        f"{report.n_simulated} simulated exactly"
+    )
+    pruned = [bounds for bounds in report.design_bounds if not bounds.feasible]
+    for bounds in pruned:
+        lines.append(f"  pruned {bounds.design.name:<12}: {bounds.reasons[0]}")
+    lines.append(f"Pareto frontier    : {len(report.frontier)} plans")
+    for entry in report.frontier:
+        verdict = "MET " if entry.slo_met else "MISS"
+        lines.append(
+            f"  {verdict} {entry.design.name:<12} {entry.option.label:<22} "
+            f"chips {entry.chips_provisioned}  area {entry.fleet_area_mm2:8.1f} mm^2  "
+            f"power {entry.fleet_power_w:6.2f} W  p99 TTFT {entry.ttft_p99_s * 1e3:9.2f} ms"
+        )
+    if report.best is None:
+        lines.append("best plan          : none meets every objective")
+    else:
+        best = report.best
+        lines.append(
+            f"best plan          : {best.design.name} {best.option.label} — "
+            f"{best.chips_provisioned} chips, {best.fleet_area_mm2:.1f} mm^2, "
+            f"{best.fleet_power_w:.2f} W"
+        )
+    return "\n".join(lines)

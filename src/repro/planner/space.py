@@ -1,0 +1,234 @@
+"""The capacity planner's candidate space: chip designs × fleet options.
+
+A planning run searches a cross product of two axes:
+
+* :class:`ChipDesign` — one point of the parameterized EdgeMM design
+  family (group count and CC:MC cluster mix, lowered through
+  :func:`repro.core.config.scaled_system`);
+* :class:`FleetOption` — how many of that chip to deploy behind the
+  dispatcher, under which dispatch policy, and whether the SLO-aware
+  autoscaler manages the fleet size.
+
+:class:`PlannerConfig` bundles the axes with their bounds; its canonical
+JSON form is hashed into the plan identity, so two runs with the same
+scenario and the same config produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Tuple
+
+from ..core.config import SystemConfig, scaled_system
+from ..serving.fleet import POLICIES
+
+#: The default design family swept by ``python -m repro.planner plan``:
+#: two chip scales, four CC:MC cluster mixes each.
+DEFAULT_CHIP_MIXES: Tuple[Tuple[int, int], ...] = ((1, 1), (2, 2), (3, 1), (1, 3))
+DEFAULT_GROUP_COUNTS: Tuple[int, ...] = (2, 4)
+
+
+@dataclass(frozen=True)
+class ChipDesign:
+    """One chip design point: group count plus the per-group cluster mix.
+
+    ``n_groups`` scales the whole chip; ``cc_per_group`` and
+    ``mc_per_group`` set the per-group count of compute-centric and
+    memory-centric clusters (at least one cluster overall).
+    """
+
+    n_groups: int
+    cc_per_group: int
+    mc_per_group: int
+
+    def __post_init__(self) -> None:
+        if self.n_groups < 1:
+            raise ValueError("n_groups must be >= 1")
+        if self.cc_per_group < 0 or self.mc_per_group < 0:
+            raise ValueError("cluster counts must be >= 0")
+        if self.cc_per_group == 0 and self.mc_per_group == 0:
+            raise ValueError("a chip needs at least one cluster per group")
+
+    @property
+    def name(self) -> str:
+        """Stable display name, e.g. ``4x2cc2mc``."""
+        return f"{self.n_groups}x{self.cc_per_group}cc{self.mc_per_group}mc"
+
+    def system(self) -> SystemConfig:
+        """Lower the design point to a full :class:`SystemConfig`."""
+        return scaled_system(
+            n_groups=self.n_groups,
+            cc_clusters_per_group=self.cc_per_group,
+            mc_clusters_per_group=self.mc_per_group,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize the design point to plain JSON data."""
+        return {
+            "n_groups": self.n_groups,
+            "cc_per_group": self.cc_per_group,
+            "mc_per_group": self.mc_per_group,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ChipDesign":
+        """Rebuild a design point from :meth:`to_dict` data."""
+        return cls(
+            n_groups=int(data["n_groups"]),
+            cc_per_group=int(data["cc_per_group"]),
+            mc_per_group=int(data["mc_per_group"]),
+        )
+
+
+@dataclass(frozen=True)
+class FleetOption:
+    """One fleet topology candidate for a chip design.
+
+    A *static* option (``autoscaled=False``) deploys exactly ``n_chips``
+    chips under ``policy``.  An *autoscaled* option treats ``n_chips`` as
+    the provisioning cap: the SLO-aware controller grows the fleet between
+    ``min_chips`` and ``n_chips`` and always admits with the front-door
+    queue (the planner never sheds traffic — a plan must serve the whole
+    trace, which is also what keeps analytic pruning sound).
+    """
+
+    n_chips: int
+    policy: str = "least_loaded"
+    autoscaled: bool = False
+    min_chips: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_chips < 1:
+            raise ValueError("n_chips must be >= 1")
+        if self.policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}, got {self.policy!r}")
+        if not 1 <= self.min_chips <= self.n_chips:
+            raise ValueError("min_chips must be in [1, n_chips]")
+        if self.autoscaled and self.policy != "least_loaded":
+            raise ValueError("autoscaled fleets always dispatch least_loaded")
+
+    @property
+    def label(self) -> str:
+        """Stable display name, e.g. ``static3/least_loaded`` or ``auto1-4``."""
+        if self.autoscaled:
+            return f"auto{self.min_chips}-{self.n_chips}"
+        return f"static{self.n_chips}/{self.policy}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize the fleet option to plain JSON data."""
+        return {
+            "n_chips": self.n_chips,
+            "policy": self.policy,
+            "autoscaled": self.autoscaled,
+            "min_chips": self.min_chips,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FleetOption":
+        """Rebuild a fleet option from :meth:`to_dict` data."""
+        return cls(
+            n_chips=int(data["n_chips"]),
+            policy=str(data.get("policy", "least_loaded")),
+            autoscaled=bool(data.get("autoscaled", False)),
+            min_chips=int(data.get("min_chips", 1)),
+        )
+
+
+def default_chip_grid() -> Tuple[ChipDesign, ...]:
+    """The default design family: group counts × CC:MC mixes."""
+    return tuple(
+        ChipDesign(n_groups=n_groups, cc_per_group=cc, mc_per_group=mc)
+        for n_groups in DEFAULT_GROUP_COUNTS
+        for cc, mc in DEFAULT_CHIP_MIXES
+    )
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """The candidate space of one planning run (pure data).
+
+    ``chip_grid`` lists the design points considered; fleet sizes span
+    ``min_chips`` to ``max_chips`` under each policy of ``policies``, and
+    ``include_autoscaled`` adds one autoscaled option per design (capped at
+    ``max_chips``) whenever the scenario states a TTFT objective for the
+    controller to steer toward.
+    """
+
+    chip_grid: Tuple[ChipDesign, ...] = ()
+    min_chips: int = 1
+    max_chips: int = 4
+    policies: Tuple[str, ...] = ("least_loaded",)
+    include_autoscaled: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.chip_grid:
+            object.__setattr__(self, "chip_grid", default_chip_grid())
+        names = [design.name for design in self.chip_grid]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate chip designs in grid: {names}")
+        if self.min_chips < 1:
+            raise ValueError("min_chips must be >= 1")
+        if self.max_chips < self.min_chips:
+            raise ValueError("max_chips must be >= min_chips")
+        if not self.policies:
+            raise ValueError("at least one dispatch policy is required")
+        for policy in self.policies:
+            if policy not in POLICIES:
+                raise ValueError(
+                    f"policy must be one of {POLICIES}, got {policy!r}"
+                )
+
+    def fleet_options(self, *, with_autoscaled: bool) -> Tuple[FleetOption, ...]:
+        """Enumerate the fleet options of the run, in deterministic order.
+
+        ``with_autoscaled`` gates the autoscaled option on the scenario
+        actually stating a TTFT objective (the controller's set point).
+        """
+        options: List[FleetOption] = [
+            FleetOption(n_chips=n_chips, policy=policy)
+            for n_chips in range(self.min_chips, self.max_chips + 1)
+            for policy in self.policies
+        ]
+        if self.include_autoscaled and with_autoscaled and self.max_chips > 1:
+            options.append(
+                FleetOption(
+                    n_chips=self.max_chips,
+                    policy="least_loaded",
+                    autoscaled=True,
+                    min_chips=self.min_chips,
+                )
+            )
+        return tuple(options)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize the config to plain JSON data."""
+        return {
+            "chip_grid": [design.to_dict() for design in self.chip_grid],
+            "min_chips": self.min_chips,
+            "max_chips": self.max_chips,
+            "policies": list(self.policies),
+            "include_autoscaled": self.include_autoscaled,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PlannerConfig":
+        """Rebuild a config from :meth:`to_dict` data."""
+        return cls(
+            chip_grid=tuple(
+                ChipDesign.from_dict(entry) for entry in data.get("chip_grid", ())
+            ),
+            min_chips=int(data.get("min_chips", 1)),
+            max_chips=int(data.get("max_chips", 4)),
+            policies=tuple(str(p) for p in data.get("policies", ("least_loaded",))),
+            include_autoscaled=bool(data.get("include_autoscaled", True)),
+        )
+
+    def canonical_json(self) -> str:
+        """The canonical (minified, key-sorted) JSON identity of the config."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def config_hash(self) -> str:
+        """SHA-256 of the canonical JSON — the config's stable identity."""
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()

@@ -63,6 +63,7 @@ def _run(name: str, as_json: bool) -> None:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``python -m repro.scenarios`` (``argv`` overrides)."""
     args = _build_parser().parse_args(argv)
 
     if args.command == "list":

@@ -58,7 +58,7 @@ class CompiledScenario:
 def build_arrival_process(
     arrival: ArrivalSpec, *, seed: int = 0
 ) -> ArrivalProcess:
-    """Instantiate the arrival process an :class:`ArrivalSpec` describes."""
+    """Instantiate the process ``arrival`` describes, seeded with ``seed``."""
     if arrival.kind == "poisson":
         return PoissonArrivals(arrival.rate_rps, seed=seed)
     if arrival.kind == "bursty":
@@ -76,7 +76,7 @@ def build_arrival_process(
 def component_sampler(
     component: WorkloadComponent, *, seed: int
 ) -> RequestSampler:
-    """The deterministic shape sampler of one mix component."""
+    """The shape sampler of one mix ``component``, seeded with ``seed``."""
     return RequestSampler(
         images=component.images,
         prompt_token_range=component.prompt_token_range,

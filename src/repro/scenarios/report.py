@@ -39,9 +39,11 @@ class SLOCheck:
 
     @property
     def met(self) -> bool:
+        """True when the attained value is within the target."""
         return self.attained_s <= self.target_s
 
     def to_dict(self) -> Dict[str, Any]:
+        """Serialize the verdict to plain JSON data."""
         return {
             "metric": self.metric,
             "target_s": self.target_s,
@@ -64,6 +66,7 @@ class AutoscaleSummary:
 
     @classmethod
     def from_result(cls, result: AutoscaleResult) -> "AutoscaleSummary":
+        """Summarize the controller activity of an autoscale ``result``."""
         return cls(
             peak_chips=result.peak_chips,
             final_chips=result.final_chips,
@@ -75,6 +78,7 @@ class AutoscaleSummary:
         )
 
     def to_dict(self) -> Dict[str, Any]:
+        """Serialize the controller summary to plain JSON data."""
         return {
             "peak_chips": self.peak_chips,
             "final_chips": self.final_chips,
@@ -109,6 +113,7 @@ class PricingSummary:
     mean_chips_demanded: float
 
     def to_dict(self) -> Dict[str, Any]:
+        """Serialize the pricing summary to plain JSON data."""
         return {
             "unique_shapes": self.unique_shapes,
             "batch1_chip_seconds": self.batch1_chip_seconds,
@@ -145,6 +150,7 @@ class ScenarioReport:
     # Canonical serialization (golden-report surface)
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
+        """Serialize the report to plain JSON data (canonical field set)."""
         data: Dict[str, Any] = {
             "name": self.name,
             "description": self.description,
@@ -172,7 +178,7 @@ class ScenarioReport:
 
 
 def slo_checks(slo_targets: Mapping[str, float], report: ServingReport) -> Tuple[SLOCheck, ...]:
-    """Evaluate stated objectives against a serving report."""
+    """One verdict per objective of ``slo_targets`` against ``report``."""
     attained = {
         "ttft_p99_s": report.ttft.p99,
         "latency_p95_s": report.latency.p95,
@@ -185,7 +191,7 @@ def slo_checks(slo_targets: Mapping[str, float], report: ServingReport) -> Tuple
 
 
 def format_scenario_report(report: ScenarioReport) -> str:
-    """Human-readable rendering for the CLI."""
+    """Human-readable rendering of ``report`` for the CLI."""
     title = f"Scenario: {report.name}"
     lines = [title, "=" * len(title)]
     if report.description:

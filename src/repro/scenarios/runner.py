@@ -57,7 +57,7 @@ def autoscaler_config(spec: ScenarioSpec) -> Optional[AutoscalerConfig]:
 def build_fleet(
     spec: ScenarioSpec,
 ) -> Union[FleetSimulator, AutoscalingFleetSimulator]:
-    """Instantiate the fleet a scenario's :class:`FleetSpec` describes."""
+    """Instantiate the fleet ``spec``'s :class:`FleetSpec` describes."""
     model = get_mllm(spec.fleet.model)
     controller = autoscaler_config(spec)
     if controller is not None:
@@ -84,7 +84,12 @@ def price_offered_load(
     *,
     system: Optional[SystemConfig] = None,
 ) -> PricingSummary:
-    """Price the trace's offered load through the batched cost engine."""
+    """Price ``compiled``'s offered load through the batched cost engine.
+
+    ``makespan_s`` converts total batch-1 chip-seconds into the mean fleet
+    size the load demands; ``system`` overrides the chip configuration the
+    pricing runs on (default: the paper's default EdgeMM system).
+    """
     model = get_mllm(compiled.spec.fleet.model)
     system = system or default_system()
     prices = batch_price_request_mix(
@@ -99,7 +104,7 @@ def price_offered_load(
 
 
 def run_scenario(spec: ScenarioSpec) -> ScenarioReport:
-    """Compile and run one scenario end to end."""
+    """Compile and run one scenario ``spec`` end to end."""
     compiled = compile_scenario(spec)
     fleet = build_fleet(spec)
     result = fleet.run(list(compiled.trace))

@@ -74,6 +74,7 @@ class WorkloadComponent:
             )
 
     def to_dict(self) -> Dict[str, Any]:
+        """Serialize the component to plain JSON data."""
         return {
             "name": self.name,
             "weight": self.weight,
@@ -85,6 +86,7 @@ class WorkloadComponent:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadComponent":
+        """Rebuild a component from :meth:`to_dict` data."""
         return cls(
             name=str(data["name"]),
             weight=float(data.get("weight", 1.0)),
@@ -155,6 +157,7 @@ class ArrivalSpec:
                 )
 
     def to_dict(self) -> Dict[str, Any]:
+        """Serialize the arrival spec (unused fields omitted)."""
         data: Dict[str, Any] = {"kind": self.kind}
         if self.kind == "trace":
             data["times"] = list(self.times or ())
@@ -168,6 +171,7 @@ class ArrivalSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ArrivalSpec":
+        """Rebuild an arrival spec from :meth:`to_dict` data."""
         times = data.get("times")
         return cls(
             kind=str(data.get("kind", "poisson")),
@@ -221,6 +225,7 @@ class AutoscalerSpec:
             )
 
     def to_dict(self) -> Dict[str, Any]:
+        """Serialize the autoscaler block to plain JSON data."""
         return {
             "min_chips": self.min_chips,
             "max_chips": self.max_chips,
@@ -235,6 +240,7 @@ class AutoscalerSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "AutoscalerSpec":
+        """Rebuild an autoscaler block from :meth:`to_dict` data."""
         kwargs = {f.name: data[f.name] for f in fields(cls) if f.name in data}
         return cls(**kwargs)
 
@@ -258,6 +264,7 @@ class FleetSpec:
             raise ValueError("max_batch_size must be >= 1")
 
     def to_dict(self) -> Dict[str, Any]:
+        """Serialize the fleet spec to plain JSON data."""
         data: Dict[str, Any] = {
             "model": self.model,
             "n_chips": self.n_chips,
@@ -272,6 +279,7 @@ class FleetSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "FleetSpec":
+        """Rebuild a fleet spec from :meth:`to_dict` data."""
         autoscaler = data.get("autoscaler")
         return cls(
             model=str(data.get("model", "sphinx-tiny")),
@@ -314,10 +322,12 @@ class SLOSpec:
         return targets
 
     def to_dict(self) -> Dict[str, Any]:
+        """Serialize the objectives (the non-``None`` targets)."""
         return self.targets()
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SLOSpec":
+        """Rebuild the objectives from :meth:`to_dict` data."""
         return cls(
             ttft_p99_s=data.get("ttft_p99_s"),
             latency_p95_s=data.get("latency_p95_s"),
@@ -361,6 +371,7 @@ class ScenarioSpec:
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
+        """Serialize the whole scenario to plain JSON data."""
         return {
             "name": self.name,
             "description": self.description,
@@ -374,6 +385,7 @@ class ScenarioSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Rebuild a scenario from :meth:`to_dict` data."""
         return cls(
             name=str(data["name"]),
             description=str(data.get("description", "")),
@@ -389,10 +401,12 @@ class ScenarioSpec:
         )
 
     def to_json(self) -> str:
+        """Human-oriented JSON rendering (indented, key-sorted)."""
         return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
 
     @classmethod
     def from_json(cls, text: str) -> "ScenarioSpec":
+        """Parse a scenario back from its JSON ``text``."""
         return cls.from_dict(json.loads(text))
 
     # ------------------------------------------------------------------

@@ -106,6 +106,7 @@ class ScalingEvent:
 
     @property
     def direction(self) -> str:
+        """``"up"`` when the fleet grew, ``"down"`` when it drained."""
         return "up" if self.n_chips_after > self.n_chips_before else "down"
 
 
@@ -136,15 +137,18 @@ class AutoscaleResult:
 
     @property
     def peak_chips(self) -> int:
+        """Largest active fleet size the controller ever reached."""
         peak = max((event.n_chips_after for event in self.events), default=0)
         return max(peak, self.final_chips)
 
     @property
     def n_rejected(self) -> int:
+        """Number of arrivals admission control rejected outright."""
         return len(self.rejected_ids)
 
     @property
     def rejection_rate(self) -> float:
+        """Rejected fraction of all arrivals (0.0 on an empty trace)."""
         total = len(self.records) + self.n_rejected
         if total == 0:
             return 0.0
@@ -152,14 +156,17 @@ class AutoscaleResult:
 
     @property
     def n_scale_ups(self) -> int:
+        """Number of grow decisions the controller took."""
         return sum(1 for event in self.events if event.direction == "up")
 
     @property
     def n_scale_downs(self) -> int:
+        """Number of drain decisions the controller took."""
         return sum(1 for event in self.events if event.direction == "down")
 
     @property
     def requests_per_chip(self) -> Tuple[int, ...]:
+        """Admitted-request count per chip, indexed by chip id."""
         counts = [0] * len(self.per_chip)
         for chip_id in self.assignments:
             if chip_id >= 0:
@@ -364,8 +371,9 @@ def static_fleet_report(
 ) -> ServingReport:
     """Convenience: the report of a fixed-size fleet on the same trace.
 
-    The comparison baseline for autoscaling studies — same trace, same
-    chips, no controller.
+    The comparison baseline for autoscaling studies: ``model`` and
+    ``trace`` as in the autoscaled run, a static fleet of ``n_chips``
+    chips, no controller; ``kwargs`` forward to :class:`FleetSimulator`.
     """
     fleet = FleetSimulator(model, n_chips=n_chips, **kwargs)
     return fleet.run(trace).report

@@ -43,10 +43,12 @@ class FleetResult:
 
     @property
     def report(self) -> ServingReport:
+        """Aggregate statistics over the merged fleet-wide records."""
         return summarize(self.records)
 
     @property
     def requests_per_chip(self) -> Tuple[int, ...]:
+        """Dispatched-request count per chip, indexed by chip id."""
         counts = [0] * len(self.per_chip)
         for chip_id in self.assignments:
             counts[chip_id] += 1

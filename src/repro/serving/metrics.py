@@ -18,7 +18,7 @@ from ..models.mllm import InferenceRequest
 
 
 def percentile(values: Sequence[float], q: float) -> float:
-    """The ``q``-th percentile (0..100) with linear interpolation.
+    """The ``q``-th percentile (0..100) of ``values``, linearly interpolated.
 
     Thin wrapper over ``numpy.percentile``'s default (``linear``) method
     with explicit validation, so the serving metrics share one percentile
@@ -79,6 +79,7 @@ class RequestRecord:
 
     @property
     def output_tokens(self) -> int:
+        """Tokens the request generated (its requested output length)."""
         return self.request.output_tokens
 
 
@@ -94,6 +95,7 @@ class PercentileStats:
 
     @classmethod
     def from_values(cls, values: Sequence[float]) -> "PercentileStats":
+        """Fold a non-empty sequence of ``values`` into the statistics."""
         if len(values) == 0:
             raise ValueError("values must not be empty")
         return cls(
@@ -162,7 +164,7 @@ def summarize(records: Sequence[RequestRecord]) -> ServingReport:
 
 
 def format_report(report: ServingReport, *, title: str = "Serving report") -> str:
-    """Human-readable rendering of a :class:`ServingReport`."""
+    """Human-readable rendering of ``report``, headed by ``title``."""
     lines: List[str] = [title, "-" * len(title)]
     lines.append(f"requests completed : {report.n_requests}")
     lines.append(f"makespan           : {report.makespan_s:.3f} s")

@@ -24,6 +24,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
+from ..core.batch import context_bucket_for
 from ..core.pipeline import cc_stage_latency
 from ..core.simulator import PerformanceSimulator
 from ..models.mllm import InferenceRequest, MLLMConfig
@@ -46,7 +47,7 @@ class ServingRequest:
 def build_trace(
     arrival_times: Sequence[float], requests: Sequence[InferenceRequest]
 ) -> List[ServingRequest]:
-    """Zip arrival timestamps with request shapes into a serving trace."""
+    """Zip ``arrival_times`` with request shapes (``requests``) into a trace."""
     if len(arrival_times) != len(requests):
         raise ValueError("arrival_times and requests must have equal length")
     return [
@@ -99,7 +100,32 @@ class BatchDecodeCostModel:
         """Install precomputed per-bucket cost triples (fleet warm-up)."""
         self._bucket_cost.update(bucket_costs)
 
+    def bucket_costs(self) -> Dict[int, Tuple[int, int, float]]:
+        """Snapshot of the memoized per-bucket cost triples.
+
+        The harvest side of :meth:`seed_bucket_costs`: callers replaying
+        the same chip design (e.g. the capacity planner's per-design warm
+        cache) copy one chip's triples into the next chip's model instead
+        of re-deriving them through workload lowering.
+        """
+        return dict(self._bucket_cost)
+
+    def seed_step_cache(self, step_cache: Dict[Tuple[int, ...], float]) -> None:
+        """Install memoized step latencies keyed by batch composition.
+
+        Companion of :meth:`seed_bucket_costs` for the whole-step memo;
+        seeded values must come from :meth:`step_cache` of a model with the
+        same chip design, bandwidth split and context bucket, in which case
+        they are bit-identical to what this model would compute.
+        """
+        self._step_cache.update(step_cache)
+
+    def step_cache(self) -> Dict[Tuple[int, ...], float]:
+        """Snapshot of the memoized per-composition step latencies."""
+        return dict(self._step_cache)
+
     def has_bucket_cost(self, bucket: int) -> bool:
+        """True when the bucket's cost triple is already memoized."""
         return bucket in self._bucket_cost
 
     def bucket_for(self, context: int) -> int:
@@ -107,9 +133,9 @@ class BatchDecodeCostModel:
         return self._bucket(context)
 
     def _bucket(self, context: int) -> int:
-        return ((max(context, 1) + self.context_bucket - 1) // self.context_bucket) * (
-            self.context_bucket
-        )
+        # Shared with the analytic service-time bounds: both sides MUST
+        # quantize identically or the planner's pruning floors go unsound.
+        return context_bucket_for(context, self.context_bucket)
 
     def _cost(self, bucket: int) -> Tuple[int, int, float]:
         """(shared weight bytes, per-stream bytes, per-stream compute cycles)."""
@@ -241,7 +267,12 @@ class ContinuousBatchingSimulator:
         """Install precomputed CC-stage latencies keyed by request shape."""
         self._cc_latency_cache.update(latencies)
 
+    def cc_latencies(self) -> Dict[Tuple[int, int], float]:
+        """Snapshot of the memoized CC-stage latencies (fleet warm-up)."""
+        return dict(self._cc_latency_cache)
+
     def has_cc_latency(self, shape: Tuple[int, int]) -> bool:
+        """True when the shape's CC-stage latency is already memoized."""
         return shape in self._cc_latency_cache
 
     # ------------------------------------------------------------------

@@ -1,0 +1,50 @@
+"""Property tests for the Pareto-dominance utilities."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.planner import dominates, pareto_frontier
+
+vectors = st.lists(
+    st.tuples(*[st.integers(min_value=-3, max_value=3)] * 3),
+    min_size=1,
+    max_size=24,
+)
+
+
+def test_dominates_basics():
+    assert dominates((1.0, 0.0), (0.0, 0.0))
+    assert not dominates((0.0, 0.0), (0.0, 0.0))  # equal vectors: neither
+    assert not dominates((1.0, -1.0), (0.0, 0.0))  # trade-off: neither
+    with pytest.raises(ValueError):
+        dominates((1.0,), (1.0, 2.0))
+
+
+@given(vectors)
+def test_frontier_members_are_mutually_non_dominated(items):
+    frontier = pareto_frontier(items, lambda item: item)
+    assert frontier  # a finite non-empty set always has a maximal element
+    for a in frontier:
+        assert not any(dominates(b, a) for b in items if b != a)
+
+
+@given(vectors)
+def test_every_excluded_item_is_dominated_by_a_frontier_member(items):
+    frontier = pareto_frontier(items, lambda item: item)
+    for item in items:
+        if item not in frontier:
+            assert any(dominates(kept, item) for kept in frontier)
+
+
+@given(vectors)
+def test_frontier_is_order_independent_as_a_set(items):
+    forward = pareto_frontier(items, lambda item: item)
+    backward = pareto_frontier(list(reversed(items)), lambda item: item)
+    assert set(forward) == set(backward)
+
+
+def test_exact_ties_are_all_kept():
+    items = [(1, 1), (1, 1), (0, 0)]
+    assert pareto_frontier(items, lambda item: item) == [(1, 1), (1, 1)]
