@@ -14,7 +14,14 @@ this file: scenario -> seconds (plus any JSON-friendly dict the scenario
 returned), with machine info, so the performance trajectory is tracked
 across PRs — CI uploads the file as an artifact.
 
-Run with:  PYTHONPATH=src python benchmarks/run.py [--only SUBSTRING]
+``--check`` additionally compares the fresh run against the *committed*
+``BENCH_results.json`` (read before it is overwritten) and exits non-zero
+when any scenario regressed beyond ``REGRESSION_FACTOR`` x its committed
+seconds — the CI benchmarks job runs in this mode.  Compare like with
+like: the factor absorbs machine-class jitter, not a change of machine
+class (see docs/performance.md).
+
+Run with:  PYTHONPATH=src python benchmarks/run.py [--only SUBSTRING] [--check]
 """
 
 from __future__ import annotations
@@ -30,6 +37,17 @@ from typing import Callable, Dict, List, Tuple
 
 BENCH_DIR = Path(__file__).resolve().parent
 DEFAULT_OUTPUT = BENCH_DIR / "BENCH_results.json"
+
+#: ``--check`` fails when a scenario's fresh seconds exceed this multiple
+#: of its committed seconds.  Generous on purpose: it flags order-of-
+#: magnitude regressions (a lost fast path), not benchmarking noise.
+REGRESSION_FACTOR = 2.0
+
+#: Scenarios whose *committed* seconds sit below this floor are exempt
+#: from ``--check``: at sub-millisecond scale, 2x is scheduler jitter and
+#: timer granularity, not a regression (a real lost fast path pushes the
+#: scenario far past the floor, where the factor applies again).
+MIN_CHECK_SECONDS = 0.05
 
 
 def discover_scenarios() -> List[Tuple[str, str, Callable[[], object]]]:
@@ -112,6 +130,36 @@ def run_benchmarks(
     return report
 
 
+def check_regressions(
+    fresh: Dict[str, object],
+    baseline: Dict[str, object],
+    *,
+    factor: float = REGRESSION_FACTOR,
+) -> List[str]:
+    """Human-readable failures where ``fresh`` regressed past ``baseline``.
+
+    Scenarios are compared by name; a scenario only in ``fresh`` (newly
+    added) or only in ``baseline`` (removed) is not a regression, and
+    scenarios whose committed seconds sit below ``MIN_CHECK_SECONDS`` are
+    exempt (timer noise dominates there).  A failure means ``fresh
+    seconds > committed seconds * factor``.
+    """
+    committed = baseline.get("scenarios", {})
+    failures: List[str] = []
+    for name, record in sorted(fresh.get("scenarios", {}).items()):
+        base = committed.get(name)
+        if base is None or base["seconds"] < MIN_CHECK_SECONDS:
+            continue
+        seconds = record["seconds"]
+        budget = base["seconds"] * factor
+        if seconds > budget:
+            failures.append(
+                f"{name}: {seconds:.3f} s vs committed {base['seconds']:.3f} s "
+                f"(> {factor:.1f}x budget {budget:.3f} s)"
+            )
+    return failures
+
+
 def main(argv: List[str] = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -123,8 +171,31 @@ def main(argv: List[str] = None) -> None:
     parser.add_argument(
         "--output", type=Path, default=DEFAULT_OUTPUT, help="result file path"
     )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail (exit 1) when any scenario regresses beyond "
+        f"{REGRESSION_FACTOR:.0f}x its committed seconds",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_OUTPUT,
+        help="committed results file --check compares against",
+    )
     args = parser.parse_args(argv)
-    run_benchmarks(only=args.only, repeats=args.repeats, output=args.output)
+    baseline: Dict[str, object] = {}
+    if args.check:
+        # Read before run_benchmarks possibly overwrites the same file.
+        if not args.baseline.exists():
+            raise SystemExit(f"--check baseline not found: {args.baseline}")
+        baseline = json.loads(args.baseline.read_text())
+    report = run_benchmarks(only=args.only, repeats=args.repeats, output=args.output)
+    if args.check:
+        failures = check_regressions(report, baseline)
+        if failures:
+            print("\nbenchmark regressions beyond the committed budget:")
+            for failure in failures:
+                print(f"  {failure}")
+            raise SystemExit(1)
+        print(f"\n--check passed: no scenario beyond {REGRESSION_FACTOR:.0f}x committed")
 
 
 if __name__ == "__main__":

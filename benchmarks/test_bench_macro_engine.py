@@ -1,0 +1,119 @@
+"""Benchmark the macro-stepping engine against the per-step oracle.
+
+The acceptance criterion of the macro engine (`repro.serving.engine`): on
+a 100,000-request mixed trace — steady interactive Poisson traffic with a
+long-tailed output-length mix — compressing constant-composition decode
+runs must beat the one-Python-iteration-per-step loop by >= 10x
+wall-clock while producing ``==``-identical ``RequestRecord``s and
+identical peak-batch/decode-step counters.
+
+Both engines run with identically seeded cost caches (harvested from an
+untimed warm-up run): the caches are engine-independent and only move
+work, so the measured gap is the decode-loop compression, not a caching
+artefact.
+
+Feeds ``BENCH_results.json`` (via ``benchmarks/run.py``) with the
+``serving_macro_100k`` scenario, which records the speedup ratio.
+"""
+
+import time
+
+from repro.models.mllm import get_mllm
+from repro.serving import (
+    ContinuousBatchingSimulator,
+    PoissonArrivals,
+    RequestSampler,
+    build_trace,
+)
+
+N_REQUESTS = 100_000
+N_TARGET_SPEEDUP = 10
+RATE_RPS = 0.5
+MAX_BATCH_SIZE = 16
+
+
+def bench_trace():
+    """The 100k-request mixed trace: Poisson arrivals, long-tail outputs."""
+    sampler = RequestSampler(
+        seed=42,
+        images=1,
+        prompt_token_range=(16, 64),
+        output_token_choices=(32, 64, 128, 256, 512),
+        output_token_weights=(0.25, 0.3, 0.25, 0.15, 0.05),
+    )
+    return build_trace(
+        PoissonArrivals(RATE_RPS, seed=42).generate(N_REQUESTS),
+        sampler.sample(N_REQUESTS),
+    )
+
+
+def _measure():
+    """(macro result, step result, macro seconds, step seconds)."""
+    model = get_mllm("sphinx-tiny")
+    trace = bench_trace()
+
+    # Untimed warm-up fills the engine-independent cost memos once; both
+    # timed chips then start from identical caches.
+    warm = ContinuousBatchingSimulator(
+        model=model, max_batch_size=MAX_BATCH_SIZE, engine="macro"
+    )
+    warm.run(trace)
+
+    def seeded(engine):
+        chip = ContinuousBatchingSimulator(
+            model=model, max_batch_size=MAX_BATCH_SIZE, engine=engine
+        )
+        chip.seed_cc_latencies(warm.cc_latencies())
+        chip.cost_model.seed_bucket_costs(warm.cost_model.bucket_costs())
+        chip.cost_model.seed_step_cache(warm.cost_model.step_cache())
+        return chip
+
+    macro_chip = seeded("macro")
+    start = time.perf_counter()
+    macro = macro_chip.run(trace)
+    macro_seconds = time.perf_counter() - start
+
+    step_chip = seeded("step")
+    start = time.perf_counter()
+    step = step_chip.run(trace)
+    step_seconds = time.perf_counter() - start
+    return macro, step, macro_seconds, step_seconds
+
+
+def run_macro_100k() -> dict:
+    """Time both engines on the 100k trace and report the speedup ratio."""
+    macro, step, macro_seconds, step_seconds = _measure()
+    return {
+        "requests": N_REQUESTS,
+        "decode_steps": macro.decode_steps,
+        "identical_records": macro.records == step.records,
+        "macro_seconds": macro_seconds,
+        "step_seconds": step_seconds,
+        "speedup": step_seconds / macro_seconds,
+    }
+
+
+def test_bench_macro_engine_10x_over_per_step_loop():
+    macro, step, macro_seconds, step_seconds = _measure()
+
+    # Identity first: the speedup is worthless if a single record moved.
+    assert macro.records == step.records
+    assert macro.peak_batch_size == step.peak_batch_size
+    assert macro.decode_steps == step.decode_steps
+    assert len(macro.records) == N_REQUESTS
+
+    speedup = step_seconds / macro_seconds
+    print(
+        f"\nmacro engine: {macro_seconds:.2f} s | per-step loop: "
+        f"{step_seconds:.2f} s | speedup {speedup:.1f}x over "
+        f"{macro.decode_steps} decode steps"
+    )
+    assert speedup >= N_TARGET_SPEEDUP, (
+        f"macro-engine speedup {speedup:.1f}x below the "
+        f"{N_TARGET_SPEEDUP}x target"
+    )
+
+
+SCENARIOS = {
+    "serving_macro_100k": run_macro_100k,
+}

@@ -1,9 +1,10 @@
-"""Traffic-scale serving: a bursty 1000-request trace on EdgeMM.
+"""Traffic-scale serving: a bursty 100,000-request trace on EdgeMM.
 
-Simulates one EdgeMM chip serving a bursty open-loop trace of 1000 SPHINX-
-Tiny requests with continuous batching, then the same trace on a 4-chip
-fleet behind a least-loaded dispatcher, and prints p50/p95/p99 latency,
-TTFT and aggregate throughput for both.
+Simulates one EdgeMM chip serving a bursty open-loop trace of 100k mixed
+SPHINX-Tiny requests with continuous batching on the macro-stepping
+engine (`repro.serving.engine`), printing wall-clock time alongside the
+p50/p95/p99 latency and TTFT percentiles, then replays a 4-chip
+least-loaded fleet on the same trace.
 
 Run with:  PYTHONPATH=src python examples/serving_traffic.py
 """
@@ -20,7 +21,7 @@ from repro.serving import (
     format_report,
 )
 
-N_REQUESTS = 1000
+N_REQUESTS = 100_000
 
 
 def main() -> None:
@@ -39,15 +40,18 @@ def main() -> None:
         f"({result.decode_steps} decode steps)"
     )
     print(
-        f"simulation speed   : {N_REQUESTS / wall:.0f} requests simulated "
-        f"per wall-clock second"
+        f"macro-engine wall  : {wall:.2f} s -> {N_REQUESTS / wall:,.0f} requests "
+        f"({result.decode_steps / wall:,.0f} decode steps) simulated per second"
     )
 
     print()
     fleet = FleetSimulator(model, n_chips=4, policy="least_loaded", max_batch_size=16)
+    wall_start = time.perf_counter()
     fleet_result = fleet.run(trace)
+    fleet_wall = time.perf_counter() - wall_start
     print(format_report(fleet_result.report, title="4-chip fleet (least-loaded)"))
     print(f"requests per chip  : {fleet_result.requests_per_chip}")
+    print(f"fleet wall         : {fleet_wall:.2f} s")
 
 
 if __name__ == "__main__":

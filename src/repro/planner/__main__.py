@@ -24,6 +24,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from ..scenarios.registry import get_scenario
+from ..serving.queue import ENGINES
 from .plan import GOLDEN_PLAN_SCENARIOS, plan_scenario, resolve_slo
 from .report import format_plan_report
 from .space import PlannerConfig
@@ -71,6 +72,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="simulate surviving candidates across N processes",
     )
     plan.add_argument(
+        "--engine", choices=ENGINES, default="macro",
+        help="decode-loop implementation survivors replay through "
+        "(reports are engine-independent; 'step' is the slow oracle)",
+    )
+    plan.add_argument(
         "--json", action="store_true", help="emit the canonical JSON report"
     )
 
@@ -111,6 +117,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             ),
             prune=not args.no_prune,
             processes=args.jobs,
+            engine=args.engine,
         )
         if args.json:
             sys.stdout.write(report.to_json())

@@ -89,6 +89,7 @@ def candidate_fleet(
     ttft_target: Optional[float],
     *,
     simulator: Optional[PerformanceSimulator] = None,
+    engine: str = "macro",
 ):
     """Instantiate the serving fleet a (``design``, ``option``) candidate describes.
 
@@ -99,7 +100,9 @@ def candidate_fleet(
     block, always with queue admission (plans serve the whole trace), and
     require a ``ttft_target`` for the controller's set point.  ``simulator``
     optionally shares one (memoized, design-matched) performance simulator
-    across all chips instead of building one per chip.
+    across all chips instead of building one per chip; ``engine`` selects
+    the chips' decode-loop implementation (macro by default — survivors
+    replay through the macro-stepping engine, records unchanged).
     """
     system = design.system()
 
@@ -113,6 +116,7 @@ def candidate_fleet(
         max_batch_size=spec.fleet.max_batch_size,
         cc_bandwidth_fraction=spec.fleet.cc_bandwidth_fraction,
         context_bucket=spec.fleet.context_bucket,
+        engine=engine,
     )
     if not option.autoscaled:
         return FleetSimulator(
@@ -149,6 +153,7 @@ def evaluate_candidate(
     targets: Mapping[str, float],
     *,
     warm: Optional[MutableMapping[str, DesignWarmCache]] = None,
+    engine: str = "macro",
 ) -> CandidateOutcome:
     """Exactly simulate one (``design``, ``option``) candidate.
 
@@ -158,7 +163,10 @@ def evaluate_candidate(
     ``warm`` optionally carries per-design memoizations (keyed by design
     name) across candidates of one planning run; warmed evaluations are
     bit-identical to cold ones because every cached value is a
-    deterministic function of the design.
+    deterministic function of the design.  The harvested CC-latency,
+    bucket-cost and composition/run-length (step) memos feed both decode
+    engines, so the default macro ``engine`` replays warm exactly like the
+    per-step oracle would.
     """
     model = get_mllm(spec.fleet.model)
     cache = None
@@ -174,6 +182,7 @@ def evaluate_candidate(
         option,
         targets.get("ttft_p99_s"),
         simulator=None if cache is None else cache.simulator,
+        engine=engine,
     )
     if cache is not None:
         cache.seed_fleet(fleet)
@@ -205,13 +214,15 @@ def simulate_candidate(
     design: Dict[str, Any],
     option: Dict[str, Any],
     targets: Dict[str, float],
+    engine: str = "macro",
 ) -> CandidateOutcome:
     """Picklable worker: rebuild the candidate from data and simulate it.
 
     ``spec_json`` is the scenario spec's JSON form, ``design`` and
     ``option`` are :meth:`~repro.planner.space.ChipDesign.to_dict` /
-    :meth:`~repro.planner.space.FleetOption.to_dict` payloads and
-    ``targets`` the resolved SLO objectives.  The trace recompiles inside
+    :meth:`~repro.planner.space.FleetOption.to_dict` payloads, ``targets``
+    the resolved SLO objectives and ``engine`` the chips' decode-loop
+    implementation.  The trace recompiles inside
     the worker — scenario compilation is spec-hash-seeded, so every process
     derives the bit-identical trace and the parallel path returns exactly
     what the serial path would.
@@ -225,4 +236,5 @@ def simulate_candidate(
         FleetOption.from_dict(option),
         targets,
         warm={},
+        engine=engine,
     )

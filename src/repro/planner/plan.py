@@ -92,6 +92,7 @@ def plan_scenario(
     slo: Optional[SLOSpec] = None,
     prune: bool = True,
     processes: Optional[int] = None,
+    engine: str = "macro",
 ) -> PlanReport:
     """Search ``config``'s candidate space for the cheapest SLO-meeting fleet.
 
@@ -101,7 +102,9 @@ def plan_scenario(
     benchmark and the soundness suite compare against); ``processes`` fans
     candidate simulations out through the multiprocessing sweep runner —
     results are identical to the serial path because every worker derives
-    the bit-identical trace from the spec hash.
+    the bit-identical trace from the spec hash; ``engine`` selects the
+    decode-loop implementation survivors replay through (reports are
+    engine-independent — the macro default just gets there faster).
     """
     config = config or PlannerConfig()
     resolved = slo if slo is not None else spec.slo
@@ -140,6 +143,7 @@ def plan_scenario(
                         "design": design.to_dict(),
                         "option": option.to_dict(),
                         "targets": targets,
+                        "engine": engine,
                     }
                     for design, option in candidates
                 ],
@@ -152,7 +156,8 @@ def plan_scenario(
         warm: dict = {}
         outcomes = [
             evaluate_candidate(
-                spec, compiled.trace, design, option, targets, warm=warm
+                spec, compiled.trace, design, option, targets, warm=warm,
+                engine=engine,
             )
             for design, option in candidates
         ]

@@ -19,6 +19,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from ..serving.queue import ENGINES
 from .registry import available_scenarios, get_scenario
 from .report import format_scenario_report
 from .runner import run_scenario
@@ -39,6 +40,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--json", action="store_true", help="emit the canonical JSON report"
     )
+    run.add_argument(
+        "--engine", choices=ENGINES, default="macro",
+        help="decode-loop implementation (reports are engine-independent; "
+        "'step' is the slow per-step oracle)",
+    )
 
     golden = commands.add_parser(
         "write-golden", help="(re)write golden reports for the regression suite"
@@ -54,8 +60,8 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run(name: str, as_json: bool) -> None:
-    report = run_scenario(get_scenario(name))
+def _run(name: str, as_json: bool, engine: str = "macro") -> None:
+    report = run_scenario(get_scenario(name), engine=engine)
     if as_json:
         sys.stdout.write(report.to_json())
     else:
@@ -80,7 +86,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         for index, name in enumerate(names):
             if index and not args.json:
                 print()
-            _run(name, args.json)
+            _run(name, args.json, args.engine)
         return 0
 
     # write-golden

@@ -56,8 +56,15 @@ def autoscaler_config(spec: ScenarioSpec) -> Optional[AutoscalerConfig]:
 
 def build_fleet(
     spec: ScenarioSpec,
+    *,
+    engine: str = "macro",
 ) -> Union[FleetSimulator, AutoscalingFleetSimulator]:
-    """Instantiate the fleet ``spec``'s :class:`FleetSpec` describes."""
+    """Instantiate the fleet ``spec``'s :class:`FleetSpec` describes.
+
+    ``engine`` selects the chips' decode-loop implementation (see
+    :data:`repro.serving.queue.ENGINES`); reports are engine-independent,
+    the macro default just simulates faster.
+    """
     model = get_mllm(spec.fleet.model)
     controller = autoscaler_config(spec)
     if controller is not None:
@@ -67,6 +74,7 @@ def build_fleet(
             max_batch_size=spec.fleet.max_batch_size,
             cc_bandwidth_fraction=spec.fleet.cc_bandwidth_fraction,
             context_bucket=spec.fleet.context_bucket,
+            engine=engine,
         )
     return FleetSimulator(
         model,
@@ -75,6 +83,7 @@ def build_fleet(
         max_batch_size=spec.fleet.max_batch_size,
         cc_bandwidth_fraction=spec.fleet.cc_bandwidth_fraction,
         context_bucket=spec.fleet.context_bucket,
+        engine=engine,
     )
 
 
@@ -103,10 +112,14 @@ def price_offered_load(
     )
 
 
-def run_scenario(spec: ScenarioSpec) -> ScenarioReport:
-    """Compile and run one scenario ``spec`` end to end."""
+def run_scenario(spec: ScenarioSpec, *, engine: str = "macro") -> ScenarioReport:
+    """Compile and run one scenario ``spec`` end to end.
+
+    ``engine`` forwards to :func:`build_fleet`; the report is identical
+    for every engine (regression-tested through the golden suite).
+    """
     compiled = compile_scenario(spec)
-    fleet = build_fleet(spec)
+    fleet = build_fleet(spec, engine=engine)
     result = fleet.run(list(compiled.trace))
     report = result.report
     autoscale = (

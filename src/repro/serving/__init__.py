@@ -26,8 +26,12 @@ from .metrics import (
     format_report,
     percentile,
     summarize,
+    summarize_scalar,
 )
+from .engine import run_macro
+from .fleet import simulate_chip_shard
 from .queue import (
+    ENGINES,
     BatchDecodeCostModel,
     ContinuousBatchingSimulator,
     ServingRequest,
@@ -54,9 +58,13 @@ __all__ = [
     "format_report",
     "percentile",
     "summarize",
+    "summarize_scalar",
     "BatchDecodeCostModel",
     "ContinuousBatchingSimulator",
+    "ENGINES",
     "ServingRequest",
     "ServingResult",
     "build_trace",
+    "run_macro",
+    "simulate_chip_shard",
 ]

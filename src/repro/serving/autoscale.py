@@ -192,6 +192,8 @@ class AutoscalingFleetSimulator(FleetSimulator):
         cc_bandwidth_fraction: float = 0.5,
         context_bucket: int = 32,
         precompute: bool = True,
+        engine: str = "macro",
+        processes: Optional[int] = None,
     ) -> None:
         super().__init__(
             model,
@@ -202,6 +204,8 @@ class AutoscalingFleetSimulator(FleetSimulator):
             cc_bandwidth_fraction=cc_bandwidth_fraction,
             context_bucket=context_bucket,
             precompute=precompute,
+            engine=engine,
+            processes=processes,
         )
         self.autoscaler = autoscaler
 
@@ -332,16 +336,9 @@ class AutoscalingFleetSimulator(FleetSimulator):
             )
             shards[chip_id].append(request)
 
-        per_chip: List[ServingResult] = []
+        per_chip = self._run_shards(shards)
         records: List[RequestRecord] = []
-        for chip, shard in zip(self.chips, shards):
-            if not shard:
-                per_chip.append(
-                    ServingResult(records=(), peak_batch_size=0, decode_steps=0)
-                )
-                continue
-            result = chip.run(shard)
-            per_chip.append(result)
+        for result in per_chip:
             for record in result.records:
                 source = trace[record.request_id]
                 records.append(

@@ -1,0 +1,315 @@
+"""Macro-stepping decode engine: advance constant-composition runs at once.
+
+The per-step event loop of :meth:`~repro.serving.queue.
+ContinuousBatchingSimulator.run_step` pays one Python iteration — a batch
+scan, a composition hash, a per-stream update loop — for *every* decode
+step.  This module removes that scalar hot path by exploiting two
+structural invariants of the continuous-batching discipline:
+
+1. **The CC-stage is an independent serial pipeline.**  Vision encode +
+   projection + prefill serve requests one at a time, FIFO, and decode
+   never back-pressures it, so every request's prefill window is the
+   simple recurrence ``start = max(previous end, arrival)``, ``end =
+   start + latency`` — computable for the whole trace up front, before a
+   single decode step runs.
+
+2. **Between external events the batch's bucket composition is constant.**
+   The decode-step latency is a pure function of the batch's
+   context-bucket composition.  That composition only changes when a
+   stream joins (its prefill finished and a slot is free), a stream
+   leaves (it generated its last token), or a stream's growing context
+   crosses a bucket boundary.  Between two such events every step has the
+   *same* latency ``dt``, so ``k`` consecutive steps collapse into one
+   macro step.
+
+Bit-identity with the per-step loop is a hard guarantee, not an
+approximation.  The per-step loop produces boundary timestamps by
+left-fold repeated addition (``t_{i} = t_{i-1} + dt``), so the macro
+engine reconstructs them the same way: short runs fold in Python, long
+runs through ``np.add.accumulate`` — NumPy's accumulate is defined
+element-by-element (``out[i] = out[i-1] + a[i]``), the exact left fold,
+unlike ``np.sum``'s pairwise reduction.  Step latencies come from the
+same :class:`~repro.serving.queue.BatchDecodeCostModel` memo
+(:meth:`~repro.serving.queue.BatchDecodeCostModel.
+step_latency_for_buckets`), keyed by the same order-preserving bucket
+tuple, so every ``dt`` is the identical cached float.  The hypothesis
+suite in ``tests/serving/test_macro_engine.py`` asserts ``==`` equality
+of every record field, plus peak-batch and decode-step counters, across
+randomized traces.
+
+The one modelling assumption beyond the per-step loop: CC-stage latencies
+are strictly positive (true for every real workload — prefill always
+moves bytes), so two prefills never complete at the same instant.
+
+Per-stream bookkeeping is kept in *absolute step counts* so a macro step
+is O(changed streams), not O(batch): a stream admitted at step count
+``N0`` with ``T`` output tokens finishes at count ``N0 + T``; its bucket
+next changes at count ``N0 + (bucket - context + 1)``.  Advancing ``k``
+steps just adds ``k`` to the global counter.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from itertools import accumulate, repeat
+from operator import attrgetter
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+import numpy as np
+
+from .metrics import RequestRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .queue import ContinuousBatchingSimulator, ServingRequest, ServingResult
+
+#: Runs at least this long reconstruct their boundary timestamps through
+#: ``np.add.accumulate`` instead of a Python fold; below it the array-call
+#: overhead exceeds the fold itself.  Either path is the same left fold.
+NUMPY_FOLD_MIN = 48
+
+#: Runs at least this long (but below :data:`NUMPY_FOLD_MIN`) fold through
+#: ``itertools.accumulate`` — the same element-by-element left fold, run
+#: in C; shorter runs stay in a plain Python loop, whose per-call setup
+#: is cheaper.  All three paths produce identical floats.
+ACCUMULATE_FOLD_MIN = 12
+
+
+def prefill_windows(
+    chip: "ContinuousBatchingSimulator",
+    pending: Sequence["ServingRequest"],
+) -> tuple:
+    """Prefill (start, end) arrays for ``pending`` on ``chip``, in order.
+
+    ``pending`` must already be in dispatch order (sorted by arrival time,
+    ties by request id).  Because the CC-stage is a serial FIFO pipeline
+    that decode never back-pressures, each window is ``start =
+    max(previous end, arrival)``, ``end = start + cc_latency`` — the exact
+    floats the per-step event loop produces, since ``max`` selects an
+    existing float and the addition is the single rounding the loop
+    performs.  Returns two lists of floats.
+    """
+    starts: List[float] = []
+    ends: List[float] = []
+    cc_end = 0.0
+    cc_latency_s = chip.cc_latency_s
+    # Inline probe of the chip's shape-keyed latency memo; misses fall
+    # through to cc_latency_s, which fills the same dict.
+    cache_get = chip._cc_latency_cache.get
+    for item in pending:
+        request = item.request
+        latency = cache_get((request.images, request.prompt_text_tokens))
+        if latency is None:
+            latency = cc_latency_s(request)
+        arrival = item.arrival_s
+        start = arrival if arrival > cc_end else cc_end
+        cc_end = start + latency
+        starts.append(start)
+        ends.append(cc_end)
+    return starts, ends
+
+
+def run_macro(
+    chip: "ContinuousBatchingSimulator", trace: Sequence["ServingRequest"]
+) -> "ServingResult":
+    """Simulate ``trace`` on ``chip`` by macro-stepping the decode loop.
+
+    Returns the same :class:`~repro.serving.queue.ServingResult` —
+    records, peak batch size and decode-step count — as
+    :meth:`~repro.serving.queue.ContinuousBatchingSimulator.run_step`,
+    bit for bit, in one macro step per composition run instead of one
+    Python iteration per decode step.
+    """
+    from .queue import ServingResult
+
+    if not trace:
+        raise ValueError("trace must not be empty")
+    pending = sorted(trace, key=lambda r: (r.arrival_s, r.request_id))
+    n = len(pending)
+    model = chip.model
+    cost_model = chip.cost_model
+    step_latency_for_buckets = cost_model.step_latency_for_buckets
+    # Inlined context_bucket_for: quantization runs a few times per
+    # request, and the three-deep call chain through the cost model costs
+    # more than the arithmetic.  ``test_macro_engine`` pins the inlined
+    # form against the canonical helper so the definitions cannot drift.
+    width = cost_model.context_bucket
+    max_batch = chip.max_batch_size
+    chip_id = chip.chip_id
+
+    # Stage 1: the whole CC pipeline, before any decode step.
+    prefill_start, prefill_end = prefill_windows(chip, pending)
+    # Prompt-token counts are a pure function of the request's shape, and
+    # large traces repeat a small set of shapes — memoize per shape.
+    prompt_tokens = model.prompt_tokens
+    token_memo: dict = {}
+    contexts0: List[int] = []
+    for item in pending:
+        request = item.request
+        shape = (request.images, request.prompt_text_tokens)
+        tokens = token_memo.get(shape)
+        if tokens is None:
+            tokens = prompt_tokens(request)
+            token_memo[shape] = tokens
+        contexts0.append(tokens)
+
+    # Stage 2: macro-stepped decode.  Streams enter the ready queue in CC
+    # completion order == ``pending`` order, so a single cursor replaces
+    # the queue.  Active-stream state lives in parallel lists, in
+    # admission order (the order the composition memo key preserves).
+    act: List[int] = []  # index into ``pending``
+    ctx_offset: List[int] = []  # context - global step count, constant per run
+    buckets: List[int] = []  # current bucket per stream
+    cross_at: List[int] = []  # absolute step count of the next bucket change
+    finish_at: List[int] = []  # absolute step count of the last token
+    first_token: List[Optional[float]] = []
+
+    # The composition -> step-latency memo is probed inline (the engine
+    # co-owns it with the cost model through seed/snapshot hooks); misses
+    # fall through to the cost model, which fills the same dict.
+    step_cache_get = cost_model._step_cache.get
+
+    records: List[RequestRecord] = []
+    records_append = records.append
+    steps = 0  # global decode-step count (the absolute clock)
+    peak = 0
+    now = 0.0
+    cursor = 0  # next stream not yet admitted
+
+    while act or cursor < n:
+        if not act:
+            # Decode is idle; it restarts at the next prefill completion.
+            restart = prefill_end[cursor]
+            if restart > now:
+                now = restart
+        # Admission at the boundary ``now``: FIFO while a slot is free.
+        fresh = 0
+        while (
+            cursor < n
+            and len(act) < max_batch
+            and prefill_end[cursor] <= now
+        ):
+            context = contexts0[cursor]
+            bucket = ((max(context, 1) + width - 1) // width) * width
+            act.append(cursor)
+            ctx_offset.append(context - steps)
+            buckets.append(bucket)
+            cross_at.append(steps + bucket - context + 1)
+            finish_at.append(steps + pending[cursor].request.output_tokens)
+            first_token.append(None)
+            cursor += 1
+            fresh += 1
+        batch = len(act)
+        if fresh and batch > peak:
+            peak = batch
+        # Hoisted out of the chain below: neither the batch, the finish
+        # schedule nor the admission deadline can change across a
+        # crossing-only boundary.
+        capacity = batch < max_batch and cursor < n
+        admit_t = prefill_end[cursor] if capacity else 0.0
+        min_finish = min(finish_at)
+
+        # A *chain* of composition runs: bucket crossings change the step
+        # latency but provably admit nobody (the cutoff below stops the
+        # chain at any boundary that could), so the chain only ends at a
+        # finish or at an admission boundary.
+        while True:
+            key = tuple(buckets)
+            dt = step_cache_get(key)
+            if dt is None:
+                dt = step_latency_for_buckets(key)
+            # Longest run with this composition: up to the earliest finish
+            # or bucket crossing (both strictly ahead of the count) ...
+            min_cross = min(cross_at)
+            k = (min_cross if min_cross < min_finish else min_finish) - steps
+            if capacity and (now + dt * k) * (1.0 + 1e-8) >= admit_t:
+                # ... but with a free slot and a prefill in flight, the
+                # run must stop at the first boundary that can admit it.
+                # The boundaries are the left-fold sequence; walk it.  The
+                # screen brackets the folded endpoint within relative
+                # 1e-8, orders of magnitude above the fold's worst-case
+                # accumulation error, so it can only ever *keep* a walk,
+                # never skip a needed one (the walk itself stays exact).
+                first_boundary = now + dt
+                boundary = first_boundary
+                run = 1
+                while run < k and boundary < admit_t:
+                    boundary += dt
+                    run += 1
+                k = run
+            elif k >= NUMPY_FOLD_MIN:
+                # Long uninterrupted run: the same left fold, vectorised.
+                fold = np.full(k + 1, dt)
+                fold[0] = now
+                folded = np.add.accumulate(fold)
+                first_boundary = float(folded[1])
+                boundary = float(folded[k])
+            elif k >= ACCUMULATE_FOLD_MIN:
+                # Medium run: the left fold consumed in C, keeping the
+                # last element only (a maxlen-1 deque drains it in C).
+                first_boundary = now + dt
+                boundary = deque(
+                    accumulate(repeat(dt, k - 1), initial=first_boundary),
+                    maxlen=1,
+                )[0]
+            else:
+                first_boundary = now + dt
+                boundary = first_boundary
+                for _ in range(k - 1):
+                    boundary += dt
+            steps += k
+            now = boundary
+
+            # Streams admitted at the chain's start see their first token
+            # at the end of its first step.  They sit at the tail of
+            # ``act`` (everyone admitted earlier decoded a step already).
+            if fresh:
+                for position in range(batch - fresh, batch):
+                    first_token[position] = first_boundary
+                fresh = 0
+
+            # Containment probes and ``index`` run at C speed, so the
+            # common events — one stream finishing, one stream crossing —
+            # cost two list scans, not a Python pass over the batch.
+            finished = min_finish == steps
+            if finished:
+                # At least one stream emitted its last token here.
+                while steps in finish_at:
+                    position = finish_at.index(steps)
+                    source = pending[act[position]]
+                    records_append(
+                        RequestRecord(
+                            request_id=source.request_id,
+                            request=source.request,
+                            arrival_s=source.arrival_s,
+                            prefill_start_s=prefill_start[act[position]],
+                            prefill_end_s=prefill_end[act[position]],
+                            first_token_s=first_token[position],
+                            finish_s=boundary,
+                            chip_id=chip_id,
+                        )
+                    )
+                    del act[position]
+                    del ctx_offset[position]
+                    del buckets[position]
+                    del cross_at[position]
+                    del finish_at[position]
+                    del first_token[position]
+            if min_cross == steps:
+                # A crosser may also have been a finisher, removed above.
+                while steps in cross_at:
+                    position = cross_at.index(steps)
+                    context = ctx_offset[position] + steps
+                    bucket = ((max(context, 1) + width - 1) // width) * width
+                    buckets[position] = bucket
+                    cross_at[position] = steps + bucket - context + 1
+            if finished:
+                break  # a slot may have opened: re-run admission
+            if capacity and boundary >= admit_t:
+                break  # the waiting prefill is admissible at ``boundary``
+
+    records.sort(key=attrgetter("request_id"))
+    return ServingResult(
+        records=tuple(records),
+        peak_batch_size=peak,
+        decode_steps=steps,
+    )

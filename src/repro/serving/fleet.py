@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.batch import BatchCostEngine, DesignGrid, OpTable, ordered_sum
+from ..core.config import SystemConfig
 from ..core.pipeline import CC_STAGE_PHASES
 from ..core.simulator import PerformanceSimulator
 from ..models.mllm import InferenceRequest, MLLMConfig
@@ -31,6 +32,45 @@ from .metrics import RequestRecord, ServingReport, summarize
 from .queue import ContinuousBatchingSimulator, ServingRequest, ServingResult
 
 POLICIES: Tuple[str, ...] = ("round_robin", "least_loaded")
+
+
+def simulate_chip_shard(
+    *,
+    system: SystemConfig,
+    model: MLLMConfig,
+    chip_id: int,
+    max_batch_size: int,
+    cc_bandwidth_fraction: float,
+    context_bucket: int,
+    engine: str,
+    shard: Sequence[ServingRequest],
+    cc_latencies: Dict[Tuple[int, int], float],
+    bucket_costs: Dict[int, Tuple[int, int, float]],
+    step_cache: Dict[Tuple[int, ...], float],
+) -> ServingResult:
+    """Picklable worker: rebuild one fleet chip and simulate its shard.
+
+    ``system`` and ``model`` recreate the chip's performance simulator and
+    workload; ``chip_id``, ``max_batch_size``, ``cc_bandwidth_fraction``,
+    ``context_bucket`` and ``engine`` restore the serving configuration;
+    ``shard`` is the chip's dispatched slice of the trace; ``cc_latencies``,
+    ``bucket_costs`` and ``step_cache`` seed the rebuilt chip's cost memos
+    (harvested from the dispatching fleet — they only change speed, never
+    values, so the worker's result is bit-identical to an in-process run).
+    """
+    chip = ContinuousBatchingSimulator(
+        PerformanceSimulator(system),
+        model,
+        max_batch_size=max_batch_size,
+        cc_bandwidth_fraction=cc_bandwidth_fraction,
+        context_bucket=context_bucket,
+        chip_id=chip_id,
+        engine=engine,
+    )
+    chip.seed_cc_latencies(cc_latencies)
+    chip.cost_model.seed_bucket_costs(bucket_costs)
+    chip.cost_model.seed_step_cache(step_cache)
+    return chip.run(list(shard))
 
 
 @dataclass(frozen=True)
@@ -56,7 +96,13 @@ class FleetResult:
 
 
 class FleetSimulator:
-    """Dispatches a trace across a fleet of identical EdgeMM chips."""
+    """Dispatches a trace across a fleet of identical EdgeMM chips.
+
+    ``engine`` selects every chip's decode-loop implementation (see
+    :data:`repro.serving.queue.ENGINES`); ``processes`` fans independent
+    chip simulations out across worker processes — chips never interact
+    once dispatched, so the fan-out is trace-identical to the serial path.
+    """
 
     def __init__(
         self,
@@ -69,16 +115,23 @@ class FleetSimulator:
         cc_bandwidth_fraction: float = 0.5,
         context_bucket: int = 32,
         precompute: bool = True,
+        engine: str = "macro",
+        processes: Optional[int] = None,
     ) -> None:
         if n_chips < 1:
             raise ValueError("n_chips must be >= 1")
         if policy not in POLICIES:
             raise ValueError(f"policy must be one of {POLICIES}, got {policy!r}")
+        if processes is not None and processes < 1:
+            raise ValueError("processes must be >= 1")
         self.model = model
         self.n_chips = n_chips
         self.policy = policy
         self.precompute = precompute
         self.cc_bandwidth_fraction = cc_bandwidth_fraction
+        self.engine = engine
+        self.processes = processes
+        self._estimate_cache: Dict[Tuple[int, int, int, int], float] = {}
         factory = simulator_factory or PerformanceSimulator
         self.chips: List[ContinuousBatchingSimulator] = [
             ContinuousBatchingSimulator(
@@ -88,6 +141,7 @@ class FleetSimulator:
                 cc_bandwidth_fraction=cc_bandwidth_fraction,
                 context_bucket=context_bucket,
                 chip_id=chip_id,
+                engine=engine,
             )
             for chip_id in range(n_chips)
         ]
@@ -176,11 +230,30 @@ class FleetSimulator:
     # ------------------------------------------------------------------
     def _estimate_cost_s(self, chip: ContinuousBatchingSimulator,
                          request: InferenceRequest) -> float:
-        """Dispatcher-side batch-1 service-time estimate of one request."""
+        """Dispatcher-side batch-1 service-time estimate of one request.
+
+        Memoized per (chip, request shape): least-loaded dispatch probes a
+        chip's estimate once per request, and a large trace repeats a small
+        set of shapes, so without the memo every probe would redundantly
+        re-query the cost model.  The cached float is exactly the one a
+        fresh computation returns (a pure function of the chip's own
+        memoized latencies), so assignments are trace-identical.
+        """
+        key = (
+            chip.chip_id,
+            request.images,
+            request.prompt_text_tokens,
+            request.output_tokens,
+        )
+        cached = self._estimate_cache.get(key)
+        if cached is not None:
+            return cached
         prefill = chip.cc_latency_s(request)
         context = self.model.prompt_tokens(request)
         per_token = chip.cost_model.step_latency_s([context])
-        return prefill + per_token * request.output_tokens
+        cost = prefill + per_token * request.output_tokens
+        self._estimate_cache[key] = cost
+        return cost
 
     def assign(self, trace: Sequence[ServingRequest]) -> List[int]:
         """Chip index for every request of the trace, in trace order.
@@ -220,6 +293,72 @@ class FleetSimulator:
     # ------------------------------------------------------------------
     # Simulation
     # ------------------------------------------------------------------
+    def _parallelizable(self, busy: Sequence[ContinuousBatchingSimulator]) -> bool:
+        """Whether the busy chips can be rebuilt faithfully in workers.
+
+        The worker reconstructs each chip as a plain
+        :class:`~repro.core.simulator.PerformanceSimulator` over the chip's
+        system config; a customised ``simulator_factory`` returning a
+        subclass could behave differently, so such fleets fall back to the
+        serial path.
+        """
+        return all(type(chip.simulator) is PerformanceSimulator for chip in busy)
+
+    def _run_shards(
+        self, shards: Sequence[Sequence[ServingRequest]]
+    ) -> List[ServingResult]:
+        """Simulate one shard per chip, serially or across processes.
+
+        Chips are independent once dispatched, so with ``processes`` set
+        the non-empty shards fan out through
+        :class:`~repro.experiments.parallel.ParallelSweepRunner`; every
+        worker rebuilds its chip from picklable state and seeds it with
+        the parent chip's harvested cost memos, producing the bit-identical
+        :class:`~repro.serving.queue.ServingResult` the in-process chip
+        would return.
+        """
+        empty = ServingResult(records=(), peak_batch_size=0, decode_steps=0)
+        busy = [
+            (chip, shard) for chip, shard in zip(self.chips, shards) if shard
+        ]
+        if (
+            self.processes is not None
+            and self.processes > 1
+            and len(busy) > 1
+            and self._parallelizable([chip for chip, _ in busy])
+        ):
+            # Imported lazily: repro.experiments pulls in the experiment
+            # registry, which serving must not depend on at import time.
+            from ..experiments.parallel import ParallelSweepRunner
+
+            runner = ParallelSweepRunner(processes=self.processes, cache=False)
+            outcomes = runner.map(
+                simulate_chip_shard,
+                [
+                    {
+                        "system": chip.simulator.system,
+                        "model": self.model,
+                        "chip_id": chip.chip_id,
+                        "max_batch_size": chip.max_batch_size,
+                        "cc_bandwidth_fraction": chip.cc_bandwidth_fraction,
+                        "context_bucket": chip.cost_model.context_bucket,
+                        "engine": chip.engine,
+                        "shard": list(shard),
+                        "cc_latencies": chip.cc_latencies(),
+                        "bucket_costs": chip.cost_model.bucket_costs(),
+                        "step_cache": chip.cost_model.step_cache(),
+                    }
+                    for chip, shard in busy
+                ],
+            )
+            by_chip = {
+                chip.chip_id: outcome
+                for (chip, _), outcome in zip(busy, outcomes)
+            }
+        else:
+            by_chip = {chip.chip_id: chip.run(list(shard)) for chip, shard in busy}
+        return [by_chip.get(chip.chip_id, empty) for chip in self.chips]
+
     def run(self, trace: Sequence[ServingRequest]) -> FleetResult:
         """Dispatch the trace, simulate every chip and merge the records."""
         if not trace:
@@ -230,16 +369,9 @@ class FleetSimulator:
         shards: List[List[ServingRequest]] = [[] for _ in range(self.n_chips)]
         for request, chip_id in zip(trace, assignments):
             shards[chip_id].append(request)
-        per_chip: List[ServingResult] = []
+        per_chip = self._run_shards(shards)
         records: List[RequestRecord] = []
-        for chip, shard in zip(self.chips, shards):
-            if not shard:
-                per_chip.append(
-                    ServingResult(records=(), peak_batch_size=0, decode_steps=0)
-                )
-                continue
-            result = chip.run(shard)
-            per_chip.append(result)
+        for result in per_chip:
             records.extend(result.records)
         records.sort(key=lambda record: record.request_id)
         return FleetResult(

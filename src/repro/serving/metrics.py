@@ -45,14 +45,22 @@ class RequestRecord:
     chip_id: int = 0
 
     def __post_init__(self) -> None:
-        trail = (
-            self.arrival_s,
-            self.prefill_start_s,
-            self.prefill_end_s,
-            self.first_token_s,
-            self.finish_s,
-        )
-        if any(later < earlier for earlier, later in zip(trail, trail[1:])):
+        # Chained comparisons instead of a generator scan: this runs once
+        # per simulated request, a measurable slice of a 100k-request run.
+        if not (
+            self.arrival_s
+            <= self.prefill_start_s
+            <= self.prefill_end_s
+            <= self.first_token_s
+            <= self.finish_s
+        ):
+            trail = (
+                self.arrival_s,
+                self.prefill_start_s,
+                self.prefill_end_s,
+                self.first_token_s,
+                self.finish_s,
+            )
             raise ValueError(
                 f"request {self.request_id}: timestamps must be monotonic, got {trail}"
             )
@@ -106,6 +114,27 @@ class PercentileStats:
             max=max(values),
         )
 
+    @classmethod
+    def from_array(cls, values: np.ndarray) -> "PercentileStats":
+        """Fold a non-empty float array into the statistics.
+
+        Value-identical to :meth:`from_values` on the same numbers: the
+        percentiles run through the same ``numpy.percentile`` call, the
+        max picks an existing float, and the mean's summation is
+        ``np.add.accumulate`` — a strict left fold, the same order as the
+        scalar ``sum`` (whose ``0.0`` start adds exactly).  Regression-
+        tested against the scalar path on randomized records.
+        """
+        if values.size == 0:
+            raise ValueError("values must not be empty")
+        return cls(
+            p50=percentile(values, 50),
+            p95=percentile(values, 95),
+            p99=percentile(values, 99),
+            mean=float(np.add.accumulate(values)[-1]) / values.size,
+            max=float(values.max()),
+        )
+
 
 @dataclass(frozen=True)
 class ServingReport:
@@ -147,7 +176,46 @@ def empty_report() -> ServingReport:
 
 
 def summarize(records: Sequence[RequestRecord]) -> ServingReport:
-    """Fold per-request records into a :class:`ServingReport`."""
+    """Fold per-request records into a :class:`ServingReport`.
+
+    One Python pass extracts the timestamp trail into columnar arrays;
+    every statistic — makespan, token totals and all three percentile
+    groups — then computes vectorised over them.  Values are identical to
+    the scalar per-record fold (:func:`summarize_scalar`), which the
+    regression suite asserts field for field; the golden scenario reports
+    pin the identity byte for byte.
+    """
+    if not records:
+        raise ValueError("records must not be empty")
+    n = len(records)
+    arrival = np.empty(n)
+    prefill_start = np.empty(n)
+    first_token = np.empty(n)
+    finish = np.empty(n)
+    tokens = np.empty(n, dtype=np.int64)
+    for index, record in enumerate(records):
+        arrival[index] = record.arrival_s
+        prefill_start[index] = record.prefill_start_s
+        first_token[index] = record.first_token_s
+        finish[index] = record.finish_s
+        tokens[index] = record.request.output_tokens
+    return ServingReport(
+        n_requests=n,
+        makespan_s=float(finish.max() - arrival.min()),
+        total_output_tokens=int(tokens.sum()),
+        latency=PercentileStats.from_array(finish - arrival),
+        ttft=PercentileStats.from_array(first_token - arrival),
+        queue_wait=PercentileStats.from_array(prefill_start - arrival),
+    )
+
+
+def summarize_scalar(records: Sequence[RequestRecord]) -> ServingReport:
+    """Per-record scalar fold of ``records`` into a :class:`ServingReport`.
+
+    The reference implementation :func:`summarize` is asserted
+    value-identical against — kept runnable (not just in test code) so the
+    identity claim stays checkable anywhere a report is produced.
+    """
     if not records:
         raise ValueError("records must not be empty")
     makespan = max(record.finish_s for record in records) - min(

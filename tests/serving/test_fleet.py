@@ -92,3 +92,117 @@ class TestFleetRun:
             model, n_chips=1, policy="round_robin", max_batch_size=8
         ).run(trace)
         assert fleet.records == direct.records
+
+
+class TestEstimateMemo:
+    def test_memoized_estimates_keep_assignments_trace_identical(
+        self, model, trace
+    ):
+        # A fleet whose estimate memo is disabled (every probe recomputed)
+        # must dispatch exactly like the memoized fleet.
+        memoized = FleetSimulator(model, n_chips=3, policy="least_loaded")
+        uncached = FleetSimulator(model, n_chips=3, policy="least_loaded")
+
+        def recompute(chip, request):
+            prefill = chip.cc_latency_s(request)
+            context = uncached.model.prompt_tokens(request)
+            per_token = chip.cost_model.step_latency_s([context])
+            return prefill + per_token * request.output_tokens
+
+        uncached._estimate_cost_s = recompute
+        assert memoized.assign(trace) == uncached.assign(trace)
+        # The memo actually engaged, and only with (chip, shape) keys —
+        # the heap probes one chip per request, so at most chips x shapes.
+        shapes = {
+            (r.request.images, r.request.prompt_text_tokens,
+             r.request.output_tokens)
+            for r in trace
+        }
+        assert 0 < len(memoized._estimate_cache) <= 3 * len(shapes)
+        assert all(
+            (images, prompt, out) in shapes
+            for (_, images, prompt, out) in memoized._estimate_cache
+        )
+
+    def test_cached_estimate_equals_fresh_computation(self, model, trace):
+        fleet = FleetSimulator(model, n_chips=2, policy="least_loaded")
+        fleet.assign(trace)
+        chip = fleet.chips[0]
+        for request in {r.request for r in trace}:
+            cached = fleet._estimate_cost_s(chip, request)
+            fresh = (
+                chip.cc_latency_s(request)
+                + chip.cost_model.step_latency_s(
+                    [model.prompt_tokens(request)]
+                )
+                * request.output_tokens
+            )
+            assert cached == fresh
+
+
+class TestParallelChips:
+    def test_process_fanout_matches_serial_run(self, model, trace):
+        serial = FleetSimulator(
+            model, n_chips=3, policy="least_loaded", max_batch_size=8
+        ).run(trace)
+        parallel = FleetSimulator(
+            model, n_chips=3, policy="least_loaded", max_batch_size=8,
+            processes=3,
+        ).run(trace)
+        assert parallel.assignments == serial.assignments
+        assert parallel.records == serial.records
+        for chip_parallel, chip_serial in zip(
+            parallel.per_chip, serial.per_chip
+        ):
+            assert chip_parallel.records == chip_serial.records
+            assert chip_parallel.peak_batch_size == chip_serial.peak_batch_size
+            assert chip_parallel.decode_steps == chip_serial.decode_steps
+
+    def test_single_process_stays_serial(self, model, trace):
+        fleet = FleetSimulator(model, n_chips=2, processes=1)
+        assert fleet.run(trace).report.n_requests == len(trace)
+
+    def test_shard_worker_matches_in_process_chip(self, model, trace):
+        # The picklable worker, called in-process, reproduces the chip's
+        # run bit for bit (the fork pool calls exactly this function).
+        from repro.serving import simulate_chip_shard
+
+        chip = ContinuousBatchingSimulator(
+            model=model, max_batch_size=8, chip_id=1
+        )
+        direct = chip.run(list(trace))
+        rebuilt = simulate_chip_shard(
+            system=chip.simulator.system,
+            model=model,
+            chip_id=1,
+            max_batch_size=8,
+            cc_bandwidth_fraction=chip.cc_bandwidth_fraction,
+            context_bucket=chip.cost_model.context_bucket,
+            engine="macro",
+            shard=list(trace),
+            cc_latencies=chip.cc_latencies(),
+            bucket_costs=chip.cost_model.bucket_costs(),
+            step_cache=chip.cost_model.step_cache(),
+        )
+        assert rebuilt.records == direct.records
+        assert rebuilt.peak_batch_size == direct.peak_batch_size
+        assert rebuilt.decode_steps == direct.decode_steps
+
+    def test_custom_simulator_factories_fall_back_to_serial(self, model, trace):
+        from repro.core.simulator import PerformanceSimulator
+
+        class TracingSimulator(PerformanceSimulator):
+            pass
+
+        fleet = FleetSimulator(
+            model, n_chips=2, processes=2,
+            simulator_factory=TracingSimulator,
+        )
+        assert not fleet._parallelizable(fleet.chips)
+        plain = FleetSimulator(model, n_chips=2, processes=2)
+        result = fleet.run(trace)
+        assert result.records == plain.run(trace).records
+
+    def test_rejects_bad_process_count(self, model):
+        with pytest.raises(ValueError):
+            FleetSimulator(model, processes=0)

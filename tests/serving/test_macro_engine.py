@@ -1,0 +1,245 @@
+"""Macro-stepping engine: bit-identity against the per-step oracle.
+
+The macro engine's contract is exact equivalence, so every test here is an
+equality assertion, not a tolerance: randomized traces (arrival process,
+request mixes, batch sizes, bucket widths) must produce ``==``-identical
+``RequestRecord`` tuples, peak-batch/decode-step counters, fleet traces
+and autoscaler scaling decisions, whichever engine runs the decode loop.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.batch import context_bucket_for
+from repro.models.mllm import get_mllm
+from repro.serving import (
+    AutoscalerConfig,
+    AutoscalingFleetSimulator,
+    BurstyArrivals,
+    ContinuousBatchingSimulator,
+    ENGINES,
+    FleetSimulator,
+    PoissonArrivals,
+    RequestSampler,
+    build_trace,
+)
+
+MODEL = get_mllm("sphinx-tiny")
+
+#: Shared cost-cache donor: every chip in this module prices the same
+#: model on the same default system, and the CC-latency / bucket-cost /
+#: step memos are independent of batch size and bucket width, so chips
+#: seed from (and harvest back into) one pool.  Seeding only moves work,
+#: never values — both engines of a pair get identical caches, keeping
+#: each comparison fair.
+_DONOR = {
+    "cc": {},
+    "buckets": {},
+    "steps": {},
+}
+
+
+def _chip(engine, *, max_batch_size=8, context_bucket=32):
+    chip = ContinuousBatchingSimulator(
+        model=MODEL,
+        max_batch_size=max_batch_size,
+        context_bucket=context_bucket,
+        engine=engine,
+    )
+    chip.seed_cc_latencies(_DONOR["cc"])
+    chip.cost_model.seed_bucket_costs(_DONOR["buckets"])
+    chip.cost_model.seed_step_cache(_DONOR["steps"])
+    return chip
+
+
+def _harvest(chip):
+    _DONOR["cc"].update(chip.cc_latencies())
+    _DONOR["buckets"].update(chip.cost_model.bucket_costs())
+    _DONOR["steps"].update(chip.cost_model.step_cache())
+
+
+def run_both(trace, *, max_batch_size=8, context_bucket=32):
+    """(macro result, step result) of the same trace on twin chips."""
+    results = []
+    for engine in ("macro", "step"):
+        chip = _chip(
+            engine,
+            max_batch_size=max_batch_size,
+            context_bucket=context_bucket,
+        )
+        results.append(chip.run(trace))
+        _harvest(chip)
+    return results
+
+
+def assert_identical(macro, step):
+    """Every observable of the two runs is ``==``-identical."""
+    assert macro.records == step.records
+    assert macro.peak_batch_size == step.peak_batch_size
+    assert macro.decode_steps == step.decode_steps
+
+
+def make_trace(
+    n,
+    *,
+    seed,
+    rate=4.0,
+    bursty=False,
+    images=1,
+    prompt_range=(4, 64),
+    output_choices=(1, 2, 8, 16, 64),
+):
+    arrivals = (
+        BurstyArrivals(rate, burst_multiplier=6.0, seed=seed)
+        if bursty
+        else PoissonArrivals(rate, seed=seed)
+    )
+    sampler = RequestSampler(
+        seed=seed,
+        images=images,
+        prompt_token_range=prompt_range,
+        output_token_choices=output_choices,
+        output_token_weights=tuple(1.0 for _ in output_choices),
+    )
+    return build_trace(arrivals.generate(n), sampler.sample(n))
+
+
+class TestEngineSelection:
+    def test_engines_tuple_and_default(self):
+        assert ENGINES == ("macro", "step")
+        assert ContinuousBatchingSimulator(model=MODEL).engine == "macro"
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="engine"):
+            ContinuousBatchingSimulator(model=MODEL, engine="warp")
+
+    def test_fleet_forwards_engine_to_chips(self):
+        fleet = FleetSimulator(MODEL, n_chips=2, engine="step")
+        assert all(chip.engine == "step" for chip in fleet.chips)
+        assert FleetSimulator(MODEL, n_chips=1).chips[0].engine == "macro"
+
+
+class TestInlinedBucketArithmetic:
+    def test_matches_the_canonical_quantizer(self):
+        # The engine inlines context_bucket_for's arithmetic in its hot
+        # loop; the two definitions must never drift.
+        for width in (1, 2, 3, 7, 16, 32, 64, 131):
+            for context in list(range(0, 4 * width + 2)) + [10**6, 10**6 + 1]:
+                inlined = ((max(context, 1) + width - 1) // width) * width
+                assert inlined == context_bucket_for(context, width)
+
+
+class TestDeterministicEquivalence:
+    def test_single_request(self):
+        trace = make_trace(1, seed=0)
+        assert_identical(*run_both(trace))
+
+    def test_single_token_outputs(self):
+        trace = make_trace(40, seed=1, rate=20.0, output_choices=(1,))
+        assert_identical(*run_both(trace))
+
+    def test_serial_decode_batch_of_one(self):
+        trace = make_trace(30, seed=2, rate=8.0)
+        assert_identical(*run_both(trace, max_batch_size=1))
+
+    def test_simultaneous_arrivals(self):
+        base = make_trace(24, seed=3, rate=6.0)
+        times = [0.0] * 8 + [t for t in range(1, 9) for _ in (0, 1)]
+        trace = build_trace(
+            [float(t) for t in times], [r.request for r in base[: len(times)]]
+        )
+        assert_identical(*run_both(trace, max_batch_size=3))
+
+    def test_unsorted_trace_positions(self):
+        # build_trace assigns ids positionally; feed the simulator a trace
+        # whose list order disagrees with arrival order.
+        trace = make_trace(30, seed=4, rate=10.0)
+        shuffled = list(reversed(trace))
+        macro, step = run_both(shuffled)
+        assert_identical(macro, step)
+
+    def test_wide_bucket_exercises_vectorised_fold(self):
+        # Bucket width 256 with a slow trickle of arrivals produces runs
+        # longer than NUMPY_FOLD_MIN, covering the np.add.accumulate path.
+        trace = make_trace(
+            8, seed=5, rate=0.05, output_choices=(200, 256)
+        )
+        assert_identical(*run_both(trace, context_bucket=256))
+
+    def test_medium_bucket_exercises_accumulate_fold(self):
+        trace = make_trace(12, seed=6, rate=0.2, output_choices=(24, 40))
+        assert_identical(*run_both(trace, context_bucket=32))
+
+
+class TestPropertyEquivalence:
+    @given(
+        n=st.integers(min_value=1, max_value=90),
+        seed=st.integers(min_value=0, max_value=2**16),
+        rate=st.floats(min_value=0.2, max_value=40.0),
+        bursty=st.booleans(),
+        max_batch=st.integers(min_value=1, max_value=12),
+        bucket=st.sampled_from((1, 4, 16, 32, 64, 96)),
+        images=st.integers(min_value=0, max_value=2),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_macro_equals_step_on_randomized_traces(
+        self, n, seed, rate, bursty, max_batch, bucket, images
+    ):
+        trace = make_trace(
+            n, seed=seed, rate=rate, bursty=bursty, images=images
+        )
+        macro, step = run_both(
+            trace, max_batch_size=max_batch, context_bucket=bucket
+        )
+        assert_identical(macro, step)
+
+
+class TestFleetEquivalence:
+    @pytest.mark.parametrize("policy", ["round_robin", "least_loaded"])
+    def test_fleet_traces_identical(self, policy):
+        trace = make_trace(80, seed=11, rate=12.0, bursty=True)
+        results = []
+        for engine in ("macro", "step"):
+            fleet = FleetSimulator(
+                MODEL, n_chips=3, policy=policy, engine=engine
+            )
+            results.append(fleet.run(trace))
+        macro, step = results
+        assert macro.assignments == step.assignments
+        assert macro.records == step.records
+        for chip_macro, chip_step in zip(macro.per_chip, step.per_chip):
+            assert chip_macro.records == chip_step.records
+            assert chip_macro.peak_batch_size == chip_step.peak_batch_size
+            assert chip_macro.decode_steps == chip_step.decode_steps
+
+
+class TestAutoscalerEquivalence:
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=8, deadline=None)
+    def test_scale_events_and_records_identical(self, seed):
+        trace = make_trace(
+            120, seed=seed, rate=8.0, bursty=True, output_choices=(8, 16, 64)
+        )
+        config = AutoscalerConfig(
+            target_p99_ttft_s=2.0,
+            min_chips=1,
+            max_chips=3,
+            window=24,
+            min_observations=8,
+            cooldown_s=0.5,
+            scale_up_ratio=0.5,
+            max_queue_depth=16,
+        )
+        results = []
+        for engine in ("macro", "step"):
+            fleet = AutoscalingFleetSimulator(
+                MODEL, autoscaler=config, engine=engine
+            )
+            results.append(fleet.run(trace))
+        macro, step = results
+        assert macro.events == step.events
+        assert macro.assignments == step.assignments
+        assert macro.rejected_ids == step.rejected_ids
+        assert macro.records == step.records
+        assert macro.final_chips == step.final_chips

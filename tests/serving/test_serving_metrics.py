@@ -1,7 +1,11 @@
 """Serving-metric tests: percentile math and report aggregation."""
 
+import random
+
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.models.mllm import InferenceRequest
 from repro.serving import (
@@ -9,6 +13,7 @@ from repro.serving import (
     RequestRecord,
     percentile,
     summarize,
+    summarize_scalar,
 )
 
 
@@ -103,3 +108,50 @@ class TestSummarize:
     def test_rejects_empty(self):
         with pytest.raises(ValueError):
             summarize([])
+        with pytest.raises(ValueError):
+            summarize_scalar([])
+
+
+def random_records(seed, n):
+    rng = random.Random(seed)
+    records = []
+    for request_id in range(n):
+        arrival = rng.uniform(0.0, 50.0)
+        start = arrival + rng.choice([0.0, rng.uniform(0.0, 2.0)])
+        end = start + rng.uniform(1e-6, 3.0)
+        first = end + rng.uniform(1e-6, 1.0)
+        finish = first + rng.uniform(0.0, 20.0)
+        records.append(
+            make_record(
+                request_id, arrival, start, end, first, finish,
+                output_tokens=rng.randint(1, 512),
+            )
+        )
+    return records
+
+
+class TestVectorizedIdentity:
+    """The numpy ``summarize`` is value-identical to the scalar fold."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        n=st.integers(min_value=1, max_value=120),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_summarize_equals_scalar_fold(self, seed, n):
+        records = random_records(seed, n)
+        assert summarize(records) == summarize_scalar(records)
+
+    def test_from_array_equals_from_values(self):
+        rng = random.Random(13)
+        values = [rng.uniform(0.0, 100.0) for _ in range(257)]
+        assert PercentileStats.from_array(
+            np.asarray(values, dtype=float)
+        ) == PercentileStats.from_values(values)
+
+    def test_from_array_on_zero_and_single_values(self):
+        assert PercentileStats.from_array(
+            np.array([0.0])
+        ) == PercentileStats.from_values([0.0])
+        with pytest.raises(ValueError):
+            PercentileStats.from_array(np.array([]))

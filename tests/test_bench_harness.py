@@ -35,6 +35,100 @@ class TestDiscovery:
             )
 
 
+class TestCheckMode:
+    def _report(self, **seconds):
+        return {
+            "scenarios": {
+                name: {"seconds": value} for name, value in seconds.items()
+            }
+        }
+
+    def test_flags_scenarios_beyond_the_factor(self, harness):
+        fresh = self._report(a=0.5, b=2.1, c=1.0)
+        baseline = self._report(a=0.5, b=1.0, c=1.0)
+        failures = harness.check_regressions(fresh, baseline)
+        assert len(failures) == 1
+        assert failures[0].startswith("b:")
+
+    def test_within_budget_passes(self, harness):
+        fresh = self._report(a=0.99, b=1.9)
+        baseline = self._report(a=0.5, b=1.0)
+        assert harness.check_regressions(fresh, baseline) == []
+
+    def test_added_and_removed_scenarios_are_not_regressions(self, harness):
+        fresh = self._report(new_one=100.0)
+        baseline = self._report(gone=0.1)
+        assert harness.check_regressions(fresh, baseline) == []
+
+    def test_sub_floor_scenarios_are_exempt_from_the_factor(self, harness):
+        # Sub-millisecond scenarios regress by scheduler jitter alone;
+        # the floor keeps them out of the gate.
+        floor = harness.MIN_CHECK_SECONDS
+        fresh = self._report(noisy=floor * 0.9 * 10, real=floor * 4)
+        baseline = self._report(noisy=floor * 0.9, real=floor * 1.5)
+        failures = harness.check_regressions(fresh, baseline)
+        assert len(failures) == 1
+        assert failures[0].startswith("real:")
+
+    def test_main_check_exits_nonzero_on_regression(
+        self, harness, tmp_path, capsys, monkeypatch
+    ):
+        # fig6 runs in microseconds, so drop the noise floor to let the
+        # synthetic baseline regress it deterministically.
+        monkeypatch.setattr(harness, "MIN_CHECK_SECONDS", 0.0)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(self._report(fig6_bandwidth=1e-9))
+        )
+        with pytest.raises(SystemExit) as excinfo:
+            harness.main(
+                [
+                    "--only", "fig6",
+                    "--output", str(tmp_path / "fresh.json"),
+                    "--baseline", str(baseline),
+                    "--check",
+                ]
+            )
+        capsys.readouterr()
+        assert excinfo.value.code == 1
+
+    def test_main_check_passes_against_generous_baseline(
+        self, harness, tmp_path, capsys
+    ):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(self._report(fig6_bandwidth=1e9)))
+        harness.main(
+            [
+                "--only", "fig6",
+                "--output", str(tmp_path / "fresh.json"),
+                "--baseline", str(baseline),
+                "--check",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "--check passed" in out
+
+    def test_main_check_requires_a_baseline_file(self, harness, tmp_path):
+        with pytest.raises(SystemExit):
+            harness.main(
+                [
+                    "--only", "fig6",
+                    "--output", str(tmp_path / "fresh.json"),
+                    "--baseline", str(tmp_path / "missing.json"),
+                    "--check",
+                ]
+            )
+
+    def test_committed_results_include_the_macro_benchmark(self):
+        committed = HARNESS_PATH.parent / "BENCH_results.json"
+        data = json.loads(committed.read_text())
+        record = data["scenarios"]["serving_macro_100k"]
+        assert record["requests"] == 100000
+        assert record["identical_records"] is True
+        # The committed trajectory must show the >= 10x acceptance headline.
+        assert record["speedup"] >= 10
+
+
 class TestResultsFile:
     def test_writes_scenario_seconds_and_machine_info(self, harness, tmp_path, capsys):
         output = tmp_path / "BENCH_results.json"
