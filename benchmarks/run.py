@@ -17,9 +17,12 @@ across PRs — CI uploads the file as an artifact.
 ``--check`` additionally compares the fresh run against the *committed*
 ``BENCH_results.json`` (read before it is overwritten) and exits non-zero
 when any scenario regressed beyond ``REGRESSION_FACTOR`` x its committed
-seconds — the CI benchmarks job runs in this mode.  Compare like with
-like: the factor absorbs machine-class jitter, not a change of machine
-class (see docs/performance.md).
+seconds — the CI benchmarks job runs in this mode.  A missing baseline
+file, or a scenario not yet in the baseline (a just-added benchmark),
+warns and passes instead of failing: the gate guards committed numbers,
+it must not block the PR that introduces them.  Compare like with like:
+the factor absorbs machine-class jitter, not a change of machine class
+(see docs/performance.md).
 
 Run with:  PYTHONPATH=src python benchmarks/run.py [--only SUBSTRING] [--check]
 """
@@ -160,6 +163,24 @@ def check_regressions(
     return failures
 
 
+def baseline_warnings(
+    fresh: Dict[str, object], baseline: Dict[str, object]
+) -> List[str]:
+    """Warnings for ``fresh`` scenarios the ``baseline`` does not cover.
+
+    A scenario without committed seconds — typically one the current PR
+    just added — cannot be regression-checked; it is reported so the gap
+    is visible in the CI log, and the check passes (its fresh seconds
+    enter the baseline once committed).
+    """
+    committed = baseline.get("scenarios", {})
+    return [
+        f"{name}: no committed baseline; regression check skipped"
+        for name in sorted(fresh.get("scenarios", {}))
+        if name not in committed
+    ]
+
+
 def main(argv: List[str] = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -182,13 +203,24 @@ def main(argv: List[str] = None) -> None:
     )
     args = parser.parse_args(argv)
     baseline: Dict[str, object] = {}
+    baseline_found = True
     if args.check:
         # Read before run_benchmarks possibly overwrites the same file.
-        if not args.baseline.exists():
-            raise SystemExit(f"--check baseline not found: {args.baseline}")
-        baseline = json.loads(args.baseline.read_text())
+        if args.baseline.exists():
+            baseline = json.loads(args.baseline.read_text())
+        else:
+            baseline_found = False
+            print(
+                f"warning: --check baseline not found: {args.baseline}; "
+                "running without a regression gate"
+            )
     report = run_benchmarks(only=args.only, repeats=args.repeats, output=args.output)
     if args.check:
+        if not baseline_found:
+            print("\n--check passed: no committed baseline to compare against")
+            return
+        for warning in baseline_warnings(report, baseline):
+            print(f"warning: {warning}")
         failures = check_regressions(report, baseline)
         if failures:
             print("\nbenchmark regressions beyond the committed budget:")

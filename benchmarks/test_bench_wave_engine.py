@@ -1,0 +1,138 @@
+"""Benchmark the wave engine on a million-request diurnal mixed trace.
+
+The acceptance criterion of the wave engine (`repro.serving.engine`): a
+1,000,000-request diurnal mixed trace — the diurnal-week workload mix
+(text chat, multi-image, long context) over a full day-long sine cycle —
+must finish in under 10 seconds single-process, with warm cost caches,
+while producing ``==``-identical ``RequestRecord``s to the macro engine
+on a 100,000-request equivalence sample of the same trace.
+
+The trace is compiled straight to the columnar ``TRACE_DTYPE`` form via
+``compile_scenario_chunks``: one million requests stream through in
+100k-row chunks and no per-request ``ServingRequest`` objects are ever
+materialised on the benchmark path (the equivalence sample rebuilds
+objects for the macro engine only, since macro consumes object traces).
+
+An untimed warm-up run fills the engine-independent cost memos first,
+exactly as the macro benchmark does: caches only move work, so the
+timed number measures the decode loop, not cost-model evaluation.
+
+Feeds ``BENCH_results.json`` (via ``benchmarks/run.py``) with the
+``serving_wave_1M`` scenario, which records the wall-clock seconds of
+the timed wave run and the sample-identity verdict.
+"""
+
+import time
+from dataclasses import replace
+
+from repro.models.mllm import get_mllm
+from repro.scenarios import compile_scenario_chunks, get_scenario
+from repro.serving import ContinuousBatchingSimulator
+from repro.serving.trace import array_to_trace, concat_trace_arrays
+
+N_REQUESTS = 1_000_000
+TIME_BUDGET_S = 10.0
+SAMPLE_REQUESTS = 100_000
+CHUNK_SIZE = 100_000
+RATE_RPS = 400.0
+PERIOD_S = 86_400.0
+MAX_BATCH_SIZE = 64
+CONTEXT_BUCKET = 4096
+
+
+def bench_spec():
+    """The diurnal-week mix scaled to one million requests over a day."""
+    base = get_scenario("diurnal-week")
+    return replace(
+        base,
+        n_requests=N_REQUESTS,
+        arrival=replace(base.arrival, rate_rps=RATE_RPS, period_s=PERIOD_S),
+    )
+
+
+def bench_array():
+    """Stream-compile the 1M-request trace straight to columnar form."""
+    chunks = compile_scenario_chunks(bench_spec(), chunk_size=CHUNK_SIZE)
+    return concat_trace_arrays([chunk.array for chunk in chunks])
+
+
+def _chip(engine, donor=None):
+    chip = ContinuousBatchingSimulator(
+        model=get_mllm("sphinx-tiny"),
+        max_batch_size=MAX_BATCH_SIZE,
+        context_bucket=CONTEXT_BUCKET,
+        engine=engine,
+    )
+    if donor is not None:
+        chip.seed_cc_latencies(donor.cc_latencies())
+        chip.cost_model.seed_bucket_costs(donor.cost_model.bucket_costs())
+        chip.cost_model.seed_step_cache(donor.cost_model.step_cache())
+    return chip
+
+
+def _measure():
+    """(wave result, wave seconds, sample identity, sample seconds)."""
+    array = bench_array()
+
+    # Untimed warm-up fills the engine-independent cost memos once; the
+    # timed run then measures the decode loop alone.
+    warm = _chip("wave")
+    warm.run(array)
+
+    timed = _chip("wave", donor=warm)
+    start = time.perf_counter()
+    wave = timed.run(array)
+    wave_seconds = time.perf_counter() - start
+
+    # Equivalence sample: macro (object trace) vs wave (columnar) on the
+    # first 100k requests, from identical caches.
+    sample = array[:SAMPLE_REQUESTS]
+    wave_sample = _chip("wave", donor=warm).run(sample)
+    macro_chip = _chip("macro", donor=warm)
+    start = time.perf_counter()
+    macro_sample = macro_chip.run(array_to_trace(sample))
+    sample_seconds = time.perf_counter() - start
+    identical = (
+        macro_sample.records == wave_sample.records
+        and macro_sample.peak_batch_size == wave_sample.peak_batch_size
+        and macro_sample.decode_steps == wave_sample.decode_steps
+    )
+    return wave, wave_seconds, identical, sample_seconds
+
+
+def run_wave_1m() -> dict:
+    """Time the 1M-request wave run and report the identity verdict."""
+    wave, wave_seconds, identical, sample_seconds = _measure()
+    return {
+        "requests": N_REQUESTS,
+        "decode_steps": wave.decode_steps,
+        "peak_batch_size": wave.peak_batch_size,
+        "wave_seconds": wave_seconds,
+        "time_budget_s": TIME_BUDGET_S,
+        "identical_records": identical,
+        "sample_requests": SAMPLE_REQUESTS,
+        "macro_sample_seconds": sample_seconds,
+    }
+
+
+def test_bench_wave_engine_1m_under_10s():
+    wave, wave_seconds, identical, _ = _measure()
+
+    # Identity first: the speed is worthless if a single record moved.
+    assert identical
+    assert len(wave.records) == N_REQUESTS
+
+    print(
+        f"\nwave engine: {wave_seconds:.2f} s for {N_REQUESTS} requests "
+        f"({wave.decode_steps} decode steps, peak batch "
+        f"{wave.peak_batch_size})"
+    )
+    assert wave_seconds < TIME_BUDGET_S, (
+        f"wave engine took {wave_seconds:.2f} s on the 1M-request trace; "
+        f"the budget is {TIME_BUDGET_S:.0f} s"
+    )
+
+
+SCENARIOS = {
+    "serving_wave_1M": run_wave_1m,
+}

@@ -17,8 +17,10 @@ Run the catalogue from the command line::
 
 from .compile import (
     CompiledScenario,
+    TraceChunk,
     build_arrival_process,
     compile_scenario,
+    compile_scenario_chunks,
     component_sampler,
 )
 from .registry import (
@@ -62,6 +64,7 @@ __all__ = [
     "SLOCheck",
     "SLOSpec",
     "TEXT_CHAT",
+    "TraceChunk",
     "VIDEO_FRAMES",
     "WorkloadComponent",
     "autoscaler_config",
@@ -69,6 +72,7 @@ __all__ = [
     "build_arrival_process",
     "build_fleet",
     "compile_scenario",
+    "compile_scenario_chunks",
     "component_sampler",
     "format_scenario_report",
     "get_scenario",

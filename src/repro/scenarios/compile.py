@@ -6,6 +6,15 @@ is seeded from the spec's content hash, so the same spec compiles to the
 bit-identical :class:`~repro.serving.queue.ServingRequest` trace in every
 process.  The compiled trace remembers which mix component produced each
 request, which the reports use for per-component accounting.
+
+Two compilation forms share one deterministic core: the classic
+:func:`compile_scenario` materialises per-request objects, while
+:func:`compile_scenario_chunks` stream-emits the columnar
+:data:`~repro.serving.trace.TRACE_DTYPE` form in bounded chunks — every
+random stream is a persistent generator with ``compile_scenario``'s exact
+RNG call order, so the chunked columns are byte-stable across chunk sizes
+and convert to the ``==``-identical object trace.  Million-request wave
+traces never pay for per-request Python objects on the way in.
 """
 
 from __future__ import annotations
@@ -14,17 +23,23 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Tuple, Union
 
+import numpy as np
+
 from ..models.mllm import InferenceRequest
 from ..serving.arrival import (
     BurstyArrivals,
+    DiurnalArrivals,
     PoissonArrivals,
     RequestSampler,
     TraceArrivals,
 )
 from ..serving.queue import ServingRequest, build_trace
+from ..serving.trace import TRACE_DTYPE
 from .spec import ArrivalSpec, ScenarioSpec, WorkloadComponent
 
-ArrivalProcess = Union[PoissonArrivals, BurstyArrivals, TraceArrivals]
+ArrivalProcess = Union[
+    PoissonArrivals, BurstyArrivals, DiurnalArrivals, TraceArrivals
+]
 
 
 @dataclass(frozen=True)
@@ -68,6 +83,10 @@ def build_arrival_process(
             mean_calm_arrivals=arrival.mean_calm_arrivals,
             mean_burst_arrivals=arrival.mean_burst_arrivals,
             seed=seed,
+        )
+    if arrival.kind == "diurnal":
+        return DiurnalArrivals(
+            arrival.rate_rps, period_s=arrival.period_s, seed=seed
         )
     # ArrivalSpec validation guarantees times is present for "trace".
     return TraceArrivals(arrival.times or ())
@@ -119,3 +138,76 @@ def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
         trace=tuple(build_trace(times, requests)),
         components=tuple(chosen),
     )
+
+
+@dataclass(frozen=True)
+class TraceChunk:
+    """One bounded slice of a streaming columnar compilation."""
+
+    #: Columnar requests (:data:`~repro.serving.trace.TRACE_DTYPE` rows).
+    array: np.ndarray
+    #: Mix-component name of every row, in row order.
+    components: Tuple[str, ...]
+
+
+def compile_scenario_chunks(
+    spec: ScenarioSpec, *, chunk_size: int = 65536
+) -> Iterator[TraceChunk]:
+    """Stream-compile ``spec`` to columnar :class:`TraceChunk` slices.
+
+    The streaming twin of :func:`compile_scenario`: the arrival process,
+    every component's shape sampler and the mix-selection stream run as
+    persistent generators with the exact RNG call order of the one-shot
+    path, so the concatenated chunks are byte-stable for every
+    ``chunk_size`` and convert (``array_to_trace``) to the
+    ``==``-identical object trace.  Peak memory is one ``chunk_size``
+    chunk, never the whole trace — a week-long multi-million-request
+    scenario compiles without materialising a single
+    :class:`~repro.serving.queue.ServingRequest`.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    n = spec.n_requests
+    process = build_arrival_process(
+        spec.arrival, seed=spec.derive_seed("arrival")
+    )
+    times = process.iter_times()
+    shapes: Dict[str, Iterator[Tuple[int, int, int]]] = {
+        component.name: component_sampler(
+            component, seed=spec.derive_seed(f"component:{component.name}")
+        ).iter_shapes()
+        for component in spec.mix
+    }
+    names = [component.name for component in spec.mix]
+    weights = [component.weight for component in spec.mix]
+    single = len(names) == 1
+    selection = random.Random(spec.derive_seed("mix"))
+
+    emitted = 0
+    while emitted < n:
+        count = min(chunk_size, n - emitted)
+        arrival_col: List[float] = []
+        images_col: List[int] = []
+        prompt_col: List[int] = []
+        output_col: List[int] = []
+        chosen: List[str] = []
+        for _ in range(count):
+            name = (
+                names[0]
+                if single
+                else selection.choices(names, weights=weights)[0]
+            )
+            chosen.append(name)
+            arrival_col.append(next(times))
+            images, prompt_text_tokens, output_tokens = next(shapes[name])
+            images_col.append(images)
+            prompt_col.append(prompt_text_tokens)
+            output_col.append(output_tokens)
+        array = np.empty(count, dtype=TRACE_DTYPE)
+        array["request_id"] = range(emitted, emitted + count)
+        array["arrival_s"] = arrival_col
+        array["images"] = images_col
+        array["prompt_text_tokens"] = prompt_col
+        array["output_tokens"] = output_col
+        emitted += count
+        yield TraceChunk(array=array, components=tuple(chosen))

@@ -215,6 +215,27 @@ EDGE_KIOSK_OVERLOAD = register_scenario(
     )
 )
 
+DIURNAL_WEEK = register_scenario(
+    ScenarioSpec(
+        name="diurnal-week",
+        description=(
+            "A compressed week of diurnal traffic: seven two-minute 'days' "
+            "whose hour-of-day load curve churns the decode-batch "
+            "composition across the chat/image/long-context mix — the wave "
+            "engine's target workload, regression-locked at test scale"
+        ),
+        n_requests=420,
+        mix=(
+            replace(TEXT_CHAT, weight=3.0),
+            replace(MULTI_IMAGE, weight=1.0),
+            replace(LONG_CONTEXT, weight=1.0),
+        ),
+        arrival=ArrivalSpec(kind="diurnal", rate_rps=0.5, period_s=120.0),
+        fleet=FleetSpec(n_chips=2, policy="least_loaded", max_batch_size=8),
+        slo=SLOSpec(ttft_p99_s=2.0, latency_p95_s=10.0),
+    )
+)
+
 TRACE_SPIKE = register_scenario(
     ScenarioSpec(
         name="trace-spike",

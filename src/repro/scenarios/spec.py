@@ -25,7 +25,7 @@ import json
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Dict, Mapping, Optional, Tuple
 
-ARRIVAL_KINDS: Tuple[str, ...] = ("poisson", "bursty", "trace")
+ARRIVAL_KINDS: Tuple[str, ...] = ("poisson", "bursty", "diurnal", "trace")
 ADMISSION_POLICIES: Tuple[str, ...] = ("queue", "reject")
 
 
@@ -109,8 +109,9 @@ class ArrivalSpec:
     """The arrival process of a scenario (see :mod:`repro.serving.arrival`).
 
     ``kind`` selects the process; the rate/burst fields apply to the
-    generated kinds and ``times`` carries the explicit timestamps of a
-    ``trace`` replay.
+    generated kinds, ``period_s`` is the day length of the ``diurnal``
+    hour-of-day load curve, and ``times`` carries the explicit timestamps
+    of a ``trace`` replay.
     """
 
     kind: str = "poisson"
@@ -118,6 +119,7 @@ class ArrivalSpec:
     burst_multiplier: float = 8.0
     mean_calm_arrivals: float = 60.0
     mean_burst_arrivals: float = 20.0
+    period_s: float = 86400.0
     times: Optional[Tuple[float, ...]] = None
 
     def __post_init__(self) -> None:
@@ -141,12 +143,16 @@ class ArrivalSpec:
                 raise ValueError("rate_rps must be positive")
             if self.times is not None:
                 raise ValueError("times only apply to trace arrivals")
+            if self.kind == "diurnal" and self.period_s <= 0:
+                raise ValueError("period_s must be positive")
 
     def _require_defaults_for_unused_fields(self) -> None:
         defaults = {f.name: f.default for f in fields(type(self))}
         unused = []
         if self.kind != "bursty":
             unused += ["burst_multiplier", "mean_calm_arrivals", "mean_burst_arrivals"]
+        if self.kind != "diurnal":
+            unused.append("period_s")
         if self.kind == "trace":
             unused.append("rate_rps")
         for name in unused:
@@ -167,6 +173,8 @@ class ArrivalSpec:
             data["burst_multiplier"] = self.burst_multiplier
             data["mean_calm_arrivals"] = self.mean_calm_arrivals
             data["mean_burst_arrivals"] = self.mean_burst_arrivals
+        if self.kind == "diurnal":
+            data["period_s"] = self.period_s
         return data
 
     @classmethod
@@ -179,6 +187,7 @@ class ArrivalSpec:
             burst_multiplier=float(data.get("burst_multiplier", 8.0)),
             mean_calm_arrivals=float(data.get("mean_calm_arrivals", 60.0)),
             mean_burst_arrivals=float(data.get("mean_burst_arrivals", 20.0)),
+            period_s=float(data.get("period_s", 86400.0)),
             times=None if times is None else _tuple_of(times, float),
         )
 

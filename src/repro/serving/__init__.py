@@ -9,7 +9,14 @@ timestamp records fold into latency/TTFT percentiles and aggregate
 throughput (:mod:`repro.serving.metrics`).
 """
 
-from .arrival import BurstyArrivals, PoissonArrivals, RequestSampler, TraceArrivals
+from .arrival import (
+    DIURNAL_HOURLY_MULTIPLIERS,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    RequestSampler,
+    TraceArrivals,
+)
 from .autoscale import (
     AutoscaleResult,
     AutoscalerConfig,
@@ -28,8 +35,16 @@ from .metrics import (
     summarize,
     summarize_scalar,
 )
-from .engine import run_macro
+from .engine import run_macro, run_wave
 from .fleet import simulate_chip_shard
+from .trace import (
+    TRACE_DTYPE,
+    array_to_trace,
+    concat_trace_arrays,
+    empty_trace_array,
+    trace_to_array,
+    validate_trace_array,
+)
 from .queue import (
     ENGINES,
     BatchDecodeCostModel,
@@ -41,6 +56,8 @@ from .queue import (
 
 __all__ = [
     "BurstyArrivals",
+    "DIURNAL_HOURLY_MULTIPLIERS",
+    "DiurnalArrivals",
     "PoissonArrivals",
     "RequestSampler",
     "TraceArrivals",
@@ -66,5 +83,12 @@ __all__ = [
     "ServingResult",
     "build_trace",
     "run_macro",
+    "run_wave",
     "simulate_chip_shard",
+    "TRACE_DTYPE",
+    "array_to_trace",
+    "concat_trace_arrays",
+    "empty_trace_array",
+    "trace_to_array",
+    "validate_trace_array",
 ]

@@ -1,6 +1,6 @@
 """Request arrival processes for traffic-scale serving simulation.
 
-Three arrival models cover the deployment scenarios the serving simulator
+Four arrival models cover the deployment scenarios the serving simulator
 targets:
 
 * :class:`PoissonArrivals` — memoryless traffic at a constant offered rate,
@@ -9,12 +9,20 @@ targets:
   alternating between a calm state and a burst state whose rate is a
   multiple of the base rate (interactive edge traffic is bursty, not
   Poisson);
+* :class:`DiurnalArrivals` — Poisson traffic whose rate follows an
+  hour-of-day multiplier table over a configurable day length, the
+  composition-churning daily load curve week-long serving studies need;
 * :class:`TraceArrivals` — replay of an explicit timestamp trace, for
   feeding measured production traces through the simulator.
 
 All generators are deterministic under a fixed seed: two generators built
 with the same parameters produce bit-identical timestamp sequences, which
 the test suite relies on and which makes serving experiments reproducible.
+Every process also exposes ``iter_times()``, a *streaming* view with the
+exact RNG call order of ``generate``: ``generate(n)`` equals the first
+``n`` elements of ``iter_times()`` however the stream is chunked, which
+is what lets the scenario compiler stream-emit columnar traces without
+materialising the whole timestamp list.
 
 :class:`RequestSampler` pairs the arrival times with request *shapes*
 (image count, prompt length, output length), again deterministically.
@@ -24,7 +32,8 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from itertools import islice
+from typing import Iterator, List, Sequence, Tuple
 
 from ..models.mllm import InferenceRequest
 
@@ -38,17 +47,19 @@ class PoissonArrivals:
         self.rate_rps = rate_rps
         self.seed = seed
 
+    def iter_times(self) -> Iterator[float]:
+        """Stream the arrival timestamps (the unbounded ``generate``)."""
+        rng = random.Random(self.seed)
+        now = 0.0
+        while True:
+            now += rng.expovariate(self.rate_rps)
+            yield now
+
     def generate(self, n: int) -> List[float]:
         """Arrival timestamps (seconds, sorted, starting after t = 0)."""
         if n < 0:
             raise ValueError("n must be >= 0")
-        rng = random.Random(self.seed)
-        times: List[float] = []
-        now = 0.0
-        for _ in range(n):
-            now += rng.expovariate(self.rate_rps)
-            times.append(now)
-        return times
+        return list(islice(self.iter_times(), n))
 
 
 class BurstyArrivals:
@@ -81,24 +92,88 @@ class BurstyArrivals:
         self.mean_burst_arrivals = mean_burst_arrivals
         self.seed = seed
 
-    def generate(self, n: int) -> List[float]:
-        """Arrival timestamps (seconds, sorted, starting after t = 0)."""
-        if n < 0:
-            raise ValueError("n must be >= 0")
+    def iter_times(self) -> Iterator[float]:
+        """Stream the arrival timestamps (the unbounded ``generate``)."""
         rng = random.Random(self.seed)
-        times: List[float] = []
         now = 0.0
         bursting = False
-        for _ in range(n):
+        while True:
             rate = self.rate_rps * (self.burst_multiplier if bursting else 1.0)
             now += rng.expovariate(rate)
-            times.append(now)
+            yield now
             mean_length = (
                 self.mean_burst_arrivals if bursting else self.mean_calm_arrivals
             )
             if rng.random() < 1.0 / mean_length:
                 bursting = not bursting
-        return times
+
+    def generate(self, n: int) -> List[float]:
+        """Arrival timestamps (seconds, sorted, starting after t = 0)."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        return list(islice(self.iter_times(), n))
+
+
+#: Default hour-of-day rate multipliers of :class:`DiurnalArrivals`: a
+#: literal overnight-trough / midday-plateau / evening-shoulder curve
+#: (mean very close to 1.0, so ``rate_rps`` stays the approximate daily
+#: mean).  A literal table — not runtime trigonometry — keeps compiled
+#: scenarios byte-identical across platforms and libm versions.
+DIURNAL_HOURLY_MULTIPLIERS: Tuple[float, ...] = (
+    0.35, 0.28, 0.24, 0.22, 0.24, 0.30,
+    0.45, 0.70, 1.00, 1.30, 1.50, 1.60,
+    1.55, 1.50, 1.45, 1.40, 1.35, 1.40,
+    1.50, 1.55, 1.40, 1.10, 0.80, 0.55,
+)
+
+
+class DiurnalArrivals:
+    """Poisson arrivals whose rate follows an hour-of-day load curve.
+
+    Each inter-arrival gap is exponential at ``rate_rps`` scaled by the
+    multiplier of the *current* hour slot (``multipliers`` spread evenly
+    over one ``period_s``-second day), the standard piecewise-constant
+    approximation of a non-homogeneous Poisson process.  Shrinking
+    ``period_s`` compresses the day, so regression-sized scenarios can
+    replay a whole "week" of load churn in a few simulated minutes.
+    """
+
+    def __init__(
+        self,
+        rate_rps: float,
+        *,
+        period_s: float = 86400.0,
+        multipliers: Tuple[float, ...] = DIURNAL_HOURLY_MULTIPLIERS,
+        seed: int = 0,
+    ) -> None:
+        if rate_rps <= 0:
+            raise ValueError("rate_rps must be positive")
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if not multipliers or any(m <= 0 for m in multipliers):
+            raise ValueError("multipliers must be a non-empty positive tuple")
+        self.rate_rps = rate_rps
+        self.period_s = period_s
+        self.multipliers = tuple(float(m) for m in multipliers)
+        self.seed = seed
+
+    def iter_times(self) -> Iterator[float]:
+        """Stream the arrival timestamps (the unbounded ``generate``)."""
+        rng = random.Random(self.seed)
+        multipliers = self.multipliers
+        slot_s = self.period_s / len(multipliers)
+        slots = len(multipliers)
+        now = 0.0
+        while True:
+            rate = self.rate_rps * multipliers[int(now / slot_s) % slots]
+            now += rng.expovariate(rate)
+            yield now
+
+    def generate(self, n: int) -> List[float]:
+        """Arrival timestamps (seconds, sorted, starting after t = 0)."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        return list(islice(self.iter_times(), n))
 
 
 class TraceArrivals:
@@ -119,6 +194,10 @@ class TraceArrivals:
                 "timestamps with request shapes)"
             )
         self.times = times
+
+    def iter_times(self) -> Iterator[float]:
+        """Stream the replayed timestamps (exhausts at the trace's end)."""
+        return iter(self.times)
 
     def generate(self, n: int) -> List[float]:
         """The first ``n`` trace timestamps (the trace must be long enough)."""
@@ -155,22 +234,34 @@ class RequestSampler:
         if any(tokens <= 0 for tokens in self.output_token_choices):
             raise ValueError("output token choices must be positive")
 
+    def iter_shapes(self) -> Iterator[Tuple[int, int, int]]:
+        """Stream ``(images, prompt_text_tokens, output_tokens)`` triples.
+
+        The columnar twin of :meth:`sample`, with the identical RNG call
+        order per request, so the first ``n`` triples match ``sample(n)``
+        field for field however the stream is chunked — the scenario
+        compiler's streaming path fills trace columns from this without
+        building :class:`~repro.models.mllm.InferenceRequest` objects.
+        """
+        rng = random.Random(self.seed)
+        lo, hi = self.prompt_token_range
+        while True:
+            output_tokens = rng.choices(
+                self.output_token_choices, weights=self.output_token_weights
+            )[0]
+            yield (self.images, rng.randint(lo, hi), output_tokens)
+
     def sample(self, n: int) -> List[InferenceRequest]:
         """``n`` request shapes, bit-identical for identical samplers."""
         if n < 0:
             raise ValueError("n must be >= 0")
-        rng = random.Random(self.seed)
-        lo, hi = self.prompt_token_range
-        requests = []
-        for _ in range(n):
-            output_tokens = rng.choices(
-                self.output_token_choices, weights=self.output_token_weights
-            )[0]
-            requests.append(
-                InferenceRequest(
-                    images=self.images,
-                    prompt_text_tokens=rng.randint(lo, hi),
-                    output_tokens=output_tokens,
-                )
+        return [
+            InferenceRequest(
+                images=images,
+                prompt_text_tokens=prompt_text_tokens,
+                output_tokens=output_tokens,
             )
-        return requests
+            for images, prompt_text_tokens, output_tokens in islice(
+                self.iter_shapes(), n
+            )
+        ]

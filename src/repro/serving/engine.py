@@ -1,4 +1,4 @@
-"""Macro-stepping decode engine: advance constant-composition runs at once.
+"""Macro- and wave-stepping decode engines: compress composition runs.
 
 The per-step event loop of :meth:`~repro.serving.queue.
 ContinuousBatchingSimulator.run_step` pays one Python iteration — a batch
@@ -46,6 +46,32 @@ is O(changed streams), not O(batch): a stream admitted at step count
 ``N0`` with ``T`` output tokens finishes at count ``N0 + T``; its bucket
 next changes at count ``N0 + (bucket - context + 1)``.  Advancing ``k``
 steps just adds ``k`` to the global counter.
+
+:func:`run_wave` keeps the macro engine's event semantics and removes its
+two scale bottlenecks.  (1) The admission-cutoff walk — macro's per-step
+Python loop hunting the first decode boundary at or past the next prefill
+completion — becomes **one array pass per prefill wave**: the boundary
+sequence is reconstructed with ``np.add.accumulate`` (the exact left
+fold) and the cutoff found with ``np.searchsorted``, which stops at the
+identical boundary the scalar walk stops at.  A macro walk is O(steps)
+Python work per admission, so in admission-heavy regimes (a partially
+filled batch of long decodes with prefills landing mid-run) it degrades
+toward the per-step loop; the wave cutoff stays O(1) array calls.
+(2) The wave engine consumes the columnar
+:data:`repro.serving.trace.TRACE_DTYPE` format directly, so
+million-request traces need no per-request objects on the way in
+(records still materialise on the way out) — request shapes resolve
+through a per-shape memo and the handful of distinct
+``InferenceRequest`` instances are shared across records.
+
+On top of those, the chain loop's per-event bookkeeping is incremental
+rather than per-iteration: the next crossing/finish step counts are
+maintained under mutation instead of re-scanned with ``min()``, and when
+every active stream occupies the same context bucket — the common case
+at realistic bucket widths — the composition tuple is fully determined
+by ``(bucket value, batch size)``, so a two-tuple memo stands in for
+building and hashing a width-``batch`` tuple every iteration.  Both are
+pure work moves; every probed key and every ``dt`` float is unchanged.
 """
 
 from __future__ import annotations
@@ -57,6 +83,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
+from ..models.mllm import InferenceRequest
 from .metrics import RequestRecord
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -306,6 +333,346 @@ def run_macro(
                 break  # a slot may have opened: re-run admission
             if capacity and boundary >= admit_t:
                 break  # the waiting prefill is admissible at ``boundary``
+
+    records.sort(key=attrgetter("request_id"))
+    return ServingResult(
+        records=tuple(records),
+        peak_batch_size=peak,
+        decode_steps=steps,
+    )
+
+
+#: Admission walks at least this long run through the vectorised
+#: fold-and-search cutoff (:func:`run_wave`); shorter walks stay in the
+#: scalar loop, whose per-step cost undercuts the array-call overhead.
+#: Both paths stop at the identical boundary.
+SEARCH_CUTOFF_MIN = 32
+
+
+def _wave_columns(chip: "ContinuousBatchingSimulator", trace) -> tuple:
+    """Dispatch-ordered trace columns for :func:`run_wave`.
+
+    Normalises either trace form (a ``ServingRequest`` sequence or a
+    columnar :data:`~repro.serving.trace.TRACE_DTYPE` array) into plain
+    Python column lists sorted by ``(arrival_s, request_id)`` — the exact
+    dispatch order the other engines use — plus per-request CC-stage
+    latencies and initial contexts gathered through the chip's memos.
+    Returns ``(ids, arrivals, images, prompts, outputs, latencies,
+    contexts, requests)`` where ``requests`` is the per-request
+    ``InferenceRequest`` list for object traces and ``None`` for columnar
+    traces (the engine materialises shared instances lazily at record
+    time).
+    """
+    if isinstance(trace, np.ndarray):
+        from .trace import validate_trace_array
+
+        validate_trace_array(trace)
+        order = np.lexsort((trace["request_id"], trace["arrival_s"]))
+        rows = trace[order]
+        ids = rows["request_id"].tolist()
+        arrivals = rows["arrival_s"].tolist()
+        images = rows["images"].tolist()
+        prompts = rows["prompt_text_tokens"].tolist()
+        outputs = rows["output_tokens"].tolist()
+        requests = None
+    else:
+        pending = sorted(trace, key=lambda r: (r.arrival_s, r.request_id))
+        ids = [item.request_id for item in pending]
+        arrivals = [item.arrival_s for item in pending]
+        requests = [item.request for item in pending]
+        images = [request.images for request in requests]
+        prompts = [request.prompt_text_tokens for request in requests]
+        outputs = [request.output_tokens for request in requests]
+
+    # CC latencies and prompt-token counts are pure functions of the
+    # (images, prompt tokens) shape; big traces repeat a handful of
+    # shapes, so resolve each shape once and gather per request.
+    cc_cache_get = chip._cc_latency_cache.get
+    cc_latency_s = chip.cc_latency_s
+    prompt_tokens = chip.model.prompt_tokens
+    shape_memo: dict = {}
+    latencies: List[float] = []
+    contexts: List[int] = []
+    for image_count, prompt_count in zip(images, prompts):
+        shape = (image_count, prompt_count)
+        entry = shape_memo.get(shape)
+        if entry is None:
+            probe = _probe_request(image_count, prompt_count)
+            latency = cc_cache_get(shape)
+            if latency is None:
+                latency = cc_latency_s(probe)
+            entry = (latency, prompt_tokens(probe))
+            shape_memo[shape] = entry
+        latencies.append(entry[0])
+        contexts.append(entry[1])
+    return ids, arrivals, images, prompts, outputs, latencies, contexts, requests
+
+
+def _probe_request(images: int, prompt_text_tokens: int) -> InferenceRequest:
+    """A single-output-token probe request of the given CC-stage shape."""
+    return InferenceRequest(
+        images=images, prompt_text_tokens=prompt_text_tokens, output_tokens=1
+    )
+
+
+def run_wave(
+    chip: "ContinuousBatchingSimulator", trace
+) -> "ServingResult":
+    """Simulate ``trace`` on ``chip`` with the wave-vectorized engine.
+
+    Accepts either trace form — a ``ServingRequest`` sequence or a
+    columnar :data:`repro.serving.trace.TRACE_DTYPE` array — and returns
+    the same :class:`~repro.serving.queue.ServingResult` as
+    :func:`run_macro` and the per-step oracle, bit for bit (the
+    three-way hypothesis suite in ``tests/serving/test_wave_engine.py``
+    asserts it).  See the module docstring for what changes versus the
+    macro engine: the admission-cutoff walk batched into one
+    ``np.add.accumulate`` + ``np.searchsorted`` array pass per prefill
+    wave, and columnar trace ingestion with no per-request objects.
+    """
+    from .queue import ServingResult
+
+    if len(trace) == 0:
+        raise ValueError("trace must not be empty")
+    (
+        ids,
+        arrivals,
+        images,
+        prompts,
+        outputs,
+        latencies,
+        contexts0,
+        requests,
+    ) = _wave_columns(chip, trace)
+    n = len(ids)
+    cost_model = chip.cost_model
+    step_latency_for_buckets = cost_model.step_latency_for_buckets
+    step_cache_get = cost_model._step_cache.get
+    width = cost_model.context_bucket
+    max_batch = chip.max_batch_size
+    chip_id = chip.chip_id
+
+    # Stage 1: the serial CC pipeline over the gathered latency column —
+    # the same recurrence (and the identical floats) as prefill_windows.
+    prefill_start: List[float] = []
+    prefill_end: List[float] = []
+    cc_end = 0.0
+    for arrival, latency in zip(arrivals, latencies):
+        start = arrival if arrival > cc_end else cc_end
+        cc_end = start + latency
+        prefill_start.append(start)
+        prefill_end.append(cc_end)
+
+    # Stage 2: macro-stepped decode over the columns, with the
+    # admission-cutoff walk vectorised.  Active-stream state lives in
+    # parallel lists in admission order, exactly as in run_macro.
+    act: List[int] = []
+    ctx_offset: List[int] = []
+    buckets: List[int] = []
+    cross_at: List[int] = []
+    finish_at: List[int] = []
+    first_token: List[Optional[float]] = []
+    act_append = act.append
+    ctx_offset_append = ctx_offset.append
+    buckets_append = buckets.append
+    cross_at_append = cross_at.append
+    finish_at_append = finish_at.append
+    first_token_append = first_token.append
+
+    request_memo: dict = {}
+    records: List[RequestRecord] = []
+    records_append = records.append
+    steps = 0
+    peak = 0
+    now = 0.0
+    cursor = 0
+    # min(cross_at) / min(finish_at), maintained incrementally: appends
+    # can only lower them, and they only need a rescan when the minimum
+    # itself is deleted or crossed — rare events relative to chain
+    # iterations, so the loop never pays an O(batch) min() per step run.
+    inf = float("inf")
+    next_cross = inf
+    min_finish = inf
+    # Uniform-composition fast path: when every active stream sits in
+    # the same context bucket, the ordered composition tuple is fully
+    # determined by (bucket value, batch size) — there is exactly one
+    # ordering — so a two-tuple memo stands in for building and hashing
+    # the full width-`batch` tuple every chain iteration.  `mixed`
+    # counts streams whose bucket differs from the anchor value; the
+    # fast path only fires at zero, so a stale anchor can only miss the
+    # optimisation, never change a latency.
+    uniform_value = 0
+    mixed = 0
+    uniform_memo: dict = {}
+    uniform_get = uniform_memo.get
+
+    while act or cursor < n:
+        if not act:
+            restart = prefill_end[cursor]
+            if restart > now:
+                now = restart
+        fresh = 0
+        while (
+            cursor < n
+            and len(act) < max_batch
+            and prefill_end[cursor] <= now
+        ):
+            context = contexts0[cursor]
+            bucket = ((max(context, 1) + width - 1) // width) * width
+            cross = steps + bucket - context + 1
+            finish = steps + outputs[cursor]
+            if not act:
+                uniform_value = bucket
+                mixed = 0
+            elif bucket != uniform_value:
+                mixed += 1
+            act_append(cursor)
+            ctx_offset_append(context - steps)
+            buckets_append(bucket)
+            cross_at_append(cross)
+            finish_at_append(finish)
+            first_token_append(None)
+            if cross < next_cross:
+                next_cross = cross
+            if finish < min_finish:
+                min_finish = finish
+            cursor += 1
+            fresh += 1
+        batch = len(act)
+        if fresh and batch > peak:
+            peak = batch
+        capacity = batch < max_batch and cursor < n
+        admit_t = prefill_end[cursor] if capacity else 0.0
+
+        while True:
+            if mixed:
+                key = tuple(buckets)
+                dt = step_cache_get(key)
+                if dt is None:
+                    dt = step_latency_for_buckets(key)
+            else:
+                dt = uniform_get((uniform_value, batch))
+                if dt is None:
+                    key = (uniform_value,) * batch
+                    dt = step_cache_get(key)
+                    if dt is None:
+                        dt = step_latency_for_buckets(key)
+                    uniform_memo[(uniform_value, batch)] = dt
+            k = (next_cross if next_cross < min_finish else min_finish) - steps
+            if capacity and (now + dt * k) * (1.0 + 1e-8) >= admit_t:
+                # The admission cutoff.  The run must stop at the first
+                # boundary of the left-fold sequence at or past the next
+                # prefill completion; macro walks the fold step by step.
+                if k < SEARCH_CUTOFF_MIN:
+                    first_boundary = now + dt
+                    boundary = first_boundary
+                    run = 1
+                    while run < k and boundary < admit_t:
+                        boundary += dt
+                        run += 1
+                    k = run
+                else:
+                    # One array pass per prefill wave: rebuild the exact
+                    # fold, then binary-search the cutoff.  searchsorted
+                    # returns how many boundaries fall short of admit_t,
+                    # so the walk's stopping index is one past that,
+                    # clamped to the run length — the identical boundary
+                    # the scalar walk stops at, k array ops sooner.
+                    fold = np.empty(k + 1)
+                    fold.fill(dt)
+                    fold[0] = now
+                    folded = np.add.accumulate(fold)
+                    run = int(
+                        folded[1:].searchsorted(admit_t, "left")
+                    ) + 1
+                    if run > k:
+                        run = k
+                    first_boundary = float(folded[1])
+                    boundary = float(folded[run])
+                    k = run
+            elif k >= NUMPY_FOLD_MIN:
+                fold = np.empty(k + 1)
+                fold.fill(dt)
+                fold[0] = now
+                folded = np.add.accumulate(fold)
+                first_boundary = float(folded[1])
+                boundary = float(folded[k])
+            elif k >= ACCUMULATE_FOLD_MIN:
+                first_boundary = now + dt
+                boundary = deque(
+                    accumulate(repeat(dt, k - 1), initial=first_boundary),
+                    maxlen=1,
+                )[0]
+            else:
+                first_boundary = now + dt
+                boundary = first_boundary
+                for _ in range(k - 1):
+                    boundary += dt
+            steps += k
+            now = boundary
+
+            if fresh:
+                for position in range(batch - fresh, batch):
+                    first_token[position] = first_boundary
+                fresh = 0
+
+            finished = min_finish == steps
+            if finished:
+                while steps in finish_at:
+                    position = finish_at.index(steps)
+                    index = act[position]
+                    if requests is not None:
+                        request = requests[index]
+                    else:
+                        shape = (images[index], prompts[index], outputs[index])
+                        request = request_memo.get(shape)
+                        if request is None:
+                            request = InferenceRequest(
+                                images=shape[0],
+                                prompt_text_tokens=shape[1],
+                                output_tokens=shape[2],
+                            )
+                            request_memo[shape] = request
+                    records_append(
+                        RequestRecord(
+                            request_id=ids[index],
+                            request=request,
+                            arrival_s=arrivals[index],
+                            prefill_start_s=prefill_start[index],
+                            prefill_end_s=prefill_end[index],
+                            first_token_s=first_token[position],
+                            finish_s=boundary,
+                            chip_id=chip_id,
+                        )
+                    )
+                    if buckets[position] != uniform_value:
+                        mixed -= 1
+                    del act[position]
+                    del ctx_offset[position]
+                    del buckets[position]
+                    removed = cross_at[position]
+                    del cross_at[position]
+                    del finish_at[position]
+                    del first_token[position]
+                    if removed == next_cross:
+                        next_cross = min(cross_at) if act else inf
+                min_finish = min(finish_at) if act else inf
+            if next_cross == steps:
+                while steps in cross_at:
+                    position = cross_at.index(steps)
+                    context = ctx_offset[position] + steps
+                    bucket = ((max(context, 1) + width - 1) // width) * width
+                    if buckets[position] != uniform_value:
+                        mixed -= 1
+                    if bucket != uniform_value:
+                        mixed += 1
+                    buckets[position] = bucket
+                    cross_at[position] = steps + bucket - context + 1
+                next_cross = min(cross_at)
+            if finished:
+                break
+            if capacity and boundary >= admit_t:
+                break
 
     records.sort(key=attrgetter("request_id"))
     return ServingResult(

@@ -149,81 +149,137 @@ class FleetSimulator:
     # ------------------------------------------------------------------
     # Service-time precomputation (batch engine)
     # ------------------------------------------------------------------
-    def precompute_service_times(self, trace: Sequence[ServingRequest]) -> None:
-        """Warm every chip's cost caches with one batched pass per table.
+    def _chip_groups(self) -> List[List[ContinuousBatchingSimulator]]:
+        """Chips grouped by system equality (pools follow the system)."""
+        groups: List[List[ContinuousBatchingSimulator]] = []
+        for chip in self.chips:
+            for group in groups:
+                if chip.simulator.system == group[0].simulator.system:
+                    group.append(chip)
+                    break
+            else:
+                groups.append([chip])
+        return groups
 
-        The fleet's chips are identical, yet each one would lazily derive
-        the same CC-stage latencies and decode-bucket cost triples through
-        the scalar simulator.  This precomputation prices each unique
-        request shape and each initial context bucket once through the
-        array-native :class:`~repro.core.batch.BatchCostEngine` and seeds
-        the caches of every chip that shares the reference configuration
-        (chips from a customised ``simulator_factory`` that differ are left
-        to compute lazily).  Seeded values are bit-identical to what the
-        scalar path would cache, so traces replay unchanged.
+    def precompute_service_times(self, trace: Sequence[ServingRequest]) -> None:
+        """Warm every chip's cost caches with one (chips × buckets) grid pass.
+
+        The fleet's chips would each lazily derive the same CC-stage
+        latencies and decode-bucket cost triples through the scalar
+        simulator.  This precomputation prices the whole fleet at once:
+        chips group by system equality, each group of systems becomes one
+        :class:`~repro.core.batch.DesignGrid` point, and every missing
+        request shape (or initial context bucket) becomes one phase of a
+        single :class:`~repro.core.batch.OpTable` — so all (group, shape)
+        CC latencies come out of one ``evaluate`` call and all
+        (group, bucket) decode cost triples out of one ``op_costs`` call,
+        instead of a table build and engine pass per shape.  Per-phase
+        reductions slice the shared op-order array exactly as the
+        single-phase tables would, and op costs are pure per unique
+        signature, so seeded values are bit-identical to the scalar path
+        and traces replay unchanged.
 
         Buckets that only appear later (contexts grow as tokens generate)
         still resolve lazily through the scalar path.
         """
-        if not trace:
+        if not len(trace):
             return
-        reference = self.chips[0]
-        system = reference.simulator.system
-        targets = [
-            chip for chip in self.chips if chip.simulator.system == system
-        ]
-
         shapes = sorted(
             {(r.request.images, r.request.prompt_text_tokens) for r in trace}
         )
-        missing_shapes = [s for s in shapes if not reference.has_cc_latency(s)]
-        if missing_shapes:
-            grid = DesignGrid.from_systems(
-                [system], bandwidth_fraction=self.cc_bandwidth_fraction
+        probes = {
+            shape: InferenceRequest(
+                images=shape[0], prompt_text_tokens=shape[1], output_tokens=1
             )
-            engine = BatchCostEngine(grid)
-            latencies: Dict[Tuple[int, int], float] = {}
-            for images, prompt_text_tokens in missing_shapes:
-                probe = InferenceRequest(
-                    images=images,
-                    prompt_text_tokens=prompt_text_tokens,
-                    output_tokens=1,
-                )
-                workload = self.model.build_workload(probe)
+            for shape in shapes
+        }
+        reference = self.chips[0].cost_model
+        buckets = sorted(
+            {
+                reference.bucket_for(self.model.prompt_tokens(probe))
+                for probe in probes.values()
+            }
+        )
+        groups = self._chip_groups()
+
+        cc_pending = [
+            (group, [s for s in shapes if not group[0].has_cc_latency(s)])
+            for group in groups
+        ]
+        cc_pending = [(g, missing) for g, missing in cc_pending if missing]
+        # The batch engine prices one pool per call; a pool is a pure
+        # function of the system, so groups partition cleanly by it.
+        for pool in sorted({g[0].cc_pool for g, _ in cc_pending}):
+            members = [
+                (g, missing) for g, missing in cc_pending if g[0].cc_pool == pool
+            ]
+            union = sorted({s for _, missing in members for s in missing})
+            grid = DesignGrid.from_systems(
+                [g[0].simulator.system for g, _ in members],
+                bandwidth_fraction=self.cc_bandwidth_fraction,
+            )
+            phases = []
+            for position, shape in enumerate(union):
+                workload = self.model.build_workload(probes[shape])
                 merged = merge_phases(
                     "cc_stage",
                     [p for p in workload.phases if p.name in CC_STAGE_PHASES],
                 )
-                table = OpTable.from_phase(merged)
-                result = engine.evaluate(table, pool=reference.cc_pool)
-                latencies[(images, prompt_text_tokens)] = float(
-                    result.phases[0].latency_s[0]
-                )
-            for chip in targets:
-                chip.seed_cc_latencies(latencies)
+                phases.append((f"cc_{position}", merged.ops, merged.repeat))
+            table = OpTable("fleet_cc_grid", phases)
+            result = BatchCostEngine(grid).evaluate(table, pool=pool)
+            column = {shape: position for position, shape in enumerate(union)}
+            for point, (group, missing) in enumerate(members):
+                latencies: Dict[Tuple[int, int], float] = {
+                    shape: float(result.phases[column[shape]].latency_s[point])
+                    for shape in missing
+                }
+                for chip in group:
+                    chip.seed_cc_latencies(latencies)
 
-        cost_model = reference.cost_model
-        buckets = sorted(
-            {
-                cost_model.bucket_for(self.model.prompt_tokens(r.request))
-                for r in trace
-            }
-        )
-        missing_buckets = [b for b in buckets if not cost_model.has_bucket_cost(b)]
-        if missing_buckets:
-            grid = DesignGrid.from_systems([system], bandwidth_fraction=1.0)
-            engine = BatchCostEngine(grid)
-            bucket_costs: Dict[int, Tuple[int, int, float]] = {}
-            for bucket in missing_buckets:
-                table = OpTable.from_phase(self.model.decode_step(bucket))
-                matrices = engine.op_costs(table, pool=cost_model.pool)
-                index = table.order
-                weight = int(matrices.pruned_weight_bytes[0, index].sum())
-                total = int(matrices.traffic_bytes[0, index].sum())
-                compute = float(ordered_sum(matrices.compute_cycles[:, index])[0])
-                bucket_costs[bucket] = (weight, total - weight, compute)
-            for chip in targets:
-                chip.cost_model.seed_bucket_costs(bucket_costs)
+        decode_pending = [
+            (
+                group,
+                [b for b in buckets if not group[0].cost_model.has_bucket_cost(b)],
+            )
+            for group in groups
+        ]
+        decode_pending = [(g, missing) for g, missing in decode_pending if missing]
+        for pool in sorted({g[0].cost_model.pool for g, _ in decode_pending}):
+            members = [
+                (g, missing)
+                for g, missing in decode_pending
+                if g[0].cost_model.pool == pool
+            ]
+            union = sorted({b for _, missing in members for b in missing})
+            grid = DesignGrid.from_systems(
+                [g[0].simulator.system for g, _ in members],
+                bandwidth_fraction=1.0,
+            )
+            table = OpTable(
+                "fleet_decode_grid",
+                [
+                    (f"decode_{bucket}", phase.ops, phase.repeat)
+                    for bucket, phase in (
+                        (b, self.model.decode_step(b)) for b in union
+                    )
+                ],
+            )
+            matrices = BatchCostEngine(grid).op_costs(table, pool=pool)
+            column = {bucket: position for position, bucket in enumerate(union)}
+            for point, (group, missing) in enumerate(members):
+                bucket_costs: Dict[int, Tuple[int, int, float]] = {}
+                for bucket in missing:
+                    slice_ = table.phases[column[bucket]]
+                    index = table.order[slice_.start : slice_.stop]
+                    weight = int(matrices.pruned_weight_bytes[point, index].sum())
+                    total = int(matrices.traffic_bytes[point, index].sum())
+                    compute = float(
+                        ordered_sum(matrices.compute_cycles[:, index])[point]
+                    )
+                    bucket_costs[bucket] = (weight, total - weight, compute)
+                for chip in group:
+                    chip.cost_model.seed_bucket_costs(bucket_costs)
 
     # ------------------------------------------------------------------
     # Dispatch

@@ -233,10 +233,16 @@ class ServingResult:
 
 #: Decode-loop implementations of :class:`ContinuousBatchingSimulator`:
 #: ``"macro"`` advances whole constant-composition runs of decode steps in
-#: one shot (:mod:`repro.serving.engine`), ``"step"`` executes the original
-#: one-iteration-per-step event loop.  Both produce bit-identical results;
-#: ``"step"`` is retained as the oracle the macro engine is tested against.
-ENGINES: Tuple[str, ...] = ("macro", "step")
+#: one shot (:mod:`repro.serving.engine`), ``"wave"`` additionally batches
+#: the admission-cutoff walk into one array pass per prefill wave, keeps
+#: the run bookkeeping (composition minima, uniform-batch step latencies)
+#: incremental instead of per-iteration, and consumes columnar
+#: :data:`repro.serving.trace.TRACE_DTYPE` traces directly, and ``"step"``
+#: executes the original one-iteration-per-step event loop.  All three
+#: produce bit-identical results; ``"step"`` is retained as the exact
+#: oracle the compressed engines are tested against, ``"macro"`` as the
+#: mid-tier reference.
+ENGINES: Tuple[str, ...] = ("macro", "step", "wave")
 
 
 class ContinuousBatchingSimulator:
@@ -342,10 +348,22 @@ class ContinuousBatchingSimulator:
         """Simulate the trace to completion and return per-request records.
 
         Dispatches to the configured :data:`ENGINES` member: the default
-        macro-stepping engine (:func:`repro.serving.engine.run_macro`) or
-        the per-step oracle loop (:meth:`run_step`).  Both return the same
-        :class:`ServingResult` bit for bit.
+        macro-stepping engine (:func:`repro.serving.engine.run_macro`),
+        the wave engine (:func:`repro.serving.engine.run_wave`) or the
+        per-step oracle loop (:meth:`run_step`).  All return the same
+        :class:`ServingResult` bit for bit.  ``trace`` may also be a
+        columnar :data:`repro.serving.trace.TRACE_DTYPE` array; the wave
+        engine consumes it directly, the others materialise the object
+        trace first (same records either way).
         """
+        if self.engine == "wave":
+            from .engine import run_wave
+
+            return run_wave(self, trace)
+        if not isinstance(trace, (list, tuple)) and hasattr(trace, "dtype"):
+            from .trace import array_to_trace
+
+            trace = array_to_trace(trace)
         if self.engine == "macro":
             from .engine import run_macro
 

@@ -107,7 +107,7 @@ def make_trace(
 
 class TestEngineSelection:
     def test_engines_tuple_and_default(self):
-        assert ENGINES == ("macro", "step")
+        assert ENGINES == ("macro", "step", "wave")
         assert ContinuousBatchingSimulator(model=MODEL).engine == "macro"
 
     def test_rejects_unknown_engine(self):

@@ -1,0 +1,248 @@
+"""Wave engine: three-way bit-identity across wave, macro and step.
+
+The wave engine batches the admission-cutoff walk into one array pass and
+consumes columnar traces, but its contract is the macro engine's: exact
+``==`` equivalence with the per-step oracle.  Every test here asserts
+equality of ``RequestRecord`` tuples and peak-batch/decode-step counters
+across all three engines — on randomized composition-churning traces over
+batch sizes, bucket widths and fleet sizes — plus scale-event equality
+when the autoscaler drives fleets under ``engine="wave"``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.mllm import get_mllm
+from repro.serving import (
+    AutoscalerConfig,
+    AutoscalingFleetSimulator,
+    BurstyArrivals,
+    ContinuousBatchingSimulator,
+    FleetSimulator,
+    PoissonArrivals,
+    RequestSampler,
+    build_trace,
+    trace_to_array,
+)
+
+MODEL = get_mllm("sphinx-tiny")
+
+#: Shared cost-cache donor, as in test_macro_engine: seeding moves work,
+#: never values, so every engine of a comparison gets identical caches.
+_DONOR = {
+    "cc": {},
+    "buckets": {},
+    "steps": {},
+}
+
+
+def _chip(engine, *, max_batch_size=8, context_bucket=32):
+    chip = ContinuousBatchingSimulator(
+        model=MODEL,
+        max_batch_size=max_batch_size,
+        context_bucket=context_bucket,
+        engine=engine,
+    )
+    chip.seed_cc_latencies(_DONOR["cc"])
+    chip.cost_model.seed_bucket_costs(_DONOR["buckets"])
+    chip.cost_model.seed_step_cache(_DONOR["steps"])
+    return chip
+
+
+def _harvest(chip):
+    _DONOR["cc"].update(chip.cc_latencies())
+    _DONOR["buckets"].update(chip.cost_model.bucket_costs())
+    _DONOR["steps"].update(chip.cost_model.step_cache())
+
+
+def run_three(trace, *, max_batch_size=8, context_bucket=32):
+    """(wave, macro, step) results of the same trace on triplet chips."""
+    results = []
+    for engine in ("wave", "macro", "step"):
+        chip = _chip(
+            engine,
+            max_batch_size=max_batch_size,
+            context_bucket=context_bucket,
+        )
+        results.append(chip.run(trace))
+        _harvest(chip)
+    return results
+
+
+def assert_identical(result, reference):
+    """Every observable of the two runs is ``==``-identical."""
+    assert result.records == reference.records
+    assert result.peak_batch_size == reference.peak_batch_size
+    assert result.decode_steps == reference.decode_steps
+
+
+def make_trace(
+    n,
+    *,
+    seed,
+    rate=4.0,
+    bursty=False,
+    images=1,
+    prompt_range=(4, 64),
+    output_choices=(1, 2, 8, 16, 64),
+):
+    arrivals = (
+        BurstyArrivals(rate, burst_multiplier=6.0, seed=seed)
+        if bursty
+        else PoissonArrivals(rate, seed=seed)
+    )
+    sampler = RequestSampler(
+        seed=seed,
+        images=images,
+        prompt_token_range=prompt_range,
+        output_token_choices=output_choices,
+        output_token_weights=tuple(1.0 for _ in output_choices),
+    )
+    return build_trace(arrivals.generate(n), sampler.sample(n))
+
+
+class TestPropertyEquivalence:
+    @given(
+        n=st.integers(min_value=1, max_value=90),
+        seed=st.integers(min_value=0, max_value=2**16),
+        rate=st.floats(min_value=0.2, max_value=40.0),
+        bursty=st.booleans(),
+        max_batch=st.integers(min_value=1, max_value=12),
+        bucket=st.sampled_from((1, 4, 16, 32, 64, 96)),
+        images=st.integers(min_value=0, max_value=2),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_wave_equals_macro_equals_step(
+        self, n, seed, rate, bursty, max_batch, bucket, images
+    ):
+        # Mixed output lengths churn the batch composition constantly —
+        # the regime where an unsound admission cutoff or composition
+        # update would diverge fastest.
+        trace = make_trace(
+            n, seed=seed, rate=rate, bursty=bursty, images=images
+        )
+        wave, macro, step = run_three(
+            trace, max_batch_size=max_batch, context_bucket=bucket
+        )
+        assert_identical(wave, step)
+        assert_identical(macro, step)
+
+    @given(
+        n=st.integers(min_value=1, max_value=60),
+        seed=st.integers(min_value=0, max_value=2**16),
+        rate=st.floats(min_value=0.2, max_value=20.0),
+        max_batch=st.integers(min_value=1, max_value=8),
+        bucket=st.sampled_from((1, 16, 64)),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_columnar_trace_equals_object_trace(
+        self, n, seed, rate, max_batch, bucket
+    ):
+        # The wave engine accepts the TRACE_DTYPE array directly; the
+        # records must match an object-trace wave run and the oracle.
+        trace = make_trace(n, seed=seed, rate=rate)
+        array = trace_to_array(trace)
+        from_objects = _chip(
+            "wave", max_batch_size=max_batch, context_bucket=bucket
+        )
+        objects_result = from_objects.run(trace)
+        _harvest(from_objects)
+        from_array = _chip(
+            "wave", max_batch_size=max_batch, context_bucket=bucket
+        )
+        array_result = from_array.run(array)
+        oracle = _chip(
+            "step", max_batch_size=max_batch, context_bucket=bucket
+        )
+        step_result = oracle.run(trace)
+        assert_identical(array_result, objects_result)
+        assert_identical(array_result, step_result)
+
+
+class TestDeterministicEdges:
+    def test_single_request(self):
+        wave, macro, step = run_three(make_trace(1, seed=0))
+        assert_identical(wave, step)
+
+    def test_serial_batch_of_one(self):
+        trace = make_trace(30, seed=2, rate=8.0)
+        wave, _, step = run_three(trace, max_batch_size=1)
+        assert_identical(wave, step)
+
+    def test_long_walk_exercises_the_searchsorted_cutoff(self):
+        # A slow trickle of long decodes: admissions land mid-run, with
+        # runs long past SEARCH_CUTOFF_MIN, so the vectorised cutoff (not
+        # the scalar walk) picks the admission boundary.
+        trace = make_trace(
+            10, seed=5, rate=0.05, output_choices=(200, 256)
+        )
+        wave, _, step = run_three(trace, context_bucket=256)
+        assert_identical(wave, step)
+
+    def test_unsorted_trace_positions(self):
+        trace = list(reversed(make_trace(30, seed=4, rate=10.0)))
+        wave, _, step = run_three(trace)
+        assert_identical(wave, step)
+
+    def test_empty_trace_rejected(self):
+        import numpy as np
+
+        from repro.serving.trace import TRACE_DTYPE
+
+        chip = _chip("wave")
+        with pytest.raises(ValueError, match="empty"):
+            chip.run([])
+        with pytest.raises(ValueError, match="empty"):
+            chip.run(np.empty(0, dtype=TRACE_DTYPE))
+
+
+class TestFleetEquivalence:
+    @pytest.mark.parametrize("policy", ["round_robin", "least_loaded"])
+    @pytest.mark.parametrize("n_chips", [1, 3])
+    def test_fleet_traces_identical(self, policy, n_chips):
+        trace = make_trace(80, seed=11, rate=12.0, bursty=True)
+        results = []
+        for engine in ("wave", "step"):
+            fleet = FleetSimulator(
+                MODEL, n_chips=n_chips, policy=policy, engine=engine
+            )
+            results.append(fleet.run(trace))
+        wave, step = results
+        assert wave.assignments == step.assignments
+        assert wave.records == step.records
+        for chip_wave, chip_step in zip(wave.per_chip, step.per_chip):
+            assert chip_wave.records == chip_step.records
+            assert chip_wave.peak_batch_size == chip_step.peak_batch_size
+            assert chip_wave.decode_steps == chip_step.decode_steps
+
+
+class TestAutoscalerEquivalence:
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=8, deadline=None)
+    def test_scale_events_and_records_identical(self, seed):
+        trace = make_trace(
+            120, seed=seed, rate=8.0, bursty=True, output_choices=(8, 16, 64)
+        )
+        config = AutoscalerConfig(
+            target_p99_ttft_s=2.0,
+            min_chips=1,
+            max_chips=3,
+            window=24,
+            min_observations=8,
+            cooldown_s=0.5,
+            scale_up_ratio=0.5,
+            max_queue_depth=16,
+        )
+        results = []
+        for engine in ("wave", "step"):
+            fleet = AutoscalingFleetSimulator(
+                MODEL, autoscaler=config, engine=engine
+            )
+            results.append(fleet.run(trace))
+        wave, step = results
+        assert wave.events == step.events
+        assert wave.assignments == step.assignments
+        assert wave.rejected_ids == step.rejected_ids
+        assert wave.records == step.records
+        assert wave.final_chips == step.final_chips

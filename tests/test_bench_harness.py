@@ -108,16 +108,72 @@ class TestCheckMode:
         out = capsys.readouterr().out
         assert "--check passed" in out
 
-    def test_main_check_requires_a_baseline_file(self, harness, tmp_path):
-        with pytest.raises(SystemExit):
+    def test_new_scenarios_warn_instead_of_failing(self, harness):
+        fresh = self._report(existing=1.0, just_added=100.0)
+        baseline = self._report(existing=1.0)
+        warnings = harness.baseline_warnings(fresh, baseline)
+        assert len(warnings) == 1
+        assert warnings[0].startswith("just_added:")
+        # ... and the regression check itself must not flag the newcomer.
+        assert harness.check_regressions(fresh, baseline) == []
+
+    def test_fully_covered_run_produces_no_warnings(self, harness):
+        fresh = self._report(a=1.0, b=2.0)
+        baseline = self._report(a=1.0, b=2.0, retired=0.5)
+        assert harness.baseline_warnings(fresh, baseline) == []
+
+    def test_main_check_warns_and_passes_without_a_baseline_file(
+        self, harness, tmp_path, capsys
+    ):
+        harness.main(
+            [
+                "--only", "fig6",
+                "--output", str(tmp_path / "fresh.json"),
+                "--baseline", str(tmp_path / "missing.json"),
+                "--check",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "warning: --check baseline not found" in out
+        assert "--check passed: no committed baseline" in out
+        # The fresh results file is still written for future gates.
+        assert (tmp_path / "fresh.json").exists()
+
+    def test_main_check_warns_about_uncommitted_scenarios(
+        self, harness, tmp_path, capsys
+    ):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(self._report(other_scenario=1.0)))
+        harness.main(
+            [
+                "--only", "fig6",
+                "--output", str(tmp_path / "fresh.json"),
+                "--baseline", str(baseline),
+                "--check",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "warning: fig6_bandwidth: no committed baseline" in out
+        assert "--check passed" in out
+
+    def test_main_check_still_fails_on_a_real_regression(
+        self, harness, tmp_path, capsys, monkeypatch
+    ):
+        # The warn-and-pass paths must not soften the genuine gate.
+        monkeypatch.setattr(harness, "MIN_CHECK_SECONDS", 0.0)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(self._report(fig6_bandwidth=1e-9)))
+        with pytest.raises(SystemExit) as excinfo:
             harness.main(
                 [
                     "--only", "fig6",
                     "--output", str(tmp_path / "fresh.json"),
-                    "--baseline", str(tmp_path / "missing.json"),
+                    "--baseline", str(baseline),
                     "--check",
                 ]
             )
+        capsys.readouterr()
+        assert excinfo.value.code == 1
 
     def test_committed_results_include_the_macro_benchmark(self):
         committed = HARNESS_PATH.parent / "BENCH_results.json"
@@ -127,6 +183,15 @@ class TestCheckMode:
         assert record["identical_records"] is True
         # The committed trajectory must show the >= 10x acceptance headline.
         assert record["speedup"] >= 10
+
+    def test_committed_results_include_the_wave_benchmark(self):
+        committed = HARNESS_PATH.parent / "BENCH_results.json"
+        data = json.loads(committed.read_text())
+        record = data["scenarios"]["serving_wave_1M"]
+        assert record["requests"] == 1000000
+        assert record["identical_records"] is True
+        # The committed trajectory must show the < 10 s acceptance headline.
+        assert record["wave_seconds"] < record["time_budget_s"]
 
 
 class TestResultsFile:
