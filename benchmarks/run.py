@@ -52,6 +52,14 @@ REGRESSION_FACTOR = 2.0
 #: scenario far past the floor, where the factor applies again).
 MIN_CHECK_SECONDS = 0.05
 
+#: Workload-shape detail keys ``--check`` watches for drift.  Seconds are
+#: only comparable when the scenario did the same amount of work: a
+#: benchmark that silently shrank its candidate space (or started hitting
+#: a warm store) would fake a speedup the seconds gate cannot see.  Drift
+#: warns rather than fails — an intentional workload change lands together
+#: with its refreshed baseline.
+METADATA_KEYS = ("candidates", "pruned", "simulated", "store_hits")
+
 
 def discover_scenarios() -> List[Tuple[str, str, Callable[[], object]]]:
     """All (scenario name, module file, callable) triples, sorted by name."""
@@ -181,6 +189,37 @@ def baseline_warnings(
     ]
 
 
+def metadata_warnings(
+    fresh: Dict[str, object],
+    baseline: Dict[str, object],
+    *,
+    keys: Tuple[str, ...] = METADATA_KEYS,
+) -> List[str]:
+    """Warnings where a scenario's workload-shape metadata drifted.
+
+    Compares every :data:`METADATA_KEYS` entry a scenario records in both
+    the fresh run and the committed baseline; a mismatch means the timed
+    work changed (shrunken space, warm cache, different pruning), so the
+    seconds comparison is apples-to-oranges.  Keys absent on either side
+    are skipped — older baselines predate the metadata.
+    """
+    committed = baseline.get("scenarios", {})
+    warnings: List[str] = []
+    for name, record in sorted(fresh.get("scenarios", {}).items()):
+        base = committed.get(name)
+        if base is None:
+            continue
+        for key in keys:
+            if key not in record or key not in base:
+                continue
+            if record[key] != base[key]:
+                warnings.append(
+                    f"{name}: {key} drifted from committed {base[key]!r} to "
+                    f"{record[key]!r}; seconds are not comparable"
+                )
+    return warnings
+
+
 def main(argv: List[str] = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -220,6 +259,8 @@ def main(argv: List[str] = None) -> None:
             print("\n--check passed: no committed baseline to compare against")
             return
         for warning in baseline_warnings(report, baseline):
+            print(f"warning: {warning}")
+        for warning in metadata_warnings(report, baseline):
             print(f"warning: {warning}")
         failures = check_regressions(report, baseline)
         if failures:

@@ -54,6 +54,7 @@ __all__ = [
     "BatchCostEngine",
     "RequestPrice",
     "ServiceTimeBounds",
+    "ServiceTimeBoundsPricer",
     "compile_workload",
     "batch_run_request",
     "batch_price_request_mix",
@@ -863,6 +864,213 @@ def context_bucket_for(context: int, context_bucket: int) -> int:
     ) * context_bucket
 
 
+class ServiceTimeBoundsPricer:
+    """Reusable service-time-bound evaluator over a fixed shape set.
+
+    Compiling the *shape side* of :func:`batch_service_time_bounds` — the
+    merged CC-stage op table, the decode-bucket op table, per-shape prompt
+    lengths and bucket histograms — is design-independent and costs far
+    more than one additional design row in the broadcasted evaluation.
+    The pricer hoists that compilation into ``__init__`` so callers that
+    bound *many* batches of designs against the *same* trace (the flat
+    planner chunking over a huge grid, the branch-and-bound planner
+    pricing one wave of subgrid corners per tree level) pay it exactly
+    once; :meth:`bounds` then evaluates any batch of systems with only the
+    per-design broadcast work.
+
+    ``batch_service_time_bounds(model, shapes, systems)`` is equivalent to
+    ``ServiceTimeBoundsPricer(model, shapes).bounds(systems)`` and the
+    floats are identical — the pricer is a refactoring of that function,
+    not a reimplementation.
+    """
+
+    def __init__(
+        self,
+        model: MLLMConfig,
+        shapes: Sequence[InferenceRequest],
+        *,
+        cc_bandwidth_fraction: float = 0.5,
+        context_bucket: int = 32,
+    ) -> None:
+        if not 0.0 < cc_bandwidth_fraction < 1.0:
+            raise ValueError("cc_bandwidth_fraction must be in (0, 1)")
+        if context_bucket < 1:
+            raise ValueError("context_bucket must be >= 1")
+        unique: Dict[InferenceRequest, None] = {}
+        for shape in shapes:
+            unique.setdefault(shape, None)
+        if not unique:
+            raise ValueError("shapes must not be empty")
+        self.model = model
+        self.cc_bandwidth_fraction = cc_bandwidth_fraction
+        self.context_bucket = context_bucket
+        self.shapes: Tuple[InferenceRequest, ...] = tuple(unique)
+        self._shape_column = {
+            shape: column for column, shape in enumerate(self.shapes)
+        }
+
+        # Chip-independent tables: one merged CC-stage phase per shape, one
+        # decode-step phase per context bucket any shape's decode touches.
+        from .pipeline import CC_STAGE_PHASES
+
+        cc_phases: List[Tuple[str, Sequence[Op], int]] = []
+        prompts: List[int] = []
+        bucket_counts: List[Counter] = []
+        buckets: Dict[int, None] = {}
+        for index, shape in enumerate(self.shapes):
+            probe = InferenceRequest(
+                images=shape.images,
+                prompt_text_tokens=shape.prompt_text_tokens,
+                output_tokens=1,
+            )
+            workload = model.build_workload(probe)
+            merged = merge_phases(
+                "cc_stage",
+                [
+                    phase
+                    for phase in workload.phases
+                    if phase.name in CC_STAGE_PHASES
+                ],
+            )
+            cc_phases.append((f"{index}/cc_stage", merged.ops, merged.repeat))
+            prompt = model.prompt_tokens(shape)
+            prompts.append(prompt)
+            counts = Counter(
+                context_bucket_for(prompt + step, context_bucket)
+                for step in range(shape.output_tokens)
+            )
+            bucket_counts.append(counts)
+            buckets.setdefault(context_bucket_for(prompt, context_bucket), None)
+            for bucket in counts:
+                buckets.setdefault(bucket, None)
+        self._bucket_list = sorted(buckets)
+        self._bucket_column = {
+            bucket: column for column, bucket in enumerate(self._bucket_list)
+        }
+        self._decode_table = OpTable(
+            "decode_bounds",
+            [
+                (f"bucket/{bucket}", model.decode_step(bucket).ops, 1)
+                for bucket in self._bucket_list
+            ],
+        )
+        self._cc_table = OpTable("cc_stage_bounds", cc_phases)
+        self._prompts = prompts
+        self._bucket_counts = bucket_counts
+        self._first_columns = [
+            self._bucket_column[context_bucket_for(prompt, context_bucket)]
+            for prompt in prompts
+        ]
+
+    @property
+    def n_shapes(self) -> int:
+        """Number of unique request shapes the pricer was compiled for."""
+        return len(self.shapes)
+
+    def shape_column(self, shape: InferenceRequest) -> int:
+        """The bound-array column of ``shape`` (must have been compiled)."""
+        try:
+            return self._shape_column[shape]
+        except KeyError:
+            raise KeyError(f"shape {shape!r} was not compiled by this pricer")
+
+    def trace_columns(self, trace: Sequence) -> np.ndarray:
+        """Bound-array columns of a serving trace, one per request.
+
+        Accepts :class:`~repro.serving.queue.ServingRequest` sequences (the
+        planner's compiled traces); the returned int64 array indexes the
+        shape axis of every array :meth:`bounds` returns.
+        """
+        return np.asarray(
+            [self._shape_column[request.request] for request in trace],
+            dtype=np.int64,
+        )
+
+    def bounds(self, systems: Sequence[SystemConfig]) -> ServiceTimeBounds:
+        """Evaluate the compiled shapes against a batch of ``systems``.
+
+        Only the per-design broadcast runs here; the shape-side tables are
+        reused from ``__init__``, so calling this repeatedly with small
+        system batches costs the same total broadcast work as one big call.
+        """
+        if not systems:
+            raise ValueError("systems must not be empty")
+        system_list = tuple(systems)
+        n_points, n_shapes = len(system_list), len(self.shapes)
+
+        prefill_s = np.zeros((n_points, n_shapes), dtype=np.float64)
+        step_s = np.zeros((n_points, len(self._bucket_list)), dtype=np.float64)
+        mc_bandwidth_fraction = 1.0 - self.cc_bandwidth_fraction
+
+        # Points grouped by pool availability: the serving engine's CC stage
+        # falls back to the MC pool on MC-only chips (and decode to CC on
+        # CC-only chips), and the batch engine requires a uniform pool string
+        # per evaluation.
+        pool_groups: Dict[Tuple[bool, bool], List[int]] = {}
+        for point, system in enumerate(system_list):
+            key = (system.chip.n_cc_clusters > 0, system.chip.n_mc_clusters > 0)
+            pool_groups.setdefault(key, []).append(point)
+
+        for (has_cc, has_mc), points in pool_groups.items():
+            subset = [system_list[point] for point in points]
+            cc_pool = "cc" if has_cc else "mc"
+            decode_pool = "mc" if has_mc else "cc"
+
+            cc_grid = DesignGrid.from_systems(
+                subset, bandwidth_fraction=self.cc_bandwidth_fraction
+            )
+            cc_result = BatchCostEngine(cc_grid).evaluate(
+                self._cc_table, pool=cc_pool
+            )
+            for column in range(n_shapes):
+                prefill_s[points, column] = cc_result.phases[column].latency_s
+
+            # Decode-step cost triples mirror BatchDecodeCostModel._cost:
+            # per-op bytes and compute at bandwidth_fraction=1, then one
+            # step-level memory_cycles over the total traffic at the MC
+            # bandwidth share.
+            decode_grid = DesignGrid.from_systems(subset, bandwidth_fraction=1.0)
+            matrices = BatchCostEngine(decode_grid).op_costs(
+                self._decode_table, pool=decode_pool
+            )
+            buffer_bytes = (
+                decode_grid.mc_buffer
+                if decode_pool == "mc"
+                else decode_grid.cc_buffer
+            )
+            for column, slice_ in enumerate(self._decode_table.phases):
+                index = self._decode_table.order[slice_.start : slice_.stop]
+                traffic = matrices.traffic_bytes[:, index].sum(axis=1)
+                compute = ordered_sum(matrices.compute_cycles[:, index])
+                memory = costs.memory_cycles(
+                    traffic,
+                    buffer_bytes=buffer_bytes,
+                    dram_bytes_per_cycle=decode_grid.dram_bytes_per_cycle,
+                    bandwidth_fraction=mc_bandwidth_fraction,
+                    request_overhead_cycles=decode_grid.request_overhead_cycles,
+                    request_latency_cycles=decode_grid.request_latency_cycles,
+                )
+                step_s[points, column] = (
+                    np.maximum(memory, compute) / decode_grid.frequency_hz
+                )
+
+        first_step_s = step_s[:, self._first_columns]
+        decode_floor_s = np.zeros((n_points, n_shapes), dtype=np.float64)
+        for column, counts in enumerate(self._bucket_counts):
+            for bucket, count in sorted(counts.items()):
+                decode_floor_s[:, column] += (
+                    count * step_s[:, self._bucket_column[bucket]]
+                )
+        return ServiceTimeBounds(
+            systems=system_list,
+            shapes=self.shapes,
+            prefill_s=prefill_s,
+            first_step_s=first_step_s,
+            min_ttft_s=prefill_s + first_step_s,
+            min_latency_s=prefill_s + decode_floor_s,
+        )
+
+
 def batch_service_time_bounds(
     model: MLLMConfig,
     shapes: Sequence[InferenceRequest],
@@ -888,128 +1096,15 @@ def batch_service_time_bounds(
     MC pools, CC-only chips and MC-only chips are all supported (points are
     internally grouped by pool availability, matching the serving engine's
     pool fallback).
+
+    This is the one-shot convenience wrapper over
+    :class:`ServiceTimeBoundsPricer`; callers bounding many design batches
+    against one trace should hold a pricer instead (the shape-side
+    compilation dominates small batches).
     """
-    if not 0.0 < cc_bandwidth_fraction < 1.0:
-        raise ValueError("cc_bandwidth_fraction must be in (0, 1)")
-    if context_bucket < 1:
-        raise ValueError("context_bucket must be >= 1")
-    unique: Dict[InferenceRequest, None] = {}
-    for shape in shapes:
-        unique.setdefault(shape, None)
-    if not unique:
-        raise ValueError("shapes must not be empty")
-    if not systems:
-        raise ValueError("systems must not be empty")
-    shape_list = tuple(unique)
-    system_list = tuple(systems)
-    n_points, n_shapes = len(system_list), len(shape_list)
-
-    # Chip-independent tables: one merged CC-stage phase per shape, one
-    # decode-step phase per context bucket any shape's decode touches.
-    from .pipeline import CC_STAGE_PHASES
-
-    cc_phases: List[Tuple[str, Sequence[Op], int]] = []
-    prompts: List[int] = []
-    bucket_counts: List[Counter] = []
-    buckets: Dict[int, None] = {}
-    for index, shape in enumerate(shape_list):
-        probe = InferenceRequest(
-            images=shape.images,
-            prompt_text_tokens=shape.prompt_text_tokens,
-            output_tokens=1,
-        )
-        workload = model.build_workload(probe)
-        merged = merge_phases(
-            "cc_stage",
-            [phase for phase in workload.phases if phase.name in CC_STAGE_PHASES],
-        )
-        cc_phases.append((f"{index}/cc_stage", merged.ops, merged.repeat))
-        prompt = model.prompt_tokens(shape)
-        prompts.append(prompt)
-        counts = Counter(
-            context_bucket_for(prompt + step, context_bucket)
-            for step in range(shape.output_tokens)
-        )
-        bucket_counts.append(counts)
-        buckets.setdefault(context_bucket_for(prompt, context_bucket), None)
-        for bucket in counts:
-            buckets.setdefault(bucket, None)
-    bucket_list = sorted(buckets)
-    bucket_column = {bucket: column for column, bucket in enumerate(bucket_list)}
-    decode_table = OpTable(
-        "decode_bounds",
-        [
-            (f"bucket/{bucket}", model.decode_step(bucket).ops, 1)
-            for bucket in bucket_list
-        ],
-    )
-    cc_table = OpTable("cc_stage_bounds", cc_phases)
-
-    prefill_s = np.zeros((n_points, n_shapes), dtype=np.float64)
-    step_s = np.zeros((n_points, len(bucket_list)), dtype=np.float64)
-    mc_bandwidth_fraction = 1.0 - cc_bandwidth_fraction
-
-    # Points grouped by pool availability: the serving engine's CC stage
-    # falls back to the MC pool on MC-only chips (and decode to CC on
-    # CC-only chips), and the batch engine requires a uniform pool string
-    # per evaluation.
-    pool_groups: Dict[Tuple[bool, bool], List[int]] = {}
-    for point, system in enumerate(system_list):
-        key = (system.chip.n_cc_clusters > 0, system.chip.n_mc_clusters > 0)
-        pool_groups.setdefault(key, []).append(point)
-
-    for (has_cc, has_mc), points in pool_groups.items():
-        subset = [system_list[point] for point in points]
-        cc_pool = "cc" if has_cc else "mc"
-        decode_pool = "mc" if has_mc else "cc"
-
-        cc_grid = DesignGrid.from_systems(
-            subset, bandwidth_fraction=cc_bandwidth_fraction
-        )
-        cc_result = BatchCostEngine(cc_grid).evaluate(cc_table, pool=cc_pool)
-        for column in range(n_shapes):
-            prefill_s[points, column] = cc_result.phases[column].latency_s
-
-        # Decode-step cost triples mirror BatchDecodeCostModel._cost: per-op
-        # bytes and compute at bandwidth_fraction=1, then one step-level
-        # memory_cycles over the total traffic at the MC bandwidth share.
-        decode_grid = DesignGrid.from_systems(subset, bandwidth_fraction=1.0)
-        matrices = BatchCostEngine(decode_grid).op_costs(
-            decode_table, pool=decode_pool
-        )
-        buffer_bytes = (
-            decode_grid.mc_buffer if decode_pool == "mc" else decode_grid.cc_buffer
-        )
-        for column, slice_ in enumerate(decode_table.phases):
-            index = decode_table.order[slice_.start : slice_.stop]
-            traffic = matrices.traffic_bytes[:, index].sum(axis=1)
-            compute = ordered_sum(matrices.compute_cycles[:, index])
-            memory = costs.memory_cycles(
-                traffic,
-                buffer_bytes=buffer_bytes,
-                dram_bytes_per_cycle=decode_grid.dram_bytes_per_cycle,
-                bandwidth_fraction=mc_bandwidth_fraction,
-                request_overhead_cycles=decode_grid.request_overhead_cycles,
-                request_latency_cycles=decode_grid.request_latency_cycles,
-            )
-            step_s[points, column] = (
-                np.maximum(memory, compute) / decode_grid.frequency_hz
-            )
-
-    first_columns = [
-        bucket_column[context_bucket_for(prompt, context_bucket)]
-        for prompt in prompts
-    ]
-    first_step_s = step_s[:, first_columns]
-    decode_floor_s = np.zeros((n_points, n_shapes), dtype=np.float64)
-    for column, counts in enumerate(bucket_counts):
-        for bucket, count in sorted(counts.items()):
-            decode_floor_s[:, column] += count * step_s[:, bucket_column[bucket]]
-    return ServiceTimeBounds(
-        systems=system_list,
-        shapes=shape_list,
-        prefill_s=prefill_s,
-        first_step_s=first_step_s,
-        min_ttft_s=prefill_s + first_step_s,
-        min_latency_s=prefill_s + decode_floor_s,
-    )
+    return ServiceTimeBoundsPricer(
+        model,
+        shapes,
+        cc_bandwidth_fraction=cc_bandwidth_fraction,
+        context_bucket=context_bucket,
+    ).bounds(systems)

@@ -20,25 +20,36 @@ See ``docs/capacity_planning.md`` for the pruning math and a full
 walkthrough.
 """
 
+from .bnb import BnbResult, Subgrid, bnb_prune_designs, initial_subgrids
 from .evaluate import (
     CandidateOutcome,
     DesignWarmCache,
+    axis_delta,
     candidate_fleet,
     evaluate_candidate,
     simulate_candidate,
 )
 from .pareto import dominates, pareto_frontier
-from .plan import GOLDEN_PLAN_SCENARIOS, plan_scenario, resolve_slo
-from .prune import DesignBounds, prune_designs
+from .plan import (
+    GOLDEN_PLAN_SCENARIOS,
+    SEARCH_MODES,
+    plan_scenario,
+    resolve_slo,
+)
+from .prune import DesignBounds, prune_designs, trace_pricer
 from .report import PlanEntry, PlanReport, chip_cost, format_plan_report, plan_hash
 from .space import (
     ChipDesign,
     FleetOption,
     PlannerConfig,
+    build_chip_grid,
     default_chip_grid,
+    parse_mixes,
 )
+from .store import PlanStore, candidate_key
 
 __all__ = [
+    "BnbResult",
     "CandidateOutcome",
     "ChipDesign",
     "DesignBounds",
@@ -47,17 +58,27 @@ __all__ = [
     "GOLDEN_PLAN_SCENARIOS",
     "PlanEntry",
     "PlanReport",
+    "PlanStore",
     "PlannerConfig",
+    "SEARCH_MODES",
+    "Subgrid",
+    "axis_delta",
+    "bnb_prune_designs",
+    "build_chip_grid",
     "candidate_fleet",
+    "candidate_key",
     "chip_cost",
     "default_chip_grid",
     "dominates",
     "evaluate_candidate",
     "format_plan_report",
+    "initial_subgrids",
     "pareto_frontier",
+    "parse_mixes",
     "plan_hash",
     "plan_scenario",
     "prune_designs",
     "resolve_slo",
     "simulate_candidate",
+    "trace_pricer",
 ]

@@ -14,7 +14,16 @@ runs serially or fanned out through
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, MutableMapping, Optional, Sequence, Tuple
+from typing import (
+    AbstractSet,
+    Any,
+    Dict,
+    Mapping,
+    MutableMapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..core.simulator import PerformanceSimulator
 from ..models.mllm import MLLMConfig, get_mllm
@@ -59,6 +68,46 @@ class DesignWarmCache:
             self.bucket_costs.update(chip.cost_model.bucket_costs())
             self.step_cache.update(chip.cost_model.step_cache())
 
+    def delta_seed_from(
+        self, neighbor: "DesignWarmCache", changed: AbstractSet[str]
+    ) -> None:
+        """Transfer axis-invariant memos from a neighboring design's cache.
+
+        ``changed`` names the chip axes (see :meth:`ChipDesign.axes`) on
+        which this cache's design differs from ``neighbor``'s.  Only memos
+        provably untouched by every changed axis transfer:
+
+        * a ``keep_fraction``-only delta transfers CC-stage latencies —
+          prefill/prompt ops are compiled non-prunable, so the CC pipeline
+          is identical across pruning thresholds;
+        * a ``dram_gbps``-only delta transfers decode bucket triples —
+          they are (weight bytes, per-stream bytes, compute cycles),
+          byte/cycle-level quantities with no bandwidth term (memory time
+          is applied per step from the chip's own DRAM tier).
+
+        Whole-step latencies and the op cache depend on every axis and
+        never transfer.  Transferred values are float-identical to what a
+        cold run would recompute (asserted in the property suite), so
+        delta-warmed simulation stays bit-identical to cold simulation.
+        """
+        if changed == {"keep_fraction"}:
+            for key, value in neighbor.cc_latencies.items():
+                self.cc_latencies.setdefault(key, value)
+        elif changed == {"dram_gbps"}:
+            for key, value in neighbor.bucket_costs.items():
+                self.bucket_costs.setdefault(key, value)
+
+
+def axis_delta(a: ChipDesign, b: ChipDesign) -> frozenset:
+    """The set of chip-axis names on which designs ``a`` and ``b`` differ.
+
+    Unset optional axes compare at their effective defaults (see
+    :meth:`ChipDesign.axes`), so a design stating the default explicitly
+    has no delta against one leaving the axis unset.
+    """
+    axes_a, axes_b = a.axes(), b.axes()
+    return frozenset(name for name in axes_a if axes_a[name] != axes_b[name])
+
 
 @dataclass(frozen=True)
 class CandidateOutcome:
@@ -79,6 +128,35 @@ class CandidateOutcome:
     queue_wait_p99_s: float
     chips_provisioned: int
     n_scale_events: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize the outcome to plain JSON data (plan-store payload)."""
+        return {
+            "design": self.design.to_dict(),
+            "option": self.option.to_dict(),
+            "n_completed": self.n_completed,
+            "makespan_s": self.makespan_s,
+            "ttft_p99_s": self.ttft_p99_s,
+            "latency_p95_s": self.latency_p95_s,
+            "queue_wait_p99_s": self.queue_wait_p99_s,
+            "chips_provisioned": self.chips_provisioned,
+            "n_scale_events": self.n_scale_events,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CandidateOutcome":
+        """Rebuild an outcome from :meth:`to_dict` data."""
+        return cls(
+            design=ChipDesign.from_dict(data["design"]),
+            option=FleetOption.from_dict(data["option"]),
+            n_completed=int(data["n_completed"]),
+            makespan_s=float(data["makespan_s"]),
+            ttft_p99_s=float(data["ttft_p99_s"]),
+            latency_p95_s=float(data["latency_p95_s"]),
+            queue_wait_p99_s=float(data["queue_wait_p99_s"]),
+            chips_provisioned=int(data["chips_provisioned"]),
+            n_scale_events=int(data.get("n_scale_events", 0)),
+        )
 
 
 def candidate_fleet(

@@ -19,15 +19,33 @@ PlannerConfig` (chip designs × fleet options), it
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..core.simulator import PerformanceSimulator
 from ..scenarios.compile import compile_scenario
 from ..scenarios.spec import ScenarioSpec, SLOSpec
-from .evaluate import CandidateOutcome, evaluate_candidate, simulate_candidate
+from ..serving.queue import ServingRequest
+from .bnb import bnb_prune_designs
+from .evaluate import (
+    CandidateOutcome,
+    DesignWarmCache,
+    axis_delta,
+    evaluate_candidate,
+    simulate_candidate,
+)
 from .pareto import pareto_frontier
 from .prune import DesignBounds, prune_designs
 from .report import PlanEntry, PlanReport, plan_hash
 from .space import ChipDesign, FleetOption, PlannerConfig
+from .store import PlanStore, candidate_key
+
+#: Search modes :func:`plan_scenario` accepts: ``"flat"`` bounds every
+#: design individually (the oracle), ``"bnb"`` branch-and-bounds subgrids.
+SEARCH_MODES: Tuple[str, ...] = ("flat", "bnb")
+
+#: Axis deltas the warm cache can transfer memos across (see
+#: :meth:`~repro.planner.evaluate.DesignWarmCache.delta_seed_from`).
+_TRANSFERABLE_DELTAS = (frozenset({"keep_fraction"}), frozenset({"dram_gbps"}))
 
 #: Scenarios with committed golden plan reports under
 #: ``tests/golden/planner/`` (kept small: planning simulates dozens of
@@ -85,6 +103,46 @@ def _best_entry(entries: Sequence[PlanEntry]) -> Optional[PlanEntry]:
     )
 
 
+def _serial_outcomes(
+    spec: ScenarioSpec,
+    trace: Sequence[ServingRequest],
+    candidates: Sequence[Tuple[ChipDesign, FleetOption]],
+    targets: Dict[str, float],
+    engine: str,
+) -> List[CandidateOutcome]:
+    """Simulate candidates serially with warm + delta-warm cost caches.
+
+    Candidates sharing a chip design share one warm cost cache (the
+    memoized values are design properties), and a *fresh* design's cache is
+    delta-seeded from every already-simulated design it differs from on a
+    single transferable axis: a ``keep_fraction`` neighbor donates its
+    CC-stage latencies, a ``dram_gbps`` neighbor its decode bucket triples.
+    All transferred memos are float-identical to what a cold run would
+    recompute, so warmed and delta-warmed runs are bit-identical to cold
+    ones (property-tested) — just faster.
+    """
+    warm: Dict[str, DesignWarmCache] = {}
+    seen: Dict[str, ChipDesign] = {}
+    outcomes: List[CandidateOutcome] = []
+    for design, option in candidates:
+        if design.name not in warm:
+            cache = DesignWarmCache(
+                simulator=PerformanceSimulator(design.system())
+            )
+            for other in seen.values():
+                changed = axis_delta(design, other)
+                if changed in _TRANSFERABLE_DELTAS:
+                    cache.delta_seed_from(warm[other.name], changed)
+            warm[design.name] = cache
+            seen[design.name] = design
+        outcomes.append(
+            evaluate_candidate(
+                spec, trace, design, option, targets, warm=warm, engine=engine
+            )
+        )
+    return outcomes
+
+
 def plan_scenario(
     spec: ScenarioSpec,
     config: Optional[PlannerConfig] = None,
@@ -93,6 +151,8 @@ def plan_scenario(
     prune: bool = True,
     processes: Optional[int] = None,
     engine: str = "macro",
+    search: str = "flat",
+    store: Optional[PlanStore] = None,
 ) -> PlanReport:
     """Search ``config``'s candidate space for the cheapest SLO-meeting fleet.
 
@@ -105,7 +165,23 @@ def plan_scenario(
     the bit-identical trace from the spec hash; ``engine`` selects the
     decode-loop implementation survivors replay through (reports are
     engine-independent — the macro default just gets there faster).
+
+    ``search`` picks the pruning strategy: ``"flat"`` bounds every design
+    individually, ``"bnb"`` branch-and-bounds nested subgrids and prices
+    only corners plus surviving points (same survivors, frontier and best
+    plan — orders of magnitude fewer bound evaluations on 10^5-candidate
+    spaces).  ``store`` attaches a content-addressed
+    :class:`~repro.planner.store.PlanStore`: candidates whose exact
+    outcome is already stored skip simulation entirely (byte-identical by
+    construction), and freshly simulated outcomes are written back.
     """
+    if search not in SEARCH_MODES:
+        raise ValueError(f"unknown search mode {search!r}; expected {SEARCH_MODES}")
+    if search == "bnb" and not prune:
+        raise ValueError(
+            "bnb search *is* the pruning strategy; use search='flat' with "
+            "prune=False for the brute-force baseline"
+        )
     config = config or PlannerConfig()
     resolved = slo if slo is not None else spec.slo
     targets = resolved.targets()
@@ -115,26 +191,58 @@ def plan_scenario(
     options = config.fleet_options(with_autoscaled="ttft_p99_s" in targets)
     n_candidates = len(designs) * len(options)
 
-    if prune:
-        bounds = prune_designs(compiled, designs, targets)
-    else:
-        bounds = [
+    n_pruned_subgrids: Optional[int] = None
+    n_bound_evals: Optional[int] = None
+    if not prune:
+        bounds: Sequence[DesignBounds] = [
             DesignBounds(design, lb_ttft_p99_s=None, lb_latency_p95_s=None)
             for design in designs
         ]
-    survivors = [verdict.design for verdict in bounds if verdict.feasible]
+        survivors = list(designs)
+    elif search == "bnb":
+        result = bnb_prune_designs(compiled, designs, targets)
+        bounds = result.verdicts
+        survivors = list(result.survivors)
+        n_pruned_subgrids = result.n_pruned_subgrids
+        n_bound_evals = result.n_bound_evals
+    else:
+        bounds = prune_designs(compiled, designs, targets)
+        survivors = [verdict.design for verdict in bounds if verdict.feasible]
     candidates: List[Tuple[ChipDesign, FleetOption]] = [
         (design, option) for design in survivors for option in options
     ]
 
-    if processes is not None and processes > 1 and len(candidates) > 1:
+    # Consult the plan store first: a hit is the byte-identical outcome a
+    # fresh simulation would produce (simulation is a pure function of the
+    # keyed inputs), so hits drop out of the simulation set entirely.
+    spec_hash = spec.spec_hash()
+    stored: Dict[int, CandidateOutcome] = {}
+    keys: Dict[int, str] = {}
+    if store is not None:
+        ttft_target = targets.get("ttft_p99_s")
+        for index, (design, option) in enumerate(candidates):
+            key = candidate_key(
+                spec_hash, design, option, ttft_target_s=ttft_target
+            )
+            keys[index] = key
+            hit = store.get(key)
+            if hit is not None:
+                stored[index] = hit
+    to_simulate = [
+        (index, candidate)
+        for index, candidate in enumerate(candidates)
+        if index not in stored
+    ]
+
+    fresh: List[CandidateOutcome]
+    if processes is not None and processes > 1 and len(to_simulate) > 1:
         # Imported lazily: repro.experiments registers the planner suite and
         # would recurse into this package at import time.
         from ..experiments.parallel import ParallelSweepRunner
 
         runner = ParallelSweepRunner(processes=processes)
         spec_json = spec.to_json()
-        outcomes: List[CandidateOutcome] = list(
+        fresh = list(
             runner.map(
                 simulate_candidate,
                 [
@@ -145,22 +253,25 @@ def plan_scenario(
                         "targets": targets,
                         "engine": engine,
                     }
-                    for design, option in candidates
+                    for _, (design, option) in to_simulate
                 ],
             )
         )
     else:
-        # Candidates sharing a chip design share one warm cost cache: the
-        # memoized values are design properties, so warmed runs are
-        # bit-identical to cold ones and ~5x faster across a full space.
-        warm: dict = {}
-        outcomes = [
-            evaluate_candidate(
-                spec, compiled.trace, design, option, targets, warm=warm,
-                engine=engine,
-            )
-            for design, option in candidates
-        ]
+        fresh = _serial_outcomes(
+            spec,
+            compiled.trace,
+            [candidate for _, candidate in to_simulate],
+            targets,
+            engine,
+        )
+
+    by_index = dict(stored)
+    for (index, _), outcome in zip(to_simulate, fresh):
+        by_index[index] = outcome
+        if store is not None:
+            store.put(keys[index], spec_hash, outcome)
+    outcomes = [by_index[index] for index in range(len(candidates))]
 
     entries = [PlanEntry.from_outcome(outcome, targets) for outcome in outcomes]
     frontier = tuple(pareto_frontier(entries, PlanEntry.objectives))
@@ -168,8 +279,8 @@ def plan_scenario(
     return PlanReport(
         scenario=spec.name,
         description=spec.description,
-        spec_hash=spec.spec_hash(),
-        plan_hash=plan_hash(spec.spec_hash(), config, targets),
+        spec_hash=spec_hash,
+        plan_hash=plan_hash(spec_hash, config, targets),
         planner=config,
         slo_targets=tuple(sorted(targets.items())),
         n_requests=spec.n_requests,
@@ -177,8 +288,13 @@ def plan_scenario(
         n_candidates=n_candidates,
         n_pruned_designs=len(designs) - len(survivors),
         n_pruned_candidates=n_candidates - len(candidates),
-        n_simulated=len(candidates),
+        n_simulated=len(to_simulate),
         design_bounds=tuple(bounds),
         frontier=frontier,
         best=best,
+        search=search,
+        n_pruned_subgrids=n_pruned_subgrids,
+        n_bound_evals=n_bound_evals,
+        store_hits=None if store is None else len(stored),
+        store_misses=None if store is None else len(to_simulate),
     )

@@ -26,10 +26,17 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.batch import batch_service_time_bounds
+from ..core.batch import ServiceTimeBoundsPricer
 from ..models.mllm import get_mllm
 from ..scenarios.compile import CompiledScenario
 from .space import ChipDesign
+
+#: Designs priced per :meth:`ServiceTimeBoundsPricer.bounds` call when the
+#: flat planner bounds a huge grid: the broadcast matrices are
+#: ``(chunk, unique ops)`` — chunking caps their footprint (a 10^5-design
+#: grid against a rich trace would otherwise materialize gigabytes) while
+#: the hoisted shape tables keep the per-chunk fixed cost negligible.
+BOUND_CHUNK_DESIGNS = 2048
 
 
 @dataclass(frozen=True)
@@ -73,59 +80,104 @@ class DesignBounds:
         )
 
 
+def trace_pricer(compiled: CompiledScenario) -> ServiceTimeBoundsPricer:
+    """The service-time-bound pricer of a compiled scenario's trace.
+
+    Compiles the trace's unique shapes once with the scenario's serving
+    knobs; the result prices any batch of chip designs via
+    :meth:`~repro.core.batch.ServiceTimeBoundsPricer.bounds`.  Both
+    planner search modes derive every analytic bound through one such
+    pricer per planning run.
+    """
+    spec = compiled.spec
+    return ServiceTimeBoundsPricer(
+        get_mllm(spec.fleet.model),
+        list(compiled.unique_shapes),
+        cc_bandwidth_fraction=spec.fleet.cc_bandwidth_fraction,
+        context_bucket=spec.fleet.context_bucket,
+    )
+
+
+def bound_percentiles(
+    pricer: ServiceTimeBoundsPricer,
+    columns: np.ndarray,
+    designs: Sequence[ChipDesign],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(p99 TTFT floors, p95 latency floors) of ``designs`` over a trace.
+
+    ``columns`` maps every trace request to its pricer shape column (see
+    :meth:`~repro.core.batch.ServiceTimeBoundsPricer.trace_columns`).
+    np.percentile's default linear interpolation matches
+    ``repro.serving.metrics.percentile``, so pointwise dominance of the
+    per-request floors carries over to the SLO-check percentiles.
+    """
+    bounds = pricer.bounds([design.system() for design in designs])
+    lb_ttft_p99 = np.percentile(bounds.min_ttft_s[:, columns], 99, axis=1)
+    lb_latency_p95 = np.percentile(bounds.min_latency_s[:, columns], 95, axis=1)
+    return lb_ttft_p99, lb_latency_p95
+
+
+def design_verdict(
+    design: ChipDesign,
+    lb_ttft_p99: float,
+    lb_latency_p95: float,
+    targets: Mapping[str, float],
+) -> DesignBounds:
+    """Fold one ``design``'s bound percentiles into its feasibility verdict.
+
+    ``lb_ttft_p99`` and ``lb_latency_p95`` are the design's floor
+    percentiles over the trace, judged against the objectives in
+    ``targets``.  Strict comparisons: a bound exactly on target never
+    prunes.  Queue-wait objectives never prune — their analytic floor is
+    zero.
+    """
+    reasons: List[str] = []
+    ttft_target = targets.get("ttft_p99_s")
+    latency_target = targets.get("latency_p95_s")
+    if ttft_target is not None and lb_ttft_p99 > ttft_target:
+        reasons.append(
+            f"analytic p99 TTFT floor {lb_ttft_p99:.6g}s exceeds "
+            f"target {ttft_target:.6g}s"
+        )
+    if latency_target is not None and lb_latency_p95 > latency_target:
+        reasons.append(
+            f"analytic p95 latency floor {lb_latency_p95:.6g}s "
+            f"exceeds target {latency_target:.6g}s"
+        )
+    return DesignBounds(
+        design=design,
+        lb_ttft_p99_s=float(lb_ttft_p99),
+        lb_latency_p95_s=float(lb_latency_p95),
+        reasons=tuple(reasons),
+    )
+
+
 def prune_designs(
     compiled: CompiledScenario,
     designs: Sequence[ChipDesign],
     targets: Mapping[str, float],
+    *,
+    pricer: Optional[ServiceTimeBoundsPricer] = None,
+    chunk_designs: int = BOUND_CHUNK_DESIGNS,
 ) -> List[DesignBounds]:
     """Bound every design of ``designs`` against ``compiled``'s trace and ``targets``.
 
-    Returns one :class:`DesignBounds` per design, in input order.  A design
-    is marked infeasible when the p99 of its per-request TTFT floors
-    exceeds a stated ``ttft_p99_s`` target, or the p95 of its latency
-    floors exceeds a stated ``latency_p95_s`` target (strict comparisons:
-    a bound exactly on target never prunes).  Queue-wait objectives never
-    prune — their analytic floor is zero.
+    Returns one :class:`DesignBounds` per design, in input order; see
+    :func:`design_verdict` for the per-design feasibility rule.  Designs
+    are priced in ``chunk_designs``-sized batches so the broadcast
+    matrices stay bounded on 10^5-design grids; ``pricer`` optionally
+    reuses an already-compiled :func:`trace_pricer` (the planner shares
+    one across the whole run).
     """
-    spec = compiled.spec
-    bounds = batch_service_time_bounds(
-        get_mllm(spec.fleet.model),
-        list(compiled.unique_shapes),
-        [design.system() for design in designs],
-        cc_bandwidth_fraction=spec.fleet.cc_bandwidth_fraction,
-        context_bucket=spec.fleet.context_bucket,
-    )
-    columns = np.asarray(
-        [bounds.shape_index(request.request) for request in compiled.trace],
-        dtype=np.int64,
-    )
-    # Per-design trace percentiles of the per-request floors; np.percentile's
-    # default linear interpolation matches repro.serving.metrics.percentile,
-    # so pointwise dominance carries over to the SLO-check percentiles.
-    lb_ttft_p99 = np.percentile(bounds.min_ttft_s[:, columns], 99, axis=1)
-    lb_latency_p95 = np.percentile(bounds.min_latency_s[:, columns], 95, axis=1)
-
+    if pricer is None:
+        pricer = trace_pricer(compiled)
+    columns = pricer.trace_columns(compiled.trace)
     verdicts: List[DesignBounds] = []
-    ttft_target = targets.get("ttft_p99_s")
-    latency_target = targets.get("latency_p95_s")
-    for row, design in enumerate(designs):
-        reasons: List[str] = []
-        if ttft_target is not None and lb_ttft_p99[row] > ttft_target:
-            reasons.append(
-                f"analytic p99 TTFT floor {lb_ttft_p99[row]:.6g}s exceeds "
-                f"target {ttft_target:.6g}s"
-            )
-        if latency_target is not None and lb_latency_p95[row] > latency_target:
-            reasons.append(
-                f"analytic p95 latency floor {lb_latency_p95[row]:.6g}s "
-                f"exceeds target {latency_target:.6g}s"
-            )
-        verdicts.append(
-            DesignBounds(
-                design=design,
-                lb_ttft_p99_s=float(lb_ttft_p99[row]),
-                lb_latency_p95_s=float(lb_latency_p95[row]),
-                reasons=tuple(reasons),
-            )
+    for start in range(0, len(designs), max(chunk_designs, 1)):
+        chunk = designs[start : start + max(chunk_designs, 1)]
+        lb_ttft_p99, lb_latency_p95 = bound_percentiles(pricer, columns, chunk)
+        verdicts.extend(
+            design_verdict(design, lb_ttft_p99[row], lb_latency_p95[row], targets)
+            for row, design in enumerate(chunk)
         )
     return verdicts

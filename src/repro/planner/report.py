@@ -179,6 +179,20 @@ class PlanReport:
     design_bounds: Tuple[DesignBounds, ...]
     frontier: Tuple[PlanEntry, ...]
     best: Optional[PlanEntry]
+    #: Search mode that produced the report: ``"flat"`` (every design
+    #: bounded individually — the oracle) or ``"bnb"`` (branch-and-bound
+    #: over subgrids).  Both modes yield the identical frontier and best
+    #: plan; ``"bnb"`` reports bounds only for individually-priced designs.
+    search: str = "flat"
+    #: Subgrids retired by one corner comparison (bnb search only).
+    n_pruned_subgrids: Optional[int] = None
+    #: Analytic bound evaluations performed (bnb search only; flat search
+    #: always prices exactly ``n_chip_designs``).
+    n_bound_evals: Optional[int] = None
+    #: Plan-store accounting (populated only when a store was attached):
+    #: hits skipped exact simulation, misses were simulated then stored.
+    store_hits: Optional[int] = None
+    store_misses: Optional[int] = None
 
     @property
     def feasible(self) -> bool:
@@ -187,7 +201,7 @@ class PlanReport:
 
     def to_dict(self) -> Dict[str, Any]:
         """Serialize the report to plain JSON data (canonical field set)."""
-        return {
+        data: Dict[str, Any] = {
             "scenario": self.scenario,
             "description": self.description,
             "spec_hash": self.spec_hash,
@@ -205,6 +219,19 @@ class PlanReport:
             "best": None if self.best is None else self.best.to_dict(),
             "feasible": self.feasible,
         }
+        # Search/store accounting is emitted only when non-default, so
+        # flat-search reports (and the committed goldens) stay byte-stable.
+        if self.search != "flat":
+            data["search"] = self.search
+        if self.n_pruned_subgrids is not None:
+            data["n_pruned_subgrids"] = self.n_pruned_subgrids
+        if self.n_bound_evals is not None:
+            data["n_bound_evals"] = self.n_bound_evals
+        if self.store_hits is not None:
+            data["store_hits"] = self.store_hits
+        if self.store_misses is not None:
+            data["store_misses"] = self.store_misses
+        return data
 
     def to_json(self) -> str:
         """Canonical JSON: sorted keys, 2-space indent, trailing newline."""
@@ -238,6 +265,25 @@ class PlanReport:
                 PlanEntry.from_dict(entry) for entry in data.get("frontier", ())
             ),
             best=None if best is None else PlanEntry.from_dict(best),
+            search=str(data.get("search", "flat")),
+            n_pruned_subgrids=(
+                None
+                if data.get("n_pruned_subgrids") is None
+                else int(data["n_pruned_subgrids"])
+            ),
+            n_bound_evals=(
+                None
+                if data.get("n_bound_evals") is None
+                else int(data["n_bound_evals"])
+            ),
+            store_hits=(
+                None if data.get("store_hits") is None else int(data["store_hits"])
+            ),
+            store_misses=(
+                None
+                if data.get("store_misses") is None
+                else int(data["store_misses"])
+            ),
         )
 
     @classmethod
@@ -284,6 +330,18 @@ def format_plan_report(report: PlanReport) -> str:
         f"{report.n_pruned_candidates} pruned analytically, "
         f"{report.n_simulated} simulated exactly"
     )
+    if report.search != "flat":
+        evals = report.n_bound_evals
+        subgrids = report.n_pruned_subgrids
+        lines.append(
+            f"search             : {report.search} — "
+            f"{evals} bound evals, {subgrids} subgrids pruned whole"
+        )
+    if report.store_hits is not None or report.store_misses is not None:
+        lines.append(
+            f"plan store         : {report.store_hits or 0} hits "
+            f"(simulation skipped), {report.store_misses or 0} misses"
+        )
     pruned = [bounds for bounds in report.design_bounds if not bounds.feasible]
     for bounds in pruned:
         lines.append(f"  pruned {bounds.design.name:<12}: {bounds.reasons[0]}")

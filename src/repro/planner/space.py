@@ -18,10 +18,10 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Tuple
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..core.config import SystemConfig, scaled_system
+from ..core.config import SystemConfig, default_system, scaled_system
 from ..serving.fleet import POLICIES
 
 #: The default design family swept by ``python -m repro.planner plan``:
@@ -29,19 +29,41 @@ from ..serving.fleet import POLICIES
 DEFAULT_CHIP_MIXES: Tuple[Tuple[int, int], ...] = ((1, 1), (2, 2), (3, 1), (1, 3))
 DEFAULT_GROUP_COUNTS: Tuple[int, ...] = (2, 4)
 
+#: The base system's DRAM tier in GB/s — the effective ``dram_gbps`` of a
+#: design that leaves the axis unset (resolved once at import; the base
+#: system is a module constant).
+BASE_DRAM_GBPS: float = (
+    default_system().chip.dram.peak_bandwidth_bytes_per_s / 1e9
+)
+
 
 @dataclass(frozen=True)
 class ChipDesign:
-    """One chip design point: group count plus the per-group cluster mix.
+    """One chip design point: geometry plus optional DRAM/pruning axes.
 
     ``n_groups`` scales the whole chip; ``cc_per_group`` and
     ``mc_per_group`` set the per-group count of compute-centric and
     memory-centric clusters (at least one cluster overall).
+
+    Two optional axes extend the geometry into the full design space the
+    branch-and-bound planner searches:
+
+    * ``dram_gbps`` — the DRAM tier, as peak pin bandwidth in GB/s
+      (``None`` keeps the base system's LPDDR5X default);
+    * ``keep_fraction`` — the activation-pruning operating point, the
+      average fraction of FFN input channels kept per decode step
+      (``None`` leaves runtime pruning off).
+
+    Both are ``None`` by default and omitted from :meth:`to_dict` when
+    unset, so pre-existing serialized designs (golden plan reports, plan
+    hashes) are byte-stable.
     """
 
     n_groups: int
     cc_per_group: int
     mc_per_group: int
+    dram_gbps: Optional[float] = None
+    keep_fraction: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.n_groups < 1:
@@ -50,35 +72,94 @@ class ChipDesign:
             raise ValueError("cluster counts must be >= 0")
         if self.cc_per_group == 0 and self.mc_per_group == 0:
             raise ValueError("a chip needs at least one cluster per group")
+        if self.dram_gbps is not None and not self.dram_gbps > 0:
+            raise ValueError("dram_gbps must be positive")
+        if self.keep_fraction is not None and not 0.0 < self.keep_fraction <= 1.0:
+            raise ValueError("keep_fraction must be in (0, 1]")
 
     @property
     def name(self) -> str:
-        """Stable display name, e.g. ``4x2cc2mc``."""
-        return f"{self.n_groups}x{self.cc_per_group}cc{self.mc_per_group}mc"
+        """Stable display name, e.g. ``4x2cc2mc`` or ``8x2cc2mc-d204.8-k0.5``.
+
+        The DRAM and pruning suffixes appear only when the axis is set, so
+        geometry-only designs keep their historical names (which key the
+        planner's warm caches and the golden reports).
+        """
+        label = f"{self.n_groups}x{self.cc_per_group}cc{self.mc_per_group}mc"
+        if self.dram_gbps is not None:
+            label += f"-d{self.dram_gbps:g}"
+        if self.keep_fraction is not None:
+            label += f"-k{self.keep_fraction:g}"
+        return label
+
+    def axes(self) -> Dict[str, Any]:
+        """The design's value along every candidate axis, by axis name.
+
+        The branch-and-bound search and the delta-warm cache both diff
+        designs axis-by-axis; this is the single definition of what "an
+        axis" is.  Unset optional axes resolve to their effective default
+        (the base DRAM tier, keep fraction 1.0) so designs that state the
+        default explicitly compare equal along the axis.
+        """
+        return {
+            "mix": (self.cc_per_group, self.mc_per_group),
+            "n_groups": self.n_groups,
+            "dram_gbps": (
+                self.dram_gbps if self.dram_gbps is not None else BASE_DRAM_GBPS
+            ),
+            "keep_fraction": (
+                self.keep_fraction if self.keep_fraction is not None else 1.0
+            ),
+        }
 
     def system(self) -> SystemConfig:
         """Lower the design point to a full :class:`SystemConfig`."""
-        return scaled_system(
+        base = default_system()
+        if self.dram_gbps is not None:
+            dram = replace(
+                base.chip.dram,
+                peak_bandwidth_bytes_per_s=self.dram_gbps * 1e9,
+            )
+            base = replace(base, chip=replace(base.chip, dram=dram))
+        system = scaled_system(
             n_groups=self.n_groups,
             cc_clusters_per_group=self.cc_per_group,
             mc_clusters_per_group=self.mc_per_group,
+            base=base,
         )
+        if self.keep_fraction is not None:
+            system = system.with_pruning(self.keep_fraction)
+        return system
 
     def to_dict(self) -> Dict[str, Any]:
-        """Serialize the design point to plain JSON data."""
-        return {
+        """Serialize the design point to plain JSON data.
+
+        The optional DRAM/pruning axes are emitted only when set, keeping
+        geometry-only payloads (and everything hashed over them) identical
+        to the pre-axis format.
+        """
+        data: Dict[str, Any] = {
             "n_groups": self.n_groups,
             "cc_per_group": self.cc_per_group,
             "mc_per_group": self.mc_per_group,
         }
+        if self.dram_gbps is not None:
+            data["dram_gbps"] = self.dram_gbps
+        if self.keep_fraction is not None:
+            data["keep_fraction"] = self.keep_fraction
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ChipDesign":
         """Rebuild a design point from :meth:`to_dict` data."""
+        dram_gbps = data.get("dram_gbps")
+        keep_fraction = data.get("keep_fraction")
         return cls(
             n_groups=int(data["n_groups"]),
             cc_per_group=int(data["cc_per_group"]),
             mc_per_group=int(data["mc_per_group"]),
+            dram_gbps=None if dram_gbps is None else float(dram_gbps),
+            keep_fraction=None if keep_fraction is None else float(keep_fraction),
         )
 
 
@@ -145,6 +226,60 @@ def default_chip_grid() -> Tuple[ChipDesign, ...]:
     )
 
 
+def build_chip_grid(
+    *,
+    groups: Sequence[int] = DEFAULT_GROUP_COUNTS,
+    mixes: Sequence[Tuple[int, int]] = DEFAULT_CHIP_MIXES,
+    dram_gbps: Sequence[Optional[float]] = (None,),
+    keep_fractions: Sequence[Optional[float]] = (None,),
+) -> Tuple[ChipDesign, ...]:
+    """The full cross product of the four chip axes, in canonical order.
+
+    ``groups``, ``mixes``, ``dram_gbps`` and ``keep_fractions`` each list
+    the values of one axis.  Axis order in the product is (groups, mixes,
+    dram, keep) — outermost first — which matches the nesting the
+    branch-and-bound search splits on.  ``None`` entries in the optional
+    axes mean "the base tier" / "pruning off" and serialize axis-free;
+    the defaults reproduce
+    :func:`default_chip_grid` exactly.  With explicit values on every
+    axis, a 10^5-candidate space is one call (``8 groups × 7 mixes × 16
+    DRAM tiers × 16 keep fractions`` is already 14k designs before fleet
+    options multiply in).
+    """
+    return tuple(
+        ChipDesign(
+            n_groups=n_groups,
+            cc_per_group=cc,
+            mc_per_group=mc,
+            dram_gbps=dram,
+            keep_fraction=keep,
+        )
+        for n_groups in groups
+        for cc, mc in mixes
+        for dram in dram_gbps
+        for keep in keep_fractions
+    )
+
+
+def parse_mixes(text: str) -> Tuple[Tuple[int, int], ...]:
+    """Parse a CLI mix list ``text`` like ``"2:2,3:1"`` into (cc, mc) tuples."""
+    mixes: List[Tuple[int, int]] = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            cc_text, mc_text = token.split(":")
+            mixes.append((int(cc_text), int(mc_text)))
+        except ValueError:
+            raise ValueError(
+                f"mix {token!r} is not of the form CC:MC (e.g. 2:2)"
+            ) from None
+    if not mixes:
+        raise ValueError("at least one CC:MC mix is required")
+    return tuple(mixes)
+
+
 @dataclass(frozen=True)
 class PlannerConfig:
     """The candidate space of one planning run (pure data).
@@ -179,6 +314,40 @@ class PlannerConfig:
                 raise ValueError(
                     f"policy must be one of {POLICIES}, got {policy!r}"
                 )
+
+    @classmethod
+    def from_axes(
+        cls,
+        *,
+        groups: Sequence[int] = DEFAULT_GROUP_COUNTS,
+        mixes: Sequence[Tuple[int, int]] = DEFAULT_CHIP_MIXES,
+        dram_gbps: Sequence[Optional[float]] = (None,),
+        keep_fractions: Sequence[Optional[float]] = (None,),
+        min_chips: int = 1,
+        max_chips: int = 4,
+        policies: Tuple[str, ...] = ("least_loaded",),
+        include_autoscaled: bool = True,
+    ) -> "PlannerConfig":
+        """Build a config from per-axis value lists (see :func:`build_chip_grid`).
+
+        This is how a large candidate space is expressed without code
+        edits: every chip axis (group counts, CC:MC mixes, DRAM bandwidth
+        tiers, pruning keep fractions) and both fleet axes (chip counts,
+        dispatch policies) take explicit value lists, and the candidate
+        count is their product.
+        """
+        return cls(
+            chip_grid=build_chip_grid(
+                groups=groups,
+                mixes=mixes,
+                dram_gbps=dram_gbps,
+                keep_fractions=keep_fractions,
+            ),
+            min_chips=min_chips,
+            max_chips=max_chips,
+            policies=policies,
+            include_autoscaled=include_autoscaled,
+        )
 
     def fleet_options(self, *, with_autoscaled: bool) -> Tuple[FleetOption, ...]:
         """Enumerate the fleet options of the run, in deterministic order.

@@ -175,6 +175,65 @@ class TestCheckMode:
         capsys.readouterr()
         assert excinfo.value.code == 1
 
+    def test_metadata_drift_warns(self, harness):
+        fresh = self._report(planner=1.0)
+        baseline = self._report(planner=1.0)
+        fresh["scenarios"]["planner"]["candidates"] = 50_000
+        baseline["scenarios"]["planner"]["candidates"] = 124_416
+        warnings = harness.metadata_warnings(fresh, baseline)
+        assert len(warnings) == 1
+        assert "candidates drifted from committed 124416 to 50000" in warnings[0]
+        assert "seconds are not comparable" in warnings[0]
+        # Drift warns; it must not enter the hard regression gate.
+        assert harness.check_regressions(fresh, baseline) == []
+
+    def test_metadata_matching_produces_no_warnings(self, harness):
+        fresh = self._report(planner=1.0)
+        baseline = self._report(planner=1.1)
+        for report in (fresh, baseline):
+            report["scenarios"]["planner"].update(
+                candidates=124_416, pruned=124_404, simulated=12, store_hits=0
+            )
+        assert harness.metadata_warnings(fresh, baseline) == []
+
+    def test_metadata_absent_on_either_side_is_skipped(self, harness):
+        # Older baselines predate the metadata; a fresh run that records it
+        # (or a baseline that has it while fresh dropped it) must not warn.
+        fresh = self._report(planner=1.0, legacy=2.0)
+        baseline = self._report(planner=1.0, legacy=2.0)
+        fresh["scenarios"]["planner"]["candidates"] = 124_416
+        baseline["scenarios"]["legacy"]["candidates"] = 99
+        assert harness.metadata_warnings(fresh, baseline) == []
+
+    def test_metadata_of_uncommitted_scenarios_is_skipped(self, harness):
+        fresh = self._report(just_added=1.0)
+        fresh["scenarios"]["just_added"]["candidates"] = 124_416
+        assert harness.metadata_warnings(fresh, self._report()) == []
+
+    def test_main_check_prints_metadata_drift_warnings(
+        self, harness, tmp_path, capsys, monkeypatch
+    ):
+        drift = (
+            "fig6_bandwidth: candidates drifted from committed 124416 to "
+            "50000; seconds are not comparable"
+        )
+        # main() resolves metadata_warnings from the module namespace, so a
+        # stub exercises the printing path without a slow planner scenario.
+        monkeypatch.setattr(harness, "metadata_warnings", lambda *_: [drift])
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(self._report(fig6_bandwidth=1e9)))
+        harness.main(
+            [
+                "--only", "fig6",
+                "--output", str(tmp_path / "fresh.json"),
+                "--baseline", str(baseline),
+                "--check",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert f"warning: {drift}" in out
+        assert "--check passed" in out
+
     def test_committed_results_include_the_macro_benchmark(self):
         committed = HARNESS_PATH.parent / "BENCH_results.json"
         data = json.loads(committed.read_text())
