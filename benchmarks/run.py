@@ -52,13 +52,17 @@ REGRESSION_FACTOR = 2.0
 #: scenario far past the floor, where the factor applies again).
 MIN_CHECK_SECONDS = 0.05
 
-#: Workload-shape detail keys ``--check`` watches for drift.  Seconds are
-#: only comparable when the scenario did the same amount of work: a
-#: benchmark that silently shrank its candidate space (or started hitting
-#: a warm store) would fake a speedup the seconds gate cannot see.  Drift
-#: warns rather than fails — an intentional workload change lands together
-#: with its refreshed baseline.
-METADATA_KEYS = ("candidates", "pruned", "simulated", "store_hits")
+#: Record keys ``--check`` never treats as workload-shape metadata:
+#: ``seconds`` is the measurement itself and ``module`` names the source
+#: file.  Every *other* non-float detail a scenario records — counts,
+#: engine names, flags such as ``candidates`` or ``identical_records``,
+#: and whatever future benchmarks add (per-tenant tallies, fault-event
+#: counts) — is compared against the committed baseline without being
+#: listed by hand.  Float details are excluded because they are derived
+#: measurements (``speedup``, ``wave_seconds``) whose run-to-run jitter
+#: would warn spuriously.  Drift warns rather than fails — an intentional
+#: workload change lands together with its refreshed baseline.
+RESERVED_RECORD_KEYS = frozenset({"seconds", "module"})
 
 
 def discover_scenarios() -> List[Tuple[str, str, Callable[[], object]]]:
@@ -192,16 +196,18 @@ def baseline_warnings(
 def metadata_warnings(
     fresh: Dict[str, object],
     baseline: Dict[str, object],
-    *,
-    keys: Tuple[str, ...] = METADATA_KEYS,
 ) -> List[str]:
     """Warnings where a scenario's workload-shape metadata drifted.
 
-    Compares every :data:`METADATA_KEYS` entry a scenario records in both
-    the fresh run and the committed baseline; a mismatch means the timed
-    work changed (shrunken space, warm cache, different pruning), so the
-    seconds comparison is apples-to-oranges.  Keys absent on either side
-    are skipped — older baselines predate the metadata.
+    Compares every non-reserved, non-float detail key a scenario records
+    on *either* side (see :data:`RESERVED_RECORD_KEYS`), so newly added
+    metadata — per-tenant tallies, fault-event counts — is covered without
+    a hand-maintained key list.  A value mismatch means the timed work
+    changed (shrunken space, warm cache, different pruning); a key present
+    on only one side means the fresh run and the baseline no longer record
+    the same workload shape.  Either way the seconds comparison is
+    apples-to-oranges, so both warn.  Scenarios absent from the baseline
+    are skipped entirely — :func:`baseline_warnings` reports those.
     """
     committed = baseline.get("scenarios", {})
     warnings: List[str] = []
@@ -209,10 +215,23 @@ def metadata_warnings(
         base = committed.get(name)
         if base is None:
             continue
-        for key in keys:
-            if key not in record or key not in base:
+        for key in sorted(set(record) | set(base)):
+            values = [side[key] for side in (record, base) if key in side]
+            if key in RESERVED_RECORD_KEYS or all(
+                isinstance(v, float) for v in values
+            ):
                 continue
-            if record[key] != base[key]:
+            if key not in base:
+                warnings.append(
+                    f"{name}: {key} recorded but absent from the committed "
+                    "baseline; seconds may not be comparable"
+                )
+            elif key not in record:
+                warnings.append(
+                    f"{name}: {key} committed but absent from the fresh "
+                    "run; seconds may not be comparable"
+                )
+            elif record[key] != base[key]:
                 warnings.append(
                     f"{name}: {key} drifted from committed {base[key]!r} to "
                     f"{record[key]!r}; seconds are not comparable"

@@ -124,6 +124,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "exact simulation, fresh ones are written back",
     )
     plan.add_argument(
+        "--require-chip-loss", action="store_true",
+        help="require the best plan to survive one chip permanently "
+        "failing mid-trace (SLO-meeting candidates are chaos-probed)",
+    )
+    plan.add_argument(
         "--jobs", "-j", type=int, default=None, metavar="N",
         help="simulate surviving candidates across N processes",
     )
@@ -212,6 +217,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             engine=args.engine,
             search=args.search,
             store=None if args.store is None else PlanStore(Path(args.store)),
+            require_chip_loss=args.require_chip_loss,
         )
         if args.json:
             sys.stdout.write(report.to_json())

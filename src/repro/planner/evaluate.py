@@ -287,6 +287,57 @@ def evaluate_candidate(
     )
 
 
+def candidate_survives_chip_loss(
+    spec: ScenarioSpec,
+    trace: Sequence[ServingRequest],
+    design: ChipDesign,
+    option: FleetOption,
+    targets: Mapping[str, float],
+    *,
+    engine: str = "macro",
+) -> bool:
+    """Whether a candidate still meets every objective after losing a chip.
+
+    The chaos probe of the planner: the candidate's fleet replays the
+    trace with chip 0 permanently failed at a quarter of the arrival span
+    (the fault-injection machinery of :mod:`repro.serving.faults`, drain
+    policy, no recovery, decode loop per ``engine``), and survival means
+    the degraded run still completes every request and meets every
+    objective in ``targets``.  The probe
+    is deterministic — same spec, design and option always return the
+    same verdict.  Single-chip fleets cannot survive by construction and
+    return ``False`` without simulation.
+    """
+    if option.n_chips < 2:
+        return False
+    # Imported lazily: the serving fault layer is optional for planning.
+    from ..serving.faults import FaultEvent, FaultSchedule
+
+    model = get_mllm(spec.fleet.model)
+    fleet = candidate_fleet(
+        model, spec, design, option, targets.get("ttft_p99_s"), engine=engine
+    )
+    span = max(request.arrival_s for request in trace)
+    schedule = FaultSchedule(
+        events=(
+            FaultEvent(time_s=0.25 * span, kind="chip_down", chip_id=0),
+        ),
+        drain_policy="drain",
+    )
+    result = fleet.run(list(trace), faults=schedule)
+    report = result.report
+    if report.n_requests < len(trace):
+        return False
+    attained = {
+        "ttft_p99_s": report.ttft.p99,
+        "latency_p95_s": report.latency.p95,
+        "queue_wait_p99_s": report.queue_wait.p99,
+    }
+    return all(
+        attained[metric] <= target for metric, target in targets.items()
+    )
+
+
 def simulate_candidate(
     spec_json: str,
     design: Dict[str, Any],

@@ -19,6 +19,7 @@ PlannerConfig` (chip designs × fleet options), it
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.simulator import PerformanceSimulator
@@ -30,6 +31,7 @@ from .evaluate import (
     CandidateOutcome,
     DesignWarmCache,
     axis_delta,
+    candidate_survives_chip_loss,
     evaluate_candidate,
     simulate_candidate,
 )
@@ -86,9 +88,17 @@ def resolve_slo(
     )
 
 
-def _best_entry(entries: Sequence[PlanEntry]) -> Optional[PlanEntry]:
-    """The cheapest plan meeting every objective (deterministic tiebreak)."""
+def _best_entry(
+    entries: Sequence[PlanEntry], *, require_chip_loss: bool = False
+) -> Optional[PlanEntry]:
+    """The cheapest plan meeting every objective (deterministic tiebreak).
+
+    With ``require_chip_loss`` only entries whose chaos probe confirmed
+    one-chip-loss survival qualify.
+    """
     meeting = [entry for entry in entries if entry.slo_met]
+    if require_chip_loss:
+        meeting = [entry for entry in meeting if entry.survives_chip_loss]
     if not meeting:
         return None
     return min(
@@ -153,6 +163,7 @@ def plan_scenario(
     engine: str = "macro",
     search: str = "flat",
     store: Optional[PlanStore] = None,
+    require_chip_loss: bool = False,
 ) -> PlanReport:
     """Search ``config``'s candidate space for the cheapest SLO-meeting fleet.
 
@@ -174,6 +185,13 @@ def plan_scenario(
     :class:`~repro.planner.store.PlanStore`: candidates whose exact
     outcome is already stored skip simulation entirely (byte-identical by
     construction), and freshly simulated outcomes are written back.
+
+    ``require_chip_loss`` additionally chaos-probes every SLO-meeting
+    candidate (one chip permanently lost a quarter into the trace, see
+    :func:`~repro.planner.evaluate.candidate_survives_chip_loss`) and
+    restricts the best plan to candidates that survive; entries then
+    carry their ``survives_chip_loss`` verdict.  Default off — the
+    fault-free search and its goldens are unchanged.
     """
     if search not in SEARCH_MODES:
         raise ValueError(f"unknown search mode {search!r}; expected {SEARCH_MODES}")
@@ -274,8 +292,22 @@ def plan_scenario(
     outcomes = [by_index[index] for index in range(len(candidates))]
 
     entries = [PlanEntry.from_outcome(outcome, targets) for outcome in outcomes]
+    if require_chip_loss:
+        # Probe only SLO-meeting entries: the survival requirement can
+        # only demote plans that would otherwise qualify as best.
+        entries = [
+            replace(
+                entry,
+                survives_chip_loss=candidate_survives_chip_loss(
+                    spec, compiled.trace, design, option, targets, engine=engine
+                ),
+            )
+            if entry.slo_met
+            else entry
+            for entry, (design, option) in zip(entries, candidates)
+        ]
     frontier = tuple(pareto_frontier(entries, PlanEntry.objectives))
-    best = _best_entry(entries)
+    best = _best_entry(entries, require_chip_loss=require_chip_loss)
     return PlanReport(
         scenario=spec.name,
         description=spec.description,
@@ -297,4 +329,5 @@ def plan_scenario(
         n_bound_evals=n_bound_evals,
         store_hits=None if store is None else len(stored),
         store_misses=None if store is None else len(to_simulate),
+        require_chip_loss=require_chip_loss,
     )

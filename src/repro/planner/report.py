@@ -57,6 +57,10 @@ class PlanEntry:
     slo: Tuple[SLOCheck, ...]
     slo_attainment: float
     n_scale_events: int = 0
+    #: Verdict of the one-chip-loss chaos probe; ``None`` (the default,
+    #: omitted from the serialized form) when the planning run did not
+    #: require chip-loss survival, so historical goldens stay byte-stable.
+    survives_chip_loss: Optional[bool] = None
 
     @property
     def slo_met(self) -> bool:
@@ -113,8 +117,8 @@ class PlanEntry:
         )
 
     def to_dict(self) -> Dict[str, Any]:
-        """Serialize the entry to plain JSON data."""
-        return {
+        """Serialize the entry (survival verdict only when probed)."""
+        data: Dict[str, Any] = {
             "design": self.design.to_dict(),
             "fleet": self.option.to_dict(),
             "chips_provisioned": self.chips_provisioned,
@@ -131,6 +135,9 @@ class PlanEntry:
             "slo_attainment": self.slo_attainment,
             "n_scale_events": self.n_scale_events,
         }
+        if self.survives_chip_loss is not None:
+            data["survives_chip_loss"] = self.survives_chip_loss
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "PlanEntry":
@@ -157,6 +164,11 @@ class PlanEntry:
             ),
             slo_attainment=float(data["slo_attainment"]),
             n_scale_events=int(data.get("n_scale_events", 0)),
+            survives_chip_loss=(
+                None
+                if data.get("survives_chip_loss") is None
+                else bool(data["survives_chip_loss"])
+            ),
         )
 
 
@@ -193,6 +205,10 @@ class PlanReport:
     #: hits skipped exact simulation, misses were simulated then stored.
     store_hits: Optional[int] = None
     store_misses: Optional[int] = None
+    #: True when the run additionally required the best plan to survive a
+    #: one-chip loss (SLO-meeting candidates were chaos-probed; emitted
+    #: only when set, so historical goldens stay byte-stable).
+    require_chip_loss: bool = False
 
     @property
     def feasible(self) -> bool:
@@ -231,6 +247,8 @@ class PlanReport:
             data["store_hits"] = self.store_hits
         if self.store_misses is not None:
             data["store_misses"] = self.store_misses
+        if self.require_chip_loss:
+            data["require_chip_loss"] = True
         return data
 
     def to_json(self) -> str:
@@ -284,6 +302,7 @@ class PlanReport:
                 if data.get("store_misses") is None
                 else int(data["store_misses"])
             ),
+            require_chip_loss=bool(data.get("require_chip_loss", False)),
         )
 
     @classmethod
@@ -324,6 +343,10 @@ def format_plan_report(report: PlanReport) -> str:
         f"{metric} <= {target:g}s" for metric, target in report.slo_targets
     )
     lines.append(f"objectives         : {targets or 'none stated'}")
+    if report.require_chip_loss:
+        lines.append(
+            "resilience         : best plan must survive one chip loss"
+        )
     lines.append(
         f"candidate space    : {report.n_candidates} "
         f"({report.n_chip_designs} chip designs), "
@@ -348,10 +371,18 @@ def format_plan_report(report: PlanReport) -> str:
     lines.append(f"Pareto frontier    : {len(report.frontier)} plans")
     for entry in report.frontier:
         verdict = "MET " if entry.slo_met else "MISS"
+        survival = ""
+        if entry.survives_chip_loss is not None:
+            survival = (
+                "  [survives chip loss]"
+                if entry.survives_chip_loss
+                else "  [dies with a chip]"
+            )
         lines.append(
             f"  {verdict} {entry.design.name:<12} {entry.option.label:<22} "
             f"chips {entry.chips_provisioned}  area {entry.fleet_area_mm2:8.1f} mm^2  "
             f"power {entry.fleet_power_w:6.2f} W  p99 TTFT {entry.ttft_p99_s * 1e3:9.2f} ms"
+            f"{survival}"
         )
     if report.best is None:
         lines.append("best plan          : none meets every objective")

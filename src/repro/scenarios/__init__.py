@@ -19,6 +19,7 @@ from .compile import (
     CompiledScenario,
     TraceChunk,
     build_arrival_process,
+    compile_fault_schedule,
     compile_scenario,
     compile_scenario_chunks,
     component_sampler,
@@ -34,16 +35,21 @@ from .registry import (
 )
 from .report import (
     AutoscaleSummary,
+    FaultImpact,
+    FaultSummary,
     PricingSummary,
     ScenarioReport,
     SLOCheck,
+    TenantSummary,
     format_scenario_report,
     slo_checks,
+    tenant_summaries,
 )
 from .runner import autoscaler_config, build_fleet, price_offered_load, run_scenario
 from .spec import (
     ArrivalSpec,
     AutoscalerSpec,
+    FaultsSpec,
     FleetSpec,
     ScenarioSpec,
     SLOSpec,
@@ -55,6 +61,9 @@ __all__ = [
     "AutoscalerSpec",
     "AutoscaleSummary",
     "CompiledScenario",
+    "FaultImpact",
+    "FaultSummary",
+    "FaultsSpec",
     "FleetSpec",
     "LONG_CONTEXT",
     "MULTI_IMAGE",
@@ -64,6 +73,7 @@ __all__ = [
     "SLOCheck",
     "SLOSpec",
     "TEXT_CHAT",
+    "TenantSummary",
     "TraceChunk",
     "VIDEO_FRAMES",
     "WorkloadComponent",
@@ -71,6 +81,7 @@ __all__ = [
     "available_scenarios",
     "build_arrival_process",
     "build_fleet",
+    "compile_fault_schedule",
     "compile_scenario",
     "compile_scenario_chunks",
     "component_sampler",
@@ -80,4 +91,5 @@ __all__ = [
     "register_scenario",
     "run_scenario",
     "slo_checks",
+    "tenant_summaries",
 ]

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -33,6 +33,7 @@ from ..serving.arrival import (
     RequestSampler,
     TraceArrivals,
 )
+from ..serving.faults import FaultEvent, FaultSchedule
 from ..serving.queue import ServingRequest, build_trace
 from ..serving.trace import TRACE_DTYPE
 from .spec import ArrivalSpec, ScenarioSpec, WorkloadComponent
@@ -50,6 +51,10 @@ class CompiledScenario:
     trace: Tuple[ServingRequest, ...]
     #: Mix-component name of every request, in trace order.
     components: Tuple[str, ...]
+    #: Concrete fault schedule (``None`` unless the spec carries a
+    #: ``faults`` block); derived from the spec hash, see
+    #: :func:`compile_fault_schedule`.
+    faults: Optional[FaultSchedule] = None
 
     @property
     def component_counts(self) -> Dict[str, int]:
@@ -68,6 +73,33 @@ class CompiledScenario:
         for request in self.trace:
             seen.setdefault(request.request, None)
         return tuple(seen)
+
+    @property
+    def priorities(self) -> Optional[Tuple[float, ...]]:
+        """Per-request admission priorities, or ``None`` when uniform.
+
+        ``None`` (every component at the default priority 1.0) keeps the
+        serving path on its priority-free branch, so priority-free specs
+        reproduce the historical results exactly.
+        """
+        by_name = {
+            component.name: component.priority for component in self.spec.mix
+        }
+        if all(priority == 1.0 for priority in by_name.values()):
+            return None
+        return tuple(by_name[name] for name in self.components)
+
+    @property
+    def tenants(self) -> Tuple[str, ...]:
+        """Tenant class of every request, in trace order.
+
+        Components without an explicit tenant bill to ``"default"``.
+        """
+        by_name = {
+            component.name: component.tenant or "default"
+            for component in self.spec.mix
+        }
+        return tuple(by_name[name] for name in self.components)
 
 
 def build_arrival_process(
@@ -105,13 +137,72 @@ def component_sampler(
     )
 
 
+def compile_fault_schedule(
+    spec: ScenarioSpec, span_s: float
+) -> FaultSchedule:
+    """Lower a spec's fault plan to a concrete, time-ordered schedule.
+
+    Targets and timestamps come from one ``random.Random`` stream seeded
+    with ``spec.derive_seed("faults")`` — never from interpreter state —
+    so the same spec draws the same schedule in every process (the
+    cross-``PYTHONHASHSEED`` suite asserts it).  Each fault targets a
+    distinct chip; fault times land in the spec's window fraction band of
+    ``span_s`` (the trace's arrival span), and chip failures with an
+    ``outage_s`` get a matching ``chip_up``.
+    """
+    plan = spec.faults
+    if plan is None:
+        return FaultSchedule(events=(), drain_policy="drain")
+    n_chips = (
+        spec.fleet.autoscaler.max_chips
+        if spec.fleet.autoscaler is not None
+        else spec.fleet.n_chips
+    )
+    rng = random.Random(spec.derive_seed("faults"))
+    lo, hi = plan.window
+    targets = rng.sample(
+        range(n_chips), plan.n_chip_failures + plan.n_dram_degrades
+    )
+    events: List[FaultEvent] = []
+    for chip_id in targets[: plan.n_chip_failures]:
+        time_s = (lo + rng.random() * (hi - lo)) * span_s
+        events.append(
+            FaultEvent(time_s=time_s, kind="chip_down", chip_id=chip_id)
+        )
+        if plan.outage_s is not None:
+            events.append(
+                FaultEvent(
+                    time_s=time_s + plan.outage_s,
+                    kind="chip_up",
+                    chip_id=chip_id,
+                )
+            )
+    for chip_id in targets[plan.n_chip_failures :]:
+        time_s = (lo + rng.random() * (hi - lo)) * span_s
+        events.append(
+            FaultEvent(
+                time_s=time_s,
+                kind="dram_degrade",
+                chip_id=chip_id,
+                factor=plan.degrade_factor,
+            )
+        )
+    events.sort(key=lambda event: (event.time_s, event.chip_id, event.kind))
+    return FaultSchedule(
+        events=tuple(events), drain_policy=plan.drain_policy
+    )
+
+
 def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
     """Lower a scenario spec to its serving trace.
 
     Arrival timestamps come from the spec's arrival process; request
     shapes interleave the mix components with spec-hash-derived seeds: a
     selection stream picks the component of every slot and each component
-    contributes the next shape of its own pre-seeded stream.
+    contributes the next shape of its own pre-seeded stream.  Specs with
+    a ``faults`` block additionally compile their concrete
+    :class:`~repro.serving.faults.FaultSchedule` against the trace's
+    arrival span.
     """
     n = spec.n_requests
     process = build_arrival_process(spec.arrival, seed=spec.derive_seed("arrival"))
@@ -133,10 +224,14 @@ def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
         for _ in range(n)
     ]
     requests = [next(streams[name]) for name in chosen]
+    faults = None
+    if spec.faults is not None:
+        faults = compile_fault_schedule(spec, times[-1])
     return CompiledScenario(
         spec=spec,
         trace=tuple(build_trace(times, requests)),
         components=tuple(chosen),
+        faults=faults,
     )
 
 
@@ -163,7 +258,9 @@ def compile_scenario_chunks(
     ``==``-identical object trace.  Peak memory is one ``chunk_size``
     chunk, never the whole trace — a week-long multi-million-request
     scenario compiles without materialising a single
-    :class:`~repro.serving.queue.ServingRequest`.
+    :class:`~repro.serving.queue.ServingRequest`.  Fault schedules need
+    the full arrival span and are not part of the streamed columns; use
+    :func:`compile_fault_schedule` once the span is known.
     """
     if chunk_size < 1:
         raise ValueError("chunk_size must be >= 1")

@@ -18,6 +18,7 @@ from typing import Dict, List
 from .spec import (
     ArrivalSpec,
     AutoscalerSpec,
+    FaultsSpec,
     FleetSpec,
     ScenarioSpec,
     SLOSpec,
@@ -233,6 +234,78 @@ DIURNAL_WEEK = register_scenario(
         arrival=ArrivalSpec(kind="diurnal", rate_rps=0.5, period_s=120.0),
         fleet=FleetSpec(n_chips=2, policy="least_loaded", max_batch_size=8),
         slo=SLOSpec(ttft_p99_s=2.0, latency_p95_s=10.0),
+    )
+)
+
+CHAT_CHIPFAIL = register_scenario(
+    ScenarioSpec(
+        name="chat-chipfail",
+        description=(
+            "Steady text chat on a two-chip fleet that loses one chip "
+            "mid-trace and gets it back after a fixed outage — the "
+            "fault-injection acceptance scenario: its report pins the "
+            "p99-TTFT dent and the measured time-to-recover"
+        ),
+        n_requests=160,
+        mix=(TEXT_CHAT,),
+        arrival=ArrivalSpec(kind="poisson", rate_rps=4.0),
+        fleet=FleetSpec(n_chips=2, policy="least_loaded", max_batch_size=8),
+        slo=SLOSpec(ttft_p99_s=1.0),
+        faults=FaultsSpec(
+            n_chip_failures=1,
+            window=(0.3, 0.5),
+            outage_s=5.0,
+            drain_policy="drain",
+        ),
+    )
+)
+
+TENANT_TIERS = register_scenario(
+    ScenarioSpec(
+        name="tenant-tiers",
+        description=(
+            "Premium and free tenant tiers sharing an autoscaled fleet "
+            "under bursty traffic: the premium component gets double "
+            "admission priority and the report breaks SLO attainment "
+            "down per tenant"
+        ),
+        n_requests=150,
+        mix=(
+            replace(
+                TEXT_CHAT,
+                name="premium_chat",
+                weight=1.0,
+                tenant="premium",
+                priority=2.0,
+            ),
+            replace(
+                TEXT_CHAT,
+                name="free_chat",
+                weight=2.0,
+                tenant="free",
+            ),
+        ),
+        arrival=ArrivalSpec(
+            kind="bursty",
+            rate_rps=4.0,
+            burst_multiplier=6.0,
+            mean_calm_arrivals=40.0,
+            mean_burst_arrivals=20.0,
+        ),
+        fleet=FleetSpec(
+            max_batch_size=8,
+            autoscaler=AutoscalerSpec(
+                min_chips=1,
+                max_chips=3,
+                window=32,
+                min_observations=8,
+                cooldown_s=1.0,
+                scale_down_ratio=0.3,
+                max_queue_depth=16,
+                admission="queue",
+            ),
+        ),
+        slo=SLOSpec(ttft_p99_s=2.0),
     )
 )
 

@@ -13,10 +13,16 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 from ..serving.autoscale import AutoscaleResult, ScalingEvent
-from ..serving.metrics import PercentileStats, ServingReport
+from ..serving.faults import FaultEvent, FaultRecovery
+from ..serving.metrics import (
+    PercentileStats,
+    RequestRecord,
+    ServingReport,
+    summarize,
+)
 
 
 def _stats_dict(stats: PercentileStats) -> Dict[str, float]:
@@ -99,6 +105,134 @@ class AutoscaleSummary:
 
 
 @dataclass(frozen=True)
+class TenantSummary:
+    """One tenant class's traffic accounting and SLO verdicts."""
+
+    tenant: str
+    priority: float
+    n_requests: int
+    n_completed: int
+    n_rejected: int
+    latency: PercentileStats
+    ttft: PercentileStats
+    queue_wait: PercentileStats
+    slo: Tuple[SLOCheck, ...]
+
+    @property
+    def slo_met(self) -> bool:
+        """True when the tenant meets every stated objective."""
+        return all(check.met for check in self.slo)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize the tenant summary to plain JSON data."""
+        return {
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "n_requests": self.n_requests,
+            "n_completed": self.n_completed,
+            "n_rejected": self.n_rejected,
+            "latency": _stats_dict(self.latency),
+            "ttft": _stats_dict(self.ttft),
+            "queue_wait": _stats_dict(self.queue_wait),
+            "slo": [check.to_dict() for check in self.slo],
+            "slo_met": self.slo_met,
+        }
+
+
+def tenant_summaries(
+    records: Sequence[RequestRecord],
+    tenants: Sequence[str],
+    priorities: Mapping[str, float],
+    slo_targets: Mapping[str, float],
+    rejected_ids: Sequence[int] = (),
+) -> Tuple[TenantSummary, ...]:
+    """Per-tenant attainment, tenant-name-sorted.
+
+    ``tenants`` names the tenant of every *offered* request by trace
+    position (request id for compiled traces), ``priorities`` the
+    admission priority of each tenant class, and ``rejected_ids`` the
+    requests admission dropped; each tenant's verdicts against the
+    ``slo_targets`` objectives are computed over its own completed
+    ``records`` only.
+    """
+    by_tenant: Dict[str, list] = {tenant: [] for tenant in tenants}
+    for record in records:
+        by_tenant[tenants[record.request_id]].append(record)
+    offered: Dict[str, int] = {tenant: 0 for tenant in by_tenant}
+    for tenant in tenants:
+        offered[tenant] += 1
+    dropped: Dict[str, int] = {tenant: 0 for tenant in by_tenant}
+    for request_id in rejected_ids:
+        dropped[tenants[request_id]] += 1
+    out = []
+    for tenant in sorted(by_tenant):
+        report = summarize(by_tenant[tenant])
+        out.append(
+            TenantSummary(
+                tenant=tenant,
+                priority=priorities.get(tenant, 1.0),
+                n_requests=offered[tenant],
+                n_completed=report.n_requests,
+                n_rejected=dropped[tenant],
+                latency=report.latency,
+                ttft=report.ttft,
+                queue_wait=report.queue_wait,
+                slo=slo_checks(slo_targets, report),
+            )
+        )
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class FaultImpact:
+    """One fault event annotated with its measured SLO impact."""
+
+    event: FaultEvent
+    baseline_p99_ttft_s: float
+    dent_depth_s: float
+    time_to_recover_s: Optional[float]
+
+    @classmethod
+    def from_recovery(cls, recovery: FaultRecovery) -> "FaultImpact":
+        """Lift a :class:`~repro.serving.faults.FaultRecovery` measurement."""
+        return cls(
+            event=recovery.event,
+            baseline_p99_ttft_s=recovery.baseline_p99_ttft_s,
+            dent_depth_s=recovery.dent_depth_s,
+            time_to_recover_s=recovery.time_to_recover_s,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize the impact to plain JSON data."""
+        data: Dict[str, Any] = dict(self.event.to_dict())
+        data["baseline_p99_ttft_s"] = self.baseline_p99_ttft_s
+        data["dent_depth_s"] = self.dent_depth_s
+        data["time_to_recover_s"] = self.time_to_recover_s
+        return data
+
+
+@dataclass(frozen=True)
+class FaultSummary:
+    """The run's fault timeline with recovery metrics per disruption."""
+
+    drain_policy: str
+    n_redispatched: int
+    n_aborted: int
+    events: Tuple[FaultEvent, ...]
+    impacts: Tuple[FaultImpact, ...]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize the fault summary to plain JSON data."""
+        return {
+            "drain_policy": self.drain_policy,
+            "n_redispatched": self.n_redispatched,
+            "n_aborted": self.n_aborted,
+            "events": [event.to_dict() for event in self.events],
+            "impacts": [impact.to_dict() for impact in self.impacts],
+        }
+
+
+@dataclass(frozen=True)
 class PricingSummary:
     """Batched cost-engine view of the trace's offered load.
 
@@ -140,6 +274,11 @@ class ScenarioReport:
     slo: Tuple[SLOCheck, ...]
     pricing: PricingSummary
     autoscale: Optional[AutoscaleSummary] = None
+    #: Per-tenant attainment; present only when the spec declares tenants
+    #: (conditional emission keeps tenant-free goldens byte-identical).
+    tenants: Optional[Tuple[TenantSummary, ...]] = None
+    #: Fault timeline + recovery metrics; present only for fault specs.
+    faults: Optional[FaultSummary] = None
 
     @property
     def slo_met(self) -> bool:
@@ -170,6 +309,10 @@ class ScenarioReport:
         }
         if self.autoscale is not None:
             data["autoscale"] = self.autoscale.to_dict()
+        if self.tenants is not None:
+            data["tenants"] = [tenant.to_dict() for tenant in self.tenants]
+        if self.faults is not None:
+            data["faults"] = self.faults.to_dict()
         return data
 
     def to_json(self) -> str:
@@ -228,6 +371,33 @@ def format_scenario_report(report: ScenarioReport) -> str:
             f"{a.final_chips}, +{a.n_scale_ups}/-{a.n_scale_downs} scalings, "
             f"{a.n_rejected} rejected"
         )
+    if report.faults is not None:
+        f = report.faults
+        lines.append(
+            f"faults             : {len(f.events)} events "
+            f"({f.drain_policy}), {f.n_redispatched} redispatched, "
+            f"{f.n_aborted} aborted"
+        )
+        for impact in f.impacts:
+            recover = (
+                "not recovered"
+                if impact.time_to_recover_s is None
+                else f"recovered in {impact.time_to_recover_s:.2f} s"
+            )
+            lines.append(
+                f"  {impact.event.kind} chip {impact.event.chip_id} @ "
+                f"{impact.event.time_s:.2f} s: p99 TTFT dent "
+                f"{impact.dent_depth_s * 1e3:.2f} ms, {recover}"
+            )
+    if report.tenants is not None:
+        for tenant in report.tenants:
+            verdict = "MET " if tenant.slo_met else "MISS"
+            lines.append(
+                f"tenant {verdict}        : {tenant.tenant} "
+                f"(priority {tenant.priority:g}) "
+                f"{tenant.n_completed}/{tenant.n_requests} served, "
+                f"p99 TTFT {tenant.ttft.p99 * 1e3:.2f} ms"
+            )
     if report.slo:
         for check in report.slo:
             verdict = "MET " if check.met else "MISS"

@@ -22,14 +22,18 @@ from ..serving.autoscale import (
     AutoscalerConfig,
     AutoscalingFleetSimulator,
 )
+from ..serving.faults import fault_recovery
 from ..serving.fleet import FleetSimulator
 from .compile import CompiledScenario, compile_scenario
 from .report import (
     AutoscaleSummary,
+    FaultImpact,
+    FaultSummary,
     PricingSummary,
     ScenarioReport,
     format_scenario_report,
     slo_checks,
+    tenant_summaries,
 )
 from .spec import AutoscalerSpec, ScenarioSpec
 
@@ -117,16 +121,62 @@ def run_scenario(spec: ScenarioSpec, *, engine: str = "macro") -> ScenarioReport
 
     ``engine`` forwards to :func:`build_fleet`; the report is identical
     for every engine (regression-tested through the golden suite).
+    Specs carrying a ``faults`` block run through the event-driven
+    degradation path and their reports grow a ``faults`` summary with
+    per-disruption recovery metrics; specs declaring tenants grow a
+    per-tenant attainment block.  Plain specs emit the exact historical
+    report (golden byte identity).
     """
     compiled = compile_scenario(spec)
     fleet = build_fleet(spec, engine=engine)
-    result = fleet.run(list(compiled.trace))
+    run_kwargs = {}
+    if compiled.faults is not None:
+        run_kwargs["faults"] = compiled.faults
+        run_kwargs["priorities"] = compiled.priorities
+    elif compiled.priorities is not None and isinstance(
+        fleet, AutoscalingFleetSimulator
+    ):
+        # A static fleet has no admission control, so priorities alone
+        # (no faults) change nothing there — only the autoscaled loop's
+        # weighted admission reacts to them.
+        run_kwargs["priorities"] = compiled.priorities
+    if run_kwargs:
+        result = fleet.run(list(compiled.trace), **run_kwargs)
+    else:
+        result = fleet.run(list(compiled.trace))
     report = result.report
     autoscale = (
         AutoscaleSummary.from_result(result)
         if isinstance(result, AutoscaleResult)
         else None
     )
+    tenants = None
+    if any(component.tenant is not None for component in spec.mix):
+        tenants = tenant_summaries(
+            result.records,
+            compiled.tenants,
+            {
+                component.tenant or "default": component.priority
+                for component in spec.mix
+            },
+            spec.slo.targets(),
+            rejected_ids=getattr(result, "rejected_ids", ()),
+        )
+    faults = None
+    if compiled.faults is not None:
+        impacts = tuple(
+            FaultImpact.from_recovery(recovery)
+            for recovery in fault_recovery(
+                result.records, compiled.faults.events
+            )
+        )
+        faults = FaultSummary(
+            drain_policy=compiled.faults.drain_policy,
+            n_redispatched=len(getattr(result, "redispatched_ids", ())),
+            n_aborted=len(getattr(result, "aborted_ids", ())),
+            events=compiled.faults.events,
+            impacts=impacts,
+        )
     return ScenarioReport(
         name=spec.name,
         description=spec.description,
@@ -143,6 +193,8 @@ def run_scenario(spec: ScenarioSpec, *, engine: str = "macro") -> ScenarioReport
         slo=slo_checks(spec.slo.targets(), report),
         pricing=price_offered_load(compiled, report.makespan_s),
         autoscale=autoscale,
+        tenants=tenants,
+        faults=faults,
     )
 
 

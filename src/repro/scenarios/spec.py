@@ -27,6 +27,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 
 ARRIVAL_KINDS: Tuple[str, ...] = ("poisson", "bursty", "diurnal", "trace")
 ADMISSION_POLICIES: Tuple[str, ...] = ("queue", "reject")
+DRAIN_POLICIES: Tuple[str, ...] = ("drain", "abort")
 
 
 def _tuple_of(values, caster) -> Tuple:
@@ -49,12 +50,24 @@ class WorkloadComponent:
     prompt_token_range: Tuple[int, int] = (16, 64)
     output_token_choices: Tuple[int, ...] = (16, 32, 64, 128, 256)
     output_token_weights: Tuple[float, ...] = (0.3, 0.3, 0.25, 0.1, 0.05)
+    #: Tenant class the component's requests bill to (``None`` = the
+    #: implicit "default" tenant; emitted only when set, so tenant-free
+    #: specs hash exactly as before the field existed).
+    tenant: Optional[str] = None
+    #: Admission weight relative to the mix's other components; requests
+    #: of a higher-priority component get a proportionally deeper
+    #: admission queue and re-dispatch first after a chip loss.
+    priority: float = 1.0
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("component name must not be empty")
         if self.weight <= 0:
             raise ValueError(f"component {self.name!r}: weight must be positive")
+        if self.priority <= 0:
+            raise ValueError(f"component {self.name!r}: priority must be positive")
+        if self.tenant is not None and not self.tenant:
+            raise ValueError(f"component {self.name!r}: tenant must not be empty")
         if self.images < 0:
             raise ValueError(f"component {self.name!r}: images must be >= 0")
         lo, hi = self.prompt_token_range
@@ -74,8 +87,8 @@ class WorkloadComponent:
             )
 
     def to_dict(self) -> Dict[str, Any]:
-        """Serialize the component to plain JSON data."""
-        return {
+        """Serialize the component (tenant/priority only when non-default)."""
+        data: Dict[str, Any] = {
             "name": self.name,
             "weight": self.weight,
             "images": self.images,
@@ -83,10 +96,16 @@ class WorkloadComponent:
             "output_token_choices": list(self.output_token_choices),
             "output_token_weights": list(self.output_token_weights),
         }
+        if self.tenant is not None:
+            data["tenant"] = self.tenant
+        if self.priority != 1.0:
+            data["priority"] = self.priority
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadComponent":
         """Rebuild a component from :meth:`to_dict` data."""
+        tenant = data.get("tenant")
         return cls(
             name=str(data["name"]),
             weight=float(data.get("weight", 1.0)),
@@ -101,6 +120,8 @@ class WorkloadComponent:
                 data.get("output_token_weights", (0.3, 0.3, 0.25, 0.1, 0.05)),
                 float,
             ),
+            tenant=None if tenant is None else str(tenant),
+            priority=float(data.get("priority", 1.0)),
         )
 
 
@@ -345,6 +366,72 @@ class SLOSpec:
 
 
 @dataclass(frozen=True)
+class FaultsSpec:
+    """Declarative fault plan: how many faults, when, how hard (pure data).
+
+    The concrete :class:`~repro.serving.faults.FaultSchedule` — which
+    chips fail, the exact timestamps — is derived at compile time from
+    the owning spec's hash (role ``"faults"``), so the plan itself stays
+    pure data and the schedule reproduces bit-identically everywhere.
+    ``window`` bounds fault times to a fraction band of the trace span,
+    ``outage_s`` (if set) brings failed chips back after a fixed outage,
+    and ``drain_policy`` decides whether a dying chip finishes or aborts
+    its in-flight requests.
+    """
+
+    n_chip_failures: int = 0
+    n_dram_degrades: int = 0
+    window: Tuple[float, float] = (0.25, 0.75)
+    outage_s: Optional[float] = None
+    degrade_factor: float = 0.5
+    drain_policy: str = "drain"
+
+    def __post_init__(self) -> None:
+        if self.n_chip_failures < 0 or self.n_dram_degrades < 0:
+            raise ValueError("fault counts must be >= 0")
+        if self.n_chip_failures + self.n_dram_degrades < 1:
+            raise ValueError("a faults block needs at least one fault")
+        lo, hi = self.window
+        if not 0.0 <= lo < hi <= 1.0:
+            raise ValueError("fault window must satisfy 0 <= lo < hi <= 1")
+        if not 0.0 < self.degrade_factor <= 1.0:
+            raise ValueError("degrade_factor must be in (0, 1]")
+        if self.outage_s is not None and self.outage_s <= 0:
+            raise ValueError("outage_s must be positive")
+        if self.drain_policy not in DRAIN_POLICIES:
+            raise ValueError(
+                f"drain_policy must be one of {DRAIN_POLICIES}, "
+                f"got {self.drain_policy!r}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize the fault plan (``outage_s`` omitted when unset)."""
+        data: Dict[str, Any] = {
+            "n_chip_failures": self.n_chip_failures,
+            "n_dram_degrades": self.n_dram_degrades,
+            "window": list(self.window),
+            "degrade_factor": self.degrade_factor,
+            "drain_policy": self.drain_policy,
+        }
+        if self.outage_s is not None:
+            data["outage_s"] = self.outage_s
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultsSpec":
+        """Rebuild a fault plan from :meth:`to_dict` data."""
+        outage = data.get("outage_s")
+        return cls(
+            n_chip_failures=int(data.get("n_chip_failures", 0)),
+            n_dram_degrades=int(data.get("n_dram_degrades", 0)),
+            window=tuple(float(v) for v in data.get("window", (0.25, 0.75))),
+            outage_s=None if outage is None else float(outage),
+            degrade_factor=float(data.get("degrade_factor", 0.5)),
+            drain_policy=str(data.get("drain_policy", "drain")),
+        )
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """A complete, serializable description of one serving scenario."""
 
@@ -358,6 +445,10 @@ class ScenarioSpec:
     #: Extra entropy folded into every derived seed; two specs that differ
     #: only in the salt compile to different (but each reproducible) traces.
     seed_salt: int = 0
+    #: Optional fault plan; ``None`` (the default, omitted from the
+    #: serialized form) keeps the scenario on the fault-free path and its
+    #: spec hash exactly as before the field existed.
+    faults: Optional[FaultsSpec] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -375,13 +466,33 @@ class ScenarioSpec:
                     f"trace holds {len(self.arrival.times)} arrivals, "
                     f"{self.n_requests} requested"
                 )
+        if self.faults is not None:
+            chips = (
+                self.fleet.autoscaler.max_chips
+                if self.fleet.autoscaler is not None
+                else self.fleet.n_chips
+            )
+            total = self.faults.n_chip_failures + self.faults.n_dram_degrades
+            if total > chips:
+                raise ValueError(
+                    f"faults target {total} distinct chips but the fleet "
+                    f"has only {chips}"
+                )
+            if (
+                self.faults.outage_s is None
+                and self.faults.n_chip_failures >= chips
+            ):
+                raise ValueError(
+                    "permanent chip failures must leave at least one chip "
+                    "alive (set outage_s or lower n_chip_failures)"
+                )
 
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """Serialize the whole scenario to plain JSON data."""
-        return {
+        """Serialize the whole scenario (``faults`` only when present)."""
+        data: Dict[str, Any] = {
             "name": self.name,
             "description": self.description,
             "n_requests": self.n_requests,
@@ -391,6 +502,9 @@ class ScenarioSpec:
             "slo": self.slo.to_dict(),
             "seed_salt": self.seed_salt,
         }
+        if self.faults is not None:
+            data["faults"] = self.faults.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
@@ -407,6 +521,11 @@ class ScenarioSpec:
             fleet=FleetSpec.from_dict(data.get("fleet", {})),
             slo=SLOSpec.from_dict(data.get("slo", {})),
             seed_salt=int(data.get("seed_salt", 0)),
+            faults=(
+                None
+                if data.get("faults") is None
+                else FaultsSpec.from_dict(data["faults"])
+            ),
         )
 
     def to_json(self) -> str:

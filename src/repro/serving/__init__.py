@@ -6,7 +6,9 @@ queue on one chip (:mod:`repro.serving.queue`) or a load-balanced fleet of
 chips (:mod:`repro.serving.fleet`) — optionally autoscaled against an SLO
 with admission control (:mod:`repro.serving.autoscale`) — and per-request
 timestamp records fold into latency/TTFT percentiles and aggregate
-throughput (:mod:`repro.serving.metrics`).
+throughput (:mod:`repro.serving.metrics`).  Deterministic fault schedules
+(chip outages, DRAM degradation) and weighted tenant priorities replay
+through the same engines via :mod:`repro.serving.faults`.
 """
 
 from .arrival import (
@@ -23,6 +25,19 @@ from .autoscale import (
     AutoscalingFleetSimulator,
     ScalingEvent,
     static_fleet_report,
+)
+from .faults import (
+    DRAIN_POLICIES,
+    FAULT_KINDS,
+    FaultAutoscaleResult,
+    FaultEvent,
+    FaultFleetResult,
+    FaultRecovery,
+    FaultSchedule,
+    fault_recovery,
+    normalize_priorities,
+    run_autoscale_with_faults,
+    run_fleet_with_faults,
 )
 from .fleet import FleetResult, FleetSimulator
 from .metrics import (
@@ -66,6 +81,17 @@ __all__ = [
     "AutoscalingFleetSimulator",
     "ScalingEvent",
     "static_fleet_report",
+    "DRAIN_POLICIES",
+    "FAULT_KINDS",
+    "FaultAutoscaleResult",
+    "FaultEvent",
+    "FaultFleetResult",
+    "FaultRecovery",
+    "FaultSchedule",
+    "fault_recovery",
+    "normalize_priorities",
+    "run_autoscale_with_faults",
+    "run_fleet_with_faults",
     "FleetResult",
     "FleetSimulator",
     "PercentileStats",

@@ -212,8 +212,30 @@ class AutoscalingFleetSimulator(FleetSimulator):
     # ------------------------------------------------------------------
     # Controlled dispatch
     # ------------------------------------------------------------------
-    def run(self, trace: Sequence[ServingRequest]) -> AutoscaleResult:
-        """Dispatch under the control loop, then replay chips exactly."""
+    def run(
+        self,
+        trace: Sequence[ServingRequest],
+        *,
+        faults=None,
+        priorities: Optional[Sequence[float]] = None,
+    ) -> AutoscaleResult:
+        """Dispatch under the control loop, then replay chips exactly.
+
+        ``faults`` routes the run through the event-driven degradation
+        path (:func:`repro.serving.faults.run_autoscale_with_faults`) and
+        ``priorities`` weights each request's admission depth; either
+        being set selects the fault-aware loop (with an empty schedule
+        when only priorities are given).  Both ``None`` — the default —
+        keeps the historical fault-free path unchanged.
+        """
+        if faults is not None or priorities is not None:
+            # Imported lazily: faults builds on this module.
+            from .faults import FaultSchedule, run_autoscale_with_faults
+
+            schedule = faults if faults is not None else FaultSchedule()
+            return run_autoscale_with_faults(
+                self, trace, schedule, priorities=priorities
+            )
         if not trace:
             raise ValueError("trace must not be empty")
         if self.precompute:

@@ -1,0 +1,908 @@
+"""Fault injection for fleet serving: chip loss, recovery, DRAM degradation.
+
+A :class:`FaultSchedule` is a deterministic timeline of fleet faults —
+``chip_down`` (a chip stops admitting work), ``chip_up`` (it rejoins the
+fleet) and ``dram_degrade`` (its DRAM tier drops to a fraction of the
+healthy bandwidth).  :func:`run_fleet_with_faults` and
+:func:`run_autoscale_with_faults` play a trace through the existing
+:class:`~repro.serving.fleet.FleetSimulator` /
+:class:`~repro.serving.autoscale.AutoscalingFleetSimulator` machinery
+under such a schedule, with weighted-priority admission on top.
+
+The simulation is *era-based*: each chip's service history is a sequence
+of eras, and every era is one ordinary
+:class:`~repro.serving.queue.ContinuousBatchingSimulator` run.  A fault
+event closes the target chip's current era at the event time ``T`` by
+splitting its dispatched requests at the CC-pipeline boundary:
+
+* :func:`~repro.serving.engine.prefill_windows` prices the era's serial
+  CC pipeline exactly; prefill starts are monotone non-decreasing in
+  dispatch order, so the requests with ``start >= T`` form a *suffix*
+  whose removal cannot perturb anything the prefix did before ``T``
+  (suffix prefills end after ``T``, so they never joined decode earlier);
+* the prefix replays through the chip's engine — under the ``"drain"``
+  policy every in-flight request finishes (the era's drain end is its
+  last finish), under ``"abort"`` records finishing after ``T`` are
+  discarded and their requests re-dispatch from scratch;
+* the unstarted suffix re-dispatches fleet-wide at ``T`` (``chip_down``)
+  or moves into the chip's next era (``dram_degrade``), highest
+  priority first.
+
+A degraded era runs on a fresh chip whose system carries the scaled
+DRAM tier; its decode bucket-cost triples seed from the healthy chip
+(they are bandwidth-free byte/cycle quantities, see
+:meth:`~repro.planner.evaluate.DesignWarmCache.delta_seed_from`), while
+CC-stage and whole-step latencies recompute against the degraded
+bandwidth.  Because era splits use the engine-independent
+``prefill_windows`` recurrence and era replays go through
+``chip.run()`` (bit-identical across the ``step``/``macro``/``wave``
+engines), fault runs are engine-independent too — and an *empty*
+schedule reproduces the fault-free path ``==``-identically, which the
+differential chaos suite asserts.
+
+Under the ``"abort"`` policy a closed era's ``decode_steps`` /
+``peak_batch_size`` counters reflect the replay that *discovered* the
+aborted records (the work the chip had started), not only the kept
+records; the per-request records themselves are exact either way.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import (
+    Any,
+    Deque,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..core.simulator import PerformanceSimulator
+from ..models.mllm import InferenceRequest
+from .autoscale import AutoscaleResult, ScalingEvent
+from .engine import prefill_windows
+from .fleet import FleetResult, FleetSimulator
+from .metrics import RequestRecord, percentile
+from .queue import ContinuousBatchingSimulator, ServingRequest, ServingResult
+
+FAULT_KINDS: Tuple[str, ...] = ("chip_down", "chip_up", "dram_degrade")
+DRAIN_POLICIES: Tuple[str, ...] = ("drain", "abort")
+
+#: Post-fault records per tumbling window of the recovery metrics.
+RECOVERY_WINDOW = 32
+#: A post-fault window has recovered once its p99 TTFT is back within
+#: this multiple of the pre-fault baseline.
+RECOVERY_TOLERANCE = 1.1
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fleet fault: a kind, a time and a target chip.
+
+    ``factor`` applies to ``dram_degrade`` only: the degraded DRAM
+    bandwidth as a fraction of the chip's *healthy* baseline (absolute,
+    not compounding — a second degrade replaces the first).
+    """
+
+    time_s: float
+    kind: str
+    chip_id: int
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+            )
+        if self.time_s < 0:
+            raise ValueError("fault time_s must be >= 0")
+        if self.chip_id < 0:
+            raise ValueError("fault chip_id must be >= 0")
+        if self.kind == "dram_degrade":
+            if not 0.0 < self.factor <= 1.0:
+                raise ValueError("dram_degrade factor must be in (0, 1]")
+        elif self.factor != 1.0:
+            raise ValueError("factor only applies to dram_degrade events")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize the event to plain JSON data (factor only if used)."""
+        data: Dict[str, Any] = {
+            "time_s": self.time_s,
+            "kind": self.kind,
+            "chip_id": self.chip_id,
+        }
+        if self.kind == "dram_degrade":
+            data["factor"] = self.factor
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultEvent":
+        """Rebuild an event from :meth:`to_dict` data."""
+        return cls(
+            time_s=float(data["time_s"]),
+            kind=str(data["kind"]),
+            chip_id=int(data["chip_id"]),
+            factor=float(data.get("factor", 1.0)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A deterministic, time-ordered timeline of fleet fault events.
+
+    ``drain_policy`` governs what a dying chip does with requests whose
+    prefill already started: ``"drain"`` finishes them in place (the
+    fleet model of graceful decommission), ``"abort"`` discards any
+    record unfinished at the event time and re-dispatches the request
+    from scratch (hard failure; no work is lost *or* duplicated — the
+    conservation property suite asserts it).
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+    drain_policy: str = "drain"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        if self.drain_policy not in DRAIN_POLICIES:
+            raise ValueError(
+                f"drain_policy must be one of {DRAIN_POLICIES}, "
+                f"got {self.drain_policy!r}"
+            )
+        down: set = set()
+        last = float("-inf")
+        for event in self.events:
+            if event.time_s < last:
+                raise ValueError("fault events must be sorted by time_s")
+            last = event.time_s
+            if event.kind == "chip_down":
+                if event.chip_id in down:
+                    raise ValueError(
+                        f"chip {event.chip_id} goes down twice without a "
+                        "chip_up in between"
+                    )
+                down.add(event.chip_id)
+            elif event.kind == "chip_up":
+                if event.chip_id not in down:
+                    raise ValueError(
+                        f"chip {event.chip_id} comes up without being down"
+                    )
+                down.discard(event.chip_id)
+            elif event.chip_id in down:
+                raise ValueError(
+                    f"chip {event.chip_id} cannot degrade while down"
+                )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize the schedule to plain JSON data."""
+        return {
+            "drain_policy": self.drain_policy,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSchedule":
+        """Rebuild a schedule from :meth:`to_dict` data."""
+        return cls(
+            events=tuple(
+                FaultEvent.from_dict(event) for event in data.get("events", ())
+            ),
+            drain_policy=str(data.get("drain_policy", "drain")),
+        )
+
+
+@dataclass(frozen=True)
+class FaultFleetResult(FleetResult):
+    """Static-fleet outcome under a fault schedule.
+
+    Extends :class:`~repro.serving.fleet.FleetResult` with the applied
+    schedule and the displaced-request accounting; ``per_chip`` records
+    carry the fault path's synthetic positional ids (original ids are
+    restored on the merged ``records``).
+    """
+
+    fault_events: Tuple[FaultEvent, ...] = ()
+    redispatched_ids: Tuple[int, ...] = ()
+    aborted_ids: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class FaultAutoscaleResult(AutoscaleResult):
+    """Autoscaled-fleet outcome under a fault schedule.
+
+    Extends :class:`~repro.serving.autoscale.AutoscaleResult` with the
+    applied schedule and the displaced-request accounting.
+    """
+
+    fault_events: Tuple[FaultEvent, ...] = ()
+    redispatched_ids: Tuple[int, ...] = ()
+    aborted_ids: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class FaultRecovery:
+    """Measured SLO impact of one disruptive fault event.
+
+    ``baseline_p99_ttft_s`` is the p99 TTFT of all records arriving
+    before the event; ``dent_depth_s`` is how far the worst post-event
+    tumbling window's p99 rose above it (clamped at zero); and
+    ``time_to_recover_s`` is the span from the event to the last arrival
+    of the first post-event window whose p99 is back within
+    :data:`RECOVERY_TOLERANCE` of the baseline (``None`` when the trace
+    ends before recovery).
+    """
+
+    event: FaultEvent
+    baseline_p99_ttft_s: float
+    dent_depth_s: float
+    time_to_recover_s: Optional[float]
+
+
+def fault_recovery(
+    records: Sequence[RequestRecord],
+    events: Sequence[FaultEvent],
+    *,
+    window: int = RECOVERY_WINDOW,
+    tolerance: float = RECOVERY_TOLERANCE,
+) -> Tuple[FaultRecovery, ...]:
+    """Recovery metrics of each disruptive event, from the records alone.
+
+    A pure function of the per-request records (arrival-ordered TTFTs
+    chunked into ``window``-sized tumbling windows; recovery means a
+    window's p99 is back within ``tolerance`` of the pre-event baseline),
+    so the metrics are engine-independent by construction and
+    re-derivable by any consumer of the raw records.  ``chip_up`` events
+    are restorative and skipped.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    ordered = sorted(records, key=lambda r: (r.arrival_s, r.request_id))
+    arrivals = [record.arrival_s for record in ordered]
+    ttfts = [record.ttft_s for record in ordered]
+    out: List[FaultRecovery] = []
+    for event in events:
+        if event.kind == "chip_up":
+            continue
+        cut = bisect_left(arrivals, event.time_s)
+        pre, post = ttfts[:cut], ttfts[cut:]
+        baseline = percentile(pre, 99) if pre else 0.0
+        dent = 0.0
+        recover: Optional[float] = None
+        for start in range(0, len(post), window):
+            chunk = post[start : start + window]
+            p99 = percentile(chunk, 99)
+            if p99 - baseline > dent:
+                dent = p99 - baseline
+            if recover is None and p99 <= baseline * tolerance:
+                last = arrivals[cut + start + len(chunk) - 1]
+                recover = last - event.time_s
+        out.append(
+            FaultRecovery(
+                event=event,
+                baseline_p99_ttft_s=baseline,
+                dent_depth_s=dent,
+                time_to_recover_s=recover,
+            )
+        )
+    return tuple(out)
+
+
+def normalize_priorities(
+    priorities: Optional[Sequence[float]], n: int
+) -> Optional[List[float]]:
+    """Per-request admission weights in (0, 1], or ``None`` when uniform.
+
+    ``priorities`` carries one positive value per request of an
+    ``n``-request trace.  Weights are priorities divided by the maximum priority, so a
+    uniform-priority trace normalizes to exactly 1.0 everywhere and the
+    weighted admission arithmetic reduces to the unweighted one bit for
+    bit (the differential suite relies on it).
+    """
+    if priorities is None:
+        return None
+    if len(priorities) != n:
+        raise ValueError(
+            f"priorities has {len(priorities)} entries for {n} requests"
+        )
+    if any(p <= 0 for p in priorities):
+        raise ValueError("priorities must be positive")
+    top = max(priorities)
+    return [p / top for p in priorities]
+
+
+# ----------------------------------------------------------------------
+# Era bookkeeping
+# ----------------------------------------------------------------------
+@dataclass
+class _Entry:
+    """One dispatched request inside a chip era (synthetic-id keyed)."""
+
+    sid: int
+    eff_arrival_s: float
+    index: int
+    request: InferenceRequest
+
+
+class _ChipState:
+    """One chip's fault-path state: liveness, current era, closed eras."""
+
+    def __init__(self, base: ContinuousBatchingSimulator) -> None:
+        self.base = base
+        self.sim = base
+        self.chip_id = base.chip_id
+        self.era = 0
+        self.factor = 1.0
+        self.alive = True
+        self.floor = 0.0
+        self.entries: List[_Entry] = []
+        self.closed: List[ServingResult] = []
+
+
+def _era_shard(state: _ChipState) -> List[ServingRequest]:
+    """The era's dispatch-ordered shard (sorts entries in place)."""
+    state.entries.sort(key=lambda e: (e.eff_arrival_s, e.sid))
+    return [
+        ServingRequest(
+            request_id=entry.sid,
+            arrival_s=entry.eff_arrival_s,
+            request=entry.request,
+        )
+        for entry in state.entries
+    ]
+
+
+def _split_era(
+    state: _ChipState, time_s: float, policy: str
+) -> Tuple[List[_Entry], List[_Entry], float]:
+    """Close the chip's current era at ``time_s``.
+
+    Returns ``(suffix, aborted, drain_end)``: the entries whose prefill
+    had not started (they re-dispatch), the entries the ``"abort"``
+    policy killed mid-service (they re-dispatch from scratch), and the
+    time the era's kept work actually ends.
+    """
+    shard = _era_shard(state)
+    if not shard:
+        return [], [], time_s
+    starts, _ = prefill_windows(state.sim, shard)
+    cut = len(shard)
+    for position, start in enumerate(starts):
+        if start >= time_s:
+            cut = position
+            break
+    prefix, suffix = state.entries[:cut], state.entries[cut:]
+    aborted: List[_Entry] = []
+    drain_end = time_s
+    if prefix:
+        result = state.sim.run(shard[:cut])
+        if policy == "abort":
+            kept = tuple(r for r in result.records if r.finish_s <= time_s)
+            kept_ids = {record.request_id for record in kept}
+            aborted = [entry for entry in prefix if entry.sid not in kept_ids]
+            result = ServingResult(
+                records=kept,
+                peak_batch_size=result.peak_batch_size,
+                decode_steps=result.decode_steps,
+            )
+        elif result.records:
+            tail = max(record.finish_s for record in result.records)
+            if tail > drain_end:
+                drain_end = tail
+        state.closed.append(result)
+    state.entries = []
+    return suffix, aborted, drain_end
+
+
+def _degraded_chip(
+    base: ContinuousBatchingSimulator, factor: float
+) -> ContinuousBatchingSimulator:
+    """A fresh chip like ``base`` with its DRAM tier scaled by ``factor``.
+
+    The factor is absolute against the chip's healthy baseline.  Decode
+    bucket-cost triples seed from the healthy chip — they carry no
+    bandwidth term — while CC-stage and whole-step latencies recompute
+    lazily against the degraded tier.
+    """
+    if factor == 1.0:
+        return base
+    system = base.simulator.system
+    dram = replace(
+        system.chip.dram,
+        peak_bandwidth_bytes_per_s=(
+            system.chip.dram.peak_bandwidth_bytes_per_s * factor
+        ),
+    )
+    degraded = replace(system, chip=replace(system.chip, dram=dram))
+    chip = ContinuousBatchingSimulator(
+        PerformanceSimulator(degraded),
+        base.model,
+        max_batch_size=base.max_batch_size,
+        cc_bandwidth_fraction=base.cc_bandwidth_fraction,
+        context_bucket=base.cost_model.context_bucket,
+        chip_id=base.chip_id,
+        engine=base.engine,
+    )
+    chip.cost_model.seed_bucket_costs(base.cost_model.bucket_costs())
+    return chip
+
+
+class _FaultLedger:
+    """Dispatch/era bookkeeping shared by both fault-path loops."""
+
+    def __init__(
+        self,
+        fleet: FleetSimulator,
+        trace: Sequence[ServingRequest],
+        schedule: FaultSchedule,
+    ) -> None:
+        self.fleet = fleet
+        self.trace = trace
+        self.policy = schedule.drain_policy
+        self.states = [_ChipState(chip) for chip in fleet.chips]
+        self.next_sid = len(trace)
+        self.origin: Dict[int, int] = {}
+        self.redispatched: List[int] = []
+        self.aborted: List[int] = []
+        self.assignments = [-1] * len(trace)
+        self._era_cost: Dict[Tuple[int, int, int, int, int], float] = {}
+
+    def index_of(self, sid: int) -> int:
+        """The trace position a synthetic record id maps back to."""
+        return self.origin.get(sid, sid)
+
+    def place(self, chip_id: int, index: int, eff: float, fresh: bool) -> None:
+        """Dispatch trace position ``index`` onto ``chip_id`` at ``eff``.
+
+        First dispatches keep the trace position as their synthetic id
+        (the same positional-id contract the autoscaler's replay uses);
+        re-dispatches allocate a fresh id past the trace length so a
+        request displaced twice stays unambiguous.
+        """
+        if fresh:
+            sid = index
+        else:
+            sid = self.next_sid
+            self.next_sid += 1
+            self.origin[sid] = index
+        self.states[chip_id].entries.append(
+            _Entry(
+                sid=sid,
+                eff_arrival_s=eff,
+                index=index,
+                request=self.trace[index].request,
+            )
+        )
+        self.assignments[index] = chip_id
+
+    def estimate(self, chip_id: int, request: InferenceRequest) -> float:
+        """Dispatcher-side batch-1 cost estimate against the current era.
+
+        Healthy eras delegate to the fleet's shared estimate memo (the
+        exact floats the fault-free path uses); degraded eras price
+        against the era chip, memoized per (chip, era, shape).
+        """
+        state = self.states[chip_id]
+        if state.sim is state.base:
+            return self.fleet._estimate_cost_s(state.base, request)
+        key = (
+            chip_id,
+            state.era,
+            request.images,
+            request.prompt_text_tokens,
+            request.output_tokens,
+        )
+        cached = self._era_cost.get(key)
+        if cached is not None:
+            return cached
+        context = self.fleet.model.prompt_tokens(request)
+        cost = (
+            state.sim.cc_latency_s(request)
+            + state.sim.cost_model.step_latency_s([context])
+            * request.output_tokens
+        )
+        self._era_cost[key] = cost
+        return cost
+
+    def apply_event(self, event: FaultEvent) -> List[_Entry]:
+        """Apply one fault event; returns the entries needing re-dispatch."""
+        state = self.states[event.chip_id]
+        if event.kind == "chip_down":
+            suffix, aborted, drain_end = _split_era(
+                state, event.time_s, self.policy
+            )
+            state.alive = False
+            state.era += 1
+            state.floor = drain_end
+            self.redispatched.extend(entry.index for entry in suffix)
+            self.aborted.extend(entry.index for entry in aborted)
+            return suffix + aborted
+        if event.kind == "chip_up":
+            state.alive = True
+            state.era += 1
+            state.floor = max(event.time_s, state.floor)
+            return []
+        # dram_degrade: degradation is not failure — in-flight work
+        # always drains at the pre-degrade speed, and the unstarted
+        # suffix stays on the chip, carried into the degraded era.
+        suffix, _, drain_end = _split_era(state, event.time_s, "drain")
+        state.era += 1
+        state.factor = event.factor
+        state.floor = max(event.time_s, drain_end)
+        state.sim = _degraded_chip(state.base, event.factor)
+        for entry in suffix:
+            entry.eff_arrival_s = max(entry.eff_arrival_s, state.floor)
+            state.entries.append(entry)
+        return []
+
+    def alive_ids(self) -> List[int]:
+        """Chip ids currently admitting work, in id order."""
+        return [state.chip_id for state in self.states if state.alive]
+
+    def finish(self) -> None:
+        """Close every open era at the end of the trace."""
+        for state in self.states:
+            shard = _era_shard(state)
+            if shard:
+                state.closed.append(state.sim.run(shard))
+                state.entries = []
+
+    def collect(self) -> Tuple[Tuple[RequestRecord, ...], Tuple[ServingResult, ...]]:
+        """Merge closed eras into per-chip results and restored records."""
+        per_chip: List[ServingResult] = []
+        for state in self.states:
+            merged = [
+                record
+                for result in state.closed
+                for record in result.records
+            ]
+            merged.sort(key=lambda record: record.request_id)
+            per_chip.append(
+                ServingResult(
+                    records=tuple(merged),
+                    peak_batch_size=max(
+                        (result.peak_batch_size for result in state.closed),
+                        default=0,
+                    ),
+                    decode_steps=sum(
+                        result.decode_steps for result in state.closed
+                    ),
+                )
+            )
+        records: List[RequestRecord] = []
+        for result in per_chip:
+            for record in result.records:
+                source = self.trace[self.index_of(record.request_id)]
+                records.append(
+                    replace(
+                        record,
+                        request_id=source.request_id,
+                        arrival_s=source.arrival_s,
+                    )
+                )
+        records.sort(key=lambda record: record.request_id)
+        return tuple(records), tuple(per_chip)
+
+
+def _validate_targets(schedule: FaultSchedule, n_chips: int) -> None:
+    """Reject schedules targeting chips the fleet does not have."""
+    for event in schedule.events:
+        if event.chip_id >= n_chips:
+            raise ValueError(
+                f"fault targets chip {event.chip_id} but the fleet has "
+                f"{n_chips} chips"
+            )
+
+
+def _pool_order(
+    pool: List[_Entry],
+    trace: Sequence[ServingRequest],
+    weights: Optional[List[float]],
+) -> List[_Entry]:
+    """Displaced entries in re-dispatch order: priority, then arrival."""
+    return sorted(
+        pool,
+        key=lambda e: (
+            -(weights[e.index] if weights else 1.0),
+            trace[e.index].arrival_s,
+            trace[e.index].request_id,
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Static fleet under faults
+# ----------------------------------------------------------------------
+def run_fleet_with_faults(
+    fleet: FleetSimulator,
+    trace: Sequence[ServingRequest],
+    schedule: FaultSchedule,
+    priorities: Optional[Sequence[float]] = None,
+) -> FaultFleetResult:
+    """Play ``trace`` through a static fleet under a fault ``schedule``.
+
+    Dispatch follows the fleet's configured policy over the *alive*
+    chips only; a ``chip_down`` re-dispatches the dead chip's unstarted
+    (and, under ``"abort"``, killed) requests across the survivors at
+    the event time, highest ``priorities`` first.  With an empty
+    schedule and uniform priorities the result equals
+    :meth:`~repro.serving.fleet.FleetSimulator.run` field for field
+    (asserted by the differential suite).  Raises if requests remain
+    unservable because every chip is down through the end of the trace.
+    """
+    if not trace:
+        raise ValueError("trace must not be empty")
+    _validate_targets(schedule, fleet.n_chips)
+    weights = normalize_priorities(priorities, len(trace))
+    if fleet.precompute:
+        fleet.precompute_service_times(trace)
+    ledger = _FaultLedger(fleet, trace, schedule)
+    order = sorted(
+        range(len(trace)),
+        key=lambda i: (trace[i].arrival_s, trace[i].request_id),
+    )
+    events = list(schedule.events)
+    event_pos = 0
+    horizons = [0.0] * fleet.n_chips
+    rr_position = 0
+    parked: List[Tuple[int, float, bool]] = []
+
+    def dispatch(index: int, eff: float, fresh: bool) -> None:
+        nonlocal rr_position
+        targets = ledger.alive_ids()
+        request = trace[index].request
+        if fleet.policy == "round_robin":
+            chip_id = targets[rr_position % len(targets)]
+            rr_position += 1
+        else:  # least_loaded
+            chip_id = min(targets, key=lambda c: (horizons[c], c))
+        eff = max(eff, ledger.states[chip_id].floor)
+        cost = ledger.estimate(chip_id, request)
+        horizons[chip_id] = max(horizons[chip_id], eff) + cost
+        ledger.place(chip_id, index, eff, fresh)
+
+    def apply(event: FaultEvent) -> None:
+        pool = ledger.apply_event(event)
+        if event.kind == "chip_up":
+            horizons[event.chip_id] = ledger.states[event.chip_id].floor
+            if parked:
+                flush, parked[:] = list(parked), []
+                for index, eff, fresh in flush:
+                    dispatch(index, max(eff, event.time_s), fresh)
+        for entry in _pool_order(pool, trace, weights):
+            if not ledger.alive_ids():
+                parked.append((entry.index, entry.eff_arrival_s, False))
+                continue
+            dispatch(entry.index, max(entry.eff_arrival_s, event.time_s), False)
+
+    for index in order:
+        arrival = trace[index].arrival_s
+        while event_pos < len(events) and events[event_pos].time_s <= arrival:
+            apply(events[event_pos])
+            event_pos += 1
+        if not ledger.alive_ids():
+            parked.append((index, arrival, True))
+            continue
+        dispatch(index, arrival, True)
+    while event_pos < len(events):
+        apply(events[event_pos])
+        event_pos += 1
+    if parked:
+        raise ValueError(
+            f"{len(parked)} requests were never dispatched: every chip was "
+            "down through the end of the trace"
+        )
+    ledger.finish()
+    records, per_chip = ledger.collect()
+    return FaultFleetResult(
+        records=records,
+        per_chip=per_chip,
+        assignments=tuple(ledger.assignments),
+        fault_events=schedule.events,
+        redispatched_ids=tuple(
+            trace[i].request_id for i in ledger.redispatched
+        ),
+        aborted_ids=tuple(trace[i].request_id for i in ledger.aborted),
+    )
+
+
+# ----------------------------------------------------------------------
+# Autoscaled fleet under faults
+# ----------------------------------------------------------------------
+def run_autoscale_with_faults(
+    fleet,
+    trace: Sequence[ServingRequest],
+    schedule: FaultSchedule,
+    priorities: Optional[Sequence[float]] = None,
+) -> FaultAutoscaleResult:
+    """Play ``trace`` through an autoscaled fleet under a fault ``schedule``.
+
+    The control loop is the exact arithmetic of
+    :meth:`~repro.serving.autoscale.AutoscalingFleetSimulator.run` — the
+    same admission pops, rolling-percentile decisions and horizon
+    updates — restricted to the alive prefix of the fleet, with two
+    additions: per-request admission depth scales with the request's
+    priority weight (``max(1, int(depth * weight))``, exactly the
+    unweighted limit at uniform priorities), and fault events displace
+    and re-dispatch work as in :func:`run_fleet_with_faults` (displaced
+    requests bypass admission — they were already admitted once).  The
+    in-flight depth estimates of a dead chip stay in the controller's
+    heap (a dispatcher cannot observe them individually); they age out
+    by their estimated finish times.
+    """
+    if not trace:
+        raise ValueError("trace must not be empty")
+    _validate_targets(schedule, fleet.n_chips)
+    weights = normalize_priorities(priorities, len(trace))
+    if fleet.precompute:
+        fleet.precompute_service_times(trace)
+    config = fleet.autoscaler
+    model = fleet.model
+    ledger = _FaultLedger(fleet, trace, schedule)
+    order = sorted(
+        range(len(trace)),
+        key=lambda i: (trace[i].arrival_s, trace[i].request_id),
+    )
+    fevents = list(schedule.events)
+    event_pos = 0
+    horizons = [0.0] * fleet.n_chips
+    inflight: List[float] = []
+    ttft_window: Deque[float] = deque(maxlen=config.window)
+    events: List[ScalingEvent] = []
+    rejected: List[int] = []
+    n_active = config.min_chips
+    last_scale = float("-inf")
+    parked: List[Tuple[int, float, bool]] = []
+
+    def dispatchable() -> List[int]:
+        return ledger.alive_ids()[:n_active]
+
+    def place(index: int, eff: float, fresh: bool, observe_from: float) -> None:
+        targets = dispatchable()
+        chip_id = min(targets, key=lambda c: (horizons[c], c))
+        state = ledger.states[chip_id]
+        eff = max(eff, state.floor)
+        request = trace[index].request
+        cost = ledger.estimate(chip_id, request)
+        start = max(horizons[chip_id], eff)
+        prefill = state.sim.cc_latency_s(request)
+        first_step = state.sim.cost_model.step_latency_s(
+            [model.prompt_tokens(request)]
+        )
+        ttft_window.append(start + prefill + first_step - observe_from)
+        horizons[chip_id] = start + cost
+        heapq.heappush(inflight, horizons[chip_id])
+        ledger.place(chip_id, index, eff, fresh)
+
+    def apply(event: FaultEvent) -> None:
+        pool = ledger.apply_event(event)
+        if event.kind == "chip_up":
+            horizons[event.chip_id] = ledger.states[event.chip_id].floor
+            if parked:
+                flush, parked[:] = list(parked), []
+                for index, eff, fresh in flush:
+                    if not dispatchable():
+                        parked.append((index, eff, fresh))
+                        continue
+                    place(
+                        index,
+                        max(eff, event.time_s),
+                        fresh,
+                        trace[index].arrival_s,
+                    )
+        for entry in _pool_order(pool, trace, weights):
+            if not dispatchable():
+                parked.append((entry.index, entry.eff_arrival_s, False))
+                continue
+            place(
+                entry.index,
+                max(entry.eff_arrival_s, event.time_s),
+                False,
+                trace[entry.index].arrival_s,
+            )
+
+    for index in order:
+        request = trace[index]
+        now = request.arrival_s
+        while event_pos < len(fevents) and fevents[event_pos].time_s <= now:
+            apply(fevents[event_pos])
+            event_pos += 1
+        targets = dispatchable()
+        if not targets:
+            parked.append((index, now, True))
+            continue
+
+        while inflight and inflight[0] <= now:
+            heapq.heappop(inflight)
+        effective = now
+        weight = weights[index] if weights is not None else 1.0
+        depth_limit = max(1, int(config.max_queue_depth * len(targets) * weight))
+        if len(inflight) >= depth_limit:
+            if config.admission == "reject":
+                rejected.append(index)
+                continue
+            overflow = len(inflight) - depth_limit + 1
+            for _ in range(overflow):
+                effective = heapq.heappop(inflight)
+
+        place(index, effective, True, now)
+
+        if (
+            len(ttft_window) >= config.min_observations
+            and now - last_scale >= config.cooldown_s
+        ):
+            rolling = percentile(list(ttft_window), 99)
+            target = config.target_p99_ttft_s
+            if (
+                rolling > target * config.scale_up_ratio
+                and n_active < config.max_chips
+            ):
+                events.append(
+                    ScalingEvent(
+                        time_s=now,
+                        n_chips_before=n_active,
+                        n_chips_after=n_active + 1,
+                        rolling_p99_ttft_s=rolling,
+                    )
+                )
+                n_active += 1
+                last_scale = now
+            elif (
+                rolling < target * config.scale_down_ratio
+                and n_active > config.min_chips
+            ):
+                events.append(
+                    ScalingEvent(
+                        time_s=now,
+                        n_chips_before=n_active,
+                        n_chips_after=n_active - 1,
+                        rolling_p99_ttft_s=rolling,
+                    )
+                )
+                n_active -= 1
+                last_scale = now
+
+    while event_pos < len(fevents):
+        apply(fevents[event_pos])
+        event_pos += 1
+    if parked:
+        raise ValueError(
+            f"{len(parked)} requests were never dispatched: every chip was "
+            "down through the end of the trace"
+        )
+    ledger.finish()
+    records, per_chip = ledger.collect()
+    return FaultAutoscaleResult(
+        records=records,
+        per_chip=per_chip,
+        assignments=tuple(ledger.assignments),
+        rejected_ids=tuple(trace[i].request_id for i in rejected),
+        events=tuple(events),
+        final_chips=n_active,
+        fault_events=schedule.events,
+        redispatched_ids=tuple(
+            trace[i].request_id for i in ledger.redispatched
+        ),
+        aborted_ids=tuple(trace[i].request_id for i in ledger.aborted),
+    )
+
+
+__all__ = [
+    "FAULT_KINDS",
+    "DRAIN_POLICIES",
+    "RECOVERY_WINDOW",
+    "RECOVERY_TOLERANCE",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultFleetResult",
+    "FaultAutoscaleResult",
+    "FaultRecovery",
+    "fault_recovery",
+    "normalize_priorities",
+    "run_fleet_with_faults",
+    "run_autoscale_with_faults",
+]

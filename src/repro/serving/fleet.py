@@ -415,8 +415,29 @@ class FleetSimulator:
             by_chip = {chip.chip_id: chip.run(list(shard)) for chip, shard in busy}
         return [by_chip.get(chip.chip_id, empty) for chip in self.chips]
 
-    def run(self, trace: Sequence[ServingRequest]) -> FleetResult:
-        """Dispatch the trace, simulate every chip and merge the records."""
+    def run(
+        self,
+        trace: Sequence[ServingRequest],
+        *,
+        faults=None,
+        priorities: Optional[Sequence[float]] = None,
+    ) -> FleetResult:
+        """Dispatch the trace, simulate every chip and merge the records.
+
+        ``faults`` optionally routes the run through the event-driven
+        degradation path (:func:`repro.serving.faults.
+        run_fleet_with_faults`); ``priorities`` then orders post-fault
+        re-dispatch (a static fleet has no admission control, so
+        priorities only matter under faults).  With ``faults=None`` the
+        historical fault-free path runs unchanged.
+        """
+        if faults is not None:
+            # Imported lazily: faults builds on this module.
+            from .faults import run_fleet_with_faults
+
+            return run_fleet_with_faults(
+                self, trace, faults, priorities=priorities
+            )
         if not trace:
             raise ValueError("trace must not be empty")
         if self.precompute:

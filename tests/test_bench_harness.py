@@ -196,13 +196,39 @@ class TestCheckMode:
             )
         assert harness.metadata_warnings(fresh, baseline) == []
 
-    def test_metadata_absent_on_either_side_is_skipped(self, harness):
-        # Older baselines predate the metadata; a fresh run that records it
-        # (or a baseline that has it while fresh dropped it) must not warn.
+    def test_metadata_absent_on_either_side_warns(self, harness):
+        # A key only one side records is itself a workload-shape change:
+        # the benchmark started (or stopped) recording what it does, so
+        # the baseline no longer describes the fresh run.
         fresh = self._report(planner=1.0, legacy=2.0)
         baseline = self._report(planner=1.0, legacy=2.0)
         fresh["scenarios"]["planner"]["candidates"] = 124_416
         baseline["scenarios"]["legacy"]["candidates"] = 99
+        warnings = harness.metadata_warnings(fresh, baseline)
+        assert len(warnings) == 2
+        assert warnings[0].startswith("legacy: candidates committed")
+        assert warnings[1].startswith("planner: candidates recorded")
+        # ... without entering the hard regression gate.
+        assert harness.check_regressions(fresh, baseline) == []
+
+    def test_metadata_covers_unlisted_keys(self, harness):
+        # New detail keys (per-tenant tallies, fault-event counts) are
+        # watched without a hand-maintained key list.
+        fresh = self._report(chaos=1.0)
+        baseline = self._report(chaos=1.0)
+        fresh["scenarios"]["chaos"]["fault_events"] = 2
+        baseline["scenarios"]["chaos"]["fault_events"] = 3
+        warnings = harness.metadata_warnings(fresh, baseline)
+        assert len(warnings) == 1
+        assert "fault_events drifted from committed 3 to 2" in warnings[0]
+
+    def test_metadata_ignores_float_measurements(self, harness):
+        # Float details are derived measurements (speedup, wave seconds);
+        # their run-to-run jitter must not masquerade as workload drift.
+        fresh = self._report(serving=1.0)
+        baseline = self._report(serving=1.1)
+        fresh["scenarios"]["serving"].update(speedup=13.2, requests=100_000)
+        baseline["scenarios"]["serving"].update(speedup=12.7, requests=100_000)
         assert harness.metadata_warnings(fresh, baseline) == []
 
     def test_metadata_of_uncommitted_scenarios_is_skipped(self, harness):
