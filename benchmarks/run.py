@@ -176,21 +176,38 @@ def check_regressions(
 
 
 def baseline_warnings(
-    fresh: Dict[str, object], baseline: Dict[str, object]
+    fresh: Dict[str, object],
+    baseline: Dict[str, object],
+    *,
+    only: str = "",
 ) -> List[str]:
-    """Warnings for ``fresh`` scenarios the ``baseline`` does not cover.
+    """Warnings where ``fresh`` and ``baseline`` scenario sets disagree.
 
     A scenario without committed seconds — typically one the current PR
     just added — cannot be regression-checked; it is reported so the gap
     is visible in the CI log, and the check passes (its fresh seconds
-    enter the baseline once committed).
+    enter the baseline once committed).  A committed scenario the fresh
+    run no longer produces (removed or renamed) is reported too, so the
+    baseline file cannot silently rot.  Both directions list names in
+    sorted order, one warning per name, so successive CI logs diff
+    cleanly.  ``only`` mirrors :func:`run_benchmarks`' substring filter:
+    a filtered run only reports committed-but-missing names matching the
+    filter — the rest were never asked to run.
     """
     committed = baseline.get("scenarios", {})
-    return [
+    current = fresh.get("scenarios", {})
+    warnings = [
         f"{name}: no committed baseline; regression check skipped"
-        for name in sorted(fresh.get("scenarios", {}))
+        for name in sorted(current)
         if name not in committed
     ]
+    warnings.extend(
+        f"{name}: committed baseline no longer produced by any benchmark; "
+        "regression check skipped"
+        for name in sorted(committed)
+        if name not in current and only in name
+    )
+    return warnings
 
 
 def metadata_warnings(
@@ -277,7 +294,7 @@ def main(argv: List[str] = None) -> None:
         if not baseline_found:
             print("\n--check passed: no committed baseline to compare against")
             return
-        for warning in baseline_warnings(report, baseline):
+        for warning in baseline_warnings(report, baseline, only=args.only):
             print(f"warning: {warning}")
         for warning in metadata_warnings(report, baseline):
             print(f"warning: {warning}")

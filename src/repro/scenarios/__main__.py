@@ -19,6 +19,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from ..serving.dispatch import RUNTIMES
 from ..serving.queue import ENGINES
 from .registry import available_scenarios, get_scenario
 from .report import format_scenario_report
@@ -45,6 +46,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="decode-loop implementation (reports are engine-independent; "
         "'step' is the slow per-step oracle)",
     )
+    run.add_argument(
+        "--runtime", choices=RUNTIMES, default="batch",
+        help="execution plane: 'live' streams the trace through the "
+        "asyncio actor runtime (reports are runtime-independent)",
+    )
 
     golden = commands.add_parser(
         "write-golden", help="(re)write golden reports for the regression suite"
@@ -60,8 +66,13 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run(name: str, as_json: bool, engine: str = "macro") -> None:
-    report = run_scenario(get_scenario(name), engine=engine)
+def _run(
+    name: str,
+    as_json: bool,
+    engine: str = "macro",
+    runtime: str = "batch",
+) -> None:
+    report = run_scenario(get_scenario(name), engine=engine, runtime=runtime)
     if as_json:
         sys.stdout.write(report.to_json())
     else:
@@ -86,7 +97,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         for index, name in enumerate(names):
             if index and not args.json:
                 print()
-            _run(name, args.json, args.engine)
+            _run(name, args.json, args.engine, args.runtime)
         return 0
 
     # write-golden

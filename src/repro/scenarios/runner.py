@@ -116,34 +116,62 @@ def price_offered_load(
     )
 
 
-def run_scenario(spec: ScenarioSpec, *, engine: str = "macro") -> ScenarioReport:
-    """Compile and run one scenario ``spec`` end to end.
+def scenario_run_kwargs(compiled: CompiledScenario, fleet) -> dict:
+    """The ``faults``/``priorities`` kwargs a compiled scenario's run takes.
 
-    ``engine`` forwards to :func:`build_fleet`; the report is identical
-    for every engine (regression-tested through the golden suite).
-    Specs carrying a ``faults`` block run through the event-driven
-    degradation path and their reports grow a ``faults`` summary with
-    per-disruption recovery metrics; specs declaring tenants grow a
-    per-tenant attainment block.  Plain specs emit the exact historical
-    report (golden byte identity).
+    Shared by the batch and live execution planes so both route through
+    the fleet ``run`` entry points identically.  A static fleet has no
+    admission control, so priorities alone (no faults) change nothing
+    there — only the autoscaled loop's weighted admission reacts to
+    them, hence the ``AutoscalingFleetSimulator`` guard.
     """
-    compiled = compile_scenario(spec)
-    fleet = build_fleet(spec, engine=engine)
-    run_kwargs = {}
+    run_kwargs: dict = {}
     if compiled.faults is not None:
         run_kwargs["faults"] = compiled.faults
         run_kwargs["priorities"] = compiled.priorities
     elif compiled.priorities is not None and isinstance(
         fleet, AutoscalingFleetSimulator
     ):
-        # A static fleet has no admission control, so priorities alone
-        # (no faults) change nothing there — only the autoscaled loop's
-        # weighted admission reacts to them.
         run_kwargs["priorities"] = compiled.priorities
-    if run_kwargs:
-        result = fleet.run(list(compiled.trace), **run_kwargs)
-    else:
-        result = fleet.run(list(compiled.trace))
+    return run_kwargs
+
+
+def run_scenario(
+    spec: ScenarioSpec, *, engine: str = "macro", runtime: str = "batch"
+) -> ScenarioReport:
+    """Compile and run one scenario ``spec`` end to end.
+
+    ``engine`` forwards to :func:`build_fleet`; the report is identical
+    for every engine (regression-tested through the golden suite).
+    ``runtime`` selects the execution plane (see
+    :data:`repro.serving.dispatch.RUNTIMES`): ``"live"`` streams the
+    compiled trace through the asyncio actor runtime and produces the
+    byte-identical report.  Specs carrying a ``faults`` block run
+    through the event-driven degradation path and their reports grow a
+    ``faults`` summary with per-disruption recovery metrics; specs
+    declaring tenants grow a per-tenant attainment block.  Plain specs
+    emit the exact historical report (golden byte identity).
+    """
+    compiled = compile_scenario(spec)
+    fleet = build_fleet(spec, engine=engine)
+    result = fleet.run(
+        list(compiled.trace),
+        runtime=runtime,
+        **scenario_run_kwargs(compiled, fleet),
+    )
+    return scenario_report(spec, compiled, result)
+
+
+def scenario_report(
+    spec: ScenarioSpec, compiled: CompiledScenario, result
+) -> ScenarioReport:
+    """Fold a fleet ``result`` into ``spec``'s canonical report.
+
+    Pure assembly over the ``spec``, its ``compiled`` trace and the run
+    ``result`` — both execution planes (and checkpoint resumes) call it
+    with their result object, so report formatting lives in exactly one
+    place.
+    """
     report = result.report
     autoscale = (
         AutoscaleSummary.from_result(result)
@@ -203,5 +231,7 @@ __all__ = [
     "build_fleet",
     "price_offered_load",
     "run_scenario",
+    "scenario_report",
+    "scenario_run_kwargs",
     "format_scenario_report",
 ]

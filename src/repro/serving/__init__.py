@@ -8,7 +8,11 @@ with admission control (:mod:`repro.serving.autoscale`) — and per-request
 timestamp records fold into latency/TTFT percentiles and aggregate
 throughput (:mod:`repro.serving.metrics`).  Deterministic fault schedules
 (chip outages, DRAM degradation) and weighted tenant priorities replay
-through the same engines via :mod:`repro.serving.faults`.
+through the same engines via :mod:`repro.serving.faults`.  The live
+control plane (:mod:`repro.serving.runtime`) streams the same traces
+through asyncio actors — driving the stepwise dispatch controllers of
+:mod:`repro.serving.dispatch` — with checkpoint/restore, byte-identical
+to the batch path.
 """
 
 from .arrival import (
@@ -68,6 +72,8 @@ from .queue import (
     ServingResult,
     build_trace,
 )
+from .dispatch import RUNTIMES
+from .runtime import Checkpoint, resume_live, run_live
 
 __all__ = [
     "BurstyArrivals",
@@ -111,6 +117,10 @@ __all__ = [
     "run_macro",
     "run_wave",
     "simulate_chip_shard",
+    "RUNTIMES",
+    "Checkpoint",
+    "resume_live",
+    "run_live",
     "TRACE_DTYPE",
     "array_to_trace",
     "concat_trace_arrays",

@@ -29,16 +29,13 @@ configuration reproduce bit-identical records, decisions and reports.
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, replace
-from typing import Callable, Deque, List, Optional, Sequence, Tuple
-
-from collections import deque
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..core.simulator import PerformanceSimulator
 from ..models.mllm import MLLMConfig
-from .fleet import FleetResult, FleetSimulator
-from .metrics import RequestRecord, ServingReport, empty_report, percentile, summarize
+from .fleet import FleetSimulator
+from .metrics import RequestRecord, ServingReport, empty_report, summarize
 from .queue import ServingRequest, ServingResult
 
 ADMISSION_POLICIES: Tuple[str, ...] = ("queue", "reject")
@@ -218,6 +215,7 @@ class AutoscalingFleetSimulator(FleetSimulator):
         *,
         faults=None,
         priorities: Optional[Sequence[float]] = None,
+        runtime: str = "batch",
     ) -> AutoscaleResult:
         """Dispatch under the control loop, then replay chips exactly.
 
@@ -226,8 +224,34 @@ class AutoscalingFleetSimulator(FleetSimulator):
         ``priorities`` weights each request's admission depth; either
         being set selects the fault-aware loop (with an empty schedule
         when only priorities are given).  Both ``None`` — the default —
-        keeps the historical fault-free path unchanged.
+        keeps the historical fault-free path unchanged.  ``runtime``
+        selects the execution plane: ``"live"`` streams the trace
+        through the asyncio actor runtime, producing the bit-identical
+        result (see :data:`repro.serving.dispatch.RUNTIMES`).
+
+        The control loop itself is a stepwise
+        :class:`~repro.serving.dispatch.AutoscaleDispatchController`
+        driven over the sorted trace — the exact per-arrival arithmetic
+        the live runtime's supervisor actor applies per message.  Chips
+        then replay the controlled assignment under synthetic positional
+        ids through :meth:`~repro.serving.fleet.FleetSimulator.
+        _run_shards` (the ``processes`` fan-out applies), and the
+        controller folds the per-chip results back to true ids and
+        arrivals.
         """
+        if runtime != "batch":
+            from .dispatch import RUNTIMES
+
+            if runtime not in RUNTIMES:
+                raise ValueError(
+                    f"runtime must be one of {RUNTIMES}, got {runtime!r}"
+                )
+            # Imported lazily: the runtime package builds on this module.
+            from .runtime import run_live
+
+            return run_live(
+                self, trace, faults=faults, priorities=priorities
+            )
         if faults is not None or priorities is not None:
             # Imported lazily: faults builds on this module.
             from .faults import FaultSchedule, run_autoscale_with_faults
@@ -240,144 +264,19 @@ class AutoscalingFleetSimulator(FleetSimulator):
             raise ValueError("trace must not be empty")
         if self.precompute:
             self.precompute_service_times(trace)
-        config = self.autoscaler
+        # Imported lazily: dispatch builds on this module.
+        from .dispatch import AutoscaleDispatchController, sorted_order
 
-        order = sorted(
-            range(len(trace)),
-            key=lambda i: (trace[i].arrival_s, trace[i].request_id),
-        )
-        assignments = [-1] * len(trace)
-        #: Effective (possibly admission-delayed) dispatch time per index.
-        dispatch_time = [0.0] * len(trace)
-        horizons = [0.0] * self.n_chips
-        inflight: List[float] = []  # estimated finish times, a min-heap
-        ttft_window: Deque[float] = deque(maxlen=config.window)
-        events: List[ScalingEvent] = []
-        rejected: List[int] = []
-        n_active = config.min_chips
-        last_scale = float("-inf")
-
-        for index in order:
-            request = trace[index]
-            now = request.arrival_s
-
-            # Admission control against the estimated in-flight depth.
-            while inflight and inflight[0] <= now:
-                heapq.heappop(inflight)
-            effective = now
-            depth_limit = config.max_queue_depth * n_active
-            if len(inflight) >= depth_limit:
-                if config.admission == "reject":
-                    rejected.append(index)
-                    continue
-                # Front-door queue: dispatch once enough in-flight requests
-                # have (by estimate) finished to open a slot.
-                overflow = len(inflight) - depth_limit + 1
-                for _ in range(overflow):
-                    effective = heapq.heappop(inflight)
-
-            # Least-loaded dispatch over the active prefix.
-            chip_id = min(range(n_active), key=lambda c: (horizons[c], c))
-            chip = self.chips[chip_id]
-            cost = self._estimate_cost_s(chip, request.request)
-            start = max(horizons[chip_id], effective)
-            prefill = chip.cc_latency_s(request.request)
-            first_step = chip.cost_model.step_latency_s(
-                [self.model.prompt_tokens(request.request)]
-            )
-            ttft_window.append(start + prefill + first_step - now)
-            horizons[chip_id] = start + cost
-            heapq.heappush(inflight, horizons[chip_id])
-            assignments[index] = chip_id
-            dispatch_time[index] = effective
-
-            # Control decision on the rolling percentile.
-            if (
-                len(ttft_window) >= config.min_observations
-                and now - last_scale >= config.cooldown_s
-            ):
-                rolling = percentile(list(ttft_window), 99)
-                target = config.target_p99_ttft_s
-                if (
-                    rolling > target * config.scale_up_ratio
-                    and n_active < config.max_chips
-                ):
-                    events.append(
-                        ScalingEvent(
-                            time_s=now,
-                            n_chips_before=n_active,
-                            n_chips_after=n_active + 1,
-                            rolling_p99_ttft_s=rolling,
-                        )
-                    )
-                    n_active += 1
-                    last_scale = now
-                elif (
-                    rolling < target * config.scale_down_ratio
-                    and n_active > config.min_chips
-                ):
-                    events.append(
-                        ScalingEvent(
-                            time_s=now,
-                            n_chips_before=n_active,
-                            n_chips_after=n_active - 1,
-                            rolling_p99_ttft_s=rolling,
-                        )
-                    )
-                    n_active -= 1
-                    last_scale = now
-
-        return self._replay(trace, assignments, dispatch_time, rejected, events, n_active)
-
-    # ------------------------------------------------------------------
-    # Exact replay of the controlled assignment
-    # ------------------------------------------------------------------
-    def _replay(
-        self,
-        trace: Sequence[ServingRequest],
-        assignments: List[int],
-        dispatch_time: List[float],
-        rejected: List[int],
-        events: List[ScalingEvent],
-        n_active: int,
-    ) -> AutoscaleResult:
-        # Chips run shards under *synthetic* ids — the trace position —
-        # so records map back to trace entries positionally and duplicate
-        # caller-supplied request ids stay well-defined, the same contract
-        # the parent FleetSimulator documents for `assign`.  Records are
-        # rebuilt below with the original id and the *true* arrival (the
-        # admission delay, if any, is folded back out).
+        controller = AutoscaleDispatchController(self)
+        for index in sorted_order(trace):
+            controller.on_arrival(index, trace[index])
+        jobs = controller.final_jobs()
         shards: List[List[ServingRequest]] = [[] for _ in range(self.n_chips)]
-        for index, chip_id in enumerate(assignments):
-            if chip_id < 0:
-                continue
-            request = replace(
-                trace[index],
-                request_id=index,
-                arrival_s=max(dispatch_time[index], trace[index].arrival_s),
-            )
-            shards[chip_id].append(request)
-
+        for job in jobs:
+            shards[job.chip_id] = list(job.shard)
         per_chip = self._run_shards(shards)
-        records: List[RequestRecord] = []
-        for result in per_chip:
-            for record in result.records:
-                source = trace[record.request_id]
-                records.append(
-                    replace(
-                        record,
-                        request_id=source.request_id,
-                        arrival_s=source.arrival_s,
-                    )
-                )
-        records.sort(key=lambda record: record.request_id)
-        return AutoscaleResult(
-            records=tuple(records),
-            per_chip=tuple(per_chip),
-            assignments=tuple(assignments),
-            rejected_ids=tuple(trace[i].request_id for i in rejected),
-            events=tuple(events),
-            final_chips=n_active,
+        return controller.collect(
+            {chip_id: result for chip_id, result in enumerate(per_chip)}
         )
 
 

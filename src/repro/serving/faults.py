@@ -543,13 +543,132 @@ class _FaultLedger:
         """Chip ids currently admitting work, in id order."""
         return [state.chip_id for state in self.states if state.alive]
 
-    def finish(self) -> None:
-        """Close every open era at the end of the trace."""
+    def final_jobs(self) -> List["ShardJob"]:
+        """The engine run closing each chip's open era (possibly empty).
+
+        Jobs carry the era sim — the degraded replacement chip when the
+        era is degraded — so any executor (inline or a chip actor) runs
+        the same simulator the batch path would.
+        """
+        from .dispatch import ShardJob
+
+        jobs: List[ShardJob] = []
         for state in self.states:
             shard = _era_shard(state)
             if shard:
-                state.closed.append(state.sim.run(shard))
+                jobs.append(
+                    ShardJob(
+                        chip_id=state.chip_id,
+                        sim=state.sim,
+                        shard=tuple(shard),
+                    )
+                )
+        return jobs
+
+    def install_final(self, results: Mapping[int, ServingResult]) -> None:
+        """Append executed :meth:`final_jobs` results as closing eras."""
+        for state in self.states:
+            result = results.get(state.chip_id)
+            if result is not None:
+                state.closed.append(result)
                 state.entries = []
+
+    def preview_records(self) -> Tuple[RequestRecord, ...]:
+        """Records of a hypothetical end-of-stream right now (pure).
+
+        Open eras are simulated without being closed: engine runs only
+        memoize, so the ledger is untouched and dispatch can continue.
+        """
+        records: List[RequestRecord] = []
+        for state in self.states:
+            results = list(state.closed)
+            shard = _era_shard(state)
+            if shard:
+                results.append(state.sim.run(shard))
+            for result in results:
+                for record in result.records:
+                    source = self.trace[self.index_of(record.request_id)]
+                    records.append(
+                        replace(
+                            record,
+                            request_id=source.request_id,
+                            arrival_s=source.arrival_s,
+                        )
+                    )
+        records.sort(key=lambda record: record.request_id)
+        return tuple(records)
+
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-serializable snapshot of the era/dispatch bookkeeping.
+
+        Closed-era results are serialized record by record (floats
+        round-trip exactly through JSON ``repr``); entry requests are
+        stored as trace positions and rebuild from the trace on restore.
+        The era cost memo is pure and deliberately excluded.
+        """
+        from .dispatch import result_to_state
+
+        return {
+            "next_sid": self.next_sid,
+            "origin": sorted(self.origin.items()),
+            "redispatched": list(self.redispatched),
+            "aborted": list(self.aborted),
+            "assignments": list(self.assignments),
+            "chips": [
+                {
+                    "era": state.era,
+                    "factor": state.factor,
+                    "alive": state.alive,
+                    "floor": state.floor,
+                    "entries": [
+                        {
+                            "sid": entry.sid,
+                            "eff_arrival_s": entry.eff_arrival_s,
+                            "index": entry.index,
+                        }
+                        for entry in state.entries
+                    ],
+                    "closed": [
+                        result_to_state(result) for result in state.closed
+                    ],
+                }
+                for state in self.states
+            ],
+        }
+
+    def restore_state(self, data: Mapping[str, Any]) -> None:
+        """Reload :meth:`state_dict` data onto fresh chip states.
+
+        Degraded-era sims rebuild deterministically from the stored
+        factor via :func:`_degraded_chip`; the cost memo starts empty and
+        refills lazily (values are pure, so only speed is affected).
+        """
+        from .dispatch import result_from_state
+
+        self.next_sid = int(data["next_sid"])
+        self.origin = {int(sid): int(index) for sid, index in data["origin"]}
+        self.redispatched = [int(index) for index in data["redispatched"]]
+        self.aborted = [int(index) for index in data["aborted"]]
+        self.assignments = [int(chip) for chip in data["assignments"]]
+        self._era_cost = {}
+        for state, chip in zip(self.states, data["chips"]):
+            state.era = int(chip["era"])
+            state.factor = float(chip["factor"])
+            state.alive = bool(chip["alive"])
+            state.floor = float(chip["floor"])
+            state.sim = _degraded_chip(state.base, state.factor)
+            state.entries = [
+                _Entry(
+                    sid=int(entry["sid"]),
+                    eff_arrival_s=float(entry["eff_arrival_s"]),
+                    index=int(entry["index"]),
+                    request=self.trace[int(entry["index"])].request,
+                )
+                for entry in chip["entries"]
+            ]
+            state.closed = [
+                result_from_state(result) for result in chip["closed"]
+            ]
 
     def collect(self) -> Tuple[Tuple[RequestRecord, ...], Tuple[ServingResult, ...]]:
         """Merge closed eras into per-chip results and restored records."""
@@ -617,6 +736,162 @@ def _pool_order(
 # ----------------------------------------------------------------------
 # Static fleet under faults
 # ----------------------------------------------------------------------
+class FaultFleetController:
+    """Arrival-at-a-time form of the static fleet's fault-injection loop.
+
+    The exact loop state of :func:`run_fleet_with_faults` — the event
+    cursor, the per-chip horizons, the round-robin position and the
+    parked list — lifted onto the stepwise controller protocol of
+    :mod:`repro.serving.dispatch` so the batch driver and the live actor
+    runtime share one implementation.  The controller needs the full
+    ``trace`` up front: priority normalization is global and era
+    re-dispatch reaches requests by trace position.
+    """
+
+    kind = "fault_fleet"
+
+    def __init__(
+        self,
+        fleet: FleetSimulator,
+        trace: Sequence[ServingRequest],
+        schedule: FaultSchedule,
+        priorities: Optional[Sequence[float]] = None,
+    ) -> None:
+        if not trace:
+            raise ValueError("trace must not be empty")
+        _validate_targets(schedule, fleet.n_chips)
+        self.fleet = fleet
+        self.trace = trace
+        self.schedule = schedule
+        self.weights = normalize_priorities(priorities, len(trace))
+        if fleet.precompute:
+            fleet.precompute_service_times(trace)
+        self.ledger = _FaultLedger(fleet, trace, schedule)
+        self.events = list(schedule.events)
+        self.event_pos = 0
+        self.horizons = [0.0] * fleet.n_chips
+        self.rr_position = 0
+        self.parked: List[Tuple[int, float, bool]] = []
+        self.n_seen = 0
+
+    def _dispatch(self, index: int, eff: float, fresh: bool) -> None:
+        targets = self.ledger.alive_ids()
+        request = self.trace[index].request
+        if self.fleet.policy == "round_robin":
+            chip_id = targets[self.rr_position % len(targets)]
+            self.rr_position += 1
+        else:  # least_loaded
+            chip_id = min(targets, key=lambda c: (self.horizons[c], c))
+        eff = max(eff, self.ledger.states[chip_id].floor)
+        cost = self.ledger.estimate(chip_id, request)
+        self.horizons[chip_id] = max(self.horizons[chip_id], eff) + cost
+        self.ledger.place(chip_id, index, eff, fresh)
+
+    def _apply(self, event: FaultEvent) -> None:
+        pool = self.ledger.apply_event(event)
+        if event.kind == "chip_up":
+            self.horizons[event.chip_id] = (
+                self.ledger.states[event.chip_id].floor
+            )
+            if self.parked:
+                flush, self.parked[:] = list(self.parked), []
+                for index, eff, fresh in flush:
+                    self._dispatch(index, max(eff, event.time_s), fresh)
+        for entry in _pool_order(pool, self.trace, self.weights):
+            if not self.ledger.alive_ids():
+                self.parked.append((entry.index, entry.eff_arrival_s, False))
+                continue
+            self._dispatch(
+                entry.index, max(entry.eff_arrival_s, event.time_s), False
+            )
+
+    def on_arrival(self, index: int, request: ServingRequest) -> int:
+        """Apply due fault events, then dispatch (or park) one arrival.
+
+        Returns the assigned chip id, or ``-1`` when every chip is down
+        and the request parks until a ``chip_up``.
+        """
+        self.n_seen += 1
+        arrival = request.arrival_s
+        while (
+            self.event_pos < len(self.events)
+            and self.events[self.event_pos].time_s <= arrival
+        ):
+            self._apply(self.events[self.event_pos])
+            self.event_pos += 1
+        if not self.ledger.alive_ids():
+            self.parked.append((index, arrival, True))
+            return -1
+        self._dispatch(index, arrival, True)
+        return self.ledger.assignments[index]
+
+    def finish_events(self) -> None:
+        """Apply trailing fault events; raise if requests stayed parked."""
+        while self.event_pos < len(self.events):
+            self._apply(self.events[self.event_pos])
+            self.event_pos += 1
+        if self.parked:
+            raise ValueError(
+                f"{len(self.parked)} requests were never dispatched: every "
+                "chip was down through the end of the trace"
+            )
+
+    def final_jobs(self) -> List["ShardJob"]:
+        """The engine runs closing every open era."""
+        return self.ledger.final_jobs()
+
+    def collect(
+        self, results: Mapping[int, ServingResult]
+    ) -> FaultFleetResult:
+        """Fold the executed closing eras into a :class:`FaultFleetResult`."""
+        self.ledger.install_final(results)
+        records, per_chip = self.ledger.collect()
+        return FaultFleetResult(
+            records=records,
+            per_chip=per_chip,
+            assignments=tuple(self.ledger.assignments),
+            fault_events=self.schedule.events,
+            redispatched_ids=tuple(
+                self.trace[i].request_id for i in self.ledger.redispatched
+            ),
+            aborted_ids=tuple(
+                self.trace[i].request_id for i in self.ledger.aborted
+            ),
+        )
+
+    def preview_records(self) -> Tuple[RequestRecord, ...]:
+        """Records of a hypothetical end-of-stream right now (pure)."""
+        return self.ledger.preview_records()
+
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-serializable snapshot of the dynamic fault-loop state."""
+        return {
+            "kind": self.kind,
+            "n_seen": self.n_seen,
+            "event_pos": self.event_pos,
+            "rr_position": self.rr_position,
+            "horizons": list(self.horizons),
+            "parked": [
+                [index, eff, fresh] for index, eff, fresh in self.parked
+            ],
+            "ledger": self.ledger.state_dict(),
+        }
+
+    def restore_state(
+        self, state: Mapping[str, Any], trace: Sequence[ServingRequest]
+    ) -> None:
+        """Reload :meth:`state_dict` data (``trace`` must equal the original)."""
+        self.n_seen = int(state["n_seen"])
+        self.event_pos = int(state["event_pos"])
+        self.rr_position = int(state["rr_position"])
+        self.horizons = [float(h) for h in state["horizons"]]
+        self.parked = [
+            (int(index), float(eff), bool(fresh))
+            for index, eff, fresh in state["parked"]
+        ]
+        self.ledger.restore_state(state["ledger"])
+
+
 def run_fleet_with_faults(
     fleet: FleetSimulator,
     trace: Sequence[ServingRequest],
@@ -633,86 +908,297 @@ def run_fleet_with_faults(
     :meth:`~repro.serving.fleet.FleetSimulator.run` field for field
     (asserted by the differential suite).  Raises if requests remain
     unservable because every chip is down through the end of the trace.
+
+    A thin driver over :class:`FaultFleetController` — the live actor
+    runtime drives the identical controller one message at a time.
     """
-    if not trace:
-        raise ValueError("trace must not be empty")
-    _validate_targets(schedule, fleet.n_chips)
-    weights = normalize_priorities(priorities, len(trace))
-    if fleet.precompute:
-        fleet.precompute_service_times(trace)
-    ledger = _FaultLedger(fleet, trace, schedule)
-    order = sorted(
-        range(len(trace)),
-        key=lambda i: (trace[i].arrival_s, trace[i].request_id),
+    from .dispatch import run_jobs_inline, sorted_order
+
+    controller = FaultFleetController(
+        fleet, trace, schedule, priorities=priorities
     )
-    events = list(schedule.events)
-    event_pos = 0
-    horizons = [0.0] * fleet.n_chips
-    rr_position = 0
-    parked: List[Tuple[int, float, bool]] = []
-
-    def dispatch(index: int, eff: float, fresh: bool) -> None:
-        nonlocal rr_position
-        targets = ledger.alive_ids()
-        request = trace[index].request
-        if fleet.policy == "round_robin":
-            chip_id = targets[rr_position % len(targets)]
-            rr_position += 1
-        else:  # least_loaded
-            chip_id = min(targets, key=lambda c: (horizons[c], c))
-        eff = max(eff, ledger.states[chip_id].floor)
-        cost = ledger.estimate(chip_id, request)
-        horizons[chip_id] = max(horizons[chip_id], eff) + cost
-        ledger.place(chip_id, index, eff, fresh)
-
-    def apply(event: FaultEvent) -> None:
-        pool = ledger.apply_event(event)
-        if event.kind == "chip_up":
-            horizons[event.chip_id] = ledger.states[event.chip_id].floor
-            if parked:
-                flush, parked[:] = list(parked), []
-                for index, eff, fresh in flush:
-                    dispatch(index, max(eff, event.time_s), fresh)
-        for entry in _pool_order(pool, trace, weights):
-            if not ledger.alive_ids():
-                parked.append((entry.index, entry.eff_arrival_s, False))
-                continue
-            dispatch(entry.index, max(entry.eff_arrival_s, event.time_s), False)
-
-    for index in order:
-        arrival = trace[index].arrival_s
-        while event_pos < len(events) and events[event_pos].time_s <= arrival:
-            apply(events[event_pos])
-            event_pos += 1
-        if not ledger.alive_ids():
-            parked.append((index, arrival, True))
-            continue
-        dispatch(index, arrival, True)
-    while event_pos < len(events):
-        apply(events[event_pos])
-        event_pos += 1
-    if parked:
-        raise ValueError(
-            f"{len(parked)} requests were never dispatched: every chip was "
-            "down through the end of the trace"
-        )
-    ledger.finish()
-    records, per_chip = ledger.collect()
-    return FaultFleetResult(
-        records=records,
-        per_chip=per_chip,
-        assignments=tuple(ledger.assignments),
-        fault_events=schedule.events,
-        redispatched_ids=tuple(
-            trace[i].request_id for i in ledger.redispatched
-        ),
-        aborted_ids=tuple(trace[i].request_id for i in ledger.aborted),
-    )
+    for index in sorted_order(trace):
+        controller.on_arrival(index, trace[index])
+    controller.finish_events()
+    return controller.collect(run_jobs_inline(controller.final_jobs()))
 
 
 # ----------------------------------------------------------------------
 # Autoscaled fleet under faults
 # ----------------------------------------------------------------------
+class FaultAutoscaleController:
+    """Arrival-at-a-time form of the fault-aware autoscaling loop.
+
+    The exact loop state of :func:`run_autoscale_with_faults` — the
+    admission heap, rolling TTFT window, scaling ledger, event cursor
+    and parked list — on the stepwise controller protocol.  Needs the
+    full ``trace`` up front, as :class:`FaultFleetController` does.
+    """
+
+    kind = "fault_autoscale"
+
+    def __init__(
+        self,
+        fleet,
+        trace: Sequence[ServingRequest],
+        schedule: FaultSchedule,
+        priorities: Optional[Sequence[float]] = None,
+    ) -> None:
+        if not trace:
+            raise ValueError("trace must not be empty")
+        _validate_targets(schedule, fleet.n_chips)
+        self.fleet = fleet
+        self.trace = trace
+        self.schedule = schedule
+        self.weights = normalize_priorities(priorities, len(trace))
+        if fleet.precompute:
+            fleet.precompute_service_times(trace)
+        self.config = fleet.autoscaler
+        self.ledger = _FaultLedger(fleet, trace, schedule)
+        self.events = list(schedule.events)
+        self.event_pos = 0
+        self.horizons = [0.0] * fleet.n_chips
+        self.inflight: List[float] = []
+        self.ttft_window: Deque[float] = deque(maxlen=self.config.window)
+        self.scale_events: List[ScalingEvent] = []
+        self.rejected: List[int] = []
+        self.n_active = self.config.min_chips
+        self.last_scale = float("-inf")
+        self.parked: List[Tuple[int, float, bool]] = []
+        self.n_seen = 0
+
+    def _dispatchable(self) -> List[int]:
+        return self.ledger.alive_ids()[: self.n_active]
+
+    def _place(
+        self, index: int, eff: float, fresh: bool, observe_from: float
+    ) -> None:
+        targets = self._dispatchable()
+        chip_id = min(targets, key=lambda c: (self.horizons[c], c))
+        state = self.ledger.states[chip_id]
+        eff = max(eff, state.floor)
+        request = self.trace[index].request
+        cost = self.ledger.estimate(chip_id, request)
+        start = max(self.horizons[chip_id], eff)
+        prefill = state.sim.cc_latency_s(request)
+        first_step = state.sim.cost_model.step_latency_s(
+            [self.fleet.model.prompt_tokens(request)]
+        )
+        self.ttft_window.append(start + prefill + first_step - observe_from)
+        self.horizons[chip_id] = start + cost
+        heapq.heappush(self.inflight, self.horizons[chip_id])
+        self.ledger.place(chip_id, index, eff, fresh)
+
+    def _apply(self, event: FaultEvent) -> None:
+        pool = self.ledger.apply_event(event)
+        if event.kind == "chip_up":
+            self.horizons[event.chip_id] = (
+                self.ledger.states[event.chip_id].floor
+            )
+            if self.parked:
+                flush, self.parked[:] = list(self.parked), []
+                for index, eff, fresh in flush:
+                    if not self._dispatchable():
+                        self.parked.append((index, eff, fresh))
+                        continue
+                    self._place(
+                        index,
+                        max(eff, event.time_s),
+                        fresh,
+                        self.trace[index].arrival_s,
+                    )
+        for entry in _pool_order(pool, self.trace, self.weights):
+            if not self._dispatchable():
+                self.parked.append((entry.index, entry.eff_arrival_s, False))
+                continue
+            self._place(
+                entry.index,
+                max(entry.eff_arrival_s, event.time_s),
+                False,
+                self.trace[entry.index].arrival_s,
+            )
+
+    def on_arrival(self, index: int, request: ServingRequest) -> int:
+        """Apply due fault events, then admit/dispatch one arrival.
+
+        Returns the assigned chip id, or ``-1`` when the request was
+        rejected by admission control or parked (every chip down).
+        """
+        self.n_seen += 1
+        config = self.config
+        now = request.arrival_s
+        while (
+            self.event_pos < len(self.events)
+            and self.events[self.event_pos].time_s <= now
+        ):
+            self._apply(self.events[self.event_pos])
+            self.event_pos += 1
+        targets = self._dispatchable()
+        if not targets:
+            self.parked.append((index, now, True))
+            return -1
+
+        while self.inflight and self.inflight[0] <= now:
+            heapq.heappop(self.inflight)
+        effective = now
+        weight = self.weights[index] if self.weights is not None else 1.0
+        depth_limit = max(
+            1, int(config.max_queue_depth * len(targets) * weight)
+        )
+        if len(self.inflight) >= depth_limit:
+            if config.admission == "reject":
+                self.rejected.append(index)
+                return -1
+            overflow = len(self.inflight) - depth_limit + 1
+            for _ in range(overflow):
+                effective = heapq.heappop(self.inflight)
+
+        self._place(index, effective, True, now)
+
+        if (
+            len(self.ttft_window) >= config.min_observations
+            and now - self.last_scale >= config.cooldown_s
+        ):
+            rolling = percentile(list(self.ttft_window), 99)
+            target = config.target_p99_ttft_s
+            if (
+                rolling > target * config.scale_up_ratio
+                and self.n_active < config.max_chips
+            ):
+                self.scale_events.append(
+                    ScalingEvent(
+                        time_s=now,
+                        n_chips_before=self.n_active,
+                        n_chips_after=self.n_active + 1,
+                        rolling_p99_ttft_s=rolling,
+                    )
+                )
+                self.n_active += 1
+                self.last_scale = now
+            elif (
+                rolling < target * config.scale_down_ratio
+                and self.n_active > config.min_chips
+            ):
+                self.scale_events.append(
+                    ScalingEvent(
+                        time_s=now,
+                        n_chips_before=self.n_active,
+                        n_chips_after=self.n_active - 1,
+                        rolling_p99_ttft_s=rolling,
+                    )
+                )
+                self.n_active -= 1
+                self.last_scale = now
+        return self.ledger.assignments[index]
+
+    def finish_events(self) -> None:
+        """Apply trailing fault events; raise if requests stayed parked."""
+        while self.event_pos < len(self.events):
+            self._apply(self.events[self.event_pos])
+            self.event_pos += 1
+        if self.parked:
+            raise ValueError(
+                f"{len(self.parked)} requests were never dispatched: every "
+                "chip was down through the end of the trace"
+            )
+
+    def final_jobs(self) -> List["ShardJob"]:
+        """The engine runs closing every open era."""
+        return self.ledger.final_jobs()
+
+    def collect(
+        self, results: Mapping[int, ServingResult]
+    ) -> FaultAutoscaleResult:
+        """Fold the executed closing eras into a :class:`FaultAutoscaleResult`."""
+        self.ledger.install_final(results)
+        records, per_chip = self.ledger.collect()
+        return FaultAutoscaleResult(
+            records=records,
+            per_chip=per_chip,
+            assignments=tuple(self.ledger.assignments),
+            rejected_ids=tuple(
+                self.trace[i].request_id for i in self.rejected
+            ),
+            events=tuple(self.scale_events),
+            final_chips=self.n_active,
+            fault_events=self.schedule.events,
+            redispatched_ids=tuple(
+                self.trace[i].request_id for i in self.ledger.redispatched
+            ),
+            aborted_ids=tuple(
+                self.trace[i].request_id for i in self.ledger.aborted
+            ),
+        )
+
+    def preview_records(self) -> Tuple[RequestRecord, ...]:
+        """Records of a hypothetical end-of-stream right now (pure)."""
+        return self.ledger.preview_records()
+
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-serializable snapshot of the dynamic control-loop state."""
+        return {
+            "kind": self.kind,
+            "n_seen": self.n_seen,
+            "event_pos": self.event_pos,
+            "horizons": list(self.horizons),
+            "inflight": list(self.inflight),
+            "ttft_window": list(self.ttft_window),
+            "scale_events": [
+                {
+                    "time_s": event.time_s,
+                    "n_chips_before": event.n_chips_before,
+                    "n_chips_after": event.n_chips_after,
+                    "rolling_p99_ttft_s": event.rolling_p99_ttft_s,
+                }
+                for event in self.scale_events
+            ],
+            "rejected": list(self.rejected),
+            "n_active": self.n_active,
+            # -inf (never scaled) has no JSON literal; None encodes it.
+            "last_scale": (
+                None if self.last_scale == float("-inf") else self.last_scale
+            ),
+            "parked": [
+                [index, eff, fresh] for index, eff, fresh in self.parked
+            ],
+            "ledger": self.ledger.state_dict(),
+        }
+
+    def restore_state(
+        self, state: Mapping[str, Any], trace: Sequence[ServingRequest]
+    ) -> None:
+        """Reload :meth:`state_dict` data (``trace`` must equal the original)."""
+        self.n_seen = int(state["n_seen"])
+        self.event_pos = int(state["event_pos"])
+        self.horizons = [float(h) for h in state["horizons"]]
+        self.inflight = [float(f) for f in state["inflight"]]
+        self.ttft_window = deque(
+            (float(t) for t in state["ttft_window"]),
+            maxlen=self.config.window,
+        )
+        self.scale_events = [
+            ScalingEvent(
+                time_s=float(event["time_s"]),
+                n_chips_before=int(event["n_chips_before"]),
+                n_chips_after=int(event["n_chips_after"]),
+                rolling_p99_ttft_s=float(event["rolling_p99_ttft_s"]),
+            )
+            for event in state["scale_events"]
+        ]
+        self.rejected = [int(index) for index in state["rejected"]]
+        self.n_active = int(state["n_active"])
+        self.last_scale = (
+            float("-inf")
+            if state["last_scale"] is None
+            else float(state["last_scale"])
+        )
+        self.parked = [
+            (int(index), float(eff), bool(fresh))
+            for index, eff, fresh in state["parked"]
+        ]
+        self.ledger.restore_state(state["ledger"])
+
+
 def run_autoscale_with_faults(
     fleet,
     trace: Sequence[ServingRequest],
@@ -733,162 +1219,19 @@ def run_autoscale_with_faults(
     in-flight depth estimates of a dead chip stay in the controller's
     heap (a dispatcher cannot observe them individually); they age out
     by their estimated finish times.
+
+    A thin driver over :class:`FaultAutoscaleController` — the live
+    actor runtime drives the identical controller one message at a time.
     """
-    if not trace:
-        raise ValueError("trace must not be empty")
-    _validate_targets(schedule, fleet.n_chips)
-    weights = normalize_priorities(priorities, len(trace))
-    if fleet.precompute:
-        fleet.precompute_service_times(trace)
-    config = fleet.autoscaler
-    model = fleet.model
-    ledger = _FaultLedger(fleet, trace, schedule)
-    order = sorted(
-        range(len(trace)),
-        key=lambda i: (trace[i].arrival_s, trace[i].request_id),
+    from .dispatch import run_jobs_inline, sorted_order
+
+    controller = FaultAutoscaleController(
+        fleet, trace, schedule, priorities=priorities
     )
-    fevents = list(schedule.events)
-    event_pos = 0
-    horizons = [0.0] * fleet.n_chips
-    inflight: List[float] = []
-    ttft_window: Deque[float] = deque(maxlen=config.window)
-    events: List[ScalingEvent] = []
-    rejected: List[int] = []
-    n_active = config.min_chips
-    last_scale = float("-inf")
-    parked: List[Tuple[int, float, bool]] = []
-
-    def dispatchable() -> List[int]:
-        return ledger.alive_ids()[:n_active]
-
-    def place(index: int, eff: float, fresh: bool, observe_from: float) -> None:
-        targets = dispatchable()
-        chip_id = min(targets, key=lambda c: (horizons[c], c))
-        state = ledger.states[chip_id]
-        eff = max(eff, state.floor)
-        request = trace[index].request
-        cost = ledger.estimate(chip_id, request)
-        start = max(horizons[chip_id], eff)
-        prefill = state.sim.cc_latency_s(request)
-        first_step = state.sim.cost_model.step_latency_s(
-            [model.prompt_tokens(request)]
-        )
-        ttft_window.append(start + prefill + first_step - observe_from)
-        horizons[chip_id] = start + cost
-        heapq.heappush(inflight, horizons[chip_id])
-        ledger.place(chip_id, index, eff, fresh)
-
-    def apply(event: FaultEvent) -> None:
-        pool = ledger.apply_event(event)
-        if event.kind == "chip_up":
-            horizons[event.chip_id] = ledger.states[event.chip_id].floor
-            if parked:
-                flush, parked[:] = list(parked), []
-                for index, eff, fresh in flush:
-                    if not dispatchable():
-                        parked.append((index, eff, fresh))
-                        continue
-                    place(
-                        index,
-                        max(eff, event.time_s),
-                        fresh,
-                        trace[index].arrival_s,
-                    )
-        for entry in _pool_order(pool, trace, weights):
-            if not dispatchable():
-                parked.append((entry.index, entry.eff_arrival_s, False))
-                continue
-            place(
-                entry.index,
-                max(entry.eff_arrival_s, event.time_s),
-                False,
-                trace[entry.index].arrival_s,
-            )
-
-    for index in order:
-        request = trace[index]
-        now = request.arrival_s
-        while event_pos < len(fevents) and fevents[event_pos].time_s <= now:
-            apply(fevents[event_pos])
-            event_pos += 1
-        targets = dispatchable()
-        if not targets:
-            parked.append((index, now, True))
-            continue
-
-        while inflight and inflight[0] <= now:
-            heapq.heappop(inflight)
-        effective = now
-        weight = weights[index] if weights is not None else 1.0
-        depth_limit = max(1, int(config.max_queue_depth * len(targets) * weight))
-        if len(inflight) >= depth_limit:
-            if config.admission == "reject":
-                rejected.append(index)
-                continue
-            overflow = len(inflight) - depth_limit + 1
-            for _ in range(overflow):
-                effective = heapq.heappop(inflight)
-
-        place(index, effective, True, now)
-
-        if (
-            len(ttft_window) >= config.min_observations
-            and now - last_scale >= config.cooldown_s
-        ):
-            rolling = percentile(list(ttft_window), 99)
-            target = config.target_p99_ttft_s
-            if (
-                rolling > target * config.scale_up_ratio
-                and n_active < config.max_chips
-            ):
-                events.append(
-                    ScalingEvent(
-                        time_s=now,
-                        n_chips_before=n_active,
-                        n_chips_after=n_active + 1,
-                        rolling_p99_ttft_s=rolling,
-                    )
-                )
-                n_active += 1
-                last_scale = now
-            elif (
-                rolling < target * config.scale_down_ratio
-                and n_active > config.min_chips
-            ):
-                events.append(
-                    ScalingEvent(
-                        time_s=now,
-                        n_chips_before=n_active,
-                        n_chips_after=n_active - 1,
-                        rolling_p99_ttft_s=rolling,
-                    )
-                )
-                n_active -= 1
-                last_scale = now
-
-    while event_pos < len(fevents):
-        apply(fevents[event_pos])
-        event_pos += 1
-    if parked:
-        raise ValueError(
-            f"{len(parked)} requests were never dispatched: every chip was "
-            "down through the end of the trace"
-        )
-    ledger.finish()
-    records, per_chip = ledger.collect()
-    return FaultAutoscaleResult(
-        records=records,
-        per_chip=per_chip,
-        assignments=tuple(ledger.assignments),
-        rejected_ids=tuple(trace[i].request_id for i in rejected),
-        events=tuple(events),
-        final_chips=n_active,
-        fault_events=schedule.events,
-        redispatched_ids=tuple(
-            trace[i].request_id for i in ledger.redispatched
-        ),
-        aborted_ids=tuple(trace[i].request_id for i in ledger.aborted),
-    )
+    for index in sorted_order(trace):
+        controller.on_arrival(index, trace[index])
+    controller.finish_events()
+    return controller.collect(run_jobs_inline(controller.final_jobs()))
 
 
 __all__ = [
@@ -901,6 +1244,8 @@ __all__ = [
     "FaultFleetResult",
     "FaultAutoscaleResult",
     "FaultRecovery",
+    "FaultFleetController",
+    "FaultAutoscaleController",
     "fault_recovery",
     "normalize_priorities",
     "run_fleet_with_faults",

@@ -18,7 +18,6 @@ Two dispatch policies are provided:
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -322,28 +321,20 @@ class FleetSimulator:
         return self._assign(trace)
 
     def _assign(self, trace: Sequence[ServingRequest]) -> List[int]:
-        """The assignment policy itself (caches assumed warm by callers)."""
-        order = sorted(
-            range(len(trace)),
-            key=lambda i: (trace[i].arrival_s, trace[i].request_id),
-        )
+        """The assignment policy itself (caches assumed warm by callers).
+
+        Drives a stepwise :class:`~repro.serving.dispatch.
+        StaticDispatchController` over the sorted trace — the identical
+        heap/counter arithmetic the live actor runtime applies one
+        arrival message at a time, so both paths assign identically.
+        """
+        # Imported lazily: dispatch builds on this module.
+        from .dispatch import StaticDispatchController, sorted_order
+
+        controller = StaticDispatchController(self)
         assignments = [0] * len(trace)
-        if self.policy == "round_robin":
-            for position, index in enumerate(order):
-                assignments[index] = position % self.n_chips
-        else:  # least_loaded
-            # Heap of (horizon, chip_id): pops the earliest horizon with
-            # ties broken by the lowest chip id — the same choice as a
-            # linear scan over the horizon list, in O(log n) per request.
-            heap = [(0.0, chip_id) for chip_id in range(self.n_chips)]
-            for index in order:
-                request = trace[index]
-                horizon, chip_id = heapq.heappop(heap)
-                cost = self._estimate_cost_s(self.chips[chip_id], request.request)
-                heapq.heappush(
-                    heap, (max(horizon, request.arrival_s) + cost, chip_id)
-                )
-                assignments[index] = chip_id
+        for index in sorted_order(trace):
+            assignments[index] = controller.on_arrival(index, trace[index])
         return assignments
 
     # ------------------------------------------------------------------
@@ -421,6 +412,7 @@ class FleetSimulator:
         *,
         faults=None,
         priorities: Optional[Sequence[float]] = None,
+        runtime: str = "batch",
     ) -> FleetResult:
         """Dispatch the trace, simulate every chip and merge the records.
 
@@ -429,8 +421,24 @@ class FleetSimulator:
         run_fleet_with_faults`); ``priorities`` then orders post-fault
         re-dispatch (a static fleet has no admission control, so
         priorities only matter under faults).  With ``faults=None`` the
-        historical fault-free path runs unchanged.
+        historical fault-free path runs unchanged.  ``runtime`` selects
+        the execution plane (see :data:`repro.serving.dispatch.RUNTIMES`):
+        ``"live"`` streams the trace through the asyncio actor runtime,
+        producing the bit-identical result.
         """
+        if runtime != "batch":
+            from .dispatch import RUNTIMES
+
+            if runtime not in RUNTIMES:
+                raise ValueError(
+                    f"runtime must be one of {RUNTIMES}, got {runtime!r}"
+                )
+            # Imported lazily: the runtime package builds on this module.
+            from .runtime import run_live
+
+            return run_live(
+                self, trace, faults=faults, priorities=priorities
+            )
         if faults is not None:
             # Imported lazily: faults builds on this module.
             from .faults import run_fleet_with_faults

@@ -1,0 +1,67 @@
+"""Live serving control plane: asyncio actors over the batch engines.
+
+The runtime moves fleet serving from offline batch replay to a
+long-running control plane — streaming ingestion, supervised dispatch,
+pause/resume — without forking the computation: the supervisor actor
+drives the *same* stepwise dispatch controllers
+(:mod:`repro.serving.dispatch`, :mod:`repro.serving.faults`) the batch
+``run`` entry points drive, in the same canonical arrival order, so a
+live run is byte-identical to its batch twin on records, scale events,
+fault eras and golden reports (the differential suite asserts ``==``,
+not approximation).
+
+Layout: :mod:`~repro.serving.runtime.messages` defines the typed
+dataclass messages actors exchange; :mod:`~repro.serving.runtime.actors`
+the ingestion/chip/supervisor actors; :mod:`~repro.serving.runtime.
+checkpoint` the JSON pause/resume format; and
+:mod:`~repro.serving.runtime.service` the synchronous entry points
+(:func:`run_live`, :func:`resume_live`, and the scenario couplings).
+"""
+
+from .actors import (
+    DEFAULT_BATCH_SIZE,
+    Actor,
+    ChipActor,
+    IngestionActor,
+    SupervisorActor,
+)
+from .checkpoint import CHECKPOINT_VERSION, Checkpoint, trace_digest
+from .messages import (
+    ArrivalBatch,
+    PauseStream,
+    RunShard,
+    ShardDone,
+    Shutdown,
+    StreamEnded,
+)
+from .service import (
+    requests_from_chunks,
+    requests_from_lines,
+    resume_live,
+    resume_scenario,
+    run_live,
+    run_scenario_live,
+)
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "DEFAULT_BATCH_SIZE",
+    "Actor",
+    "ArrivalBatch",
+    "Checkpoint",
+    "ChipActor",
+    "IngestionActor",
+    "PauseStream",
+    "RunShard",
+    "ShardDone",
+    "Shutdown",
+    "StreamEnded",
+    "SupervisorActor",
+    "requests_from_chunks",
+    "requests_from_lines",
+    "resume_live",
+    "resume_scenario",
+    "run_live",
+    "run_scenario_live",
+    "trace_digest",
+]

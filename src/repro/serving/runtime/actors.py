@@ -1,0 +1,277 @@
+"""The live serving control plane's actors.
+
+Three actor roles on one tiny mailbox substrate (:class:`Actor`):
+
+* :class:`IngestionActor` — streams the arrival sequence to the
+  supervisor as :class:`~repro.serving.runtime.messages.ArrivalBatch`
+  messages, either as fast as the supervisor drains them (``pace=None``)
+  or paced against the wall clock at a multiple of simulated time;
+* :class:`ChipActor` — one per fleet chip; executes the
+  :class:`~repro.serving.dispatch.ShardJob` engine runs the supervisor
+  hands it and answers with the results;
+* :class:`SupervisorActor` — owns the dispatch controller (the same
+  stepwise object the batch path drives, see
+  :mod:`repro.serving.dispatch`), applies every arrival in canonical
+  order, takes the autoscale/fault decisions the controller embodies,
+  fans the closing engine runs out to the chip actors and folds their
+  answers into the run's result.
+
+Because the supervisor drives the *identical* controller the batch entry
+points drive, and consumes arrivals in the identical order, a live run
+is the same computation as a batch run — the differential suite asserts
+the results are ``==``-identical, not merely close.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional, Sequence, Set, Tuple
+
+from ..queue import ServingRequest, ServingResult
+from .messages import (
+    ArrivalBatch,
+    PauseStream,
+    RunShard,
+    ShardDone,
+    Shutdown,
+    StreamEnded,
+)
+
+#: Default arrivals per :class:`ArrivalBatch` in unpaced streams — large
+#: enough to amortize mailbox overhead over a 100k-request trace, small
+#: enough that checkpoint boundaries stay fine-grained.
+DEFAULT_BATCH_SIZE = 1024
+
+
+class Actor:
+    """A minimal mailbox actor: an inbox queue drained by one task.
+
+    Subclasses implement :meth:`on_message`; :meth:`start` launches the
+    receive loop on the running event loop, :class:`Shutdown` ends it.
+    State lives inside the actor and is touched only by its own loop —
+    actors communicate exclusively through the typed messages of
+    :mod:`repro.serving.runtime.messages`.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.inbox: "asyncio.Queue[Any]" = asyncio.Queue()
+        self._task: Optional["asyncio.Task[None]"] = None
+
+    def start(self) -> None:
+        """Launch the actor's receive loop as an event-loop task."""
+        self._task = asyncio.get_running_loop().create_task(
+            self._main(), name=self.name
+        )
+
+    async def _main(self) -> None:
+        while True:
+            message = await self.inbox.get()
+            if isinstance(message, Shutdown):
+                return
+            await self.on_message(message)
+
+    async def on_message(self, message: Any) -> None:
+        """Handle one inbox message (subclass responsibility)."""
+        raise NotImplementedError
+
+    def post(self, message: Any) -> None:
+        """Enqueue ``message`` into the actor's inbox (never blocks)."""
+        self.inbox.put_nowait(message)
+
+    async def stop(self) -> None:
+        """Send :class:`Shutdown` and wait for the loop to exit."""
+        if self._task is None:
+            return
+        self.post(Shutdown())
+        await self._task
+
+    async def cancel(self) -> None:
+        """Cancel the actor's task outright (used on supervisor errors)."""
+        if self._task is None:
+            return
+        self._task.cancel()
+        try:
+            await self._task
+        except asyncio.CancelledError:
+            pass
+
+
+class IngestionActor(Actor):
+    """Streams ``(index, request)`` arrivals to the supervisor.
+
+    ``arrivals`` is the full canonical-order arrival sequence;
+    ``start_at`` skips a resumed run's already-processed prefix and
+    ``pause_after`` (an absolute cursor) ends the stream early with a
+    :class:`PauseStream` so the supervisor checkpoints.  ``pace``
+    throttles emission against the wall clock — ``pace=10.0`` replays
+    simulated time tenfold accelerated, batches of one — and ``None``
+    streams flat out in :data:`DEFAULT_BATCH_SIZE` chunks; pacing
+    affects wall-clock only, never the result.
+    """
+
+    def __init__(
+        self,
+        arrivals: Sequence[Tuple[int, ServingRequest]],
+        supervisor: Actor,
+        *,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        pace: Optional[float] = None,
+        start_at: int = 0,
+        pause_after: Optional[int] = None,
+    ) -> None:
+        super().__init__("ingestion")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if pace is not None and pace <= 0:
+            raise ValueError("pace must be positive")
+        if not 0 <= start_at <= len(arrivals):
+            raise ValueError("start_at must be within the arrival sequence")
+        if pause_after is not None and not (
+            start_at < pause_after <= len(arrivals)
+        ):
+            raise ValueError(
+                "pause_after must lie after start_at, within the sequence"
+            )
+        self.arrivals = arrivals
+        self.supervisor = supervisor
+        self.batch_size = 1 if pace is not None else batch_size
+        self.pace = pace
+        self.start_at = start_at
+        self.pause_after = pause_after
+
+    async def _main(self) -> None:
+        # A pure producer: ignores its inbox and streams until done.
+        stop = (
+            self.pause_after
+            if self.pause_after is not None
+            else len(self.arrivals)
+        )
+        loop = asyncio.get_running_loop()
+        wall_start = loop.time()
+        sim_start: Optional[float] = None
+        cursor = self.start_at
+        while cursor < stop:
+            end = min(cursor + self.batch_size, stop)
+            batch = tuple(
+                (index, request)
+                for index, request in self.arrivals[cursor:end]
+            )
+            if self.pace is not None and batch:
+                arrival_s = batch[0][1].arrival_s
+                if sim_start is None:
+                    sim_start = arrival_s
+                due = wall_start + (arrival_s - sim_start) / self.pace
+                delay = due - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+            self.supervisor.post(ArrivalBatch(arrivals=batch))
+            cursor += len(batch)
+            # Yield so the supervisor drains concurrently with ingestion.
+            await asyncio.sleep(0)
+        if self.pause_after is not None:
+            self.supervisor.post(PauseStream(cursor=cursor))
+        else:
+            self.supervisor.post(StreamEnded(total=cursor))
+
+
+class ChipActor(Actor):
+    """Executes the engine runs of one fleet chip.
+
+    A :class:`RunShard` job carries its own simulator (the fleet chip,
+    or a degraded-era replacement on the fault paths), so the actor is
+    stateless between jobs; it answers the supervisor with
+    :class:`ShardDone`.
+    """
+
+    def __init__(self, chip_id: int, supervisor: Actor) -> None:
+        super().__init__(f"chip-{chip_id}")
+        self.chip_id = chip_id
+        self.supervisor = supervisor
+
+    async def on_message(self, message: Any) -> None:
+        """Run one shard job and post the result back."""
+        assert isinstance(message, RunShard)
+        result = message.job.run()
+        self.supervisor.post(
+            ShardDone(chip_id=message.job.chip_id, result=result)
+        )
+
+
+class SupervisorActor(Actor):
+    """Owns the dispatch controller and the run's outcome.
+
+    Applies every streamed arrival to ``controller`` in order; at
+    :class:`StreamEnded` it flushes trailing fault events, fans the
+    closing engine runs out to the chip actors, and resolves
+    :attr:`outcome` with ``("done", result)``.  At :class:`PauseStream`
+    it resolves with ``("paused", cursor, state)`` — the controller's
+    serialized dynamic state, ready to become a checkpoint.  Controller
+    errors (e.g. requests parked past the end of the trace) resolve the
+    outcome exceptionally.
+    """
+
+    def __init__(self, controller: Any, n_chips: int) -> None:
+        super().__init__("supervisor")
+        self.controller = controller
+        self.chips = [ChipActor(chip_id, self) for chip_id in range(n_chips)]
+        self.outcome: "asyncio.Future[Tuple[Any, ...]]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._results: Dict[int, ServingResult] = {}
+        self._pending: Set[int] = set()
+        self._seen = 0
+
+    def start(self) -> None:
+        """Launch the supervisor and its chip actors."""
+        super().start()
+        for chip in self.chips:
+            chip.start()
+
+    async def stop(self) -> None:
+        """Shut down the chip actors, then the supervisor itself."""
+        for chip in self.chips:
+            await chip.stop()
+        await super().stop()
+
+    async def on_message(self, message: Any) -> None:
+        """Advance the run by one protocol message."""
+        try:
+            if isinstance(message, ArrivalBatch):
+                for index, request in message.arrivals:
+                    self.controller.on_arrival(index, request)
+                self._seen += len(message.arrivals)
+            elif isinstance(message, PauseStream):
+                self.outcome.set_result(
+                    ("paused", message.cursor, self.controller.state_dict())
+                )
+            elif isinstance(message, StreamEnded):
+                self.controller.finish_events()
+                jobs = self.controller.final_jobs()
+                if not jobs:
+                    self.outcome.set_result(
+                        ("done", self.controller.collect({}))
+                    )
+                    return
+                self._pending = {job.chip_id for job in jobs}
+                for job in jobs:
+                    self.chips[job.chip_id].post(RunShard(job=job))
+            elif isinstance(message, ShardDone):
+                self._results[message.chip_id] = message.result
+                self._pending.discard(message.chip_id)
+                if not self._pending:
+                    self.outcome.set_result(
+                        ("done", self.controller.collect(self._results))
+                    )
+        except Exception as error:
+            if not self.outcome.done():
+                self.outcome.set_exception(error)
+
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "Actor",
+    "ChipActor",
+    "IngestionActor",
+    "SupervisorActor",
+]

@@ -1,0 +1,135 @@
+"""Checkpoint format of the live serving runtime.
+
+A :class:`Checkpoint` freezes a paused run at an arrival boundary: the
+``cursor`` (how many arrivals of the canonical ``(arrival_s,
+request_id)`` order the controller has consumed), the controller's
+serialized dynamic state (see the ``state_dict`` methods in
+:mod:`repro.serving.dispatch` and :mod:`repro.serving.faults`), and a
+digest of the trace it was taken against.  Pure memo caches are *not*
+checkpointed — they change speed, never values, and rebuild lazily —
+so a restore replays the remaining arrivals into a reconstructed
+controller and produces byte-identical records, reports and goldens
+(the hypothesis suite asserts this across process boundaries and hash
+seeds).
+
+Checkpoints serialize to JSON: floats round-trip exactly through
+``repr``, ints and strings trivially, so ``load(save(checkpoint))``
+is the identity.  A checkpoint taken through the scenarios path embeds
+the full scenario spec and engine, making the file self-contained —
+:func:`repro.serving.runtime.service.resume_scenario` rebuilds the
+fleet and trace from the spec alone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Sequence, Union
+
+from ..dispatch import request_to_state
+from ..queue import ServingRequest
+
+#: Format marker written into every checkpoint file.
+CHECKPOINT_VERSION = 1
+
+
+def trace_digest(trace: Sequence[ServingRequest]) -> str:
+    """SHA-256 over the canonical JSON serialization of ``trace``.
+
+    Guards a resume against a different trace: controller state is only
+    meaningful relative to the exact arrival sequence it was built from,
+    so :func:`~repro.serving.runtime.service.resume_live` refuses a
+    trace whose digest mismatches the checkpoint's.
+    """
+    payload = json.dumps(
+        [request_to_state(request) for request in trace],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A paused live run, frozen at an arrival boundary.
+
+    ``kind`` names the controller class that produced ``controller``
+    (``"static"``, ``"autoscale"``, ``"fault_fleet"``,
+    ``"fault_autoscale"``); ``cursor`` counts consumed arrivals in
+    canonical order; ``trace_sha256`` pins the trace; ``scenario``
+    (optional) embeds the originating scenario spec's ``to_dict`` data
+    plus the engine so scenario checkpoints are self-contained.
+    """
+
+    kind: str
+    cursor: int
+    controller: Dict[str, Any]
+    trace_sha256: str
+    scenario: Optional[Dict[str, Any]] = None
+    engine: Optional[str] = None
+    version: int = field(default=CHECKPOINT_VERSION)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize to plain JSON data."""
+        data: Dict[str, Any] = {
+            "version": self.version,
+            "kind": self.kind,
+            "cursor": self.cursor,
+            "trace_sha256": self.trace_sha256,
+            "controller": self.controller,
+        }
+        if self.scenario is not None:
+            data["scenario"] = self.scenario
+        if self.engine is not None:
+            data["engine"] = self.engine
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Checkpoint":
+        """Rebuild a checkpoint from :meth:`to_dict` data."""
+        version = int(data.get("version", CHECKPOINT_VERSION))
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {version} "
+                f"(this build reads version {CHECKPOINT_VERSION})"
+            )
+        scenario = data.get("scenario")
+        engine = data.get("engine")
+        return cls(
+            kind=str(data["kind"]),
+            cursor=int(data["cursor"]),
+            controller=dict(data["controller"]),
+            trace_sha256=str(data["trace_sha256"]),
+            scenario=dict(scenario) if scenario is not None else None,
+            engine=str(engine) if engine is not None else None,
+            version=version,
+        )
+
+    def to_json(self) -> str:
+        """The checkpoint as a deterministic JSON document."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Checkpoint":
+        """Parse a checkpoint from :meth:`to_json` text."""
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the checkpoint to ``path``; returns the path written."""
+        target = Path(path)
+        target.write_text(self.to_json() + "\n", encoding="utf-8")
+        return target
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Checkpoint":
+        """Read a checkpoint written by :meth:`save`."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "trace_digest",
+]

@@ -1,0 +1,93 @@
+"""Typed messages of the live serving actor runtime.
+
+Every inter-actor payload is a frozen dataclass defined here — the
+named-types split: actors exchange *values*, never share mutable state,
+so the message log of a run is a complete, replayable description of it.
+Delivery order is deterministic: each actor consumes its inbox FIFO, the
+ingestion actor emits arrivals in the canonical ``(arrival_s,
+request_id)`` order, and the supervisor applies them in that order —
+exactly the order the batch loops use, which is what makes live runs
+byte-identical to batch ones.
+
+The flow: :class:`ArrivalBatch` messages stream from the ingestion actor
+to the supervisor, closed by one :class:`StreamEnded` (or
+:class:`PauseStream` when a checkpoint was requested).  At end of
+stream the supervisor fans :class:`RunShard` jobs out to the chip
+actors, which answer :class:`ShardDone`; :class:`Shutdown` terminates
+any actor's receive loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..dispatch import ShardJob
+from ..queue import ServingRequest, ServingResult
+
+
+@dataclass(frozen=True)
+class ArrivalBatch:
+    """A chunk of arrivals, ingestion → supervisor.
+
+    ``arrivals`` holds ``(index, request)`` pairs — the trace position
+    the dispatch controllers key on, and the request itself — already in
+    the canonical ``(arrival_s, request_id)`` order.  Batching amortizes
+    queue overhead when the stream runs unpaced; a paced stream sends
+    batches of one.
+    """
+
+    arrivals: Tuple[Tuple[int, ServingRequest], ...]
+
+
+@dataclass(frozen=True)
+class StreamEnded:
+    """End of the arrival stream, ingestion → supervisor.
+
+    ``total`` is the number of arrivals emitted over the whole stream,
+    letting the supervisor cross-check it dropped nothing.
+    """
+
+    total: int
+
+
+@dataclass(frozen=True)
+class PauseStream:
+    """The stream stopped early for a checkpoint, ingestion → supervisor.
+
+    ``cursor`` is the number of arrivals emitted before the pause — the
+    resume point a :class:`~repro.serving.runtime.checkpoint.Checkpoint`
+    records.
+    """
+
+    cursor: int
+
+
+@dataclass(frozen=True)
+class RunShard:
+    """One engine run to execute, supervisor → chip actor."""
+
+    job: ShardJob
+
+
+@dataclass(frozen=True)
+class ShardDone:
+    """An executed engine run, chip actor → supervisor."""
+
+    chip_id: int
+    result: ServingResult
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Terminate the receiving actor's loop (any → any)."""
+
+
+__all__ = [
+    "ArrivalBatch",
+    "PauseStream",
+    "RunShard",
+    "ShardDone",
+    "Shutdown",
+    "StreamEnded",
+]

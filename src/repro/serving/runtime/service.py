@@ -1,0 +1,314 @@
+"""Synchronous entry points of the live serving runtime.
+
+:func:`run_live` plays a trace through the actor control plane —
+ingestion streaming arrivals, the supervisor driving the exact stepwise
+dispatch controller the batch path drives, chip actors executing the
+closing engine runs — and returns the same result object the batch
+``run`` would, ``==``-identical (the differential suite asserts it).
+``pause_after`` turns the run into a
+:class:`~repro.serving.runtime.checkpoint.Checkpoint` at an arrival
+boundary; :func:`resume_live` picks such a checkpoint up — in the same
+process or a fresh one — and finishes the run byte-identically to an
+uninterrupted one.
+
+:func:`run_scenario_live` / :func:`resume_scenario` are the scenario
+couplings: checkpoints taken there embed the scenario spec and engine,
+so a resume rebuilds fleet and trace from the spec alone (the spec-hash
+-seeds-everything contract makes the recompiled trace exact).
+
+:func:`requests_from_lines` and :func:`requests_from_chunks` adapt the
+two streaming ingestion formats — JSON request lines (stdin, a socket)
+and columnar :class:`~repro.scenarios.compile.TraceChunk` slices — to
+the object traces the runtime consumes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import replace
+from typing import Any, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..dispatch import make_controller, request_from_state, sorted_order
+from ..queue import ServingRequest
+from .actors import DEFAULT_BATCH_SIZE, IngestionActor, SupervisorActor
+from .checkpoint import Checkpoint, trace_digest
+
+
+async def _session(
+    controller: Any,
+    n_chips: int,
+    trace: Sequence[ServingRequest],
+    *,
+    pace: Optional[float],
+    batch_size: int,
+    start_at: int,
+    pause_after: Optional[int],
+) -> Tuple[Any, ...]:
+    """One actor session: stream, supervise, execute, fold.
+
+    Returns the supervisor's outcome tuple — ``("done", result)`` or
+    ``("paused", cursor, controller_state)``.
+    """
+    arrivals = [(index, trace[index]) for index in sorted_order(trace)]
+    supervisor = SupervisorActor(controller, n_chips)
+    supervisor.start()
+    ingestion = IngestionActor(
+        arrivals,
+        supervisor,
+        batch_size=batch_size,
+        pace=pace,
+        start_at=start_at,
+        pause_after=pause_after,
+    )
+    ingestion.start()
+    try:
+        return await supervisor.outcome
+    finally:
+        await ingestion.cancel()
+        await supervisor.stop()
+
+
+def _checkpoint(
+    controller: Any, cursor: int, state: Any, digest: str
+) -> Checkpoint:
+    return Checkpoint(
+        kind=controller.kind,
+        cursor=cursor,
+        controller=state,
+        trace_sha256=digest,
+    )
+
+
+def run_live(
+    fleet,
+    trace: Sequence[ServingRequest],
+    *,
+    faults=None,
+    priorities: Optional[Sequence[float]] = None,
+    pace: Optional[float] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    pause_after: Optional[int] = None,
+) -> Union[Any, Checkpoint]:
+    """Play ``trace`` through the live actor runtime.
+
+    ``fleet`` is a :class:`~repro.serving.fleet.FleetSimulator` or
+    :class:`~repro.serving.autoscale.AutoscalingFleetSimulator`;
+    ``faults`` and ``priorities`` route exactly as the batch ``run``
+    routes them, so the returned result object matches the batch one
+    field for field.  ``pace`` throttles ingestion against the wall
+    clock (``10.0`` = tenfold-accelerated simulated time; ``None`` =
+    flat out); it never changes the result.  ``pause_after`` stops the
+    stream after that many canonical-order arrivals and returns a
+    :class:`Checkpoint` instead of a result.
+    """
+    trace = list(trace)
+    if not trace:
+        raise ValueError("trace must not be empty")
+    if fleet.precompute:
+        fleet.precompute_service_times(trace)
+    controller = make_controller(
+        fleet, trace, faults=faults, priorities=priorities
+    )
+    outcome = asyncio.run(
+        _session(
+            controller,
+            fleet.n_chips,
+            trace,
+            pace=pace,
+            batch_size=batch_size,
+            start_at=0,
+            pause_after=pause_after,
+        )
+    )
+    if outcome[0] == "paused":
+        return _checkpoint(
+            controller, outcome[1], outcome[2], trace_digest(trace)
+        )
+    return outcome[1]
+
+
+def resume_live(
+    fleet,
+    trace: Sequence[ServingRequest],
+    checkpoint: Checkpoint,
+    *,
+    faults=None,
+    priorities: Optional[Sequence[float]] = None,
+    pace: Optional[float] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    pause_after: Optional[int] = None,
+) -> Union[Any, Checkpoint]:
+    """Resume a paused live run from ``checkpoint`` and finish it.
+
+    ``fleet``, ``trace``, ``faults`` and ``priorities`` must reconstruct
+    the original run's configuration — the trace is verified against the
+    checkpoint's digest, the rebuilt controller's kind against its
+    ``kind``.  The tail replays through the same actor machinery, so the
+    combined run is byte-identical to an uninterrupted one (asserted by
+    the hypothesis suite across process boundaries).  ``pause_after``
+    (an absolute arrival cursor past the checkpoint's) pauses again.
+    """
+    trace = list(trace)
+    if not trace:
+        raise ValueError("trace must not be empty")
+    digest = trace_digest(trace)
+    if digest != checkpoint.trace_sha256:
+        raise ValueError(
+            "checkpoint was taken against a different trace "
+            f"(digest {checkpoint.trace_sha256[:12]}… != {digest[:12]}…)"
+        )
+    if fleet.precompute:
+        fleet.precompute_service_times(trace)
+    controller = make_controller(
+        fleet, trace, faults=faults, priorities=priorities
+    )
+    if controller.kind != checkpoint.kind:
+        raise ValueError(
+            f"checkpoint holds {checkpoint.kind!r} controller state but "
+            f"this configuration builds a {controller.kind!r} controller"
+        )
+    controller.restore_state(checkpoint.controller, trace)
+    outcome = asyncio.run(
+        _session(
+            controller,
+            fleet.n_chips,
+            trace,
+            pace=pace,
+            batch_size=batch_size,
+            start_at=checkpoint.cursor,
+            pause_after=pause_after,
+        )
+    )
+    if outcome[0] == "paused":
+        return _checkpoint(controller, outcome[1], outcome[2], digest)
+    return outcome[1]
+
+
+def run_scenario_live(
+    spec,
+    *,
+    engine: str = "macro",
+    pace: Optional[float] = None,
+    pause_after: Optional[int] = None,
+) -> Union[Any, Checkpoint]:
+    """Run one scenario spec through the live runtime.
+
+    The live twin of :func:`repro.scenarios.runner.run_scenario`: same
+    compilation, same fleet, same report — byte-identical including the
+    golden JSON.  With ``pause_after`` the returned
+    :class:`Checkpoint` embeds the spec and engine, so
+    :func:`resume_scenario` needs nothing else to finish the run.
+    """
+    # Imported lazily: scenarios builds on the serving package.
+    from ...scenarios.compile import compile_scenario
+    from ...scenarios.runner import (
+        build_fleet,
+        scenario_report,
+        scenario_run_kwargs,
+    )
+
+    compiled = compile_scenario(spec)
+    fleet = build_fleet(spec, engine=engine)
+    outcome = run_live(
+        fleet,
+        list(compiled.trace),
+        pace=pace,
+        pause_after=pause_after,
+        **scenario_run_kwargs(compiled, fleet),
+    )
+    if isinstance(outcome, Checkpoint):
+        return replace(
+            outcome, scenario=spec.to_dict(), engine=engine
+        )
+    return scenario_report(spec, compiled, outcome)
+
+
+def resume_scenario(
+    checkpoint: Checkpoint,
+    *,
+    pause_after: Optional[int] = None,
+) -> Union[Any, Checkpoint]:
+    """Resume a scenario checkpoint and finish (or re-pause) the run.
+
+    Rebuilds the spec from the checkpoint's embedded ``scenario`` data,
+    recompiles the trace (deterministic: the spec hash seeds every
+    stream) and resumes through :func:`resume_live`; returns the final
+    :class:`~repro.scenarios.report.ScenarioReport`, byte-identical to
+    the uninterrupted run's, or a re-paused checkpoint.
+    """
+    # Imported lazily: scenarios builds on the serving package.
+    from ...scenarios.compile import compile_scenario
+    from ...scenarios.runner import (
+        build_fleet,
+        scenario_report,
+        scenario_run_kwargs,
+    )
+    from ...scenarios.spec import ScenarioSpec
+
+    if checkpoint.scenario is None:
+        raise ValueError(
+            "checkpoint embeds no scenario spec; resume it with "
+            "resume_live against the original fleet and trace"
+        )
+    spec = ScenarioSpec.from_dict(checkpoint.scenario)
+    engine = checkpoint.engine or "macro"
+    compiled = compile_scenario(spec)
+    fleet = build_fleet(spec, engine=engine)
+    outcome = resume_live(
+        fleet,
+        list(compiled.trace),
+        checkpoint,
+        pause_after=pause_after,
+        **scenario_run_kwargs(compiled, fleet),
+    )
+    if isinstance(outcome, Checkpoint):
+        return replace(
+            outcome, scenario=checkpoint.scenario, engine=engine
+        )
+    return scenario_report(spec, compiled, outcome)
+
+
+def requests_from_lines(lines: Iterable[str]) -> List[ServingRequest]:
+    """Parse JSON request lines (stdin, a socket) into a trace.
+
+    Each non-blank line is one
+    :func:`~repro.serving.dispatch.request_to_state` document; blank
+    lines are skipped, so the format is newline-delimited JSON as a
+    ``nc``/``tail -f`` pipe would deliver it.
+    """
+    import json
+
+    trace: List[ServingRequest] = []
+    for line in lines:
+        text = line.strip()
+        if not text:
+            continue
+        trace.append(request_from_state(json.loads(text)))
+    return trace
+
+
+def requests_from_chunks(chunks: Iterable[Any]) -> List[ServingRequest]:
+    """Flatten columnar trace chunks into an object trace.
+
+    Accepts :class:`~repro.scenarios.compile.TraceChunk` values or raw
+    :data:`~repro.serving.trace.TRACE_DTYPE` arrays, in stream order —
+    the adapter between ``compile_scenario_chunks`` streaming and the
+    live runtime's object-trace ingestion.
+    """
+    from ..trace import array_to_trace
+
+    trace: List[ServingRequest] = []
+    for chunk in chunks:
+        array = getattr(chunk, "array", chunk)
+        trace.extend(array_to_trace(array))
+    return trace
+
+
+__all__ = [
+    "requests_from_chunks",
+    "requests_from_lines",
+    "resume_live",
+    "resume_scenario",
+    "run_live",
+    "run_scenario_live",
+]

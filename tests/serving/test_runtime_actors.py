@@ -1,0 +1,240 @@
+"""Unit tests of the live runtime's actors, sources and guard rails.
+
+The differential and checkpoint suites prove the headline equivalences;
+this file pins the mechanics underneath them: ingestion batching and
+validation, the line/chunk trace sources, controller preview purity,
+supervisor error propagation, and the ``runtime=`` plumbing on the
+fleet entry points.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.models.mllm import get_mllm
+from repro.scenarios.compile import compile_scenario, compile_scenario_chunks
+from repro.scenarios.registry import get_scenario
+from repro.serving import (
+    FleetSimulator,
+    PoissonArrivals,
+    RequestSampler,
+    build_trace,
+)
+from repro.serving.dispatch import (
+    StaticDispatchController,
+    make_controller,
+    request_from_state,
+    request_to_state,
+    sorted_order,
+)
+from repro.serving.faults import FaultEvent, FaultSchedule
+from repro.serving.runtime import (
+    ArrivalBatch,
+    IngestionActor,
+    StreamEnded,
+    SupervisorActor,
+    requests_from_chunks,
+    requests_from_lines,
+    run_live,
+)
+from repro.serving.runtime.actors import Actor
+
+
+@pytest.fixture(scope="module")
+def model():
+    return get_mllm("sphinx-tiny")
+
+
+def _trace(seed, n=24):
+    return build_trace(
+        PoissonArrivals(6.0, seed=seed).generate(n),
+        RequestSampler(seed=seed).sample(n),
+    )
+
+
+class _Collector(Actor):
+    """Test double: records every message it receives."""
+
+    def __init__(self):
+        super().__init__("collector")
+        self.received = []
+
+    async def on_message(self, message):
+        self.received.append(message)
+
+
+def _ingest(arrivals, **kwargs):
+    async def session():
+        collector = _Collector()
+        collector.start()
+        ingestion = IngestionActor(arrivals, collector, **kwargs)
+        ingestion.start()
+        await ingestion._task
+        await collector.stop()
+        return collector.received
+
+    return asyncio.run(session())
+
+
+class TestIngestion:
+    def test_batching_and_terminal_message(self, model):
+        trace = _trace(3, n=10)
+        arrivals = [(index, trace[index]) for index in sorted_order(trace)]
+        received = _ingest(arrivals, batch_size=4)
+        batches = [m for m in received if isinstance(m, ArrivalBatch)]
+        assert [len(b.arrivals) for b in batches] == [4, 4, 2]
+        flattened = [pair for b in batches for pair in b.arrivals]
+        assert flattened == arrivals
+        assert received[-1] == StreamEnded(total=10)
+
+    def test_pacing_forces_batches_of_one(self, model):
+        trace = _trace(3, n=6)
+        arrivals = [(index, trace[index]) for index in sorted_order(trace)]
+        received = _ingest(arrivals, batch_size=4, pace=1e9)
+        batches = [m for m in received if isinstance(m, ArrivalBatch)]
+        assert [len(b.arrivals) for b in batches] == [1] * 6
+
+    def test_validation(self, model):
+        trace = _trace(3, n=6)
+        arrivals = [(index, trace[index]) for index in sorted_order(trace)]
+        collector = object()
+        with pytest.raises(ValueError, match="batch_size"):
+            IngestionActor(arrivals, collector, batch_size=0)
+        with pytest.raises(ValueError, match="pace"):
+            IngestionActor(arrivals, collector, pace=0.0)
+        with pytest.raises(ValueError, match="start_at"):
+            IngestionActor(arrivals, collector, start_at=7)
+        with pytest.raises(ValueError, match="pause_after"):
+            IngestionActor(arrivals, collector, start_at=3, pause_after=3)
+        with pytest.raises(ValueError, match="pause_after"):
+            IngestionActor(arrivals, collector, pause_after=7)
+
+
+class TestSources:
+    def test_requests_from_lines_round_trip(self, model):
+        trace = _trace(5, n=8)
+        lines = [json.dumps(request_to_state(r)) for r in trace]
+        lines.insert(3, "")  # blank lines are skipped
+        lines.append("   ")
+        assert requests_from_lines(lines) == list(trace)
+
+    def test_request_state_round_trip(self, model):
+        for request in _trace(5, n=4):
+            assert request_from_state(request_to_state(request)) == request
+
+    def test_requests_from_chunks_matches_compile(self):
+        spec = get_scenario("chat-poisson")
+        compiled = compile_scenario(spec)
+        chunks = compile_scenario_chunks(spec, chunk_size=32)
+        assert requests_from_chunks(chunks) == list(compiled.trace)
+
+    def test_lines_drive_a_live_run(self, model):
+        trace = _trace(5, n=12)
+        lines = [json.dumps(request_to_state(r)) for r in trace]
+        fleet = FleetSimulator(model, n_chips=2)
+        batch = fleet.run(trace)
+        live = run_live(fleet, requests_from_lines(lines))
+        assert live == batch
+
+
+class TestSupervisor:
+    def test_error_propagates_like_batch(self, model):
+        # Chip 0 of a 1-chip fleet goes down and never returns: parked
+        # requests make both planes raise the same error.
+        trace = _trace(7, n=10)
+        schedule = FaultSchedule(
+            events=(FaultEvent(time_s=0.0, kind="chip_down", chip_id=0),)
+        )
+        fleet = FleetSimulator(model, n_chips=1)
+        with pytest.raises(ValueError, match="never dispatched"):
+            fleet.run(trace, faults=schedule)
+        with pytest.raises(ValueError, match="never dispatched"):
+            fleet.run(trace, faults=schedule, runtime="live")
+
+    def test_supervisor_counts_arrivals(self, model):
+        trace = _trace(7, n=10)
+
+        async def session():
+            controller = StaticDispatchController(
+                FleetSimulator(model, n_chips=2)
+            )
+            supervisor = SupervisorActor(controller, 2)
+            supervisor.start()
+            arrivals = [
+                (index, trace[index]) for index in sorted_order(trace)
+            ]
+            supervisor.post(ArrivalBatch(arrivals=tuple(arrivals)))
+            supervisor.post(StreamEnded(total=len(arrivals)))
+            kind, result = await supervisor.outcome
+            await supervisor.stop()
+            return kind, supervisor._seen, result
+
+        kind, seen, result = asyncio.run(session())
+        assert kind == "done"
+        assert seen == 10
+        assert len(result.records) == 10
+
+
+class TestPreviewPurity:
+    @pytest.mark.parametrize("kind", ["static", "fault_fleet"])
+    def test_preview_does_not_perturb_the_run(self, model, kind):
+        trace = _trace(9, n=20)
+        faults = None
+        if kind == "fault_fleet":
+            horizon = max(r.arrival_s for r in trace)
+            faults = FaultSchedule(
+                events=(
+                    FaultEvent(
+                        time_s=horizon * 0.4, kind="chip_down", chip_id=0
+                    ),
+                    FaultEvent(
+                        time_s=horizon * 0.8, kind="chip_up", chip_id=0
+                    ),
+                )
+            )
+        fleet = FleetSimulator(model, n_chips=2, policy="least_loaded")
+        baseline = fleet.run(trace, faults=faults)
+
+        controller = make_controller(fleet, trace, faults=faults)
+        assert controller.kind == kind
+        order = sorted_order(trace)
+        previews = []
+        for position, index in enumerate(order):
+            controller.on_arrival(index, trace[index])
+            if position in (5, 12):
+                previews.append(controller.preview_records())
+        controller.finish_events()
+        from repro.serving.dispatch import run_jobs_inline
+
+        result = controller.collect(
+            run_jobs_inline(controller.final_jobs())
+        )
+        assert result == baseline
+        # Previews are monotone snapshots: non-decreasing record counts.
+        assert len(previews[0]) <= len(previews[1]) <= len(result.records)
+
+
+class TestRuntimePlumbing:
+    def test_invalid_runtime_rejected(self, model):
+        trace = _trace(11, n=6)
+        fleet = FleetSimulator(model, n_chips=2)
+        with pytest.raises(ValueError, match="runtime"):
+            fleet.run(trace, runtime="warp")
+
+    def test_empty_trace_rejected(self, model):
+        fleet = FleetSimulator(model, n_chips=2)
+        with pytest.raises(ValueError, match="empty"):
+            run_live(fleet, [])
+
+    def test_cli_runtime_flag(self, capsys):
+        from repro.scenarios.__main__ import main
+
+        assert main(["run", "chat-poisson", "--json"]) == 0
+        batch = capsys.readouterr().out
+        assert (
+            main(["run", "chat-poisson", "--json", "--runtime", "live"])
+            == 0
+        )
+        live = capsys.readouterr().out
+        assert live == batch

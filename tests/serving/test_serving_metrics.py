@@ -155,3 +155,31 @@ class TestVectorizedIdentity:
         ) == PercentileStats.from_values([0.0])
         with pytest.raises(ValueError):
             PercentileStats.from_array(np.array([]))
+
+
+class TestReportEdges:
+    """The report helpers behave at the empty and zero boundaries."""
+
+    def test_from_values_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            PercentileStats.from_values([])
+
+    def test_empty_report_rates_are_zero(self):
+        from repro.serving import empty_report
+
+        report = empty_report()
+        assert report.requests_per_second == 0.0
+        assert report.tokens_per_second == 0.0
+
+    def test_format_report_renders_every_quantity(self):
+        from repro.serving import format_report
+
+        records = [
+            make_record(0, 0.0, 0.0, 0.1, 0.2, 1.0),
+            make_record(1, 0.5, 0.6, 0.7, 0.8, 2.0),
+        ]
+        text = format_report(summarize(records), title="Edge check")
+        assert text.splitlines()[0] == "Edge check"
+        assert "requests completed : 2" in text
+        for label in ("latency", "TTFT", "queue wait", "throughput"):
+            assert label in text

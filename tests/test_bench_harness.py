@@ -119,8 +119,47 @@ class TestCheckMode:
 
     def test_fully_covered_run_produces_no_warnings(self, harness):
         fresh = self._report(a=1.0, b=2.0)
-        baseline = self._report(a=1.0, b=2.0, retired=0.5)
+        baseline = self._report(a=1.0, b=2.0)
         assert harness.baseline_warnings(fresh, baseline) == []
+
+    def test_removed_scenarios_warn_instead_of_rotting(self, harness):
+        # A committed scenario the fresh run no longer produces is a
+        # coverage gap too: its baseline entry would otherwise linger
+        # forever, pretending the benchmark still runs.
+        fresh = self._report(a=1.0)
+        baseline = self._report(a=1.0, retired=0.5)
+        warnings = harness.baseline_warnings(fresh, baseline)
+        assert len(warnings) == 1
+        assert warnings[0].startswith("retired:")
+        assert "no longer produced" in warnings[0]
+        # ... and the regression check itself must not flag it.
+        assert harness.check_regressions(fresh, baseline) == []
+
+    def test_warnings_list_names_sorted_deterministically(self, harness):
+        # Each direction lists names in sorted order — fresh-side gaps
+        # first, then baseline-side gaps — so successive CI logs diff
+        # cleanly regardless of dict insertion order.
+        fresh = self._report(zeta=1.0, alpha=1.0, shared=1.0)
+        baseline = self._report(shared=1.0, omega=0.5, beta=0.5)
+        warnings = harness.baseline_warnings(fresh, baseline)
+        names = [warning.split(":", 1)[0] for warning in warnings]
+        assert names == ["alpha", "zeta", "beta", "omega"]
+
+    def test_only_filter_scopes_removed_scenario_warnings(self, harness):
+        # A filtered run (--only) never produced the out-of-scope
+        # scenarios, so committed entries outside the filter are not
+        # "removed" — only matching names warn.
+        fresh = self._report(planner_a=1.0)
+        baseline = self._report(
+            planner_a=1.0, planner_gone=0.5, serving=2.0
+        )
+        warnings = harness.baseline_warnings(fresh, baseline, only="planner")
+        assert len(warnings) == 1
+        assert warnings[0].startswith("planner_gone:")
+        # Fresh-side gaps are never filtered: the run did produce them.
+        fresh = self._report(planner_a=1.0, serving_new=1.0)
+        warnings = harness.baseline_warnings(fresh, baseline, only="planner")
+        assert any(w.startswith("serving_new:") for w in warnings)
 
     def test_main_check_warns_and_passes_without_a_baseline_file(
         self, harness, tmp_path, capsys
