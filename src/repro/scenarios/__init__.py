@@ -19,6 +19,7 @@ from .compile import (
     CompiledScenario,
     TraceChunk,
     build_arrival_process,
+    compile_chaos_schedule,
     compile_fault_schedule,
     compile_scenario,
     compile_scenario_chunks,
@@ -37,6 +38,7 @@ from .report import (
     AutoscaleSummary,
     FaultImpact,
     FaultSummary,
+    IncidentSummary,
     PricingSummary,
     ScenarioReport,
     SLOCheck,
@@ -49,6 +51,7 @@ from .runner import autoscaler_config, build_fleet, price_offered_load, run_scen
 from .spec import (
     ArrivalSpec,
     AutoscalerSpec,
+    ChaosSpec,
     FaultsSpec,
     FleetSpec,
     ScenarioSpec,
@@ -60,11 +63,13 @@ __all__ = [
     "ArrivalSpec",
     "AutoscalerSpec",
     "AutoscaleSummary",
+    "ChaosSpec",
     "CompiledScenario",
     "FaultImpact",
     "FaultSummary",
     "FaultsSpec",
     "FleetSpec",
+    "IncidentSummary",
     "LONG_CONTEXT",
     "MULTI_IMAGE",
     "PricingSummary",
@@ -81,6 +86,7 @@ __all__ = [
     "available_scenarios",
     "build_arrival_process",
     "build_fleet",
+    "compile_chaos_schedule",
     "compile_fault_schedule",
     "compile_scenario",
     "compile_scenario_chunks",

@@ -3,7 +3,7 @@
 ::
 
     python -m repro.scenarios list
-    python -m repro.scenarios run <name> [--json]
+    python -m repro.scenarios run <name> [--json] [--chaos-seed N]
     python -m repro.scenarios run --all
     python -m repro.scenarios write-golden [--dir tests/golden] [names ...]
 
@@ -51,6 +51,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="execution plane: 'live' streams the trace through the "
         "asyncio actor runtime (reports are runtime-independent)",
     )
+    run.add_argument(
+        "--chaos-seed", type=int, default=None, metavar="N",
+        help="run under the supervised runtime with a chaos schedule "
+        "drawn from seed N (instead of the spec-hash-derived seed); the "
+        "report stays byte-identical modulo the incidents block",
+    )
+    run.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="override the supervisor's per-job retry budget (implies "
+        "the supervised runtime)",
+    )
 
     golden = commands.add_parser(
         "write-golden", help="(re)write golden reports for the regression suite"
@@ -71,12 +82,41 @@ def _run(
     as_json: bool,
     engine: str = "macro",
     runtime: str = "batch",
+    chaos_seed: Optional[int] = None,
+    max_retries: Optional[int] = None,
 ) -> None:
-    report = run_scenario(get_scenario(name), engine=engine, runtime=runtime)
+    spec = get_scenario(name)
+    if chaos_seed is not None or max_retries is not None:
+        report = _run_supervised(spec, engine, chaos_seed, max_retries)
+    else:
+        report = run_scenario(spec, engine=engine, runtime=runtime)
     if as_json:
         sys.stdout.write(report.to_json())
     else:
         print(format_scenario_report(report))
+
+
+def _run_supervised(spec, engine: str, chaos_seed, max_retries):
+    from dataclasses import replace
+
+    from ..serving.runtime.service import run_scenario_supervised
+    from ..serving.runtime.supervision import SupervisionConfig
+    from .compile import compile_chaos_schedule
+    from .spec import ChaosSpec
+
+    if spec.chaos is None:
+        # A bare --chaos-seed gets the default plan (one chip crash).
+        spec = replace(spec, chaos=ChaosSpec())
+    if max_retries is None:
+        max_retries = spec.chaos.max_retries
+    return run_scenario_supervised(
+        spec,
+        engine=engine,
+        chaos=compile_chaos_schedule(spec, seed=chaos_seed),
+        supervision=SupervisionConfig(
+            seed=spec.derive_seed("supervision"), max_retries=max_retries
+        ),
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -97,7 +137,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         for index, name in enumerate(names):
             if index and not args.json:
                 print()
-            _run(name, args.json, args.engine, args.runtime)
+            _run(
+                name,
+                args.json,
+                args.engine,
+                args.runtime,
+                args.chaos_seed,
+                args.max_retries,
+            )
         return 0
 
     # write-golden

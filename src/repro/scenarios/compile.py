@@ -35,6 +35,8 @@ from ..serving.arrival import (
 )
 from ..serving.faults import FaultEvent, FaultSchedule
 from ..serving.queue import ServingRequest, build_trace
+from ..serving.runtime.actors import DEFAULT_BATCH_SIZE
+from ..serving.runtime.chaos import ChaosSchedule, generate_chaos_schedule
 from ..serving.trace import TRACE_DTYPE
 from .spec import ArrivalSpec, ScenarioSpec, WorkloadComponent
 
@@ -55,6 +57,11 @@ class CompiledScenario:
     #: ``faults`` block); derived from the spec hash, see
     #: :func:`compile_fault_schedule`.
     faults: Optional[FaultSchedule] = None
+    #: Concrete runtime-chaos schedule (``None`` unless the spec carries
+    #: a ``chaos`` block); derived from the spec hash, see
+    #: :func:`compile_chaos_schedule`.  Consumed only by the supervised
+    #: live runtime — the batch plane ignores it by design.
+    chaos: Optional[ChaosSchedule] = None
 
     @property
     def component_counts(self) -> Dict[str, int]:
@@ -193,6 +200,46 @@ def compile_fault_schedule(
     )
 
 
+def compile_chaos_schedule(
+    spec: ScenarioSpec, *, seed: Optional[int] = None
+) -> ChaosSchedule:
+    """Lower a spec's chaos plan to a concrete runtime-fault schedule.
+
+    Every ordinal and target comes from one ``random.Random`` stream
+    seeded with ``spec.derive_seed("chaos")`` — the same spec draws the
+    same schedule in every process, making a scenario's chaos part of
+    its identity.  ``seed`` overrides that derivation (the CLI's
+    ``--chaos-seed`` hook for exploring alternative draws of the same
+    plan).  Chip-fault ordinals are bounded by the fleet size (every
+    chip runs at least one closing shard) and stream-fault ordinals by
+    the trace's arrival-batch count, so most events actually fire; ones
+    whose ordinal never occurs are harmless no-ops.
+    """
+    plan = spec.chaos
+    if plan is None:
+        return ChaosSchedule()
+    n_chips = (
+        spec.fleet.autoscaler.max_chips
+        if spec.fleet.autoscaler is not None
+        else spec.fleet.n_chips
+    )
+    n_batches = max(
+        1, -(-spec.n_requests // DEFAULT_BATCH_SIZE)
+    )
+    return generate_chaos_schedule(
+        spec.derive_seed("chaos") if seed is None else seed,
+        n_chips=n_chips,
+        n_batches=n_batches,
+        n_crashes=plan.n_crashes,
+        n_hangs=plan.n_hangs,
+        n_drops=plan.n_drops,
+        n_delays=plan.n_delays,
+        n_supervisor_crashes=plan.n_supervisor_crashes,
+        hang_shards=plan.hang_shards,
+        delay_s=plan.delay_s,
+    )
+
+
 def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
     """Lower a scenario spec to its serving trace.
 
@@ -227,11 +274,15 @@ def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
     faults = None
     if spec.faults is not None:
         faults = compile_fault_schedule(spec, times[-1])
+    chaos = None
+    if spec.chaos is not None:
+        chaos = compile_chaos_schedule(spec)
     return CompiledScenario(
         spec=spec,
         trace=tuple(build_trace(times, requests)),
         components=tuple(chosen),
         faults=faults,
+        chaos=chaos,
     )
 
 

@@ -12,7 +12,7 @@ files (the same discipline as the fig11 byte-identity check).
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 from ..serving.autoscale import AutoscaleResult, ScalingEvent
@@ -23,6 +23,7 @@ from ..serving.metrics import (
     ServingReport,
     summarize,
 )
+from ..serving.runtime.supervision import ActorIncident
 
 
 def _stats_dict(stats: PercentileStats) -> Dict[str, float]:
@@ -233,6 +234,51 @@ class FaultSummary:
 
 
 @dataclass(frozen=True)
+class IncidentSummary:
+    """The supervised runtime's recovery timeline for one run.
+
+    ``timeline`` is the chronological
+    :class:`~repro.serving.runtime.supervision.ActorIncident` sequence;
+    ``n_sessions`` counts supervisor lives (more than one means the
+    supervisor itself crashed and rebuilt from the auto-checkpoint
+    ring).  The summary describes *how* the run was computed, never
+    *what* it computed: the rest of the report is byte-identical with or
+    without disturbances — strip the block with
+    :meth:`ScenarioReport.without_incidents` to compare.
+    """
+
+    n_sessions: int
+    timeline: Tuple[ActorIncident, ...]
+
+    @classmethod
+    def from_incidents(
+        cls, incidents: Sequence[ActorIncident]
+    ) -> "IncidentSummary":
+        """Summarize a supervised run's incident list."""
+        timeline = tuple(incidents)
+        n_sessions = max(
+            (incident.session for incident in timeline), default=1
+        )
+        return cls(n_sessions=n_sessions, timeline=timeline)
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        """Incidents per kind, kind-sorted."""
+        counts: Dict[str, int] = {}
+        for incident in self.timeline:
+            counts[incident.kind] = counts.get(incident.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize the incident summary to plain JSON data."""
+        return {
+            "n_sessions": self.n_sessions,
+            "counts": self.counts,
+            "timeline": [incident.to_dict() for incident in self.timeline],
+        }
+
+
+@dataclass(frozen=True)
 class PricingSummary:
     """Batched cost-engine view of the trace's offered load.
 
@@ -279,11 +325,25 @@ class ScenarioReport:
     tenants: Optional[Tuple[TenantSummary, ...]] = None
     #: Fault timeline + recovery metrics; present only for fault specs.
     faults: Optional[FaultSummary] = None
+    #: Supervised-runtime recovery timeline; present only when a
+    #: supervised run actually recorded incidents (conditional emission
+    #: keeps every batch and undisturbed-run golden byte-identical).
+    incidents: Optional[IncidentSummary] = None
 
     @property
     def slo_met(self) -> bool:
         """True when every stated objective is met (vacuously if none)."""
         return all(check.met for check in self.slo)
+
+    def without_incidents(self) -> "ScenarioReport":
+        """The report with the ``incidents`` block stripped.
+
+        Incident details depend on wall-clock race timing (which
+        recovery path fired first), while everything else is a pure
+        function of the spec — this is the comparison surface the chaos
+        differential suite asserts byte-identity on.
+        """
+        return replace(self, incidents=None)
 
     # ------------------------------------------------------------------
     # Canonical serialization (golden-report surface)
@@ -313,6 +373,8 @@ class ScenarioReport:
             data["tenants"] = [tenant.to_dict() for tenant in self.tenants]
         if self.faults is not None:
             data["faults"] = self.faults.to_dict()
+        if self.incidents is not None:
+            data["incidents"] = self.incidents.to_dict()
         return data
 
     def to_json(self) -> str:
@@ -389,6 +451,15 @@ def format_scenario_report(report: ScenarioReport) -> str:
                 f"{impact.event.time_s:.2f} s: p99 TTFT dent "
                 f"{impact.dent_depth_s * 1e3:.2f} ms, {recover}"
             )
+    if report.incidents is not None:
+        i = report.incidents
+        counts = ", ".join(
+            f"{kind} {count}" for kind, count in i.counts.items()
+        )
+        lines.append(
+            f"incidents          : {len(i.timeline)} over "
+            f"{i.n_sessions} supervisor session(s) ({counts})"
+        )
     if report.tenants is not None:
         for tenant in report.tenants:
             verdict = "MET " if tenant.slo_met else "MISS"

@@ -29,6 +29,7 @@ from .report import (
     AutoscaleSummary,
     FaultImpact,
     FaultSummary,
+    IncidentSummary,
     PricingSummary,
     ScenarioReport,
     format_scenario_report,
@@ -151,7 +152,20 @@ def run_scenario(
     ``faults`` summary with per-disruption recovery metrics; specs
     declaring tenants grow a per-tenant attainment block.  Plain specs
     emit the exact historical report (golden byte identity).
+
+    A spec carrying a ``chaos`` block routes its ``"live"`` plane
+    through the *supervised* runtime
+    (:func:`repro.serving.runtime.service.run_scenario_supervised`) with
+    the spec's own compiled chaos schedule injected — the report is
+    byte-identical modulo the conditional ``incidents`` block.  The
+    ``"batch"`` plane ignores chaos by design (there is no control plane
+    to break), which is itself the invariant: chaos must not change
+    what is computed.
     """
+    if runtime == "live" and spec.chaos is not None:
+        from ..serving.runtime.service import run_scenario_supervised
+
+        return run_scenario_supervised(spec, engine=engine)
     compiled = compile_scenario(spec)
     fleet = build_fleet(spec, engine=engine)
     result = fleet.run(
@@ -163,14 +177,17 @@ def run_scenario(
 
 
 def scenario_report(
-    spec: ScenarioSpec, compiled: CompiledScenario, result
+    spec: ScenarioSpec, compiled: CompiledScenario, result, *, incidents=None
 ) -> ScenarioReport:
     """Fold a fleet ``result`` into ``spec``'s canonical report.
 
     Pure assembly over the ``spec``, its ``compiled`` trace and the run
     ``result`` — both execution planes (and checkpoint resumes) call it
     with their result object, so report formatting lives in exactly one
-    place.
+    place.  ``incidents`` (supervised runs only) attaches the recovery
+    timeline as the conditional ``incidents`` block; an empty sequence
+    attaches nothing, so undisturbed supervised runs emit the exact
+    batch report.
     """
     report = result.report
     autoscale = (
@@ -223,6 +240,11 @@ def scenario_report(
         autoscale=autoscale,
         tenants=tenants,
         faults=faults,
+        # Attached only when the timeline is non-empty: an undisturbed
+        # supervised run emits the exact batch report, byte for byte.
+        incidents=(
+            IncidentSummary.from_incidents(incidents) if incidents else None
+        ),
     )
 
 

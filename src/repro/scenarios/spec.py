@@ -432,6 +432,83 @@ class FaultsSpec:
 
 
 @dataclass(frozen=True)
+class ChaosSpec:
+    """Declarative runtime-chaos plan: how much to break the control plane.
+
+    The concrete :class:`~repro.serving.runtime.chaos.ChaosSchedule` —
+    which actors crash, which messages drop, at which logical ordinals —
+    is derived at compile time from the owning spec's hash (role
+    ``"chaos"``), so the plan stays pure data and the schedule
+    reproduces bit-identically everywhere.  Chaos lives entirely at the
+    live runtime's mailbox boundary: the batch plane ignores it, and the
+    supervised live plane must produce a report identical to the
+    undisturbed run's (modulo the ``incidents`` block) — that invariant
+    is exactly what a chaos block asks CI to re-prove for the scenario.
+
+    ``n_crashes``/``n_hangs`` target chip actors, ``n_drops``/
+    ``n_delays`` the message stream, ``n_supervisor_crashes`` the
+    supervisor itself (exercising restart-from-auto-checkpoint).
+    ``hang_shards`` sizes each hang, ``delay_s`` each delay, and
+    ``max_retries`` caps per-job recovery attempts before the run fails.
+    """
+
+    n_crashes: int = 1
+    n_hangs: int = 0
+    n_drops: int = 0
+    n_delays: int = 0
+    n_supervisor_crashes: int = 0
+    hang_shards: int = 2
+    delay_s: float = 0.05
+    max_retries: int = 3
+
+    def __post_init__(self) -> None:
+        counts = (
+            self.n_crashes,
+            self.n_hangs,
+            self.n_drops,
+            self.n_delays,
+            self.n_supervisor_crashes,
+        )
+        if any(count < 0 for count in counts):
+            raise ValueError("chaos counts must be >= 0")
+        if sum(counts) < 1:
+            raise ValueError("a chaos block needs at least one fault")
+        if self.hang_shards < 1:
+            raise ValueError("hang_shards must be >= 1")
+        if self.delay_s <= 0:
+            raise ValueError("delay_s must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize the chaos plan to plain JSON data."""
+        return {
+            "n_crashes": self.n_crashes,
+            "n_hangs": self.n_hangs,
+            "n_drops": self.n_drops,
+            "n_delays": self.n_delays,
+            "n_supervisor_crashes": self.n_supervisor_crashes,
+            "hang_shards": self.hang_shards,
+            "delay_s": self.delay_s,
+            "max_retries": self.max_retries,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ChaosSpec":
+        """Rebuild a chaos plan from :meth:`to_dict` data."""
+        return cls(
+            n_crashes=int(data.get("n_crashes", 1)),
+            n_hangs=int(data.get("n_hangs", 0)),
+            n_drops=int(data.get("n_drops", 0)),
+            n_delays=int(data.get("n_delays", 0)),
+            n_supervisor_crashes=int(data.get("n_supervisor_crashes", 0)),
+            hang_shards=int(data.get("hang_shards", 2)),
+            delay_s=float(data.get("delay_s", 0.05)),
+            max_retries=int(data.get("max_retries", 3)),
+        )
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """A complete, serializable description of one serving scenario."""
 
@@ -449,6 +526,11 @@ class ScenarioSpec:
     #: serialized form) keeps the scenario on the fault-free path and its
     #: spec hash exactly as before the field existed.
     faults: Optional[FaultsSpec] = None
+    #: Optional runtime-chaos plan; ``None`` (the default, omitted from
+    #: the serialized form) keeps the spec hash exactly as before the
+    #: field existed.  Chaos targets the live runtime's control plane
+    #: only — it composes freely with ``faults`` (simulated hardware).
+    chaos: Optional[ChaosSpec] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -504,6 +586,8 @@ class ScenarioSpec:
         }
         if self.faults is not None:
             data["faults"] = self.faults.to_dict()
+        if self.chaos is not None:
+            data["chaos"] = self.chaos.to_dict()
         return data
 
     @classmethod
@@ -525,6 +609,11 @@ class ScenarioSpec:
                 None
                 if data.get("faults") is None
                 else FaultsSpec.from_dict(data["faults"])
+            ),
+            chaos=(
+                None
+                if data.get("chaos") is None
+                else ChaosSpec.from_dict(data["chaos"])
             ),
         )
 

@@ -104,17 +104,50 @@ def request_to_state(request: ServingRequest) -> Dict[str, Any]:
     }
 
 
+#: The fields a :func:`request_to_state` document must carry, with the
+#: scalar type each must coerce to.
+REQUEST_STATE_FIELDS: Tuple[Tuple[str, type], ...] = (
+    ("request_id", int),
+    ("arrival_s", float),
+    ("images", int),
+    ("prompt_text_tokens", int),
+    ("output_tokens", int),
+)
+
+
 def request_from_state(data: Mapping[str, Any]) -> ServingRequest:
-    """Rebuild a :class:`ServingRequest` from :func:`request_to_state` ``data``."""
+    """Rebuild a :class:`ServingRequest` from :func:`request_to_state` ``data``.
+
+    Validates field by field: a missing or uncoercible field raises a
+    ``ValueError`` *naming that field* (carried on the exception as a
+    ``field`` attribute), so streaming ingestion
+    (:func:`repro.serving.runtime.service.requests_from_lines`) can
+    report exactly what was wrong with a malformed trace line.
+    """
     from ..models.mllm import InferenceRequest
 
+    values: Dict[str, Any] = {}
+    for name, kind in REQUEST_STATE_FIELDS:
+        if name not in data:
+            error = ValueError(f"request state is missing field {name!r}")
+            error.field = name  # type: ignore[attr-defined]
+            raise error
+        try:
+            values[name] = kind(data[name])
+        except (TypeError, ValueError):
+            error = ValueError(
+                f"request state field {name!r} must be "
+                f"{kind.__name__}-like, got {data[name]!r}"
+            )
+            error.field = name  # type: ignore[attr-defined]
+            raise error from None
     return ServingRequest(
-        request_id=int(data["request_id"]),
-        arrival_s=float(data["arrival_s"]),
+        request_id=values["request_id"],
+        arrival_s=values["arrival_s"],
         request=InferenceRequest(
-            images=int(data["images"]),
-            prompt_text_tokens=int(data["prompt_text_tokens"]),
-            output_tokens=int(data["output_tokens"]),
+            images=values["images"],
+            prompt_text_tokens=values["prompt_text_tokens"],
+            output_tokens=values["output_tokens"],
         ),
     )
 
@@ -587,6 +620,7 @@ def make_controller(
 
 __all__ = [
     "EMPTY_RESULT",
+    "REQUEST_STATE_FIELDS",
     "RUNTIMES",
     "AutoscaleDispatchController",
     "ShardJob",

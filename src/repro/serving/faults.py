@@ -44,6 +44,16 @@ Under the ``"abort"`` policy a closed era's ``decode_steps`` /
 ``peak_batch_size`` counters reflect the replay that *discovered* the
 aborted records (the work the chip had started), not only the kept
 records; the per-request records themselves are exact either way.
+
+These are *modelled* hardware faults — part of what the simulation
+computes.  They compose freely with the *runtime* faults of
+:mod:`repro.serving.runtime.chaos` (crashed actors, dropped messages),
+which attack the control plane executing the computation and must not
+change its result: a fault-schedule scenario run under a chaos schedule
+still reproduces its fault summary byte-identically.  Both planes meet
+in :func:`~repro.serving.dispatch.make_controller`, which wraps this
+module's simulators behind the same stepwise controller protocol the
+supervised runtime drives.
 """
 
 from __future__ import annotations

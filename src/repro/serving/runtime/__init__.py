@@ -13,21 +13,49 @@ not approximation).
 Layout: :mod:`~repro.serving.runtime.messages` defines the typed
 dataclass messages actors exchange; :mod:`~repro.serving.runtime.actors`
 the ingestion/chip/supervisor actors; :mod:`~repro.serving.runtime.
-checkpoint` the JSON pause/resume format; and
-:mod:`~repro.serving.runtime.service` the synchronous entry points
-(:func:`run_live`, :func:`resume_live`, and the scenario couplings).
+checkpoint` the JSON pause/resume format;
+:mod:`~repro.serving.runtime.supervision` the self-healing layer
+(heartbeats, deadlines, retry/quarantine recovery, the auto-checkpoint
+ring, the incident timeline); :mod:`~repro.serving.runtime.chaos` its
+adversary (seeded runtime-fault schedules injected at the mailbox
+boundary); and :mod:`~repro.serving.runtime.service` the synchronous
+entry points (:func:`run_live`, :func:`resume_live`,
+:func:`run_supervised`, and the scenario couplings).
 """
 
 from .actors import (
     DEFAULT_BATCH_SIZE,
+    STOP_TIMEOUT_S,
     Actor,
     ChipActor,
     IngestionActor,
     SupervisorActor,
 )
-from .checkpoint import CHECKPOINT_VERSION, Checkpoint, trace_digest
+from .chaos import (
+    CHAOS_ACTOR_KINDS,
+    CHAOS_KINDS,
+    CHAOS_MESSAGE_KINDS,
+    DEFAULT_HANG_UNIT_S,
+    ChaosCrash,
+    ChaosEvent,
+    ChaosInjector,
+    ChaosSchedule,
+    crash_actor,
+    delay_message,
+    drop_message,
+    generate_chaos_schedule,
+    hang_actor,
+)
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    CheckpointError,
+    trace_digest,
+)
 from .messages import (
+    ActorCrashed,
     ArrivalBatch,
+    Heartbeat,
     PauseStream,
     RunShard,
     ShardDone,
@@ -35,33 +63,70 @@ from .messages import (
     StreamEnded,
 )
 from .service import (
+    SupervisedRun,
+    TraceIngestError,
     requests_from_chunks,
     requests_from_lines,
     resume_live,
     resume_scenario,
     run_live,
     run_scenario_live,
+    run_scenario_supervised,
+    run_supervised,
+)
+from .supervision import (
+    INCIDENT_KINDS,
+    ActorIncident,
+    SupervisedSupervisorActor,
+    SupervisionConfig,
+    backoff_s,
 )
 
 __all__ = [
+    "CHAOS_ACTOR_KINDS",
+    "CHAOS_KINDS",
+    "CHAOS_MESSAGE_KINDS",
     "CHECKPOINT_VERSION",
     "DEFAULT_BATCH_SIZE",
+    "DEFAULT_HANG_UNIT_S",
+    "INCIDENT_KINDS",
+    "STOP_TIMEOUT_S",
     "Actor",
+    "ActorCrashed",
+    "ActorIncident",
     "ArrivalBatch",
+    "ChaosCrash",
+    "ChaosEvent",
+    "ChaosInjector",
+    "ChaosSchedule",
     "Checkpoint",
+    "CheckpointError",
     "ChipActor",
+    "Heartbeat",
     "IngestionActor",
     "PauseStream",
     "RunShard",
     "ShardDone",
     "Shutdown",
     "StreamEnded",
+    "SupervisedRun",
+    "SupervisedSupervisorActor",
+    "SupervisionConfig",
     "SupervisorActor",
+    "TraceIngestError",
+    "backoff_s",
+    "crash_actor",
+    "delay_message",
+    "drop_message",
+    "generate_chaos_schedule",
+    "hang_actor",
     "requests_from_chunks",
     "requests_from_lines",
     "resume_live",
     "resume_scenario",
     "run_live",
     "run_scenario_live",
+    "run_scenario_supervised",
+    "run_supervised",
     "trace_digest",
 ]

@@ -20,16 +20,34 @@ Because the supervisor drives the *identical* controller the batch entry
 points drive, and consumes arrivals in the identical order, a live run
 is the same computation as a batch run — the differential suite asserts
 the results are ``==``-identical, not merely close.
+
+Two seams make the runtime hardenable without the vanilla path knowing:
+
+* every actor consults an optional :attr:`Actor.chaos` interceptor at
+  its mailbox boundary (``post``/``before_work``), which is how
+  :mod:`repro.serving.runtime.chaos` injects crashes, hangs, drops and
+  delays — ``None`` by default, so unsupervised runs pay nothing;
+* an actor whose :meth:`Actor.on_message` raises reports the failure
+  through :meth:`Actor.on_error` instead of dying silently —
+  :class:`ChipActor` posts an
+  :class:`~repro.serving.runtime.messages.ActorCrashed` to the
+  supervisor, which surfaces the original exception as a clean run
+  failure (or, under :mod:`repro.serving.runtime.supervision`, triggers
+  retry/quarantine recovery).
 """
 
 from __future__ import annotations
 
 import asyncio
+import logging
 from typing import Any, Dict, Optional, Sequence, Set, Tuple
 
 from ..queue import ServingRequest, ServingResult
+from .chaos import ChaosCrash
 from .messages import (
+    ActorCrashed,
     ArrivalBatch,
+    Heartbeat,
     PauseStream,
     RunShard,
     ShardDone,
@@ -37,10 +55,17 @@ from .messages import (
     StreamEnded,
 )
 
+LOG = logging.getLogger(__name__)
+
 #: Default arrivals per :class:`ArrivalBatch` in unpaced streams — large
 #: enough to amortize mailbox overhead over a 100k-request trace, small
 #: enough that checkpoint boundaries stay fine-grained.
 DEFAULT_BATCH_SIZE = 1024
+
+#: Default bound on :meth:`Actor.stop` — a receive loop that has not
+#: exited this long after :class:`Shutdown` is considered wedged and is
+#: force-cancelled instead of hanging the caller forever.
+STOP_TIMEOUT_S = 5.0
 
 
 class Actor:
@@ -51,7 +76,15 @@ class Actor:
     State lives inside the actor and is touched only by its own loop —
     actors communicate exclusively through the typed messages of
     :mod:`repro.serving.runtime.messages`.
+
+    :attr:`chaos` is the fault-injection seam: when set (by the
+    supervision layer only) every inbound message passes through the
+    injector's ``intercept`` and every unit of work through its
+    ``before_work`` — see :mod:`repro.serving.runtime.chaos`.
     """
+
+    #: Optional chaos injector; ``None`` outside supervised runs.
+    chaos: Optional[Any] = None
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -69,22 +102,64 @@ class Actor:
             message = await self.inbox.get()
             if isinstance(message, Shutdown):
                 return
-            await self.on_message(message)
+            try:
+                if self.chaos is not None:
+                    await self.chaos.before_work(self)
+                await self.on_message(message)
+            except Exception as error:
+                if not self.on_error(message, error):
+                    raise
+                return
 
     async def on_message(self, message: Any) -> None:
         """Handle one inbox message (subclass responsibility)."""
         raise NotImplementedError
 
+    def on_error(self, message: Any, error: BaseException) -> bool:
+        """React to ``on_message`` raising; return ``True`` if handled.
+
+        A handled error ends the receive loop cleanly (the actor is
+        dead, but whoever it reported to knows why); an unhandled one
+        re-raises out of the actor task.  The base actor handles
+        nothing.
+        """
+        return False
+
     def post(self, message: Any) -> None:
         """Enqueue ``message`` into the actor's inbox (never blocks)."""
+        if self.chaos is not None and self.chaos.intercept(self, message):
+            return
         self.inbox.put_nowait(message)
 
-    async def stop(self) -> None:
-        """Send :class:`Shutdown` and wait for the loop to exit."""
+    async def stop(self, timeout_s: float = STOP_TIMEOUT_S) -> bool:
+        """Send :class:`Shutdown` and wait for the loop to exit.
+
+        The wait is bounded: an actor that has not exited within
+        ``timeout_s`` (a wedged receive loop — e.g. hung inside a chaos
+        delay) is force-cancelled, the incident is logged, and ``False``
+        is returned.  Returns ``True`` on a clean join; a loop that
+        already died on its own (reported) error also counts as
+        stopped.
+        """
         if self._task is None:
-            return
+            return True
         self.post(Shutdown())
-        await self._task
+        try:
+            await asyncio.wait_for(asyncio.shield(self._task), timeout_s)
+        except asyncio.TimeoutError:
+            LOG.warning(
+                "actor %r did not stop within %.1fs; force-cancelling",
+                self.name,
+                timeout_s,
+            )
+            await self.cancel()
+            return False
+        except Exception:
+            # The loop already died on an exception that was reported
+            # through its own channel (outcome future / ActorCrashed);
+            # as far as stopping goes, it is stopped.
+            pass
+        return True
 
     async def cancel(self) -> None:
         """Cancel the actor's task outright (used on supervisor errors)."""
@@ -94,6 +169,8 @@ class Actor:
         try:
             await self._task
         except asyncio.CancelledError:
+            pass
+        except Exception:
             pass
 
 
@@ -108,6 +185,13 @@ class IngestionActor(Actor):
     simulated time tenfold accelerated, batches of one — and ``None``
     streams flat out in :data:`DEFAULT_BATCH_SIZE` chunks; pacing
     affects wall-clock only, never the result.
+
+    Failures while materialising or streaming arrivals (a malformed
+    trace line, for instance) are posted to the supervisor as
+    :class:`ActorCrashed` so the run fails cleanly instead of hanging; a
+    chaos-injected :class:`~repro.serving.runtime.chaos.ChaosCrash`
+    kills the stream silently — the supervision stall watchdog is what
+    notices and restarts it.
     """
 
     def __init__(
@@ -142,6 +226,16 @@ class IngestionActor(Actor):
 
     async def _main(self) -> None:
         # A pure producer: ignores its inbox and streams until done.
+        try:
+            await self._produce()
+        except ChaosCrash:
+            return
+        except Exception as error:
+            self.supervisor.post(
+                ActorCrashed(actor=self.name, error=repr(error), cause=error)
+            )
+
+    async def _produce(self) -> None:
         stop = (
             self.pause_after
             if self.pause_after is not None
@@ -152,6 +246,8 @@ class IngestionActor(Actor):
         sim_start: Optional[float] = None
         cursor = self.start_at
         while cursor < stop:
+            if self.chaos is not None:
+                await self.chaos.before_work(self)
             end = min(cursor + self.batch_size, stop)
             batch = tuple(
                 (index, request)
@@ -165,7 +261,7 @@ class IngestionActor(Actor):
                 delay = due - loop.time()
                 if delay > 0:
                     await asyncio.sleep(delay)
-            self.supervisor.post(ArrivalBatch(arrivals=batch))
+            self.supervisor.post(ArrivalBatch(arrivals=batch, start=cursor))
             cursor += len(batch)
             # Yield so the supervisor drains concurrently with ingestion.
             await asyncio.sleep(0)
@@ -181,21 +277,44 @@ class ChipActor(Actor):
     A :class:`RunShard` job carries its own simulator (the fleet chip,
     or a degraded-era replacement on the fault paths), so the actor is
     stateless between jobs; it answers the supervisor with
-    :class:`ShardDone`.
+    :class:`ShardDone`.  Before each run it posts a :class:`Heartbeat`
+    ("alive, starting work") so the supervision monitor can tell a busy
+    actor from a hung one, and if a run raises it reports
+    :class:`ActorCrashed` — naming the job — instead of dying silently.
     """
 
     def __init__(self, chip_id: int, supervisor: Actor) -> None:
         super().__init__(f"chip-{chip_id}")
         self.chip_id = chip_id
         self.supervisor = supervisor
+        self._n_done = 0
 
     async def on_message(self, message: Any) -> None:
         """Run one shard job and post the result back."""
         assert isinstance(message, RunShard)
+        self.supervisor.post(Heartbeat(actor=self.name, n_done=self._n_done))
         result = message.job.run()
+        self._n_done += 1
         self.supervisor.post(
-            ShardDone(chip_id=message.job.chip_id, result=result)
+            ShardDone(
+                chip_id=message.job.chip_id,
+                result=result,
+                job_id=message.job_id,
+            )
         )
+
+    def on_error(self, message: Any, error: BaseException) -> bool:
+        """Report the crash (with the job it was executing) and die."""
+        job_id = message.job_id if isinstance(message, RunShard) else -1
+        self.supervisor.post(
+            ActorCrashed(
+                actor=self.name,
+                error=repr(error),
+                job_id=job_id,
+                cause=error,
+            )
+        )
+        return True
 
 
 class SupervisorActor(Actor):
@@ -207,8 +326,12 @@ class SupervisorActor(Actor):
     :attr:`outcome` with ``("done", result)``.  At :class:`PauseStream`
     it resolves with ``("paused", cursor, state)`` — the controller's
     serialized dynamic state, ready to become a checkpoint.  Controller
-    errors (e.g. requests parked past the end of the trace) resolve the
-    outcome exceptionally.
+    errors (e.g. requests parked past the end of the trace), and
+    :class:`ActorCrashed` reports from the other actors, resolve the
+    outcome exceptionally — the run fails cleanly with the original
+    error rather than hanging.  (Recovering instead of failing is the
+    supervised subclass's job — see
+    :mod:`repro.serving.runtime.supervision`.)
     """
 
     def __init__(self, controller: Any, n_chips: int) -> None:
@@ -228,11 +351,12 @@ class SupervisorActor(Actor):
         for chip in self.chips:
             chip.start()
 
-    async def stop(self) -> None:
+    async def stop(self, timeout_s: float = STOP_TIMEOUT_S) -> bool:
         """Shut down the chip actors, then the supervisor itself."""
+        clean = True
         for chip in self.chips:
-            await chip.stop()
-        await super().stop()
+            clean = await chip.stop(timeout_s) and clean
+        return await super().stop(timeout_s) and clean
 
     async def on_message(self, message: Any) -> None:
         """Advance the run by one protocol message."""
@@ -263,6 +387,14 @@ class SupervisorActor(Actor):
                     self.outcome.set_result(
                         ("done", self.controller.collect(self._results))
                     )
+            elif isinstance(message, ActorCrashed):
+                if message.cause is not None:
+                    raise message.cause
+                raise RuntimeError(
+                    f"actor {message.actor!r} crashed: {message.error}"
+                )
+            elif isinstance(message, Heartbeat):
+                pass
         except Exception as error:
             if not self.outcome.done():
                 self.outcome.set_exception(error)
@@ -270,6 +402,7 @@ class SupervisorActor(Actor):
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
+    "STOP_TIMEOUT_S",
     "Actor",
     "ChipActor",
     "IngestionActor",

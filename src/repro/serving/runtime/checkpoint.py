@@ -35,6 +35,18 @@ from ..queue import ServingRequest
 CHECKPOINT_VERSION = 1
 
 
+class CheckpointError(ValueError):
+    """A checkpoint file or payload that cannot be used.
+
+    The single error type for every way a checkpoint can be bad —
+    truncated or non-JSON text, missing or mistyped fields, an
+    unsupported format version, a trace-digest mismatch on resume, or
+    controller state a rebuilt controller refuses to restore.  Callers
+    (CLI, service entry points) can catch this one type and print its
+    message; the message always names what was wrong.
+    """
+
+
 def trace_digest(trace: Sequence[ServingRequest]) -> str:
     """SHA-256 over the canonical JSON serialization of ``trace``.
 
@@ -88,24 +100,48 @@ class Checkpoint:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Checkpoint":
-        """Rebuild a checkpoint from :meth:`to_dict` data."""
-        version = int(data.get("version", CHECKPOINT_VERSION))
+        """Rebuild a checkpoint from :meth:`to_dict` data.
+
+        Raises :class:`CheckpointError` on any malformed payload —
+        missing or mistyped fields, or an unsupported format version.
+        """
+        if not isinstance(data, Mapping):
+            raise CheckpointError(
+                "checkpoint payload must be a JSON object, "
+                f"got {type(data).__name__}"
+            )
+        try:
+            version = int(data.get("version", CHECKPOINT_VERSION))
+        except (TypeError, ValueError):
+            raise CheckpointError(
+                f"checkpoint version must be an integer, "
+                f"got {data.get('version')!r}"
+            ) from None
         if version != CHECKPOINT_VERSION:
-            raise ValueError(
+            raise CheckpointError(
                 f"unsupported checkpoint version {version} "
                 f"(this build reads version {CHECKPOINT_VERSION})"
             )
-        scenario = data.get("scenario")
-        engine = data.get("engine")
-        return cls(
-            kind=str(data["kind"]),
-            cursor=int(data["cursor"]),
-            controller=dict(data["controller"]),
-            trace_sha256=str(data["trace_sha256"]),
-            scenario=dict(scenario) if scenario is not None else None,
-            engine=str(engine) if engine is not None else None,
-            version=version,
-        )
+        try:
+            scenario = data.get("scenario")
+            engine = data.get("engine")
+            return cls(
+                kind=str(data["kind"]),
+                cursor=int(data["cursor"]),
+                controller=dict(data["controller"]),
+                trace_sha256=str(data["trace_sha256"]),
+                scenario=dict(scenario) if scenario is not None else None,
+                engine=str(engine) if engine is not None else None,
+                version=version,
+            )
+        except KeyError as error:
+            raise CheckpointError(
+                f"checkpoint is missing required field {error.args[0]!r}"
+            ) from None
+        except (TypeError, ValueError) as error:
+            raise CheckpointError(
+                f"checkpoint field has the wrong type: {error}"
+            ) from None
 
     def to_json(self) -> str:
         """The checkpoint as a deterministic JSON document."""
@@ -113,8 +149,19 @@ class Checkpoint:
 
     @classmethod
     def from_json(cls, text: str) -> "Checkpoint":
-        """Parse a checkpoint from :meth:`to_json` text."""
-        return cls.from_dict(json.loads(text))
+        """Parse a checkpoint from :meth:`to_json` text.
+
+        Raises :class:`CheckpointError` on truncated or non-JSON text
+        and on any malformed payload (see :meth:`from_dict`).
+        """
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise CheckpointError(
+                f"checkpoint is not valid JSON "
+                f"(truncated or corrupted?): {error}"
+            ) from None
+        return cls.from_dict(data)
 
     def save(self, path: Union[str, Path]) -> Path:
         """Write the checkpoint to ``path``; returns the path written."""
@@ -124,12 +171,20 @@ class Checkpoint:
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "Checkpoint":
-        """Read a checkpoint written by :meth:`save`."""
-        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+        """Read a checkpoint written by :meth:`save`.
+
+        Raises :class:`CheckpointError` naming the file on any bad
+        content (see :meth:`from_json`).
+        """
+        try:
+            return cls.from_json(Path(path).read_text(encoding="utf-8"))
+        except CheckpointError as error:
+            raise CheckpointError(f"{path}: {error}") from None
 
 
 __all__ = [
     "CHECKPOINT_VERSION",
     "Checkpoint",
+    "CheckpointError",
     "trace_digest",
 ]

@@ -15,12 +15,22 @@ to the supervisor, closed by one :class:`StreamEnded` (or
 stream the supervisor fans :class:`RunShard` jobs out to the chip
 actors, which answer :class:`ShardDone`; :class:`Shutdown` terminates
 any actor's receive loop.
+
+The supervision layer (:mod:`repro.serving.runtime.supervision`) rides
+the same protocol, hardened: :class:`ArrivalBatch` carries its stream
+position (``start``) so drops, delays and duplicates are detectable;
+:class:`RunShard`/:class:`ShardDone` carry a ``job_id`` so a retried or
+re-dispatched job's stale completions can be ignored; chip actors
+announce liveness with :class:`Heartbeat` and report their own failures
+with :class:`ActorCrashed` instead of dying silently.  The base runtime
+leaves the sentinel defaults (``-1``) untouched, so the vanilla path is
+byte-compatible with the supervised one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from ..dispatch import ShardJob
 from ..queue import ServingRequest, ServingResult
@@ -34,10 +44,15 @@ class ArrivalBatch:
     the dispatch controllers key on, and the request itself — already in
     the canonical ``(arrival_s, request_id)`` order.  Batching amortizes
     queue overhead when the stream runs unpaced; a paced stream sends
-    batches of one.
+    batches of one.  ``start`` is the batch's cursor position in the
+    canonical stream (the ordinal of its first pair); the supervision
+    layer uses it to detect dropped, delayed or duplicated batches, and
+    ``-1`` marks an unsequenced batch (hand-posted in tests) that the
+    supervisor applies as-is.
     """
 
     arrivals: Tuple[Tuple[int, ServingRequest], ...]
+    start: int = -1
 
 
 @dataclass(frozen=True)
@@ -65,17 +80,62 @@ class PauseStream:
 
 @dataclass(frozen=True)
 class RunShard:
-    """One engine run to execute, supervisor → chip actor."""
+    """One engine run to execute, supervisor → chip actor.
+
+    ``job_id`` identifies the job across retries (``-1`` on the
+    unsupervised path) and ``attempt`` counts dispatch attempts, so the
+    supervision layer can tell a fresh completion from a stale one.
+    """
 
     job: ShardJob
+    job_id: int = -1
+    attempt: int = 1
 
 
 @dataclass(frozen=True)
 class ShardDone:
-    """An executed engine run, chip actor → supervisor."""
+    """An executed engine run, chip actor → supervisor.
+
+    ``job_id`` echoes the :class:`RunShard` that produced the result;
+    the supervision layer ignores completions for jobs it has already
+    recorded (a re-dispatched job may finish twice — shard jobs are
+    pure, so either result is the same value).
+    """
 
     chip_id: int
     result: ServingResult
+    job_id: int = -1
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """A liveness beat, chip actor → supervisor.
+
+    Posted when the actor picks a job up, before the (synchronous)
+    engine run: "alive, starting work".  The supervision monitor treats
+    an actor with a fresh heartbeat as busy rather than hung, so a
+    long-running shard is not falsely re-dispatched.
+    """
+
+    actor: str
+    n_done: int
+
+
+@dataclass(frozen=True)
+class ActorCrashed:
+    """An actor's receive loop died on an exception, actor → supervisor.
+
+    ``error`` is the ``repr`` of the exception (incident-log material);
+    ``cause`` carries the exception object itself so the unsupervised
+    supervisor can re-raise the original error as a clean run failure
+    instead of hanging the session.  ``job_id`` names the shard job the
+    actor was executing, ``-1`` if it crashed between jobs.
+    """
+
+    actor: str
+    error: str
+    job_id: int = -1
+    cause: Optional[BaseException] = None
 
 
 @dataclass(frozen=True)
@@ -84,7 +144,9 @@ class Shutdown:
 
 
 __all__ = [
+    "ActorCrashed",
     "ArrivalBatch",
+    "Heartbeat",
     "PauseStream",
     "RunShard",
     "ShardDone",

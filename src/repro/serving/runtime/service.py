@@ -16,22 +16,77 @@ couplings: checkpoints taken there embed the scenario spec and engine,
 so a resume rebuilds fleet and trace from the spec alone (the spec-hash
 -seeds-everything contract makes the recompiled trace exact).
 
+:func:`run_supervised` / :func:`run_scenario_supervised` are the
+self-healing twins: the same computation driven through
+:class:`~repro.serving.runtime.supervision.SupervisedSupervisorActor`,
+optionally under an injected
+:class:`~repro.serving.runtime.chaos.ChaosSchedule`, returning a
+:class:`SupervisedRun` that pairs the (chaos-invariant) result with the
+run's :class:`~repro.serving.runtime.supervision.ActorIncident`
+timeline.  The driver loop here is what survives *supervisor* crashes:
+each crash ends one asyncio session, and the next session restores the
+controller from the newest auto-checkpoint in the ring.
+
 :func:`requests_from_lines` and :func:`requests_from_chunks` adapt the
 two streaming ingestion formats — JSON request lines (stdin, a socket)
 and columnar :class:`~repro.scenarios.compile.TraceChunk` slices — to
-the object traces the runtime consumes.
+the object traces the runtime consumes; a malformed line raises a
+structured :class:`TraceIngestError` naming the line and field instead
+of surfacing a raw parser traceback.
 """
 
 from __future__ import annotations
 
 import asyncio
-from dataclasses import replace
-from typing import Any, Iterable, List, Optional, Sequence, Tuple, Union
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import (
+    Any,
+    Deque,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..dispatch import make_controller, request_from_state, sorted_order
 from ..queue import ServingRequest
 from .actors import DEFAULT_BATCH_SIZE, IngestionActor, SupervisorActor
-from .checkpoint import Checkpoint, trace_digest
+from .chaos import (
+    DEFAULT_HANG_UNIT_S,
+    ChaosCrash,
+    ChaosInjector,
+    ChaosSchedule,
+)
+from .checkpoint import Checkpoint, CheckpointError, trace_digest
+from .supervision import (
+    ActorIncident,
+    SupervisedSupervisorActor,
+    SupervisionConfig,
+)
+
+
+class TraceIngestError(ValueError):
+    """A malformed trace line in streaming ingestion.
+
+    Carries ``line_no`` (1-based line in the ingested stream) and
+    ``field`` (the offending request-state field, ``None`` when the
+    line is not JSON at all); the message repeats both, so catching
+    ``ValueError`` and printing suffices for a CLI.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        line_no: int,
+        field: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.line_no = line_no
+        self.field = field
 
 
 async def _session(
@@ -153,7 +208,7 @@ def resume_live(
         raise ValueError("trace must not be empty")
     digest = trace_digest(trace)
     if digest != checkpoint.trace_sha256:
-        raise ValueError(
+        raise CheckpointError(
             "checkpoint was taken against a different trace "
             f"(digest {checkpoint.trace_sha256[:12]}… != {digest[:12]}…)"
         )
@@ -163,11 +218,19 @@ def resume_live(
         fleet, trace, faults=faults, priorities=priorities
     )
     if controller.kind != checkpoint.kind:
-        raise ValueError(
+        raise CheckpointError(
             f"checkpoint holds {checkpoint.kind!r} controller state but "
             f"this configuration builds a {controller.kind!r} controller"
         )
-    controller.restore_state(checkpoint.controller, trace)
+    try:
+        controller.restore_state(checkpoint.controller, trace)
+    except CheckpointError:
+        raise
+    except (KeyError, TypeError, ValueError) as error:
+        raise CheckpointError(
+            "checkpoint controller state is invalid or tampered: "
+            f"{error!r}"
+        ) from None
     outcome = asyncio.run(
         _session(
             controller,
@@ -274,17 +337,269 @@ def requests_from_lines(lines: Iterable[str]) -> List[ServingRequest]:
     Each non-blank line is one
     :func:`~repro.serving.dispatch.request_to_state` document; blank
     lines are skipped, so the format is newline-delimited JSON as a
-    ``nc``/``tail -f`` pipe would deliver it.
+    ``nc``/``tail -f`` pipe would deliver it.  A malformed line raises
+    :class:`TraceIngestError` naming the 1-based line number and (when
+    the line parsed but a field was missing or mistyped) the offending
+    field — never a raw parser traceback.
     """
     import json
 
     trace: List[ServingRequest] = []
-    for line in lines:
+    for line_no, line in enumerate(lines, start=1):
         text = line.strip()
         if not text:
             continue
-        trace.append(request_from_state(json.loads(text)))
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise TraceIngestError(
+                f"trace line {line_no} is not valid JSON: {error}",
+                line_no=line_no,
+            ) from None
+        if not isinstance(data, dict):
+            raise TraceIngestError(
+                f"trace line {line_no} must be a JSON object, "
+                f"got {type(data).__name__}",
+                line_no=line_no,
+            )
+        try:
+            trace.append(request_from_state(data))
+        except ValueError as error:
+            field = getattr(error, "field", None)
+            raise TraceIngestError(
+                f"trace line {line_no}: {error}",
+                line_no=line_no,
+                field=field,
+            ) from None
     return trace
+
+
+def run_scenario_supervised(
+    spec,
+    *,
+    engine: str = "macro",
+    chaos: Optional[ChaosSchedule] = None,
+    supervision: Optional[SupervisionConfig] = None,
+    hang_unit_s: float = DEFAULT_HANG_UNIT_S,
+):
+    """Run one scenario spec through the supervised live runtime.
+
+    The supervised twin of :func:`run_scenario_live`: same compilation,
+    same fleet, same report — byte-identical modulo the conditional
+    ``incidents`` block, which records the recovery timeline when
+    anything went wrong.  ``chaos`` defaults to the spec's own compiled
+    :class:`~repro.serving.runtime.chaos.ChaosSchedule` when the spec
+    carries a ``chaos`` block (seeded from the spec hash), and the
+    supervision seed likewise derives from the spec hash, so retry
+    backoff schedules are part of the scenario's identity.
+    """
+    # Imported lazily: scenarios builds on the serving package.
+    from ...scenarios.compile import compile_chaos_schedule, compile_scenario
+    from ...scenarios.runner import (
+        build_fleet,
+        scenario_report,
+        scenario_run_kwargs,
+    )
+
+    compiled = compile_scenario(spec)
+    fleet = build_fleet(spec, engine=engine)
+    if chaos is None and spec.chaos is not None:
+        chaos = compile_chaos_schedule(spec)
+    if supervision is None:
+        max_retries = (
+            spec.chaos.max_retries
+            if spec.chaos is not None
+            else SupervisionConfig.max_retries
+        )
+        supervision = SupervisionConfig(
+            seed=spec.derive_seed("supervision"), max_retries=max_retries
+        )
+    run = run_supervised(
+        fleet,
+        list(compiled.trace),
+        chaos=chaos,
+        supervision=supervision,
+        hang_unit_s=hang_unit_s,
+        **scenario_run_kwargs(compiled, fleet),
+    )
+    return scenario_report(
+        spec, compiled, run.result, incidents=run.incidents
+    )
+
+
+@dataclass(frozen=True)
+class SupervisedRun:
+    """What a supervised run returns: the result plus its recovery story.
+
+    ``result`` is the same object the batch or plain-live path returns —
+    chaos and recovery cannot change it (the differential suite asserts
+    byte-identity).  ``incidents`` is the chronological
+    :class:`~repro.serving.runtime.supervision.ActorIncident` timeline,
+    empty for an undisturbed run; ``n_sessions`` counts supervisor
+    lives (1 = the supervisor itself never crashed).
+    """
+
+    result: Any
+    incidents: Tuple[ActorIncident, ...]
+    n_sessions: int
+
+
+async def _supervised_session(
+    controller: Any,
+    n_chips: int,
+    arrivals: Sequence[Tuple[int, ServingRequest]],
+    *,
+    config: SupervisionConfig,
+    injector: Optional[ChaosInjector],
+    incidents: List[ActorIncident],
+    ring: "Deque[Checkpoint]",
+    digest: str,
+    start_at: int,
+    session: int,
+    batch_size: int,
+    pace: Optional[float],
+) -> Optional[Tuple[Any, ...]]:
+    """One supervised session: run until outcome, or supervisor death.
+
+    Returns the outcome tuple, or ``None`` when the supervisor task
+    itself died of an injected :class:`ChaosCrash` (the driver then
+    rebuilds from the auto-checkpoint ring).  Any *real* supervisor
+    exception re-raises.
+    """
+    supervisor = SupervisedSupervisorActor(
+        controller,
+        n_chips,
+        arrivals=arrivals,
+        config=config,
+        incidents=incidents,
+        ring=ring,
+        digest=digest,
+        start_at=start_at,
+        session=session,
+        batch_size=batch_size,
+        pace=pace,
+    )
+    if injector is not None:
+        injector.install(supervisor, *supervisor.chips)
+    supervisor.start()
+    try:
+        await asyncio.wait(
+            {supervisor.outcome, supervisor._task},
+            return_when=asyncio.FIRST_COMPLETED,
+        )
+        if supervisor.outcome.done():
+            return supervisor.outcome.result()
+        error = supervisor._task.exception()
+        if error is not None and not isinstance(error, ChaosCrash):
+            raise error
+        return None
+    finally:
+        await supervisor.shutdown()
+
+
+def run_supervised(
+    fleet,
+    trace: Sequence[ServingRequest],
+    *,
+    faults=None,
+    priorities: Optional[Sequence[float]] = None,
+    chaos: Optional[ChaosSchedule] = None,
+    supervision: Optional[SupervisionConfig] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    pace: Optional[float] = None,
+    hang_unit_s: float = DEFAULT_HANG_UNIT_S,
+) -> SupervisedRun:
+    """Play ``trace`` through the live runtime under supervision.
+
+    The self-healing twin of :func:`run_live`: the same controller, the
+    same canonical arrival order, the same result — plus heartbeats,
+    deadlines, retry/re-dispatch/quarantine recovery and an
+    auto-checkpoint ring (see
+    :mod:`repro.serving.runtime.supervision`).  ``chaos`` optionally
+    injects a :class:`~repro.serving.runtime.chaos.ChaosSchedule` of
+    runtime faults at the mailbox boundary; the headline invariant is
+    that ``result`` is byte-identical with or without it.  Supervisor
+    crashes end the asyncio session; the driver loop here restores the
+    controller from the newest ring checkpoint (serialized and parsed
+    back, proving the format) and runs a fresh session, up to
+    ``supervision.max_sessions``.
+    """
+    trace = list(trace)
+    if not trace:
+        raise ValueError("trace must not be empty")
+    config = supervision if supervision is not None else SupervisionConfig()
+    if fleet.precompute:
+        fleet.precompute_service_times(trace)
+    digest = trace_digest(trace)
+    arrivals = [(index, trace[index]) for index in sorted_order(trace)]
+    injector = (
+        ChaosInjector(chaos, hang_unit_s=hang_unit_s)
+        if chaos is not None and chaos
+        else None
+    )
+    incidents: List[ActorIncident] = []
+    ring: "Deque[Checkpoint]" = deque(maxlen=config.checkpoint_ring)
+    session = 0
+    start_at = 0
+    restore: Optional[Checkpoint] = None
+    while True:
+        session += 1
+        if session > config.max_sessions:
+            raise RuntimeError(
+                f"supervised run did not complete within "
+                f"{config.max_sessions} supervisor sessions"
+            )
+        controller = make_controller(
+            fleet, trace, faults=faults, priorities=priorities
+        )
+        if restore is not None:
+            controller.restore_state(restore.controller, trace)
+            start_at = restore.cursor
+        outcome = asyncio.run(
+            _supervised_session(
+                controller,
+                fleet.n_chips,
+                arrivals,
+                config=config,
+                injector=injector,
+                incidents=incidents,
+                ring=ring,
+                digest=digest,
+                start_at=start_at,
+                session=session,
+                batch_size=batch_size,
+                pace=pace,
+            )
+        )
+        if outcome is not None:
+            # ("done", result) — pause is not supported on this path.
+            return SupervisedRun(
+                result=outcome[1],
+                incidents=tuple(incidents),
+                n_sessions=session,
+            )
+        # The supervisor itself was chaos-crashed: restore the newest
+        # ring checkpoint — serialized and re-parsed, so every restart
+        # also proves the checkpoint format round-trips — or start over
+        # when the ring is still empty.
+        if ring:
+            restore = Checkpoint.from_json(ring[-1].to_json())
+            cursor = restore.cursor
+        else:
+            restore = None
+            start_at = 0
+            cursor = 0
+        incidents.append(
+            ActorIncident(
+                session=session,
+                actor="supervisor",
+                kind="supervisor_restart",
+                detail=(
+                    f"supervisor crashed; rebuilding session "
+                    f"{session + 1} from cursor {cursor}"
+                ),
+            )
+        )
 
 
 def requests_from_chunks(chunks: Iterable[Any]) -> List[ServingRequest]:
@@ -305,10 +620,14 @@ def requests_from_chunks(chunks: Iterable[Any]) -> List[ServingRequest]:
 
 
 __all__ = [
+    "SupervisedRun",
+    "TraceIngestError",
     "requests_from_chunks",
     "requests_from_lines",
     "resume_live",
     "resume_scenario",
     "run_live",
     "run_scenario_live",
+    "run_scenario_supervised",
+    "run_supervised",
 ]

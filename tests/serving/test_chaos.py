@@ -1,0 +1,250 @@
+"""Unit tests of the chaos layer: schedules, generation, injection.
+
+The differential suite proves the headline invariant (chaos cannot
+change a result); this file pins the machinery underneath it: event
+and schedule validation, the serialization round trip, deterministic
+schedule generation from a seed, and the injector's mailbox-boundary
+mechanics (drops, delays, crashes, hangs — each firing exactly once).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serving.runtime.actors import Actor
+from repro.serving.runtime.chaos import (
+    CHAOS_ACTOR_KINDS,
+    CHAOS_KINDS,
+    CHAOS_MESSAGE_KINDS,
+    ChaosCrash,
+    ChaosEvent,
+    ChaosInjector,
+    ChaosSchedule,
+    crash_actor,
+    delay_message,
+    drop_message,
+    generate_chaos_schedule,
+    hang_actor,
+)
+from repro.serving.runtime.messages import Heartbeat, Shutdown
+
+
+class TestEventValidation:
+    def test_kind_gate(self):
+        with pytest.raises(ValueError, match="kind"):
+            ChaosEvent(kind="explode", actor="chip", at=0)
+
+    def test_actor_faults_need_valid_actor(self):
+        with pytest.raises(ValueError, match="actor"):
+            ChaosEvent(kind="crash_actor", actor="gremlin", at=0)
+        with pytest.raises(ValueError, match="at"):
+            ChaosEvent(kind="crash_actor", actor="chip", at=-1)
+
+    def test_hang_needs_duration(self):
+        with pytest.raises(ValueError, match="for_shards"):
+            ChaosEvent(kind="hang_actor", actor="chip", at=0, for_shards=0)
+
+    def test_message_faults_need_valid_message(self):
+        with pytest.raises(ValueError, match="message"):
+            ChaosEvent(kind="drop_message", message="Gossip", nth=0)
+        with pytest.raises(ValueError, match="nth"):
+            ChaosEvent(kind="drop_message", message="RunShard", nth=-1)
+
+    def test_delay_needs_positive_duration(self):
+        with pytest.raises(ValueError, match="by_s"):
+            ChaosEvent(kind="delay_message", message="ShardDone", nth=0, by_s=0.0)
+
+    def test_cross_family_fields_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosEvent(kind="crash_actor", actor="chip", at=0, message="RunShard")
+        with pytest.raises(ValueError):
+            ChaosEvent(kind="drop_message", message="RunShard", nth=0, actor="chip")
+
+    def test_helpers_build_valid_events(self):
+        events = (
+            crash_actor("chip", 2),
+            hang_actor("supervisor", 1, 3),
+            drop_message("ShardDone", 0),
+            delay_message("ArrivalBatch", 1, 0.05),
+        )
+        for event in events:
+            assert event.kind in CHAOS_KINDS
+
+    def test_schedule_rejects_non_events(self):
+        with pytest.raises(ValueError, match="ChaosEvent"):
+            ChaosSchedule(events=("crash",))
+
+
+class TestSerialization:
+    @pytest.mark.parametrize(
+        "event",
+        [
+            crash_actor("ingestion", 0),
+            hang_actor("chip", 4, 2),
+            drop_message("StreamEnded", 0),
+            delay_message("ShardDone", 3, 0.125),
+        ],
+    )
+    def test_event_round_trip(self, event):
+        assert ChaosEvent.from_dict(event.to_dict()) == event
+
+    def test_event_dict_is_minimal(self):
+        data = crash_actor("chip", 1).to_dict()
+        assert set(data) == {"kind", "actor", "at"}
+        data = delay_message("ShardDone", 0, 0.1).to_dict()
+        assert set(data) == {"kind", "message", "nth", "by_s"}
+
+    def test_schedule_round_trip(self):
+        schedule = ChaosSchedule(
+            events=(crash_actor("chip", 0), drop_message("RunShard", 1))
+        )
+        assert ChaosSchedule.from_dict(schedule.to_dict()) == schedule
+
+    def test_empty_schedule_is_falsy(self):
+        assert not ChaosSchedule()
+        assert ChaosSchedule(events=(crash_actor("chip", 0),))
+
+
+class TestGeneration:
+    def test_same_seed_same_schedule(self):
+        kwargs = dict(
+            n_chips=3,
+            n_batches=8,
+            n_crashes=2,
+            n_hangs=1,
+            n_drops=2,
+            n_delays=1,
+            n_supervisor_crashes=1,
+        )
+        assert generate_chaos_schedule(41, **kwargs) == generate_chaos_schedule(
+            41, **kwargs
+        )
+        assert generate_chaos_schedule(41, **kwargs) != generate_chaos_schedule(
+            42, **kwargs
+        )
+
+    def test_counts_and_targets(self):
+        schedule = generate_chaos_schedule(
+            7,
+            n_chips=2,
+            n_batches=4,
+            n_crashes=3,
+            n_hangs=2,
+            n_drops=2,
+            n_delays=2,
+            n_supervisor_crashes=1,
+        )
+        kinds = [event.kind for event in schedule.events]
+        assert kinds.count("crash_actor") == 4  # 3 chip + 1 supervisor
+        assert kinds.count("hang_actor") == 2
+        assert kinds.count("drop_message") == 2
+        assert kinds.count("delay_message") == 2
+        for event in schedule.events:
+            if event.actor:
+                assert event.actor in CHAOS_ACTOR_KINDS
+            if event.message:
+                assert event.message in CHAOS_MESSAGE_KINDS
+
+
+class _Sink(Actor):
+    """Test double: records message payloads with arrival order."""
+
+    def __init__(self):
+        super().__init__("sink")
+        self.seen = []
+
+    async def on_message(self, message):
+        self.seen.append(message)
+
+
+def _drive(schedule, messages, work_actor=None):
+    """Post ``messages`` to a sink under ``schedule``; return what landed."""
+
+    async def session():
+        sink = _Sink()
+        injector = ChaosInjector(schedule, hang_unit_s=0.01)
+        injector.install(sink)
+        sink.start()
+        for message in messages:
+            sink.post(message)
+        # Give delayed deliveries a chance to land before shutdown.
+        await asyncio.sleep(0.05)
+        await sink.stop()
+        return sink.seen, injector
+
+    return asyncio.run(session())
+
+
+class TestInjector:
+    def test_actor_kind_mapping(self):
+        class Named:
+            def __init__(self, name):
+                self.name = name
+
+        assert ChaosInjector.actor_kind(Named("chip-3")) == "chip"
+        assert ChaosInjector.actor_kind(Named("ingestion")) == "ingestion"
+        assert ChaosInjector.actor_kind(Named("supervisor")) == "supervisor"
+
+    def test_drop_removes_exactly_nth(self):
+        schedule = ChaosSchedule(events=(drop_message("Heartbeat", 1),))
+        beats = [Heartbeat(actor="chip-0", n_done=n) for n in range(3)]
+        seen, injector = _drive(schedule, beats)
+        assert seen == [beats[0], beats[2]]
+        assert injector.n_fired == 1
+
+    def test_delay_reorders_delivery(self):
+        schedule = ChaosSchedule(events=(delay_message("Heartbeat", 0, 0.02),))
+        beats = [Heartbeat(actor="chip-0", n_done=n) for n in range(2)]
+        seen, injector = _drive(schedule, beats)
+        # The delayed first beat lands after the second.
+        assert seen == [beats[1], beats[0]]
+        assert injector.n_fired == 1
+
+    def test_events_fire_once(self):
+        schedule = ChaosSchedule(events=(drop_message("Heartbeat", 0),))
+        beats = [Heartbeat(actor="chip-0", n_done=n) for n in range(4)]
+        seen, injector = _drive(schedule, beats)
+        # Only the 0th is dropped; later heartbeats pass untouched.
+        assert seen == beats[1:]
+        assert injector.n_fired == 1
+
+    def test_shutdown_is_never_intercepted_by_actor_faults(self):
+        # A crash aimed at work unit 5 that never happens: the actor
+        # still shuts down cleanly.
+        schedule = ChaosSchedule(events=(crash_actor("chip", 5),))
+
+        async def session():
+            sink = _Sink()
+            sink.name = "chip-0"
+            injector = ChaosInjector(schedule)
+            injector.install(sink)
+            sink.start()
+            sink.post(Shutdown())
+            return await sink.stop()
+
+        assert asyncio.run(session())
+
+    def test_crash_raises_at_work_unit(self):
+        schedule = ChaosSchedule(events=(crash_actor("chip", 1),))
+
+        async def session():
+            sink = _Sink()
+            sink.name = "chip-0"
+            injector = ChaosInjector(schedule)
+            injector.install(sink)
+            sink.start()
+            for n in range(3):
+                sink.post(Heartbeat(actor="x", n_done=n))
+            with pytest.raises(ChaosCrash):
+                await sink._task
+            return sink.seen
+
+        seen = asyncio.run(session())
+        # Unit 0 processed; the crash fires before unit 1 is handled.
+        assert len(seen) == 1
+
+    def test_vanilla_actor_pays_nothing(self):
+        # No injector installed: the chaos hook stays None and post()
+        # takes the plain path.
+        sink = _Sink()
+        assert sink.chaos is None

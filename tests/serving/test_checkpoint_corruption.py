@@ -1,0 +1,125 @@
+"""Corruption matrix: every way a checkpoint file can be bad, one error.
+
+A checkpoint is the one artifact that crosses process boundaries, so
+every failure mode — truncation, garbage bytes, a foreign JSON shape,
+an unsupported version, missing or mistyped fields, a wrong trace
+digest, tampered controller state — must surface as a single
+:class:`~repro.serving.runtime.checkpoint.CheckpointError` whose
+message names what was wrong, never a hang, a KeyError leak or a
+silently wrong resume.  ``Checkpoint.load`` additionally prefixes the
+offending path.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios.registry import get_scenario
+from repro.serving.runtime import (
+    Checkpoint,
+    CheckpointError,
+    resume_scenario,
+    run_scenario_live,
+)
+
+
+@pytest.fixture(scope="module")
+def checkpoint():
+    """A genuine mid-run scenario checkpoint to corrupt."""
+    return run_scenario_live(get_scenario("chat-poisson"), pause_after=10)
+
+
+def _truncate(text):
+    return text[: len(text) // 2]
+
+
+def _garbage(text):
+    return "\x00\xff this was never json"
+
+
+def _array(text):
+    return "[1, 2, 3]"
+
+
+def _mutate(field, value):
+    def corrupt(text):
+        data = json.loads(text)
+        data[field] = value
+        return json.dumps(data)
+
+    return corrupt
+
+
+def _drop(field):
+    def corrupt(text):
+        data = json.loads(text)
+        del data[field]
+        return json.dumps(data)
+
+    return corrupt
+
+
+CORRUPTIONS = [
+    pytest.param(_truncate, "not valid JSON", id="truncated"),
+    pytest.param(_garbage, "not valid JSON", id="garbage-bytes"),
+    pytest.param(_array, "JSON object", id="wrong-json-shape"),
+    pytest.param(
+        _mutate("version", 99), "unsupported checkpoint version", id="future-version"
+    ),
+    pytest.param(
+        _mutate("version", "one"), "version must be an integer", id="non-int-version"
+    ),
+    pytest.param(_drop("kind"), "missing required field", id="missing-kind"),
+    pytest.param(_drop("cursor"), "missing required field", id="missing-cursor"),
+    pytest.param(
+        _drop("controller"), "missing required field", id="missing-controller"
+    ),
+    pytest.param(
+        _drop("trace_sha256"), "missing required field", id="missing-digest"
+    ),
+    pytest.param(
+        _mutate("controller", "not a dict"), "wrong type", id="mistyped-controller"
+    ),
+]
+
+
+class TestParseMatrix:
+    @pytest.mark.parametrize("corrupt, match", CORRUPTIONS)
+    def test_from_json_rejects(self, checkpoint, corrupt, match):
+        with pytest.raises(CheckpointError, match=match):
+            Checkpoint.from_json(corrupt(checkpoint.to_json()))
+
+    @pytest.mark.parametrize("corrupt, match", CORRUPTIONS)
+    def test_load_names_the_file(self, checkpoint, corrupt, match, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(corrupt(checkpoint.to_json()), encoding="utf-8")
+        with pytest.raises(CheckpointError, match=match) as excinfo:
+            Checkpoint.load(path)
+        assert str(path) in str(excinfo.value)
+
+    def test_errors_are_value_errors(self, checkpoint):
+        # One catchable family: callers may keep catching ValueError.
+        with pytest.raises(ValueError):
+            Checkpoint.from_json("{")
+
+
+class TestResumeGuards:
+    def test_wrong_trace_digest(self, checkpoint):
+        data = checkpoint.to_dict()
+        digest = data["trace_sha256"]
+        data["trace_sha256"] = ("0" if digest[0] != "0" else "1") + digest[1:]
+        with pytest.raises(CheckpointError, match="digest"):
+            resume_scenario(Checkpoint.from_dict(data))
+
+    def test_tampered_controller_state(self, checkpoint):
+        data = checkpoint.to_dict()
+        data["controller"] = {"bogus": 1}
+        with pytest.raises(CheckpointError, match="invalid or tampered"):
+            resume_scenario(Checkpoint.from_dict(data))
+
+    def test_round_trip_still_resumes(self, checkpoint, tmp_path):
+        # Control leg: the uncorrupted file resumes fine.
+        path = checkpoint.save(tmp_path / "good.json")
+        report = resume_scenario(Checkpoint.load(path))
+        assert report.n_completed == get_scenario("chat-poisson").n_requests

@@ -34,6 +34,7 @@ from repro.serving.runtime import (
     IngestionActor,
     StreamEnded,
     SupervisorActor,
+    TraceIngestError,
     requests_from_chunks,
     requests_from_lines,
     run_live,
@@ -128,6 +129,43 @@ class TestSources:
         compiled = compile_scenario(spec)
         chunks = compile_scenario_chunks(spec, chunk_size=32)
         assert requests_from_chunks(chunks) == list(compiled.trace)
+
+    def test_bad_json_names_the_line(self, model):
+        lines = [json.dumps(request_to_state(r)) for r in _trace(5, n=3)]
+        lines.insert(1, "{not json")
+        with pytest.raises(TraceIngestError, match="line 2") as excinfo:
+            requests_from_lines(lines)
+        assert excinfo.value.line_no == 2
+        assert excinfo.value.field is None
+
+    def test_non_object_line_rejected(self, model):
+        lines = [json.dumps(request_to_state(r)) for r in _trace(5, n=2)]
+        lines.append("[1, 2, 3]")
+        with pytest.raises(TraceIngestError, match="line 3"):
+            requests_from_lines(lines)
+
+    def test_missing_field_names_line_and_field(self, model):
+        states = [request_to_state(r) for r in _trace(5, n=3)]
+        del states[2]["output_tokens"]
+        lines = [json.dumps(state) for state in states]
+        with pytest.raises(TraceIngestError, match="output_tokens") as excinfo:
+            requests_from_lines(lines)
+        assert excinfo.value.line_no == 3
+        assert excinfo.value.field == "output_tokens"
+
+    def test_mistyped_field_names_line_and_field(self, model):
+        states = [request_to_state(r) for r in _trace(5, n=2)]
+        states[0]["arrival_s"] = "soon"
+        lines = [json.dumps(state) for state in states]
+        with pytest.raises(TraceIngestError, match="arrival_s") as excinfo:
+            requests_from_lines(lines)
+        assert excinfo.value.line_no == 1
+        assert excinfo.value.field == "arrival_s"
+
+    def test_ingest_error_is_a_value_error(self, model):
+        # Callers may keep catching ValueError for any bad trace input.
+        with pytest.raises(ValueError):
+            requests_from_lines(["nope"])
 
     def test_lines_drive_a_live_run(self, model):
         trace = _trace(5, n=12)

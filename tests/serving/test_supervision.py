@@ -1,0 +1,416 @@
+"""Unit and property tests of the supervision layer.
+
+Pins the recovery machinery the chaos differential rides on: config
+validation, deterministic capped backoff, incident records, the
+undisturbed-run identity (zero incidents, one session, batch-equal
+result), quarantine-then-inline degradation, supervisor-crash ring
+restore, stall-driven ingestion restart, bounded ``Actor.stop``, and
+the conservation property — every request recorded exactly once under
+*any* generated chaos schedule.
+"""
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.mllm import get_mllm
+from repro.serving import (
+    FleetSimulator,
+    PoissonArrivals,
+    RequestSampler,
+    build_trace,
+)
+from repro.serving.runtime.actors import Actor
+from repro.serving.runtime.chaos import (
+    ChaosSchedule,
+    crash_actor,
+    drop_message,
+    generate_chaos_schedule,
+    hang_actor,
+)
+from repro.serving.runtime.messages import ActorCrashed, Heartbeat
+from repro.serving.runtime.service import run_supervised
+from repro.serving.runtime.supervision import (
+    INCIDENT_KINDS,
+    ActorIncident,
+    SupervisionConfig,
+    backoff_s,
+)
+
+#: Millisecond-scale timeouts so recovery paths run in test time.
+FAST = SupervisionConfig(
+    job_deadline_s=0.5,
+    stall_deadline_s=0.15,
+    tick_s=0.01,
+    backoff_base_s=0.005,
+    backoff_cap_s=0.05,
+    max_retries=3,
+    quarantine_after=2,
+    checkpoint_every=4,
+    checkpoint_ring=3,
+    seed=7,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return get_mllm("sphinx-tiny")
+
+
+def _trace(seed, n=12):
+    return build_trace(
+        PoissonArrivals(6.0, seed=seed).generate(n),
+        RequestSampler(seed=seed).sample(n),
+    )
+
+
+def _run(fleet, trace, chaos):
+    return run_supervised(
+        fleet,
+        trace,
+        chaos=chaos,
+        supervision=FAST,
+        batch_size=4,
+        hang_unit_s=0.02,
+    )
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("job_deadline_s", 0.0),
+            ("stall_deadline_s", 0.0),
+            ("tick_s", 0.0),
+            ("backoff_base_s", -1.0),
+            ("backoff_cap_s", -1.0),
+            ("max_retries", -1),
+            ("quarantine_after", 0),
+            ("checkpoint_every", 0),
+            ("checkpoint_ring", 0),
+            ("max_ingest_restarts", 0),
+            ("max_sessions", 0),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError, match="backoff|" + field):
+            SupervisionConfig(**{field: value})
+
+    def test_cap_must_cover_base(self):
+        with pytest.raises(ValueError, match="backoff_cap_s"):
+            SupervisionConfig(backoff_base_s=0.5, backoff_cap_s=0.1)
+
+
+class TestBackoff:
+    def test_deterministic(self):
+        config = SupervisionConfig(seed=3)
+        assert backoff_s(config, 5, 2) == backoff_s(config, 5, 2)
+
+    def test_varies_with_job_and_seed(self):
+        config = SupervisionConfig(seed=3)
+        assert backoff_s(config, 5, 2) != backoff_s(config, 6, 2)
+        assert backoff_s(config, 5, 2) != backoff_s(
+            SupervisionConfig(seed=4), 5, 2
+        )
+
+    def test_capped(self):
+        config = SupervisionConfig(backoff_base_s=0.1, backoff_cap_s=0.3)
+        for attempt in range(1, 12):
+            assert backoff_s(config, 0, attempt) <= 0.3
+
+    def test_attempt_gate(self):
+        with pytest.raises(ValueError, match="attempt"):
+            backoff_s(SupervisionConfig(), 0, 0)
+
+
+class TestIncidents:
+    def test_kind_gate(self):
+        with pytest.raises(ValueError, match="kind"):
+            ActorIncident(session=1, actor="chip-0", kind="mystery", detail="")
+        with pytest.raises(ValueError, match="session"):
+            ActorIncident(session=0, actor="chip-0", kind="crash", detail="")
+
+    def test_dict_is_minimal(self):
+        bare = ActorIncident(
+            session=1, actor="supervisor", kind="stall", detail="x"
+        )
+        assert set(bare.to_dict()) == {"session", "actor", "kind", "detail"}
+        full = ActorIncident(
+            session=2,
+            actor="chip-1",
+            kind="retry",
+            detail="x",
+            job_id=3,
+            attempt=2,
+        )
+        assert set(full.to_dict()) == {
+            "session",
+            "actor",
+            "kind",
+            "detail",
+            "job_id",
+            "attempt",
+        }
+
+    def test_all_kinds_constructible(self):
+        for kind in INCIDENT_KINDS:
+            ActorIncident(session=1, actor="supervisor", kind=kind, detail="")
+
+
+class TestUndisturbed:
+    def test_identity_with_batch(self, model):
+        trace = _trace(41)
+        fleet = FleetSimulator(model, n_chips=2)
+        batch = fleet.run(trace)
+        run = _run(fleet, trace, chaos=None)
+        assert run.result == batch
+        assert run.incidents == ()
+        assert run.n_sessions == 1
+
+    def test_empty_trace_rejected(self, model):
+        fleet = FleetSimulator(model, n_chips=2)
+        with pytest.raises(ValueError, match="empty"):
+            run_supervised(fleet, [])
+
+
+class TestRecoveryPaths:
+    def test_chip_crash_restart(self, model):
+        trace = _trace(43)
+        fleet = FleetSimulator(model, n_chips=2)
+        batch = fleet.run(trace)
+        run = _run(
+            fleet, trace, ChaosSchedule(events=(crash_actor("chip", 0),))
+        )
+        assert run.result == batch
+        kinds = {incident.kind for incident in run.incidents}
+        assert "crash" in kinds and "restart" in kinds and "retry" in kinds
+
+    def test_quarantine_then_inline_fallback(self, model):
+        # A 1-chip fleet whose only chip crashes twice: two strikes
+        # quarantine it, and with no survivors the supervisor runs the
+        # job inline — degraded, never wrong.
+        trace = _trace(47)
+        fleet = FleetSimulator(model, n_chips=1)
+        batch = fleet.run(trace)
+        run = _run(
+            fleet,
+            trace,
+            ChaosSchedule(
+                events=(crash_actor("chip", 0), crash_actor("chip", 1))
+            ),
+        )
+        assert run.result == batch
+        kinds = [incident.kind for incident in run.incidents]
+        assert "quarantine" in kinds
+        assert "inline_fallback" in kinds
+
+    def test_hang_triggers_redispatch(self, model):
+        trace = _trace(53)
+        fleet = FleetSimulator(model, n_chips=2)
+        batch = fleet.run(trace)
+        # Hang long enough to blow the 0.5s deadline: 30 * 0.02s.
+        run = _run(
+            fleet, trace, ChaosSchedule(events=(hang_actor("chip", 0, 30),))
+        )
+        assert run.result == batch
+        kinds = {incident.kind for incident in run.incidents}
+        assert "hang" in kinds and "retry" in kinds
+
+    def test_supervisor_crash_restores_from_ring(self, model):
+        trace = _trace(59, n=16)
+        fleet = FleetSimulator(model, n_chips=2)
+        batch = fleet.run(trace)
+        run = _run(
+            fleet,
+            trace,
+            ChaosSchedule(events=(crash_actor("supervisor", 3),)),
+        )
+        assert run.result == batch
+        assert run.n_sessions == 2
+        restarts = [
+            incident
+            for incident in run.incidents
+            if incident.kind == "supervisor_restart"
+        ]
+        assert len(restarts) == 1
+        assert restarts[0].session == 1
+
+    def test_ingestion_crash_restarts_stream(self, model):
+        trace = _trace(61)
+        fleet = FleetSimulator(model, n_chips=2)
+        batch = fleet.run(trace)
+        run = _run(
+            fleet,
+            trace,
+            ChaosSchedule(events=(crash_actor("ingestion", 1),)),
+        )
+        assert run.result == batch
+        assert any(
+            incident.kind == "stall" for incident in run.incidents
+        )
+
+    def test_retry_budget_gives_up(self, model):
+        # max_retries=0: the first crash exhausts the budget and the
+        # run fails with the original cause instead of looping.
+        trace = _trace(79)
+        fleet = FleetSimulator(model, n_chips=2)
+        config = SupervisionConfig(
+            job_deadline_s=0.5,
+            stall_deadline_s=0.15,
+            tick_s=0.01,
+            max_retries=0,
+            checkpoint_every=4,
+            seed=7,
+        )
+        from repro.serving.runtime.chaos import ChaosCrash
+
+        with pytest.raises(ChaosCrash):
+            run_supervised(
+                fleet,
+                trace,
+                chaos=ChaosSchedule(events=(crash_actor("chip", 0),)),
+                supervision=config,
+                batch_size=4,
+            )
+
+    def test_ingest_restart_cap_gives_up(self, model):
+        # The stream dies on every restart: the watchdog's restart
+        # budget runs out and the run fails instead of spinning.
+        trace = _trace(83)
+        fleet = FleetSimulator(model, n_chips=2)
+        config = SupervisionConfig(
+            job_deadline_s=0.5,
+            stall_deadline_s=0.1,
+            tick_s=0.01,
+            max_ingest_restarts=1,
+            checkpoint_every=4,
+            seed=7,
+        )
+        chaos = ChaosSchedule(
+            events=(
+                crash_actor("ingestion", 0),
+                crash_actor("ingestion", 1),
+                crash_actor("ingestion", 2),
+            )
+        )
+        with pytest.raises(RuntimeError, match="giving up"):
+            run_supervised(
+                fleet,
+                trace,
+                chaos=chaos,
+                supervision=config,
+                batch_size=4,
+            )
+
+    def test_session_cap_gives_up(self, model):
+        trace = _trace(67)
+        fleet = FleetSimulator(model, n_chips=2)
+        config = SupervisionConfig(
+            job_deadline_s=0.5,
+            stall_deadline_s=0.15,
+            tick_s=0.01,
+            checkpoint_every=4,
+            max_sessions=1,
+            seed=7,
+        )
+        with pytest.raises(RuntimeError, match="session"):
+            run_supervised(
+                fleet,
+                trace,
+                chaos=ChaosSchedule(events=(crash_actor("supervisor", 0),)),
+                supervision=config,
+                batch_size=4,
+            )
+
+
+class TestCleanFailure:
+    def test_real_ingestion_error_fails_cleanly(self, model):
+        # A genuine (non-chaos) crash report from any actor must fail
+        # the run with the original cause, not hang the supervisor.
+        trace = _trace(71, n=4)
+        fleet = FleetSimulator(model, n_chips=1)
+
+        async def session():
+            from repro.serving.dispatch import make_controller
+            from repro.serving.runtime.actors import SupervisorActor
+
+            controller = make_controller(fleet, trace)
+            supervisor = SupervisorActor(controller, 1)
+            supervisor.start()
+            supervisor.post(
+                ActorCrashed(
+                    actor="ingestion",
+                    error="ValueError('bad line')",
+                    cause=ValueError("bad line"),
+                )
+            )
+            try:
+                await asyncio.wait_for(supervisor.outcome, timeout=5.0)
+            finally:
+                await supervisor.stop()
+
+        with pytest.raises(ValueError, match="bad line"):
+            asyncio.run(session())
+
+
+class _Stuck(Actor):
+    """Test double: blocks forever on its first message."""
+
+    async def on_message(self, message):
+        await asyncio.Event().wait()
+
+
+class TestBoundedStop:
+    def test_stop_times_out_and_cancels(self):
+        async def session():
+            actor = _Stuck("stuck")
+            actor.start()
+            actor.post(Heartbeat(actor="x", n_done=0))
+            await asyncio.sleep(0)  # let it enter on_message
+            stopped = await actor.stop(timeout_s=0.05)
+            return stopped, actor._task.cancelled()
+
+        stopped, cancelled = asyncio.run(session())
+        assert stopped is False
+        assert cancelled
+
+    def test_stop_is_clean_for_idle_actor(self):
+        async def session():
+            actor = _Stuck("idle")
+            actor.start()
+            return await actor.stop(timeout_s=1.0)
+
+        assert asyncio.run(session()) is True
+
+
+class TestConservation:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        n_crashes=st.integers(min_value=0, max_value=2),
+        n_drops=st.integers(min_value=0, max_value=1),
+        n_hangs=st.integers(min_value=0, max_value=1),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_every_request_recorded_exactly_once(
+        self, seed, n_crashes, n_drops, n_hangs
+    ):
+        model = get_mllm("sphinx-tiny")
+        trace = _trace(73, n=10)
+        fleet = FleetSimulator(model, n_chips=2)
+        batch = fleet.run(trace)
+        chaos = generate_chaos_schedule(
+            seed,
+            n_chips=2,
+            n_batches=3,
+            n_crashes=n_crashes,
+            n_drops=n_drops,
+            n_hangs=n_hangs,
+            hang_shards=5,
+        )
+        run = _run(fleet, trace, chaos)
+        recorded = sorted(record.request_id for record in run.result.records)
+        expected = sorted(request.request_id for request in trace)
+        assert recorded == expected
+        assert run.result == batch
